@@ -1,0 +1,254 @@
+// Ablation studies for the design choices called out in DESIGN.md:
+//
+//  (1) Appendix-A optimizations of Algorithm 2 — pair memoization and the
+//      cross-round loss counter — measured individually and together.
+//  (2) Group-size multiplier of Algorithm 2 (g = m * u_n for m in
+//      {2, 4, 8}; the paper uses 4).
+//  (3) Phase-2 solver choice — all-play-all vs 2-MaxFind vs the randomized
+//      linear algorithm — on candidate sets of realistic sizes.
+//  (4) Venetis-style replication tuning: uniform votes-per-match vs the
+//      budget-tuned per-round schedule, under the probabilistic model.
+//
+// Flags: --trials (default 15), --n (default 3000), --u_n (default 20),
+//        --seed, --csv.
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/venetis.h"
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "core/filter_phase.h"
+#include "core/maxfind.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+struct FilterAblationRow {
+  std::string label;
+  bool memoize;
+  bool loss_counter;
+};
+
+void RunFilterAblation(int64_t n, int64_t u_target, int64_t trials,
+                       uint64_t seed, const FlagParser& flags) {
+  const std::vector<FilterAblationRow> configs = {
+      {"baseline (paper Algorithm 2)", false, false},
+      {"+ memoization", true, false},
+      {"+ loss counter", false, true},
+      {"+ both (Appendix A)", true, true},
+  };
+  TablePrinter table({"variant", "paid comparisons", "issued", "rounds",
+                      "|S|", "max kept"});
+  for (const FilterAblationRow& config : configs) {
+    double paid = 0.0;
+    double issued = 0.0;
+    double rounds = 0.0;
+    double candidates = 0.0;
+    int64_t kept = 0;
+    for (int64_t t = 0; t < trials; ++t) {
+      const uint64_t trial_seed = seed + static_cast<uint64_t>(t);
+      Result<Instance> instance = UniformInstance(n, trial_seed);
+      CROWDMAX_CHECK(instance.ok());
+      const double delta = instance->DeltaForU(u_target);
+      const int64_t u_n = instance->CountWithin(delta);
+      // Persistent ties make the memoization semantically transparent, so
+      // all variants face the same worker behaviour.
+      ThresholdComparator::Options worker;
+      worker.model = ThresholdModel{delta, 0.0};
+      worker.tie_policy = TiePolicy::kPersistentArbitrary;
+      ThresholdComparator naive(&*instance, worker, trial_seed + 1);
+
+      FilterOptions options;
+      options.u_n = u_n;
+      options.memoize = config.memoize;
+      options.global_loss_counter = config.loss_counter;
+      Result<FilterResult> result =
+          FilterCandidates(instance->AllElements(), options, &naive);
+      CROWDMAX_CHECK(result.ok());
+      paid += static_cast<double>(result->paid_comparisons);
+      issued += static_cast<double>(result->issued_comparisons);
+      rounds += static_cast<double>(result->rounds);
+      candidates += static_cast<double>(result->candidates.size());
+      for (ElementId e : result->candidates) {
+        if (e == instance->MaxElement()) {
+          ++kept;
+          break;
+        }
+      }
+    }
+    const double d = static_cast<double>(trials);
+    table.AddRow({config.label, FormatDouble(paid / d, 0),
+                  FormatDouble(issued / d, 0), FormatDouble(rounds / d, 1),
+                  FormatDouble(candidates / d, 1),
+                  FormatInt(kept) + "/" + FormatInt(trials)});
+  }
+  bench::EmitTable(table, flags,
+                   "Ablation 1 (n=" + std::to_string(n) +
+                       "): Appendix-A optimizations of Algorithm 2");
+}
+
+void RunGroupSizeAblation(int64_t n, int64_t u_target, int64_t trials,
+                          uint64_t seed, const FlagParser& flags) {
+  TablePrinter table({"g multiplier", "paid comparisons", "rounds", "|S|",
+                      "max kept"});
+  for (int64_t multiplier : {2, 4, 8}) {
+    double paid = 0.0;
+    double rounds = 0.0;
+    double candidates = 0.0;
+    int64_t kept = 0;
+    for (int64_t t = 0; t < trials; ++t) {
+      const uint64_t trial_seed = seed + 100 + static_cast<uint64_t>(t);
+      Result<Instance> instance = UniformInstance(n, trial_seed);
+      CROWDMAX_CHECK(instance.ok());
+      const double delta = instance->DeltaForU(u_target);
+      ThresholdComparator naive(&*instance, ThresholdModel{delta, 0.0},
+                                trial_seed + 1);
+      FilterOptions options;
+      options.u_n = instance->CountWithin(delta);
+      options.group_size_multiplier = multiplier;
+      Result<FilterResult> result =
+          FilterCandidates(instance->AllElements(), options, &naive);
+      CROWDMAX_CHECK(result.ok());
+      paid += static_cast<double>(result->paid_comparisons);
+      rounds += static_cast<double>(result->rounds);
+      candidates += static_cast<double>(result->candidates.size());
+      for (ElementId e : result->candidates) {
+        if (e == instance->MaxElement()) {
+          ++kept;
+          break;
+        }
+      }
+    }
+    const double d = static_cast<double>(trials);
+    table.AddRow({FormatInt(multiplier), FormatDouble(paid / d, 0),
+                  FormatDouble(rounds / d, 1), FormatDouble(candidates / d, 1),
+                  FormatInt(kept) + "/" + FormatInt(trials)});
+  }
+  bench::EmitTable(table, flags,
+                   "Ablation 2 (n=" + std::to_string(n) +
+                       "): group size g = multiplier * u_n (paper uses 4)");
+}
+
+void RunPhase2Ablation(int64_t trials, uint64_t seed,
+                       const FlagParser& flags) {
+  TablePrinter table({"|S|", "all-play-all", "2-MaxFind", "randomized"});
+  for (int64_t s : {9, 19, 39, 99, 199}) {
+    double apa = 0.0;
+    double tmf = 0.0;
+    double rnd = 0.0;
+    for (int64_t t = 0; t < trials; ++t) {
+      const uint64_t trial_seed =
+          seed + 200 + static_cast<uint64_t>(s) * 11 + static_cast<uint64_t>(t);
+      Result<Instance> instance = UniformInstance(s, trial_seed);
+      CROWDMAX_CHECK(instance.ok());
+      const double delta = instance->DeltaForU(std::max<int64_t>(2, s / 5));
+      ThresholdComparator expert_a(&*instance, ThresholdModel{delta, 0.0},
+                                   trial_seed + 1);
+      ThresholdComparator expert_b(&*instance, ThresholdModel{delta, 0.0},
+                                   trial_seed + 2);
+      ThresholdComparator expert_c(&*instance, ThresholdModel{delta, 0.0},
+                                   trial_seed + 3);
+
+      Result<MaxFindResult> r_apa =
+          AllPlayAllMax(instance->AllElements(), &expert_a);
+      Result<MaxFindResult> r_tmf =
+          TwoMaxFind(instance->AllElements(), &expert_b);
+      RandomizedMaxFindOptions rnd_options;
+      rnd_options.seed = trial_seed + 4;
+      Result<MaxFindResult> r_rnd =
+          RandomizedMaxFind(instance->AllElements(), &expert_c, rnd_options);
+      CROWDMAX_CHECK(r_apa.ok() && r_tmf.ok() && r_rnd.ok());
+      apa += static_cast<double>(r_apa->paid_comparisons);
+      tmf += static_cast<double>(r_tmf->paid_comparisons);
+      rnd += static_cast<double>(r_rnd->paid_comparisons);
+    }
+    const double d = static_cast<double>(trials);
+    table.AddRow({FormatInt(s), FormatDouble(apa / d, 0),
+                  FormatDouble(tmf / d, 0), FormatDouble(rnd / d, 0)});
+  }
+  bench::EmitTable(
+      table, flags,
+      "Ablation 3: expert comparisons by phase-2 solver (Section 4.1.2 — "
+      "the randomized linear algorithm's constants dominate at these sizes)");
+}
+
+void RunVenetisTuningAblation(uint64_t seed, const FlagParser& flags) {
+  // Replication tuning for the Venetis ladder (the baseline's core idea:
+  // allocate a vote budget across rounds) under a constant per-vote error.
+  constexpr int64_t kN = 64;
+  constexpr double kError = 0.25;
+  constexpr int64_t kTrialsPerBudget = 400;
+
+  TablePrinter table({"budget", "uniform votes/match", "uniform hit rate",
+                      "tuned schedule", "tuned predicted", "tuned hit rate"});
+  for (int64_t uniform_k : {1, 3, 5, 7}) {
+    const int64_t budget = uniform_k * (kN - 1);
+    Result<VenetisTuning> tuning = TuneVenetisSchedule(kN, budget, kError);
+    CROWDMAX_CHECK(tuning.ok());
+
+    int uniform_hits = 0;
+    int tuned_hits = 0;
+    for (int64_t t = 0; t < kTrialsPerBudget; ++t) {
+      const uint64_t trial_seed =
+          seed + static_cast<uint64_t>(uniform_k) * 10007 +
+          static_cast<uint64_t>(t);
+      Result<Instance> instance = UniformInstance(kN, trial_seed);
+      CROWDMAX_CHECK(instance.ok());
+      ThresholdComparator worker_a(&*instance, ThresholdModel{0.0, kError},
+                                   trial_seed + 1);
+      ThresholdComparator worker_b(&*instance, ThresholdModel{0.0, kError},
+                                   trial_seed + 2);
+      VenetisOptions uniform;
+      uniform.votes_per_match = uniform_k;
+      VenetisOptions tuned;
+      tuned.votes_schedule = tuning->schedule;
+      Result<MaxFindResult> u =
+          VenetisLadderMax(instance->AllElements(), &worker_a, uniform);
+      Result<MaxFindResult> v =
+          VenetisLadderMax(instance->AllElements(), &worker_b, tuned);
+      CROWDMAX_CHECK(u.ok() && v.ok());
+      if (u->best == instance->MaxElement()) ++uniform_hits;
+      if (v->best == instance->MaxElement()) ++tuned_hits;
+    }
+    std::string schedule;
+    for (int64_t votes : tuning->schedule) {
+      if (!schedule.empty()) schedule += "/";
+      schedule += FormatInt(votes);
+    }
+    table.AddRow(
+        {FormatInt(budget), FormatInt(uniform_k),
+         FormatDouble(static_cast<double>(uniform_hits) / kTrialsPerBudget, 3),
+         schedule, FormatDouble(tuning->predicted_max_survival, 3),
+         FormatDouble(static_cast<double>(tuned_hits) / kTrialsPerBudget,
+                      3)});
+  }
+  bench::EmitTable(
+      table, flags,
+      "Ablation 4 (n=64, per-vote error 0.25): uniform vs budget-tuned "
+      "replication for the Venetis ladder (probabilistic regime)");
+}
+
+}  // namespace
+}  // namespace crowdmax
+
+int main(int argc, char** argv) {
+  using namespace crowdmax;
+  FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  const int64_t trials = flags.GetInt("trials", 15);
+  const int64_t n = flags.GetInt("n", 3000);
+  const int64_t u_target = flags.GetInt("u_n", 20);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  bench::PrintHeader("Ablations", "design choices of DESIGN.md, measured");
+  RunFilterAblation(n, u_target, trials, seed, flags);
+  RunGroupSizeAblation(n, u_target, trials, seed, flags);
+  RunPhase2Ablation(trials, seed, flags);
+  RunVenetisTuningAblation(seed, flags);
+  return 0;
+}

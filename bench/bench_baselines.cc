@@ -1,0 +1,159 @@
+// Cross-baseline summary: every max-finder in the library, run under the
+// two worker regimes of Section 3 —
+//   probabilistic (DOTS-like, constant per-vote error 0.25): replication
+//     and adaptivity help, naive-only schemes can succeed;
+//   threshold (CARS-like, ~8 elements indistinguishable from the max):
+//     every naive-only scheme plateaus; only the expert-aware two-phase
+//     algorithm reliably returns the maximum.
+//
+// Flags: --n (default 64), --trials (default 200), --seed, --csv.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/adaptive.h"
+#include "baselines/marcus.h"
+#include "baselines/single_class.h"
+#include "baselines/venetis.h"
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "core/expert_max.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+struct RegimeTally {
+  int64_t hits = 0;
+  double comparisons = 0.0;
+};
+
+enum class Regime { kProbabilistic, kThreshold };
+
+// Builds the naive worker for the trial's instance under the regime.
+ThresholdComparator MakeNaive(const Instance& instance, Regime regime,
+                              uint64_t seed) {
+  if (regime == Regime::kProbabilistic) {
+    return ThresholdComparator(&instance, ThresholdModel{0.0, 0.25}, seed);
+  }
+  const double delta = instance.DeltaForU(8);
+  return ThresholdComparator(&instance, ThresholdModel{delta, 0.0}, seed);
+}
+
+}  // namespace
+}  // namespace crowdmax
+
+int main(int argc, char** argv) {
+  using namespace crowdmax;
+  FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  const int64_t n = flags.GetInt("n", 64);
+  const int64_t trials = flags.GetInt("trials", 200);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  bench::PrintHeader("Baseline summary",
+                     "all max-finders under the two error regimes");
+
+  const std::vector<std::string> algorithms = {
+      "Venetis ladder (3 votes)", "Venetis tuned (same budget)",
+      "Marcus tournament (g=5)",  "adaptive Elo (same budget)",
+      "2-MaxFind naive-only",     "Algorithm 1 (naive+expert)"};
+  // tallies[algorithm][regime].
+  std::vector<std::vector<RegimeTally>> tallies(
+      algorithms.size(), std::vector<RegimeTally>(2));
+
+  const int64_t budget = 3 * (n - 1);
+  Result<VenetisTuning> tuning = TuneVenetisSchedule(n, budget, 0.25);
+  CROWDMAX_CHECK(tuning.ok());
+
+  for (int regime_index = 0; regime_index < 2; ++regime_index) {
+    const Regime regime = regime_index == 0 ? Regime::kProbabilistic
+                                            : Regime::kThreshold;
+    for (int64_t t = 0; t < trials; ++t) {
+      const uint64_t trial_seed = seed +
+                                  static_cast<uint64_t>(regime_index) * 50021 +
+                                  static_cast<uint64_t>(t) * 13;
+      Result<Instance> instance = UniformInstance(n, trial_seed);
+      CROWDMAX_CHECK(instance.ok());
+      const ElementId truth = instance->MaxElement();
+
+      auto record = [&](size_t algo, const Result<MaxFindResult>& r) {
+        CROWDMAX_CHECK(r.ok());
+        RegimeTally& tally = tallies[algo][static_cast<size_t>(regime_index)];
+        if (r->best == truth) ++tally.hits;
+        tally.comparisons += static_cast<double>(r->paid_comparisons);
+      };
+
+      {
+        ThresholdComparator w = MakeNaive(*instance, regime, trial_seed + 1);
+        VenetisOptions options;
+        options.votes_per_match = 3;
+        record(0, VenetisLadderMax(instance->AllElements(), &w, options));
+      }
+      {
+        ThresholdComparator w = MakeNaive(*instance, regime, trial_seed + 2);
+        VenetisOptions options;
+        options.votes_schedule = tuning->schedule;
+        record(1, VenetisLadderMax(instance->AllElements(), &w, options));
+      }
+      {
+        ThresholdComparator w = MakeNaive(*instance, regime, trial_seed + 3);
+        record(2, MarcusTournamentMax(instance->AllElements(), &w, {}));
+      }
+      {
+        ThresholdComparator w = MakeNaive(*instance, regime, trial_seed + 4);
+        AdaptiveMaxOptions options;
+        options.budget = budget;
+        options.seed = trial_seed + 5;
+        record(3, AdaptiveEloMax(instance->AllElements(), &w, options));
+      }
+      {
+        ThresholdComparator w = MakeNaive(*instance, regime, trial_seed + 6);
+        record(4, TwoMaxFind(instance->AllElements(), &w));
+      }
+      {
+        ThresholdComparator naive =
+            MakeNaive(*instance, regime, trial_seed + 7);
+        ThresholdComparator expert(&*instance,
+                                   ThresholdModel{instance->DeltaForU(1), 0.0},
+                                   trial_seed + 8);
+        ExpertMaxOptions options;
+        options.filter.u_n =
+            regime == Regime::kThreshold
+                ? instance->CountWithin(instance->DeltaForU(8))
+                : 8;
+        Result<ExpertMaxResult> run = FindMaxWithExperts(
+            instance->AllElements(), &naive, &expert, options);
+        CROWDMAX_CHECK(run.ok());
+        RegimeTally& tally = tallies[5][static_cast<size_t>(regime_index)];
+        if (run->best == truth) ++tally.hits;
+        tally.comparisons +=
+            static_cast<double>(run->paid.naive + run->paid.expert);
+      }
+    }
+  }
+
+  TablePrinter table({"algorithm", "P(exact max) probabilistic",
+                      "P(exact max) threshold", "avg comparisons"});
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    const double d = static_cast<double>(trials);
+    table.AddRow(
+        {algorithms[a],
+         FormatDouble(static_cast<double>(tallies[a][0].hits) / d, 3),
+         FormatDouble(static_cast<double>(tallies[a][1].hits) / d, 3),
+         FormatDouble((tallies[a][0].comparisons + tallies[a][1].comparisons) /
+                          (2.0 * d),
+                      0)});
+  }
+  bench::EmitTable(table, flags,
+                   "Exact-max hit rates (n=" + std::to_string(n) +
+                       "): probabilistic regime (per-vote error 0.25) vs "
+                       "threshold regime (u_n=8)");
+  std::cout << "\nExpected shape: naive-only schemes do respectably in the "
+               "probabilistic regime and\nplateau in the threshold regime; "
+               "Algorithm 1 with a true expert dominates the\nthreshold "
+               "column — the paper's thesis in one table.\n";
+  return 0;
+}

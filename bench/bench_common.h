@@ -1,0 +1,90 @@
+// Shared helpers for the reproduction bench binaries.
+//
+// Every bench binary regenerates one of the paper's tables or figures: it
+// seeds its RNG deterministically, runs the sweep, and prints the same
+// rows/series the paper reports (aligned table plus optional CSV via
+// --csv). Absolute numbers differ from the paper (simulated workers, not
+// CrowdFlower), but the shape — who wins, by what factor, where crossovers
+// fall — is the reproduction target; EXPERIMENTS.md records the outcomes.
+
+#ifndef CROWDMAX_BENCH_BENCH_COMMON_H_
+#define CROWDMAX_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/instance.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace bench {
+
+/// A random instance plus the thresholds realizing the target u_n / u_e.
+struct TwoClassSetup {
+  Instance instance;
+  double delta_n = 0.0;
+  double delta_e = 0.0;
+  int64_t u_n = 0;
+  int64_t u_e = 0;
+};
+
+/// Builds the paper's standard simulation input: n i.i.d. uniform values
+/// with delta_n / delta_e chosen so that u_n(n) and u_e(n) hit the targets
+/// (Section 5: "We experimented with various values for the parameters n,
+/// delta_n and delta_e; the last two, in particular, define the values of
+/// u_n(n) and u_e(n)").
+inline TwoClassSetup MakeTwoClassSetup(int64_t n, int64_t u_n_target,
+                                       int64_t u_e_target, uint64_t seed) {
+  Result<Instance> instance = UniformInstance(n, seed);
+  CROWDMAX_CHECK(instance.ok());
+  TwoClassSetup setup{std::move(instance).value()};
+  setup.delta_n = setup.instance.DeltaForU(u_n_target);
+  setup.delta_e = setup.instance.DeltaForU(u_e_target);
+  setup.u_n = setup.instance.CountWithin(setup.delta_n);
+  setup.u_e = setup.instance.CountWithin(setup.delta_e);
+  return setup;
+}
+
+/// Prints the bench banner: what artifact this binary regenerates.
+inline void PrintHeader(const std::string& artifact,
+                        const std::string& description) {
+  std::cout << "==============================================================="
+               "=\n"
+            << artifact << " — " << description << "\n"
+            << "Paper: The Importance of Being Expert (SIGMOD 2015)\n"
+            << "==============================================================="
+               "=\n";
+}
+
+/// Renders `table` aligned, plus CSV when --csv was passed.
+inline void EmitTable(const TablePrinter& table, const FlagParser& flags,
+                      const std::string& caption) {
+  std::cout << "\n" << caption << "\n";
+  table.Print(std::cout);
+  if (flags.GetBool("csv", false)) {
+    std::cout << "\n[csv]\n";
+    table.PrintCsv(std::cout);
+  }
+}
+
+/// Parses flags or dies with a usage message.
+inline FlagParser ParseFlagsOrDie(int argc, char** argv) {
+  FlagParser flags;
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << "flag error: " << status.ToString() << "\n";
+    std::exit(2);
+  }
+  return flags;
+}
+
+}  // namespace bench
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_BENCH_BENCH_COMMON_H_

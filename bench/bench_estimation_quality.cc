@@ -1,0 +1,109 @@
+// Evaluates Algorithm 4 (Section 4.4): how often the u_n estimate derived
+// from a gold training set upper-bounds the true u_n of the target dataset,
+// how tight it is, and how the p_err estimation feeding it behaves.
+//
+// Flags: --trials (default 40), --seed, --csv.
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "core/estimate.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+constexpr int64_t kTrueUs[] = {5, 10, 20, 40};
+
+}  // namespace
+}  // namespace crowdmax
+
+int main(int argc, char** argv) {
+  using namespace crowdmax;
+  FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  const int64_t trials = flags.GetInt("trials", 40);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  bench::PrintHeader("Algorithm 4",
+                     "u_n estimation from gold data: coverage and tightness");
+
+  TablePrinter table({"true u_n", "P(estimate >= true)", "mean estimate",
+                      "mean estimate/true", "mean estimated p_err"});
+  for (int64_t true_u : kTrueUs) {
+    int64_t covered = 0;
+    double estimate_sum = 0.0;
+    double ratio_sum = 0.0;
+    double perr_sum = 0.0;
+    int64_t perr_count = 0;
+    for (int64_t t = 0; t < trials; ++t) {
+      const uint64_t trial_seed = seed + static_cast<uint64_t>(true_u) * 101 +
+                                  static_cast<uint64_t>(t);
+      // Training set mirrors the target statistically (Assumption 1): same
+      // distribution, same size.
+      Result<Instance> training = UniformInstance(500, trial_seed);
+      CROWDMAX_CHECK(training.ok());
+      const double delta = training->DeltaForU(true_u);
+      const int64_t realized_u = training->CountWithin(delta);
+      ThresholdComparator worker(&*training, ThresholdModel{delta, 0.0},
+                                 trial_seed + 1);
+
+      // Step 1: estimate p_err from repeated votes on pairs near the top.
+      std::vector<std::pair<ElementId, ElementId>> pairs;
+      std::vector<ElementId> by_rank = training->AllElements();
+      std::sort(by_rank.begin(), by_rank.end(),
+                [&](ElementId a, ElementId b) {
+                  return training->value(a) > training->value(b);
+                });
+      const int64_t top = std::min<int64_t>(30, training->size());
+      for (int64_t a = 0; a < top; ++a) {
+        for (int64_t b = a + 1; b < top; ++b) {
+          pairs.push_back({by_rank[static_cast<size_t>(a)],
+                           by_rank[static_cast<size_t>(b)]});
+        }
+      }
+      Result<PerrEstimate> p_err = EstimatePerr(*training, pairs, 9, &worker);
+      double p_err_value = 0.5;  // Model default when no hard pair observed.
+      if (p_err.ok()) {
+        p_err_value = p_err->p_err;
+        perr_sum += p_err->p_err;
+        ++perr_count;
+      }
+
+      // Step 2: Algorithm 4 proper.
+      UnEstimateOptions options;
+      options.p_err = p_err_value;
+      Result<UnEstimate> estimate =
+          EstimateUn(training->AllElements(), training->MaxElement(),
+                     /*target_n=*/500, &worker, options);
+      CROWDMAX_CHECK(estimate.ok());
+      if (estimate->u_n >= realized_u) ++covered;
+      estimate_sum += static_cast<double>(estimate->u_n);
+      ratio_sum += static_cast<double>(estimate->u_n) /
+                   static_cast<double>(realized_u);
+    }
+    const double d = static_cast<double>(trials);
+    table.AddRow({FormatInt(true_u),
+                  FormatDouble(static_cast<double>(covered) / d, 3),
+                  FormatDouble(estimate_sum / d, 1),
+                  FormatDouble(ratio_sum / d, 2),
+                  perr_count > 0
+                      ? FormatDouble(perr_sum / static_cast<double>(perr_count),
+                                     3)
+                      : "n/a"});
+  }
+  bench::EmitTable(table, flags,
+                   "Coverage (estimate upper-bounds truth, the paper's "
+                   "w.h.p. claim) and tightness");
+  std::cout << "\nExpected shape: coverage ~1.0 across the board; the "
+               "estimate overshoots by a small\nconstant factor (the price "
+               "of a one-sided bound), and p_err is recovered near the\n"
+               "fair-coin value 0.5 used by the threshold model "
+               "simulation.\n";
+  return 0;
+}

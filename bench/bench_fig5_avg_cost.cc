@@ -1,0 +1,124 @@
+// Reproduces Figure 5 (and its worst-case companion Figure 9 is in
+// bench_fig9_worstcase_cost): average monetary cost C(n) as a function of
+// n, with c_n = 1 and c_e in {10, 20, 50}, for Algorithm 1,
+// 2-MaxFind-naive and 2-MaxFind-expert, at (u_n, u_e) = (10, 5) and
+// (50, 10) — six panels.
+//
+// Flags: --trials (default 15), --seed, --csv.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "baselines/single_class.h"
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "core/cost.h"
+#include "core/expert_max.h"
+#include "core/worker_model.h"
+
+namespace crowdmax {
+namespace {
+
+constexpr int64_t kSizes[] = {1000, 2000, 3000, 4000, 5000};
+constexpr double kExpertCosts[] = {10.0, 20.0, 50.0};
+
+struct Config {
+  int64_t u_n;
+  int64_t u_e;
+};
+
+struct TrialCosts {
+  // Paid comparison counts per algorithm; costs derive from them for every
+  // c_e without re-running.
+  double alg1_naive = 0.0;
+  double alg1_expert = 0.0;
+  double naive_only = 0.0;
+  double expert_only = 0.0;
+};
+
+TrialCosts MeasureAverages(const Config& config, int64_t n, int64_t trials,
+                           uint64_t seed) {
+  TrialCosts sums;
+  for (int64_t t = 0; t < trials; ++t) {
+    const uint64_t trial_seed =
+        seed + static_cast<uint64_t>(n) * 313 + static_cast<uint64_t>(t);
+    bench::TwoClassSetup setup =
+        bench::MakeTwoClassSetup(n, config.u_n, config.u_e, trial_seed);
+    ThresholdComparator naive(&setup.instance,
+                              ThresholdModel{setup.delta_n, 0.0},
+                              trial_seed * 7 + 1);
+    ThresholdComparator expert(&setup.instance,
+                               ThresholdModel{setup.delta_e, 0.0},
+                               trial_seed * 7 + 2);
+
+    ExpertMaxOptions options;
+    options.filter.u_n = setup.u_n;
+    Result<ExpertMaxResult> alg1 = FindMaxWithExperts(
+        setup.instance.AllElements(), &naive, &expert, options);
+    Result<SingleClassResult> naive_only =
+        TwoMaxFindNaiveOnly(setup.instance.AllElements(), &naive);
+    Result<SingleClassResult> expert_only =
+        TwoMaxFindExpertOnly(setup.instance.AllElements(), &expert);
+    CROWDMAX_CHECK(alg1.ok() && naive_only.ok() && expert_only.ok());
+
+    sums.alg1_naive += static_cast<double>(alg1->paid.naive);
+    sums.alg1_expert += static_cast<double>(alg1->paid.expert);
+    sums.naive_only += static_cast<double>(naive_only->paid_comparisons);
+    sums.expert_only += static_cast<double>(expert_only->paid_comparisons);
+  }
+  const double d = static_cast<double>(trials);
+  sums.alg1_naive /= d;
+  sums.alg1_expert /= d;
+  sums.naive_only /= d;
+  sums.expert_only /= d;
+  return sums;
+}
+
+}  // namespace
+}  // namespace crowdmax
+
+int main(int argc, char** argv) {
+  using namespace crowdmax;
+  FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  const int64_t trials = flags.GetInt("trials", 15);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  bench::PrintHeader("Figure 5",
+                     "average cost C(n) vs n, c_n=1, c_e in {10,20,50}");
+
+  for (const auto& config :
+       {crowdmax::Config{10, 5}, crowdmax::Config{50, 10}}) {
+    // Measure once per (n); derive all three panels per config.
+    std::vector<TrialCosts> rows;
+    for (int64_t n : kSizes) {
+      rows.push_back(MeasureAverages(config, n, trials,
+                                     seed + static_cast<uint64_t>(config.u_n)));
+    }
+    for (double c_e : kExpertCosts) {
+      CostModel model{1.0, c_e};
+      TablePrinter table(
+          {"n", "2-MaxFind-expert", "Alg 1", "2-MaxFind-naive"});
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const TrialCosts& r = rows[i];
+        table.AddRow(
+            {FormatInt(kSizes[i]),
+             FormatDouble(r.expert_only * model.expert_cost, 0),
+             FormatDouble(r.alg1_naive * model.naive_cost +
+                              r.alg1_expert * model.expert_cost,
+                          0),
+             FormatDouble(r.naive_only * model.naive_cost, 0)});
+      }
+      bench::EmitTable(table, flags,
+                       "Figure 5 panel (u_n=" + std::to_string(config.u_n) +
+                           ", u_e=" + std::to_string(config.u_e) +
+                           ", c_e=" + FormatDouble(c_e, 0) +
+                           "): average cost C(n)");
+    }
+  }
+  std::cout << "\nExpected shape: 2-MaxFind-naive is cheapest (but "
+               "inaccurate, see Figure 3); at low\nc_e/c_n ratios "
+               "2-MaxFind-expert undercuts Alg 1, and as the ratio grows "
+               "past ~10 the\nordering flips and Alg 1's savings widen.\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Google-benchmark microbenchmarks for the core primitives: comparator
+// throughput, all-play-all tournaments, Algorithm 2, 2-MaxFind, and the
+// full two-phase pipeline. These quantify the simulator's raw speed (the
+// paper's cost unit is worker comparisons, not CPU time, but a fast
+// simulator is what makes the parameter sweeps in the other benches cheap).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/expert_max.h"
+#include "core/filter_phase.h"
+#include "core/maxfind.h"
+#include "core/tournament.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+Instance MakeInstance(int64_t n, uint64_t seed) {
+  Result<Instance> instance = UniformInstance(n, seed);
+  CROWDMAX_CHECK(instance.ok());
+  return std::move(instance).value();
+}
+
+void BM_ThresholdCompare(benchmark::State& state) {
+  Instance instance = MakeInstance(1024, 1);
+  ThresholdComparator cmp(&instance, ThresholdModel{0.01, 0.05}, 2);
+  ElementId a = 0;
+  for (auto _ : state) {
+    const ElementId winner = cmp.Compare(a, (a + 1) & 1023);
+    benchmark::DoNotOptimize(winner);
+    a = (a + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThresholdCompare);
+
+void BM_OracleCompare(benchmark::State& state) {
+  Instance instance = MakeInstance(1024, 3);
+  OracleComparator cmp(&instance);
+  ElementId a = 0;
+  for (auto _ : state) {
+    const ElementId winner = cmp.Compare(a, (a + 1) & 1023);
+    benchmark::DoNotOptimize(winner);
+    a = (a + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OracleCompare);
+
+void BM_MemoizedCompare(benchmark::State& state) {
+  Instance instance = MakeInstance(1024, 5);
+  OracleComparator oracle(&instance);
+  MemoizingComparator memo(&oracle);
+  ElementId a = 0;
+  for (auto _ : state) {
+    const ElementId winner = memo.Compare(a, (a + 1) & 1023);
+    benchmark::DoNotOptimize(winner);
+    a = (a + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoizedCompare);
+
+void BM_AllPlayAll(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  Instance instance = MakeInstance(k, 7);
+  ThresholdComparator cmp(&instance, ThresholdModel{0.01, 0.0}, 8);
+  const std::vector<ElementId> elements = instance.AllElements();
+  for (auto _ : state) {
+    TournamentResult result = AllPlayAll(elements, &cmp);
+    benchmark::DoNotOptimize(result.wins.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k * (k - 1) / 2);
+}
+BENCHMARK(BM_AllPlayAll)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FilterPhase(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Instance instance = MakeInstance(n, 9);
+  const double delta = instance.DeltaForU(10);
+  FilterOptions options;
+  options.u_n = instance.CountWithin(delta);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ThresholdComparator cmp(&instance, ThresholdModel{delta, 0.0},
+                            state.iterations());
+    state.ResumeTiming();
+    Result<FilterResult> result =
+        FilterCandidates(instance.AllElements(), options, &cmp);
+    CROWDMAX_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->candidates.data());
+  }
+}
+BENCHMARK(BM_FilterPhase)->Arg(1000)->Arg(4000);
+
+void BM_TwoMaxFind(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Instance instance = MakeInstance(n, 11);
+  const double delta = instance.DeltaForU(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ThresholdComparator cmp(&instance, ThresholdModel{delta, 0.0},
+                            state.iterations());
+    state.ResumeTiming();
+    Result<MaxFindResult> result = TwoMaxFind(instance.AllElements(), &cmp);
+    CROWDMAX_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->best);
+  }
+}
+BENCHMARK(BM_TwoMaxFind)->Arg(100)->Arg(1000);
+
+void BM_ExpertMaxEndToEnd(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Instance instance = MakeInstance(n, 13);
+  const double delta_n = instance.DeltaForU(10);
+  const double delta_e = instance.DeltaForU(3);
+  ExpertMaxOptions options;
+  options.filter.u_n = instance.CountWithin(delta_n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ThresholdComparator naive(&instance, ThresholdModel{delta_n, 0.0},
+                              state.iterations() * 2);
+    ThresholdComparator expert(&instance, ThresholdModel{delta_e, 0.0},
+                               state.iterations() * 2 + 1);
+    state.ResumeTiming();
+    Result<ExpertMaxResult> result =
+        FindMaxWithExperts(instance.AllElements(), &naive, &expert, options);
+    CROWDMAX_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->best);
+  }
+}
+BENCHMARK(BM_ExpertMaxEndToEnd)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace crowdmax
+
+BENCHMARK_MAIN();

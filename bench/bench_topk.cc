@@ -1,0 +1,116 @@
+// Benchmarks the top-k extension: accuracy (how many of the true top-k are
+// returned, and positional value error) and cost vs the expert-only
+// alternative (one expert all-play-all over the entire input), across k.
+//
+// Flags: --n (default 2000), --trials (default 15), --seed, --csv.
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "core/cost.h"
+#include "core/topk.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+constexpr int64_t kKs[] = {1, 3, 5, 10, 20};
+
+}  // namespace
+}  // namespace crowdmax
+
+int main(int argc, char** argv) {
+  using namespace crowdmax;
+  FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  const int64_t n = flags.GetInt("n", 2000);
+  const int64_t trials = flags.GetInt("trials", 15);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  bench::PrintHeader("Top-k extension",
+                     "two-phase approximate top-k selection");
+
+  CostModel prices{1.0, 25.0};
+  TablePrinter table({"k", "true top-k recalled", "mean positional rank",
+                      "naive cmp", "expert cmp", "cost",
+                      "expert-only full tournament cost"});
+  for (int64_t k : kKs) {
+    double recalled = 0.0;
+    double mean_rank = 0.0;
+    double naive_cmp = 0.0;
+    double expert_cmp = 0.0;
+    for (int64_t t = 0; t < trials; ++t) {
+      const uint64_t trial_seed =
+          seed + static_cast<uint64_t>(k) * 211 + static_cast<uint64_t>(t);
+      Result<Instance> instance = UniformInstance(n, trial_seed);
+      CROWDMAX_CHECK(instance.ok());
+      const double delta_n = instance->DeltaForU(8);
+      const double delta_e = instance->DeltaForU(2);
+
+      std::vector<ElementId> by_rank = instance->AllElements();
+      std::sort(by_rank.begin(), by_rank.end(),
+                [&](ElementId a, ElementId b) {
+                  return instance->value(a) > instance->value(b);
+                });
+      int64_t blind_spot = 1;
+      for (int64_t j = 0; j < k; ++j) {
+        blind_spot = std::max(
+            blind_spot,
+            instance->CountWithinOf(by_rank[static_cast<size_t>(j)],
+                                    delta_n));
+      }
+
+      ThresholdComparator naive(&*instance, ThresholdModel{delta_n, 0.0},
+                                trial_seed + 1);
+      ThresholdComparator expert(&*instance, ThresholdModel{delta_e, 0.0},
+                                 trial_seed + 2);
+      TopKOptions options;
+      options.k = k;
+      options.filter.u_n = blind_spot;
+      Result<TopKResult> result = FindTopKWithExperts(
+          instance->AllElements(), &naive, &expert, options);
+      CROWDMAX_CHECK(result.ok());
+
+      std::set<ElementId> truth(by_rank.begin(),
+                                by_rank.begin() + static_cast<size_t>(k));
+      int64_t hits = 0;
+      double rank_sum = 0.0;
+      for (ElementId e : result->top) {
+        if (truth.count(e) > 0) ++hits;
+        rank_sum += static_cast<double>(instance->Rank(e));
+      }
+      recalled += static_cast<double>(hits) / static_cast<double>(k);
+      mean_rank += rank_sum / static_cast<double>(k);
+      naive_cmp += static_cast<double>(result->paid.naive);
+      expert_cmp += static_cast<double>(result->paid.expert);
+    }
+    const double d = static_cast<double>(trials);
+    const double full_tournament_cost =
+        prices.expert_cost * static_cast<double>(n) *
+        static_cast<double>(n - 1) / 2.0;
+    table.AddRow({FormatInt(k), FormatDouble(recalled / d, 3),
+                  FormatDouble(mean_rank / d, 2),
+                  FormatDouble(naive_cmp / d, 0),
+                  FormatDouble(expert_cmp / d, 0),
+                  FormatDouble(prices.Cost(
+                                   static_cast<int64_t>(naive_cmp / d),
+                                   static_cast<int64_t>(expert_cmp / d)),
+                               0),
+                  FormatDouble(full_tournament_cost, 0)});
+  }
+  bench::EmitTable(table, flags,
+                   "Two-phase top-k (n=" + std::to_string(n) +
+                       ", c_n=1, c_e=25) vs an expert-only all-play-all "
+                       "over the full input");
+  std::cout << "\nExpected shape: mean positional rank ~(k+1)/2 (the "
+               "value-based 2*delta_e guarantee);\nexact-identity recall is "
+               "limited by the expert blind spot for tiny k and approaches\n"
+               "1 as k grows; cost grows mildly with k and stays orders of "
+               "magnitude below the\nexpert-only full tournament.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Car-pricing scenario (the paper's motivating CARS example): find the most
+// expensive car in a catalog when the crowd has a persistent blind spot for
+// price differences under ~20%.
+//
+// Demonstrates the paper's headline: majority voting plateaus in this
+// regime, so simulated experts (many naive votes) fail where one real
+// pricing expert succeeds — and Algorithm 1 needs only a handful of expert
+// judgments.
+//
+//   ./examples/car_pricing [--cars=50] [--seed=42]
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "common/flags.h"
+#include "core/expert_max.h"
+#include "core/worker_model.h"
+#include "datasets/cars.h"
+#include "platform/platform.h"
+
+int main(int argc, char** argv) {
+  using namespace crowdmax;
+
+  FlagParser flags;
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 2;
+  }
+  const int64_t num_cars = flags.GetInt("cars", 50);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  CarsDataset catalog = CarsDataset::Standard(seed);
+  Result<CarsDataset> sampled = catalog.Sample(num_cars, seed + 1);
+  if (!sampled.ok()) {
+    std::cerr << sampled.status().ToString() << "\n";
+    return 1;
+  }
+  Instance instance = sampled->ToInstance();
+  const ElementId best = instance.MaxElement();
+  const Car& best_car = sampled->cars()[static_cast<size_t>(best)];
+
+  std::cout << "Catalog: " << num_cars << " cars, $"
+            << static_cast<int64_t>(instance.value(best))
+            << " is the true top price (" << best_car.year << " "
+            << best_car.make << " " << best_car.model << ")\n\n";
+
+  // The crowd: CrowdFlower-style workers with the Figure 2(b) behaviour.
+  PersistentBiasComparator crowd_model(&instance, CarsWorkerModel(), seed + 2);
+  PlatformOptions platform_options;
+  platform_options.num_workers = 50;
+  platform_options.spammer_fraction = 0.08;
+  platform_options.seed = seed + 3;
+  auto platform =
+      CrowdPlatform::Create(&crowd_model, &instance, {}, platform_options);
+  if (!platform.ok()) {
+    std::cerr << platform.status().ToString() << "\n";
+    return 1;
+  }
+
+  PlatformComparator naive(platform->get(), /*votes_per_task=*/3);
+  PlatformComparator simulated_expert(platform->get(), /*votes_per_task=*/7);
+  // A real expert: a car-pricing professional who resolves every >= $500
+  // difference.
+  ThresholdComparator real_expert(&instance, ThresholdModel{400.0, 0.0},
+                                  seed + 4);
+
+  ExpertMaxOptions options;
+  options.filter.u_n = 10;
+
+  Result<ExpertMaxResult> with_simulated = FindMaxWithExperts(
+      instance.AllElements(), &naive, &simulated_expert, options);
+  Result<ExpertMaxResult> with_real = FindMaxWithExperts(
+      instance.AllElements(), &naive, &real_expert, options);
+  if (!with_simulated.ok() || !with_real.ok()) {
+    std::cerr << "run failed\n";
+    return 1;
+  }
+
+  auto describe = [&](const char* label, const ExpertMaxResult& r) {
+    const Car& car = sampled->cars()[static_cast<size_t>(r.best)];
+    std::cout << label << "\n"
+              << "  picked   : " << car.year << " " << car.make << " "
+              << car.model << " ($" << static_cast<int64_t>(car.price)
+              << "), true rank " << instance.Rank(r.best) << "\n"
+              << "  correct  : " << (r.best == best ? "YES" : "no") << "\n"
+              << "  naive cmp: " << r.paid.naive
+              << ", expert cmp: " << r.paid.expert << "\n\n";
+  };
+  describe("Algorithm 1 with SIMULATED experts (majority of 7 naive votes):",
+           *with_simulated);
+  describe("Algorithm 1 with a REAL pricing expert:", *with_real);
+
+  std::cout << "The crowd's persistent blind spot below ~20% price "
+               "difference cannot be voted away;\nonly the real expert "
+               "resolves the final contenders — and needs just "
+            << with_real->paid.expert << " judgments for " << num_cars
+            << " cars.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Crowd query engine: the CrowdDB-style front door. Configure two worker
+// classes and their prices once; the engine plans the cheapest adequate
+// strategy per query (Section 5.1's crossover rules, encoded in
+// query/planner.h) and executes it.
+//
+//   ./examples/crowd_query [--n=3000] [--seed=42]
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+#include "query/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace crowdmax;
+
+  FlagParser flags;
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 2;
+  }
+  const int64_t n = flags.GetInt("n", 3000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  Result<Instance> data = UniformInstance(n, seed);
+  if (!data.ok()) {
+    std::cerr << data.status().ToString() << "\n";
+    return 1;
+  }
+  const double delta_n = data->DeltaForU(12);
+  const int64_t u_n = data->CountWithin(delta_n);
+  ThresholdComparator naive(&*data, ThresholdModel{delta_n, 0.0}, seed + 1);
+  ThresholdComparator expert(&*data, ThresholdModel{data->DeltaForU(2), 0.0},
+                             seed + 2);
+
+  for (double expert_price : {3.0, 60.0}) {
+    CrowdQueryEngineOptions options;
+    options.naive = &naive;
+    options.expert = &expert;
+    options.prices = CostModel{1.0, expert_price};
+    Result<CrowdQueryEngine> engine = CrowdQueryEngine::Create(options);
+    if (!engine.ok()) {
+      std::cerr << engine.status().ToString() << "\n";
+      return 1;
+    }
+
+    Result<MaxQueryAnswer> answer = engine->Max(data->AllElements(), u_n);
+    if (!answer.ok()) {
+      std::cerr << answer.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "SELECT MAX with c_e = " << expert_price << "\n"
+              << "  plan     : " << answer->plan.explanation << "\n"
+              << "  answer   : element " << answer->best << " (true rank "
+              << data->Rank(answer->best) << ")\n"
+              << "  paid     : " << answer->paid.naive << " naive + "
+              << answer->paid.expert << " expert = $" << answer->actual_cost
+              << "\n\n";
+  }
+
+  // A TOP-5 query on the same engine configuration.
+  CrowdQueryEngineOptions options;
+  options.naive = &naive;
+  options.expert = &expert;
+  options.prices = CostModel{1.0, 60.0};
+  Result<CrowdQueryEngine> engine = CrowdQueryEngine::Create(options);
+  if (!engine.ok()) return 1;
+  Result<TopKQueryAnswer> top =
+      engine->TopK(data->AllElements(), 2 * u_n, /*k=*/5);
+  if (!top.ok()) {
+    std::cerr << top.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "SELECT TOP 5 (cost $" << top->actual_cost << "):";
+  for (ElementId e : top->top) {
+    std::cout << " " << e << "(rank " << data->Rank(e) << ")";
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: find an approximate maximum with naive + expert workers.
+//
+// Builds a random instance, wires up two threshold-model worker classes,
+// runs Algorithm 1 and prints what it cost. Start here; the other examples
+// show domain-specific scenarios.
+//
+//   ./examples/quickstart [--n=2000] [--u_n=15] [--seed=42]
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "core/cost.h"
+#include "core/expert_max.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+int main(int argc, char** argv) {
+  using namespace crowdmax;
+
+  FlagParser flags;
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 2;
+  }
+  const int64_t n = flags.GetInt("n", 2000);
+  const int64_t u_target = flags.GetInt("u_n", 15);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  // 1. A problem instance: n elements with hidden values. In a real
+  //    deployment you would not know the values — here they power the
+  //    simulated workers and the final evaluation.
+  Result<Instance> instance = UniformInstance(n, seed);
+  if (!instance.ok()) {
+    std::cerr << instance.status().ToString() << "\n";
+    return 1;
+  }
+
+  // 2. Two worker classes under the threshold model T(delta, epsilon):
+  //    naive workers cannot rank elements closer than delta_n; experts
+  //    resolve everything except the u_e-sized blind spot around the max.
+  const double delta_n = instance->DeltaForU(u_target);
+  const double delta_e = instance->DeltaForU(3);
+  const int64_t u_n = instance->CountWithin(delta_n);
+  ThresholdComparator naive(&*instance, ThresholdModel{delta_n, 0.0},
+                            seed + 1);
+  ThresholdComparator expert(&*instance, ThresholdModel{delta_e, 0.0},
+                             seed + 2);
+
+  // 3. Run Algorithm 1: naive workers filter n elements down to O(u_n)
+  //    candidates, experts pick the winner with 2-MaxFind.
+  ExpertMaxOptions options;
+  options.filter.u_n = u_n;  // The one required parameter; see EstimateUn.
+  Result<ExpertMaxResult> result =
+      FindMaxWithExperts(instance->AllElements(), &naive, &expert, options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  // 4. Inspect the outcome.
+  CostModel prices{/*naive_cost=*/1.0, /*expert_cost=*/25.0};
+  std::cout << "crowdmax quickstart\n"
+            << "  instance size          : " << n << "\n"
+            << "  u_n (naive blind spot) : " << u_n << "\n"
+            << "  phase-1 candidates     : " << result->candidates.size()
+            << "\n"
+            << "  returned element       : " << result->best
+            << " (true rank " << instance->Rank(result->best) << " of " << n
+            << ")\n"
+            << "  distance from max      : "
+            << instance->Distance(result->best, instance->MaxElement())
+            << " (guarantee: <= 2*delta_e = " << 2.0 * delta_e << ")\n"
+            << "  naive comparisons      : " << result->paid.naive << "\n"
+            << "  expert comparisons     : " << result->paid.expert << "\n"
+            << "  cost @ c_n=1, c_e=25   : " << result->CostUnder(prices)
+            << "\n";
+  return 0;
+}

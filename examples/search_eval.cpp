@@ -1,0 +1,89 @@
+// Search-result evaluation (Section 5.3): which of 50 search results best
+// answers "asymmetric tsp best approximation"? Crowd workers can discard
+// the obviously irrelevant hits; only researchers in the field can tell the
+// current state-of-the-art paper from its near-duplicates. This example
+// also estimates u_n from a gold query instead of assuming it.
+//
+//   ./examples/search_eval [--seed=42]
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "core/estimate.h"
+#include "core/expert_max.h"
+#include "core/worker_model.h"
+#include "datasets/search.h"
+
+int main(int argc, char** argv) {
+  using namespace crowdmax;
+
+  FlagParser flags;
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 2;
+  }
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  // The live query we want judged.
+  Result<SearchQueryDataset> query = SearchQueryDataset::Generate(
+      "asymmetric tsp best approximation", {}, seed);
+  // A gold query with known best result, used to calibrate u_n.
+  Result<SearchQueryDataset> gold = SearchQueryDataset::Generate(
+      "steiner tree best approximation", {}, seed + 1);
+  if (!query.ok() || !gold.ok()) {
+    std::cerr << "dataset generation failed\n";
+    return 1;
+  }
+  Instance instance = query->ToInstance();
+  Instance gold_instance = gold->ToInstance();
+  const double naive_delta = query->SuggestedNaiveDelta();
+
+  // Estimate u_n(50) from the gold query (Algorithm 4): compare every gold
+  // result against the known best with a naive worker.
+  ThresholdComparator gold_naive(&gold_instance,
+                                 SearchNaiveWorkerModel(
+                                     gold->SuggestedNaiveDelta()),
+                                 seed + 2);
+  UnEstimateOptions estimate_options;
+  estimate_options.p_err = 0.5;
+  Result<UnEstimate> estimate = EstimateUn(
+      gold_instance.AllElements(), gold_instance.MaxElement(),
+      /*target_n=*/instance.size(), &gold_naive, estimate_options);
+  if (!estimate.ok()) {
+    std::cerr << estimate.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Estimated u_n(50) from the gold query: " << estimate->u_n
+            << " (" << estimate->observed_errors
+            << " below-threshold errors observed)\n\n";
+
+  // Run Algorithm 1 on the live query.
+  ThresholdComparator naive(&instance, SearchNaiveWorkerModel(naive_delta),
+                            seed + 3);
+  ThresholdComparator expert(&instance, SearchExpertWorkerModel(), seed + 4);
+  ExpertMaxOptions options;
+  options.filter.u_n = estimate->u_n;
+  Result<ExpertMaxResult> result =
+      FindMaxWithExperts(instance.AllElements(), &naive, &expert, options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  const SearchResult& picked =
+      query->results()[static_cast<size_t>(result->best)];
+  const SearchResult& truth =
+      query->results()[static_cast<size_t>(instance.MaxElement())];
+  std::cout << "Query: \"" << query->query() << "\"\n"
+            << "  crowd shortlist : " << result->candidates.size()
+            << " of " << instance.size() << " results ("
+            << result->paid.naive << " crowd judgments)\n"
+            << "  expert judgments: " << result->paid.expert << "\n"
+            << "  picked          : " << picked.title << " (SERP position "
+            << picked.serp_position << ")\n"
+            << "  ground truth    : " << truth.title << " (SERP position "
+            << truth.serp_position << ")\n"
+            << "  correct         : "
+            << (result->best == instance.MaxElement() ? "YES" : "no") << "\n";
+  return 0;
+}

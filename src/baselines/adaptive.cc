@@ -1,0 +1,126 @@
+#include "baselines/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace crowdmax {
+
+namespace {
+
+double EloExpectation(double rating_a, double rating_b) {
+  return 1.0 / (1.0 + std::pow(10.0, (rating_b - rating_a) / 400.0));
+}
+
+}  // namespace
+
+Result<MaxFindResult> AdaptiveEloMax(const std::vector<ElementId>& items,
+                                     Comparator* comparator,
+                                     const AdaptiveMaxOptions& options) {
+  CROWDMAX_CHECK(comparator != nullptr);
+  if (items.empty()) {
+    return Status::InvalidArgument("input set must be non-empty");
+  }
+  {
+    std::unordered_set<ElementId> seen;
+    for (ElementId e : items) {
+      if (!seen.insert(e).second) {
+        return Status::InvalidArgument("duplicate element id in input");
+      }
+    }
+  }
+  if (options.budget < static_cast<int64_t>(items.size()) - 1) {
+    return Status::InvalidArgument("budget must be >= |items| - 1");
+  }
+  if (options.k_factor <= 0.0) {
+    return Status::InvalidArgument("k_factor must be positive");
+  }
+  if (options.exploration < 0.0) {
+    return Status::InvalidArgument("exploration must be >= 0");
+  }
+
+  const size_t n = items.size();
+  const int64_t before = comparator->num_comparisons();
+  MaxFindResult result;
+  if (n == 1) {
+    result.best = items[0];
+    return result;
+  }
+
+  Rng rng(options.seed);
+  // Random initial order so ids do not bias early pairings.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  std::vector<double> rating(n, 0.0);
+  std::vector<int64_t> plays(n, 0);
+
+  // Warm-up: one pass of adjacent pairings in the shuffled order gives
+  // every element at least one game.
+  int64_t spent = 0;
+  for (size_t i = 0; i + 1 < n && spent < options.budget; i += 2) {
+    const size_t a = order[i];
+    const size_t b = order[i + 1];
+    const ElementId winner = comparator->Compare(items[a], items[b]);
+    ++spent;
+    const size_t w = winner == items[a] ? a : b;
+    const size_t l = w == a ? b : a;
+    const double expected = EloExpectation(rating[w], rating[l]);
+    rating[w] += options.k_factor * (1.0 - expected);
+    rating[l] -= options.k_factor * (1.0 - expected);
+    ++plays[w];
+    ++plays[l];
+  }
+
+  // Main loop: leader vs the best optimistic challenger.
+  while (spent < options.budget) {
+    const double t = static_cast<double>(spent + 2);
+    size_t leader = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (rating[i] > rating[leader] ||
+          (rating[i] == rating[leader] && plays[i] < plays[leader])) {
+        leader = i;
+      }
+    }
+    size_t challenger = leader == 0 ? 1 : 0;
+    double best_score = -1e300;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == leader) continue;
+      const double bonus =
+          options.exploration *
+          std::sqrt(std::log(t) / static_cast<double>(plays[i] + 1));
+      const double score = rating[i] + bonus;
+      if (score > best_score) {
+        best_score = score;
+        challenger = i;
+      }
+    }
+
+    const ElementId winner =
+        comparator->Compare(items[leader], items[challenger]);
+    ++spent;
+    const size_t w = winner == items[leader] ? leader : challenger;
+    const size_t l = w == leader ? challenger : leader;
+    const double expected = EloExpectation(rating[w], rating[l]);
+    rating[w] += options.k_factor * (1.0 - expected);
+    rating[l] -= options.k_factor * (1.0 - expected);
+    ++plays[w];
+    ++plays[l];
+  }
+
+  size_t best = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (rating[i] > rating[best]) best = i;
+  }
+  result.best = items[best];
+  result.rounds = spent;
+  result.issued_comparisons = spent;
+  result.paid_comparisons = comparator->num_comparisons() - before;
+  return result;
+}
+
+}  // namespace crowdmax

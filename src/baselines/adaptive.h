@@ -1,0 +1,52 @@
+// Adaptive (dynamic) max discovery baseline after Guo et al., "So who
+// won?: dynamic max discovery with the crowd" (SIGMOD 2012), from the
+// paper's related work: instead of a fixed comparison schedule, choose each
+// next comparison based on everything observed so far, under a fixed query
+// budget.
+//
+// This implementation keeps a Bradley-Terry-style rating per element
+// (updated with Elo increments) and repeatedly pits the current leader
+// against the most promising challenger by optimistic score (rating plus
+// an exploration bonus shrinking with plays — the UCB principle). Under
+// the purely probabilistic error model this focuses the budget on the
+// contenders; under the threshold model it hits the same wall as every
+// naive-only scheme, which is the paper's point.
+
+#ifndef CROWDMAX_BASELINES_ADAPTIVE_H_
+#define CROWDMAX_BASELINES_ADAPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/comparator.h"
+#include "core/instance.h"
+#include "core/maxfind.h"
+
+namespace crowdmax {
+
+/// Options for the adaptive max-discovery baseline.
+struct AdaptiveMaxOptions {
+  /// Total comparisons to spend. Must be >= |items| - 1 (every element
+  /// needs a chance to be compared at least once along the way).
+  int64_t budget = 0;
+  /// Elo update step size.
+  double k_factor = 24.0;
+  /// Weight of the exploration bonus (rating points added per unit of
+  /// sqrt(ln(t) / plays)); 0 disables exploration.
+  double exploration = 120.0;
+  /// Seed for initial shuffling / tie-breaking.
+  uint64_t seed = 1;
+};
+
+/// Runs the adaptive rating-based max discovery and returns the
+/// highest-rated element once the budget is spent. Result.rounds reports
+/// the number of comparisons issued (every query is its own "round" — the
+/// algorithm is fully sequential, which is its latency cost).
+Result<MaxFindResult> AdaptiveEloMax(const std::vector<ElementId>& items,
+                                     Comparator* comparator,
+                                     const AdaptiveMaxOptions& options);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_BASELINES_ADAPTIVE_H_

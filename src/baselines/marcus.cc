@@ -1,0 +1,61 @@
+#include "baselines/marcus.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "core/tournament.h"
+
+namespace crowdmax {
+
+Result<MaxFindResult> MarcusTournamentMax(const std::vector<ElementId>& items,
+                                          Comparator* comparator,
+                                          const MarcusOptions& options) {
+  CROWDMAX_CHECK(comparator != nullptr);
+  if (items.empty()) {
+    return Status::InvalidArgument("input set must be non-empty");
+  }
+  if (options.group_size < 2) {
+    return Status::InvalidArgument("group_size must be >= 2");
+  }
+  {
+    std::unordered_set<ElementId> seen;
+    for (ElementId e : items) {
+      if (!seen.insert(e).second) {
+        return Status::InvalidArgument("duplicate element id in input");
+      }
+    }
+  }
+
+  const int64_t before = comparator->num_comparisons();
+  MaxFindResult result;
+  std::vector<ElementId> current = items;
+
+  while (current.size() > 1) {
+    ++result.rounds;
+    std::vector<ElementId> winners;
+    winners.reserve(current.size() / static_cast<size_t>(options.group_size) +
+                    1);
+    for (size_t start = 0; start < current.size();
+         start += static_cast<size_t>(options.group_size)) {
+      const size_t end = std::min(
+          current.size(), start + static_cast<size_t>(options.group_size));
+      std::vector<ElementId> group(current.begin() + start,
+                                   current.begin() + end);
+      if (group.size() == 1) {
+        winners.push_back(group[0]);  // Bye.
+        continue;
+      }
+      const TournamentResult tournament = AllPlayAll(group, comparator);
+      result.issued_comparisons += tournament.comparisons;
+      winners.push_back(group[IndexOfMostWins(tournament)]);
+    }
+    current = std::move(winners);
+  }
+
+  result.best = current[0];
+  result.paid_comparisons = comparator->num_comparisons() - before;
+  return result;
+}
+
+}  // namespace crowdmax

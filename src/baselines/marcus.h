@@ -1,0 +1,37 @@
+// Recursive-tournament max baseline after Marcus et al., "Human-powered
+// sorts and joins" (VLDB 2011), discussed in the paper's related work:
+// split the input into non-overlapping equal-size groups, determine each
+// group's winner with human comparisons, and recurse on the winners until
+// one element remains. The paper notes no accuracy/running-time guarantee
+// is given for this scheme under imprecise comparisons.
+
+#ifndef CROWDMAX_BASELINES_MARCUS_H_
+#define CROWDMAX_BASELINES_MARCUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/comparator.h"
+#include "core/instance.h"
+#include "core/maxfind.h"
+
+namespace crowdmax {
+
+/// Options for the Marcus-style recursive tournament.
+struct MarcusOptions {
+  /// Elements per group at every level; the group winner is the element
+  /// with the most wins in the group's all-play-all tournament. Must be
+  /// >= 2.
+  int64_t group_size = 5;
+};
+
+/// Runs the recursive tournament over `items` (distinct ids, non-empty).
+/// Result.rounds is the number of tournament levels played.
+Result<MaxFindResult> MarcusTournamentMax(const std::vector<ElementId>& items,
+                                          Comparator* comparator,
+                                          const MarcusOptions& options = {});
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_BASELINES_MARCUS_H_

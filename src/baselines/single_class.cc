@@ -1,0 +1,36 @@
+#include "baselines/single_class.h"
+
+namespace crowdmax {
+
+namespace {
+
+Result<SingleClassResult> RunSingleClass(const std::vector<ElementId>& items,
+                                         Comparator* comparator,
+                                         const TwoMaxFindOptions& options,
+                                         WorkerClass billed_to) {
+  Result<MaxFindResult> run = TwoMaxFind(items, comparator, options);
+  if (!run.ok()) return run.status();
+  SingleClassResult result;
+  result.best = run->best;
+  result.billed_to = billed_to;
+  result.paid_comparisons = run->paid_comparisons;
+  result.issued_comparisons = run->issued_comparisons;
+  result.rounds = run->rounds;
+  return result;
+}
+
+}  // namespace
+
+Result<SingleClassResult> TwoMaxFindNaiveOnly(
+    const std::vector<ElementId>& items, Comparator* naive,
+    const TwoMaxFindOptions& options) {
+  return RunSingleClass(items, naive, options, WorkerClass::kNaive);
+}
+
+Result<SingleClassResult> TwoMaxFindExpertOnly(
+    const std::vector<ElementId>& items, Comparator* expert,
+    const TwoMaxFindOptions& options) {
+  return RunSingleClass(items, expert, options, WorkerClass::kExpert);
+}
+
+}  // namespace crowdmax

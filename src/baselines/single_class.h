@@ -1,0 +1,56 @@
+// Single-worker-class baselines (Section 5.1).
+//
+// The paper compares Algorithm 1 against 2-MaxFind run with only one worker
+// class: "2-MaxFind-naive" (cheap but inaccurate once u_n grows) and
+// "2-MaxFind-expert" (accurate but pays expert prices for all Theta(n^{3/2})
+// comparisons). These are thin, documented wrappers over the phase-2
+// solvers with per-class cost reporting.
+
+#ifndef CROWDMAX_BASELINES_SINGLE_CLASS_H_
+#define CROWDMAX_BASELINES_SINGLE_CLASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/comparator.h"
+#include "core/cost.h"
+#include "core/instance.h"
+#include "core/maxfind.h"
+
+namespace crowdmax {
+
+/// Which worker class a single-class run bills its comparisons to.
+enum class WorkerClass { kNaive, kExpert };
+
+/// Outcome of a single-class baseline run.
+struct SingleClassResult {
+  ElementId best = -1;
+  WorkerClass billed_to = WorkerClass::kNaive;
+  int64_t paid_comparisons = 0;
+  int64_t issued_comparisons = 0;
+  int64_t rounds = 0;
+
+  /// Monetary cost under `model`, billed to the configured class.
+  double CostUnder(const CostModel& model) const {
+    return billed_to == WorkerClass::kNaive
+               ? model.Cost(paid_comparisons, 0)
+               : model.Cost(0, paid_comparisons);
+  }
+};
+
+/// 2-MaxFind-naive: Algorithm 3 run entirely with naive workers. Its
+/// output can be up to 2*delta_n from the maximum — poor when u_n is large.
+Result<SingleClassResult> TwoMaxFindNaiveOnly(
+    const std::vector<ElementId>& items, Comparator* naive,
+    const TwoMaxFindOptions& options = {});
+
+/// 2-MaxFind-expert: Algorithm 3 run entirely with experts. Accuracy
+/// matches Algorithm 1 but every comparison is billed at expert prices.
+Result<SingleClassResult> TwoMaxFindExpertOnly(
+    const std::vector<ElementId>& items, Comparator* expert,
+    const TwoMaxFindOptions& options = {});
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_BASELINES_SINGLE_CLASS_H_

@@ -1,0 +1,169 @@
+#include "baselines/venetis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+namespace crowdmax {
+
+namespace {
+
+// Number of single-elimination rounds for n elements (byes advance free).
+int64_t LadderRounds(int64_t n) {
+  int64_t rounds = 0;
+  while (n > 1) {
+    n = (n + 1) / 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+// Matches played in round r (0-based) of a ladder starting from n.
+int64_t MatchesInRound(int64_t n, int64_t round) {
+  for (int64_t r = 0; r < round; ++r) n = (n + 1) / 2;
+  return n / 2;
+}
+
+}  // namespace
+
+Result<MaxFindResult> VenetisLadderMax(const std::vector<ElementId>& items,
+                                       Comparator* comparator,
+                                       const VenetisOptions& options) {
+  CROWDMAX_CHECK(comparator != nullptr);
+  if (items.empty()) {
+    return Status::InvalidArgument("input set must be non-empty");
+  }
+  if (options.votes_schedule.empty()) {
+    if (options.votes_per_match < 1 || options.votes_per_match % 2 == 0) {
+      return Status::InvalidArgument("votes_per_match must be odd and >= 1");
+    }
+  } else {
+    for (int64_t votes : options.votes_schedule) {
+      if (votes < 1 || votes % 2 == 0) {
+        return Status::InvalidArgument(
+            "votes_schedule entries must be odd and >= 1");
+      }
+    }
+  }
+  {
+    std::unordered_set<ElementId> seen;
+    for (ElementId e : items) {
+      if (!seen.insert(e).second) {
+        return Status::InvalidArgument("duplicate element id in input");
+      }
+    }
+  }
+
+  auto votes_for_round = [&](int64_t round) {
+    if (options.votes_schedule.empty()) return options.votes_per_match;
+    const size_t index = std::min(static_cast<size_t>(round),
+                                  options.votes_schedule.size() - 1);
+    return options.votes_schedule[index];
+  };
+
+  const int64_t before = comparator->num_comparisons();
+  MaxFindResult result;
+  std::vector<ElementId> current = items;
+
+  while (current.size() > 1) {
+    const int64_t votes = votes_for_round(result.rounds);
+    ++result.rounds;
+    std::vector<ElementId> winners;
+    winners.reserve(current.size() / 2 + 1);
+    size_t i = 0;
+    for (; i + 1 < current.size(); i += 2) {
+      const ElementId a = current[i];
+      const ElementId b = current[i + 1];
+      int64_t wins_a = 0;
+      for (int64_t v = 0; v < votes; ++v) {
+        const ElementId winner = comparator->Compare(a, b);
+        CROWDMAX_DCHECK(winner == a || winner == b);
+        ++result.issued_comparisons;
+        if (winner == a) ++wins_a;
+      }
+      winners.push_back(2 * wins_a > votes ? a : b);
+    }
+    if (i < current.size()) winners.push_back(current[i]);  // Bye.
+    current = std::move(winners);
+  }
+
+  result.best = current[0];
+  result.paid_comparisons = comparator->num_comparisons() - before;
+  return result;
+}
+
+double MajorityErrorProbability(int64_t k, double p) {
+  CROWDMAX_CHECK(k >= 1 && k % 2 == 1);
+  CROWDMAX_CHECK(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  // Sum the binomial tail j = (k+1)/2 .. k iteratively; exact for the
+  // vote counts in play (k <= a few hundred).
+  double error = 0.0;
+  // C(k, j) * p^j * q^(k-j), starting at j = k and walking down.
+  const double q = 1.0 - p;
+  double term = std::pow(p, static_cast<double>(k));  // j = k.
+  error += term;
+  for (int64_t j = k - 1; j >= (k + 1) / 2; --j) {
+    // term(j) = term(j+1) * C(k,j)/C(k,j+1) * q/p = term(j+1)*(j+1)/(k-j)*q/p.
+    term *= static_cast<double>(j + 1) / static_cast<double>(k - j) * q / p;
+    error += term;
+  }
+  return std::min(1.0, error);
+}
+
+Result<VenetisTuning> TuneVenetisSchedule(int64_t n, int64_t budget,
+                                          double per_vote_error) {
+  if (n < 2) return Status::InvalidArgument("n must be >= 2");
+  if (per_vote_error < 0.0 || per_vote_error >= 0.5) {
+    return Status::InvalidArgument("per_vote_error must be in [0, 0.5)");
+  }
+  const int64_t rounds = LadderRounds(n);
+  if (budget < n - 1) {
+    return Status::InvalidArgument(
+        "budget must cover at least one vote per match (n - 1)");
+  }
+
+  VenetisTuning tuning;
+  tuning.schedule.assign(static_cast<size_t>(rounds), 1);
+  tuning.total_votes = n - 1;  // One vote per match across all rounds.
+
+  // Greedy: add 2 votes to the round with the highest survival gain per
+  // additional vote, until no upgrade fits the budget. The maximum plays
+  // exactly one match per round, so survival = prod_r (1 - err(k_r)).
+  // Upgrading round r costs 2 * MatchesInRound(r) votes.
+  while (true) {
+    double best_gain_per_vote = 0.0;
+    int64_t best_round = -1;
+    for (int64_t r = 0; r < rounds; ++r) {
+      const int64_t cost = 2 * MatchesInRound(n, r);
+      if (tuning.total_votes + cost > budget) continue;
+      const int64_t k = tuning.schedule[static_cast<size_t>(r)];
+      const double before = 1.0 - MajorityErrorProbability(k, per_vote_error);
+      const double after =
+          1.0 - MajorityErrorProbability(k + 2, per_vote_error);
+      if (before <= 0.0) continue;
+      // Multiplicative survival gain per vote spent.
+      const double gain =
+          (std::log(after) - std::log(before)) / static_cast<double>(cost);
+      if (gain > best_gain_per_vote) {
+        best_gain_per_vote = gain;
+        best_round = r;
+      }
+    }
+    if (best_round < 0) break;
+    tuning.schedule[static_cast<size_t>(best_round)] += 2;
+    tuning.total_votes += 2 * MatchesInRound(n, best_round);
+  }
+
+  tuning.predicted_max_survival = 1.0;
+  for (int64_t r = 0; r < rounds; ++r) {
+    tuning.predicted_max_survival *=
+        1.0 - MajorityErrorProbability(tuning.schedule[static_cast<size_t>(r)],
+                                       per_vote_error);
+  }
+  return tuning;
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,74 @@
+// Replicated-tournament max baseline after Venetis et al., "Max algorithms
+// in crowdsourcing environments" (WWW 2012), discussed in the paper's
+// related work: a static single-elimination ladder where every pairwise
+// match is decided by the majority of r independent worker votes. Under the
+// purely probabilistic error model replication drives per-match error down
+// exponentially; under the threshold model it cannot (the motivation for
+// experts).
+
+#ifndef CROWDMAX_BASELINES_VENETIS_H_
+#define CROWDMAX_BASELINES_VENETIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/comparator.h"
+#include "core/instance.h"
+#include "core/maxfind.h"
+
+namespace crowdmax {
+
+/// Options for the replicated ladder.
+struct VenetisOptions {
+  /// Independent votes per match; the match winner takes the majority.
+  /// Must be odd and >= 1 so every match is decided. Ignored when
+  /// `votes_schedule` is non-empty.
+  int64_t votes_per_match = 3;
+
+  /// Per-round vote counts (entry r for ladder round r, 0-based); the last
+  /// entry repeats for deeper rounds. Every entry must be odd and >= 1.
+  /// Venetis et al. tune exactly this kind of schedule to a budget (they
+  /// use simulated annealing; TuneVenetisSchedule below uses an exact
+  /// greedy allocation).
+  std::vector<int64_t> votes_schedule;
+};
+
+/// Runs the static ladder over `items` (distinct ids, non-empty): pair up
+/// survivors, decide each match by majority of votes_per_match comparator
+/// queries, advance winners (odd element out gets a bye), repeat until one
+/// remains. Every vote is a paid comparison. Result.rounds is the number of
+/// ladder levels.
+Result<MaxFindResult> VenetisLadderMax(const std::vector<ElementId>& items,
+                                       Comparator* comparator,
+                                       const VenetisOptions& options = {});
+
+/// P(majority of k independent votes is wrong) when each vote is wrong
+/// with probability p — the binomial tail sum_{j > k/2} C(k,j) p^j
+/// (1-p)^{k-j}. Requires odd k >= 1 and p in [0, 1].
+double MajorityErrorProbability(int64_t k, double p);
+
+/// A tuned per-round vote schedule for the ladder.
+struct VenetisTuning {
+  /// Odd vote counts per ladder round (round 0 = first, n/2 matches).
+  std::vector<int64_t> schedule;
+  /// Predicted probability the true maximum survives every round, under
+  /// the constant per-vote error model.
+  double predicted_max_survival = 0.0;
+  /// Total votes the schedule spends on a full ladder over n elements.
+  int64_t total_votes = 0;
+};
+
+/// Allocates a vote budget across ladder rounds to maximize the predicted
+/// survival probability of the maximum, assuming every vote errs
+/// independently with probability `per_vote_error` (the purely
+/// probabilistic model in which replication tuning makes sense). Greedy
+/// exact marginal allocation: repeatedly add 2 votes to the round with the
+/// best survival gain per vote, while the budget allows. Requires n >= 2,
+/// budget >= n - 1 (one vote per match) and per_vote_error in [0, 0.5).
+Result<VenetisTuning> TuneVenetisSchedule(int64_t n, int64_t budget,
+                                          double per_vote_error);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_BASELINES_VENETIS_H_

@@ -1,0 +1,32 @@
+// Assertion macros for internal invariants.
+//
+// CROWDMAX_CHECK aborts on violation in all build modes and is reserved for
+// conditions whose violation would make continuing meaningless (corrupted
+// internal state). CROWDMAX_DCHECK compiles away in NDEBUG builds and guards
+// programmer errors on internal (non-public) paths. Public APIs report user
+// errors through Status/Result instead of asserting.
+
+#ifndef CROWDMAX_COMMON_CHECK_H_
+#define CROWDMAX_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CROWDMAX_CHECK(condition)                                           \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define CROWDMAX_DCHECK(condition) \
+  do {                             \
+  } while (false)
+#else
+#define CROWDMAX_DCHECK(condition) CROWDMAX_CHECK(condition)
+#endif
+
+#endif  // CROWDMAX_COMMON_CHECK_H_

@@ -1,0 +1,44 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports "--name=value" and "--name value". Unknown flags are reported via
+// Status so typos do not silently alter an experiment.
+
+#ifndef CROWDMAX_COMMON_FLAGS_H_
+#define CROWDMAX_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace crowdmax {
+
+/// Parses flags of the form --name=value / --name value and exposes typed
+/// accessors with defaults.
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  /// Parses `argv`. Returns InvalidArgument on a malformed or duplicate
+  /// flag; positional arguments are not supported and are rejected.
+  Status Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed accessors; return `default_value` when the flag is absent. A
+  /// present-but-unparsable value returns `default_value` as well, after
+  /// Parse() has already rejected clearly malformed input.
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_COMMON_FLAGS_H_

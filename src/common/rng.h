@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components in crowdmax take an explicit seed and draw from
+// an Rng instance; there is no global RNG state. The generator is
+// xoshiro256**, seeded through SplitMix64, so results are identical across
+// platforms and standard-library implementations (std::mt19937 would also be
+// portable, but std::uniform_int_distribution is not).
+
+#ifndef CROWDMAX_COMMON_RNG_H_
+#define CROWDMAX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace crowdmax {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and for deriving independent child seeds.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** generator with convenience sampling helpers.
+///
+/// Not thread-safe; use one Rng per thread or per simulation.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from `seed`.
+  explicit Rng(uint64_t seed);
+
+  /// Returns the next raw 64-bit output.
+  uint64_t Next();
+
+  /// Returns an integer uniform in [0, bound). `bound` must be positive.
+  /// Uses rejection sampling, so the distribution is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns an integer uniform in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Returns a double uniform in [0, 1).
+  double NextDouble();
+
+  /// Returns a double uniform in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Derives a new seed suitable for an independent child Rng. Successive
+  /// calls yield distinct seeds.
+  uint64_t Fork();
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    CROWDMAX_DCHECK(items != nullptr);
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in random order.
+  /// Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  uint64_t fork_state_;
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_COMMON_RNG_H_

@@ -1,0 +1,132 @@
+// Exception-free error handling, in the style of RocksDB/Arrow.
+//
+// Public crowdmax APIs that can fail return Status (for actions) or
+// Result<T> (for producers). Both are cheap to move; an OK Status carries no
+// allocation.
+
+#ifndef CROWDMAX_COMMON_STATUS_H_
+#define CROWDMAX_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+
+namespace crowdmax {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a short human-readable name ("InvalidArgument", ...) for `code`.
+std::string_view StatusCodeName(StatusCode code);
+
+/// Outcome of an operation: an OK marker or an error code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status& other) = default;
+  Status& operator=(const Status& other) = default;
+  Status(Status&& other) = default;
+  Status& operator=(Status&& other) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or the Status explaining why it could not be produced.
+///
+/// Usage:
+///   Result<Candidates> r = FilterPhase(...);
+///   if (!r.ok()) return r.status();
+///   Candidates c = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    CROWDMAX_CHECK(!status_.ok());
+  }
+
+  Result(const Result& other) = default;
+  Result& operator=(const Result& other) = default;
+  Result(Result&& other) = default;
+  Result& operator=(Result&& other) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CROWDMAX_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    CROWDMAX_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CROWDMAX_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const {
+    CROWDMAX_CHECK(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    CROWDMAX_CHECK(ok());
+    return &*value_;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_COMMON_STATUS_H_

@@ -1,0 +1,92 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+namespace crowdmax {
+
+namespace {
+
+bool NeedsCsvQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string CsvEscape(const std::string& cell) {
+  if (!NeedsCsvQuoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  size_t num_cols = headers_.size();
+  for (const auto& row : rows_) num_cols = std::max(num_cols, row.size());
+
+  std::vector<size_t> widths(num_cols, 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = std::max(widths[c], headers_[c].size());
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell;
+      if (c + 1 < num_cols) {
+        out << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  size_t rule_len = 0;
+  for (size_t c = 0; c < num_cols; ++c) rule_len += widths[c] + 2;
+  out << std::string(rule_len > 2 ? rule_len - 2 : rule_len, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << CsvEscape(row[c]);
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatInt(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,50 @@
+// Plain-text table rendering for bench harnesses.
+//
+// Bench binaries print the same rows/series the paper's tables and figures
+// report. TablePrinter renders a column-aligned view for humans and a CSV
+// view for plotting.
+
+#ifndef CROWDMAX_COMMON_TABLE_H_
+#define CROWDMAX_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crowdmax {
+
+/// Collects rows of string cells and renders them aligned or as CSV.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing trailing cells render empty, extra cells are
+  /// kept and widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Writes a column-aligned rendering (header, rule, rows) to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Writes an RFC-4180-ish CSV rendering (quotes cells containing commas,
+  /// quotes or newlines) to `out`.
+  void PrintCsv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Formats an integer count (no separators, base 10).
+std::string FormatInt(int64_t value);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_COMMON_TABLE_H_

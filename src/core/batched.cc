@@ -1,0 +1,340 @@
+#include "core/batched.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace crowdmax {
+
+namespace {
+
+uint64_t PairKey(ElementId a, ElementId b) {
+  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
+  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Status ValidateDistinct(const std::vector<ElementId>& items) {
+  std::unordered_set<ElementId> seen;
+  for (ElementId e : items) {
+    if (!seen.insert(e).second) {
+      return Status::InvalidArgument("duplicate element id in input");
+    }
+  }
+  return Status::OK();
+}
+
+// Resolves a set of pair queries through the cache, batching only the
+// misses; fills `cache` with the new answers. Returns the number of
+// queries answered from cache.
+int64_t ResolveThroughCache(const std::vector<ComparisonPair>& queries,
+                            BatchExecutor* executor,
+                            std::unordered_map<uint64_t, ElementId>* cache) {
+  std::vector<ComparisonPair> misses;
+  misses.reserve(queries.size());
+  for (const ComparisonPair& q : queries) {
+    if (cache->find(PairKey(q.first, q.second)) == cache->end()) {
+      misses.push_back(q);
+      // Reserve the slot so duplicate queries within one batch are sent
+      // once; overwritten with the real winner below.
+      (*cache)[PairKey(q.first, q.second)] = -1;
+    }
+  }
+  const std::vector<ElementId> winners = executor->ExecuteBatch(misses);
+  CROWDMAX_CHECK(winners.size() == misses.size());
+  for (size_t i = 0; i < misses.size(); ++i) {
+    CROWDMAX_DCHECK(winners[i] == misses[i].first ||
+                    winners[i] == misses[i].second);
+    (*cache)[PairKey(misses[i].first, misses[i].second)] = winners[i];
+  }
+  return static_cast<int64_t>(queries.size() - misses.size());
+}
+
+ElementId CachedWinner(const std::unordered_map<uint64_t, ElementId>& cache,
+                       ElementId a, ElementId b) {
+  auto it = cache.find(PairKey(a, b));
+  CROWDMAX_CHECK(it != cache.end() && it->second != -1);
+  return it->second;
+}
+
+}  // namespace
+
+std::vector<ElementId> BatchExecutor::ExecuteBatch(
+    const std::vector<ComparisonPair>& tasks) {
+  if (tasks.empty()) return {};
+  ++logical_steps_;
+  comparisons_ += static_cast<int64_t>(tasks.size());
+  return DoExecuteBatch(tasks);
+}
+
+ComparatorBatchExecutor::ComparatorBatchExecutor(Comparator* comparator)
+    : comparator_(comparator) {
+  CROWDMAX_CHECK(comparator != nullptr);
+}
+
+std::vector<ElementId> ComparatorBatchExecutor::DoExecuteBatch(
+    const std::vector<ComparisonPair>& tasks) {
+  std::vector<ElementId> winners;
+  winners.reserve(tasks.size());
+  for (const ComparisonPair& task : tasks) {
+    winners.push_back(comparator_->Compare(task.first, task.second));
+  }
+  return winners;
+}
+
+TournamentResult BatchedAllPlayAll(const std::vector<ElementId>& elements,
+                                   BatchExecutor* executor) {
+  CROWDMAX_CHECK(executor != nullptr);
+  const size_t k = elements.size();
+  std::vector<ComparisonPair> tasks;
+  tasks.reserve(k * (k > 0 ? k - 1 : 0) / 2);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      tasks.push_back({elements[i], elements[j]});
+    }
+  }
+  const std::vector<ElementId> winners = executor->ExecuteBatch(tasks);
+  CROWDMAX_CHECK(winners.size() == tasks.size());
+
+  TournamentResult result;
+  result.wins.assign(k, 0);
+  result.comparisons = static_cast<int64_t>(tasks.size());
+  size_t t = 0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j, ++t) {
+      CROWDMAX_DCHECK(winners[t] == elements[i] || winners[t] == elements[j]);
+      ++result.wins[winners[t] == elements[i] ? i : j];
+    }
+  }
+  return result;
+}
+
+Result<BatchedFilterResult> BatchedFilterCandidates(
+    const std::vector<ElementId>& items, const FilterOptions& options,
+    BatchExecutor* executor) {
+  CROWDMAX_CHECK(executor != nullptr);
+  if (options.u_n < 1) return Status::InvalidArgument("u_n must be >= 1");
+  if (options.group_size_multiplier < 2) {
+    return Status::InvalidArgument("group_size_multiplier must be >= 2");
+  }
+  if (options.max_comparisons < 0) {
+    return Status::InvalidArgument("max_comparisons must be >= 0");
+  }
+  if (Status status = ValidateDistinct(items); !status.ok()) return status;
+
+  const int64_t u_n = options.u_n;
+  const int64_t g = options.group_size_multiplier * u_n;
+  const int64_t steps_before = executor->logical_steps();
+  const int64_t comparisons_before = executor->comparisons();
+
+  BatchedFilterResult out;
+  std::vector<ElementId> current = items;
+  std::unordered_map<uint64_t, ElementId> cache;
+  std::unordered_map<ElementId, std::unordered_set<ElementId>> losses;
+
+  while (static_cast<int64_t>(current.size()) >= 2 * u_n) {
+    // Budget check at the round boundary, mirroring FilterCandidates.
+    if (options.max_comparisons > 0) {
+      const int64_t n_cur = static_cast<int64_t>(current.size());
+      int64_t round_cost = 0;
+      for (int64_t start = 0; start < n_cur; start += g) {
+        const int64_t m = std::min(g, n_cur - start);
+        if (m > u_n) round_cost += m * (m - 1) / 2;
+      }
+      const int64_t paid_so_far =
+          executor->comparisons() - comparisons_before;
+      if (paid_so_far + round_cost > options.max_comparisons) {
+        out.filter.stopped_by_budget = true;
+        break;
+      }
+    }
+
+    out.filter.round_sizes.push_back(static_cast<int64_t>(current.size()));
+    ++out.filter.rounds;
+    if (!options.memoize) cache.clear();
+
+    // Gather this round's group tournaments into one batch. Groups are
+    // disjoint, so every pair appears at most once per round.
+    const int64_t n_cur = static_cast<int64_t>(current.size());
+    std::vector<ComparisonPair> queries;
+    for (int64_t start = 0; start < n_cur; start += g) {
+      const int64_t m = std::min(g, n_cur - start);
+      if (m <= u_n) continue;  // Short tail group advances untouched.
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = i + 1; j < m; ++j) {
+          queries.push_back({current[start + i], current[start + j]});
+        }
+      }
+    }
+    out.filter.issued_comparisons += static_cast<int64_t>(queries.size());
+    ResolveThroughCache(queries, executor, &cache);
+
+    // Tally wins per group from the cache and select survivors.
+    std::vector<ElementId> next;
+    next.reserve(current.size() / 2 + 1);
+    for (int64_t start = 0; start < n_cur; start += g) {
+      const int64_t m = std::min(g, n_cur - start);
+      if (m <= u_n) {
+        for (int64_t i = 0; i < m; ++i) next.push_back(current[start + i]);
+        continue;
+      }
+      std::vector<int64_t> wins(m, 0);
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = i + 1; j < m; ++j) {
+          const ElementId a = current[start + i];
+          const ElementId b = current[start + j];
+          const ElementId winner = CachedWinner(cache, a, b);
+          ++wins[winner == a ? i : j];
+          if (options.global_loss_counter) {
+            losses[winner == a ? b : a].insert(winner);
+          }
+        }
+      }
+      const int64_t keep_threshold = m - u_n;
+      for (int64_t i = 0; i < m; ++i) {
+        if (wins[i] >= keep_threshold) next.push_back(current[start + i]);
+      }
+    }
+
+    if (options.global_loss_counter) {
+      auto cannot_be_max = [&](ElementId e) {
+        auto it = losses.find(e);
+        return it != losses.end() &&
+               static_cast<int64_t>(it->second.size()) > u_n;
+      };
+      const size_t before = next.size();
+      next.erase(std::remove_if(next.begin(), next.end(), cannot_be_max),
+                 next.end());
+      out.filter.evicted_by_loss_counter +=
+          static_cast<int64_t>(before - next.size());
+    }
+
+    if (next.empty()) {
+      out.filter.hit_empty_round = true;
+      break;
+    }
+    CROWDMAX_CHECK(next.size() < current.size());
+    current = std::move(next);
+  }
+
+  out.filter.candidates = std::move(current);
+  out.filter.paid_comparisons = executor->comparisons() - comparisons_before;
+  out.logical_steps = executor->logical_steps() - steps_before;
+  return out;
+}
+
+Result<BatchedMaxFindResult> BatchedTwoMaxFind(
+    const std::vector<ElementId>& items, BatchExecutor* executor) {
+  CROWDMAX_CHECK(executor != nullptr);
+  if (items.empty()) {
+    return Status::InvalidArgument("candidate set must be non-empty");
+  }
+  if (Status status = ValidateDistinct(items); !status.ok()) return status;
+
+  const int64_t steps_before = executor->logical_steps();
+  const int64_t comparisons_before = executor->comparisons();
+  const int64_t s = static_cast<int64_t>(items.size());
+  int64_t k = static_cast<int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(s))));
+  while (k * k < s) ++k;
+  while (k > 1 && (k - 1) * (k - 1) >= s) --k;
+
+  BatchedMaxFindResult out;
+  std::vector<ElementId> candidates = items;
+  std::unordered_map<uint64_t, ElementId> cache;
+  const int64_t max_rounds = 4 * s + 16;
+
+  auto cached_tournament = [&](const std::vector<ElementId>& group) {
+    std::vector<ComparisonPair> queries;
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        queries.push_back({group[i], group[j]});
+      }
+    }
+    out.maxfind.issued_comparisons += static_cast<int64_t>(queries.size());
+    ResolveThroughCache(queries, executor, &cache);
+    TournamentResult tournament;
+    tournament.wins.assign(group.size(), 0);
+    tournament.comparisons = static_cast<int64_t>(queries.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        const ElementId winner = CachedWinner(cache, group[i], group[j]);
+        ++tournament.wins[winner == group[i] ? i : j];
+      }
+    }
+    return tournament;
+  };
+
+  while (static_cast<int64_t>(candidates.size()) > k) {
+    if (out.maxfind.rounds >= max_rounds) {
+      return Status::Internal(
+          "batched 2-MaxFind exceeded its round budget; executor answers "
+          "are inconsistent");
+    }
+    ++out.maxfind.rounds;
+
+    std::vector<ElementId> sample(candidates.begin(), candidates.begin() + k);
+    const TournamentResult tournament = cached_tournament(sample);
+    const ElementId x = sample[IndexOfMostWins(tournament)];
+
+    // Elimination scan, pivot first, as one batch of cache misses.
+    std::vector<ComparisonPair> scan;
+    scan.reserve(candidates.size());
+    for (ElementId y : candidates) {
+      if (y != x) scan.push_back({x, y});
+    }
+    out.maxfind.issued_comparisons += static_cast<int64_t>(scan.size());
+    ResolveThroughCache(scan, executor, &cache);
+
+    std::vector<ElementId> survivors;
+    survivors.reserve(candidates.size());
+    for (ElementId y : candidates) {
+      if (y == x || CachedWinner(cache, x, y) != x) survivors.push_back(y);
+    }
+    candidates = std::move(survivors);
+  }
+
+  const TournamentResult final_round = cached_tournament(candidates);
+  out.maxfind.best = candidates[IndexOfMostWins(final_round)];
+  out.maxfind.paid_comparisons = executor->comparisons() - comparisons_before;
+  out.logical_steps = executor->logical_steps() - steps_before;
+  return out;
+}
+
+Result<BatchedExpertMaxResult> BatchedFindMaxWithExperts(
+    const std::vector<ElementId>& items, BatchExecutor* naive,
+    BatchExecutor* expert, const ExpertMaxOptions& options) {
+  CROWDMAX_CHECK(naive != nullptr);
+  CROWDMAX_CHECK(expert != nullptr);
+  if (items.empty()) {
+    return Status::InvalidArgument("input set must be non-empty");
+  }
+
+  Result<BatchedFilterResult> filtered =
+      BatchedFilterCandidates(items, options.filter, naive);
+  if (!filtered.ok()) return filtered.status();
+
+  BatchedExpertMaxResult out;
+  out.result.candidates = std::move(filtered->filter.candidates);
+  out.result.paid.naive = filtered->filter.paid_comparisons;
+  out.result.issued.naive = filtered->filter.issued_comparisons;
+  out.result.filter_rounds = filtered->filter.rounds;
+  out.naive_steps = filtered->logical_steps;
+  if (out.result.candidates.empty()) {
+    return Status::Internal("phase 1 returned an empty candidate set");
+  }
+
+  Result<BatchedMaxFindResult> phase2 =
+      BatchedTwoMaxFind(out.result.candidates, expert);
+  if (!phase2.ok()) return phase2.status();
+
+  out.result.best = phase2->maxfind.best;
+  out.result.paid.expert = phase2->maxfind.paid_comparisons;
+  out.result.issued.expert = phase2->maxfind.issued_comparisons;
+  out.result.phase2_rounds = phase2->maxfind.rounds;
+  out.expert_steps = phase2->logical_steps;
+  return out;
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,134 @@
+// Logical-step (batched) execution of the paper's algorithms.
+//
+// Section 3: "the algorithms we consider are organized in logical time
+// steps. In the s-th logical step, a batch B_s of pairwise comparisons is
+// sent to the crowdsourcing platform, which, after some time, returns the
+// corresponding answers" — and, following Venetis et al., the number of
+// logical steps is the natural time-complexity measure of a crowdsourcing
+// algorithm (monetary cost is the comparison count; latency is the step
+// count).
+//
+// The sequential algorithms in filter_phase.h / maxfind.h issue one
+// comparison at a time through a Comparator; the Batched* variants here
+// issue every independent comparison of a round as one batch through a
+// BatchExecutor, so their logical-step counts reflect the true round
+// structure: Algorithm 2 runs in O(log n) steps, 2-MaxFind in O(sqrt(s))
+// steps. Results are identical to the sequential versions whenever worker
+// answers are consistent per pair (memoization/persistent ties).
+
+#ifndef CROWDMAX_CORE_BATCHED_H_
+#define CROWDMAX_CORE_BATCHED_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/comparator.h"
+#include "core/expert_max.h"
+#include "core/filter_phase.h"
+#include "core/instance.h"
+#include "core/maxfind.h"
+#include "core/tournament.h"
+
+namespace crowdmax {
+
+/// A pairwise comparison request; `a` and `b` must be distinct elements.
+using ComparisonPair = std::pair<ElementId, ElementId>;
+
+/// Executes batches of independent comparisons, one logical step per
+/// non-empty batch. Implementations: ComparatorBatchExecutor (simulation)
+/// and PlatformBatchExecutor (the crowd-platform adapter in
+/// platform/platform.h).
+class BatchExecutor {
+ public:
+  virtual ~BatchExecutor() = default;
+
+  /// Executes `tasks` in one logical step and returns the winners, aligned
+  /// with the input. An empty batch costs nothing and no step.
+  std::vector<ElementId> ExecuteBatch(const std::vector<ComparisonPair>& tasks);
+
+  /// Logical steps consumed so far.
+  int64_t logical_steps() const { return logical_steps_; }
+
+  /// Comparisons executed so far (cache-free; callers batch only misses).
+  int64_t comparisons() const { return comparisons_; }
+
+  void ResetCounters() {
+    logical_steps_ = 0;
+    comparisons_ = 0;
+  }
+
+ protected:
+  BatchExecutor() = default;
+
+ private:
+  virtual std::vector<ElementId> DoExecuteBatch(
+      const std::vector<ComparisonPair>& tasks) = 0;
+
+  int64_t logical_steps_ = 0;
+  int64_t comparisons_ = 0;
+};
+
+/// Adapts any Comparator to the batch interface: answers are produced
+/// sequentially but accounted as one logical step per batch (a pool of
+/// workers large enough to absorb the batch in parallel). Does not own the
+/// comparator.
+class ComparatorBatchExecutor : public BatchExecutor {
+ public:
+  explicit ComparatorBatchExecutor(Comparator* comparator);
+
+ private:
+  std::vector<ElementId> DoExecuteBatch(
+      const std::vector<ComparisonPair>& tasks) override;
+
+  Comparator* comparator_;
+};
+
+/// One all-play-all tournament as a single batch (one logical step).
+TournamentResult BatchedAllPlayAll(const std::vector<ElementId>& elements,
+                                   BatchExecutor* executor);
+
+/// FilterResult plus the logical steps the run consumed.
+struct BatchedFilterResult {
+  FilterResult filter;
+  int64_t logical_steps = 0;
+};
+
+/// Algorithm 2 with each round's group tournaments issued as one batch:
+/// O(log n) logical steps. Supports the same options as FilterCandidates;
+/// `memoize` keeps a pair cache across rounds so repeated pairs are not
+/// re-sent to the crowd.
+Result<BatchedFilterResult> BatchedFilterCandidates(
+    const std::vector<ElementId>& items, const FilterOptions& options,
+    BatchExecutor* executor);
+
+/// MaxFindResult plus the logical steps the run consumed.
+struct BatchedMaxFindResult {
+  MaxFindResult maxfind;
+  int64_t logical_steps = 0;
+};
+
+/// 2-MaxFind with two batches per round (sample tournament, then the
+/// pivot's elimination scan) and one final batch: O(sqrt(s)) logical
+/// steps. Always memoizes (the paper's assumption), so repeated pairs are
+/// answered from cache without a step.
+Result<BatchedMaxFindResult> BatchedTwoMaxFind(
+    const std::vector<ElementId>& items, BatchExecutor* executor);
+
+/// Two-phase result plus per-class logical steps.
+struct BatchedExpertMaxResult {
+  ExpertMaxResult result;
+  int64_t naive_steps = 0;
+  int64_t expert_steps = 0;
+};
+
+/// Algorithm 1 in batched form: BatchedFilterCandidates with the naive
+/// executor, then BatchedTwoMaxFind with the expert executor.
+Result<BatchedExpertMaxResult> BatchedFindMaxWithExperts(
+    const std::vector<ElementId>& items, BatchExecutor* naive,
+    BatchExecutor* expert, const ExpertMaxOptions& options);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_BATCHED_H_

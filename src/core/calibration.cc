@@ -1,0 +1,121 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace crowdmax {
+
+Result<CalibrationReport> CalibrateWorkers(
+    const Instance& gold, Comparator* worker,
+    const CalibrationOptions& options) {
+  CROWDMAX_CHECK(worker != nullptr);
+  if (gold.size() < 2) {
+    return Status::InvalidArgument("gold instance needs >= 2 elements");
+  }
+  if (options.votes_per_pair < 3 || options.votes_per_pair % 2 == 0) {
+    return Status::InvalidArgument("votes_per_pair must be odd and >= 3");
+  }
+  if (options.num_buckets < 2) {
+    return Status::InvalidArgument("num_buckets must be >= 2");
+  }
+  if (options.pairs_per_bucket < 1) {
+    return Status::InvalidArgument("pairs_per_bucket must be >= 1");
+  }
+  if (options.convergence_accuracy <= 0.5 ||
+      options.convergence_accuracy > 1.0) {
+    return Status::InvalidArgument(
+        "convergence_accuracy must be in (0.5, 1]");
+  }
+
+  // Enumerate pairs in random order and find the distance range.
+  std::vector<std::pair<ElementId, ElementId>> all_pairs;
+  double max_distance = 0.0;
+  for (ElementId a = 0; a < gold.size(); ++a) {
+    for (ElementId b = a + 1; b < gold.size(); ++b) {
+      all_pairs.push_back({a, b});
+      max_distance = std::max(max_distance, gold.Distance(a, b));
+    }
+  }
+  if (max_distance <= 0.0) {
+    return Status::FailedPrecondition("all gold values are identical");
+  }
+  Rng rng(options.seed);
+  rng.Shuffle(&all_pairs);
+
+  CalibrationReport report;
+  const double bucket_width =
+      max_distance / static_cast<double>(options.num_buckets);
+  report.buckets.resize(static_cast<size_t>(options.num_buckets));
+  for (int64_t i = 0; i < options.num_buckets; ++i) {
+    report.buckets[static_cast<size_t>(i)].min_distance =
+        bucket_width * static_cast<double>(i);
+    report.buckets[static_cast<size_t>(i)].max_distance =
+        bucket_width * static_cast<double>(i + 1);
+  }
+
+  // Sample pairs per bucket and collect the vote statistics.
+  std::vector<int64_t> pair_counts(report.buckets.size(), 0);
+  std::vector<int64_t> vote_correct(report.buckets.size(), 0);
+  std::vector<int64_t> vote_total(report.buckets.size(), 0);
+  std::vector<int64_t> majority_correct(report.buckets.size(), 0);
+
+  for (const auto& [a, b] : all_pairs) {
+    const double distance = gold.Distance(a, b);
+    size_t bucket = static_cast<size_t>(
+        std::min<int64_t>(options.num_buckets - 1,
+                          static_cast<int64_t>(distance / bucket_width)));
+    if (pair_counts[bucket] >= options.pairs_per_bucket) continue;
+    ++pair_counts[bucket];
+
+    const ElementId correct = gold.value(a) >= gold.value(b) ? a : b;
+    int64_t wins_correct = 0;
+    for (int64_t v = 0; v < options.votes_per_pair; ++v) {
+      const ElementId answer = worker->Compare(a, b);
+      ++vote_total[bucket];
+      if (answer == correct) {
+        ++vote_correct[bucket];
+        ++wins_correct;
+      }
+    }
+    if (2 * wins_correct > options.votes_per_pair) {
+      ++majority_correct[bucket];
+    }
+  }
+
+  for (size_t i = 0; i < report.buckets.size(); ++i) {
+    CalibrationBucket& bucket = report.buckets[i];
+    bucket.pairs = pair_counts[i];
+    if (vote_total[i] > 0) {
+      bucket.single_vote_accuracy = static_cast<double>(vote_correct[i]) /
+                                    static_cast<double>(vote_total[i]);
+    }
+    if (pair_counts[i] > 0) {
+      bucket.majority_accuracy = static_cast<double>(majority_correct[i]) /
+                                 static_cast<double>(pair_counts[i]);
+    }
+  }
+
+  // Threshold detection: the last populated non-converging bucket, provided
+  // some later populated bucket does converge (otherwise the workers are
+  // uniformly bad, which is not the threshold signature).
+  int64_t last_below = -1;
+  int64_t last_converged = -1;
+  for (size_t i = 0; i < report.buckets.size(); ++i) {
+    if (report.buckets[i].pairs == 0) continue;
+    if (report.buckets[i].majority_accuracy < options.convergence_accuracy) {
+      last_below = static_cast<int64_t>(i);
+    } else {
+      last_converged = static_cast<int64_t>(i);
+    }
+  }
+  if (last_below >= 0 && last_converged > last_below) {
+    report.threshold_detected = true;
+    report.estimated_delta =
+        report.buckets[static_cast<size_t>(last_below)].max_distance;
+  }
+  return report;
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,77 @@
+// Worker-model calibration from gold data — the measurement methodology of
+// Section 3.1 packaged as a reusable tool.
+//
+// The paper measured CrowdFlower workers by bucketing comparison pairs by
+// difficulty (the difference of the hidden values) and plotting
+// majority-vote accuracy against crowd size per bucket (Figure 2).
+// CalibrateWorkers does the same against any Comparator over a gold
+// instance and, from the resulting profile, detects whether the worker
+// class exhibits a *threshold* (buckets whose accuracy cannot be voted
+// above a plateau — the CARS regime) and estimates the threshold distance
+// delta, which is exactly what ThresholdComparator and FilterOptions
+// consume.
+
+#ifndef CROWDMAX_CORE_CALIBRATION_H_
+#define CROWDMAX_CORE_CALIBRATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/comparator.h"
+#include "core/instance.h"
+
+namespace crowdmax {
+
+/// Accuracy profile of one distance bucket.
+struct CalibrationBucket {
+  /// Value-distance range covered: (min_distance, max_distance] (the first
+  /// bucket includes its lower edge).
+  double min_distance = 0.0;
+  double max_distance = 0.0;
+  /// Pairs sampled into this bucket (0 = no evidence; accuracies are 0).
+  int64_t pairs = 0;
+  /// Accuracy of a single vote, over all votes on this bucket's pairs.
+  double single_vote_accuracy = 0.0;
+  /// Accuracy of the majority over votes_per_pair votes, per pair.
+  double majority_accuracy = 0.0;
+};
+
+/// Outcome of a calibration run.
+struct CalibrationReport {
+  std::vector<CalibrationBucket> buckets;
+  /// True if some populated bucket's majority accuracy stays below the
+  /// convergence level while a later bucket converges — the signature of
+  /// the threshold model (majority voting hits a ceiling on hard pairs).
+  bool threshold_detected = false;
+  /// Upper distance edge of the last non-converging bucket; 0 when no
+  /// threshold was detected. A safe delta to feed ThresholdComparator /
+  /// DeltaForU-style parameter selection.
+  double estimated_delta = 0.0;
+};
+
+/// Knobs for CalibrateWorkers.
+struct CalibrationOptions {
+  /// Distance buckets, spaced evenly over the observed distance range.
+  int64_t num_buckets = 8;
+  /// Votes requested per sampled pair (odd, so majorities are decided).
+  int64_t votes_per_pair = 21;
+  /// Pairs sampled per bucket (fewer if the gold set has fewer).
+  int64_t pairs_per_bucket = 40;
+  /// Majority accuracy at or above this counts as "converged".
+  double convergence_accuracy = 0.85;
+  /// Seed for pair sampling.
+  uint64_t seed = 42;
+};
+
+/// Profiles `worker` against the gold instance (whose values are known)
+/// and returns the bucketed accuracy report with threshold detection.
+/// Requires a gold instance with at least 2 elements, odd votes_per_pair
+/// >= 3, num_buckets >= 2 and pairs_per_bucket >= 1.
+Result<CalibrationReport> CalibrateWorkers(const Instance& gold,
+                                           Comparator* worker,
+                                           const CalibrationOptions& options);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_CALIBRATION_H_

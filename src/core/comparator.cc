@@ -1,0 +1,75 @@
+#include "core/comparator.h"
+
+#include <algorithm>
+
+namespace crowdmax {
+
+OracleComparator::OracleComparator(const Instance* instance)
+    : instance_(instance) {
+  CROWDMAX_CHECK(instance != nullptr);
+}
+
+ElementId OracleComparator::DoCompare(ElementId a, ElementId b) {
+  CROWDMAX_DCHECK(instance_->Contains(a) && instance_->Contains(b));
+  if (instance_->value(a) > instance_->value(b)) return a;
+  if (instance_->value(b) > instance_->value(a)) return b;
+  return std::min(a, b);
+}
+
+MemoizingComparator::MemoizingComparator(Comparator* inner) : inner_(inner) {
+  CROWDMAX_CHECK(inner != nullptr);
+}
+
+uint64_t MemoizingComparator::PairKey(ElementId a, ElementId b) {
+  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
+  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+ElementId MemoizingComparator::Compare(ElementId a, ElementId b) {
+  const uint64_t key = PairKey(a, b);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  CountComparison();
+  const ElementId winner = inner_->Compare(a, b);
+  cache_.emplace(key, winner);
+  return winner;
+}
+
+ElementId MemoizingComparator::DoCompare(ElementId a, ElementId b) {
+  // Unreachable: Compare() is fully overridden.
+  return inner_->Compare(a, b);
+}
+
+AdversarialComparator::AdversarialComparator(const Instance* instance,
+                                             double delta,
+                                             AdversarialPolicy policy)
+    : instance_(instance), delta_(delta), policy_(policy) {
+  CROWDMAX_CHECK(instance != nullptr);
+  CROWDMAX_CHECK(delta >= 0.0);
+}
+
+ElementId AdversarialComparator::DoCompare(ElementId a, ElementId b) {
+  CROWDMAX_DCHECK(instance_->Contains(a) && instance_->Contains(b));
+  const double va = instance_->value(a);
+  const double vb = instance_->value(b);
+  if (instance_->Distance(a, b) > delta_) {
+    return va > vb ? a : b;
+  }
+  switch (policy_) {
+    case AdversarialPolicy::kFirstLoses:
+      return b;
+    case AdversarialPolicy::kLowerValueWins:
+      if (va == vb) return std::max(a, b);
+      return va < vb ? a : b;
+    case AdversarialPolicy::kHigherValueWins:
+      if (va == vb) return std::min(a, b);
+      return va > vb ? a : b;
+  }
+  return a;
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,127 @@
+// The comparison-oracle boundary between algorithms and workers.
+//
+// Every worker interaction in crowdmax flows through Comparator::Compare,
+// which returns the element the worker believes is larger and counts the
+// comparison. Decorators add memoization (Appendix A, optimization 1) and
+// adversarial behaviour; model-backed comparators live in worker_model.h.
+
+#ifndef CROWDMAX_CORE_COMPARATOR_H_
+#define CROWDMAX_CORE_COMPARATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "core/instance.h"
+
+namespace crowdmax {
+
+/// Pairwise comparison oracle. Compare(a, b) returns a or b — the element
+/// the worker reports as having the larger value — and increments the
+/// comparison counter. Implementations may be randomized (model-backed) or
+/// adversarial; callers must not assume consistency across repeated queries
+/// unless the concrete comparator documents it.
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  /// Asks one worker to compare distinct elements `a` and `b`. Counts one
+  /// comparison unless the concrete class documents otherwise (memoizing
+  /// comparators count only cache misses).
+  virtual ElementId Compare(ElementId a, ElementId b) {
+    ++num_comparisons_;
+    return DoCompare(a, b);
+  }
+
+  /// Total comparisons paid since construction or the last ResetCount().
+  int64_t num_comparisons() const { return num_comparisons_; }
+
+  void ResetCount() { num_comparisons_ = 0; }
+
+ protected:
+  Comparator() = default;
+  void CountComparison() { ++num_comparisons_; }
+
+ private:
+  virtual ElementId DoCompare(ElementId a, ElementId b) = 0;
+
+  int64_t num_comparisons_ = 0;
+};
+
+/// Exact comparator: always returns the element with the larger true value
+/// (lower id on exact ties). Useful as a ground-truth baseline and in
+/// tests. Does not own the instance, which must outlive the comparator.
+class OracleComparator : public Comparator {
+ public:
+  explicit OracleComparator(const Instance* instance);
+
+ private:
+  ElementId DoCompare(ElementId a, ElementId b) override;
+
+  const Instance* instance_;
+};
+
+/// Memoizing decorator (Appendix A, optimization 1): the first query for an
+/// unordered pair is forwarded to the inner comparator and cached; repeats
+/// return the cached winner and are not counted as paid comparisons.
+///
+/// num_comparisons() on this object counts paid (forwarded) comparisons
+/// only. Does not own the inner comparator.
+class MemoizingComparator : public Comparator {
+ public:
+  explicit MemoizingComparator(Comparator* inner);
+
+  ElementId Compare(ElementId a, ElementId b) override;
+
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
+
+ private:
+  // Final override point; unused because Compare is overridden, but must
+  // exist to make the class concrete.
+  ElementId DoCompare(ElementId a, ElementId b) override;
+
+  static uint64_t PairKey(ElementId a, ElementId b);
+
+  Comparator* inner_;
+  std::unordered_map<uint64_t, ElementId> cache_;
+  int64_t cache_hits_ = 0;
+};
+
+/// How an adversarial comparator resolves comparisons of indistinguishable
+/// elements (distance <= delta).
+enum class AdversarialPolicy {
+  /// The first argument loses. 2-MaxFind passes the pivot first in its
+  /// elimination scan, so this policy realizes the paper's worst case for
+  /// 2-MaxFind ("we make element x lose, such as to maximize the number of
+  /// elements that go to the next round", Section 5).
+  kFirstLoses,
+  /// The element with the lower true value wins, i.e. every hard
+  /// comparison is answered wrongly.
+  kLowerValueWins,
+  /// The element with the higher true value wins (truthful; hard
+  /// comparisons cost but never mislead).
+  kHigherValueWins,
+};
+
+/// Deterministic adversarial comparator under the threshold model: above
+/// `delta` it answers truthfully; at or below `delta` it follows the
+/// configured policy. Deterministic and repeat-consistent for policies that
+/// are symmetric in the arguments; kFirstLoses depends on argument order by
+/// design. Does not own the instance.
+class AdversarialComparator : public Comparator {
+ public:
+  AdversarialComparator(const Instance* instance, double delta,
+                        AdversarialPolicy policy);
+
+ private:
+  ElementId DoCompare(ElementId a, ElementId b) override;
+
+  const Instance* instance_;
+  double delta_;
+  AdversarialPolicy policy_;
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_COMPARATOR_H_

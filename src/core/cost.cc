@@ -1,0 +1,12 @@
+#include "core/cost.h"
+
+#include <limits>
+
+namespace crowdmax {
+
+double CostModel::Ratio() const {
+  if (naive_cost == 0.0) return std::numeric_limits<double>::infinity();
+  return expert_cost / naive_cost;
+}
+
+}  // namespace crowdmax

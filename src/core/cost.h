@@ -1,0 +1,45 @@
+// The paper's monetary cost model (Section 3.4):
+//   C(n) = x_e * c_e + x_n * c_n
+// where x_n / x_e are the naive / expert comparison counts and c_n / c_e
+// the per-comparison prices, with c_e >> c_n in the regimes of interest.
+
+#ifndef CROWDMAX_CORE_COST_H_
+#define CROWDMAX_CORE_COST_H_
+
+#include <cstdint>
+
+namespace crowdmax {
+
+/// Per-comparison prices for the two worker classes.
+struct CostModel {
+  double naive_cost = 1.0;
+  double expert_cost = 10.0;
+
+  bool Valid() const { return naive_cost >= 0.0 && expert_cost >= 0.0; }
+
+  /// Total monetary cost of an execution that paid for the given
+  /// comparison counts.
+  double Cost(int64_t naive_comparisons, int64_t expert_comparisons) const {
+    return static_cast<double>(naive_comparisons) * naive_cost +
+           static_cast<double>(expert_comparisons) * expert_cost;
+  }
+
+  /// The expert/naive price ratio c_e / c_n; +inf when naive work is free.
+  double Ratio() const;
+};
+
+/// Comparison counts of one algorithm execution, by worker class.
+struct ComparisonStats {
+  int64_t naive = 0;
+  int64_t expert = 0;
+
+  ComparisonStats& operator+=(const ComparisonStats& other) {
+    naive += other.naive;
+    expert += other.expert;
+    return *this;
+  }
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_COST_H_

@@ -1,0 +1,106 @@
+#include "core/estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdmax {
+
+Result<UnEstimate> EstimateUn(const std::vector<ElementId>& training,
+                              ElementId training_max, int64_t target_n,
+                              Comparator* naive,
+                              const UnEstimateOptions& options) {
+  CROWDMAX_CHECK(naive != nullptr);
+  if (training.empty()) {
+    return Status::InvalidArgument("training set must be non-empty");
+  }
+  if (target_n < 1) {
+    return Status::InvalidArgument("target_n must be >= 1");
+  }
+  if (options.p_err <= 0.0 || options.p_err >= 1.0) {
+    return Status::InvalidArgument("p_err must be in (0, 1)");
+  }
+  if (options.confidence_c <= 0.0) {
+    return Status::InvalidArgument("confidence_c must be positive");
+  }
+  if (std::find(training.begin(), training.end(), training_max) ==
+      training.end()) {
+    return Status::InvalidArgument(
+        "training_max must be a member of the training set");
+  }
+
+  // Lines 2-7 of Algorithm 4: compare each training element against the
+  // known maximum; a worker that reports the element above the maximum has
+  // erred.
+  int64_t errors = 0;
+  for (ElementId x : training) {
+    if (x == training_max) continue;
+    const ElementId winner = naive->Compare(x, training_max);
+    CROWDMAX_DCHECK(winner == x || winner == training_max);
+    if (winner == x) ++errors;
+  }
+
+  // Line 8: (n / n_hat) * max(c*ln(n), 2*#errors / p_err).
+  const double n = static_cast<double>(target_n);
+  const double n_hat = static_cast<double>(training.size());
+  const double bound =
+      std::max(options.confidence_c * std::log(n),
+               2.0 * static_cast<double>(errors) / options.p_err);
+  const double raw = (n / n_hat) * bound;
+
+  UnEstimate estimate;
+  estimate.observed_errors = errors;
+  estimate.raw_estimate = raw;
+  estimate.u_n = std::max<int64_t>(1, static_cast<int64_t>(std::ceil(raw)));
+  // u_n(n) can never exceed n.
+  estimate.u_n = std::min(estimate.u_n, target_n);
+  return estimate;
+}
+
+Result<PerrEstimate> EstimatePerr(
+    const Instance& gold_truth,
+    const std::vector<std::pair<ElementId, ElementId>>& pairs,
+    int64_t votes_per_pair, Comparator* naive) {
+  CROWDMAX_CHECK(naive != nullptr);
+  if (pairs.empty()) {
+    return Status::InvalidArgument("pairs must be non-empty");
+  }
+  if (votes_per_pair < 2) {
+    return Status::InvalidArgument("votes_per_pair must be >= 2");
+  }
+
+  PerrEstimate estimate;
+  estimate.total_pairs = static_cast<int64_t>(pairs.size());
+  int64_t hard_errors = 0;
+
+  for (const auto& [a, b] : pairs) {
+    if (!gold_truth.Contains(a) || !gold_truth.Contains(b)) {
+      return Status::InvalidArgument("pair references unknown element");
+    }
+    const ElementId correct =
+        gold_truth.value(a) >= gold_truth.value(b) ? a : b;
+    std::vector<ElementId> votes;
+    votes.reserve(static_cast<size_t>(votes_per_pair));
+    for (int64_t v = 0; v < votes_per_pair; ++v) {
+      votes.push_back(naive->Compare(a, b));
+    }
+    const bool consensus =
+        std::all_of(votes.begin(), votes.end(),
+                    [&](ElementId w) { return w == votes.front(); });
+    if (consensus) continue;  // Treated as above-threshold.
+    ++estimate.hard_pairs;
+    estimate.votes_on_hard_pairs += votes_per_pair;
+    for (ElementId w : votes) {
+      if (w != correct) ++hard_errors;
+    }
+  }
+
+  if (estimate.hard_pairs == 0) {
+    return Status::NotFound(
+        "all pairs reached consensus; no below-threshold pairs observed");
+  }
+  estimate.p_err = static_cast<double>(hard_errors) /
+                   static_cast<double>(estimate.votes_on_hard_pairs);
+  return estimate;
+}
+
+}  // namespace crowdmax

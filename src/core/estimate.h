@@ -1,0 +1,83 @@
+// Estimation of u_n(n) from gold/training data (Section 4.4, Algorithm 4).
+//
+// The only parameter Algorithm 1 needs is u_n(n). Given a training set with
+// a known maximum (gold data), Algorithm 4 compares every training element
+// against the known maximum with a naive worker and counts errors; under
+// Assumption 2 (below-threshold comparisons err with probability p_err),
+//   u_n(n_hat) <= max(c*ln(n), 2*#errors/p_err)   w.h.p.,
+// which rescales by n/n_hat to an upper bound on u_n(n) (Assumption 1).
+// Overestimating u_n only raises cost, never breaks correctness.
+//
+// EstimatePerr estimates p_err itself from repeated gold comparisons: pairs
+// on which independent workers disagree are (w.h.p.) below the threshold,
+// and their empirical error rate estimates p_err.
+
+#ifndef CROWDMAX_CORE_ESTIMATE_H_
+#define CROWDMAX_CORE_ESTIMATE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/comparator.h"
+#include "core/instance.h"
+
+namespace crowdmax {
+
+/// Options for EstimateUn.
+struct UnEstimateOptions {
+  /// Assumed below-threshold error probability (Assumption 2). Must be in
+  /// (0, 1). Estimate it with EstimatePerr when unknown.
+  double p_err = 0.4;
+  /// The confidence constant c of Algorithm 4; the returned bound holds
+  /// with probability >= 1 - n^{-c*p_err/8}.
+  double confidence_c = 2.0;
+};
+
+/// Result of Algorithm 4.
+struct UnEstimate {
+  /// Upper-bound estimate of u_n(target_n), rounded up, at least 1.
+  int64_t u_n = 1;
+  /// Errors observed when comparing training elements against the known
+  /// training maximum.
+  int64_t observed_errors = 0;
+  /// The unrounded (n/n_hat) * max(c*ln(n), 2*errors/p_err) value.
+  double raw_estimate = 0.0;
+};
+
+/// Runs Algorithm 4. `training` is the gold set (element ids valid for
+/// `naive`), `training_max` its known maximum element (must be a member of
+/// `training`), `target_n` the size n of the real dataset the estimate will
+/// be used for. Issues |training| - 1 naive comparisons.
+Result<UnEstimate> EstimateUn(const std::vector<ElementId>& training,
+                              ElementId training_max, int64_t target_n,
+                              Comparator* naive,
+                              const UnEstimateOptions& options = {});
+
+/// Result of the p_err estimation procedure.
+struct PerrEstimate {
+  /// Empirical error rate over votes on non-consensus (hard) pairs.
+  double p_err = 0.0;
+  /// Pairs on which the workers disagreed (classified below-threshold).
+  int64_t hard_pairs = 0;
+  /// Total pairs examined.
+  int64_t total_pairs = 0;
+  /// Votes cast on hard pairs.
+  int64_t votes_on_hard_pairs = 0;
+};
+
+/// Estimates p_err from gold data: each pair in `pairs` is asked
+/// `votes_per_pair` times through `naive`; pairs with full consensus are
+/// treated as above-threshold and skipped, and the error rate (against the
+/// gold ground truth in `gold_truth`) over the remaining votes estimates
+/// p_err. Returns NotFound if every pair reached consensus (no hard pairs
+/// observed). Requires votes_per_pair >= 2.
+Result<PerrEstimate> EstimatePerr(
+    const Instance& gold_truth,
+    const std::vector<std::pair<ElementId, ElementId>>& pairs,
+    int64_t votes_per_pair, Comparator* naive);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_ESTIMATE_H_

@@ -1,0 +1,117 @@
+// Algorithm 1: the expert-aware two-phase max-finding algorithm.
+//
+// Phase 1 filters the input down to O(u_n) candidates using cheap naive
+// workers (Algorithm 2); phase 2 runs a max-finder over the candidates
+// using expensive expert workers. With 2-MaxFind in phase 2 the returned
+// element e satisfies d(M, e) <= 2*delta_e using at most 4*n*u_n naive and
+// 2*(2*u_n)^{3/2} expert comparisons (Theorem 1); with the randomized
+// phase 2 the guarantee is 3*delta_e w.h.p. with Theta(u_n) expert
+// comparisons (Lemmas 4-5).
+
+#ifndef CROWDMAX_CORE_EXPERT_MAX_H_
+#define CROWDMAX_CORE_EXPERT_MAX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/comparator.h"
+#include "core/cost.h"
+#include "core/filter_phase.h"
+#include "core/instance.h"
+#include "core/maxfind.h"
+
+namespace crowdmax {
+
+/// Which solver runs over the candidate set in phase 2.
+enum class Phase2Algorithm {
+  /// Algorithm 3 (default; the choice used in the paper's Section 5
+  /// simulations): O(u_n^{3/2}) expert comparisons, 2*delta_e guarantee.
+  kTwoMaxFind,
+  /// Algorithm 5: Theta(u_n) expert comparisons with a very large
+  /// constant, 3*delta_e guarantee w.h.p. (the variant used in the paper's
+  /// asymptotic analysis).
+  kRandomized,
+  /// Exhaustive tournament: Theta(u_n^2) expert comparisons, 2*delta_e.
+  kAllPlayAll,
+};
+
+/// Configuration of the two-phase algorithm.
+struct ExpertMaxOptions {
+  /// Phase-1 options; `filter.u_n` is the only required parameter of the
+  /// whole algorithm (estimate it with EstimateUn when unknown).
+  FilterOptions filter;
+  Phase2Algorithm phase2 = Phase2Algorithm::kTwoMaxFind;
+  TwoMaxFindOptions two_maxfind;
+  RandomizedMaxFindOptions randomized;
+};
+
+/// Execution record of the two-phase algorithm.
+struct ExpertMaxResult {
+  /// The element returned as (approximately) maximal.
+  ElementId best = -1;
+  /// Phase-1 survivors handed to the experts.
+  std::vector<ElementId> candidates;
+  /// Paid comparison counts per worker class.
+  ComparisonStats paid;
+  /// Issued comparison counts per worker class (>= paid when memoizing).
+  ComparisonStats issued;
+  int64_t filter_rounds = 0;
+  int64_t phase2_rounds = 0;
+  /// Propagated phase-1 degradation flags (see FilterResult).
+  bool filter_hit_empty_round = false;
+  bool filter_stopped_by_budget = false;
+
+  /// Monetary cost of this execution under `model`.
+  double CostUnder(const CostModel& model) const {
+    return model.Cost(paid.naive, paid.expert);
+  }
+};
+
+/// Runs Algorithm 1 on `items`: Algorithm 2 with `naive`, then the selected
+/// phase-2 solver with `expert`. Returns InvalidArgument for bad options,
+/// duplicate ids, or an empty input.
+Result<ExpertMaxResult> FindMaxWithExperts(const std::vector<ElementId>& items,
+                                           Comparator* naive,
+                                           Comparator* expert,
+                                           const ExpertMaxOptions& options);
+
+/// Budget-constrained execution (cf. Mo et al.'s fixed-budget task
+/// assignment in the paper's related work): reserve the worst-case expert
+/// cost for phase 2, spend what remains on naive filtering.
+struct BudgetedMaxOptions {
+  ExpertMaxOptions base;
+  CostModel prices;
+  /// Total monetary budget. Must at least cover the reserved expert phase
+  /// plus one filtering round.
+  double budget = 0.0;
+};
+
+/// Outcome of a budgeted run.
+struct BudgetedMaxResult {
+  ExpertMaxResult result;
+  /// Naive comparisons the budget afforded phase 1.
+  int64_t naive_comparison_cap = 0;
+  /// True if phase 1 hit its cap and returned early (candidates may exceed
+  /// 2*u_n - 1; the maximum still survives — stopping early only keeps
+  /// more elements).
+  bool filter_stopped_by_budget = false;
+  /// Actual spend; can exceed `budget` only when an early-stopped phase 1
+  /// left more candidates than the expert reserve anticipated (best-effort
+  /// semantics; check within_budget).
+  double actual_cost = 0.0;
+  bool within_budget = false;
+};
+
+/// Runs Algorithm 1 under a monetary budget: phase 2's worst-case cost
+/// (2-MaxFind on 2*u_n - 1 candidates at expert prices) is reserved up
+/// front and FilterOptions::max_comparisons is set to spend the rest on
+/// naive work. Returns InvalidArgument when the budget cannot cover the
+/// expert reserve plus the first filtering round.
+Result<BudgetedMaxResult> BudgetedFindMaxWithExperts(
+    const std::vector<ElementId>& items, Comparator* naive,
+    Comparator* expert, const BudgetedMaxOptions& options);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_EXPERT_MAX_H_

@@ -1,0 +1,161 @@
+#include "core/filter_phase.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace crowdmax {
+
+namespace {
+
+Status ValidateFilterInput(const std::vector<ElementId>& items,
+                           const FilterOptions& options) {
+  if (options.u_n < 1) {
+    return Status::InvalidArgument("u_n must be >= 1");
+  }
+  if (options.group_size_multiplier < 2) {
+    return Status::InvalidArgument("group_size_multiplier must be >= 2");
+  }
+  if (options.max_comparisons < 0) {
+    return Status::InvalidArgument("max_comparisons must be >= 0");
+  }
+  std::unordered_set<ElementId> seen;
+  for (ElementId e : items) {
+    if (!seen.insert(e).second) {
+      return Status::InvalidArgument("duplicate element id in input");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
+                                      const FilterOptions& options,
+                                      Comparator* naive) {
+  CROWDMAX_CHECK(naive != nullptr);
+  Status status = ValidateFilterInput(items, options);
+  if (!status.ok()) return status;
+
+  // Optionally interpose the pair cache (Appendix A, optimization 1).
+  MemoizingComparator memo(naive);
+  Comparator* cmp = options.memoize ? static_cast<Comparator*>(&memo) : naive;
+  const int64_t paid_before =
+      options.memoize ? memo.num_comparisons() : naive->num_comparisons();
+
+  const int64_t u_n = options.u_n;
+  const int64_t g = options.group_size_multiplier * u_n;
+
+  FilterResult result;
+  std::vector<ElementId> current = items;
+
+  // losses[e] = distinct opponents e has lost to, across all rounds
+  // (Appendix A, optimization 2). Sets stay small: an element is evicted
+  // once its set exceeds u_n.
+  std::unordered_map<ElementId, std::unordered_set<ElementId>> losses;
+
+  while (static_cast<int64_t>(current.size()) >= 2 * u_n) {
+    // Budget check (worst case: memoization hits could make the round
+    // cheaper, but a guaranteed-affordable round is what the cap promises).
+    if (options.max_comparisons > 0) {
+      const int64_t n_cur = static_cast<int64_t>(current.size());
+      int64_t round_cost = 0;
+      for (int64_t start = 0; start < n_cur; start += g) {
+        const int64_t m = std::min(g, n_cur - start);
+        if (m > u_n) round_cost += m * (m - 1) / 2;
+      }
+      const int64_t paid_so_far =
+          (options.memoize ? memo.num_comparisons()
+                           : naive->num_comparisons()) -
+          paid_before;
+      if (paid_so_far + round_cost > options.max_comparisons) {
+        result.stopped_by_budget = true;
+        break;
+      }
+    }
+
+    result.round_sizes.push_back(static_cast<int64_t>(current.size()));
+    ++result.rounds;
+
+    std::vector<ElementId> next;
+    next.reserve(current.size() / 2 + 1);
+
+    const int64_t n_cur = static_cast<int64_t>(current.size());
+    for (int64_t start = 0; start < n_cur; start += g) {
+      const int64_t m = std::min(g, n_cur - start);
+      // Last (short) group with at most u_n elements advances untouched:
+      // a tournament could not eliminate anyone anyway (everyone keeps at
+      // least |G| - u_n <= 0 wins).
+      if (m <= u_n) {
+        for (int64_t i = 0; i < m; ++i) next.push_back(current[start + i]);
+        continue;
+      }
+
+      // All-play-all inside the group, tracking per-pair outcomes so the
+      // cross-round loss counters can be fed.
+      std::vector<int64_t> wins(m, 0);
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = i + 1; j < m; ++j) {
+          const ElementId a = current[start + i];
+          const ElementId b = current[start + j];
+          const ElementId winner = cmp->Compare(a, b);
+          CROWDMAX_DCHECK(winner == a || winner == b);
+          ++result.issued_comparisons;
+          ++wins[winner == a ? i : j];
+          if (options.global_loss_counter) {
+            const ElementId loser = winner == a ? b : a;
+            losses[loser].insert(winner);
+          }
+        }
+      }
+
+      // Keep elements with at least |G| - u_n wins (equivalently, fewer
+      // than u_n losses inside the group).
+      const int64_t keep_threshold = m - u_n;
+      for (int64_t i = 0; i < m; ++i) {
+        if (wins[i] >= keep_threshold) next.push_back(current[start + i]);
+      }
+    }
+
+    if (options.global_loss_counter) {
+      // Evict elements that have lost to more than u_n distinct opponents
+      // in total; by Lemma 1 they cannot be the maximum.
+      auto cannot_be_max = [&](ElementId e) {
+        auto it = losses.find(e);
+        return it != losses.end() &&
+               static_cast<int64_t>(it->second.size()) > u_n;
+      };
+      const size_t before = next.size();
+      next.erase(std::remove_if(next.begin(), next.end(), cannot_be_max),
+                 next.end());
+      result.evicted_by_loss_counter +=
+          static_cast<int64_t>(before - next.size());
+    }
+
+    // With an underestimated u_n a round can eliminate everyone (no group
+    // member reaches |G| - u_n wins). Degrade gracefully: keep the
+    // pre-round survivors instead of returning an empty set.
+    if (next.empty()) {
+      result.hit_empty_round = true;
+      break;
+    }
+
+    // Lemma 2 guarantees strict shrinkage while |L_i| >= 2*u_n; a violation
+    // would mean a broken comparator contract (winner not in {a, b}).
+    CROWDMAX_CHECK(next.size() < current.size());
+    current = std::move(next);
+  }
+
+  result.candidates = std::move(current);
+  result.paid_comparisons =
+      (options.memoize ? memo.num_comparisons() : naive->num_comparisons()) -
+      paid_before;
+  return result;
+}
+
+int64_t FilterComparisonUpperBound(int64_t n, int64_t u_n) {
+  return 4 * n * u_n;
+}
+
+}  // namespace crowdmax

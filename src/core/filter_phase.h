@@ -1,0 +1,110 @@
+// Phase 1 of the expert-aware max-finding algorithm (Algorithm 2).
+//
+// Using only naive workers, repeatedly partition the surviving elements
+// into groups of g = 4*u_n, play an all-play-all tournament inside each
+// group, and keep only elements that win at least |G| - u_n comparisons,
+// until fewer than 2*u_n elements survive. Guarantees (Lemma 3): the true
+// maximum survives, at most 2*u_n - 1 candidates are returned, and at most
+// 4*n*u_n comparisons are issued. This matches the Omega(n*u_n) lower bound
+// of Corollary 1 up to constants.
+//
+// The two Appendix-A optimizations are implemented and individually
+// toggleable for ablation studies:
+//  1. memoize      — never pay twice for the same unordered pair;
+//  2. global_loss_counter — track, across rounds, how many distinct
+//     opponents each element has lost to, and evict every element whose
+//     count exceeds u_n (it would lose more than u_n comparisons in a full
+//     all-play-all, so by Lemma 1 it cannot be the maximum).
+
+#ifndef CROWDMAX_CORE_FILTER_PHASE_H_
+#define CROWDMAX_CORE_FILTER_PHASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/comparator.h"
+#include "core/instance.h"
+
+namespace crowdmax {
+
+/// Tuning knobs for Algorithm 2.
+struct FilterOptions {
+  /// The paper's u_n(n): assumed number of elements naive-indistinguishable
+  /// from the maximum (including the maximum itself). Overestimating only
+  /// raises cost, never hurts correctness; underestimating may drop the
+  /// maximum. Must be >= 1.
+  int64_t u_n = 1;
+
+  /// Group size is group_size_multiplier * u_n; the paper uses 4. Must be
+  /// >= 2 (groups must be larger than u_n for the win threshold to bite).
+  int64_t group_size_multiplier = 4;
+
+  /// Appendix A optimization 1: cache comparison outcomes per unordered
+  /// pair so re-grouped pairs are answered for free.
+  bool memoize = false;
+
+  /// Appendix A optimization 2: evict elements that have lost to more than
+  /// u_n distinct opponents across all rounds.
+  bool global_loss_counter = false;
+
+  /// Hard cap on paid comparisons (0 = unlimited). Checked at round
+  /// boundaries: when a completed round would leave fewer comparisons than
+  /// the next round needs, filtering stops early and returns the current
+  /// survivors with FilterResult::stopped_by_budget set. Correctness of
+  /// "M survives" is preserved (stopping early only keeps more elements);
+  /// the |S| <= 2*u_n - 1 size bound is not.
+  int64_t max_comparisons = 0;
+};
+
+/// Outcome of the filtering phase.
+struct FilterResult {
+  /// Surviving candidate set; contains the maximum under the model
+  /// assumptions and has size <= 2*u_n - 1 (unless the input was already
+  /// smaller than 2*u_n, in which case it is the input).
+  std::vector<ElementId> candidates;
+
+  /// Comparisons actually paid for (cache misses when memoizing).
+  int64_t paid_comparisons = 0;
+
+  /// Comparisons issued by the algorithm, including memoization hits.
+  int64_t issued_comparisons = 0;
+
+  /// Number of while-loop iterations executed.
+  int64_t rounds = 0;
+
+  /// |L_i| at the start of each round (diagnostics; empty if the loop never
+  /// ran).
+  std::vector<int64_t> round_sizes;
+
+  /// Elements evicted by the cross-round loss counter (0 unless the
+  /// optimization is enabled).
+  int64_t evicted_by_loss_counter = 0;
+
+  /// True if some round produced an empty survivor set — possible only
+  /// when u_n is underestimated (Section 5.2 notes the algorithm "could
+  /// return an empty set" in that regime). The filter then stops and
+  /// returns the pre-round survivors instead, so `candidates` is never
+  /// empty for non-empty input, though it may exceed 2*u_n - 1.
+  bool hit_empty_round = false;
+
+  /// True if filtering stopped early because the next round would exceed
+  /// FilterOptions::max_comparisons.
+  bool stopped_by_budget = false;
+};
+
+/// Runs Algorithm 2 on `items` with `naive` workers. `items` must be
+/// distinct element ids; returns InvalidArgument for bad options or
+/// duplicate ids.
+Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
+                                      const FilterOptions& options,
+                                      Comparator* naive);
+
+/// The theoretical worst-case number of naive comparisons of Algorithm 2
+/// for input size n (Lemma 3): 4*n*u_n. Benches report this alongside
+/// measured counts, as the paper does for its worst-case curves.
+int64_t FilterComparisonUpperBound(int64_t n, int64_t u_n);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_FILTER_PHASE_H_

@@ -1,0 +1,77 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace crowdmax {
+
+Instance::Instance(std::vector<double> values) : values_(std::move(values)) {}
+
+double Instance::Distance(ElementId a, ElementId b) const {
+  return std::fabs(value(a) - value(b));
+}
+
+double Instance::RelativeDifference(ElementId a, ElementId b) const {
+  const double va = std::fabs(value(a));
+  const double vb = std::fabs(value(b));
+  const double denom = std::max(va, vb);
+  if (denom == 0.0) return 0.0;
+  return std::fabs(value(a) - value(b)) / denom;
+}
+
+ElementId Instance::MaxElement() const {
+  CROWDMAX_CHECK(!values_.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < values_.size(); ++i) {
+    if (values_[i] > values_[best]) best = i;
+  }
+  return static_cast<ElementId>(best);
+}
+
+int64_t Instance::Rank(ElementId e) const {
+  CROWDMAX_DCHECK(Contains(e));
+  const double v = value(e);
+  int64_t greater = 0;
+  for (double other : values_) {
+    if (other > v) ++greater;
+  }
+  return greater + 1;
+}
+
+int64_t Instance::CountWithin(double delta) const {
+  return CountWithinOf(MaxElement(), delta);
+}
+
+int64_t Instance::CountWithinOf(ElementId e, double delta) const {
+  CROWDMAX_DCHECK(Contains(e));
+  const double ve = value(e);
+  int64_t count = 0;
+  for (double v : values_) {
+    if (std::fabs(ve - v) <= delta) ++count;
+  }
+  return count;
+}
+
+double Instance::DeltaForU(int64_t u) const {
+  CROWDMAX_CHECK(u >= 1 && u <= size());
+  const double vmax = value(MaxElement());
+  std::vector<double> distances;
+  distances.reserve(values_.size());
+  for (double v : values_) distances.push_back(std::fabs(vmax - v));
+  // The u-th smallest distance (1-based); nth_element is O(n).
+  std::nth_element(distances.begin(),
+                   distances.begin() + static_cast<size_t>(u - 1),
+                   distances.end());
+  return distances[static_cast<size_t>(u - 1)];
+}
+
+std::vector<ElementId> Instance::AllElements() const {
+  std::vector<ElementId> out(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out[i] = static_cast<ElementId>(i);
+  }
+  return out;
+}
+
+}  // namespace crowdmax

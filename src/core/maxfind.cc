@@ -1,0 +1,200 @@
+#include "core/maxfind.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "core/tournament.h"
+
+namespace crowdmax {
+
+namespace {
+
+Status ValidateItems(const std::vector<ElementId>& items) {
+  if (items.empty()) {
+    return Status::InvalidArgument("candidate set must be non-empty");
+  }
+  std::unordered_set<ElementId> seen;
+  for (ElementId e : items) {
+    if (!seen.insert(e).second) {
+      return Status::InvalidArgument("duplicate element id in candidate set");
+    }
+  }
+  return Status::OK();
+}
+
+int64_t CeilSqrt(int64_t s) {
+  int64_t r = static_cast<int64_t>(std::ceil(std::sqrt(static_cast<double>(s))));
+  while (r * r < s) ++r;
+  while (r > 1 && (r - 1) * (r - 1) >= s) --r;
+  return r;
+}
+
+}  // namespace
+
+Result<MaxFindResult> AllPlayAllMax(const std::vector<ElementId>& items,
+                                    Comparator* comparator) {
+  CROWDMAX_CHECK(comparator != nullptr);
+  Status status = ValidateItems(items);
+  if (!status.ok()) return status;
+
+  const int64_t before = comparator->num_comparisons();
+  const TournamentResult tournament = AllPlayAll(items, comparator);
+
+  MaxFindResult result;
+  result.best = items[IndexOfMostWins(tournament)];
+  result.issued_comparisons = tournament.comparisons;
+  result.paid_comparisons = comparator->num_comparisons() - before;
+  result.rounds = 0;
+  return result;
+}
+
+Result<MaxFindResult> TwoMaxFind(const std::vector<ElementId>& items,
+                                 Comparator* comparator,
+                                 const TwoMaxFindOptions& options) {
+  CROWDMAX_CHECK(comparator != nullptr);
+  Status status = ValidateItems(items);
+  if (!status.ok()) return status;
+
+  MemoizingComparator memo(comparator);
+  Comparator* cmp =
+      options.memoize ? static_cast<Comparator*>(&memo) : comparator;
+  const int64_t paid_before = cmp->num_comparisons();
+
+  const int64_t s = static_cast<int64_t>(items.size());
+  const int64_t k = CeilSqrt(s);
+
+  MaxFindResult result;
+  std::vector<ElementId> candidates = items;
+
+  // Without memoization an inconsistent comparator can stall the
+  // elimination loop; bound the number of rounds (generous: with
+  // consistent answers each round removes >= (k-1)/2 elements).
+  const int64_t max_rounds = 4 * s + 16;
+
+  while (static_cast<int64_t>(candidates.size()) > k) {
+    if (result.rounds >= max_rounds) {
+      return Status::Internal(
+          "2-MaxFind exceeded its round budget; comparator answers are "
+          "inconsistent (enable memoization)");
+    }
+    ++result.rounds;
+
+    // Step 3: arbitrary ceil(sqrt(s)) candidates — take the first k (the
+    // paper allows any choice; deterministic for reproducibility).
+    std::vector<ElementId> sample(candidates.begin(), candidates.begin() + k);
+    const TournamentResult tournament = AllPlayAll(sample, cmp);
+    result.issued_comparisons += tournament.comparisons;
+    const ElementId x = sample[IndexOfMostWins(tournament)];
+
+    // Step 4: compare x against all candidates; drop those that lose. The
+    // pivot goes first so AdversarialPolicy::kFirstLoses models the paper's
+    // worst case.
+    std::vector<ElementId> survivors;
+    survivors.reserve(candidates.size());
+    for (ElementId y : candidates) {
+      if (y == x) {
+        survivors.push_back(y);
+        continue;
+      }
+      const ElementId winner = cmp->Compare(x, y);
+      CROWDMAX_DCHECK(winner == x || winner == y);
+      ++result.issued_comparisons;
+      if (winner != x) survivors.push_back(y);
+    }
+    candidates = std::move(survivors);
+  }
+
+  // Step 6: final tournament among the at most ceil(sqrt(s)) survivors.
+  const TournamentResult final_round = AllPlayAll(candidates, cmp);
+  result.issued_comparisons += final_round.comparisons;
+  result.best = candidates[IndexOfMostWins(final_round)];
+  result.paid_comparisons = cmp->num_comparisons() - paid_before;
+  return result;
+}
+
+int64_t TwoMaxFindComparisonUpperBound(int64_t s) {
+  return static_cast<int64_t>(
+      std::ceil(2.0 * std::pow(static_cast<double>(s), 1.5)));
+}
+
+Result<MaxFindResult> RandomizedMaxFind(
+    const std::vector<ElementId>& items, Comparator* comparator,
+    const RandomizedMaxFindOptions& options) {
+  CROWDMAX_CHECK(comparator != nullptr);
+  Status status = ValidateItems(items);
+  if (!status.ok()) return status;
+  if (options.c < 0) return Status::InvalidArgument("c must be >= 0");
+  if (options.sample_exponent <= 0.0 || options.sample_exponent >= 1.0) {
+    return Status::InvalidArgument("sample_exponent must be in (0, 1)");
+  }
+  if (options.group_size_override < 0) {
+    return Status::InvalidArgument("group_size_override must be >= 0");
+  }
+
+  Rng rng(options.seed);
+  const int64_t paid_before = comparator->num_comparisons();
+  const int64_t s = static_cast<int64_t>(items.size());
+  const double threshold =
+      std::pow(static_cast<double>(s), options.sample_exponent);
+  const int64_t sample_size =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(threshold)));
+  const int64_t group_size = options.group_size_override > 0
+                                 ? options.group_size_override
+                                 : 80 * (options.c + 2);
+
+  MaxFindResult result;
+  std::vector<ElementId> survivors = items;
+  std::unordered_set<ElementId> witness_set;
+
+  while (static_cast<double>(survivors.size()) >= threshold &&
+         survivors.size() > 1) {
+    ++result.rounds;
+
+    // Line 3: sample |S|^0.3 random survivors into the witness set W.
+    const size_t n = survivors.size();
+    const size_t draw = std::min<size_t>(static_cast<size_t>(sample_size), n);
+    for (size_t idx : rng.SampleWithoutReplacement(n, draw)) {
+      witness_set.insert(survivors[idx]);
+    }
+
+    // Line 4: random partition into groups of 80*(c+2).
+    rng.Shuffle(&survivors);
+
+    // Lines 5-6: in each group, eliminate the element with the fewest wins.
+    std::vector<ElementId> next;
+    next.reserve(survivors.size());
+    for (size_t start = 0; start < survivors.size();
+         start += static_cast<size_t>(group_size)) {
+      const size_t end = std::min(survivors.size(),
+                                  start + static_cast<size_t>(group_size));
+      std::vector<ElementId> group(survivors.begin() + start,
+                                   survivors.begin() + end);
+      if (group.size() < 2) {
+        // A singleton group has no minimal element to eliminate.
+        next.insert(next.end(), group.begin(), group.end());
+        continue;
+      }
+      const TournamentResult tournament = AllPlayAll(group, comparator);
+      result.issued_comparisons += tournament.comparisons;
+      const size_t minimal = IndexOfFewestWins(tournament);
+      for (size_t i = 0; i < group.size(); ++i) {
+        if (i != minimal) next.push_back(group[i]);
+      }
+    }
+    survivors = std::move(next);
+  }
+
+  // Lines 9-10: final tournament over W plus the remaining survivors.
+  for (ElementId e : survivors) witness_set.insert(e);
+  std::vector<ElementId> finalists(witness_set.begin(), witness_set.end());
+  std::sort(finalists.begin(), finalists.end());  // Determinism.
+  const TournamentResult final_round = AllPlayAll(finalists, comparator);
+  result.issued_comparisons += final_round.comparisons;
+  result.best = finalists[IndexOfMostWins(final_round)];
+  result.paid_comparisons = comparator->num_comparisons() - paid_before;
+  return result;
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,96 @@
+// Phase-2 max-finding under imprecise comparisons (Section 4.1.2).
+//
+// Three interchangeable solvers for Problem 2 — selecting a near-maximum
+// element out of a candidate set S using a single worker class:
+//
+//  * AllPlayAllMax   — Theta(|S|^2) comparisons, d(M, e) <= 2*delta.
+//  * TwoMaxFind      — Algorithm 3 (2-MaxFind of Ajtai et al., ICALP'09):
+//                      O(|S|^{3/2}) comparisons, d(M, e) <= 2*delta,
+//                      deterministic given consistent answers.
+//  * RandomizedMaxFind — Algorithm 5 (Ajtai et al., Section 3.2):
+//                      Theta(|S|) comparisons but with a very large
+//                      constant (80*(c+2) group size), d(M, e) <= 3*delta
+//                      w.h.p. Asymptotically optimal, practically dominated
+//                      by 2-MaxFind at the paper's instance sizes.
+
+#ifndef CROWDMAX_CORE_MAXFIND_H_
+#define CROWDMAX_CORE_MAXFIND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/comparator.h"
+#include "core/instance.h"
+
+namespace crowdmax {
+
+/// Outcome of a phase-2 solver.
+struct MaxFindResult {
+  /// The element reported as (approximately) maximal.
+  ElementId best = -1;
+  /// Comparisons actually paid for (cache misses when memoizing).
+  int64_t paid_comparisons = 0;
+  /// Comparisons issued, including memoization hits.
+  int64_t issued_comparisons = 0;
+  /// Round count (while-loop iterations; 0 for AllPlayAllMax).
+  int64_t rounds = 0;
+};
+
+/// Plays a single all-play-all tournament over `items` and returns the
+/// element with the most wins. Requires a non-empty set of distinct ids.
+Result<MaxFindResult> AllPlayAllMax(const std::vector<ElementId>& items,
+                                    Comparator* comparator);
+
+/// Options for TwoMaxFind.
+struct TwoMaxFindOptions {
+  /// Remember each pair's answer and never re-ask (the paper assumes this:
+  /// "we memorize results and we do not repeat comparisons"). Memoization
+  /// also guarantees termination against inconsistent (randomized)
+  /// comparators; with it off the algorithm aborts with Internal status
+  /// after a progress-failure budget is exhausted.
+  bool memoize = true;
+};
+
+/// Algorithm 3 (2-MaxFind). Repeatedly: tournament among ceil(sqrt(s))
+/// arbitrary candidates, pick the winner x, compare x against every
+/// candidate and drop all that lose to x; once at most ceil(sqrt(s))
+/// candidates remain, a final tournament decides. Elimination comparisons
+/// pass the pivot as the *first* argument (AdversarialPolicy::kFirstLoses
+/// exercises the worst case).
+Result<MaxFindResult> TwoMaxFind(const std::vector<ElementId>& items,
+                                 Comparator* comparator,
+                                 const TwoMaxFindOptions& options = {});
+
+/// The deterministic upper bound on 2-MaxFind comparisons used by the
+/// paper's worst-case plots: 2 * s^{3/2} (from Ajtai et al., Lemma 1).
+int64_t TwoMaxFindComparisonUpperBound(int64_t s);
+
+/// Options for RandomizedMaxFind.
+struct RandomizedMaxFindOptions {
+  /// Seed for sampling and partitioning.
+  uint64_t seed = 1;
+  /// The constant c of Algorithm 5; group size is 80 * (c + 2) and the
+  /// success probability is 1 - |S|^{-c}.
+  int64_t c = 1;
+  /// Exponent of the stopping threshold and witness-sample size (|S|^0.3
+  /// in the paper).
+  double sample_exponent = 0.3;
+  /// If positive, overrides the 80*(c+2) group size — used by ablation
+  /// benches to show the cost/accuracy effect of the constant.
+  int64_t group_size_override = 0;
+};
+
+/// Algorithm 5: the randomized linear-comparison max-finder. Maintains a
+/// witness set W sampled along the way; each round partitions the survivors
+/// into groups of 80*(c+2), plays all-play-all in each group and eliminates
+/// each group's minimal element; finishes with a tournament over W plus the
+/// remaining survivors.
+Result<MaxFindResult> RandomizedMaxFind(
+    const std::vector<ElementId>& items, Comparator* comparator,
+    const RandomizedMaxFindOptions& options = {});
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_MAXFIND_H_

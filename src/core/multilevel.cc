@@ -1,0 +1,80 @@
+#include "core/multilevel.h"
+
+#include <utility>
+
+#include "core/maxfind.h"
+
+namespace crowdmax {
+
+Result<MultilevelResult> FindMaxMultilevel(
+    const std::vector<ElementId>& items,
+    const std::vector<WorkerClassSpec>& classes,
+    const MultilevelOptions& options) {
+  if (classes.empty()) {
+    return Status::InvalidArgument("at least one worker class is required");
+  }
+  for (const WorkerClassSpec& spec : classes) {
+    if (spec.comparator == nullptr) {
+      return Status::InvalidArgument("worker class has null comparator");
+    }
+    if (spec.cost_per_comparison < 0.0) {
+      return Status::InvalidArgument("cost_per_comparison must be >= 0");
+    }
+  }
+  if (items.empty()) {
+    return Status::InvalidArgument("input set must be non-empty");
+  }
+
+  MultilevelResult result;
+  result.paid_per_class.assign(classes.size(), 0);
+
+  std::vector<ElementId> current = items;
+
+  // Filtering levels: every class except the last.
+  for (size_t level = 0; level + 1 < classes.size(); ++level) {
+    const WorkerClassSpec& spec = classes[level];
+    if (spec.u < 1) {
+      return Status::InvalidArgument("worker class u must be >= 1");
+    }
+    FilterOptions filter = options.filter_template;
+    filter.u_n = spec.u;
+    Result<FilterResult> filtered =
+        FilterCandidates(current, filter, spec.comparator);
+    if (!filtered.ok()) return filtered.status();
+    result.paid_per_class[level] = filtered->paid_comparisons;
+    result.candidates_per_level.push_back(
+        static_cast<int64_t>(filtered->candidates.size()));
+    current = std::move(filtered->candidates);
+    if (current.empty()) {
+      return Status::Internal("filter level returned an empty candidate set");
+    }
+  }
+
+  // Final level: phase-2 max-finding with the most expert class.
+  const size_t last = classes.size() - 1;
+  Result<MaxFindResult> final_result = Status::Internal("unreachable");
+  switch (options.final_phase) {
+    case Phase2Algorithm::kTwoMaxFind:
+      final_result =
+          TwoMaxFind(current, classes[last].comparator, options.two_maxfind);
+      break;
+    case Phase2Algorithm::kRandomized:
+      final_result = RandomizedMaxFind(current, classes[last].comparator,
+                                       options.randomized);
+      break;
+    case Phase2Algorithm::kAllPlayAll:
+      final_result = AllPlayAllMax(current, classes[last].comparator);
+      break;
+  }
+  if (!final_result.ok()) return final_result.status();
+
+  result.best = final_result->best;
+  result.paid_per_class[last] = final_result->paid_comparisons;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    result.total_cost += static_cast<double>(result.paid_per_class[i]) *
+                         classes[i].cost_per_comparison;
+  }
+  return result;
+}
+
+}  // namespace crowdmax

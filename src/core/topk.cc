@@ -1,0 +1,55 @@
+#include "core/topk.h"
+
+#include <utility>
+
+#include "core/tournament.h"
+
+namespace crowdmax {
+
+Result<TopKResult> FindTopKWithExperts(const std::vector<ElementId>& items,
+                                       Comparator* naive, Comparator* expert,
+                                       const TopKOptions& options) {
+  CROWDMAX_CHECK(naive != nullptr);
+  CROWDMAX_CHECK(expert != nullptr);
+  if (items.empty()) {
+    return Status::InvalidArgument("input set must be non-empty");
+  }
+  if (options.k < 1 || options.k > static_cast<int64_t>(items.size())) {
+    return Status::InvalidArgument("k must be in [1, |items|]");
+  }
+  if (options.filter.u_n < 1) {
+    return Status::InvalidArgument("u_n must be >= 1");
+  }
+
+  // Phase 1 with the inflated blind spot u' = u_n + k - 1 so every true
+  // top-k element survives (it loses at most u_n + k - 2 < u' comparisons
+  // in any all-play-all).
+  FilterOptions filter = options.filter;
+  filter.u_n = options.filter.u_n + options.k - 1;
+  Result<FilterResult> filtered = FilterCandidates(items, filter, naive);
+  if (!filtered.ok()) return filtered.status();
+
+  TopKResult result;
+  result.candidates = std::move(filtered->candidates);
+  result.paid.naive = filtered->paid_comparisons;
+  result.filter_rounds = filtered->rounds;
+  if (static_cast<int64_t>(result.candidates.size()) < options.k) {
+    return Status::Internal(
+        "phase 1 returned fewer candidates than k; the comparator violated "
+        "the threshold-model contract");
+  }
+
+  // Phase 2: one expert all-play-all over the candidates; take the k
+  // biggest winners in win order. Memoization would be a no-op here (each
+  // pair is played exactly once).
+  const int64_t expert_before = expert->num_comparisons();
+  const TournamentResult tournament = AllPlayAll(result.candidates, expert);
+  result.paid.expert = expert->num_comparisons() - expert_before;
+
+  std::vector<ElementId> ranked = OrderByWins(result.candidates, tournament);
+  ranked.resize(static_cast<size_t>(options.k));
+  result.top = std::move(ranked);
+  return result;
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,72 @@
+// Approximate top-k selection with experts — an extension beyond the
+// paper's max-finding (the paper's related work discusses top-k under
+// distance-based error models, Davidson et al. ICDT'13; here we lift the
+// two-phase expert-aware approach to k > 1).
+//
+// The key observation generalizes Lemma 1: in an all-play-all tournament
+// under T(delta_n, 0), the true j-th ranked element (j <= k) loses only to
+// elements truly above it (at most j - 1 <= k - 1) and to elements
+// naive-indistinguishable from *it* (at most U - 1, where U is the largest
+// blind-spot size |{e : d(e, m_j) <= delta_n}| over the top-k elements —
+// note this can be up to twice the paper's u_n, which only measures the
+// one-sided neighbourhood of the maximum). Running Algorithm 2 with the
+// inflated parameter u' = U + k - 1 therefore keeps the entire true top-k
+// in the candidate set (at most 2*u' - 1 elements, at most 4*n*u' naive
+// comparisons). Experts then play one all-play-all tournament over the
+// candidates and the k biggest winners, in win order, are returned.
+//
+// Guarantee (proved by the counting argument in tests/topk_test.cc): with
+// expert residual error 0, the value at every returned position j is at
+// least the true j-th value minus 2*delta_e.
+
+#ifndef CROWDMAX_CORE_TOPK_H_
+#define CROWDMAX_CORE_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/comparator.h"
+#include "core/cost.h"
+#include "core/filter_phase.h"
+#include "core/instance.h"
+
+namespace crowdmax {
+
+/// Configuration of the two-phase top-k algorithm.
+struct TopKOptions {
+  /// Number of top elements to return. Must be >= 1 and <= |items|.
+  int64_t k = 1;
+  /// Phase-1 options. `filter.u_n` must bound the blind-spot size around
+  /// *every* top-k element (U above), not just the maximum; the algorithm
+  /// internally inflates it to U + k - 1. Overestimating costs, never
+  /// breaks correctness.
+  FilterOptions filter;
+};
+
+/// Outcome of the top-k algorithm.
+struct TopKResult {
+  /// k elements in decreasing estimated-rank order (top[0] ~ maximum).
+  std::vector<ElementId> top;
+  /// Phase-1 survivors (contains the entire true top-k under the model
+  /// assumptions).
+  std::vector<ElementId> candidates;
+  /// Paid comparisons per worker class.
+  ComparisonStats paid;
+  int64_t filter_rounds = 0;
+
+  double CostUnder(const CostModel& model) const {
+    return model.Cost(paid.naive, paid.expert);
+  }
+};
+
+/// Runs the two-phase top-k algorithm: Algorithm 2 with u' = u_n + k - 1
+/// using `naive`, then one expert all-play-all over the candidates, ordered
+/// by wins. Returns InvalidArgument for bad options or duplicate ids.
+Result<TopKResult> FindTopKWithExperts(const std::vector<ElementId>& items,
+                                       Comparator* naive, Comparator* expert,
+                                       const TopKOptions& options);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_TOPK_H_

@@ -1,0 +1,57 @@
+#include "core/tournament.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace crowdmax {
+
+TournamentResult AllPlayAll(const std::vector<ElementId>& elements,
+                            Comparator* comparator) {
+  CROWDMAX_CHECK(comparator != nullptr);
+  const size_t k = elements.size();
+  TournamentResult result;
+  result.wins.assign(k, 0);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      const ElementId winner = comparator->Compare(elements[i], elements[j]);
+      CROWDMAX_DCHECK(winner == elements[i] || winner == elements[j]);
+      ++result.wins[winner == elements[i] ? i : j];
+      ++result.comparisons;
+    }
+  }
+  return result;
+}
+
+size_t IndexOfMostWins(const TournamentResult& result) {
+  CROWDMAX_CHECK(!result.wins.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < result.wins.size(); ++i) {
+    if (result.wins[i] > result.wins[best]) best = i;
+  }
+  return best;
+}
+
+size_t IndexOfFewestWins(const TournamentResult& result) {
+  CROWDMAX_CHECK(!result.wins.empty());
+  size_t worst = 0;
+  for (size_t i = 1; i < result.wins.size(); ++i) {
+    if (result.wins[i] < result.wins[worst]) worst = i;
+  }
+  return worst;
+}
+
+std::vector<ElementId> OrderByWins(const std::vector<ElementId>& elements,
+                                   const TournamentResult& result) {
+  CROWDMAX_CHECK(result.wins.size() == elements.size());
+  std::vector<size_t> order(elements.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result.wins[a] > result.wins[b];
+  });
+  std::vector<ElementId> out;
+  out.reserve(elements.size());
+  for (size_t i : order) out.push_back(elements[i]);
+  return out;
+}
+
+}  // namespace crowdmax

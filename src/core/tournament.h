@@ -1,0 +1,51 @@
+// All-play-all (round-robin) tournaments.
+//
+// Both phases of the paper's algorithm and all baselines are built out of
+// all-play-all tournaments among small groups of elements (Lemmas 1-2).
+
+#ifndef CROWDMAX_CORE_TOURNAMENT_H_
+#define CROWDMAX_CORE_TOURNAMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/comparator.h"
+#include "core/instance.h"
+
+namespace crowdmax {
+
+/// Outcome of an all-play-all tournament among k elements.
+struct TournamentResult {
+  /// wins[i] = number of comparisons won by the i-th input element; always
+  /// sums to k*(k-1)/2.
+  std::vector<int64_t> wins;
+  /// Comparisons issued to the comparator (k*(k-1)/2; fewer are *paid* if
+  /// the comparator memoizes).
+  int64_t comparisons = 0;
+};
+
+/// Plays every unordered pair of `elements` once through `comparator` and
+/// tallies wins. Elements must be distinct ids; k == 0 and k == 1 are valid
+/// (no comparisons).
+TournamentResult AllPlayAll(const std::vector<ElementId>& elements,
+                            Comparator* comparator);
+
+/// Index (into the tournament's input vector) of an element with the most
+/// wins; the earliest such index on ties ("ties broken arbitrarily" in the
+/// paper — this choice is deterministic for reproducibility). Requires a
+/// non-empty tally.
+size_t IndexOfMostWins(const TournamentResult& result);
+
+/// Index of an element with the fewest wins (earliest on ties). Used by the
+/// randomized phase-2 algorithm, which eliminates minimal elements.
+size_t IndexOfFewestWins(const TournamentResult& result);
+
+/// Orders `elements` by decreasing wins in `result` (stable: earlier input
+/// position first on win ties) — the "ranking of the last round" used by
+/// the paper's Tables 1-2. Requires result.wins.size() == elements.size().
+std::vector<ElementId> OrderByWins(const std::vector<ElementId>& elements,
+                                   const TournamentResult& result);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_TOURNAMENT_H_

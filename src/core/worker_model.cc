@@ -1,0 +1,183 @@
+#include "core/worker_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdmax {
+
+namespace {
+
+// Returns the element with the larger value; lower id on exact ties.
+ElementId TrueWinner(const Instance& instance, ElementId a, ElementId b) {
+  if (instance.value(a) > instance.value(b)) return a;
+  if (instance.value(b) > instance.value(a)) return b;
+  return std::min(a, b);
+}
+
+ElementId Other(ElementId winner, ElementId a, ElementId b) {
+  return winner == a ? b : a;
+}
+
+}  // namespace
+
+ThresholdComparator::ThresholdComparator(const Instance* instance,
+                                         const Options& options,
+                                         uint64_t seed)
+    : instance_(instance), options_(options), rng_(seed) {
+  CROWDMAX_CHECK(instance != nullptr);
+  CROWDMAX_CHECK(options.model.Valid());
+  CROWDMAX_CHECK(options.below_threshold_correct_prob >= 0.0 &&
+                 options.below_threshold_correct_prob <= 1.0);
+}
+
+ThresholdComparator::ThresholdComparator(const Instance* instance,
+                                         ThresholdModel model, uint64_t seed)
+    : ThresholdComparator(instance, Options{model, TiePolicy::kFreshCoin, 0.5},
+                          seed) {}
+
+uint64_t ThresholdComparator::PairKey(ElementId a, ElementId b) {
+  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
+  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+ElementId ThresholdComparator::DoCompare(ElementId a, ElementId b) {
+  CROWDMAX_DCHECK(instance_->Contains(a) && instance_->Contains(b));
+  const ElementId correct = TrueWinner(*instance_, a, b);
+  if (instance_->Distance(a, b) > options_.model.delta) {
+    // Discriminable pair: err with residual probability epsilon.
+    if (rng_.NextBernoulli(options_.model.epsilon)) {
+      return Other(correct, a, b);
+    }
+    return correct;
+  }
+  switch (options_.tie_policy) {
+    case TiePolicy::kFreshCoin:
+      return rng_.NextBernoulli(options_.below_threshold_correct_prob)
+                 ? correct
+                 : Other(correct, a, b);
+    case TiePolicy::kPersistentArbitrary: {
+      const uint64_t key = PairKey(a, b);
+      auto it = sticky_answers_.find(key);
+      if (it == sticky_answers_.end()) {
+        const ElementId pick = rng_.NextBernoulli(0.5) ? a : b;
+        it = sticky_answers_.emplace(key, pick).first;
+      }
+      return it->second;
+    }
+  }
+  return correct;
+}
+
+RelativeErrorComparator::RelativeErrorComparator(const Instance* instance,
+                                                 const Options& options,
+                                                 uint64_t seed)
+    : instance_(instance), options_(options), rng_(seed) {
+  CROWDMAX_CHECK(instance != nullptr);
+  CROWDMAX_CHECK(options.base_error >= 0.0 && options.base_error <= 1.0);
+  CROWDMAX_CHECK(options.max_error >= 0.0 && options.max_error <= 1.0);
+  CROWDMAX_CHECK(options.decay >= 0.0);
+}
+
+ElementId RelativeErrorComparator::DoCompare(ElementId a, ElementId b) {
+  CROWDMAX_DCHECK(instance_->Contains(a) && instance_->Contains(b));
+  const ElementId correct = TrueWinner(*instance_, a, b);
+  const double rel = instance_->RelativeDifference(a, b);
+  const double p_error = std::min(
+      options_.max_error, options_.base_error * std::exp(-options_.decay * rel));
+  if (rng_.NextBernoulli(p_error)) return Other(correct, a, b);
+  return correct;
+}
+
+DistanceDecayComparator::DistanceDecayComparator(const Instance* instance,
+                                                 const Options& options,
+                                                 uint64_t seed)
+    : instance_(instance), options_(options), rng_(seed) {
+  CROWDMAX_CHECK(instance != nullptr);
+  CROWDMAX_CHECK(options.delta >= 0.0);
+  CROWDMAX_CHECK(options.below_threshold_correct_prob >= 0.0 &&
+                 options.below_threshold_correct_prob <= 1.0);
+  CROWDMAX_CHECK(options.epsilon_at_threshold >= 0.0 &&
+                 options.epsilon_at_threshold < 0.5);
+  CROWDMAX_CHECK(options.decay >= 0.0);
+}
+
+ElementId DistanceDecayComparator::DoCompare(ElementId a, ElementId b) {
+  CROWDMAX_DCHECK(instance_->Contains(a) && instance_->Contains(b));
+  const ElementId correct = TrueWinner(*instance_, a, b);
+  const double d = instance_->Distance(a, b);
+  if (d <= options_.delta) {
+    return rng_.NextBernoulli(options_.below_threshold_correct_prob)
+               ? correct
+               : Other(correct, a, b);
+  }
+  const double p_error = options_.epsilon_at_threshold *
+                         std::exp(-options_.decay * (d - options_.delta));
+  if (rng_.NextBernoulli(p_error)) return Other(correct, a, b);
+  return correct;
+}
+
+PersistentBiasComparator::PersistentBiasComparator(const Instance* instance,
+                                                   const Options& options,
+                                                   uint64_t seed)
+    : instance_(instance), options_(options), rng_(seed) {
+  CROWDMAX_CHECK(instance != nullptr);
+  double prev = 0.0;
+  for (const Bucket& bucket : options.buckets) {
+    CROWDMAX_CHECK(bucket.max_relative_difference >= prev);
+    CROWDMAX_CHECK(bucket.preferred_correct_prob >= 0.0 &&
+                   bucket.preferred_correct_prob <= 1.0);
+    prev = bucket.max_relative_difference;
+  }
+  CROWDMAX_CHECK(options.individual_noise >= 0.0 &&
+                 options.individual_noise <= 1.0);
+  CROWDMAX_CHECK(options.above_threshold_error >= 0.0 &&
+                 options.above_threshold_error < 0.5);
+}
+
+uint64_t PersistentBiasComparator::PairKey(ElementId a, ElementId b) {
+  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
+  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+ElementId PersistentBiasComparator::DoCompare(ElementId a, ElementId b) {
+  CROWDMAX_DCHECK(instance_->Contains(a) && instance_->Contains(b));
+  const ElementId correct = TrueWinner(*instance_, a, b);
+  const double rel = instance_->RelativeDifference(a, b);
+
+  const Bucket* bucket = nullptr;
+  for (const Bucket& candidate : options_.buckets) {
+    if (rel <= candidate.max_relative_difference) {
+      bucket = &candidate;
+      break;
+    }
+  }
+
+  if (bucket == nullptr) {
+    // Easy pair: independent per-query error.
+    if (rng_.NextBernoulli(options_.above_threshold_error)) {
+      return Other(correct, a, b);
+    }
+    return correct;
+  }
+
+  // Hard pair: resolve (or recall) the crowd's persistent preference, then
+  // apply individual per-query noise around it.
+  const uint64_t key = PairKey(a, b);
+  auto it = preferred_.find(key);
+  if (it == preferred_.end()) {
+    const bool preference_correct =
+        rng_.NextBernoulli(bucket->preferred_correct_prob);
+    const ElementId preferred =
+        preference_correct ? correct : Other(correct, a, b);
+    it = preferred_.emplace(key, preferred).first;
+  }
+  const ElementId preferred = it->second;
+  if (rng_.NextBernoulli(options_.individual_noise)) {
+    return Other(preferred, a, b);
+  }
+  return preferred;
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,208 @@
+// Model-backed worker comparators (Sections 3.2-3.3 of the paper).
+//
+// Three answer models are provided:
+//  * ThresholdComparator — the paper's threshold model T(delta, epsilon):
+//    above the distance threshold the worker errs with probability epsilon;
+//    at or below it the answer is arbitrary, with several selectable
+//    "arbitrary" behaviours.
+//  * RelativeErrorComparator — the purely probabilistic model where the
+//    per-comparison error probability decays with the relative difference
+//    of the two values (the DOTS behaviour of Figure 2(a): majority voting
+//    drives accuracy to 1).
+//  * PersistentBiasComparator — an empirical crowd model reproducing the
+//    CARS behaviour of Figure 2(b): below a relative-difference threshold,
+//    the crowd holds a persistent per-pair preferred answer that is correct
+//    only with probability q, so majority voting plateaus at q instead of
+//    converging to 1. This is the phenomenon that motivates experts.
+
+#ifndef CROWDMAX_CORE_WORKER_MODEL_H_
+#define CROWDMAX_CORE_WORKER_MODEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/comparator.h"
+#include "core/instance.h"
+
+namespace crowdmax {
+
+/// Parameters of the threshold model T(delta, epsilon): workers cannot
+/// discriminate elements closer than `delta`, and err with residual
+/// probability `epsilon` otherwise. The probabilistic error model is the
+/// special case delta == 0.
+struct ThresholdModel {
+  double delta = 0.0;
+  double epsilon = 0.0;
+
+  /// True iff delta >= 0 and epsilon in [0, 1).
+  bool Valid() const { return delta >= 0.0 && epsilon >= 0.0 && epsilon < 1.0; }
+};
+
+/// How a ThresholdComparator resolves comparisons of indistinguishable
+/// elements. The model only says the answer is "completely arbitrary"; these
+/// are concrete arbitrary behaviours used in simulation and testing.
+enum class TiePolicy {
+  /// A fresh fair (or biased, see below_threshold_correct_prob) coin per
+  /// query — the behaviour used in the paper's Section 5 simulations
+  /// ("each element is chosen as the answer with probability 1/2").
+  kFreshCoin,
+  /// The answer for each unordered pair is drawn once (uniformly) at the
+  /// first query and repeated thereafter — a worker class with a fixed but
+  /// arbitrary opinion on hard pairs.
+  kPersistentArbitrary,
+};
+
+/// The paper's threshold-model worker over an Instance.
+///
+/// Above the threshold the higher-valued element wins with probability
+/// 1 - epsilon. At or below the threshold the answer follows `tie_policy`;
+/// with kFreshCoin the correct element is returned with probability
+/// `below_threshold_correct_prob` (0.5 = the unbiased coin of the paper's
+/// simulations). Not thread-safe. Does not own the instance.
+class ThresholdComparator : public Comparator {
+ public:
+  struct Options {
+    ThresholdModel model;
+    TiePolicy tie_policy = TiePolicy::kFreshCoin;
+    /// P(correct answer) for an indistinguishable pair under kFreshCoin.
+    double below_threshold_correct_prob = 0.5;
+  };
+
+  ThresholdComparator(const Instance* instance, const Options& options,
+                      uint64_t seed);
+
+  /// Convenience constructor for T(delta, epsilon) with a fair coin below
+  /// the threshold.
+  ThresholdComparator(const Instance* instance, ThresholdModel model,
+                      uint64_t seed);
+
+ private:
+  ElementId DoCompare(ElementId a, ElementId b) override;
+
+  static uint64_t PairKey(ElementId a, ElementId b);
+
+  const Instance* instance_;
+  Options options_;
+  Rng rng_;
+  // Persistent below-threshold answers for kPersistentArbitrary.
+  std::unordered_map<uint64_t, ElementId> sticky_answers_;
+};
+
+/// Probabilistic-model worker whose error probability decays exponentially
+/// with the relative difference of the values:
+///   P(error) = min(max_error, base_error * exp(-decay * rel_diff)).
+/// Answers are independent across queries, so majority voting converges to
+/// the correct answer for any pair with rel_diff > 0 — the DOTS regime.
+/// Does not own the instance.
+class RelativeErrorComparator : public Comparator {
+ public:
+  struct Options {
+    /// Error probability at relative difference 0 (capped by max_error).
+    double base_error = 0.5;
+    /// Exponential decay rate in the relative difference.
+    double decay = 4.5;
+    /// Upper cap applied after the decay formula; 0.5 means a pair with
+    /// rel_diff == 0 is a pure coin flip.
+    double max_error = 0.5;
+  };
+
+  RelativeErrorComparator(const Instance* instance, const Options& options,
+                          uint64_t seed);
+
+ private:
+  ElementId DoCompare(ElementId a, ElementId b) override;
+
+  const Instance* instance_;
+  Options options_;
+  Rng rng_;
+};
+
+/// Generalized threshold worker (Appendix A: "even if the difference ...
+/// is above delta_n a worker may err, albeit with a smaller probability
+/// ... the error probability depends on the distance"): below the
+/// threshold the answer is an (optionally biased) coin, and above it the
+/// error probability decays exponentially with the distance beyond the
+/// threshold:
+///   P(error | d > delta) = epsilon_at_threshold * exp(-decay * (d - delta)).
+/// With decay == 0 this reduces to the plain threshold model
+/// T(delta, epsilon_at_threshold). Does not own the instance.
+class DistanceDecayComparator : public Comparator {
+ public:
+  struct Options {
+    /// Indistinguishability threshold on the absolute value distance.
+    double delta = 0.0;
+    /// P(correct) for pairs at or below the threshold (0.5 = fair coin).
+    double below_threshold_correct_prob = 0.5;
+    /// Error probability just above the threshold; must be in [0, 0.5).
+    double epsilon_at_threshold = 0.3;
+    /// Exponential decay rate of the error in (d - delta); >= 0.
+    double decay = 5.0;
+  };
+
+  DistanceDecayComparator(const Instance* instance, const Options& options,
+                          uint64_t seed);
+
+ private:
+  ElementId DoCompare(ElementId a, ElementId b) override;
+
+  const Instance* instance_;
+  Options options_;
+  Rng rng_;
+};
+
+/// Crowd model with persistent per-pair bias below a relative-difference
+/// threshold (the CARS regime of Figure 2(b)).
+///
+/// For a pair with relative difference at or below `relative_threshold`,
+/// the crowd has a persistent preferred winner, drawn once per pair and
+/// correct with probability `preferred_correct_prob(rel_diff)` (a step
+/// function over buckets). Each individual query returns the preferred
+/// winner with probability 1 - individual_noise. Majority voting therefore
+/// converges to the *preferred* winner, and accuracy plateaus at the
+/// probability the preference is correct — no number of naive workers can
+/// exceed it. Above the threshold behaviour is probabilistic with error
+/// `above_threshold_error`, so majority voting converges to correct.
+/// Does not own the instance.
+class PersistentBiasComparator : public Comparator {
+ public:
+  struct Bucket {
+    /// Pairs with rel_diff <= max_relative_difference fall in this bucket
+    /// (buckets are checked in order).
+    double max_relative_difference;
+    /// Probability the crowd's persistent preferred winner is the correct
+    /// element for pairs in this bucket.
+    double preferred_correct_prob;
+  };
+
+  struct Options {
+    /// Buckets in increasing max_relative_difference order; pairs above the
+    /// last bucket's bound are "easy" (no persistent bias).
+    std::vector<Bucket> buckets;
+    /// Per-query probability an individual worker deviates from the
+    /// crowd-preferred answer on a hard pair.
+    double individual_noise = 0.28;
+    /// Per-query error probability on easy pairs (decays is not modeled;
+    /// a constant suffices for the regime above the plateau).
+    double above_threshold_error = 0.15;
+  };
+
+  PersistentBiasComparator(const Instance* instance, const Options& options,
+                           uint64_t seed);
+
+ private:
+  ElementId DoCompare(ElementId a, ElementId b) override;
+
+  static uint64_t PairKey(ElementId a, ElementId b);
+
+  const Instance* instance_;
+  Options options_;
+  Rng rng_;
+  // Per-pair persistent preferred winner for pairs inside a bucket.
+  std::unordered_map<uint64_t, ElementId> preferred_;
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_WORKER_MODEL_H_

@@ -1,0 +1,74 @@
+#include "datasets/dots.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace crowdmax {
+
+DotsDataset::DotsDataset(std::vector<int64_t> dot_counts)
+    : dot_counts_(std::move(dot_counts)) {}
+
+Result<DotsDataset> DotsDataset::Range(int64_t min_dots, int64_t max_dots,
+                                       int64_t step) {
+  if (min_dots < 1) return Status::InvalidArgument("min_dots must be >= 1");
+  if (step < 1) return Status::InvalidArgument("step must be >= 1");
+  if (max_dots < min_dots) {
+    return Status::InvalidArgument("max_dots must be >= min_dots");
+  }
+  std::vector<int64_t> counts;
+  for (int64_t d = min_dots; d <= max_dots; d += step) counts.push_back(d);
+  return DotsDataset(std::move(counts));
+}
+
+DotsDataset DotsDataset::Standard() {
+  return std::move(Range(100, 1500, 20)).value();
+}
+
+DotsDataset DotsDataset::GoldenSet() {
+  return std::move(Range(200, 800, 20)).value();
+}
+
+Result<DotsDataset> DotsDataset::FromCounts(std::vector<int64_t> dot_counts) {
+  if (dot_counts.empty()) {
+    return Status::InvalidArgument("dot_counts must be non-empty");
+  }
+  for (int64_t count : dot_counts) {
+    if (count < 1) return Status::InvalidArgument("dot counts must be >= 1");
+  }
+  return DotsDataset(std::move(dot_counts));
+}
+
+Result<DotsDataset> DotsDataset::Sample(int64_t n, uint64_t seed) const {
+  if (n < 1 || n > size()) {
+    return Status::InvalidArgument("sample size out of range");
+  }
+  Rng rng(seed);
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(
+      dot_counts_.size(), static_cast<size_t>(n));
+  std::sort(picks.begin(), picks.end());
+  std::vector<int64_t> counts;
+  counts.reserve(picks.size());
+  for (size_t i : picks) counts.push_back(dot_counts_[i]);
+  return DotsDataset(std::move(counts));
+}
+
+Instance DotsDataset::ToInstance() const {
+  std::vector<double> values;
+  values.reserve(dot_counts_.size());
+  for (int64_t d : dot_counts_) values.push_back(-static_cast<double>(d));
+  return Instance(std::move(values));
+}
+
+RelativeErrorComparator::Options DotsWorkerModel() {
+  RelativeErrorComparator::Options options;
+  // Calibrated to Figure 2(a): ~0.40 error at 5% relative difference
+  // (the midpoint of the hardest bucket), ~0.26 at 15%, ~0.16 at 25%.
+  options.base_error = 0.5;
+  options.decay = 4.5;
+  options.max_error = 0.5;
+  return options;
+}
+
+}  // namespace crowdmax

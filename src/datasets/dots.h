@@ -1,0 +1,66 @@
+// The DOTS dataset (Section 3.1): images of randomly placed dots, compared
+// by "which picture has fewer dots?".
+//
+// The paper used rendered images on CrowdFlower; algorithms only ever see
+// comparison outcomes, so we keep the dot counts (the hidden values) and
+// pair them with the probabilistic worker model calibrated to Figure 2(a):
+// per-query error decays with the relative count difference and answers are
+// independent, so majority voting converges to the truth — the
+// wisdom-of-crowds regime.
+
+#ifndef CROWDMAX_DATASETS_DOTS_H_
+#define CROWDMAX_DATASETS_DOTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/instance.h"
+#include "core/worker_model.h"
+
+namespace crowdmax {
+
+/// A collection of dot images identified by their dot counts.
+class DotsDataset {
+ public:
+  /// Images with dot counts min_dots, min_dots+step, ..., <= max_dots.
+  /// Requires min_dots >= 1, step >= 1, max_dots >= min_dots.
+  static Result<DotsDataset> Range(int64_t min_dots, int64_t max_dots,
+                                   int64_t step);
+
+  /// The paper's main DOTS collection: counts from 100 to 1500, step 20
+  /// (71 images).
+  static DotsDataset Standard();
+
+  /// The paper's golden set: counts from 200 to 800, step 20 (31 images),
+  /// used for gold comparisons.
+  static DotsDataset GoldenSet();
+
+  /// Wraps an explicit list of dot counts (e.g. loaded from CSV). Requires
+  /// a non-empty list of counts >= 1.
+  static Result<DotsDataset> FromCounts(std::vector<int64_t> dot_counts);
+
+  /// Deterministically subsamples `n` images. Requires n <= size().
+  Result<DotsDataset> Sample(int64_t n, uint64_t seed) const;
+
+  const std::vector<int64_t>& dot_counts() const { return dot_counts_; }
+  int64_t size() const { return static_cast<int64_t>(dot_counts_.size()); }
+
+  /// Instance for the paper's task "select the image with the fewest
+  /// dots": value = -dots, so max-finding returns the sparsest image.
+  Instance ToInstance() const;
+
+ private:
+  explicit DotsDataset(std::vector<int64_t> dot_counts);
+
+  std::vector<int64_t> dot_counts_;
+};
+
+/// Worker model calibrated to Figure 2(a): single-worker accuracy ~0.6 for
+/// relative differences under 10%, rising with the difference, and
+/// independent across queries so majority voting approaches accuracy 1.
+RelativeErrorComparator::Options DotsWorkerModel();
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_DATASETS_DOTS_H_

@@ -1,0 +1,82 @@
+#include "datasets/instances.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace crowdmax {
+
+Result<Instance> UniformInstance(int64_t n, uint64_t seed, double lo,
+                                 double hi) {
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  if (!(lo < hi)) return Status::InvalidArgument("need lo < hi");
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) values.push_back(rng.NextDouble(lo, hi));
+  return Instance(std::move(values));
+}
+
+Result<Instance> PackedInstance(int64_t n, uint64_t seed, double center,
+                                double spread) {
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  if (spread <= 0.0) return Status::InvalidArgument("spread must be > 0");
+  Rng rng(seed);
+  // Evenly spaced distinct values in [center, center + spread], visited in
+  // a random order so element id does not encode rank.
+  std::vector<double> values(static_cast<size_t>(n));
+  // The shrink factor keeps center + (n-1)*step within [center, center +
+  // spread] despite floating-point rounding of the additions.
+  const double step =
+      n > 1 ? spread * (1.0 - 1e-9) / static_cast<double>(n - 1) : 0.0;
+  std::vector<size_t> slots(static_cast<size_t>(n));
+  for (size_t i = 0; i < slots.size(); ++i) slots[i] = i;
+  rng.Shuffle(&slots);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    values[i] = center + static_cast<double>(slots[i]) * step;
+  }
+  return Instance(std::move(values));
+}
+
+Result<Lemma7Instance> MakeLemma7Instance(int64_t n, int64_t u_n,
+                                          double delta_n) {
+  if (n < 2) return Status::InvalidArgument("n must be >= 2");
+  if (u_n < 1 || u_n > n) {
+    return Status::InvalidArgument("need 1 <= u_n <= n");
+  }
+  if (delta_n <= 0.0) return Status::InvalidArgument("delta_n must be > 0");
+
+  const double v_max = 10.0 * delta_n;  // Arbitrary anchor value for e*.
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(n));
+  values.push_back(v_max);  // e* = element 0.
+
+  // E2: u_n - 1 elements at distance ~0.8*delta_n, within the naive
+  // threshold of e*; tiny even spacing keeps them distinct while staying
+  // mutually indistinguishable.
+  const int64_t e2_count = u_n - 1;
+  for (int64_t i = 0; i < e2_count; ++i) {
+    const double jitter =
+        e2_count > 1 ? 0.01 * delta_n * static_cast<double>(i) /
+                           static_cast<double>(e2_count - 1)
+                     : 0.0;
+    values.push_back(v_max - 0.8 * delta_n + jitter);
+  }
+
+  // E1: the remaining elements spread evenly over [1.45, 1.55]*delta_n
+  // below e*.
+  const int64_t e1_count = n - u_n;
+  for (int64_t i = 0; i < e1_count; ++i) {
+    const double offset =
+        e1_count > 1 ? 0.1 * delta_n * static_cast<double>(i) /
+                           static_cast<double>(e1_count - 1)
+                     : 0.05 * delta_n;
+    values.push_back(v_max - 1.45 * delta_n - offset);
+  }
+
+  Lemma7Instance out{Instance(std::move(values)), /*claimed_max=*/0, delta_n};
+  return out;
+}
+
+}  // namespace crowdmax

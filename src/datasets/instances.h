@@ -1,0 +1,51 @@
+// Synthetic problem-instance generators used throughout the evaluation.
+//
+// UniformInstance reproduces the paper's random inputs ("we selected n
+// random values independently and uniformly at random from a range");
+// PackedInstance and MakeLemma7Instance build the adversarial inputs used
+// for worst-case and lower-bound experiments.
+
+#ifndef CROWDMAX_DATASETS_INSTANCES_H_
+#define CROWDMAX_DATASETS_INSTANCES_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/instance.h"
+
+namespace crowdmax {
+
+/// n values drawn i.i.d. uniform from [lo, hi). Requires n >= 1, lo < hi.
+Result<Instance> UniformInstance(int64_t n, uint64_t seed, double lo = 0.0,
+                                 double hi = 1.0);
+
+/// n distinct values packed inside [center, center + spread]: for any
+/// threshold delta >= spread every pair is indistinguishable, which drives
+/// threshold-model algorithms (combined with AdversarialComparator) to
+/// their worst case. Requires n >= 1 and spread > 0.
+Result<Instance> PackedInstance(int64_t n, uint64_t seed, double center = 0.5,
+                                double spread = 1e-6);
+
+/// The instance family from the proof of Lemma 7 (Figure 8): a claimed
+/// maximum e*, a block E2 of u_n - 1 elements at distance 0.8*delta_n from
+/// e* (naive-indistinguishable from it), and a block E1 with the remaining
+/// n - u_n elements spread evenly over an interval of length 0.1*delta_n
+/// centred at distance 1.5*delta_n (distinguishable from e*, mutually
+/// indistinguishable). Any naive-only algorithm that rules e* out without
+/// u_n comparisons involving it is wrong on some instance of this family.
+struct Lemma7Instance {
+  Instance instance;
+  /// The planted maximum e* (always element 0).
+  ElementId claimed_max = 0;
+  /// The naive threshold the construction is calibrated for.
+  double delta_n = 0.0;
+};
+
+/// Builds the Lemma 7 instance. Requires n >= 2, 1 <= u_n <= n, and
+/// delta_n > 0.
+Result<Lemma7Instance> MakeLemma7Instance(int64_t n, int64_t u_n,
+                                          double delta_n);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_DATASETS_INSTANCES_H_

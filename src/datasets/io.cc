@@ -1,0 +1,199 @@
+#include "datasets/io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crowdmax {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+Status ExpectHeader(std::istream& in, const std::string& expected) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty input: missing header");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != expected) {
+    return Status::InvalidArgument("unexpected header: \"" + line +
+                                   "\" (want \"" + expected + "\")");
+  }
+  return Status::OK();
+}
+
+Result<double> ParseDouble(const std::string& field, int64_t line_number) {
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad number \"" + field + "\" on line " +
+                                   std::to_string(line_number));
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt(const std::string& field, int64_t line_number) {
+  char* end = nullptr;
+  const long long value = std::strtoll(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer \"" + field + "\" on line " +
+                                   std::to_string(line_number));
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::string FormatPrice(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return buf;
+}
+
+std::string FormatValue(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+Status WriteInstanceCsv(const Instance& instance, std::ostream& out) {
+  out << "id,value\n";
+  for (ElementId e = 0; e < instance.size(); ++e) {
+    out << e << ',' << FormatValue(instance.value(e)) << '\n';
+  }
+  return Status::OK();
+}
+
+Result<Instance> ReadInstanceCsv(std::istream& in) {
+  if (Status status = ExpectHeader(in, "id,value"); !status.ok()) {
+    return status;
+  }
+  std::vector<double> values;
+  std::string line;
+  int64_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 2) {
+      return Status::InvalidArgument("expected 2 columns on line " +
+                                     std::to_string(line_number));
+    }
+    Result<int64_t> id = ParseInt(fields[0], line_number);
+    if (!id.ok()) return id.status();
+    if (*id != static_cast<int64_t>(values.size())) {
+      return Status::InvalidArgument("ids must be dense and ordered (line " +
+                                     std::to_string(line_number) + ")");
+    }
+    Result<double> value = ParseDouble(fields[1], line_number);
+    if (!value.ok()) return value.status();
+    values.push_back(*value);
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("instance has no rows");
+  }
+  return Instance(std::move(values));
+}
+
+Status WriteDotsCsv(const DotsDataset& dots, std::ostream& out) {
+  out << "image,dots\n";
+  for (size_t i = 0; i < dots.dot_counts().size(); ++i) {
+    out << i << ',' << dots.dot_counts()[i] << '\n';
+  }
+  return Status::OK();
+}
+
+Result<DotsDataset> ReadDotsCsv(std::istream& in) {
+  if (Status status = ExpectHeader(in, "image,dots"); !status.ok()) {
+    return status;
+  }
+  std::vector<int64_t> counts;
+  std::string line;
+  int64_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 2) {
+      return Status::InvalidArgument("expected 2 columns on line " +
+                                     std::to_string(line_number));
+    }
+    Result<int64_t> count = ParseInt(fields[1], line_number);
+    if (!count.ok()) return count.status();
+    counts.push_back(*count);
+  }
+  return DotsDataset::FromCounts(std::move(counts));
+}
+
+Status WriteCarsCsv(const CarsDataset& cars, std::ostream& out) {
+  for (const Car& car : cars.cars()) {
+    if (car.make.find(',') != std::string::npos ||
+        car.model.find(',') != std::string::npos ||
+        car.body_style.find(',') != std::string::npos) {
+      return Status::InvalidArgument(
+          "car fields must not contain commas: " + car.make + " " +
+          car.model);
+    }
+  }
+  out << "make,model,body_style,year,doors,price\n";
+  for (const Car& car : cars.cars()) {
+    out << car.make << ',' << car.model << ',' << car.body_style << ','
+        << car.year << ',' << car.doors << ',' << FormatPrice(car.price)
+        << '\n';
+  }
+  return Status::OK();
+}
+
+Result<CarsDataset> ReadCarsCsv(std::istream& in) {
+  if (Status status =
+          ExpectHeader(in, "make,model,body_style,year,doors,price");
+      !status.ok()) {
+    return status;
+  }
+  std::vector<Car> cars;
+  std::string line;
+  int64_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 6) {
+      return Status::InvalidArgument("expected 6 columns on line " +
+                                     std::to_string(line_number));
+    }
+    Car car;
+    car.make = fields[0];
+    car.model = fields[1];
+    car.body_style = fields[2];
+    Result<int64_t> year = ParseInt(fields[3], line_number);
+    if (!year.ok()) return year.status();
+    car.year = static_cast<int>(*year);
+    Result<int64_t> doors = ParseInt(fields[4], line_number);
+    if (!doors.ok()) return doors.status();
+    car.doors = static_cast<int>(*doors);
+    Result<double> price = ParseDouble(fields[5], line_number);
+    if (!price.ok()) return price.status();
+    car.price = *price;
+    cars.push_back(std::move(car));
+  }
+  return CarsDataset::FromCars(std::move(cars));
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,48 @@
+// CSV import/export for instances and catalogs.
+//
+// Stream-based (callers own file handling), so the code stays testable and
+// free of <filesystem>. Formats are stable, header-first, plain CSV; every
+// reader validates the header and column counts and reports the offending
+// line on failure.
+//
+//   instance.csv : id,value
+//   dots.csv     : image,dots
+//   cars.csv     : make,model,body_style,year,doors,price
+
+#ifndef CROWDMAX_DATASETS_IO_H_
+#define CROWDMAX_DATASETS_IO_H_
+
+#include <iosfwd>
+
+#include "common/status.h"
+#include "core/instance.h"
+#include "datasets/cars.h"
+#include "datasets/dots.h"
+
+namespace crowdmax {
+
+/// Writes `instance` as "id,value" rows.
+Status WriteInstanceCsv(const Instance& instance, std::ostream& out);
+
+/// Reads an instance written by WriteInstanceCsv. Ids must be dense and in
+/// order (0, 1, ...).
+Result<Instance> ReadInstanceCsv(std::istream& in);
+
+/// Writes the dots catalog as "image,dots" rows.
+Status WriteDotsCsv(const DotsDataset& dots, std::ostream& out);
+
+/// Reads a dots catalog written by WriteDotsCsv.
+Result<DotsDataset> ReadDotsCsv(std::istream& in);
+
+/// Writes the car catalog as "make,model,body_style,year,doors,price"
+/// rows. Fields must not contain commas (the synthetic catalog never
+/// does); returns InvalidArgument otherwise rather than emitting a
+/// malformed file.
+Status WriteCarsCsv(const CarsDataset& cars, std::ostream& out);
+
+/// Reads a car catalog written by WriteCarsCsv.
+Result<CarsDataset> ReadCarsCsv(std::istream& in);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_DATASETS_IO_H_

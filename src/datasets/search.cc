@@ -1,0 +1,139 @@
+#include "datasets/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace crowdmax {
+
+SearchQueryDataset::SearchQueryDataset(std::string query,
+                                       std::vector<SearchResult> results)
+    : query_(std::move(query)), results_(std::move(results)) {}
+
+Result<SearchQueryDataset> SearchQueryDataset::Generate(
+    const std::string& query, const SearchQueryOptions& options,
+    uint64_t seed) {
+  if (options.num_results < 2) {
+    return Status::InvalidArgument("num_results must be >= 2");
+  }
+  if (options.top_k < options.num_results) {
+    return Status::InvalidArgument("top_k must be >= num_results");
+  }
+  if (options.near_best_count < 0 ||
+      options.near_best_count >= options.num_results) {
+    return Status::InvalidArgument("near_best_count out of range");
+  }
+  if (options.best_margin <= 0.0 || options.best_margin >= 0.5) {
+    return Status::InvalidArgument("best_margin must be in (0, 0.5)");
+  }
+
+  Rng rng(seed);
+  // Sample distinct SERP positions uniformly across the top_k (the paper:
+  // "50 results from Google, distributed uniformly among the top-100").
+  std::vector<size_t> positions = rng.SampleWithoutReplacement(
+      static_cast<size_t>(options.top_k),
+      static_cast<size_t>(options.num_results));
+  std::sort(positions.begin(), positions.end());
+
+  std::vector<SearchResult> results;
+  results.reserve(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    SearchResult r;
+    r.serp_position = static_cast<int64_t>(positions[i]) + 1;
+    r.title = "result-" + std::to_string(r.serp_position) + " for \"" +
+              query + "\"";
+    results.push_back(std::move(r));
+  }
+
+  // Relevance structure: index 0 of the *sampled list order after
+  // shuffling* is not special — instead pick a random sampled result as
+  // the true best, give a block of near-best results just under it, and
+  // let the rest decay with SERP position plus noise.
+  const size_t best_index = static_cast<size_t>(
+      rng.NextBounded(results.size()));
+  const double best_relevance = 0.97;
+  const double near_best_floor = best_relevance - options.best_margin;
+
+  // Choose the near-best block among the other results.
+  std::vector<size_t> others;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i != best_index) others.push_back(i);
+  }
+  rng.Shuffle(&others);
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i == best_index) {
+      results[i].relevance = best_relevance;
+    }
+  }
+  for (size_t k = 0; k < others.size(); ++k) {
+    SearchResult& r = results[others[k]];
+    if (static_cast<int64_t>(k) < options.near_best_count) {
+      // Packed just below the best, inside the naive threshold: distinct
+      // values spread over half the margin.
+      const double offset =
+          options.best_margin *
+          (0.2 + 0.5 * static_cast<double>(k) /
+                     std::max<double>(1.0, static_cast<double>(
+                                               options.near_best_count)));
+      r.relevance = best_relevance - offset;
+    } else {
+      // Tail: decays with SERP position, with noise, capped well below the
+      // near-best block.
+      const double pos = static_cast<double>(r.serp_position);
+      const double base = 0.75 * std::exp(-pos / 45.0);
+      const double noisy = base + rng.NextDouble(-0.05, 0.05);
+      r.relevance = std::clamp(noisy, 0.01, near_best_floor - 0.05);
+    }
+  }
+  return SearchQueryDataset(query, std::move(results));
+}
+
+Instance SearchQueryDataset::ToInstance() const {
+  std::vector<double> values;
+  values.reserve(results_.size());
+  for (const SearchResult& r : results_) values.push_back(r.relevance);
+  return Instance(std::move(values));
+}
+
+double SearchQueryDataset::SuggestedNaiveDelta() const {
+  // Place the threshold in the middle of the widest gap in the sorted
+  // distances-from-best, so the near-best block (and only it) falls inside.
+  double best = 0.0;
+  for (const SearchResult& r : results_) best = std::max(best, r.relevance);
+  std::vector<double> distances;
+  distances.reserve(results_.size());
+  for (const SearchResult& r : results_) distances.push_back(best - r.relevance);
+  std::sort(distances.begin(), distances.end());
+  double widest_gap = 0.0;
+  double delta = distances.back() / 2.0;
+  for (size_t i = 1; i < distances.size(); ++i) {
+    const double gap = distances[i] - distances[i - 1];
+    if (gap > widest_gap) {
+      widest_gap = gap;
+      delta = (distances[i] + distances[i - 1]) / 2.0;
+    }
+  }
+  return delta;
+}
+
+ThresholdComparator::Options SearchNaiveWorkerModel(double delta) {
+  ThresholdComparator::Options options;
+  options.model.delta = delta;
+  options.model.epsilon = 0.08;  // Occasional slips on easy judgments.
+  options.tie_policy = TiePolicy::kFreshCoin;
+  options.below_threshold_correct_prob = 0.5;
+  return options;
+}
+
+ThresholdComparator::Options SearchExpertWorkerModel() {
+  ThresholdComparator::Options options;
+  options.model.delta = 0.005;  // Resolves everything but exact ties.
+  options.model.epsilon = 0.0;
+  options.tie_policy = TiePolicy::kFreshCoin;
+  return options;
+}
+
+}  // namespace crowdmax

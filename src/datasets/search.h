@@ -1,0 +1,84 @@
+// The search-result evaluation scenario (Section 5.3).
+//
+// The paper took two literature queries ("asymmetric tsp best
+// approximation", "steiner tree best approximation"), sampled 50 of the
+// top-100 Google results for each, and asked CrowdFlower workers (naive)
+// and algorithms researchers (experts) which result was best. We synthesize
+// relevance-scored result lists with the same structure: one clearly best
+// result (the recent state-of-the-art paper), a handful of
+// nearly-as-relevant results a naive worker cannot separate from it, and a
+// long tail of less relevant hits.
+
+#ifndef CROWDMAX_DATASETS_SEARCH_H_
+#define CROWDMAX_DATASETS_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/instance.h"
+#include "core/worker_model.h"
+
+namespace crowdmax {
+
+/// One synthetic search result.
+struct SearchResult {
+  /// 1-based rank at which the engine served this result (<= top_k).
+  int64_t serp_position = 1;
+  /// Hidden relevance in (0, 1]; the best result has the maximum.
+  double relevance = 0.0;
+  /// Display title, e.g. "result-17 for <query>".
+  std::string title;
+};
+
+/// Configuration of the generator.
+struct SearchQueryOptions {
+  /// Results sampled from the engine's top `top_k` positions (the paper
+  /// samples 50 of the top 100, uniformly across positions).
+  int64_t num_results = 50;
+  int64_t top_k = 100;
+  /// Relevance margin separating the best result from the runner-up block;
+  /// experts can resolve it, naive workers cannot.
+  double best_margin = 0.03;
+  /// Number of near-best results packed within the naive threshold of the
+  /// best (controls the effective u_n of the instance).
+  int64_t near_best_count = 7;
+};
+
+/// A synthetic result list for one query.
+class SearchQueryDataset {
+ public:
+  static Result<SearchQueryDataset> Generate(const std::string& query,
+                                             const SearchQueryOptions& options,
+                                             uint64_t seed);
+
+  const std::string& query() const { return query_; }
+  const std::vector<SearchResult>& results() const { return results_; }
+  int64_t size() const { return static_cast<int64_t>(results_.size()); }
+
+  /// Instance for "select the most relevant result": value = relevance.
+  Instance ToInstance() const;
+
+  /// A naive-threshold suggestion for this list: the distance realizing
+  /// roughly the configured near-best block.
+  double SuggestedNaiveDelta() const;
+
+ private:
+  SearchQueryDataset(std::string query, std::vector<SearchResult> results);
+
+  std::string query_;
+  std::vector<SearchResult> results_;
+};
+
+/// Naive CrowdFlower-style worker for relevance judgments: threshold model
+/// with `delta` on the relevance scale and a small residual error.
+ThresholdComparator::Options SearchNaiveWorkerModel(double delta);
+
+/// Expert judge (an algorithms researcher): near-zero threshold, no
+/// residual error.
+ThresholdComparator::Options SearchExpertWorkerModel();
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_DATASETS_SEARCH_H_

@@ -1,0 +1,48 @@
+#include "platform/gold.h"
+
+namespace crowdmax {
+
+GoldQualityControl::GoldQualityControl(const Instance* gold_truth,
+                                       const Options& options)
+    : gold_truth_(gold_truth), options_(options) {
+  CROWDMAX_CHECK(gold_truth != nullptr);
+  CROWDMAX_CHECK(options.min_accuracy >= 0.0 && options.min_accuracy <= 1.0);
+  CROWDMAX_CHECK(options.min_gold_answers >= 0);
+}
+
+void GoldQualityControl::RecordGoldAnswer(int32_t worker_id,
+                                          const ComparisonTask& task,
+                                          ElementId answer) {
+  CROWDMAX_DCHECK(gold_truth_->Contains(task.a) &&
+                  gold_truth_->Contains(task.b));
+  const ElementId correct =
+      gold_truth_->value(task.a) >= gold_truth_->value(task.b) ? task.a
+                                                               : task.b;
+  WorkerGoldStats& stats = ledger_[worker_id];
+  ++stats.asked;
+  if (answer == correct) ++stats.correct;
+}
+
+bool GoldQualityControl::IsTrusted(int32_t worker_id) const {
+  auto it = ledger_.find(worker_id);
+  if (it == ledger_.end()) return true;
+  const WorkerGoldStats& stats = it->second;
+  if (stats.asked < options_.min_gold_answers) return true;
+  return stats.Accuracy() >= options_.min_accuracy;
+}
+
+GoldQualityControl::WorkerGoldStats GoldQualityControl::stats(
+    int32_t worker_id) const {
+  auto it = ledger_.find(worker_id);
+  return it == ledger_.end() ? WorkerGoldStats{} : it->second;
+}
+
+int64_t GoldQualityControl::num_untrusted() const {
+  int64_t count = 0;
+  for (const auto& [worker_id, stats] : ledger_) {
+    if (!IsTrusted(worker_id)) ++count;
+  }
+  return count;
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,66 @@
+// Gold-question quality control (Section 3.1).
+//
+// CrowdFlower interleaves "gold" comparisons whose ground truth is known
+// and ignores responses from workers whose accuracy on gold falls below
+// 70%. GoldQualityControl keeps the per-worker gold ledger and the
+// trust decision; the platform feeds it and consults it when aggregating.
+
+#ifndef CROWDMAX_PLATFORM_GOLD_H_
+#define CROWDMAX_PLATFORM_GOLD_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/instance.h"
+#include "platform/task.h"
+
+namespace crowdmax {
+
+/// Tracks per-worker accuracy on gold questions and flags untrusted
+/// workers.
+class GoldQualityControl {
+ public:
+  struct Options {
+    /// Workers below this gold accuracy are untrusted (CrowdFlower's 70%).
+    double min_accuracy = 0.7;
+    /// Workers are trusted unconditionally until they have answered this
+    /// many gold questions (too little evidence to judge).
+    int64_t min_gold_answers = 4;
+  };
+
+  /// `gold_truth` supplies ground-truth values for gold tasks; not owned.
+  GoldQualityControl(const Instance* gold_truth, const Options& options);
+
+  /// Records worker `worker_id`'s answer to gold task `task`.
+  void RecordGoldAnswer(int32_t worker_id, const ComparisonTask& task,
+                        ElementId answer);
+
+  /// True if the worker's gold accuracy so far is acceptable (or untested).
+  bool IsTrusted(int32_t worker_id) const;
+
+  /// Per-worker ledger entry.
+  struct WorkerGoldStats {
+    int64_t asked = 0;
+    int64_t correct = 0;
+
+    double Accuracy() const {
+      return asked == 0 ? 1.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(asked);
+    }
+  };
+
+  WorkerGoldStats stats(int32_t worker_id) const;
+
+  /// Number of workers currently flagged untrusted.
+  int64_t num_untrusted() const;
+
+ private:
+  const Instance* gold_truth_;
+  Options options_;
+  std::unordered_map<int32_t, WorkerGoldStats> ledger_;
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_PLATFORM_GOLD_H_

@@ -1,0 +1,256 @@
+#include "platform/platform.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+namespace crowdmax {
+
+CrowdPlatform::CrowdPlatform(std::vector<Comparator*> worker_models,
+                             const Instance* gold_truth,
+                             std::vector<ComparisonTask> gold_tasks,
+                             const PlatformOptions& options)
+    : options_(options),
+      gold_tasks_(std::move(gold_tasks)),
+      gold_control_(gold_truth, options.gold),
+      rng_(options.seed) {
+  // Spammer placement: deterministic count, random worker identities.
+  const int64_t n = options.num_workers;
+  CROWDMAX_CHECK(static_cast<int64_t>(worker_models.size()) == n);
+  num_spammers_ = static_cast<int64_t>(options.spammer_fraction *
+                                       static_cast<double>(n));
+  std::vector<bool> is_spammer(static_cast<size_t>(n), false);
+  for (size_t idx : rng_.SampleWithoutReplacement(
+           static_cast<size_t>(n), static_cast<size_t>(num_spammers_))) {
+    is_spammer[idx] = true;
+  }
+  workers_.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    SimulatedWorker::Options worker_options;
+    worker_options.slip_probability = options.honest_slip_probability;
+    worker_options.spammer = is_spammer[static_cast<size_t>(i)];
+    workers_.emplace_back(static_cast<int32_t>(i),
+                          worker_models[static_cast<size_t>(i)],
+                          worker_options, rng_.Fork());
+  }
+}
+
+Status CrowdPlatform::ValidateCommon(
+    const Instance* gold_truth, const std::vector<ComparisonTask>& gold_tasks,
+    const PlatformOptions& options) {
+  if (gold_truth == nullptr) {
+    return Status::InvalidArgument("gold_truth must not be null");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options.spammer_fraction < 0.0 || options.spammer_fraction >= 1.0) {
+    return Status::InvalidArgument("spammer_fraction must be in [0, 1)");
+  }
+  if (options.gold_task_probability < 0.0 ||
+      options.gold_task_probability > 1.0) {
+    return Status::InvalidArgument("gold_task_probability must be in [0, 1]");
+  }
+  if (options.worker_capacity_per_physical_step < 1) {
+    return Status::InvalidArgument(
+        "worker_capacity_per_physical_step must be >= 1");
+  }
+  for (const ComparisonTask& task : gold_tasks) {
+    if (!gold_truth->Contains(task.a) || !gold_truth->Contains(task.b)) {
+      return Status::InvalidArgument("gold task references unknown element");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CrowdPlatform>> CrowdPlatform::Create(
+    Comparator* crowd_model, const Instance* gold_truth,
+    std::vector<ComparisonTask> gold_tasks, const PlatformOptions& options) {
+  if (crowd_model == nullptr) {
+    return Status::InvalidArgument("crowd_model must not be null");
+  }
+  if (Status status = ValidateCommon(gold_truth, gold_tasks, options);
+      !status.ok()) {
+    return status;
+  }
+  std::vector<Comparator*> models(static_cast<size_t>(options.num_workers),
+                                  crowd_model);
+  return std::unique_ptr<CrowdPlatform>(new CrowdPlatform(
+      std::move(models), gold_truth, std::move(gold_tasks), options));
+}
+
+Result<std::unique_ptr<CrowdPlatform>> CrowdPlatform::CreateHeterogeneous(
+    std::vector<Comparator*> worker_models, const Instance* gold_truth,
+    std::vector<ComparisonTask> gold_tasks, const PlatformOptions& options) {
+  if (Status status = ValidateCommon(gold_truth, gold_tasks, options);
+      !status.ok()) {
+    return status;
+  }
+  if (static_cast<int64_t>(worker_models.size()) != options.num_workers) {
+    return Status::InvalidArgument(
+        "worker_models size must equal num_workers");
+  }
+  for (const Comparator* model : worker_models) {
+    if (model == nullptr) {
+      return Status::InvalidArgument("worker model must not be null");
+    }
+  }
+  return std::unique_ptr<CrowdPlatform>(new CrowdPlatform(
+      std::move(worker_models), gold_truth, std::move(gold_tasks), options));
+}
+
+Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
+    const std::vector<ComparisonTask>& batch, int64_t votes_per_task) {
+  if (batch.empty()) {
+    return Status::InvalidArgument("batch must be non-empty");
+  }
+  if (votes_per_task < 1 || votes_per_task > num_workers()) {
+    return Status::InvalidArgument(
+        "votes_per_task must be in [1, num_workers]");
+  }
+
+  ++logical_steps_;
+  int64_t assignments = 0;
+  std::vector<TaskOutcome> outcomes;
+  outcomes.reserve(batch.size());
+
+  for (const ComparisonTask& task : batch) {
+    TaskOutcome outcome;
+    outcome.task = task;
+    outcome.logical_step = logical_steps_;
+
+    // Distinct workers per task, sampled uniformly from the pool.
+    const std::vector<size_t> assigned = rng_.SampleWithoutReplacement(
+        workers_.size(), static_cast<size_t>(votes_per_task));
+
+    for (size_t widx : assigned) {
+      SimulatedWorker& worker = workers_[widx];
+
+      // Interleave a gold question with the configured probability; its
+      // grade feeds this worker's trust score for all later aggregation.
+      if (!gold_tasks_.empty() &&
+          rng_.NextBernoulli(options_.gold_task_probability)) {
+        const ComparisonTask& gold_task =
+            gold_tasks_[rng_.NextBounded(gold_tasks_.size())];
+        const ElementId gold_answer = worker.Answer(gold_task);
+        gold_control_.RecordGoldAnswer(worker.id(), gold_task, gold_answer);
+        ++gold_votes_;
+        ++assignments;
+      }
+
+      Vote vote;
+      vote.worker_id = worker.id();
+      vote.winner = worker.Answer(task);
+      ++total_votes_;
+      ++assignments;
+      outcome.votes.push_back(vote);
+    }
+
+    // Aggregate: majority over votes from currently trusted workers.
+    int64_t wins_a = 0;
+    int64_t counted = 0;
+    for (Vote& vote : outcome.votes) {
+      vote.counted = gold_control_.IsTrusted(vote.worker_id);
+      if (!vote.counted) {
+        ++discarded_votes_;
+        continue;
+      }
+      ++counted;
+      if (vote.winner == task.a) ++wins_a;
+    }
+    outcome.counted_votes = counted;
+    if (counted == 0) {
+      // Every assigned worker is distrusted; the paper's platform would
+      // re-post the task — we resolve it with a platform coin flip and
+      // flag it via counted_votes == 0.
+      outcome.majority_winner = rng_.NextBernoulli(0.5) ? task.a : task.b;
+      outcome.unanimous = false;
+    } else if (2 * wins_a > counted) {
+      outcome.majority_winner = task.a;
+      outcome.unanimous = wins_a == counted;
+    } else if (2 * wins_a < counted) {
+      outcome.majority_winner = task.b;
+      outcome.unanimous = wins_a == 0;
+    } else {
+      // Tie: "an arbitrary element in case of a tie" (Section 2).
+      outcome.majority_winner = rng_.NextBernoulli(0.5) ? task.a : task.b;
+      outcome.unanimous = false;
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+
+  // Physical-step accounting: the pool clears `num_workers * capacity`
+  // assignments per physical step.
+  const int64_t capacity =
+      num_workers() * options_.worker_capacity_per_physical_step;
+  physical_steps_ += (assignments + capacity - 1) / capacity;
+
+  if (options_.record_transcript) {
+    transcript_.insert(transcript_.end(), outcomes.begin(), outcomes.end());
+  }
+  return outcomes;
+}
+
+Status CrowdPlatform::ExportTranscriptCsv(std::ostream& out) const {
+  if (!options_.record_transcript) {
+    return Status::FailedPrecondition(
+        "transcript recording was not enabled (PlatformOptions::"
+        "record_transcript)");
+  }
+  out << "logical_step,a,b,worker_id,vote,counted,majority_winner,"
+         "unanimous\n";
+  for (const TaskOutcome& outcome : transcript_) {
+    for (const Vote& vote : outcome.votes) {
+      out << outcome.logical_step << ',' << outcome.task.a << ','
+          << outcome.task.b << ',' << vote.worker_id << ',' << vote.winner
+          << ',' << (vote.counted ? 1 : 0) << ',' << outcome.majority_winner
+          << ',' << (outcome.unanimous ? 1 : 0) << '\n';
+    }
+  }
+  return Status::OK();
+}
+
+PlatformComparator::PlatformComparator(CrowdPlatform* platform,
+                                       int64_t votes_per_task)
+    : platform_(platform), votes_per_task_(votes_per_task) {
+  CROWDMAX_CHECK(platform != nullptr);
+  CROWDMAX_CHECK(votes_per_task >= 1 &&
+                 votes_per_task <= platform->num_workers());
+}
+
+ElementId PlatformComparator::DoCompare(ElementId a, ElementId b) {
+  Result<std::vector<TaskOutcome>> outcome =
+      platform_->SubmitBatch({{a, b}}, votes_per_task_);
+  // Arguments were validated at construction; a failure here means the
+  // platform contract is broken.
+  CROWDMAX_CHECK(outcome.ok());
+  return outcome->front().majority_winner;
+}
+
+PlatformBatchExecutor::PlatformBatchExecutor(CrowdPlatform* platform,
+                                             int64_t votes_per_task)
+    : platform_(platform), votes_per_task_(votes_per_task) {
+  CROWDMAX_CHECK(platform != nullptr);
+  CROWDMAX_CHECK(votes_per_task >= 1 &&
+                 votes_per_task <= platform->num_workers());
+}
+
+std::vector<ElementId> PlatformBatchExecutor::DoExecuteBatch(
+    const std::vector<ComparisonPair>& tasks) {
+  std::vector<ComparisonTask> batch;
+  batch.reserve(tasks.size());
+  for (const ComparisonPair& task : tasks) {
+    batch.push_back({task.first, task.second});
+  }
+  Result<std::vector<TaskOutcome>> outcomes =
+      platform_->SubmitBatch(batch, votes_per_task_);
+  CROWDMAX_CHECK(outcomes.ok());
+  std::vector<ElementId> winners;
+  winners.reserve(outcomes->size());
+  for (const TaskOutcome& outcome : *outcomes) {
+    winners.push_back(outcome.majority_winner);
+  }
+  return winners;
+}
+
+}  // namespace crowdmax

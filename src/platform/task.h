@@ -1,0 +1,43 @@
+// Microtask primitives of the crowdsourcing platform simulator.
+
+#ifndef CROWDMAX_PLATFORM_TASK_H_
+#define CROWDMAX_PLATFORM_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace crowdmax {
+
+/// One pairwise comparison microtask: "which of a, b is larger?".
+struct ComparisonTask {
+  ElementId a = -1;
+  ElementId b = -1;
+};
+
+/// One worker's answer to a task.
+struct Vote {
+  int32_t worker_id = -1;
+  ElementId winner = -1;
+  /// False if the vote was discarded by quality control (failed gold).
+  bool counted = true;
+};
+
+/// Aggregated outcome of one task after all assigned votes arrived.
+struct TaskOutcome {
+  ComparisonTask task;
+  std::vector<Vote> votes;
+  /// Majority winner over counted votes (ties broken by platform coin).
+  ElementId majority_winner = -1;
+  /// True if every counted vote agreed.
+  bool unanimous = false;
+  /// Number of counted (trusted) votes.
+  int64_t counted_votes = 0;
+  /// The platform logical step in which this task was answered.
+  int64_t logical_step = 0;
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_PLATFORM_TASK_H_

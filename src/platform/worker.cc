@@ -1,0 +1,26 @@
+#include "platform/worker.h"
+
+namespace crowdmax {
+
+SimulatedWorker::SimulatedWorker(int32_t id, Comparator* answer_model,
+                                 const Options& options, uint64_t seed)
+    : id_(id), answer_model_(answer_model), options_(options), rng_(seed) {
+  CROWDMAX_CHECK(answer_model != nullptr);
+  CROWDMAX_CHECK(options.slip_probability >= 0.0 &&
+                 options.slip_probability <= 1.0);
+}
+
+ElementId SimulatedWorker::Answer(const ComparisonTask& task) {
+  ++tasks_answered_;
+  if (options_.spammer) {
+    return rng_.NextBernoulli(0.5) ? task.a : task.b;
+  }
+  const ElementId model_answer = answer_model_->Compare(task.a, task.b);
+  CROWDMAX_DCHECK(model_answer == task.a || model_answer == task.b);
+  if (rng_.NextBernoulli(options_.slip_probability)) {
+    return model_answer == task.a ? task.b : task.a;
+  }
+  return model_answer;
+}
+
+}  // namespace crowdmax

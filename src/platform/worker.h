@@ -1,0 +1,54 @@
+// Simulated crowd workers.
+//
+// Each worker wraps the crowd-level answer model (a Comparator, shared so
+// that crowd-level phenomena like the persistent pair bias of the CARS
+// regime are common to all workers) and adds individual behaviour: private
+// slip noise and, for spammers, uniformly random answers. Spammers are what
+// the platform's gold-question quality control (Section 3.1: answers from
+// workers below 70% gold accuracy are ignored) exists to catch.
+
+#ifndef CROWDMAX_PLATFORM_WORKER_H_
+#define CROWDMAX_PLATFORM_WORKER_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/comparator.h"
+#include "platform/task.h"
+
+namespace crowdmax {
+
+/// One simulated crowd worker.
+class SimulatedWorker {
+ public:
+  struct Options {
+    /// Probability an honest worker flips the model's answer on any query
+    /// (individual inattention on top of the crowd model).
+    double slip_probability = 0.0;
+    /// Spammers ignore the model and answer uniformly at random.
+    bool spammer = false;
+  };
+
+  /// `answer_model` is the shared crowd-level comparator; not owned, must
+  /// outlive the worker.
+  SimulatedWorker(int32_t id, Comparator* answer_model, const Options& options,
+                  uint64_t seed);
+
+  /// Produces this worker's answer to `task`.
+  ElementId Answer(const ComparisonTask& task);
+
+  int32_t id() const { return id_; }
+  bool is_spammer() const { return options_.spammer; }
+  int64_t tasks_answered() const { return tasks_answered_; }
+
+ private:
+  int32_t id_;
+  Comparator* answer_model_;
+  Options options_;
+  Rng rng_;
+  int64_t tasks_answered_ = 0;
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_PLATFORM_WORKER_H_

@@ -1,0 +1,288 @@
+// Tests for the batched (logical-step) execution of the algorithms:
+// equivalence with the sequential versions under consistent answers, and
+// the logical-step complexity (O(log n) for Algorithm 2, O(sqrt(s)) for
+// 2-MaxFind).
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/batched.h"
+#include "core/comparator.h"
+#include "core/instance.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+#include "platform/platform.h"
+
+namespace crowdmax {
+namespace {
+
+TEST(BatchExecutorTest, CountsStepsAndComparisons) {
+  Instance instance({1.0, 2.0, 3.0});
+  OracleComparator oracle(&instance);
+  ComparatorBatchExecutor executor(&oracle);
+
+  EXPECT_TRUE(executor.ExecuteBatch({}).empty());
+  EXPECT_EQ(executor.logical_steps(), 0);  // Empty batch is free.
+
+  std::vector<ElementId> winners = executor.ExecuteBatch({{0, 1}, {1, 2}});
+  ASSERT_EQ(winners.size(), 2u);
+  EXPECT_EQ(winners[0], 1);
+  EXPECT_EQ(winners[1], 2);
+  EXPECT_EQ(executor.logical_steps(), 1);
+  EXPECT_EQ(executor.comparisons(), 2);
+
+  executor.ExecuteBatch({{0, 2}});
+  EXPECT_EQ(executor.logical_steps(), 2);
+  EXPECT_EQ(executor.comparisons(), 3);
+
+  executor.ResetCounters();
+  EXPECT_EQ(executor.logical_steps(), 0);
+  EXPECT_EQ(executor.comparisons(), 0);
+}
+
+TEST(BatchedAllPlayAllTest, MatchesSequentialTournament) {
+  Result<Instance> instance = UniformInstance(20, /*seed=*/1);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator oracle(&*instance);
+  ComparatorBatchExecutor executor(&oracle);
+
+  const TournamentResult batched =
+      BatchedAllPlayAll(instance->AllElements(), &executor);
+  OracleComparator oracle2(&*instance);
+  const TournamentResult sequential =
+      AllPlayAll(instance->AllElements(), &oracle2);
+
+  EXPECT_EQ(batched.wins, sequential.wins);
+  EXPECT_EQ(batched.comparisons, sequential.comparisons);
+  EXPECT_EQ(executor.logical_steps(), 1);  // One step for the whole round.
+}
+
+// Equivalence sweep: with per-pair persistent answers, batched and
+// sequential Algorithm 2 produce identical candidate sets.
+class BatchedFilterEquivalence
+    : public ::testing::TestWithParam<std::tuple<int64_t, uint64_t>> {};
+
+TEST_P(BatchedFilterEquivalence, MatchesSequentialFilter) {
+  const auto [n, seed] = GetParam();
+  Result<Instance> instance = UniformInstance(n, seed);
+  ASSERT_TRUE(instance.ok());
+  const double delta = instance->DeltaForU(8);
+  const int64_t u_n = instance->CountWithin(delta);
+
+  ThresholdComparator::Options worker;
+  worker.model = ThresholdModel{delta, 0.0};
+  worker.tie_policy = TiePolicy::kPersistentArbitrary;
+
+  FilterOptions options;
+  options.u_n = u_n;
+
+  ThresholdComparator seq_worker(&*instance, worker, seed + 1);
+  Result<FilterResult> sequential =
+      FilterCandidates(instance->AllElements(), options, &seq_worker);
+  ASSERT_TRUE(sequential.ok());
+
+  ThresholdComparator batch_worker(&*instance, worker, seed + 1);
+  ComparatorBatchExecutor executor(&batch_worker);
+  Result<BatchedFilterResult> batched =
+      BatchedFilterCandidates(instance->AllElements(), options, &executor);
+  ASSERT_TRUE(batched.ok());
+
+  EXPECT_EQ(batched->filter.candidates, sequential->candidates);
+  EXPECT_EQ(batched->filter.rounds, sequential->rounds);
+  EXPECT_EQ(batched->filter.paid_comparisons, sequential->paid_comparisons);
+  // One logical step per round.
+  EXPECT_EQ(batched->logical_steps, batched->filter.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BatchedFilterEquivalence,
+    ::testing::Combine(::testing::Values<int64_t>(100, 500, 2000),
+                       ::testing::Values<uint64_t>(7, 8, 9)));
+
+TEST(BatchedFilterTest, LogarithmicLogicalSteps) {
+  for (int64_t n : {1000, 2000, 4000, 8000}) {
+    Result<Instance> instance =
+        UniformInstance(n, /*seed=*/static_cast<uint64_t>(n));
+    ASSERT_TRUE(instance.ok());
+    const double delta = instance->DeltaForU(5);
+    ThresholdComparator worker(&*instance, ThresholdModel{delta, 0.0},
+                               /*seed=*/1);
+    ComparatorBatchExecutor executor(&worker);
+    FilterOptions options;
+    options.u_n = instance->CountWithin(delta);
+    Result<BatchedFilterResult> result =
+        BatchedFilterCandidates(instance->AllElements(), options, &executor);
+    ASSERT_TRUE(result.ok());
+    // i* <= log2(n) rounds (Lemma 3's proof).
+    EXPECT_LE(result->logical_steps,
+              static_cast<int64_t>(std::log2(static_cast<double>(n))) + 1);
+  }
+}
+
+TEST(BatchedFilterTest, MemoizationSkipsRepeatedPairsAcrossRounds) {
+  Result<Instance> instance = UniformInstance(800, /*seed=*/21);
+  ASSERT_TRUE(instance.ok());
+  const double delta = instance->DeltaForU(10);
+  ThresholdComparator::Options worker;
+  worker.model = ThresholdModel{delta, 0.0};
+  worker.tie_policy = TiePolicy::kPersistentArbitrary;
+
+  FilterOptions plain;
+  plain.u_n = instance->CountWithin(delta);
+  FilterOptions memoized = plain;
+  memoized.memoize = true;
+
+  ThresholdComparator worker_a(&*instance, worker, /*seed=*/22);
+  ComparatorBatchExecutor exec_a(&worker_a);
+  Result<BatchedFilterResult> r_plain =
+      BatchedFilterCandidates(instance->AllElements(), plain, &exec_a);
+
+  ThresholdComparator worker_b(&*instance, worker, /*seed=*/22);
+  ComparatorBatchExecutor exec_b(&worker_b);
+  Result<BatchedFilterResult> r_memo =
+      BatchedFilterCandidates(instance->AllElements(), memoized, &exec_b);
+
+  ASSERT_TRUE(r_plain.ok() && r_memo.ok());
+  EXPECT_EQ(r_plain->filter.candidates, r_memo->filter.candidates);
+  EXPECT_LE(r_memo->filter.paid_comparisons,
+            r_plain->filter.paid_comparisons);
+}
+
+TEST(BatchedFilterTest, HonorsComparisonBudget) {
+  Result<Instance> instance = UniformInstance(600, /*seed=*/91);
+  ASSERT_TRUE(instance.ok());
+  const double delta = instance->DeltaForU(8);
+  ThresholdComparator worker(&*instance, ThresholdModel{delta, 0.0}, 92);
+  ComparatorBatchExecutor executor(&worker);
+  FilterOptions options;
+  options.u_n = instance->CountWithin(delta);
+  options.max_comparisons = 10000;
+  Result<BatchedFilterResult> result =
+      BatchedFilterCandidates(instance->AllElements(), options, &executor);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->filter.stopped_by_budget);
+  EXPECT_LE(result->filter.paid_comparisons, 10000);
+  // The maximum survives an early stop.
+  bool found = false;
+  for (ElementId e : result->filter.candidates) {
+    found = found || e == instance->MaxElement();
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BatchedTwoMaxFindTest, MatchesSequentialUnderConsistentAnswers) {
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    Result<Instance> instance = UniformInstance(150, seed);
+    ASSERT_TRUE(instance.ok());
+    const double delta = instance->DeltaForU(10);
+    ThresholdComparator::Options worker;
+    worker.model = ThresholdModel{delta, 0.0};
+    worker.tie_policy = TiePolicy::kPersistentArbitrary;
+
+    ThresholdComparator seq_worker(&*instance, worker, seed + 1);
+    Result<MaxFindResult> sequential =
+        TwoMaxFind(instance->AllElements(), &seq_worker);
+
+    ThresholdComparator batch_worker(&*instance, worker, seed + 1);
+    ComparatorBatchExecutor executor(&batch_worker);
+    Result<BatchedMaxFindResult> batched =
+        BatchedTwoMaxFind(instance->AllElements(), &executor);
+
+    ASSERT_TRUE(sequential.ok() && batched.ok());
+    EXPECT_EQ(batched->maxfind.best, sequential->best);
+    EXPECT_EQ(batched->maxfind.rounds, sequential->rounds);
+    EXPECT_EQ(batched->maxfind.paid_comparisons,
+              sequential->paid_comparisons);
+  }
+}
+
+TEST(BatchedTwoMaxFindTest, SquareRootLogicalSteps) {
+  for (int64_t s : {100, 400, 1600}) {
+    Result<Instance> instance =
+        UniformInstance(s, /*seed=*/static_cast<uint64_t>(s) + 41);
+    ASSERT_TRUE(instance.ok());
+    OracleComparator oracle(&*instance);
+    ComparatorBatchExecutor executor(&oracle);
+    Result<BatchedMaxFindResult> result =
+        BatchedTwoMaxFind(instance->AllElements(), &executor);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->maxfind.best, instance->MaxElement());
+    // At most 2 steps per round plus the final tournament; rounds are
+    // O(sqrt(s)) with consistent answers.
+    const int64_t sqrt_s = static_cast<int64_t>(
+        std::ceil(std::sqrt(static_cast<double>(s))));
+    EXPECT_LE(result->logical_steps, 2 * (2 * sqrt_s + 2) + 1)
+        << "s=" << s;
+  }
+}
+
+TEST(BatchedTwoMaxFindTest, SingletonNeedsNoSteps) {
+  Instance instance({5.0});
+  OracleComparator oracle(&instance);
+  ComparatorBatchExecutor executor(&oracle);
+  Result<BatchedMaxFindResult> result = BatchedTwoMaxFind({0}, &executor);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->maxfind.best, 0);
+  EXPECT_EQ(result->logical_steps, 0);
+}
+
+TEST(BatchedExpertMaxTest, EndToEndGuaranteeAndStepBudget) {
+  Result<Instance> instance = UniformInstance(2000, /*seed=*/51);
+  ASSERT_TRUE(instance.ok());
+  const double delta_n = instance->DeltaForU(15);
+  const double delta_e = instance->DeltaForU(4);
+  ThresholdComparator naive(&*instance, ThresholdModel{delta_n, 0.0},
+                            /*seed=*/52);
+  ThresholdComparator expert(&*instance, ThresholdModel{delta_e, 0.0},
+                             /*seed=*/53);
+  ComparatorBatchExecutor naive_exec(&naive);
+  ComparatorBatchExecutor expert_exec(&expert);
+
+  ExpertMaxOptions options;
+  options.filter.u_n = instance->CountWithin(delta_n);
+  Result<BatchedExpertMaxResult> result = BatchedFindMaxWithExperts(
+      instance->AllElements(), &naive_exec, &expert_exec, options);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_LE(instance->Distance(result->result.best, instance->MaxElement()),
+            2.0 * delta_e + 1e-12);
+  // Latency: logarithmic naive phase, sqrt-sized expert phase.
+  EXPECT_LE(result->naive_steps, 12);
+  EXPECT_LE(result->expert_steps, 2 * 7 + 3);
+  // Cost matches the sequential bounds.
+  EXPECT_LE(result->result.paid.naive, 4 * 2000 * options.filter.u_n);
+}
+
+TEST(BatchedExpertMaxTest, RunsOnTheCrowdPlatform) {
+  Result<Instance> instance = UniformInstance(60, /*seed=*/61, 0.0, 100.0);
+  ASSERT_TRUE(instance.ok());
+  ThresholdComparator crowd(&*instance, ThresholdModel{2.0, 0.05},
+                            /*seed=*/62);
+  PlatformOptions platform_options;
+  platform_options.num_workers = 30;
+  platform_options.spammer_fraction = 0.0;
+  platform_options.seed = 63;
+  auto platform =
+      CrowdPlatform::Create(&crowd, &*instance, {}, platform_options);
+  ASSERT_TRUE(platform.ok());
+
+  PlatformBatchExecutor naive_exec(platform->get(), /*votes_per_task=*/1);
+  PlatformBatchExecutor expert_exec(platform->get(), /*votes_per_task=*/7);
+
+  ExpertMaxOptions options;
+  options.filter.u_n = 4;
+  Result<BatchedExpertMaxResult> result = BatchedFindMaxWithExperts(
+      instance->AllElements(), &naive_exec, &expert_exec, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(instance->Contains(result->result.best));
+  // Platform logical steps equal executor batches exactly.
+  EXPECT_EQ((*platform)->logical_steps(),
+            result->naive_steps + result->expert_steps);
+}
+
+}  // namespace
+}  // namespace crowdmax

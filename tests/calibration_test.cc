@@ -1,0 +1,138 @@
+// Tests for worker calibration (threshold detection and delta estimation).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "core/comparator.h"
+#include "core/instance.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+TEST(CalibrationTest, Validation) {
+  Instance tiny({1.0});
+  Instance flat({1.0, 1.0, 1.0});
+  Result<Instance> gold = UniformInstance(20, /*seed=*/1);
+  ASSERT_TRUE(gold.ok());
+  OracleComparator oracle(&*gold);
+
+  CalibrationOptions options;
+  EXPECT_FALSE(CalibrateWorkers(tiny, &oracle, options).ok());
+  EXPECT_FALSE(CalibrateWorkers(flat, &oracle, options).ok());
+
+  CalibrationOptions even_votes;
+  even_votes.votes_per_pair = 4;
+  EXPECT_FALSE(CalibrateWorkers(*gold, &oracle, even_votes).ok());
+  CalibrationOptions one_bucket;
+  one_bucket.num_buckets = 1;
+  EXPECT_FALSE(CalibrateWorkers(*gold, &oracle, one_bucket).ok());
+  CalibrationOptions no_pairs;
+  no_pairs.pairs_per_bucket = 0;
+  EXPECT_FALSE(CalibrateWorkers(*gold, &oracle, no_pairs).ok());
+  CalibrationOptions bad_convergence;
+  bad_convergence.convergence_accuracy = 0.4;
+  EXPECT_FALSE(CalibrateWorkers(*gold, &oracle, bad_convergence).ok());
+}
+
+TEST(CalibrationTest, OracleWorkersShowNoThreshold) {
+  Result<Instance> gold = UniformInstance(60, /*seed=*/2);
+  ASSERT_TRUE(gold.ok());
+  OracleComparator oracle(&*gold);
+  Result<CalibrationReport> report =
+      CalibrateWorkers(*gold, &oracle, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->threshold_detected);
+  EXPECT_DOUBLE_EQ(report->estimated_delta, 0.0);
+  for (const CalibrationBucket& bucket : report->buckets) {
+    if (bucket.pairs > 0) {
+      EXPECT_DOUBLE_EQ(bucket.single_vote_accuracy, 1.0);
+      EXPECT_DOUBLE_EQ(bucket.majority_accuracy, 1.0);
+    }
+  }
+}
+
+TEST(CalibrationTest, RecoversThresholdWithinOneBucket) {
+  // Workers with a known absolute threshold: the estimated delta must land
+  // within one bucket width of the truth.
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    Result<Instance> gold = UniformInstance(80, seed, 0.0, 1.0);
+    ASSERT_TRUE(gold.ok());
+    const double true_delta = 0.3;
+    ThresholdComparator worker(&*gold, ThresholdModel{true_delta, 0.0},
+                               seed + 10);
+    CalibrationOptions options;
+    options.num_buckets = 10;
+    options.seed = seed + 20;
+    Result<CalibrationReport> report =
+        CalibrateWorkers(*gold, &worker, options);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->threshold_detected);
+    // Max distance ~1.0, so buckets are ~0.1 wide.
+    const double bucket_width = report->buckets[0].max_distance;
+    EXPECT_NEAR(report->estimated_delta, true_delta, bucket_width + 1e-9);
+  }
+}
+
+TEST(CalibrationTest, BucketAccuraciesReflectTheModel) {
+  Result<Instance> gold = UniformInstance(80, /*seed=*/6, 0.0, 1.0);
+  ASSERT_TRUE(gold.ok());
+  ThresholdComparator worker(&*gold, ThresholdModel{0.25, 0.0}, /*seed=*/7);
+  CalibrationOptions options;
+  options.num_buckets = 8;
+  Result<CalibrationReport> report = CalibrateWorkers(*gold, &worker, options);
+  ASSERT_TRUE(report.ok());
+
+  for (const CalibrationBucket& bucket : report->buckets) {
+    if (bucket.pairs == 0) continue;
+    if (bucket.min_distance >= 0.25) {
+      // Fully above the threshold: perfect with epsilon = 0.
+      EXPECT_DOUBLE_EQ(bucket.single_vote_accuracy, 1.0);
+      EXPECT_DOUBLE_EQ(bucket.majority_accuracy, 1.0);
+    }
+    if (bucket.max_distance <= 0.25) {
+      // Fully below: a fair coin; majorities stay near 0.5.
+      EXPECT_LT(bucket.majority_accuracy, 0.85);
+    }
+  }
+}
+
+TEST(CalibrationTest, ConvergentNoisyWorkersShowNoThresholdAtHighVotes) {
+  // A probabilistic worker with moderate noise everywhere: enough votes
+  // push every bucket above the convergence level, so no threshold.
+  Result<Instance> gold = UniformInstance(60, /*seed=*/8, 0.0, 1.0);
+  ASSERT_TRUE(gold.ok());
+  ThresholdComparator worker(&*gold, ThresholdModel{0.0, 0.25}, /*seed=*/9);
+  CalibrationOptions options;
+  options.votes_per_pair = 41;
+  Result<CalibrationReport> report = CalibrateWorkers(*gold, &worker, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->threshold_detected);
+}
+
+TEST(CalibrationTest, EstimatedDeltaDrivesTheFilterCorrectly) {
+  // End-to-end: calibrate, derive u_n from the estimated delta, run
+  // Algorithm 1-style filtering and confirm the maximum survives.
+  Result<Instance> gold = UniformInstance(100, /*seed=*/10);
+  Result<Instance> data = UniformInstance(500, /*seed=*/11);
+  ASSERT_TRUE(gold.ok() && data.ok());
+  const double true_delta = 0.05;
+
+  ThresholdComparator gold_worker(&*gold, ThresholdModel{true_delta, 0.0},
+                                  /*seed=*/12);
+  CalibrationOptions options;
+  options.num_buckets = 12;
+  Result<CalibrationReport> report =
+      CalibrateWorkers(*gold, &gold_worker, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->threshold_detected);
+  // Conservative (over)estimate is fine: u_n from the estimated delta.
+  const int64_t u_n = data->CountWithin(report->estimated_delta);
+  EXPECT_GE(u_n, data->CountWithin(true_delta));
+}
+
+}  // namespace
+}  // namespace crowdmax

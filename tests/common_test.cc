@@ -1,0 +1,338 @@
+// Tests for the common infrastructure: Status/Result, Rng, TablePrinter,
+// FlagParser.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace crowdmax {
+namespace {
+
+// ---------------------------------------------------------------- Status.
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad n");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad n");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  std::set<std::string> names;
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kInternal}) {
+    names.insert(std::string(StatusCodeName(code)));
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status status = Status::NotFound("missing");
+  Status copy = status;
+  EXPECT_EQ(copy.code(), StatusCode::kNotFound);
+  EXPECT_EQ(copy.message(), "missing");
+}
+
+// ---------------------------------------------------------------- Result.
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("n too large"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<int> r(1);
+  r.value() = 7;
+  EXPECT_EQ(*r, 7);
+}
+
+// ------------------------------------------------------------------- Rng.
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<size_t>(rng.NextBounded(kBuckets))];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, 0.05 * expected);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble(2.0, 5.0);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int heads = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // Astronomically unlikely to be identity.
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(31);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ForkProducesDistinctSeeds) {
+  Rng rng(37);
+  std::set<uint64_t> seeds;
+  for (int i = 0; i < 100; ++i) seeds.insert(rng.Fork());
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(RngTest, SplitMix64Advances) {
+  uint64_t state = 0;
+  const uint64_t a = SplitMix64(&state);
+  const uint64_t b = SplitMix64(&state);
+  EXPECT_NE(a, b);
+  EXPECT_NE(state, 0u);
+}
+
+// --------------------------------------------------------------- Tables.
+
+TEST(TableTest, AlignedOutputContainsHeadersAndCells) {
+  TablePrinter table({"n", "cost"});
+  table.AddRow({"1000", "12.5"});
+  table.AddRow({"2000", "30.0"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("n"), std::string::npos);
+  EXPECT_NE(s.find("cost"), std::string::npos);
+  EXPECT_NE(s.find("1000"), std::string::npos);
+  EXPECT_NE(s.find("30.0"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  TablePrinter table({"name", "note"});
+  table.AddRow({"a,b", "say \"hi\""});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsRenderEmptyCells) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatInt(-42), "-42");
+  EXPECT_EQ(FormatInt(0), "0");
+}
+
+// ---------------------------------------------------------------- Flags.
+
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (std::string& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(FlagsTest, ParsesEqualsAndSpaceForms) {
+  std::vector<std::string> storage = {"prog", "--n=100", "--trials", "7"};
+  auto argv = MakeArgv(storage);
+  FlagParser parser;
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(parser.GetInt("n", 0), 100);
+  EXPECT_EQ(parser.GetInt("trials", 0), 7);
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  std::vector<std::string> storage = {"prog"};
+  auto argv = MakeArgv(storage);
+  FlagParser parser;
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(parser.GetInt("n", 55), 55);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("x", 1.5), 1.5);
+  EXPECT_TRUE(parser.GetBool("flag", true));
+  EXPECT_EQ(parser.GetString("s", "dflt"), "dflt");
+  EXPECT_FALSE(parser.Has("n"));
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  std::vector<std::string> storage = {"prog", "--verbose", "--csv=false"};
+  auto argv = MakeArgv(storage);
+  FlagParser parser;
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(parser.GetBool("verbose", false));
+  EXPECT_FALSE(parser.GetBool("csv", true));
+}
+
+TEST(FlagsTest, RejectsPositionalArguments) {
+  std::vector<std::string> storage = {"prog", "oops"};
+  auto argv = MakeArgv(storage);
+  FlagParser parser;
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagsTest, RejectsDuplicateFlags) {
+  std::vector<std::string> storage = {"prog", "--n=1", "--n=2"};
+  auto argv = MakeArgv(storage);
+  FlagParser parser;
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagsTest, ParsesDoubles) {
+  std::vector<std::string> storage = {"prog", "--ratio=2.5"};
+  auto argv = MakeArgv(storage);
+  FlagParser parser;
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio", 0.0), 2.5);
+}
+
+}  // namespace
+}  // namespace crowdmax

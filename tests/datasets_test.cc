@@ -1,0 +1,407 @@
+// Tests for the dataset generators: uniform/packed/Lemma-7 instances, DOTS,
+// CARS and the search-results scenario.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/cars.h"
+#include "datasets/dots.h"
+#include "datasets/instances.h"
+#include "datasets/io.h"
+#include "datasets/search.h"
+
+namespace crowdmax {
+namespace {
+
+// ------------------------------------------------------------- Uniform.
+
+TEST(UniformInstanceTest, RespectsRangeAndSize) {
+  Result<Instance> instance = UniformInstance(500, /*seed=*/1, 2.0, 3.0);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->size(), 500);
+  for (ElementId e = 0; e < instance->size(); ++e) {
+    EXPECT_GE(instance->value(e), 2.0);
+    EXPECT_LT(instance->value(e), 3.0);
+  }
+}
+
+TEST(UniformInstanceTest, DeterministicPerSeed) {
+  Result<Instance> a = UniformInstance(50, 7);
+  Result<Instance> b = UniformInstance(50, 7);
+  Result<Instance> c = UniformInstance(50, 8);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  bool same_ab = true;
+  bool same_ac = true;
+  for (ElementId e = 0; e < 50; ++e) {
+    same_ab = same_ab && a->value(e) == b->value(e);
+    same_ac = same_ac && a->value(e) == c->value(e);
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);
+}
+
+TEST(UniformInstanceTest, RejectsBadArguments) {
+  EXPECT_FALSE(UniformInstance(0, 1).ok());
+  EXPECT_FALSE(UniformInstance(10, 1, 5.0, 5.0).ok());
+  EXPECT_FALSE(UniformInstance(10, 1, 5.0, 4.0).ok());
+}
+
+// -------------------------------------------------------------- Packed.
+
+TEST(PackedInstanceTest, AllValuesWithinSpreadAndDistinct) {
+  Result<Instance> packed = PackedInstance(100, /*seed=*/2, 0.5, 1e-6);
+  ASSERT_TRUE(packed.ok());
+  std::set<double> values;
+  for (ElementId e = 0; e < packed->size(); ++e) {
+    EXPECT_GE(packed->value(e), 0.5);
+    EXPECT_LE(packed->value(e), 0.5 + 1e-6);
+    values.insert(packed->value(e));
+  }
+  EXPECT_EQ(values.size(), 100u);  // Distinct.
+  // Every pair indistinguishable at delta = spread.
+  EXPECT_EQ(packed->CountWithin(1e-6), 100);
+}
+
+TEST(PackedInstanceTest, IdsDoNotEncodeRank) {
+  Result<Instance> packed = PackedInstance(50, /*seed=*/3);
+  ASSERT_TRUE(packed.ok());
+  // The maximum should rarely be element 49 (shuffled slots).
+  int ascending_prefix = 0;
+  for (ElementId e = 0; e + 1 < packed->size(); ++e) {
+    if (packed->value(e) < packed->value(e + 1)) ++ascending_prefix;
+  }
+  EXPECT_LT(ascending_prefix, 45);  // Not sorted.
+}
+
+// ------------------------------------------------------------- Lemma 7.
+
+TEST(Lemma7InstanceTest, StructureMatchesTheProof) {
+  const int64_t n = 100;
+  const int64_t u_n = 10;
+  const double delta = 0.5;
+  Result<Lemma7Instance> built = MakeLemma7Instance(n, u_n, delta);
+  ASSERT_TRUE(built.ok());
+  const Instance& instance = built->instance;
+
+  // e* is the true maximum.
+  EXPECT_EQ(instance.MaxElement(), built->claimed_max);
+  // Exactly u_n elements within delta of the maximum (E2 plus e*).
+  EXPECT_EQ(instance.CountWithin(delta), u_n);
+  // E1 elements are strictly farther than delta from e*, but all non-e*
+  // elements are mutually within delta.
+  for (ElementId e = u_n; e < n; ++e) {
+    EXPECT_GT(instance.Distance(0, e), delta);
+  }
+  for (ElementId a = 1; a < n; ++a) {
+    for (ElementId b = a + 1; b < n; ++b) {
+      EXPECT_LE(instance.Distance(a, b), delta)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Lemma7InstanceTest, Validation) {
+  EXPECT_FALSE(MakeLemma7Instance(1, 1, 0.5).ok());
+  EXPECT_FALSE(MakeLemma7Instance(10, 0, 0.5).ok());
+  EXPECT_FALSE(MakeLemma7Instance(10, 11, 0.5).ok());
+  EXPECT_FALSE(MakeLemma7Instance(10, 5, 0.0).ok());
+}
+
+TEST(Lemma7InstanceTest, EdgeCaseUnEqualsOne) {
+  Result<Lemma7Instance> built = MakeLemma7Instance(20, 1, 1.0);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->instance.CountWithin(1.0), 1);
+}
+
+// ---------------------------------------------------------------- DOTS.
+
+TEST(DotsTest, StandardCollectionMatchesPaper) {
+  DotsDataset dots = DotsDataset::Standard();
+  EXPECT_EQ(dots.size(), 71);  // 100..1500 step 20.
+  EXPECT_EQ(dots.dot_counts().front(), 100);
+  EXPECT_EQ(dots.dot_counts().back(), 1500);
+}
+
+TEST(DotsTest, GoldenSetMatchesPaper) {
+  DotsDataset golden = DotsDataset::GoldenSet();
+  EXPECT_EQ(golden.size(), 31);  // 200..800 step 20.
+  EXPECT_EQ(golden.dot_counts().front(), 200);
+  EXPECT_EQ(golden.dot_counts().back(), 800);
+}
+
+TEST(DotsTest, InstanceValueIsNegatedCount) {
+  DotsDataset dots = DotsDataset::Standard();
+  Instance instance = dots.ToInstance();
+  // Max value = fewest dots = the 100-dot image (element 0).
+  EXPECT_EQ(instance.MaxElement(), 0);
+  EXPECT_DOUBLE_EQ(instance.value(0), -100.0);
+}
+
+TEST(DotsTest, SampleIsDeterministicSubset) {
+  DotsDataset dots = DotsDataset::Standard();
+  Result<DotsDataset> sample = dots.Sample(50, /*seed=*/4);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 50);
+  std::set<int64_t> all(dots.dot_counts().begin(), dots.dot_counts().end());
+  for (int64_t c : sample->dot_counts()) EXPECT_TRUE(all.count(c) > 0);
+  Result<DotsDataset> again = dots.Sample(50, /*seed=*/4);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(sample->dot_counts(), again->dot_counts());
+  EXPECT_FALSE(dots.Sample(72, 1).ok());
+}
+
+TEST(DotsTest, RangeValidation) {
+  EXPECT_FALSE(DotsDataset::Range(0, 10, 1).ok());
+  EXPECT_FALSE(DotsDataset::Range(10, 5, 1).ok());
+  EXPECT_FALSE(DotsDataset::Range(10, 20, 0).ok());
+}
+
+// ---------------------------------------------------------------- CARS.
+
+TEST(CarsTest, StandardCatalogMatchesPaperConstraints) {
+  CarsDataset cars = CarsDataset::Standard(/*seed=*/5);
+  EXPECT_EQ(cars.size(), 110);
+  std::vector<double> prices;
+  std::set<std::string> make_model_year;
+  for (const Car& car : cars.cars()) {
+    EXPECT_GE(car.price, 14000.0);
+    EXPECT_LE(car.price, 130000.0);
+    prices.push_back(car.price);
+    make_model_year.insert(car.make + "|" + car.model + "|" +
+                           std::to_string(car.year));
+    EXPECT_FALSE(car.make.empty());
+    EXPECT_FALSE(car.model.empty());
+    EXPECT_FALSE(car.body_style.empty());
+  }
+  // Pairwise gaps >= $500.
+  std::sort(prices.begin(), prices.end());
+  for (size_t i = 1; i < prices.size(); ++i) {
+    EXPECT_GE(prices[i] - prices[i - 1], 500.0 - 1e-9);
+  }
+  // No repeated (make, model, year).
+  EXPECT_EQ(make_model_year.size(), 110u);
+}
+
+TEST(CarsTest, InstanceUsesPrice) {
+  CarsDataset cars = CarsDataset::Standard(/*seed=*/6);
+  Instance instance = cars.ToInstance();
+  const ElementId max_elem = instance.MaxElement();
+  double max_price = 0.0;
+  for (const Car& car : cars.cars()) max_price = std::max(max_price, car.price);
+  EXPECT_DOUBLE_EQ(instance.value(max_elem), max_price);
+}
+
+TEST(CarsTest, GenerateValidation) {
+  EXPECT_FALSE(CarsDataset::Generate(0, 1).ok());
+  EXPECT_FALSE(CarsDataset::Generate(10, 1, 5000.0, 5000.0).ok());
+  // Grid too small: 1000-dollar span has only 3 slots.
+  EXPECT_FALSE(CarsDataset::Generate(10, 1, 10000.0, 11000.0).ok());
+}
+
+TEST(CarsTest, SampleKeepsConstraints) {
+  CarsDataset cars = CarsDataset::Standard(/*seed=*/7);
+  Result<CarsDataset> sample = cars.Sample(50, /*seed=*/8);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 50);
+  std::vector<double> prices;
+  for (const Car& car : sample->cars()) prices.push_back(car.price);
+  std::sort(prices.begin(), prices.end());
+  for (size_t i = 1; i < prices.size(); ++i) {
+    EXPECT_GE(prices[i] - prices[i - 1], 500.0 - 1e-9);
+  }
+}
+
+TEST(CarsTest, WorkerModelBucketsMatchFigure2b) {
+  PersistentBiasComparator::Options options = CarsWorkerModel();
+  ASSERT_EQ(options.buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(options.buckets[0].max_relative_difference, 0.10);
+  EXPECT_DOUBLE_EQ(options.buckets[0].preferred_correct_prob, 0.60);
+  EXPECT_DOUBLE_EQ(options.buckets[1].max_relative_difference, 0.20);
+  EXPECT_DOUBLE_EQ(options.buckets[1].preferred_correct_prob, 0.70);
+}
+
+// -------------------------------------------------------------- Search.
+
+TEST(SearchTest, GeneratedListHasPaperStructure) {
+  SearchQueryOptions options;
+  Result<SearchQueryDataset> dataset = SearchQueryDataset::Generate(
+      "asymmetric tsp best approximation", options, /*seed=*/9);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->size(), 50);
+
+  std::set<int64_t> positions;
+  for (const SearchResult& r : dataset->results()) {
+    EXPECT_GE(r.serp_position, 1);
+    EXPECT_LE(r.serp_position, 100);
+    positions.insert(r.serp_position);
+    EXPECT_GT(r.relevance, 0.0);
+    EXPECT_LE(r.relevance, 1.0);
+    EXPECT_NE(r.title.find("asymmetric tsp"), std::string::npos);
+  }
+  EXPECT_EQ(positions.size(), 50u);  // Distinct SERP positions.
+}
+
+TEST(SearchTest, UniqueBestWithNearBestBlock) {
+  SearchQueryOptions options;
+  options.near_best_count = 7;
+  Result<SearchQueryDataset> dataset =
+      SearchQueryDataset::Generate("steiner tree best approximation", options,
+                                   /*seed=*/10);
+  ASSERT_TRUE(dataset.ok());
+  Instance instance = dataset->ToInstance();
+  // Unique maximum.
+  EXPECT_EQ(instance.Rank(instance.MaxElement()), 1);
+  // The suggested naive delta captures the near-best block (roughly
+  // near_best_count + 1 elements including the best).
+  const double delta = dataset->SuggestedNaiveDelta();
+  const int64_t u_n = instance.CountWithin(delta);
+  EXPECT_GE(u_n, 4);
+  EXPECT_LE(u_n, 12);
+}
+
+TEST(SearchTest, GenerateValidation) {
+  SearchQueryOptions bad;
+  bad.num_results = 1;
+  EXPECT_FALSE(SearchQueryDataset::Generate("q", bad, 1).ok());
+  SearchQueryOptions bad2;
+  bad2.top_k = 10;
+  bad2.num_results = 20;
+  EXPECT_FALSE(SearchQueryDataset::Generate("q", bad2, 1).ok());
+  SearchQueryOptions bad3;
+  bad3.near_best_count = 60;
+  EXPECT_FALSE(SearchQueryDataset::Generate("q", bad3, 1).ok());
+  SearchQueryOptions bad4;
+  bad4.best_margin = 0.7;
+  EXPECT_FALSE(SearchQueryDataset::Generate("q", bad4, 1).ok());
+}
+
+TEST(SearchTest, ExpertModelResolvesWhatNaiveCannot) {
+  Result<SearchQueryDataset> dataset =
+      SearchQueryDataset::Generate("q", {}, /*seed=*/11);
+  ASSERT_TRUE(dataset.ok());
+  const double naive_delta = dataset->SuggestedNaiveDelta();
+  const ThresholdComparator::Options naive =
+      SearchNaiveWorkerModel(naive_delta);
+  const ThresholdComparator::Options expert = SearchExpertWorkerModel();
+  EXPECT_GT(naive.model.delta, expert.model.delta);
+  EXPECT_EQ(expert.model.epsilon, 0.0);
+}
+
+// ------------------------------------------------------------------ I/O.
+
+TEST(DatasetIoTest, InstanceRoundTrip) {
+  Result<Instance> instance = UniformInstance(50, /*seed=*/31, -5.0, 5.0);
+  ASSERT_TRUE(instance.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteInstanceCsv(*instance, out).ok());
+
+  std::istringstream in(out.str());
+  Result<Instance> loaded = ReadInstanceCsv(in);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), instance->size());
+  for (ElementId e = 0; e < instance->size(); ++e) {
+    EXPECT_DOUBLE_EQ(loaded->value(e), instance->value(e));  // %.17g exact.
+  }
+}
+
+TEST(DatasetIoTest, InstanceReadValidation) {
+  {
+    std::istringstream in("");
+    EXPECT_FALSE(ReadInstanceCsv(in).ok());
+  }
+  {
+    std::istringstream in("wrong,header\n0,1.0\n");
+    EXPECT_FALSE(ReadInstanceCsv(in).ok());
+  }
+  {
+    std::istringstream in("id,value\n1,1.0\n");  // Non-dense ids.
+    EXPECT_FALSE(ReadInstanceCsv(in).ok());
+  }
+  {
+    std::istringstream in("id,value\n0,abc\n");
+    EXPECT_FALSE(ReadInstanceCsv(in).ok());
+  }
+  {
+    std::istringstream in("id,value\n");  // No rows.
+    EXPECT_FALSE(ReadInstanceCsv(in).ok());
+  }
+  {
+    std::istringstream in("id,value\n0,1.0,extra\n");
+    EXPECT_FALSE(ReadInstanceCsv(in).ok());
+  }
+}
+
+TEST(DatasetIoTest, DotsRoundTrip) {
+  DotsDataset dots = DotsDataset::Standard();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDotsCsv(dots, out).ok());
+  std::istringstream in(out.str());
+  Result<DotsDataset> loaded = ReadDotsCsv(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dot_counts(), dots.dot_counts());
+}
+
+TEST(DatasetIoTest, DotsFromCountsValidation) {
+  EXPECT_FALSE(DotsDataset::FromCounts({}).ok());
+  EXPECT_FALSE(DotsDataset::FromCounts({100, 0}).ok());
+  EXPECT_TRUE(DotsDataset::FromCounts({100, 200}).ok());
+}
+
+TEST(DatasetIoTest, CarsRoundTrip) {
+  CarsDataset cars = CarsDataset::Standard(/*seed=*/33);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCarsCsv(cars, out).ok());
+  std::istringstream in(out.str());
+  Result<CarsDataset> loaded = ReadCarsCsv(in);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), cars.size());
+  for (int64_t i = 0; i < cars.size(); ++i) {
+    const Car& a = cars.cars()[static_cast<size_t>(i)];
+    const Car& b = loaded->cars()[static_cast<size_t>(i)];
+    EXPECT_EQ(a.make, b.make);
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.body_style, b.body_style);
+    EXPECT_EQ(a.year, b.year);
+    EXPECT_EQ(a.doors, b.doors);
+    EXPECT_NEAR(a.price, b.price, 0.005);  // Written with 2 decimals.
+  }
+}
+
+TEST(DatasetIoTest, CarsWriteRejectsCommasInFields) {
+  Result<CarsDataset> cars = CarsDataset::FromCars(
+      {{"Make,WithComma", "Model", "sedan", 2013, 4, 20000.0}});
+  ASSERT_TRUE(cars.ok());
+  std::ostringstream out;
+  EXPECT_FALSE(WriteCarsCsv(*cars, out).ok());
+}
+
+TEST(DatasetIoTest, CarsFromCarsValidation) {
+  EXPECT_FALSE(CarsDataset::FromCars({}).ok());
+  EXPECT_FALSE(
+      CarsDataset::FromCars({{"Make", "Model", "sedan", 2013, 4, -5.0}}).ok());
+}
+
+TEST(DatasetIoTest, CarsReadValidation) {
+  {
+    std::istringstream in("wrong\n");
+    EXPECT_FALSE(ReadCarsCsv(in).ok());
+  }
+  {
+    std::istringstream in(
+        "make,model,body_style,year,doors,price\nBMW,X,sedan,abc,4,100\n");
+    EXPECT_FALSE(ReadCarsCsv(in).ok());
+  }
+  {
+    std::istringstream in("make,model,body_style,year,doors,price\nBMW,X\n");
+    EXPECT_FALSE(ReadCarsCsv(in).ok());
+  }
+}
+
+}  // namespace
+}  // namespace crowdmax

@@ -1,0 +1,213 @@
+// Tests for Algorithm 4 (u_n estimation from gold data) and the p_err
+// estimation procedure of Section 4.4.
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/comparator.h"
+#include "core/estimate.h"
+#include "core/instance.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+TEST(EstimateUnTest, InputValidation) {
+  Instance instance({1.0, 2.0});
+  OracleComparator oracle(&instance);
+  UnEstimateOptions options;
+
+  EXPECT_FALSE(EstimateUn({}, 0, 100, &oracle, options).ok());
+  EXPECT_FALSE(EstimateUn({0, 1}, 1, 0, &oracle, options).ok());
+  EXPECT_FALSE(EstimateUn({0}, 1, 100, &oracle, options).ok());  // Not member.
+
+  UnEstimateOptions bad_p = options;
+  bad_p.p_err = 0.0;
+  EXPECT_FALSE(EstimateUn({0, 1}, 1, 100, &oracle, bad_p).ok());
+  UnEstimateOptions bad_c = options;
+  bad_c.confidence_c = 0.0;
+  EXPECT_FALSE(EstimateUn({0, 1}, 1, 100, &oracle, bad_c).ok());
+}
+
+TEST(EstimateUnTest, PerfectWorkersYieldFloorEstimate) {
+  // With an oracle worker there are no errors; the estimate falls back to
+  // the c*ln(n) confidence floor (scaled by n/n_hat).
+  Result<Instance> instance = UniformInstance(100, /*seed=*/1);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator oracle(&*instance);
+  const int64_t target_n = 1000;
+  UnEstimateOptions options;
+  options.p_err = 0.4;
+  options.confidence_c = 2.0;
+  Result<UnEstimate> estimate =
+      EstimateUn(instance->AllElements(), instance->MaxElement(), target_n,
+                 &oracle, options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->observed_errors, 0);
+  const double expected =
+      (1000.0 / 100.0) * 2.0 * std::log(1000.0);  // ~138.
+  EXPECT_NEAR(estimate->raw_estimate, expected, 1e-9);
+  EXPECT_EQ(estimate->u_n,
+            static_cast<int64_t>(std::ceil(expected)));
+}
+
+TEST(EstimateUnTest, EstimateIsCappedAtN) {
+  Instance instance({1.0, 2.0, 3.0});
+  OracleComparator oracle(&instance);
+  UnEstimateOptions options;
+  Result<UnEstimate> estimate =
+      EstimateUn(instance.AllElements(), 2, /*target_n=*/5, &oracle, options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_LE(estimate->u_n, 5);
+  EXPECT_GE(estimate->u_n, 1);
+}
+
+TEST(EstimateUnTest, CountsBelowThresholdErrors) {
+  // Training set where u_n - 1 elements are indistinguishable from the
+  // max; under a fair coin roughly half of them produce errors.
+  constexpr int64_t kTraining = 200;
+  constexpr int64_t kIndistinguishable = 60;
+  std::vector<double> values;
+  values.push_back(10.0);  // The known maximum.
+  for (int64_t i = 1; i < kTraining; ++i) {
+    values.push_back(i < kIndistinguishable ? 9.95 - 1e-4 * i
+                                            : 5.0 - 1e-3 * i);
+  }
+  Instance instance(std::move(values));
+  ThresholdComparator worker(&instance, ThresholdModel{0.2, 0.0}, /*seed=*/7);
+
+  UnEstimateOptions options;
+  options.p_err = 0.5;  // Matches the fair coin.
+  Result<UnEstimate> estimate = EstimateUn(
+      instance.AllElements(), 0, /*target_n=*/kTraining, &worker, options);
+  ASSERT_TRUE(estimate.ok());
+  // E[errors] = p_err * (u_n - 1) ~ 29.5.
+  EXPECT_GT(estimate->observed_errors, 15);
+  EXPECT_LT(estimate->observed_errors, 45);
+}
+
+// Property sweep: Algorithm 4 returns an upper bound on the true u_n for
+// the overwhelming majority of seeds.
+class EstimateUpperBoundSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(EstimateUpperBoundSweep, EstimateUpperBoundsTrueUn) {
+  const int64_t u_target = GetParam();
+  int upper_bounded = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const uint64_t seed = 100 * static_cast<uint64_t>(u_target) +
+                          static_cast<uint64_t>(t);
+    Result<Instance> training = UniformInstance(400, seed);
+    ASSERT_TRUE(training.ok());
+    const double delta = training->DeltaForU(u_target);
+    const int64_t true_u = training->CountWithin(delta);
+    ThresholdComparator worker(&*training, ThresholdModel{delta, 0.0},
+                               seed + 1);
+    UnEstimateOptions options;
+    options.p_err = 0.5;
+    Result<UnEstimate> estimate =
+        EstimateUn(training->AllElements(), training->MaxElement(),
+                   /*target_n=*/400, &worker, options);
+    ASSERT_TRUE(estimate.ok());
+    if (estimate->u_n >= true_u) ++upper_bounded;
+  }
+  EXPECT_GE(upper_bounded, kTrials - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Us, EstimateUpperBoundSweep,
+                         ::testing::Values<int64_t>(3, 8, 15, 30));
+
+// ------------------------------------------------------------ p_err.
+
+std::vector<std::pair<ElementId, ElementId>> AllPairs(const Instance& inst) {
+  std::vector<std::pair<ElementId, ElementId>> pairs;
+  for (ElementId a = 0; a < inst.size(); ++a) {
+    for (ElementId b = a + 1; b < inst.size(); ++b) pairs.push_back({a, b});
+  }
+  return pairs;
+}
+
+TEST(EstimatePerrTest, InputValidation) {
+  Instance instance({1.0, 2.0});
+  OracleComparator oracle(&instance);
+  EXPECT_FALSE(EstimatePerr(instance, {}, 5, &oracle).ok());
+  EXPECT_FALSE(EstimatePerr(instance, {{0, 1}}, 1, &oracle).ok());
+  EXPECT_FALSE(EstimatePerr(instance, {{0, 7}}, 5, &oracle).ok());
+}
+
+TEST(EstimatePerrTest, AllConsensusReturnsNotFound) {
+  Result<Instance> instance = UniformInstance(10, /*seed=*/3);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator oracle(&*instance);
+  Result<PerrEstimate> estimate =
+      EstimatePerr(*instance, AllPairs(*instance), 7, &oracle);
+  ASSERT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EstimatePerrTest, RecoversFairCoinErrorRate) {
+  // Mixed instance: some pairs far apart (consensus), some within the
+  // threshold (coin flips with p_err = 0.5).
+  std::vector<double> values;
+  for (int i = 0; i < 12; ++i) values.push_back(10.0 + 0.001 * i);  // Hard.
+  for (int i = 0; i < 8; ++i) values.push_back(static_cast<double>(i));
+  Instance instance(std::move(values));
+
+  ThresholdComparator worker(&instance, ThresholdModel{0.5, 0.0}, /*seed=*/5);
+  Result<PerrEstimate> estimate =
+      EstimatePerr(instance, AllPairs(instance), /*votes_per_pair=*/15,
+                   &worker);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GT(estimate->hard_pairs, 50);  // 12 choose 2 = 66 hard pairs.
+  EXPECT_NEAR(estimate->p_err, 0.5, 0.06);
+}
+
+TEST(EstimatePerrTest, RecoversBiasedErrorRate) {
+  std::vector<double> values;
+  for (int i = 0; i < 14; ++i) values.push_back(10.0 + 0.001 * i);
+  Instance instance(std::move(values));
+
+  ThresholdComparator::Options options;
+  options.model = ThresholdModel{0.5, 0.0};
+  options.below_threshold_correct_prob = 0.65;  // p_err = 0.35.
+  ThresholdComparator worker(&instance, options, /*seed=*/6);
+  Result<PerrEstimate> estimate = EstimatePerr(
+      instance, AllPairs(instance), /*votes_per_pair=*/21, &worker);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->p_err, 0.35, 0.06);
+}
+
+TEST(EstimatePerrTest, EndToEndFeedsEstimateUn) {
+  // The full Section 4.4 pipeline: estimate p_err from gold pairs, then
+  // u_n from gold max comparisons, and check the result upper-bounds the
+  // true u_n.
+  Result<Instance> training = UniformInstance(300, /*seed=*/71);
+  ASSERT_TRUE(training.ok());
+  const double delta = training->DeltaForU(12);
+  const int64_t true_u = training->CountWithin(delta);
+  ThresholdComparator worker(&*training, ThresholdModel{delta, 0.0},
+                             /*seed=*/72);
+
+  // Sample pairs near the top of the range to observe hard pairs.
+  std::vector<std::pair<ElementId, ElementId>> pairs;
+  for (ElementId a = 0; a < 40; ++a) {
+    for (ElementId b = a + 1; b < 40; ++b) pairs.push_back({a, b});
+  }
+  Result<PerrEstimate> p_err = EstimatePerr(*training, pairs, 11, &worker);
+  ASSERT_TRUE(p_err.ok());
+
+  UnEstimateOptions options;
+  options.p_err = p_err->p_err;
+  Result<UnEstimate> estimate =
+      EstimateUn(training->AllElements(), training->MaxElement(), 300,
+                 &worker, options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GE(estimate->u_n, true_u);
+}
+
+}  // namespace
+}  // namespace crowdmax

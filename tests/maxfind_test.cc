@@ -1,0 +1,260 @@
+// Tests for the phase-2 solvers: AllPlayAllMax, 2-MaxFind (Algorithm 3) and
+// the randomized max-finder (Algorithm 5), including their approximation
+// guarantees (2*delta / 3*delta) and comparison bounds.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/comparator.h"
+#include "core/instance.h"
+#include "core/maxfind.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+TEST(AllPlayAllMaxTest, ExactWithOracle) {
+  Result<Instance> instance = UniformInstance(30, /*seed=*/1);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator oracle(&*instance);
+  Result<MaxFindResult> result =
+      AllPlayAllMax(instance->AllElements(), &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best, instance->MaxElement());
+  EXPECT_EQ(result->paid_comparisons, 30 * 29 / 2);
+}
+
+TEST(AllPlayAllMaxTest, RejectsEmptyAndDuplicates) {
+  Instance instance({1.0, 2.0});
+  OracleComparator oracle(&instance);
+  EXPECT_FALSE(AllPlayAllMax({}, &oracle).ok());
+  EXPECT_FALSE(AllPlayAllMax({1, 1}, &oracle).ok());
+}
+
+TEST(TwoMaxFindTest, SingletonShortCircuit) {
+  Instance instance({3.0});
+  OracleComparator oracle(&instance);
+  Result<MaxFindResult> result = TwoMaxFind({0}, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best, 0);
+  EXPECT_EQ(result->paid_comparisons, 0);
+}
+
+TEST(TwoMaxFindTest, PairIsASingleComparison) {
+  Instance instance({3.0, 7.0});
+  OracleComparator oracle(&instance);
+  Result<MaxFindResult> result = TwoMaxFind({0, 1}, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best, 1);
+  EXPECT_EQ(result->paid_comparisons, 1);
+}
+
+TEST(TwoMaxFindTest, ExactWithOracle) {
+  for (int64_t n : {3, 10, 50, 200}) {
+    Result<Instance> instance =
+        UniformInstance(n, /*seed=*/static_cast<uint64_t>(n));
+    ASSERT_TRUE(instance.ok());
+    OracleComparator oracle(&*instance);
+    Result<MaxFindResult> result =
+        TwoMaxFind(instance->AllElements(), &oracle);
+    ASSERT_TRUE(result.ok()) << "n=" << n;
+    EXPECT_EQ(result->best, instance->MaxElement()) << "n=" << n;
+  }
+}
+
+TEST(TwoMaxFindTest, StaysWithinTheoreticalComparisonBound) {
+  for (int64_t n : {10, 40, 100, 400}) {
+    Result<Instance> instance =
+        UniformInstance(n, /*seed=*/static_cast<uint64_t>(7 * n));
+    ASSERT_TRUE(instance.ok());
+    OracleComparator oracle(&*instance);
+    Result<MaxFindResult> result =
+        TwoMaxFind(instance->AllElements(), &oracle);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->paid_comparisons, TwoMaxFindComparisonUpperBound(n))
+        << "n=" << n;
+  }
+}
+
+TEST(TwoMaxFindTest, AdversarialWorstCaseStaysWithinBound) {
+  // Packed instance + "pivot always loses": the costliest regime the paper
+  // simulates. The count must still respect 2*s^{3/2}.
+  for (int64_t n : {25, 100, 400}) {
+    Result<Instance> packed =
+        PackedInstance(n, /*seed=*/static_cast<uint64_t>(n));
+    ASSERT_TRUE(packed.ok());
+    AdversarialComparator cmp(&*packed, /*delta=*/1.0,
+                              AdversarialPolicy::kFirstLoses);
+    Result<MaxFindResult> result = TwoMaxFind(packed->AllElements(), &cmp);
+    ASSERT_TRUE(result.ok()) << "n=" << n;
+    EXPECT_LE(result->paid_comparisons, TwoMaxFindComparisonUpperBound(n));
+    // The adversary should force strictly more work than the oracle needs.
+    OracleComparator oracle(&*packed);
+    Result<MaxFindResult> easy = TwoMaxFind(packed->AllElements(), &oracle);
+    ASSERT_TRUE(easy.ok());
+    EXPECT_GT(result->paid_comparisons, easy->paid_comparisons);
+  }
+}
+
+// Guarantee sweep: under T(delta, 0) the returned element is within
+// 2*delta of the maximum, for every tie behaviour.
+class TwoMaxFindGuaranteeSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, uint64_t>> {};
+
+TEST_P(TwoMaxFindGuaranteeSweep, TwoDeltaGuarantee) {
+  const auto [n, seed] = GetParam();
+  Result<Instance> instance = UniformInstance(n, seed);
+  ASSERT_TRUE(instance.ok());
+  const double delta = instance->DeltaForU(std::max<int64_t>(2, n / 10));
+
+  ThresholdComparator::Options fresh;
+  fresh.model = ThresholdModel{delta, 0.0};
+  ThresholdComparator::Options sticky = fresh;
+  sticky.tie_policy = TiePolicy::kPersistentArbitrary;
+
+  ThresholdComparator cmp_fresh(&*instance, fresh, seed + 1);
+  ThresholdComparator cmp_sticky(&*instance, sticky, seed + 2);
+  AdversarialComparator cmp_adv(&*instance, delta,
+                                AdversarialPolicy::kLowerValueWins);
+
+  for (Comparator* cmp : {static_cast<Comparator*>(&cmp_fresh),
+                          static_cast<Comparator*>(&cmp_sticky),
+                          static_cast<Comparator*>(&cmp_adv)}) {
+    Result<MaxFindResult> result = TwoMaxFind(instance->AllElements(), cmp);
+    ASSERT_TRUE(result.ok());
+    const double distance =
+        instance->Distance(result->best, instance->MaxElement());
+    EXPECT_LE(distance, 2.0 * delta + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TwoMaxFindGuaranteeSweep,
+    ::testing::Combine(::testing::Values<int64_t>(20, 60, 150),
+                       ::testing::Values<uint64_t>(5, 6, 7, 8)));
+
+TEST(TwoMaxFindTest, WithoutMemoizationStillFindsMaxWithOracle) {
+  Result<Instance> instance = UniformInstance(80, /*seed=*/55);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator oracle(&*instance);
+  TwoMaxFindOptions options;
+  options.memoize = false;
+  Result<MaxFindResult> result =
+      TwoMaxFind(instance->AllElements(), &oracle, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best, instance->MaxElement());
+}
+
+TEST(TwoMaxFindTest, MemoizationReducesPaidComparisons) {
+  Result<Instance> instance = UniformInstance(150, /*seed=*/66);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator oracle_a(&*instance);
+  OracleComparator oracle_b(&*instance);
+  TwoMaxFindOptions no_memo;
+  no_memo.memoize = false;
+  Result<MaxFindResult> with = TwoMaxFind(instance->AllElements(), &oracle_a);
+  Result<MaxFindResult> without =
+      TwoMaxFind(instance->AllElements(), &oracle_b, no_memo);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_LE(with->paid_comparisons, without->paid_comparisons);
+  EXPECT_EQ(with->issued_comparisons, without->issued_comparisons);
+}
+
+TEST(RandomizedMaxFindTest, ExactWithOracle) {
+  for (int64_t n : {5, 30, 120}) {
+    Result<Instance> instance =
+        UniformInstance(n, /*seed=*/static_cast<uint64_t>(n + 3));
+    ASSERT_TRUE(instance.ok());
+    OracleComparator oracle(&*instance);
+    RandomizedMaxFindOptions options;
+    options.seed = static_cast<uint64_t>(n);
+    Result<MaxFindResult> result =
+        RandomizedMaxFind(instance->AllElements(), &oracle, options);
+    ASSERT_TRUE(result.ok()) << "n=" << n;
+    EXPECT_EQ(result->best, instance->MaxElement()) << "n=" << n;
+  }
+}
+
+TEST(RandomizedMaxFindTest, ThreeDeltaGuaranteeUnderThresholdModel) {
+  int within = 0;
+  constexpr int kTrials = 25;
+  for (int t = 0; t < kTrials; ++t) {
+    Result<Instance> instance =
+        UniformInstance(120, /*seed=*/300 + static_cast<uint64_t>(t));
+    ASSERT_TRUE(instance.ok());
+    const double delta = instance->DeltaForU(10);
+    ThresholdComparator cmp(&*instance, ThresholdModel{delta, 0.0},
+                            /*seed=*/400 + static_cast<uint64_t>(t));
+    RandomizedMaxFindOptions options;
+    options.seed = 500 + static_cast<uint64_t>(t);
+    Result<MaxFindResult> result =
+        RandomizedMaxFind(instance->AllElements(), &cmp, options);
+    ASSERT_TRUE(result.ok());
+    if (instance->Distance(result->best, instance->MaxElement()) <=
+        3.0 * delta + 1e-12) {
+      ++within;
+    }
+  }
+  EXPECT_GE(within, kTrials - 2);  // "w.h.p." with margin for noise.
+}
+
+TEST(RandomizedMaxFindTest, CostExceedsTwoMaxFindAtPaperSizes) {
+  // Section 4.1.2: the linear algorithm's constants dominate at the sizes
+  // the paper considers, so 2-MaxFind is cheaper in practice.
+  Result<Instance> instance = UniformInstance(99, /*seed=*/71);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator oracle_a(&*instance);
+  OracleComparator oracle_b(&*instance);
+  Result<MaxFindResult> randomized =
+      RandomizedMaxFind(instance->AllElements(), &oracle_a, {});
+  Result<MaxFindResult> deterministic =
+      TwoMaxFind(instance->AllElements(), &oracle_b);
+  ASSERT_TRUE(randomized.ok());
+  ASSERT_TRUE(deterministic.ok());
+  EXPECT_GT(randomized->paid_comparisons, deterministic->paid_comparisons);
+}
+
+TEST(RandomizedMaxFindTest, GroupSizeOverrideShrinksCost) {
+  Result<Instance> instance = UniformInstance(200, /*seed=*/81);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator oracle_a(&*instance);
+  OracleComparator oracle_b(&*instance);
+  RandomizedMaxFindOptions small_groups;
+  small_groups.group_size_override = 8;
+  Result<MaxFindResult> big =
+      RandomizedMaxFind(instance->AllElements(), &oracle_a, {});
+  Result<MaxFindResult> small =
+      RandomizedMaxFind(instance->AllElements(), &oracle_b, small_groups);
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_LT(small->paid_comparisons, big->paid_comparisons);
+}
+
+TEST(RandomizedMaxFindTest, RejectsBadOptions) {
+  Instance instance({1.0, 2.0});
+  OracleComparator oracle(&instance);
+  RandomizedMaxFindOptions bad_exponent;
+  bad_exponent.sample_exponent = 1.5;
+  EXPECT_FALSE(RandomizedMaxFind({0, 1}, &oracle, bad_exponent).ok());
+  RandomizedMaxFindOptions bad_c;
+  bad_c.c = -1;
+  EXPECT_FALSE(RandomizedMaxFind({0, 1}, &oracle, bad_c).ok());
+  RandomizedMaxFindOptions bad_group;
+  bad_group.group_size_override = -5;
+  EXPECT_FALSE(RandomizedMaxFind({0, 1}, &oracle, bad_group).ok());
+}
+
+TEST(MaxFindBoundsTest, UpperBoundHelperGrowsLikeSThreeHalves) {
+  EXPECT_EQ(TwoMaxFindComparisonUpperBound(0), 0);
+  EXPECT_EQ(TwoMaxFindComparisonUpperBound(1), 2);
+  EXPECT_EQ(TwoMaxFindComparisonUpperBound(100), 2000);
+  EXPECT_LT(TwoMaxFindComparisonUpperBound(100) * 7,
+            TwoMaxFindComparisonUpperBound(400));
+}
+
+}  // namespace
+}  // namespace crowdmax

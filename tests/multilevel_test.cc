@@ -1,0 +1,141 @@
+// Tests for the multi-class cascade extension.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "core/multilevel.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+TEST(MultilevelTest, InputValidation) {
+  Instance instance({1.0, 2.0});
+  OracleComparator oracle(&instance);
+  MultilevelOptions options;
+
+  EXPECT_FALSE(FindMaxMultilevel({0, 1}, {}, options).ok());
+
+  WorkerClassSpec null_spec;
+  EXPECT_FALSE(FindMaxMultilevel({0, 1}, {null_spec}, options).ok());
+
+  WorkerClassSpec ok_spec{&oracle, 1, 1.0};
+  EXPECT_FALSE(FindMaxMultilevel({}, {ok_spec}, options).ok());
+
+  WorkerClassSpec negative_cost{&oracle, 1, -1.0};
+  EXPECT_FALSE(FindMaxMultilevel({0, 1}, {negative_cost}, options).ok());
+
+  WorkerClassSpec bad_u{&oracle, 0, 1.0};
+  // Bad u only matters on filtering levels (non-final classes).
+  EXPECT_FALSE(FindMaxMultilevel({0, 1}, {bad_u, ok_spec}, options).ok());
+}
+
+TEST(MultilevelTest, SingleClassIsPlainPhase2) {
+  Result<Instance> instance = UniformInstance(60, /*seed=*/1);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator oracle(&*instance);
+  MultilevelOptions options;
+  Result<MultilevelResult> result = FindMaxMultilevel(
+      instance->AllElements(), {{&oracle, 1, 2.0}}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best, instance->MaxElement());
+  EXPECT_TRUE(result->candidates_per_level.empty());
+  EXPECT_DOUBLE_EQ(result->total_cost,
+                   2.0 * static_cast<double>(result->paid_per_class[0]));
+}
+
+TEST(MultilevelTest, TwoClassesMatchAlgorithmOneGuarantee) {
+  Result<Instance> instance = UniformInstance(600, /*seed=*/5);
+  ASSERT_TRUE(instance.ok());
+  const double delta_n = instance->DeltaForU(12);
+  const double delta_e = instance->DeltaForU(3);
+  const int64_t u_n = instance->CountWithin(delta_n);
+
+  ThresholdComparator naive(&*instance, ThresholdModel{delta_n, 0.0},
+                            /*seed=*/6);
+  ThresholdComparator expert(&*instance, ThresholdModel{delta_e, 0.0},
+                             /*seed=*/7);
+  MultilevelOptions options;
+  Result<MultilevelResult> result = FindMaxMultilevel(
+      instance->AllElements(),
+      {{&naive, u_n, 1.0}, {&expert, 1, 50.0}}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(instance->Distance(result->best, instance->MaxElement()),
+            2.0 * delta_e + 1e-12);
+  ASSERT_EQ(result->candidates_per_level.size(), 1u);
+  EXPECT_LE(result->candidates_per_level[0], 2 * u_n - 1);
+}
+
+TEST(MultilevelTest, ThreeClassCascadeShrinksProgressively) {
+  Result<Instance> instance = UniformInstance(2000, /*seed=*/11);
+  ASSERT_TRUE(instance.ok());
+  const double delta_0 = instance->DeltaForU(40);
+  const double delta_1 = instance->DeltaForU(8);
+  const double delta_2 = instance->DeltaForU(2);
+  const int64_t u_0 = instance->CountWithin(delta_0);
+  const int64_t u_1 = instance->CountWithin(delta_1);
+
+  ThresholdComparator crowd(&*instance, ThresholdModel{delta_0, 0.0},
+                            /*seed=*/12);
+  ThresholdComparator skilled(&*instance, ThresholdModel{delta_1, 0.0},
+                              /*seed=*/13);
+  ThresholdComparator specialist(&*instance, ThresholdModel{delta_2, 0.0},
+                                 /*seed=*/14);
+
+  MultilevelOptions options;
+  Result<MultilevelResult> result = FindMaxMultilevel(
+      instance->AllElements(),
+      {{&crowd, u_0, 1.0}, {&skilled, u_1, 10.0}, {&specialist, 1, 100.0}},
+      options);
+  ASSERT_TRUE(result.ok());
+
+  ASSERT_EQ(result->candidates_per_level.size(), 2u);
+  EXPECT_LE(result->candidates_per_level[0], 2 * u_0 - 1);
+  EXPECT_LE(result->candidates_per_level[1], 2 * u_1 - 1);
+  EXPECT_LT(result->candidates_per_level[1], result->candidates_per_level[0]);
+  EXPECT_LE(instance->Distance(result->best, instance->MaxElement()),
+            2.0 * delta_2 + 1e-12);
+
+  // Most comparisons happen at the cheapest level.
+  EXPECT_GT(result->paid_per_class[0], result->paid_per_class[1]);
+  EXPECT_GT(result->paid_per_class[1], result->paid_per_class[2]);
+}
+
+TEST(MultilevelTest, CascadeIsCheaperThanSkippingTheMiddleClass) {
+  // The point of multiple classes: inserting a mid-price class between
+  // crowd and specialist reduces total cost when the specialist is very
+  // expensive.
+  Result<Instance> instance = UniformInstance(3000, /*seed=*/21);
+  ASSERT_TRUE(instance.ok());
+  const double delta_0 = instance->DeltaForU(60);
+  const double delta_1 = instance->DeltaForU(10);
+  const double delta_2 = instance->DeltaForU(2);
+  const int64_t u_0 = instance->CountWithin(delta_0);
+  const int64_t u_1 = instance->CountWithin(delta_1);
+
+  MultilevelOptions options;
+
+  ThresholdComparator crowd_a(&*instance, ThresholdModel{delta_0, 0.0}, 31);
+  ThresholdComparator mid_a(&*instance, ThresholdModel{delta_1, 0.0}, 32);
+  ThresholdComparator top_a(&*instance, ThresholdModel{delta_2, 0.0}, 33);
+  Result<MultilevelResult> three = FindMaxMultilevel(
+      instance->AllElements(),
+      {{&crowd_a, u_0, 1.0}, {&mid_a, u_1, 10.0}, {&top_a, 1, 1000.0}},
+      options);
+  ASSERT_TRUE(three.ok());
+
+  ThresholdComparator crowd_b(&*instance, ThresholdModel{delta_0, 0.0}, 31);
+  ThresholdComparator top_b(&*instance, ThresholdModel{delta_2, 0.0}, 33);
+  Result<MultilevelResult> two = FindMaxMultilevel(
+      instance->AllElements(), {{&crowd_b, u_0, 1.0}, {&top_b, 1, 1000.0}},
+      options);
+  ASSERT_TRUE(two.ok());
+
+  EXPECT_LT(three->total_cost, two->total_cost);
+}
+
+}  // namespace
+}  // namespace crowdmax

@@ -1,0 +1,336 @@
+// Tests for the query layer: the cost-based planner and the query engine.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+#include "query/engine.h"
+#include "query/planner.h"
+
+namespace crowdmax {
+namespace {
+
+// ---------------------------------------------------------------- Planner.
+
+TEST(PlannerTest, Validation) {
+  PlannerInput input;
+  input.n = 0;
+  input.u_n = 1;
+  EXPECT_FALSE(PlanMaxQuery(input).ok());
+  input.n = 100;
+  input.u_n = 0;
+  EXPECT_FALSE(PlanMaxQuery(input).ok());
+  input.u_n = 101;
+  EXPECT_FALSE(PlanMaxQuery(input).ok());
+  input.u_n = 10;
+  input.prices.naive_cost = -1.0;
+  EXPECT_FALSE(PlanMaxQuery(input).ok());
+}
+
+TEST(PlannerTest, CheapExpertsFavorExpertOnly) {
+  PlannerInput input;
+  input.n = 5000;
+  input.u_n = 10;
+  input.prices = CostModel{1.0, 2.0};  // Ratio 2 << crossover.
+  Result<MaxQueryPlan> plan = PlanMaxQuery(input);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->strategy, MaxStrategy::kExpertOnly);
+  EXPECT_LT(plan->expert_only_cost, plan->two_phase_cost);
+}
+
+TEST(PlannerTest, ExpensiveExpertsFavorTwoPhase) {
+  PlannerInput input;
+  input.n = 5000;
+  input.u_n = 10;
+  input.prices = CostModel{1.0, 200.0};
+  Result<MaxQueryPlan> plan = PlanMaxQuery(input);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->strategy, MaxStrategy::kTwoPhase);
+  EXPECT_LT(plan->two_phase_cost, plan->expert_only_cost);
+}
+
+TEST(PlannerTest, NaiveOnlyRequiresOptIn) {
+  PlannerInput input;
+  input.n = 5000;
+  input.u_n = 10;
+  input.prices = CostModel{1.0, 50.0};
+  Result<MaxQueryPlan> strict = PlanMaxQuery(input);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_NE(strict->strategy, MaxStrategy::kNaiveOnly);
+  EXPECT_TRUE(std::isinf(strict->naive_only_cost));
+
+  input.allow_naive_accuracy = true;
+  Result<MaxQueryPlan> loose = PlanMaxQuery(input);
+  ASSERT_TRUE(loose.ok());
+  // Naive-only is by far the cheapest once allowed.
+  EXPECT_EQ(loose->strategy, MaxStrategy::kNaiveOnly);
+}
+
+TEST(PlannerTest, WorstCaseModeUsesTheoryBounds) {
+  PlannerInput input;
+  input.n = 1000;
+  input.u_n = 10;
+  input.prices = CostModel{1.0, 10.0};
+  input.worst_case = true;
+  Result<MaxQueryPlan> plan = PlanMaxQuery(input);
+  ASSERT_TRUE(plan.ok());
+  // 4*n*u_n = 40000 naive plus the phase-2 bound.
+  EXPECT_GE(plan->two_phase_cost, 40000.0);
+  // Worst-case expert-only: 2*n^1.5 * c_e.
+  EXPECT_NEAR(plan->expert_only_cost,
+              2.0 * std::pow(1000.0, 1.5) * 10.0, 10.0 * 10.0);
+  // At ratio 10 and these sizes the worst-case plan is two-phase.
+  EXPECT_EQ(plan->strategy, MaxStrategy::kTwoPhase);
+}
+
+TEST(PlannerTest, PredictionsMatchMeasuredScale) {
+  // Sanity: the average-case predictions should land within 2x of the
+  // measured values recorded in EXPERIMENTS.md (n=5000, u_n=10: ~130k
+  // filter comparisons; single-class 2MF: ~8.4k).
+  EXPECT_NEAR(PredictFilterComparisons(5000, 10, false), 130000.0, 65000.0);
+  EXPECT_NEAR(PredictTwoMaxFindComparisons(5000, false), 8400.0, 4200.0);
+}
+
+TEST(PlannerTest, ExplanationNamesTheChoice) {
+  PlannerInput input;
+  input.n = 100;
+  input.u_n = 5;
+  input.prices = CostModel{1.0, 100.0};
+  Result<MaxQueryPlan> plan = PlanMaxQuery(input);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->explanation.find(MaxStrategyName(plan->strategy)),
+            std::string::npos);
+  EXPECT_NE(plan->explanation.find("u_n=5"), std::string::npos);
+}
+
+TEST(PlannerTest, StrategyNamesAreDistinct) {
+  EXPECT_NE(MaxStrategyName(MaxStrategy::kTwoPhase),
+            MaxStrategyName(MaxStrategy::kExpertOnly));
+  EXPECT_NE(MaxStrategyName(MaxStrategy::kExpertOnly),
+            MaxStrategyName(MaxStrategy::kNaiveOnly));
+}
+
+// ----------------------------------------------------------------- Engine.
+
+TEST(EngineTest, CreateValidation) {
+  Instance instance({1.0, 2.0});
+  OracleComparator oracle(&instance);
+  CrowdQueryEngineOptions options;
+  EXPECT_FALSE(CrowdQueryEngine::Create(options).ok());
+  options.naive = &oracle;
+  EXPECT_FALSE(CrowdQueryEngine::Create(options).ok());
+  options.expert = &oracle;
+  EXPECT_TRUE(CrowdQueryEngine::Create(options).ok());
+  options.prices.expert_cost = -5.0;
+  EXPECT_FALSE(CrowdQueryEngine::Create(options).ok());
+}
+
+TEST(EngineTest, MaxExecutesThePlannedStrategy) {
+  Result<Instance> instance = UniformInstance(800, /*seed=*/5);
+  ASSERT_TRUE(instance.ok());
+  const double delta_n = instance->DeltaForU(10);
+  const double delta_e = instance->DeltaForU(2);
+  const int64_t u_n = instance->CountWithin(delta_n);
+  ThresholdComparator naive(&*instance, ThresholdModel{delta_n, 0.0}, 6);
+  ThresholdComparator expert(&*instance, ThresholdModel{delta_e, 0.0}, 7);
+
+  // Expensive experts: the engine should run the two-phase plan and bill
+  // mostly naive comparisons.
+  CrowdQueryEngineOptions options;
+  options.naive = &naive;
+  options.expert = &expert;
+  options.prices = CostModel{1.0, 100.0};
+  Result<CrowdQueryEngine> engine = CrowdQueryEngine::Create(options);
+  ASSERT_TRUE(engine.ok());
+
+  Result<MaxQueryAnswer> answer = engine->Max(instance->AllElements(), u_n);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->plan.strategy, MaxStrategy::kTwoPhase);
+  EXPECT_GT(answer->paid.naive, 0);
+  EXPECT_GT(answer->paid.expert, 0);
+  EXPECT_LE(instance->Distance(answer->best, instance->MaxElement()),
+            2.0 * delta_e + 1e-12);
+  EXPECT_DOUBLE_EQ(
+      answer->actual_cost,
+      options.prices.Cost(answer->paid.naive, answer->paid.expert));
+
+  // Cheap experts: expert-only plan, zero naive comparisons.
+  ThresholdComparator naive2(&*instance, ThresholdModel{delta_n, 0.0}, 8);
+  ThresholdComparator expert2(&*instance, ThresholdModel{delta_e, 0.0}, 9);
+  options.naive = &naive2;
+  options.expert = &expert2;
+  options.prices = CostModel{1.0, 2.0};
+  Result<CrowdQueryEngine> engine2 = CrowdQueryEngine::Create(options);
+  ASSERT_TRUE(engine2.ok());
+  Result<MaxQueryAnswer> answer2 = engine2->Max(instance->AllElements(), u_n);
+  ASSERT_TRUE(answer2.ok());
+  EXPECT_EQ(answer2->plan.strategy, MaxStrategy::kExpertOnly);
+  EXPECT_EQ(answer2->paid.naive, 0);
+}
+
+TEST(EngineTest, MaxWithNaiveOptInRunsNaiveOnly) {
+  Result<Instance> instance = UniformInstance(300, /*seed=*/11);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator naive(&*instance);
+  OracleComparator expert(&*instance);
+  CrowdQueryEngineOptions options;
+  options.naive = &naive;
+  options.expert = &expert;
+  options.prices = CostModel{1.0, 50.0};
+  Result<CrowdQueryEngine> engine = CrowdQueryEngine::Create(options);
+  ASSERT_TRUE(engine.ok());
+
+  Result<MaxQueryAnswer> answer = engine->Max(
+      instance->AllElements(), /*u_n=*/5, /*allow_naive_accuracy=*/true);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->plan.strategy, MaxStrategy::kNaiveOnly);
+  EXPECT_EQ(answer->paid.expert, 0);
+  EXPECT_EQ(answer->best, instance->MaxElement());  // Oracle workers.
+}
+
+TEST(EngineTest, TopKQuery) {
+  Result<Instance> instance = UniformInstance(400, /*seed=*/13);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator naive(&*instance);
+  OracleComparator expert(&*instance);
+  CrowdQueryEngineOptions options;
+  options.naive = &naive;
+  options.expert = &expert;
+  Result<CrowdQueryEngine> engine = CrowdQueryEngine::Create(options);
+  ASSERT_TRUE(engine.ok());
+
+  Result<TopKQueryAnswer> answer =
+      engine->TopK(instance->AllElements(), /*u_n=*/4, /*k=*/5);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->top.size(), 5u);
+  for (size_t j = 0; j < answer->top.size(); ++j) {
+    EXPECT_EQ(instance->Rank(answer->top[j]), static_cast<int64_t>(j) + 1);
+  }
+  EXPECT_GT(answer->actual_cost, 0.0);
+}
+
+TEST(EngineTest, AboveQueryValidation) {
+  Instance instance({1.0, 2.0, 3.0});
+  OracleComparator oracle(&instance);
+  CrowdQueryEngineOptions options;
+  options.naive = &oracle;
+  options.expert = &oracle;
+  Result<CrowdQueryEngine> engine = CrowdQueryEngine::Create(options);
+  ASSERT_TRUE(engine.ok());
+
+  EXPECT_FALSE(engine->Above({}, 0).ok());
+  EXPECT_FALSE(engine->Above({0, 1}, 1).ok());  // Anchor among items.
+  AboveQueryOptions even_votes;
+  even_votes.votes_per_item = 2;
+  EXPECT_FALSE(engine->Above({0, 2}, 1, even_votes).ok());
+}
+
+TEST(EngineTest, AboveQueryPerfectWithOracles) {
+  Result<Instance> instance = UniformInstance(100, /*seed=*/21);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator oracle(&*instance);
+  CrowdQueryEngineOptions options;
+  options.naive = &oracle;
+  options.expert = &oracle;
+  Result<CrowdQueryEngine> engine = CrowdQueryEngine::Create(options);
+  ASSERT_TRUE(engine.ok());
+
+  const ElementId anchor = 0;
+  std::vector<ElementId> items;
+  for (ElementId e = 1; e < instance->size(); ++e) items.push_back(e);
+  Result<AboveQueryAnswer> answer = engine->Above(items, anchor);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->escalated.empty());
+  for (ElementId e : answer->above) {
+    EXPECT_GT(instance->value(e), instance->value(anchor));
+  }
+  for (ElementId e : answer->below) {
+    EXPECT_LT(instance->value(e), instance->value(anchor));
+  }
+  EXPECT_EQ(answer->above.size() + answer->below.size(), items.size());
+}
+
+TEST(EngineTest, AboveQueryEscalatesBorderlineItemsToExperts) {
+  // Values straddling an anchor, several of them within the naive
+  // threshold; the expert resolves every escalated item exactly.
+  std::vector<double> values = {0.50};  // Anchor.
+  for (int i = 1; i <= 10; ++i) values.push_back(0.50 + 0.002 * i);  // Hard.
+  for (int i = 1; i <= 10; ++i) values.push_back(0.50 - 0.002 * i);  // Hard.
+  for (int i = 1; i <= 10; ++i) values.push_back(0.90 + 0.001 * i);  // Easy.
+  for (int i = 1; i <= 10; ++i) values.push_back(0.10 - 0.001 * i);  // Easy.
+  Instance instance(values);
+
+  ThresholdComparator naive(&instance, ThresholdModel{0.05, 0.0}, /*seed=*/3);
+  OracleComparator expert(&instance);
+  CrowdQueryEngineOptions options;
+  options.naive = &naive;
+  options.expert = &expert;
+  options.prices = CostModel{1.0, 30.0};
+  Result<CrowdQueryEngine> engine = CrowdQueryEngine::Create(options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<ElementId> items;
+  for (ElementId e = 1; e < instance.size(); ++e) items.push_back(e);
+  AboveQueryOptions above_options;
+  above_options.votes_per_item = 7;
+  Result<AboveQueryAnswer> answer = engine->Above(items, 0, above_options);
+  ASSERT_TRUE(answer.ok());
+
+  // All classifications correct: easy ones by unanimity (w.h.p.), hard
+  // ones by the expert. Allow the rare unanimity fluke (p = 2^-6 per hard
+  // item) to miss at most one item.
+  int64_t wrong = 0;
+  for (ElementId e : answer->above) {
+    if (instance.value(e) < instance.value(0)) ++wrong;
+  }
+  for (ElementId e : answer->below) {
+    if (instance.value(e) > instance.value(0)) ++wrong;
+  }
+  EXPECT_LE(wrong, 1);
+  // Most of the 20 hard items must have been escalated.
+  EXPECT_GE(answer->escalated.size(), 15u);
+  EXPECT_EQ(answer->paid.expert,
+            static_cast<int64_t>(answer->escalated.size()));
+  EXPECT_EQ(answer->paid.naive,
+            7 * static_cast<int64_t>(items.size()));
+}
+
+TEST(EngineTest, AboveQueryWithoutRefinementUsesNaiveMajority) {
+  Instance instance({0.5, 0.501, 0.9});
+  ThresholdComparator naive(&instance, ThresholdModel{0.05, 0.0}, /*seed=*/5);
+  OracleComparator expert(&instance);
+  CrowdQueryEngineOptions options;
+  options.naive = &naive;
+  options.expert = &expert;
+  Result<CrowdQueryEngine> engine = CrowdQueryEngine::Create(options);
+  ASSERT_TRUE(engine.ok());
+
+  AboveQueryOptions above_options;
+  above_options.expert_refine = false;
+  Result<AboveQueryAnswer> answer =
+      engine->Above({1, 2}, 0, above_options);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->paid.expert, 0);
+  // Element 2 is easy and must be classified above.
+  EXPECT_NE(std::find(answer->above.begin(), answer->above.end(), 2),
+            answer->above.end());
+}
+
+TEST(EngineTest, EmptyItemSetRejected) {
+  Instance instance({1.0});
+  OracleComparator oracle(&instance);
+  CrowdQueryEngineOptions options;
+  options.naive = &oracle;
+  options.expert = &oracle;
+  Result<CrowdQueryEngine> engine = CrowdQueryEngine::Create(options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->Max({}, 1).ok());
+}
+
+}  // namespace
+}  // namespace crowdmax

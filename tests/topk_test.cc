@@ -1,0 +1,202 @@
+// Tests for the two-phase approximate top-k extension.
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/comparator.h"
+#include "core/instance.h"
+#include "core/topk.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+TEST(TopKTest, Validation) {
+  Instance instance({1.0, 2.0, 3.0});
+  OracleComparator naive(&instance);
+  OracleComparator expert(&instance);
+
+  TopKOptions options;
+  options.k = 0;
+  EXPECT_FALSE(
+      FindTopKWithExperts(instance.AllElements(), &naive, &expert, options)
+          .ok());
+  options.k = 4;
+  EXPECT_FALSE(
+      FindTopKWithExperts(instance.AllElements(), &naive, &expert, options)
+          .ok());
+  options.k = 1;
+  options.filter.u_n = 0;
+  EXPECT_FALSE(
+      FindTopKWithExperts(instance.AllElements(), &naive, &expert, options)
+          .ok());
+  options.filter.u_n = 1;
+  EXPECT_FALSE(FindTopKWithExperts({}, &naive, &expert, options).ok());
+}
+
+TEST(TopKTest, ExactWithOracles) {
+  Result<Instance> instance = UniformInstance(300, /*seed=*/1);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator naive(&*instance);
+  OracleComparator expert(&*instance);
+
+  TopKOptions options;
+  options.k = 5;
+  options.filter.u_n = 3;
+  Result<TopKResult> result = FindTopKWithExperts(instance->AllElements(),
+                                                  &naive, &expert, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->top.size(), 5u);
+  for (size_t j = 0; j < result->top.size(); ++j) {
+    EXPECT_EQ(instance->Rank(result->top[j]), static_cast<int64_t>(j) + 1);
+  }
+}
+
+TEST(TopKTest, KEqualsOneMatchesMaxFinding) {
+  Result<Instance> instance = UniformInstance(400, /*seed=*/2);
+  ASSERT_TRUE(instance.ok());
+  const double delta_n = instance->DeltaForU(10);
+  const double delta_e = instance->DeltaForU(2);
+  ThresholdComparator naive(&*instance, ThresholdModel{delta_n, 0.0}, 3);
+  ThresholdComparator expert(&*instance, ThresholdModel{delta_e, 0.0}, 4);
+
+  TopKOptions options;
+  options.k = 1;
+  options.filter.u_n = instance->CountWithin(delta_n);
+  Result<TopKResult> result = FindTopKWithExperts(instance->AllElements(),
+                                                  &naive, &expert, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->top.size(), 1u);
+  EXPECT_LE(instance->Distance(result->top[0], instance->MaxElement()),
+            2.0 * delta_e + 1e-12);
+}
+
+// Main guarantee sweep: every true top-k element survives phase 1, and the
+// value at each returned position is within 2*delta_e of the true value at
+// that rank.
+class TopKGuaranteeSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, uint64_t>> {
+};
+
+TEST_P(TopKGuaranteeSweep, TopKSurvivesAndPositionsAreClose) {
+  const auto [n, k, seed] = GetParam();
+  Result<Instance> instance = UniformInstance(n, seed);
+  ASSERT_TRUE(instance.ok());
+  const double delta_n = instance->DeltaForU(8);
+  const double delta_e = instance->DeltaForU(2);
+
+  // True top-k by value, and U = the largest naive blind spot over them
+  // (interior elements have two-sided neighbourhoods, so U can exceed the
+  // max-centred u_n).
+  std::vector<ElementId> by_rank = instance->AllElements();
+  std::sort(by_rank.begin(), by_rank.end(), [&](ElementId a, ElementId b) {
+    return instance->value(a) > instance->value(b);
+  });
+  int64_t blind_spot = 1;
+  for (int64_t j = 0; j < k; ++j) {
+    blind_spot = std::max(
+        blind_spot,
+        instance->CountWithinOf(by_rank[static_cast<size_t>(j)], delta_n));
+  }
+
+  ThresholdComparator naive(&*instance, ThresholdModel{delta_n, 0.0},
+                            seed + 1);
+  ThresholdComparator expert(&*instance, ThresholdModel{delta_e, 0.0},
+                             seed + 2);
+
+  TopKOptions options;
+  options.k = k;
+  options.filter.u_n = blind_spot;
+  Result<TopKResult> result = FindTopKWithExperts(instance->AllElements(),
+                                                  &naive, &expert, options);
+  ASSERT_TRUE(result.ok());
+
+  // (1) Every true top-k element survived phase 1.
+  std::set<ElementId> candidate_set(result->candidates.begin(),
+                                    result->candidates.end());
+  for (int64_t j = 0; j < k; ++j) {
+    EXPECT_TRUE(candidate_set.count(by_rank[static_cast<size_t>(j)]) > 0)
+        << "true rank " << j + 1 << " was filtered out";
+  }
+
+  // (2) Returned elements are distinct.
+  std::set<ElementId> returned(result->top.begin(), result->top.end());
+  EXPECT_EQ(returned.size(), static_cast<size_t>(k));
+
+  // (3) Value at each returned position within 2*delta_e of the true
+  // value at that rank.
+  for (int64_t j = 0; j < k; ++j) {
+    const double true_value =
+        instance->value(by_rank[static_cast<size_t>(j)]);
+    const double got_value =
+        instance->value(result->top[static_cast<size_t>(j)]);
+    EXPECT_GE(got_value, true_value - 2.0 * delta_e - 1e-12)
+        << "position " << j;
+  }
+
+  // (4) Comparison budget: 4*n*(U + k - 1) naive.
+  EXPECT_LE(result->paid.naive, 4 * n * (blind_spot + k - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TopKGuaranteeSweep,
+    ::testing::Combine(::testing::Values<int64_t>(200, 800),
+                       ::testing::Values<int64_t>(2, 5, 10),
+                       ::testing::Values<uint64_t>(11, 12, 13)));
+
+TEST(TopKTest, WorksUnderAdversarialTies) {
+  Result<Instance> instance = UniformInstance(300, /*seed=*/21);
+  ASSERT_TRUE(instance.ok());
+  const double delta_n = instance->DeltaForU(6);
+  AdversarialComparator naive(&*instance, delta_n,
+                              AdversarialPolicy::kLowerValueWins);
+  OracleComparator expert(&*instance);
+
+  std::vector<ElementId> by_rank = instance->AllElements();
+  std::sort(by_rank.begin(), by_rank.end(), [&](ElementId a, ElementId b) {
+    return instance->value(a) > instance->value(b);
+  });
+  int64_t blind_spot = 1;
+  for (int j = 0; j < 4; ++j) {
+    blind_spot = std::max(
+        blind_spot, instance->CountWithinOf(by_rank[static_cast<size_t>(j)],
+                                            delta_n));
+  }
+
+  TopKOptions options;
+  options.k = 4;
+  options.filter.u_n = blind_spot;
+  Result<TopKResult> result = FindTopKWithExperts(instance->AllElements(),
+                                                  &naive, &expert, options);
+  ASSERT_TRUE(result.ok());
+  // With an exact expert, the returned set is the true top-4 in order.
+  for (size_t j = 0; j < result->top.size(); ++j) {
+    EXPECT_EQ(instance->Rank(result->top[j]), static_cast<int64_t>(j) + 1);
+  }
+}
+
+TEST(TopKTest, KEqualsNReturnsEverything) {
+  Result<Instance> instance = UniformInstance(30, /*seed=*/31);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator naive(&*instance);
+  OracleComparator expert(&*instance);
+  TopKOptions options;
+  options.k = 30;
+  options.filter.u_n = 1;
+  Result<TopKResult> result = FindTopKWithExperts(instance->AllElements(),
+                                                  &naive, &expert, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->top.size(), 30u);
+  // Perfectly sorted by the oracle expert.
+  for (size_t j = 0; j < result->top.size(); ++j) {
+    EXPECT_EQ(instance->Rank(result->top[j]), static_cast<int64_t>(j) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace crowdmax

@@ -1,0 +1,363 @@
+// Tests for the model-backed worker comparators: the threshold model, the
+// probabilistic (DOTS) model and the persistent-bias (CARS) model —
+// including the paper's key qualitative claim that majority voting helps in
+// the former regime and plateaus in the latter.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/filter_phase.h"
+#include "core/instance.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+// Majority vote of `k` fresh queries on (a, b); returns the winner.
+ElementId MajorityOf(Comparator* cmp, ElementId a, ElementId b, int k) {
+  int wins_a = 0;
+  for (int i = 0; i < k; ++i) {
+    if (cmp->Compare(a, b) == a) ++wins_a;
+  }
+  return 2 * wins_a > k ? a : b;
+}
+
+// Fraction of `trials` majority-of-k votes that pick `expected`.
+double MajorityAccuracy(Comparator* cmp, ElementId a, ElementId b,
+                        ElementId expected, int k, int trials) {
+  int correct = 0;
+  for (int t = 0; t < trials; ++t) {
+    if (MajorityOf(cmp, a, b, k) == expected) ++correct;
+  }
+  return static_cast<double>(correct) / trials;
+}
+
+// ------------------------------------------------------ ThresholdModel.
+
+TEST(ThresholdModelTest, Validity) {
+  EXPECT_TRUE((ThresholdModel{0.0, 0.0}).Valid());
+  EXPECT_TRUE((ThresholdModel{1.0, 0.49}).Valid());
+  EXPECT_FALSE((ThresholdModel{-1.0, 0.0}).Valid());
+  EXPECT_FALSE((ThresholdModel{1.0, 1.0}).Valid());
+  EXPECT_FALSE((ThresholdModel{1.0, -0.1}).Valid());
+}
+
+TEST(ThresholdComparatorTest, ExactAboveThresholdWithZeroEpsilon) {
+  Instance instance({0.0, 2.0});
+  ThresholdComparator cmp(&instance, ThresholdModel{1.0, 0.0}, /*seed=*/1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(cmp.Compare(0, 1), 1);
+    EXPECT_EQ(cmp.Compare(1, 0), 1);
+  }
+}
+
+TEST(ThresholdComparatorTest, EpsilonErrorRateAboveThreshold) {
+  Instance instance({0.0, 2.0});
+  ThresholdComparator cmp(&instance, ThresholdModel{1.0, 0.2}, /*seed=*/2);
+  int errors = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (cmp.Compare(0, 1) == 0) ++errors;
+  }
+  EXPECT_NEAR(static_cast<double>(errors) / kTrials, 0.2, 0.02);
+}
+
+TEST(ThresholdComparatorTest, FreshCoinBelowThresholdIsFair) {
+  Instance instance({0.0, 0.5});
+  ThresholdComparator cmp(&instance, ThresholdModel{1.0, 0.0}, /*seed=*/3);
+  int wins_high = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (cmp.Compare(0, 1) == 1) ++wins_high;
+  }
+  EXPECT_NEAR(static_cast<double>(wins_high) / kTrials, 0.5, 0.02);
+}
+
+TEST(ThresholdComparatorTest, BiasedCoinBelowThreshold) {
+  Instance instance({0.0, 0.5});
+  ThresholdComparator::Options options;
+  options.model = ThresholdModel{1.0, 0.0};
+  options.tie_policy = TiePolicy::kFreshCoin;
+  options.below_threshold_correct_prob = 0.8;
+  ThresholdComparator cmp(&instance, options, /*seed=*/4);
+  int correct = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (cmp.Compare(0, 1) == 1) ++correct;  // 1 is the true winner.
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / kTrials, 0.8, 0.02);
+}
+
+TEST(ThresholdComparatorTest, PersistentArbitraryIsConsistentPerPair) {
+  Instance instance({0.0, 0.1, 0.2, 0.3});
+  ThresholdComparator::Options options;
+  options.model = ThresholdModel{1.0, 0.0};
+  options.tie_policy = TiePolicy::kPersistentArbitrary;
+  ThresholdComparator cmp(&instance, options, /*seed=*/5);
+  for (ElementId a = 0; a < 4; ++a) {
+    for (ElementId b = a + 1; b < 4; ++b) {
+      const ElementId first = cmp.Compare(a, b);
+      for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(cmp.Compare(a, b), first);
+        EXPECT_EQ(cmp.Compare(b, a), first);
+      }
+    }
+  }
+}
+
+TEST(ThresholdComparatorTest, PersistentArbitraryIsArbitraryAcrossPairs) {
+  // With many indistinguishable pairs, some persistent answers must be
+  // wrong (probability 2^-20 otherwise).
+  std::vector<double> values;
+  for (int i = 0; i <= 20; ++i) values.push_back(static_cast<double>(i) * 0.01);
+  Instance packed(values);
+  ThresholdComparator::Options options;
+  options.model = ThresholdModel{1.0, 0.0};
+  options.tie_policy = TiePolicy::kPersistentArbitrary;
+  ThresholdComparator cmp(&packed, options, /*seed=*/6);
+  int wrong = 0;
+  for (ElementId a = 0; a < 20; ++a) {
+    if (cmp.Compare(a, 20) == a) ++wrong;  // 20 holds the max value.
+  }
+  EXPECT_GT(wrong, 0);
+}
+
+TEST(ThresholdComparatorTest, ZeroDeltaIsProbabilisticModel) {
+  // delta == 0: every distinct pair is above threshold.
+  Instance instance({0.0, 1e-9});
+  ThresholdComparator cmp(&instance, ThresholdModel{0.0, 0.0}, /*seed=*/7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(cmp.Compare(0, 1), 1);
+}
+
+TEST(ThresholdComparatorTest, MajorityVotingCannotBeatTheThreshold) {
+  // The paper's central point: for indistinguishable pairs under a fair
+  // coin, majority accuracy stays ~0.5 regardless of the number of votes.
+  Instance instance({0.0, 0.5});
+  ThresholdComparator cmp(&instance, ThresholdModel{1.0, 0.0}, /*seed=*/8);
+  const double acc21 = MajorityAccuracy(&cmp, 0, 1, /*expected=*/1,
+                                        /*k=*/21, /*trials=*/2000);
+  EXPECT_NEAR(acc21, 0.5, 0.05);
+}
+
+// ------------------------------------------------ RelativeErrorComparator.
+
+TEST(RelativeErrorComparatorTest, ErrorDecaysWithDifference) {
+  Instance instance({100.0, 95.0, 50.0});
+  RelativeErrorComparator::Options options;  // Defaults: 0.5 * e^{-4.5 r}.
+  RelativeErrorComparator cmp(&instance, options, /*seed=*/9);
+
+  constexpr int kTrials = 20000;
+  int errors_close = 0;
+  int errors_far = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (cmp.Compare(0, 1) == 1) ++errors_close;  // rel diff 0.05.
+    if (cmp.Compare(0, 2) == 2) ++errors_far;    // rel diff 0.5.
+  }
+  const double p_close = static_cast<double>(errors_close) / kTrials;
+  const double p_far = static_cast<double>(errors_far) / kTrials;
+  EXPECT_NEAR(p_close, 0.5 * std::exp(-4.5 * 0.05), 0.02);
+  EXPECT_NEAR(p_far, 0.5 * std::exp(-4.5 * 0.5), 0.01);
+  EXPECT_LT(p_far, p_close);
+}
+
+TEST(RelativeErrorComparatorTest, MajorityVotingConvergesToTruth) {
+  // The DOTS regime (Figure 2(a)): more workers, higher accuracy.
+  Instance instance({100.0, 93.0});  // rel diff 0.07, hard but not a coin.
+  RelativeErrorComparator::Options options;
+  RelativeErrorComparator cmp(&instance, options, /*seed=*/10);
+  const double acc1 = MajorityAccuracy(&cmp, 0, 1, 0, /*k=*/1, 2000);
+  const double acc21 = MajorityAccuracy(&cmp, 0, 1, 0, /*k=*/21, 2000);
+  EXPECT_GT(acc21, acc1 + 0.15);
+  EXPECT_GT(acc21, 0.85);
+}
+
+TEST(RelativeErrorComparatorTest, EqualValuesAreACoin) {
+  Instance instance({1.0, 1.0});
+  RelativeErrorComparator::Options options;
+  RelativeErrorComparator cmp(&instance, options, /*seed=*/11);
+  int wins0 = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (cmp.Compare(0, 1) == 0) ++wins0;
+  }
+  EXPECT_NEAR(static_cast<double>(wins0) / kTrials, 0.5, 0.03);
+}
+
+// ---------------------------------------------- PersistentBiasComparator.
+
+PersistentBiasComparator::Options CarsLikeOptions() {
+  PersistentBiasComparator::Options options;
+  options.buckets = {{0.10, 0.60}, {0.20, 0.70}};
+  options.individual_noise = 0.28;
+  options.above_threshold_error = 0.15;
+  return options;
+}
+
+TEST(PersistentBiasComparatorTest, EasyPairsConvergeWithMajority) {
+  Instance instance({100.0, 50.0});  // rel diff 0.5 — above all buckets.
+  PersistentBiasComparator cmp(&instance, CarsLikeOptions(), /*seed=*/12);
+  const double acc = MajorityAccuracy(&cmp, 0, 1, 0, /*k=*/15, 1000);
+  EXPECT_GT(acc, 0.95);
+}
+
+TEST(PersistentBiasComparatorTest, HardPairsPlateauAtPreferenceAccuracy) {
+  // The CARS regime (Figure 2(b)): averaged over many instances, majority
+  // accuracy converges to the bucket's preferred_correct_prob (0.6 here),
+  // no matter how many workers vote.
+  int correct = 0;
+  constexpr int kInstances = 1500;
+  for (int t = 0; t < kInstances; ++t) {
+    Instance instance({100.0, 95.0});  // rel diff 0.05 — first bucket.
+    PersistentBiasComparator cmp(&instance, CarsLikeOptions(),
+                                 /*seed=*/5000 + static_cast<uint64_t>(t));
+    if (MajorityOf(&cmp, 0, 1, /*k=*/21) == 0) ++correct;
+  }
+  const double acc = static_cast<double>(correct) / kInstances;
+  EXPECT_NEAR(acc, 0.60, 0.05);
+}
+
+TEST(PersistentBiasComparatorTest, SecondBucketPlateausHigher) {
+  int correct = 0;
+  constexpr int kInstances = 1500;
+  for (int t = 0; t < kInstances; ++t) {
+    Instance instance({100.0, 85.0});  // rel diff 0.15 — second bucket.
+    PersistentBiasComparator cmp(&instance, CarsLikeOptions(),
+                                 /*seed=*/9000 + static_cast<uint64_t>(t));
+    if (MajorityOf(&cmp, 0, 1, /*k=*/21) == 0) ++correct;
+  }
+  const double acc = static_cast<double>(correct) / kInstances;
+  EXPECT_NEAR(acc, 0.70, 0.05);
+}
+
+TEST(PersistentBiasComparatorTest, PreferenceIsStableWithinOneInstance) {
+  Instance instance({100.0, 95.0});
+  PersistentBiasComparator cmp(&instance, CarsLikeOptions(), /*seed=*/13);
+  // With 28% individual noise, the majority of very many votes reveals the
+  // persistent preference; two independent majorities must agree.
+  const ElementId m1 = MajorityOf(&cmp, 0, 1, 201);
+  const ElementId m2 = MajorityOf(&cmp, 0, 1, 201);
+  EXPECT_EQ(m1, m2);
+}
+
+// ---------------------------------------------- DistanceDecayComparator.
+
+TEST(DistanceDecayComparatorTest, BelowThresholdIsACoin) {
+  Instance instance({0.0, 0.5});
+  DistanceDecayComparator::Options options;
+  options.delta = 1.0;
+  DistanceDecayComparator cmp(&instance, options, /*seed=*/41);
+  int wins_high = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (cmp.Compare(0, 1) == 1) ++wins_high;
+  }
+  EXPECT_NEAR(static_cast<double>(wins_high) / kTrials, 0.5, 0.02);
+}
+
+TEST(DistanceDecayComparatorTest, ErrorDecaysAboveThreshold) {
+  // Distances 1.2 and 3.0 with delta = 1: errors eps*e^{-5*0.2} vs
+  // eps*e^{-5*2} — the far pair is essentially always right.
+  Instance instance({0.0, 1.2, 3.0});
+  DistanceDecayComparator::Options options;
+  options.delta = 1.0;
+  options.epsilon_at_threshold = 0.3;
+  options.decay = 5.0;
+  DistanceDecayComparator cmp(&instance, options, /*seed=*/42);
+
+  int errors_near = 0;
+  int errors_far = 0;
+  constexpr int kTrials = 30000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (cmp.Compare(0, 1) == 0) ++errors_near;
+    if (cmp.Compare(0, 2) == 0) ++errors_far;
+  }
+  const double p_near = static_cast<double>(errors_near) / kTrials;
+  const double p_far = static_cast<double>(errors_far) / kTrials;
+  EXPECT_NEAR(p_near, 0.3 * std::exp(-5.0 * 0.2), 0.01);
+  EXPECT_LT(p_far, 0.002);
+}
+
+TEST(DistanceDecayComparatorTest, ZeroDecayIsPlainThresholdModel) {
+  Instance instance({0.0, 2.0});
+  DistanceDecayComparator::Options options;
+  options.delta = 1.0;
+  options.epsilon_at_threshold = 0.2;
+  options.decay = 0.0;
+  DistanceDecayComparator cmp(&instance, options, /*seed=*/43);
+  int errors = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (cmp.Compare(0, 1) == 0) ++errors;
+  }
+  EXPECT_NEAR(static_cast<double>(errors) / kTrials, 0.2, 0.02);
+}
+
+TEST(DistanceDecayComparatorTest, FilterGuaranteeSurvivesMildDecayNoise) {
+  // Algorithm 2's guarantee is probabilistic once epsilon > 0; with fast
+  // decay the effective above-threshold error is tiny and the maximum
+  // should survive essentially always.
+  int survived = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    Result<Instance> instance =
+        UniformInstance(400, /*seed=*/600 + static_cast<uint64_t>(t));
+    ASSERT_TRUE(instance.ok());
+    const double delta = instance->DeltaForU(8);
+    DistanceDecayComparator::Options options;
+    options.delta = delta;
+    options.epsilon_at_threshold = 0.25;
+    options.decay = 30.0 / delta;  // Error halves every ~0.023*delta.
+    DistanceDecayComparator cmp(&*instance, options,
+                                /*seed=*/700 + static_cast<uint64_t>(t));
+    FilterOptions filter;
+    filter.u_n = instance->CountWithin(delta);
+    Result<FilterResult> result =
+        FilterCandidates(instance->AllElements(), filter, &cmp);
+    ASSERT_TRUE(result.ok());
+    for (ElementId e : result->candidates) {
+      if (e == instance->MaxElement()) {
+        ++survived;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(survived, kTrials - 2);
+}
+
+// Property sweep: no comparator may ever return an element outside {a, b}.
+class WorkerModelContractTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorkerModelContractTest, AnswersAreAlwaysOneOfTheArguments) {
+  const uint64_t seed = GetParam();
+  std::vector<double> values;
+  Rng rng(seed);
+  for (int i = 0; i < 12; ++i) values.push_back(rng.NextDouble());
+  Instance instance(values);
+
+  ThresholdComparator threshold(&instance, ThresholdModel{0.3, 0.1}, seed);
+  RelativeErrorComparator relative(&instance, {}, seed + 1);
+  PersistentBiasComparator bias(&instance, CarsLikeOptions(), seed + 2);
+
+  for (ElementId a = 0; a < instance.size(); ++a) {
+    for (ElementId b = 0; b < instance.size(); ++b) {
+      if (a == b) continue;
+      for (Comparator* cmp :
+           {static_cast<Comparator*>(&threshold),
+            static_cast<Comparator*>(&relative),
+            static_cast<Comparator*>(&bias)}) {
+        const ElementId winner = cmp->Compare(a, b);
+        EXPECT_TRUE(winner == a || winner == b);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkerModelContractTest,
+                         ::testing::Values<uint64_t>(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace crowdmax
