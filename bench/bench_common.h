@@ -73,6 +73,15 @@ inline void EmitTable(const TablePrinter& table, const FlagParser& flags,
   }
 }
 
+/// Reads the shared --threads flag: 0 (default) keeps the serial engine;
+/// 1..256 routes round tournaments through the deterministic parallel
+/// engine (results are bit-identical for every value >= 1, but differ from
+/// the serial path because the parallel engine draws per-group fork seeds
+/// instead of sharing one RNG stream).
+inline int64_t ThreadsFlag(const FlagParser& flags) {
+  return flags.GetBoundedInt("threads", 0, 0, 256);
+}
+
 /// Parses flags or dies with a usage message.
 inline FlagParser ParseFlagsOrDie(int argc, char** argv) {
   FlagParser flags;

@@ -6,7 +6,9 @@
 // bound predicted by the theory"), while 2-MaxFind worst cases are measured
 // on the adversarial packed instances.
 //
-// Flags: --trials (default 15), --seed, --csv.
+// Flags: --trials (default 15), --seed, --csv, --threads (0 = serial
+// filter phase; >= 1 runs each round's group tournaments on the parallel
+// engine — same comparison counts for any thread count >= 1).
 
 #include <cstdint>
 #include <iostream>
@@ -44,7 +46,7 @@ int64_t TwoMaxFindAdversarialComparisons(int64_t n, uint64_t seed) {
 }
 
 void RunConfig(const Config& config, int64_t trials, uint64_t seed,
-               const FlagParser& flags) {
+               int64_t threads, const FlagParser& flags) {
   TablePrinter table({"n", "Alg1-naive(avg)", "Alg1-naive(wc)",
                       "Alg1-expert(avg)", "Alg1-expert(wc)",
                       "2MF-naive/expert(avg)", "2MF(wc,adversarial)"});
@@ -66,6 +68,7 @@ void RunConfig(const Config& config, int64_t trials, uint64_t seed,
 
       ExpertMaxOptions options;
       options.filter.u_n = setup.u_n;
+      options.filter.threads = threads;
       Result<ExpertMaxResult> alg1 = FindMaxWithExperts(
           setup.instance.AllElements(), &naive, &expert, options);
       Result<SingleClassResult> expert_only =
@@ -102,10 +105,11 @@ int main(int argc, char** argv) {
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
   const int64_t trials = flags.GetInt("trials", 15);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const int64_t threads = bench::ThreadsFlag(flags);
 
   bench::PrintHeader("Figure 4", "naive and expert comparisons vs n");
-  RunConfig({10, 5}, trials, seed, flags);
-  RunConfig({50, 10}, trials, seed + 1, flags);
+  RunConfig({10, 5}, trials, seed, threads, flags);
+  RunConfig({50, 10}, trials, seed + 1, threads, flags);
   std::cout << "\nExpected shape: Alg 1's expert comparisons stay flat in n "
                "(they depend only on u_n);\nits naive comparisons grow "
                "linearly and exceed the single-class counts; 2-MaxFind\ngrows "

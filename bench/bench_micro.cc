@@ -7,9 +7,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "core/batched.h"
 #include "core/expert_max.h"
 #include "core/filter_phase.h"
 #include "core/maxfind.h"
@@ -19,6 +23,17 @@
 
 namespace crowdmax {
 namespace {
+
+// --threads=N (stripped from argv in main below) overrides the thread
+// count of every BM_Parallel* benchmark; 0 keeps the per-benchmark Args.
+int64_t g_threads_override = 0;
+
+// Thread count for a parallel benchmark: the --threads override if given,
+// else the benchmark's registered argument.
+int64_t BenchThreads(const benchmark::State& state, int arg_index) {
+  return g_threads_override > 0 ? g_threads_override
+                                : state.range(arg_index);
+}
 
 Instance MakeInstance(int64_t n, uint64_t seed) {
   Result<Instance> instance = UniformInstance(n, seed);
@@ -98,6 +113,65 @@ void BM_FilterPhase(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterPhase)->Arg(1000)->Arg(4000);
 
+// Parallel filter phase: Args are {n, threads}. The paper's cost metric is
+// worker comparisons (identical across thread counts by construction);
+// this measures the simulator's wall-clock scaling. Sized at n >= 10^5 so
+// each round has enough groups to occupy the pool.
+void BM_ParallelFilterPhase(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t threads = BenchThreads(state, 1);
+  Instance instance = MakeInstance(n, 15);
+  const double delta = instance.DeltaForU(10);
+  FilterOptions options;
+  options.u_n = instance.CountWithin(delta);
+  options.threads = threads;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ThresholdComparator cmp(&instance, ThresholdModel{delta, 0.0},
+                            state.iterations());
+    state.ResumeTiming();
+    Result<FilterResult> result =
+        FilterCandidates(instance.AllElements(), options, &cmp);
+    CROWDMAX_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->candidates.data());
+  }
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_ParallelFilterPhase)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// Parallel batched comparisons: Args are {num_tasks, threads}.
+void BM_ParallelBatchExecutor(benchmark::State& state) {
+  const int64_t num_tasks = state.range(0);
+  const int64_t threads = BenchThreads(state, 1);
+  Instance instance = MakeInstance(1024, 17);
+  ThresholdComparator cmp(&instance, ThresholdModel{0.01, 0.0}, 19);
+  Result<std::unique_ptr<ParallelBatchExecutor>> executor =
+      ParallelBatchExecutor::Create(&cmp, threads, /*seed=*/21);
+  CROWDMAX_CHECK(executor.ok());
+  std::vector<ComparisonPair> tasks;
+  tasks.reserve(static_cast<size_t>(num_tasks));
+  for (int64_t i = 0; i < num_tasks; ++i) {
+    const ElementId a = static_cast<ElementId>(i & 1023);
+    const ElementId b = static_cast<ElementId>((i + 7) & 1023);
+    tasks.emplace_back(a, b == a ? ((a + 1) & 1023) : b);
+  }
+  for (auto _ : state) {
+    std::vector<ElementId> winners = (*executor)->ExecuteBatch(tasks);
+    benchmark::DoNotOptimize(winners.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_tasks);
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_ParallelBatchExecutor)
+    ->Args({100000, 1})
+    ->Args({100000, 4})
+    ->Args({100000, 8});
+
 void BM_TwoMaxFind(benchmark::State& state) {
   const int64_t n = state.range(0);
   Instance instance = MakeInstance(n, 11);
@@ -139,4 +213,24 @@ BENCHMARK(BM_ExpertMaxEndToEnd)->Arg(1000)->Arg(5000);
 }  // namespace
 }  // namespace crowdmax
 
-BENCHMARK_MAIN();
+// Custom main: google-benchmark rejects unknown flags, so --threads=N is
+// stripped from argv first and applied to every BM_Parallel* benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      crowdmax::g_threads_override = std::strtoll(argv[i] + 10, nullptr, 10);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,12 +1,72 @@
 #include "baselines/marcus.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 #include <utility>
 
+#include "common/rng.h"
+#include "core/parallel_group.h"
 #include "core/tournament.h"
 
 namespace crowdmax {
+
+namespace {
+
+// Parallel variant: every level's group tournaments run concurrently on the
+// runner; the per-group winner selection happens at the level barrier, in
+// group order, so the result is identical for any thread count.
+Result<MaxFindResult> ParallelMarcusTournamentMax(
+    const std::vector<ElementId>& items, Comparator* comparator,
+    const MarcusOptions& options) {
+  Result<std::unique_ptr<ParallelGroupRunner>> runner =
+      ParallelGroupRunner::Create(comparator, options.threads);
+  if (!runner.ok()) return runner.status();
+
+  const int64_t before = comparator->num_comparisons();
+  Rng seeder(options.parallel_seed);
+  MaxFindResult result;
+  std::vector<ElementId> current = items;
+
+  while (current.size() > 1) {
+    ++result.rounds;
+    // Only the final group can be short; a singleton advances as a bye.
+    std::vector<std::vector<ElementId>> groups;
+    bool has_bye = false;
+    ElementId bye = -1;
+    for (size_t start = 0; start < current.size();
+         start += static_cast<size_t>(options.group_size)) {
+      const size_t end = std::min(
+          current.size(), start + static_cast<size_t>(options.group_size));
+      if (end - start == 1) {
+        has_bye = true;
+        bye = current[start];
+      } else {
+        groups.emplace_back(current.begin() + start, current.begin() + end);
+      }
+    }
+
+    const std::vector<GroupOutcome> outcomes =
+        (*runner)->RunRound(groups, &seeder, nullptr);
+
+    std::vector<ElementId> winners;
+    winners.reserve(groups.size() + 1);
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      result.issued_comparisons += outcomes[gi].issued;
+      TournamentResult tournament;
+      tournament.wins = outcomes[gi].wins;
+      winners.push_back(groups[gi][IndexOfMostWins(tournament)]);
+    }
+    if (has_bye) winners.push_back(bye);
+    current = std::move(winners);
+  }
+
+  result.best = current[0];
+  result.paid_comparisons = comparator->num_comparisons() - before;
+  return result;
+}
+
+}  // namespace
 
 Result<MaxFindResult> MarcusTournamentMax(const std::vector<ElementId>& items,
                                           Comparator* comparator,
@@ -18,6 +78,9 @@ Result<MaxFindResult> MarcusTournamentMax(const std::vector<ElementId>& items,
   if (options.group_size < 2) {
     return Status::InvalidArgument("group_size must be >= 2");
   }
+  if (options.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
   {
     std::unordered_set<ElementId> seen;
     for (ElementId e : items) {
@@ -25,6 +88,10 @@ Result<MaxFindResult> MarcusTournamentMax(const std::vector<ElementId>& items,
         return Status::InvalidArgument("duplicate element id in input");
       }
     }
+  }
+
+  if (options.threads >= 1) {
+    return ParallelMarcusTournamentMax(items, comparator, options);
   }
 
   const int64_t before = comparator->num_comparisons();

@@ -24,6 +24,17 @@ struct MarcusOptions {
   /// with the most wins in the group's all-play-all tournament. Must be
   /// >= 2.
   int64_t group_size = 5;
+
+  /// Parallel tournament engine (core/parallel_group.h). 0 = serial
+  /// (default, answers through the caller's comparator in program order);
+  /// >= 1 plays each level's group tournaments concurrently through
+  /// per-group Comparator::Fork children seeded in group order, with
+  /// bit-identical results for every threads >= 1. Requires a forkable
+  /// comparator.
+  int64_t threads = 0;
+
+  /// Seed of the per-group fork chain used when threads >= 1.
+  uint64_t parallel_seed = 0x9E3779B97F4A7C15ULL;
 };
 
 /// Runs the recursive tournament over `items` (distinct ids, non-empty).

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_set>
 #include <utility>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace crowdmax {
 
@@ -62,29 +66,75 @@ Result<MaxFindResult> VenetisLadderMax(const std::vector<ElementId>& items,
     return options.votes_schedule[index];
   };
 
+  if (options.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
+  if (options.threads >= 1 && comparator->Fork(0) == nullptr) {
+    return Status::InvalidArgument(
+        "comparator does not support Fork(); the parallel ladder requires "
+        "a forkable comparator");
+  }
+
   const int64_t before = comparator->num_comparisons();
   MaxFindResult result;
   std::vector<ElementId> current = items;
+
+  // Parallel mode: one pool for the whole ladder, one fork chain seeded in
+  // match order so results are independent of the thread schedule.
+  std::unique_ptr<ThreadPool> pool;
+  Rng seeder(options.parallel_seed);
+  if (options.threads >= 1) pool = std::make_unique<ThreadPool>(options.threads);
 
   while (current.size() > 1) {
     const int64_t votes = votes_for_round(result.rounds);
     ++result.rounds;
     std::vector<ElementId> winners;
     winners.reserve(current.size() / 2 + 1);
-    size_t i = 0;
-    for (; i + 1 < current.size(); i += 2) {
-      const ElementId a = current[i];
-      const ElementId b = current[i + 1];
-      int64_t wins_a = 0;
-      for (int64_t v = 0; v < votes; ++v) {
-        const ElementId winner = comparator->Compare(a, b);
-        CROWDMAX_DCHECK(winner == a || winner == b);
-        ++result.issued_comparisons;
-        if (winner == a) ++wins_a;
+    const size_t num_matches = current.size() / 2;
+
+    if (pool != nullptr && num_matches > 0) {
+      // Seeds drawn before dispatch, in match order.
+      std::vector<uint64_t> seeds(num_matches);
+      for (size_t m = 0; m < num_matches; ++m) seeds[m] = seeder.Fork();
+      winners.resize(num_matches, -1);
+      std::vector<int64_t> paid(num_matches, 0);
+      pool->ParallelFor(static_cast<int64_t>(num_matches), [&](int64_t m) {
+        const ElementId a = current[2 * static_cast<size_t>(m)];
+        const ElementId b = current[2 * static_cast<size_t>(m) + 1];
+        const std::unique_ptr<Comparator> fork =
+            comparator->Fork(seeds[static_cast<size_t>(m)]);
+        CROWDMAX_CHECK(fork != nullptr);
+        int64_t wins_a = 0;
+        for (int64_t v = 0; v < votes; ++v) {
+          const ElementId winner = fork->Compare(a, b);
+          CROWDMAX_DCHECK(winner == a || winner == b);
+          if (winner == a) ++wins_a;
+        }
+        winners[static_cast<size_t>(m)] = 2 * wins_a > votes ? a : b;
+        paid[static_cast<size_t>(m)] = fork->num_comparisons();
+      });
+      int64_t total_paid = 0;
+      for (int64_t p : paid) total_paid += p;
+      comparator->AddComparisons(total_paid);
+      result.issued_comparisons +=
+          static_cast<int64_t>(num_matches) * votes;
+      if (current.size() % 2 == 1) winners.push_back(current.back());  // Bye.
+    } else {
+      size_t i = 0;
+      for (; i + 1 < current.size(); i += 2) {
+        const ElementId a = current[i];
+        const ElementId b = current[i + 1];
+        int64_t wins_a = 0;
+        for (int64_t v = 0; v < votes; ++v) {
+          const ElementId winner = comparator->Compare(a, b);
+          CROWDMAX_DCHECK(winner == a || winner == b);
+          ++result.issued_comparisons;
+          if (winner == a) ++wins_a;
+        }
+        winners.push_back(2 * wins_a > votes ? a : b);
       }
-      winners.push_back(2 * wins_a > votes ? a : b);
+      if (i < current.size()) winners.push_back(current[i]);  // Bye.
     }
-    if (i < current.size()) winners.push_back(current[i]);  // Bye.
     current = std::move(winners);
   }
 

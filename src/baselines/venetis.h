@@ -32,6 +32,16 @@ struct VenetisOptions {
   /// use simulated annealing; TuneVenetisSchedule below uses an exact
   /// greedy allocation).
   std::vector<int64_t> votes_schedule;
+
+  /// Parallel match engine. 0 = serial (default); >= 1 decides each ladder
+  /// round's matches concurrently on a work-stealing pool, every match
+  /// voting through its own Comparator::Fork child seeded in match order —
+  /// bit-identical results for every threads >= 1. Requires a forkable
+  /// comparator.
+  int64_t threads = 0;
+
+  /// Seed of the per-match fork chain used when threads >= 1.
+  uint64_t parallel_seed = 0x9E3779B97F4A7C15ULL;
 };
 
 /// Runs the static ladder over `items` (distinct ids, non-empty): pair up

@@ -49,6 +49,15 @@ int64_t FlagParser::GetInt(const std::string& name,
   return v;
 }
 
+int64_t FlagParser::GetBoundedInt(const std::string& name,
+                                  int64_t default_value, int64_t min_value,
+                                  int64_t max_value) const {
+  const int64_t v = GetInt(name, default_value);
+  if (v < min_value) return min_value;
+  if (v > max_value) return max_value;
+  return v;
+}
+
 double FlagParser::GetDouble(const std::string& name,
                              double default_value) const {
   auto it = values_.find(name);

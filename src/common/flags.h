@@ -30,6 +30,12 @@ class FlagParser {
   /// present-but-unparsable value returns `default_value` as well, after
   /// Parse() has already rejected clearly malformed input.
   int64_t GetInt(const std::string& name, int64_t default_value) const;
+
+  /// GetInt clamped to [min_value, max_value]. Used for flags like
+  /// --threads where an out-of-range value should degrade to the nearest
+  /// sane setting instead of poisoning an experiment.
+  int64_t GetBoundedInt(const std::string& name, int64_t default_value,
+                        int64_t min_value, int64_t max_value) const;
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
   std::string GetString(const std::string& name,

@@ -22,7 +22,16 @@ uint64_t SplitMix64(uint64_t* state);
 
 /// xoshiro256** generator with convenience sampling helpers.
 ///
-/// Not thread-safe; use one Rng per thread or per simulation.
+/// Thread-safety contract: an Rng instance is plain mutable state — every
+/// sampling call advances it — and must never be shared across threads
+/// without external synchronization (which would also destroy determinism,
+/// since interleaving becomes schedule-dependent). The supported pattern
+/// for concurrent code is seed-forking *before* dispatch: a single owner
+/// calls Fork() once per unit of work, in a fixed order (e.g. group index),
+/// and each worker constructs its private Rng from the seed it was handed.
+/// Results are then a function of the fork order alone, identical for any
+/// thread count. The parallel tournament engine (core/parallel_group.h)
+/// follows exactly this discipline.
 class Rng {
  public:
   /// Seeds the generator deterministically from `seed`.

@@ -1,0 +1,139 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace crowdmax {
+
+ThreadPool::ThreadPool(int64_t num_threads)
+    : num_threads_(std::max<int64_t>(1, num_threads)) {
+  if (num_threads_ == 1) return;  // Inline mode: no queues, no threads.
+  queues_.reserve(static_cast<size_t>(num_threads_));
+  for (int64_t i = 0; i < num_threads_; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int64_t i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int64_t ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int64_t>(hw);
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  CROWDMAX_DCHECK(!queues_.empty());
+  const size_t target = static_cast<size_t>(
+      submit_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size());
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(size_t home) {
+  const size_t q = queues_.size();
+  std::function<void()> task;
+  // Own queue: newest first (the task most likely still cache-hot).
+  {
+    Queue& own = *queues_[home % q];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  // Steal: oldest first from the nearest non-empty sibling.
+  if (!task) {
+    for (size_t offset = 1; offset < q && !task; ++offset) {
+      Queue& victim = *queues_[(home + offset) % q];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  while (true) {
+    if (RunOneTask(worker_id)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_relaxed) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int64_t)>& fn) {
+  if (count <= 0) return;
+  if (workers_.empty() || count == 1) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  struct Batch {
+    std::atomic<int64_t> remaining;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    explicit Batch(int64_t n) : remaining(n) {}
+  };
+  auto batch = std::make_shared<Batch>(count);
+
+  // fn is captured by pointer: the caller blocks below until every task has
+  // finished, so the referenced callable outlives all uses.
+  const std::function<void(int64_t)>* body = &fn;
+  for (int64_t i = 0; i < count; ++i) {
+    Submit([batch, body, i] {
+      (*body)(i);
+      if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(batch->mu);
+        batch->done_cv.notify_all();
+      }
+    });
+  }
+
+  // Help drain queues while waiting; sleep only when there is nothing left
+  // to steal but stragglers are still running.
+  size_t help_cursor = 0;
+  while (batch->remaining.load(std::memory_order_acquire) > 0) {
+    if (RunOneTask(help_cursor++)) continue;
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return batch->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,92 @@
+// Work-stealing thread-pool executor for the parallel tournament engine.
+//
+// Design (after the trainer-pool pattern of concurrent independent
+// tournaments): every worker thread owns a deque of tasks. Submitted tasks
+// are distributed round-robin across the deques; a worker pops from the
+// back of its own deque (LIFO, cache-friendly) and, when empty, steals from
+// the front of a sibling's deque (FIFO, oldest-first). The submitting
+// thread also helps drain queues while it waits, so a pool never deadlocks
+// waiting on itself and `threads == 1` adds no concurrency at all.
+//
+// The pool executes *side effects chosen by the caller*; it makes no
+// ordering promises between tasks of one batch. Deterministic users (the
+// tournament engine) therefore (a) pre-assign every task's RNG stream
+// before dispatch and (b) write results into disjoint, pre-sized slots, so
+// the observable outcome is independent of the thread schedule.
+//
+// Thread-safety: Submit/ParallelFor may be called from any thread, but not
+// re-entrantly from inside a task of the same pool.
+
+#ifndef CROWDMAX_COMMON_THREAD_POOL_H_
+#define CROWDMAX_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crowdmax {
+
+/// A fixed-size work-stealing thread pool.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` executor threads (clamped to
+  /// >= 1). `num_threads == 1` spawns no background thread: all work runs
+  /// inline on the submitting thread at ParallelFor/Wait time.
+  explicit ThreadPool(int64_t num_threads);
+
+  /// Drains nothing: outstanding tasks submitted via Submit must be waited
+  /// on by the caller (ParallelFor does this) before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of executor threads this pool was created with.
+  int64_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(0), ..., fn(count - 1), each exactly once, distributing the
+  /// calls across the pool; blocks until all complete. The calling thread
+  /// participates in execution. No ordering is guaranteed between indices;
+  /// fn must confine unsynchronized writes to per-index state.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+
+  /// A sensible default thread count for this machine (>= 1).
+  static int64_t HardwareThreads();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  // Enqueues a task on queue (submit_cursor_ % queues), wakes one worker.
+  void Submit(std::function<void()> task);
+
+  // Pops one task — own queue first (back), then steals (front) — and runs
+  // it. `home` is the preferred queue index (worker id, or a rotating
+  // index for the helping caller). Returns false if every queue was empty.
+  bool RunOneTask(size_t home);
+
+  void WorkerLoop(size_t worker_id);
+
+  const int64_t num_threads_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake machinery: pending_ counts queued-but-unstarted tasks.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<int64_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> submit_cursor_{0};
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_COMMON_THREAD_POOL_H_

@@ -83,6 +83,64 @@ std::vector<ElementId> ComparatorBatchExecutor::DoExecuteBatch(
   return winners;
 }
 
+ParallelBatchExecutor::ParallelBatchExecutor(Comparator* comparator,
+                                             int64_t threads, uint64_t seed,
+                                             int64_t chunk_size)
+    : comparator_(comparator),
+      pool_(threads),
+      seeder_(seed),
+      chunk_size_(chunk_size) {}
+
+Result<std::unique_ptr<ParallelBatchExecutor>> ParallelBatchExecutor::Create(
+    Comparator* comparator, int64_t threads, uint64_t seed,
+    int64_t chunk_size) {
+  CROWDMAX_CHECK(comparator != nullptr);
+  if (threads < 1) return Status::InvalidArgument("threads must be >= 1");
+  if (chunk_size < 1) {
+    return Status::InvalidArgument("chunk_size must be >= 1");
+  }
+  if (comparator->Fork(0) == nullptr) {
+    return Status::InvalidArgument(
+        "comparator does not support Fork(); ParallelBatchExecutor requires "
+        "a forkable comparator");
+  }
+  return std::unique_ptr<ParallelBatchExecutor>(
+      new ParallelBatchExecutor(comparator, threads, seed, chunk_size));
+}
+
+std::vector<ElementId> ParallelBatchExecutor::DoExecuteBatch(
+    const std::vector<ComparisonPair>& tasks) {
+  const int64_t n = static_cast<int64_t>(tasks.size());
+  const int64_t num_chunks = (n + chunk_size_ - 1) / chunk_size_;
+  std::vector<ElementId> winners(tasks.size(), -1);
+
+  // Chunk seeds are drawn before dispatch, in chunk order, so answers are
+  // independent of which thread runs which chunk.
+  std::vector<uint64_t> seeds(static_cast<size_t>(num_chunks));
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    seeds[static_cast<size_t>(c)] = seeder_.Fork();
+  }
+
+  std::vector<int64_t> paid(static_cast<size_t>(num_chunks), 0);
+  pool_.ParallelFor(num_chunks, [&](int64_t c) {
+    const std::unique_ptr<Comparator> fork =
+        comparator_->Fork(seeds[static_cast<size_t>(c)]);
+    CROWDMAX_CHECK(fork != nullptr);
+    const int64_t begin = c * chunk_size_;
+    const int64_t end = std::min(n, begin + chunk_size_);
+    for (int64_t t = begin; t < end; ++t) {
+      const ComparisonPair& task = tasks[static_cast<size_t>(t)];
+      winners[static_cast<size_t>(t)] = fork->Compare(task.first, task.second);
+    }
+    paid[static_cast<size_t>(c)] = fork->num_comparisons();
+  });
+
+  int64_t total_paid = 0;
+  for (int64_t p : paid) total_paid += p;
+  comparator_->AddComparisons(total_paid);
+  return winners;
+}
+
 TournamentResult BatchedAllPlayAll(const std::vector<ElementId>& elements,
                                    BatchExecutor* executor) {
   CROWDMAX_CHECK(executor != nullptr);

@@ -20,10 +20,13 @@
 #define CROWDMAX_CORE_BATCHED_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/comparator.h"
 #include "core/expert_max.h"
 #include "core/filter_phase.h"
@@ -83,6 +86,36 @@ class ComparatorBatchExecutor : public BatchExecutor {
       const std::vector<ComparisonPair>& tasks) override;
 
   Comparator* comparator_;
+};
+
+/// Batch executor that answers each batch concurrently on a work-stealing
+/// pool. The batch is split into contiguous chunks of `chunk_size` tasks;
+/// each chunk is answered by an independent Comparator::Fork child whose
+/// seed is drawn in chunk order *before* dispatch, and winners land in
+/// disjoint slots of the pre-sized output — so answers and counts are
+/// bit-identical for every thread count (but differ, in RNG draw order,
+/// from ComparatorBatchExecutor over the same comparator). Paid counts are
+/// merged into the base comparator at the end of each batch. Does not own
+/// the comparator.
+class ParallelBatchExecutor : public BatchExecutor {
+ public:
+  /// Requires a forkable `comparator` (InvalidArgument otherwise),
+  /// threads >= 1 and chunk_size >= 1. `seed` starts the chunk-seed chain.
+  static Result<std::unique_ptr<ParallelBatchExecutor>> Create(
+      Comparator* comparator, int64_t threads, uint64_t seed,
+      int64_t chunk_size = 256);
+
+ private:
+  ParallelBatchExecutor(Comparator* comparator, int64_t threads,
+                        uint64_t seed, int64_t chunk_size);
+
+  std::vector<ElementId> DoExecuteBatch(
+      const std::vector<ComparisonPair>& tasks) override;
+
+  Comparator* comparator_;
+  ThreadPool pool_;
+  Rng seeder_;
+  int64_t chunk_size_;
 };
 
 /// One all-play-all tournament as a single batch (one logical step).

@@ -16,6 +16,10 @@ ElementId OracleComparator::DoCompare(ElementId a, ElementId b) {
   return std::min(a, b);
 }
 
+std::unique_ptr<Comparator> OracleComparator::Fork(uint64_t /*seed*/) const {
+  return std::make_unique<OracleComparator>(instance_);
+}
+
 MemoizingComparator::MemoizingComparator(Comparator* inner) : inner_(inner) {
   CROWDMAX_CHECK(inner != nullptr);
 }
@@ -44,6 +48,15 @@ ElementId MemoizingComparator::DoCompare(ElementId a, ElementId b) {
   return inner_->Compare(a, b);
 }
 
+std::unique_ptr<Comparator> MemoizingComparator::Fork(
+    uint64_t /*seed*/) const {
+  CROWDMAX_CHECK(false &&
+                 "MemoizingComparator is not thread-safe and cannot enter "
+                 "the parallel path; parallel filtering memoizes via its "
+                 "round-barrier cache instead");
+  return nullptr;
+}
+
 AdversarialComparator::AdversarialComparator(const Instance* instance,
                                              double delta,
                                              AdversarialPolicy policy)
@@ -70,6 +83,11 @@ ElementId AdversarialComparator::DoCompare(ElementId a, ElementId b) {
       return va > vb ? a : b;
   }
   return a;
+}
+
+std::unique_ptr<Comparator> AdversarialComparator::Fork(
+    uint64_t /*seed*/) const {
+  return std::make_unique<AdversarialComparator>(instance_, delta_, policy_);
 }
 
 }  // namespace crowdmax

@@ -4,11 +4,22 @@
 // which returns the element the worker believes is larger and counts the
 // comparison. Decorators add memoization (Appendix A, optimization 1) and
 // adversarial behaviour; model-backed comparators live in worker_model.h.
+//
+// Thread-safety contract: a Comparator instance is NOT thread-safe — its
+// comparison counter, any internal Rng, and any per-pair caches are plain
+// (unsynchronized) state. The parallel tournament engine
+// (core/parallel_group.h) therefore never shares an instance across
+// threads: it derives one independent child per concurrent unit of work via
+// Fork(seed) — with the seed fixed *before* dispatch, never by thread
+// schedule — and merges each child's paid-comparison count back into the
+// parent with AddComparisons() at a single-threaded round barrier (a
+// sharded counter, one shard per fork).
 
 #ifndef CROWDMAX_CORE_COMPARATOR_H_
 #define CROWDMAX_CORE_COMPARATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
@@ -38,6 +49,27 @@ class Comparator {
 
   void ResetCount() { num_comparisons_ = 0; }
 
+  /// Derives an independent comparator answering under the same model:
+  /// same instance and parameters, but a private RNG stream seeded from
+  /// `seed`, a zeroed comparison counter, and no shared mutable state with
+  /// this object. The parallel engine gives every concurrent group one
+  /// fork, so answers depend only on (group contents, seed), never on the
+  /// thread schedule. Per-pair sticky state (persistent-arbitrary ties,
+  /// crowd bias) is scoped to the fork: it does not see, and is not copied
+  /// back into, the parent.
+  ///
+  /// Returns nullptr when this comparator cannot be forked (the default);
+  /// parallel entry points then report InvalidArgument.
+  virtual std::unique_ptr<Comparator> Fork(uint64_t seed) const {
+    (void)seed;
+    return nullptr;
+  }
+
+  /// Folds `n` comparisons paid on forked children into this counter — the
+  /// round-barrier merge of the parallel engine's sharded counts. Must be
+  /// called from a single thread (the barrier).
+  void AddComparisons(int64_t n) { num_comparisons_ += n; }
+
  protected:
   Comparator() = default;
   void CountComparison() { ++num_comparisons_; }
@@ -55,6 +87,10 @@ class OracleComparator : public Comparator {
  public:
   explicit OracleComparator(const Instance* instance);
 
+  /// Deterministic and stateless (beyond the counter): the fork is simply a
+  /// fresh oracle over the same instance; `seed` is unused.
+  std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
+
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
 
@@ -67,11 +103,23 @@ class OracleComparator : public Comparator {
 ///
 /// num_comparisons() on this object counts paid (forwarded) comparisons
 /// only. Does not own the inner comparator.
+///
+/// NOT usable from the parallel path: the cache is a plain unordered_map
+/// and the decorator aliases the inner comparator, so forking it is
+/// meaningless (forks would either share the cache — a data race — or
+/// silently stop memoizing). Fork() CHECK-fails with that message; the
+/// parallel filter implements memoization itself, as a read-only cache
+/// snapshot per round with new entries merged at the round barrier (see
+/// core/parallel_group.h).
 class MemoizingComparator : public Comparator {
  public:
   explicit MemoizingComparator(Comparator* inner);
 
   ElementId Compare(ElementId a, ElementId b) override;
+
+  /// CHECK-fails: MemoizingComparator is not thread-safe and must not
+  /// enter the parallel engine.
+  std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
 
   int64_t cache_hits() const { return cache_hits_; }
   int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
@@ -113,6 +161,10 @@ class AdversarialComparator : public Comparator {
  public:
   AdversarialComparator(const Instance* instance, double delta,
                         AdversarialPolicy policy);
+
+  /// Deterministic and stateless (beyond the counter): the fork answers
+  /// identically to the parent; `seed` is unused.
+  std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
 
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;

@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/parallel_group.h"
+
 namespace crowdmax {
 
 namespace {
@@ -20,6 +22,9 @@ Status ValidateFilterInput(const std::vector<ElementId>& items,
   if (options.max_comparisons < 0) {
     return Status::InvalidArgument("max_comparisons must be >= 0");
   }
+  if (options.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
   std::unordered_set<ElementId> seen;
   for (ElementId e : items) {
     if (!seen.insert(e).second) {
@@ -27,6 +32,122 @@ Status ValidateFilterInput(const std::vector<ElementId>& items,
     }
   }
   return Status::OK();
+}
+
+// The worst-case comparison cost of one round over `n_cur` survivors in
+// groups of `g` (short tail groups of at most u_n play nothing).
+int64_t RoundCost(int64_t n_cur, int64_t g, int64_t u_n) {
+  int64_t round_cost = 0;
+  for (int64_t start = 0; start < n_cur; start += g) {
+    const int64_t m = std::min(g, n_cur - start);
+    if (m > u_n) round_cost += m * (m - 1) / 2;
+  }
+  return round_cost;
+}
+
+// The parallel twin of FilterCandidates below: identical round structure
+// and selection rule, but each round's group tournaments run concurrently
+// through ParallelGroupRunner, with per-group forked RNG streams and
+// counter/cache merging at the round barrier. See FilterOptions::threads
+// for the determinism contract.
+Result<FilterResult> ParallelFilterCandidates(
+    const std::vector<ElementId>& items, const FilterOptions& options,
+    Comparator* naive) {
+  Result<std::unique_ptr<ParallelGroupRunner>> runner =
+      ParallelGroupRunner::Create(naive, options.threads);
+  if (!runner.ok()) return runner.status();
+
+  const int64_t paid_before = naive->num_comparisons();
+  const int64_t u_n = options.u_n;
+  const int64_t g = options.group_size_multiplier * u_n;
+  Rng seeder(options.parallel_seed);
+
+  FilterResult result;
+  std::vector<ElementId> current = items;
+  PairWinnerCache cache;
+  std::unordered_map<ElementId, std::unordered_set<ElementId>> losses;
+
+  while (static_cast<int64_t>(current.size()) >= 2 * u_n) {
+    const int64_t n_cur = static_cast<int64_t>(current.size());
+    if (options.max_comparisons > 0) {
+      const int64_t paid_so_far = naive->num_comparisons() - paid_before;
+      if (paid_so_far + RoundCost(n_cur, g, u_n) > options.max_comparisons) {
+        result.stopped_by_budget = true;
+        break;
+      }
+    }
+
+    result.round_sizes.push_back(n_cur);
+    ++result.rounds;
+
+    // Partition survivors into this round's groups. Only the final group
+    // can be short; with at most u_n elements it advances untouched (a
+    // tournament could not eliminate anyone anyway).
+    std::vector<std::vector<ElementId>> groups;
+    std::vector<ElementId> tail;
+    for (int64_t start = 0; start < n_cur; start += g) {
+      const int64_t m = std::min(g, n_cur - start);
+      auto first = current.begin() + start;
+      if (m <= u_n) {
+        tail.assign(first, first + m);
+      } else {
+        groups.emplace_back(first, first + m);
+      }
+    }
+
+    const std::vector<GroupOutcome> outcomes = (*runner)->RunRound(
+        groups, &seeder, options.memoize ? &cache : nullptr);
+
+    // Barrier work, single-threaded and in group order: tallies, loss
+    // counters, survivor selection.
+    std::vector<ElementId> next;
+    next.reserve(current.size() / 2 + 1);
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      const std::vector<ElementId>& group = groups[gi];
+      const GroupOutcome& out = outcomes[gi];
+      result.issued_comparisons += out.issued;
+      if (options.global_loss_counter) {
+        size_t t = 0;
+        for (size_t i = 0; i < group.size(); ++i) {
+          for (size_t j = i + 1; j < group.size(); ++j, ++t) {
+            const ElementId winner = out.pair_winners[t];
+            const ElementId loser = winner == group[i] ? group[j] : group[i];
+            losses[loser].insert(winner);
+          }
+        }
+      }
+      const int64_t keep_threshold =
+          static_cast<int64_t>(group.size()) - u_n;
+      for (size_t i = 0; i < group.size(); ++i) {
+        if (out.wins[i] >= keep_threshold) next.push_back(group[i]);
+      }
+    }
+    next.insert(next.end(), tail.begin(), tail.end());
+
+    if (options.global_loss_counter) {
+      auto cannot_be_max = [&](ElementId e) {
+        auto it = losses.find(e);
+        return it != losses.end() &&
+               static_cast<int64_t>(it->second.size()) > u_n;
+      };
+      const size_t before = next.size();
+      next.erase(std::remove_if(next.begin(), next.end(), cannot_be_max),
+                 next.end());
+      result.evicted_by_loss_counter +=
+          static_cast<int64_t>(before - next.size());
+    }
+
+    if (next.empty()) {
+      result.hit_empty_round = true;
+      break;
+    }
+    CROWDMAX_CHECK(next.size() < current.size());
+    current = std::move(next);
+  }
+
+  result.candidates = std::move(current);
+  result.paid_comparisons = naive->num_comparisons() - paid_before;
+  return result;
 }
 
 }  // namespace
@@ -37,6 +158,10 @@ Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
   CROWDMAX_CHECK(naive != nullptr);
   Status status = ValidateFilterInput(items, options);
   if (!status.ok()) return status;
+
+  if (options.threads >= 1) {
+    return ParallelFilterCandidates(items, options, naive);
+  }
 
   // Optionally interpose the pair cache (Appendix A, optimization 1).
   MemoizingComparator memo(naive);
@@ -60,16 +185,11 @@ Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
     // cheaper, but a guaranteed-affordable round is what the cap promises).
     if (options.max_comparisons > 0) {
       const int64_t n_cur = static_cast<int64_t>(current.size());
-      int64_t round_cost = 0;
-      for (int64_t start = 0; start < n_cur; start += g) {
-        const int64_t m = std::min(g, n_cur - start);
-        if (m > u_n) round_cost += m * (m - 1) / 2;
-      }
       const int64_t paid_so_far =
           (options.memoize ? memo.num_comparisons()
                            : naive->num_comparisons()) -
           paid_before;
-      if (paid_so_far + round_cost > options.max_comparisons) {
+      if (paid_so_far + RoundCost(n_cur, g, u_n) > options.max_comparisons) {
         result.stopped_by_budget = true;
         break;
       }

@@ -55,6 +55,21 @@ struct FilterOptions {
   /// "M survives" is preserved (stopping early only keeps more elements);
   /// the |S| <= 2*u_n - 1 size bound is not.
   int64_t max_comparisons = 0;
+
+  /// Parallel tournament engine (core/parallel_group.h). 0 (the default)
+  /// keeps the original serial path, answering every comparison through
+  /// the caller's comparator in program order. Any value >= 1 routes each
+  /// round's disjoint group tournaments through a work-stealing pool of
+  /// that many threads, answering each group through an independent
+  /// Comparator::Fork child seeded in group-index order from
+  /// `parallel_seed`. Results are observationally deterministic: winner,
+  /// survivor sets and paid-comparison counts are bit-identical for every
+  /// threads >= 1 (but differ from the serial path's RNG draw order).
+  /// Requires a forkable comparator; returns InvalidArgument otherwise.
+  int64_t threads = 0;
+
+  /// Seed of the per-group RNG fork chain used when threads >= 1.
+  uint64_t parallel_seed = 0x9E3779B97F4A7C15ULL;
 };
 
 /// Outcome of the filtering phase.

@@ -1,0 +1,105 @@
+#include "core/parallel_group.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace crowdmax {
+
+uint64_t PairCacheKey(ElementId a, ElementId b) {
+  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
+  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<std::unique_ptr<ParallelGroupRunner>> ParallelGroupRunner::Create(
+    Comparator* parent, int64_t threads) {
+  CROWDMAX_CHECK(parent != nullptr);
+  if (threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  // Probe forkability once, up front, so every later failure mode is a
+  // clean Status instead of a surprise deep inside a round.
+  if (parent->Fork(0) == nullptr) {
+    return Status::InvalidArgument(
+        "comparator does not support Fork(); the parallel engine requires "
+        "a forkable comparator (see comparator.h thread-safety contract)");
+  }
+  return std::unique_ptr<ParallelGroupRunner>(
+      new ParallelGroupRunner(parent, threads));
+}
+
+std::vector<GroupOutcome> ParallelGroupRunner::RunRound(
+    const std::vector<std::vector<ElementId>>& groups, Rng* seeder,
+    PairWinnerCache* cache) {
+  CROWDMAX_CHECK(seeder != nullptr);
+  const int64_t num_groups = static_cast<int64_t>(groups.size());
+  std::vector<GroupOutcome> outcomes(groups.size());
+  if (num_groups == 0) return outcomes;
+
+  // Seeds are drawn before dispatch, in group order — the whole point.
+  std::vector<uint64_t> seeds(groups.size());
+  for (int64_t g = 0; g < num_groups; ++g) {
+    seeds[static_cast<size_t>(g)] = seeder->Fork();
+  }
+
+  // During the round the cache is read-only shared state; each task writes
+  // only to its own pre-sized outcomes slot.
+  const PairWinnerCache* read_cache = cache;
+  pool_.ParallelFor(num_groups, [&](int64_t g) {
+    const std::vector<ElementId>& group = groups[static_cast<size_t>(g)];
+    GroupOutcome& out = outcomes[static_cast<size_t>(g)];
+    const size_t k = group.size();
+    out.wins.assign(k, 0);
+    out.pair_winners.reserve(k * (k > 0 ? k - 1 : 0) / 2);
+
+    const std::unique_ptr<Comparator> fork =
+        parent_->Fork(seeds[static_cast<size_t>(g)]);
+    CROWDMAX_CHECK(fork != nullptr);
+
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i + 1; j < k; ++j) {
+        const ElementId a = group[i];
+        const ElementId b = group[j];
+        ElementId winner;
+        if (read_cache != nullptr) {
+          auto it = read_cache->find(PairCacheKey(a, b));
+          if (it != read_cache->end()) {
+            winner = it->second;
+          } else {
+            winner = fork->Compare(a, b);
+          }
+        } else {
+          winner = fork->Compare(a, b);
+        }
+        CROWDMAX_DCHECK(winner == a || winner == b);
+        ++out.issued;
+        ++out.wins[winner == a ? i : j];
+        out.pair_winners.push_back(winner);
+      }
+    }
+    out.paid = fork->num_comparisons();
+  });
+
+  // Round barrier: merge the counter shards into the parent and the fresh
+  // pair outcomes into the cache, in group order.
+  int64_t total_paid = 0;
+  for (const GroupOutcome& out : outcomes) total_paid += out.paid;
+  parent_->AddComparisons(total_paid);
+
+  if (cache != nullptr) {
+    for (int64_t g = 0; g < num_groups; ++g) {
+      const std::vector<ElementId>& group = groups[static_cast<size_t>(g)];
+      const GroupOutcome& out = outcomes[static_cast<size_t>(g)];
+      size_t t = 0;
+      for (size_t i = 0; i < group.size(); ++i) {
+        for (size_t j = i + 1; j < group.size(); ++j, ++t) {
+          cache->emplace(PairCacheKey(group[i], group[j]),
+                         out.pair_winners[t]);
+        }
+      }
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,102 @@
+// The parallel tournament engine: concurrent execution of one round's
+// independent group tournaments.
+//
+// Phase 1 (Algorithm 2), the Marcus recursive tournament and the Venetis
+// ladder all have the same round structure: partition the survivors into
+// disjoint groups, play an independent contest inside each group, merge the
+// results, repeat. The contests of one round share no elements, so they are
+// embarrassingly parallel (cf. Braverman et al., "Parallel Algorithms for
+// Select and Partition with Noisy Comparisons": round-structured noisy
+// comparison algorithms parallelize across rounds).
+//
+// Determinism discipline — results must be bit-identical for every thread
+// count >= 1:
+//  1. RNG: each group receives an independent child seed drawn with
+//     Rng::Fork() from a round seeder *before* dispatch, in group-index
+//     order. The group's comparisons are answered by a Comparator::Fork()
+//     child constructed from that seed, so outcomes are a function of
+//     (group contents, seed), never of the thread schedule.
+//  2. Counters: forks count their own paid comparisons (one counter shard
+//     per group); the runner sums the shards into the parent comparator at
+//     the single-threaded round barrier.
+//  3. Memoization: the runner, not a MemoizingComparator, implements the
+//     pair cache for the parallel path. During a round the cache is a
+//     read-only snapshot (groups are disjoint, so a pair can only have
+//     been answered in an earlier round); each group's fresh outcomes are
+//     merged into the cache at the barrier, again in group-index order.
+
+#ifndef CROWDMAX_CORE_PARALLEL_GROUP_H_
+#define CROWDMAX_CORE_PARALLEL_GROUP_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/comparator.h"
+#include "core/instance.h"
+
+namespace crowdmax {
+
+/// Cache of per-unordered-pair winners used by the parallel filter's
+/// memoization (Appendix A, optimization 1).
+using PairWinnerCache = std::unordered_map<uint64_t, ElementId>;
+
+/// Canonical key of the unordered pair {a, b} in a PairWinnerCache.
+uint64_t PairCacheKey(ElementId a, ElementId b);
+
+/// Result of one group's all-play-all tournament, played on a fork.
+struct GroupOutcome {
+  /// wins[i] = comparisons won by the group's i-th element.
+  std::vector<int64_t> wins;
+  /// Winner of each unordered pair (i, j), i < j, in the nested-loop order
+  /// of AllPlayAll — enough for the caller to feed loss counters and other
+  /// cross-round state at the barrier.
+  std::vector<ElementId> pair_winners;
+  /// Comparisons issued inside the group, including cache hits.
+  int64_t issued = 0;
+  /// Comparisons paid by the group's fork (cache misses only when a cache
+  /// is in use). Already merged into the parent comparator by the runner.
+  int64_t paid = 0;
+};
+
+/// Runs rounds of disjoint group tournaments on a work-stealing pool.
+///
+/// Not thread-safe itself: one runner per algorithm invocation, driven from
+/// that invocation's thread. The parent comparator must outlive the runner
+/// and must not be used concurrently with RunRound.
+class ParallelGroupRunner {
+ public:
+  /// `parent` answers comparisons (through forks) and accumulates merged
+  /// counts; `threads >= 1` sizes the pool. Returns InvalidArgument if the
+  /// parent does not support Fork(). (A unique_ptr because the runner owns
+  /// a ThreadPool and is therefore immovable.)
+  static Result<std::unique_ptr<ParallelGroupRunner>> Create(
+      Comparator* parent, int64_t threads);
+
+  /// Plays every group's all-play-all tournament, concurrently across
+  /// groups, and blocks until the round barrier. Child seeds are drawn
+  /// from `seeder` in group order before dispatch. When `cache` is
+  /// non-null, previously-cached pairs are answered from it for free and
+  /// this round's fresh outcomes are merged back into it at the barrier.
+  /// Paid counts are merged into the parent comparator before returning.
+  std::vector<GroupOutcome> RunRound(
+      const std::vector<std::vector<ElementId>>& groups, Rng* seeder,
+      PairWinnerCache* cache);
+
+  int64_t threads() const { return pool_.num_threads(); }
+
+ private:
+  ParallelGroupRunner(Comparator* parent, int64_t threads)
+      : parent_(parent), pool_(threads) {}
+
+  Comparator* parent_;
+  ThreadPool pool_;
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_PARALLEL_GROUP_H_

@@ -69,6 +69,10 @@ ElementId ThresholdComparator::DoCompare(ElementId a, ElementId b) {
   return correct;
 }
 
+std::unique_ptr<Comparator> ThresholdComparator::Fork(uint64_t seed) const {
+  return std::make_unique<ThresholdComparator>(instance_, options_, seed);
+}
+
 RelativeErrorComparator::RelativeErrorComparator(const Instance* instance,
                                                  const Options& options,
                                                  uint64_t seed)
@@ -87,6 +91,11 @@ ElementId RelativeErrorComparator::DoCompare(ElementId a, ElementId b) {
       options_.max_error, options_.base_error * std::exp(-options_.decay * rel));
   if (rng_.NextBernoulli(p_error)) return Other(correct, a, b);
   return correct;
+}
+
+std::unique_ptr<Comparator> RelativeErrorComparator::Fork(
+    uint64_t seed) const {
+  return std::make_unique<RelativeErrorComparator>(instance_, options_, seed);
 }
 
 DistanceDecayComparator::DistanceDecayComparator(const Instance* instance,
@@ -115,6 +124,11 @@ ElementId DistanceDecayComparator::DoCompare(ElementId a, ElementId b) {
                          std::exp(-options_.decay * (d - options_.delta));
   if (rng_.NextBernoulli(p_error)) return Other(correct, a, b);
   return correct;
+}
+
+std::unique_ptr<Comparator> DistanceDecayComparator::Fork(
+    uint64_t seed) const {
+  return std::make_unique<DistanceDecayComparator>(instance_, options_, seed);
 }
 
 PersistentBiasComparator::PersistentBiasComparator(const Instance* instance,
@@ -178,6 +192,11 @@ ElementId PersistentBiasComparator::DoCompare(ElementId a, ElementId b) {
     return Other(preferred, a, b);
   }
   return preferred;
+}
+
+std::unique_ptr<Comparator> PersistentBiasComparator::Fork(
+    uint64_t seed) const {
+  return std::make_unique<PersistentBiasComparator>(instance_, options_, seed);
 }
 
 }  // namespace crowdmax

@@ -19,6 +19,7 @@
 #define CROWDMAX_CORE_WORKER_MODEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -78,6 +79,13 @@ class ThresholdComparator : public Comparator {
   ThresholdComparator(const Instance* instance, ThresholdModel model,
                       uint64_t seed);
 
+  /// Independent worker of the same class: same instance and options, a
+  /// fresh Rng seeded from `seed`, and (under kPersistentArbitrary) an
+  /// empty sticky-answer table — per-pair opinions are per-fork, like two
+  /// different workers of the same class holding independent arbitrary
+  /// views.
+  std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
+
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
 
@@ -111,6 +119,9 @@ class RelativeErrorComparator : public Comparator {
   RelativeErrorComparator(const Instance* instance, const Options& options,
                           uint64_t seed);
 
+  /// Independent worker of the same class with a fresh Rng from `seed`.
+  std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
+
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
 
@@ -143,6 +154,9 @@ class DistanceDecayComparator : public Comparator {
 
   DistanceDecayComparator(const Instance* instance, const Options& options,
                           uint64_t seed);
+
+  /// Independent worker of the same class with a fresh Rng from `seed`.
+  std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
 
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
@@ -190,6 +204,13 @@ class PersistentBiasComparator : public Comparator {
 
   PersistentBiasComparator(const Instance* instance, const Options& options,
                            uint64_t seed);
+
+  /// Independent crowd of the same composition with a fresh Rng from
+  /// `seed`. The per-pair preferred-winner table starts empty in the fork:
+  /// persistence holds within a fork's lifetime (one parallel group), not
+  /// across forks — use the serial path when cross-round persistence of
+  /// the crowd bias is the behaviour under study.
+  std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
 
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;

@@ -1,0 +1,260 @@
+// Determinism contract of the parallel tournament engine (the core promise
+// of FilterOptions::threads and friends): for a fixed seed, the winner, the
+// survivor set, and the paid/issued comparison counts are bit-identical for
+// every thread count >= 1 — the thread schedule is unobservable. Also
+// covers the guard rails: non-forkable comparators are rejected with
+// InvalidArgument, and MemoizingComparator::Fork CHECK-fails rather than
+// silently entering the parallel path.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/marcus.h"
+#include "baselines/venetis.h"
+#include "core/batched.h"
+#include "core/comparator.h"
+#include "core/expert_max.h"
+#include "core/filter_phase.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+Instance MakeInstance(int64_t n, uint64_t seed) {
+  Result<Instance> instance = UniformInstance(n, seed);
+  CROWDMAX_CHECK(instance.ok());
+  return std::move(instance).value();
+}
+
+// A comparator without a Fork override: the base-class default (nullptr)
+// must make every parallel entry point fail with InvalidArgument.
+class UnforkableComparator : public Comparator {
+ public:
+  explicit UnforkableComparator(const Instance* instance)
+      : instance_(instance) {}
+
+ private:
+  ElementId DoCompare(ElementId a, ElementId b) override {
+    return instance_->value(a) >= instance_->value(b) ? a : b;
+  }
+  const Instance* instance_;
+};
+
+struct FullRun {
+  ElementId best;
+  std::vector<ElementId> candidates;
+  int64_t paid_naive;
+  int64_t paid_expert;
+  int64_t issued_naive;
+  int64_t filter_rounds;
+};
+
+FullRun RunTwoPhase(const Instance& instance, int64_t u_n, double delta_n,
+                    double delta_e, int64_t threads) {
+  ThresholdComparator naive(&instance, ThresholdModel{delta_n, 0.1}, 101);
+  ThresholdComparator expert(&instance, ThresholdModel{delta_e, 0.0}, 202);
+  ExpertMaxOptions options;
+  options.filter.u_n = u_n;
+  options.filter.threads = threads;
+  Result<ExpertMaxResult> result =
+      FindMaxWithExperts(instance.AllElements(), &naive, &expert, options);
+  CROWDMAX_CHECK(result.ok());
+  return FullRun{result->best,         result->candidates,
+                 result->paid.naive,   result->paid.expert,
+                 result->issued.naive, result->filter_rounds};
+}
+
+TEST(DeterminismTest, TwoPhaseIdenticalAcrossThreadCounts) {
+  Instance instance = MakeInstance(600, 7);
+  const double delta_n = instance.DeltaForU(8);
+  const double delta_e = instance.DeltaForU(2);
+  const int64_t u_n = instance.CountWithin(delta_n);
+
+  const FullRun base = RunTwoPhase(instance, u_n, delta_n, delta_e, 1);
+  for (int64_t threads : {2, 8}) {
+    const FullRun run = RunTwoPhase(instance, u_n, delta_n, delta_e, threads);
+    EXPECT_EQ(run.best, base.best) << "threads=" << threads;
+    EXPECT_EQ(run.candidates, base.candidates) << "threads=" << threads;
+    EXPECT_EQ(run.paid_naive, base.paid_naive) << "threads=" << threads;
+    EXPECT_EQ(run.paid_expert, base.paid_expert) << "threads=" << threads;
+    EXPECT_EQ(run.issued_naive, base.issued_naive) << "threads=" << threads;
+    EXPECT_EQ(run.filter_rounds, base.filter_rounds) << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, TwoPhaseRepeatWithSameSeedIsBitIdentical) {
+  Instance instance = MakeInstance(400, 11);
+  const double delta_n = instance.DeltaForU(6);
+  const double delta_e = instance.DeltaForU(2);
+  const int64_t u_n = instance.CountWithin(delta_n);
+  const FullRun first = RunTwoPhase(instance, u_n, delta_n, delta_e, 4);
+  const FullRun second = RunTwoPhase(instance, u_n, delta_n, delta_e, 4);
+  EXPECT_EQ(first.best, second.best);
+  EXPECT_EQ(first.candidates, second.candidates);
+  EXPECT_EQ(first.paid_naive, second.paid_naive);
+  EXPECT_EQ(first.paid_expert, second.paid_expert);
+}
+
+TEST(DeterminismTest, MemoizedParallelFilterIdenticalAcrossThreadCounts) {
+  Instance instance = MakeInstance(500, 13);
+  const double delta = instance.DeltaForU(10);
+  FilterOptions options;
+  options.u_n = instance.CountWithin(delta);
+  options.memoize = true;
+  options.global_loss_counter = true;
+
+  std::vector<FilterResult> runs;
+  for (int64_t threads : {1, 2, 8}) {
+    ThresholdComparator naive(&instance, ThresholdModel{delta, 0.05}, 303);
+    options.threads = threads;
+    Result<FilterResult> result =
+        FilterCandidates(instance.AllElements(), options, &naive);
+    ASSERT_TRUE(result.ok());
+    runs.push_back(*std::move(result));
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].candidates, runs[0].candidates);
+    EXPECT_EQ(runs[i].paid_comparisons, runs[0].paid_comparisons);
+    EXPECT_EQ(runs[i].issued_comparisons, runs[0].issued_comparisons);
+    EXPECT_EQ(runs[i].rounds, runs[0].rounds);
+    EXPECT_EQ(runs[i].round_sizes, runs[0].round_sizes);
+    EXPECT_EQ(runs[i].evicted_by_loss_counter,
+              runs[0].evicted_by_loss_counter);
+  }
+  // Memoization must actually save comparisons in the parallel path too.
+  EXPECT_LT(runs[0].paid_comparisons, runs[0].issued_comparisons + 1);
+}
+
+TEST(DeterminismTest, ParallelFilterFindsSameWinnerAsSerialUnderOracle) {
+  // With a deterministic truthful comparator the serial and parallel paths
+  // must agree on the surviving winner even though their RNG draw orders
+  // differ (no randomness is consumed).
+  Instance instance = MakeInstance(300, 17);
+  FilterOptions options;
+  options.u_n = 4;
+
+  OracleComparator serial_cmp(&instance);
+  Result<FilterResult> serial =
+      FilterCandidates(instance.AllElements(), options, &serial_cmp);
+  ASSERT_TRUE(serial.ok());
+
+  options.threads = 4;
+  OracleComparator parallel_cmp(&instance);
+  Result<FilterResult> parallel =
+      FilterCandidates(instance.AllElements(), options, &parallel_cmp);
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(parallel->candidates, serial->candidates);
+  EXPECT_EQ(parallel->paid_comparisons, serial->paid_comparisons);
+}
+
+TEST(DeterminismTest, ParallelBatchExecutorIdenticalAcrossThreadCounts) {
+  Instance instance = MakeInstance(256, 19);
+  std::vector<ComparisonPair> tasks;
+  for (ElementId a = 0; a < 255; ++a) tasks.emplace_back(a, a + 1);
+
+  std::vector<std::vector<ElementId>> winners;
+  std::vector<int64_t> paid;
+  for (int64_t threads : {1, 4}) {
+    ThresholdComparator cmp(&instance, ThresholdModel{0.05, 0.1}, 404);
+    Result<std::unique_ptr<ParallelBatchExecutor>> executor =
+        ParallelBatchExecutor::Create(&cmp, threads, /*seed=*/55,
+                                      /*chunk_size=*/16);
+    ASSERT_TRUE(executor.ok());
+    winners.push_back((*executor)->ExecuteBatch(tasks));
+    paid.push_back(cmp.num_comparisons());
+  }
+  EXPECT_EQ(winners[0], winners[1]);
+  EXPECT_EQ(paid[0], paid[1]);
+}
+
+TEST(DeterminismTest, MarcusLadderIdenticalAcrossThreadCounts) {
+  Instance instance = MakeInstance(350, 23);
+  MarcusOptions options;
+  options.group_size = 10;
+
+  std::vector<MaxFindResult> runs;
+  for (int64_t threads : {1, 2, 8}) {
+    ThresholdComparator cmp(&instance, ThresholdModel{0.02, 0.1}, 505);
+    options.threads = threads;
+    Result<MaxFindResult> result =
+        MarcusTournamentMax(instance.AllElements(), &cmp, options);
+    ASSERT_TRUE(result.ok());
+    runs.push_back(*std::move(result));
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].best, runs[0].best);
+    EXPECT_EQ(runs[i].paid_comparisons, runs[0].paid_comparisons);
+    EXPECT_EQ(runs[i].issued_comparisons, runs[0].issued_comparisons);
+    EXPECT_EQ(runs[i].rounds, runs[0].rounds);
+  }
+}
+
+TEST(DeterminismTest, VenetisLadderIdenticalAcrossThreadCounts) {
+  Instance instance = MakeInstance(333, 29);
+  VenetisOptions options;
+  options.votes_per_match = 5;
+
+  std::vector<MaxFindResult> runs;
+  for (int64_t threads : {1, 2, 8}) {
+    ThresholdComparator cmp(&instance, ThresholdModel{0.02, 0.15}, 606);
+    options.threads = threads;
+    Result<MaxFindResult> result =
+        VenetisLadderMax(instance.AllElements(), &cmp, options);
+    ASSERT_TRUE(result.ok());
+    runs.push_back(*std::move(result));
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].best, runs[0].best);
+    EXPECT_EQ(runs[i].paid_comparisons, runs[0].paid_comparisons);
+    EXPECT_EQ(runs[i].issued_comparisons, runs[0].issued_comparisons);
+  }
+}
+
+TEST(DeterminismTest, ParallelPathRejectsUnforkableComparator) {
+  Instance instance = MakeInstance(64, 31);
+  UnforkableComparator cmp(&instance);
+
+  FilterOptions filter;
+  filter.u_n = 2;
+  filter.threads = 2;
+  EXPECT_FALSE(FilterCandidates(instance.AllElements(), filter, &cmp).ok());
+
+  MarcusOptions marcus;
+  marcus.threads = 2;
+  EXPECT_FALSE(
+      MarcusTournamentMax(instance.AllElements(), &cmp, marcus).ok());
+
+  VenetisOptions venetis;
+  venetis.threads = 2;
+  EXPECT_FALSE(VenetisLadderMax(instance.AllElements(), &cmp, venetis).ok());
+
+  EXPECT_FALSE(ParallelBatchExecutor::Create(&cmp, 2, /*seed=*/1).ok());
+
+  // Serial paths still work fine with the same comparator.
+  filter.threads = 0;
+  EXPECT_TRUE(FilterCandidates(instance.AllElements(), filter, &cmp).ok());
+}
+
+TEST(DeterminismTest, NegativeThreadsRejected) {
+  Instance instance = MakeInstance(32, 37);
+  OracleComparator cmp(&instance);
+  FilterOptions filter;
+  filter.u_n = 2;
+  filter.threads = -1;
+  EXPECT_FALSE(FilterCandidates(instance.AllElements(), filter, &cmp).ok());
+}
+
+TEST(DeterminismDeathTest, MemoizingComparatorForkCheckFails) {
+  Instance instance = MakeInstance(16, 41);
+  OracleComparator oracle(&instance);
+  MemoizingComparator memo(&oracle);
+  EXPECT_DEATH_IF_SUPPORTED((void)memo.Fork(1), "not thread-safe");
+}
+
+}  // namespace
+}  // namespace crowdmax

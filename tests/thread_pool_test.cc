@@ -1,0 +1,108 @@
+// Tests for the work-stealing thread pool behind the parallel tournament
+// engine: every ParallelFor index runs exactly once, pools are reusable,
+// threads == 1 degrades to inline execution, and concurrent batches with
+// per-index output slots produce deterministic results.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crowdmax {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  for (int64_t threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    constexpr int64_t kCount = 1000;
+    std::vector<std::atomic<int64_t>> hits(kCount);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(kCount, [&](int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (int64_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "index " << i << " at threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndSingleCountBatches) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> calls{0};
+  pool.ParallelFor(0, [&](int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.ParallelFor(1, [&](int64_t i) {
+    EXPECT_EQ(i, 0);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  // threads == 1 spawns no workers; the body must observe the submitting
+  // thread's id for every index.
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> foreign{false};
+  pool.ParallelFor(64, [&](int64_t) {
+    if (std::this_thread::get_id() != caller) foreign.store(true);
+  });
+  EXPECT_FALSE(foreign.load());
+}
+
+TEST(ThreadPoolTest, ThreadCountClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(4);
+  int64_t total = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, [&](int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 100 * 99 / 2);
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 20 * (100 * 99 / 2));
+}
+
+TEST(ThreadPoolTest, DisjointSlotWritesAreDeterministic) {
+  // The engine's discipline: each index writes only its own slot, so the
+  // result vector is a pure function of the body regardless of schedule.
+  constexpr int64_t kCount = 4096;
+  std::vector<int64_t> expected(kCount);
+  for (int64_t i = 0; i < kCount; ++i) expected[static_cast<size_t>(i)] = i * i;
+  for (int64_t threads : {1, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<int64_t> out(kCount, -1);
+    pool.ParallelFor(kCount, [&](int64_t i) {
+      out[static_cast<size_t>(i)] = i * i;
+    });
+    EXPECT_EQ(out, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, StressManySmallBatches) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(17, [&](int64_t) { sum.fetch_add(1); });
+  }
+  EXPECT_EQ(sum.load(), 200 * 17);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+}  // namespace
+}  // namespace crowdmax

@@ -1,0 +1,146 @@
+// Statistical tests for the worker models: with fixed seeds and ~10^5
+// draws, the empirical answer rates must match the model's stated
+// probabilities within a generous binomial confidence interval (5 sigma, so
+// a correct implementation essentially never flakes), and indistinguishable
+// pairs must demonstrably carry NO correctness guarantee — the threshold
+// model allows the crowd to be wrong on them every single time.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/comparator.h"
+#include "core/instance.h"
+#include "core/worker_model.h"
+
+namespace crowdmax {
+namespace {
+
+constexpr int64_t kDraws = 100000;
+
+// Half-width of a 5-sigma binomial confidence interval around p.
+double Bound(double p, int64_t n) {
+  return 5.0 * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+}
+
+// Fraction of kDraws queries on (a, b) answered with `expected`.
+double RateOf(Comparator* cmp, ElementId a, ElementId b, ElementId expected) {
+  int64_t hits = 0;
+  for (int64_t i = 0; i < kDraws; ++i) {
+    if (cmp->Compare(a, b) == expected) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(kDraws);
+}
+
+TEST(WorkerModelStatTest, AboveThresholdErrorRateMatchesEpsilon) {
+  // d(0, 1) = 1.0 > delta, so element 1 (the larger) must win with
+  // probability 1 - epsilon.
+  Instance instance({0.0, 1.0});
+  for (double epsilon : {0.05, 0.2, 0.4}) {
+    ThresholdComparator cmp(&instance, ThresholdModel{0.1, epsilon},
+                            /*seed=*/1234);
+    const double error = RateOf(&cmp, 0, 1, /*expected=*/0);
+    EXPECT_NEAR(error, epsilon, Bound(epsilon, kDraws))
+        << "epsilon=" << epsilon;
+  }
+}
+
+TEST(WorkerModelStatTest, BelowThresholdIsAFairCoinByDefault) {
+  // d(0, 1) = 0.01 <= delta = 0.1: the paper's simulation behaviour is a
+  // fresh fair coin per query.
+  Instance instance({0.50, 0.51});
+  ThresholdComparator cmp(&instance, ThresholdModel{0.1, 0.0}, /*seed=*/99);
+  const double correct = RateOf(&cmp, 0, 1, /*expected=*/1);
+  EXPECT_NEAR(correct, 0.5, Bound(0.5, kDraws));
+}
+
+TEST(WorkerModelStatTest, IndistinguishablePairsHaveNoCorrectnessGuarantee) {
+  // The model says the answer below the threshold is completely arbitrary.
+  // below_threshold_correct_prob = 0 realizes the extreme: the crowd is
+  // wrong on the hard pair on every one of 10^5 queries. Nothing about
+  // error rates above delta constrains this.
+  Instance instance({0.50, 0.51});
+  ThresholdComparator::Options options;
+  options.model = ThresholdModel{0.1, 0.0};
+  options.below_threshold_correct_prob = 0.0;
+  ThresholdComparator cmp(&instance, options, /*seed=*/7);
+  const double correct = RateOf(&cmp, 0, 1, /*expected=*/1);
+  EXPECT_EQ(correct, 0.0);
+}
+
+TEST(WorkerModelStatTest, BiasedCoinBelowThresholdMatchesConfiguredRate) {
+  Instance instance({0.50, 0.51});
+  ThresholdComparator::Options options;
+  options.model = ThresholdModel{0.1, 0.0};
+  options.below_threshold_correct_prob = 0.3;
+  ThresholdComparator cmp(&instance, options, /*seed=*/11);
+  const double correct = RateOf(&cmp, 0, 1, /*expected=*/1);
+  EXPECT_NEAR(correct, 0.3, Bound(0.3, kDraws));
+}
+
+TEST(WorkerModelStatTest, PersistentArbitraryTiesAreStickyPerPair) {
+  Instance instance({0.50, 0.51, 0.505});
+  ThresholdComparator::Options options;
+  options.model = ThresholdModel{0.1, 0.0};
+  options.tie_policy = TiePolicy::kPersistentArbitrary;
+  ThresholdComparator cmp(&instance, options, /*seed=*/13);
+  const ElementId first = cmp.Compare(0, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(cmp.Compare(0, 1), first);
+    EXPECT_EQ(cmp.Compare(1, 0), first);  // Order-independent.
+  }
+}
+
+TEST(WorkerModelStatTest, RelativeErrorDecayMatchesFormula) {
+  // rel_diff(0, 1) = |1 - 2| / 2 = 0.5, so
+  // P(error) = min(0.5, 0.5 * exp(-4.5 * 0.5)) ~= 0.0527.
+  Instance instance({1.0, 2.0});
+  RelativeErrorComparator::Options options;  // Defaults: 0.5, 4.5, 0.5.
+  RelativeErrorComparator cmp(&instance, options, /*seed=*/17);
+  const double expected_error = 0.5 * std::exp(-4.5 * 0.5);
+  const double error = RateOf(&cmp, 0, 1, /*expected=*/0);
+  EXPECT_NEAR(error, expected_error, Bound(expected_error, kDraws));
+}
+
+TEST(WorkerModelStatTest, DistanceDecayErrorMatchesFormula) {
+  // d = 0.5, delta = 0.1: P(error) = 0.3 * exp(-5 * 0.4) ~= 0.0406.
+  Instance instance({0.0, 0.5});
+  DistanceDecayComparator::Options options;  // Defaults: eps 0.3, decay 5.
+  options.delta = 0.1;
+  DistanceDecayComparator cmp(&instance, options, /*seed=*/19);
+  const double expected_error =
+      options.epsilon_at_threshold * std::exp(-options.decay * 0.4);
+  const double error = RateOf(&cmp, 0, 1, /*expected=*/0);
+  EXPECT_NEAR(error, expected_error, Bound(expected_error, kDraws));
+}
+
+TEST(WorkerModelStatTest, ForkedWorkerDrawsFromTheSameModel) {
+  // A fork is an independent worker of the same class: same error rate
+  // (within CI), independent stream — and deterministic given its seed.
+  Instance instance({0.0, 1.0});
+  ThresholdComparator parent(&instance, ThresholdModel{0.1, 0.25},
+                             /*seed=*/23);
+  std::unique_ptr<Comparator> fork_a = parent.Fork(1001);
+  std::unique_ptr<Comparator> fork_b = parent.Fork(1001);
+  ASSERT_NE(fork_a, nullptr);
+
+  const double error = RateOf(fork_a.get(), 0, 1, /*expected=*/0);
+  EXPECT_NEAR(error, 0.25, Bound(0.25, kDraws));
+
+  // Same fork seed => bit-identical answer stream.
+  ThresholdComparator replay(&instance, ThresholdModel{0.1, 0.25},
+                             /*seed=*/23);
+  std::unique_ptr<Comparator> fork_c = replay.Fork(1001);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(fork_b->Compare(0, 1), fork_c->Compare(0, 1));
+  }
+  // The fork's comparisons are its own (sharded counter), not the parent's.
+  EXPECT_EQ(parent.num_comparisons(), 0);
+  EXPECT_EQ(fork_b->num_comparisons(), 2000);
+}
+
+}  // namespace
+}  // namespace crowdmax
