@@ -1,0 +1,182 @@
+// Fault sweep: Algorithm 1 (batched) over ResilientBatchExecutor on a
+// faulty DOTS platform, sweeping the abandonment rate while churn rides
+// along. For each fault level the bench reports whether the true maximum
+// was found, the extra logical steps recovery cost, the votes lost, and
+// the rest of the FaultReport — the robustness counterpart of the Table 1
+// bench, with EXPERIMENTS.md recording the measured rows.
+//
+// Flags: --fault_abandon_p (default sweeps {0, 0.05, 0.1, 0.2, 0.3};
+//        setting the flag pins a single value), --fault_churn_p (default
+//        0.05), --fault_seed (default 1), --max_retries (default 6),
+//        --min_votes (default 2), --n (default 30), --u_n (default 5),
+//        --seeds (default 3 fault seeds per level), --csv.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "core/batched.h"
+#include "core/resilient.h"
+#include "core/worker_model.h"
+#include "datasets/dots.h"
+#include "platform/platform.h"
+
+namespace crowdmax {
+namespace {
+
+struct SweepRow {
+  double abandon_p = 0.0;
+  uint64_t fault_seed = 0;
+  bool found_max = false;
+  bool partial = false;
+  int64_t naive_steps = 0;
+  int64_t expert_steps = 0;
+  FaultReport naive_faults;
+  FaultReport expert_faults;
+  PlatformFaultStats platform_stats;
+};
+
+SweepRow RunOnce(const Instance& instance, double abandon_p, double churn_p,
+                 uint64_t fault_seed, int64_t max_retries, int64_t min_votes,
+                 int64_t u_n) {
+  RelativeErrorComparator crowd(&instance, DotsWorkerModel(),
+                                fault_seed * 101 + 3);
+
+  FaultOptions fault;
+  fault.abandon_probability = abandon_p;
+  fault.churn_probability = churn_p;
+  fault.min_quorum = min_votes;
+  fault.seed = fault_seed;
+
+  PlatformOptions options;
+  options.num_workers = 40;
+  options.spammer_fraction = 0.0;
+  options.honest_slip_probability = 0.0;
+  options.seed = fault_seed * 31 + 7;
+  options.fault = fault;
+
+  auto platform = CrowdPlatform::Create(&crowd, &instance, {}, options);
+  CROWDMAX_CHECK(platform.ok());
+
+  auto naive_executor =
+      PlatformBatchExecutor::Create(platform->get(), /*votes=*/3);
+  auto expert_executor =
+      PlatformBatchExecutor::Create(platform->get(), /*votes=*/7);
+  CROWDMAX_CHECK(naive_executor.ok() && expert_executor.ok());
+
+  ResilientOptions resilient_options;
+  resilient_options.max_retries = max_retries;
+  resilient_options.min_votes = min_votes;
+  auto naive = ResilientBatchExecutor::Create(naive_executor->get(),
+                                              resilient_options);
+  auto expert = ResilientBatchExecutor::Create(expert_executor->get(),
+                                               resilient_options);
+  CROWDMAX_CHECK(naive.ok() && expert.ok());
+
+  ExpertMaxOptions algo;
+  algo.filter.u_n = u_n;
+  Result<BatchedExpertMaxResult> result = BatchedFindMaxWithExperts(
+      instance.AllElements(), naive->get(), expert->get(), algo);
+  CROWDMAX_CHECK(result.ok());
+
+  SweepRow row;
+  row.abandon_p = abandon_p;
+  row.fault_seed = fault_seed;
+  row.found_max = result->result.best == instance.MaxElement();
+  row.partial = result->partial;
+  row.naive_steps = result->naive_steps;
+  row.expert_steps = result->expert_steps;
+  row.naive_faults = result->naive_faults;
+  row.expert_faults = result->expert_faults;
+  row.platform_stats = (*platform)->fault_stats();
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  const double churn_p = flags.GetDouble("fault_churn_p", 0.05);
+  const int64_t max_retries = flags.GetBoundedInt("max_retries", 6, 0, 64);
+  const int64_t min_votes = flags.GetBoundedInt("min_votes", 2, 1, 64);
+  const int64_t n = flags.GetBoundedInt("n", 30, 5, 2000);
+  const int64_t u_n = flags.GetBoundedInt("u_n", 5, 1, 100);
+  const int64_t seeds = flags.GetBoundedInt("seeds", 3, 1, 64);
+  const uint64_t first_seed =
+      static_cast<uint64_t>(flags.GetInt("fault_seed", 1));
+
+  std::vector<double> abandon_levels = {0.0, 0.05, 0.1, 0.2, 0.3};
+  const double pinned = flags.GetDouble("fault_abandon_p", -1.0);
+  if (pinned >= 0.0) abandon_levels = {pinned};
+
+  bench::PrintHeader(
+      "Fault sweep",
+      "Algorithm 1 over ResilientBatchExecutor on a faulty DOTS platform");
+  std::cout << "churn_p=" << churn_p << " max_retries=" << max_retries
+            << " min_votes=" << min_votes << " n=" << n << " u_n=" << u_n
+            << " seeds=" << seeds << "\n";
+
+  DotsDataset dots = DotsDataset::Standard();
+  Result<DotsDataset> sampled = dots.Sample(n, /*seed=*/123);
+  CROWDMAX_CHECK(sampled.ok());
+  const Instance instance = sampled->ToInstance();
+
+  TablePrinter table({"abandon_p", "hit_rate", "partial", "steps",
+                      "steps_added", "votes_lost", "retried", "relaxed",
+                      "degraded", "churned"});
+  for (double abandon_p : abandon_levels) {
+    int64_t hits = 0;
+    int64_t partials = 0;
+    int64_t steps = 0;
+    int64_t steps_added = 0;
+    int64_t votes_lost = 0;
+    int64_t retried = 0;
+    int64_t relaxed = 0;
+    int64_t degraded = 0;
+    int64_t churned = 0;
+    SweepRow last_row;
+    for (int64_t s = 0; s < seeds; ++s) {
+      const SweepRow row = RunOnce(instance, abandon_p, churn_p,
+                                   first_seed + static_cast<uint64_t>(s),
+                                   max_retries, min_votes, u_n);
+      hits += row.found_max ? 1 : 0;
+      partials += row.partial ? 1 : 0;
+      steps += row.naive_steps + row.expert_steps;
+      steps_added +=
+          row.naive_faults.steps_added + row.expert_faults.steps_added;
+      votes_lost +=
+          row.naive_faults.votes_lost + row.expert_faults.votes_lost;
+      retried +=
+          row.naive_faults.retried_tasks + row.expert_faults.retried_tasks;
+      relaxed += row.naive_faults.relaxed_accepts +
+                 row.expert_faults.relaxed_accepts;
+      degraded +=
+          row.naive_faults.degraded_tasks + row.expert_faults.degraded_tasks;
+      churned += row.platform_stats.churned_workers;
+      last_row = row;
+    }
+    table.AddRow({FormatDouble(abandon_p, 2),
+                  FormatDouble(static_cast<double>(hits) /
+                                   static_cast<double>(seeds),
+                               2),
+                  FormatInt(partials), FormatInt(steps),
+                  FormatInt(steps_added), FormatInt(votes_lost),
+                  FormatInt(retried), FormatInt(relaxed),
+                  FormatInt(degraded), FormatInt(churned)});
+    std::cout << "abandon_p=" << FormatDouble(abandon_p, 2)
+              << " last naive report: " << last_row.naive_faults.ToString()
+              << "\n"
+              << "            last expert report: "
+              << last_row.expert_faults.ToString() << "\n";
+  }
+  bench::EmitTable(table, flags,
+                   "Recovery cost and accuracy vs abandonment rate "
+                   "(averaged over fault seeds)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace crowdmax
+
+int main(int argc, char** argv) { return crowdmax::Main(argc, argv); }

@@ -16,6 +16,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

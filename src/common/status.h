@@ -23,6 +23,10 @@ enum class StatusCode {
   kNotFound,
   kOutOfRange,
   kInternal,
+  /// Transient failure of an external service (the simulated crowd platform
+  /// rejecting a submit, or a retry budget exhausted on such failures).
+  /// Callers may retry with backoff; see core/resilient.h.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name ("InvalidArgument", ...) for `code`.
@@ -54,6 +58,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

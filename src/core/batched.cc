@@ -9,6 +9,11 @@ namespace crowdmax {
 
 namespace {
 
+// Cache sentinel for a pair whose last execution attempt came back
+// unanswered (fault): treated as a miss (re-issued) by the next resolve
+// and as "no evidence" by the round tallies.
+constexpr ElementId kUnresolved = -2;
+
 uint64_t PairKey(ElementId a, ElementId b) {
   const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
   const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
@@ -26,33 +31,53 @@ Status ValidateDistinct(const std::vector<ElementId>& items) {
 }
 
 // Resolves a set of pair queries through the cache, batching only the
-// misses; fills `cache` with the new answers. Returns the number of
-// queries answered from cache.
-int64_t ResolveThroughCache(const std::vector<ComparisonPair>& queries,
-                            BatchExecutor* executor,
-                            std::unordered_map<uint64_t, ElementId>* cache) {
+// misses (including pairs left unresolved by an earlier faulty attempt);
+// fills `cache` with the new answers, kUnresolved for tasks the executor
+// could not answer. Returns the number of queries answered from cache, or
+// the executor's typed error when the whole submission failed — the cache
+// then marks this round's misses kUnresolved so callers tally them as
+// missing evidence.
+Result<int64_t> ResolveThroughCache(
+    const std::vector<ComparisonPair>& queries, BatchExecutor* executor,
+    std::unordered_map<uint64_t, ElementId>* cache) {
   std::vector<ComparisonPair> misses;
   misses.reserve(queries.size());
   for (const ComparisonPair& q : queries) {
-    if (cache->find(PairKey(q.first, q.second)) == cache->end()) {
+    auto it = cache->find(PairKey(q.first, q.second));
+    if (it == cache->end() || it->second == kUnresolved) {
       misses.push_back(q);
       // Reserve the slot so duplicate queries within one batch are sent
       // once; overwritten with the real winner below.
       (*cache)[PairKey(q.first, q.second)] = -1;
     }
   }
-  const std::vector<ElementId> winners = executor->ExecuteBatch(misses);
-  CROWDMAX_CHECK(winners.size() == misses.size());
+  Result<std::vector<BatchTaskResult>> results =
+      executor->TryExecuteBatch(misses);
+  if (!results.ok()) {
+    for (const ComparisonPair& m : misses) {
+      (*cache)[PairKey(m.first, m.second)] = kUnresolved;
+    }
+    return results.status();
+  }
+  CROWDMAX_CHECK(results->size() == misses.size());
   for (size_t i = 0; i < misses.size(); ++i) {
-    CROWDMAX_DCHECK(winners[i] == misses[i].first ||
-                    winners[i] == misses[i].second);
-    (*cache)[PairKey(misses[i].first, misses[i].second)] = winners[i];
+    const BatchTaskResult& result = (*results)[i];
+    const uint64_t key = PairKey(misses[i].first, misses[i].second);
+    if (!result.answered) {
+      (*cache)[key] = kUnresolved;
+      continue;
+    }
+    CROWDMAX_DCHECK(result.winner == misses[i].first ||
+                    result.winner == misses[i].second);
+    (*cache)[key] = result.winner;
   }
   return static_cast<int64_t>(queries.size() - misses.size());
 }
 
-ElementId CachedWinner(const std::unordered_map<uint64_t, ElementId>& cache,
-                       ElementId a, ElementId b) {
+// Cached outcome of a query passed to ResolveThroughCache this round: the
+// winner, or kUnresolved when the last attempt could not answer the pair.
+ElementId CachedOutcome(const std::unordered_map<uint64_t, ElementId>& cache,
+                        ElementId a, ElementId b) {
   auto it = cache.find(PairKey(a, b));
   CROWDMAX_CHECK(it != cache.end() && it->second != -1);
   return it->second;
@@ -60,12 +85,52 @@ ElementId CachedWinner(const std::unordered_map<uint64_t, ElementId>& cache,
 
 }  // namespace
 
+std::string FaultReport::ToString() const {
+  std::string out = "batches=" + std::to_string(batches) +
+                    " attempts=" + std::to_string(attempts) +
+                    " retried_tasks=" + std::to_string(retried_tasks) +
+                    " votes_lost=" + std::to_string(votes_lost) +
+                    " relaxed_accepts=" + std::to_string(relaxed_accepts) +
+                    " degraded_tasks=" + std::to_string(degraded_tasks) +
+                    " transient_errors=" + std::to_string(transient_errors) +
+                    " steps_added=" + std::to_string(steps_added) +
+                    " backoff_steps=" + std::to_string(backoff_steps);
+  if (exhausted) out += " exhausted(" + last_error.ToString() + ")";
+  return out;
+}
+
 std::vector<ElementId> BatchExecutor::ExecuteBatch(
     const std::vector<ComparisonPair>& tasks) {
   if (tasks.empty()) return {};
   ++logical_steps_;
   comparisons_ += static_cast<int64_t>(tasks.size());
   return DoExecuteBatch(tasks);
+}
+
+Result<std::vector<BatchTaskResult>> BatchExecutor::TryExecuteBatch(
+    const std::vector<ComparisonPair>& tasks) {
+  if (tasks.empty()) return std::vector<BatchTaskResult>{};
+  Result<std::vector<BatchTaskResult>> results = DoTryExecuteBatch(tasks);
+  if (results.ok()) {
+    // A failed submission consumed no crowd work: charge the step and the
+    // comparisons only on success, so retry loops account what they buy.
+    ++logical_steps_;
+    comparisons_ += static_cast<int64_t>(tasks.size());
+  }
+  return results;
+}
+
+Result<std::vector<BatchTaskResult>> BatchExecutor::DoTryExecuteBatch(
+    const std::vector<ComparisonPair>& tasks) {
+  // Default adapter: the infallible path answers everything.
+  const std::vector<ElementId> winners = DoExecuteBatch(tasks);
+  CROWDMAX_CHECK(winners.size() == tasks.size());
+  std::vector<BatchTaskResult> results;
+  results.reserve(winners.size());
+  for (ElementId winner : winners) {
+    results.push_back(BatchTaskResult{winner, true, -1});
+  }
+  return results;
 }
 
 ComparatorBatchExecutor::ComparatorBatchExecutor(Comparator* comparator)
@@ -226,9 +291,19 @@ Result<BatchedFilterResult> BatchedFilterCandidates(
       }
     }
     out.filter.issued_comparisons += static_cast<int64_t>(queries.size());
-    ResolveThroughCache(queries, executor, &cache);
+    Status round_fault = Status::OK();
+    if (Result<int64_t> resolved = ResolveThroughCache(queries, executor, &cache);
+        !resolved.ok()) {
+      if (resolved.status().code() != StatusCode::kUnavailable) {
+        return resolved.status();
+      }
+      round_fault = resolved.status();
+    }
 
-    // Tally wins per group from the cache and select survivors.
+    // Tally wins per group from the cache and select survivors. An
+    // unresolved pair is missing evidence: it eliminates neither element
+    // (both tally the win), and the cache re-issues it next round.
+    int64_t unresolved_pairs = 0;
     std::vector<ElementId> next;
     next.reserve(current.size() / 2 + 1);
     for (int64_t start = 0; start < n_cur; start += g) {
@@ -242,7 +317,13 @@ Result<BatchedFilterResult> BatchedFilterCandidates(
         for (int64_t j = i + 1; j < m; ++j) {
           const ElementId a = current[start + i];
           const ElementId b = current[start + j];
-          const ElementId winner = CachedWinner(cache, a, b);
+          const ElementId winner = CachedOutcome(cache, a, b);
+          if (winner == kUnresolved) {
+            ++unresolved_pairs;
+            ++wins[i];
+            ++wins[j];
+            continue;
+          }
           ++wins[winner == a ? i : j];
           if (options.global_loss_counter) {
             losses[winner == a ? b : a].insert(winner);
@@ -272,7 +353,25 @@ Result<BatchedFilterResult> BatchedFilterCandidates(
       out.filter.hit_empty_round = true;
       break;
     }
-    CROWDMAX_CHECK(next.size() < current.size());
+    if (next.size() >= current.size()) {
+      if (unresolved_pairs == 0 && round_fault.ok()) {
+        return Status::Internal(
+            "batched filter made no progress with full evidence; executor "
+            "answers are inconsistent");
+      }
+      // Faults withheld too much evidence to shrink the pool: stop and
+      // report the survivors so far. The conservative tally never evicts
+      // without a counted loss, so the maximum is still among them.
+      out.partial = true;
+      out.fault_status =
+          round_fault.ok()
+              ? Status::Unavailable(
+                    "filter round made no progress: " +
+                    std::to_string(unresolved_pairs) +
+                    " comparisons unresolved after executor recovery")
+              : round_fault;
+      break;
+    }
     current = std::move(next);
   }
 
@@ -303,7 +402,17 @@ Result<BatchedMaxFindResult> BatchedTwoMaxFind(
   std::unordered_map<uint64_t, ElementId> cache;
   const int64_t max_rounds = 4 * s + 16;
 
-  auto cached_tournament = [&](const std::vector<ElementId>& group) {
+  // All-play-all over `group` through the cache; unresolved pairs award no
+  // win to either side. Non-transient executor errors propagate; a
+  // transient (Unavailable) one is recorded in `fault` and the round
+  // tallies whatever evidence exists.
+  struct TournamentRound {
+    TournamentResult tournament;
+    int64_t unresolved = 0;
+    Status fault;
+  };
+  auto cached_tournament =
+      [&](const std::vector<ElementId>& group) -> Result<TournamentRound> {
     std::vector<ComparisonPair> queries;
     for (size_t i = 0; i < group.size(); ++i) {
       for (size_t j = i + 1; j < group.size(); ++j) {
@@ -311,17 +420,39 @@ Result<BatchedMaxFindResult> BatchedTwoMaxFind(
       }
     }
     out.maxfind.issued_comparisons += static_cast<int64_t>(queries.size());
-    ResolveThroughCache(queries, executor, &cache);
-    TournamentResult tournament;
-    tournament.wins.assign(group.size(), 0);
-    tournament.comparisons = static_cast<int64_t>(queries.size());
+    TournamentRound round;
+    if (Result<int64_t> resolved =
+            ResolveThroughCache(queries, executor, &cache);
+        !resolved.ok()) {
+      if (resolved.status().code() != StatusCode::kUnavailable) {
+        return resolved.status();
+      }
+      round.fault = resolved.status();
+    }
+    round.tournament.wins.assign(group.size(), 0);
+    round.tournament.comparisons = static_cast<int64_t>(queries.size());
     for (size_t i = 0; i < group.size(); ++i) {
       for (size_t j = i + 1; j < group.size(); ++j) {
-        const ElementId winner = CachedWinner(cache, group[i], group[j]);
-        ++tournament.wins[winner == group[i] ? i : j];
+        const ElementId winner = CachedOutcome(cache, group[i], group[j]);
+        if (winner == kUnresolved) {
+          ++round.unresolved;
+          continue;
+        }
+        ++round.tournament.wins[winner == group[i] ? i : j];
       }
     }
-    return tournament;
+    return round;
+  };
+
+  auto finish_partial = [&](Status fault_status) {
+    out.partial = true;
+    out.fault_status = std::move(fault_status);
+    out.survivors = candidates;
+    out.maxfind.best = -1;
+    out.maxfind.paid_comparisons =
+        executor->comparisons() - comparisons_before;
+    out.logical_steps = executor->logical_steps() - steps_before;
+    return out;
   };
 
   while (static_cast<int64_t>(candidates.size()) > k) {
@@ -333,8 +464,9 @@ Result<BatchedMaxFindResult> BatchedTwoMaxFind(
     ++out.maxfind.rounds;
 
     std::vector<ElementId> sample(candidates.begin(), candidates.begin() + k);
-    const TournamentResult tournament = cached_tournament(sample);
-    const ElementId x = sample[IndexOfMostWins(tournament)];
+    Result<TournamentRound> sample_round = cached_tournament(sample);
+    if (!sample_round.ok()) return sample_round.status();
+    const ElementId x = sample[IndexOfMostWins(sample_round->tournament)];
 
     // Elimination scan, pivot first, as one batch of cache misses.
     std::vector<ComparisonPair> scan;
@@ -343,18 +475,70 @@ Result<BatchedMaxFindResult> BatchedTwoMaxFind(
       if (y != x) scan.push_back({x, y});
     }
     out.maxfind.issued_comparisons += static_cast<int64_t>(scan.size());
-    ResolveThroughCache(scan, executor, &cache);
+    Status scan_fault = Status::OK();
+    if (Result<int64_t> resolved = ResolveThroughCache(scan, executor, &cache);
+        !resolved.ok()) {
+      if (resolved.status().code() != StatusCode::kUnavailable) {
+        return resolved.status();
+      }
+      scan_fault = resolved.status();
+    }
 
+    // An unresolved scan comparison is missing evidence: the element
+    // survives (no elimination without a counted loss) and the pair is
+    // re-issued by a later round through the cache.
+    int64_t unresolved_scan = 0;
     std::vector<ElementId> survivors;
     survivors.reserve(candidates.size());
     for (ElementId y : candidates) {
-      if (y == x || CachedWinner(cache, x, y) != x) survivors.push_back(y);
+      if (y == x) {
+        survivors.push_back(y);
+        continue;
+      }
+      const ElementId winner = CachedOutcome(cache, x, y);
+      if (winner == kUnresolved) {
+        ++unresolved_scan;
+        survivors.push_back(y);
+        continue;
+      }
+      if (winner != x) survivors.push_back(y);
     }
+    const bool progress = survivors.size() < candidates.size();
     candidates = std::move(survivors);
+
+    const bool faulty = sample_round->unresolved > 0 || unresolved_scan > 0 ||
+                        !sample_round->fault.ok() || !scan_fault.ok();
+    if (!progress && faulty) {
+      // Faults withheld the evidence this round needed; the executor's own
+      // recovery already ran, so stop and report the field as it stands.
+      Status fault_status =
+          !scan_fault.ok() ? scan_fault
+          : !sample_round->fault.ok()
+              ? sample_round->fault
+              : Status::Unavailable(
+                    "2-MaxFind round made no progress: " +
+                    std::to_string(sample_round->unresolved + unresolved_scan) +
+                    " comparisons unresolved after executor recovery");
+      return finish_partial(std::move(fault_status));
+    }
   }
 
-  const TournamentResult final_round = cached_tournament(candidates);
-  out.maxfind.best = candidates[IndexOfMostWins(final_round)];
+  Result<TournamentRound> final_round = cached_tournament(candidates);
+  if (!final_round.ok()) return final_round.status();
+  out.maxfind.best = candidates[IndexOfMostWins(final_round->tournament)];
+  if (final_round->unresolved > 0 || !final_round->fault.ok()) {
+    // The final tournament ran on incomplete evidence: `best` is the
+    // provisional leader, flagged partial so callers can tell.
+    out.partial = true;
+    out.fault_status =
+        !final_round->fault.ok()
+            ? final_round->fault
+            : Status::Unavailable(
+                  "final tournament left " +
+                  std::to_string(final_round->unresolved) +
+                  " comparisons unresolved; best is provisional");
+    out.survivors = candidates;
+  }
   out.maxfind.paid_comparisons = executor->comparisons() - comparisons_before;
   out.logical_steps = executor->logical_steps() - steps_before;
   return out;
@@ -379,10 +563,21 @@ Result<BatchedExpertMaxResult> BatchedFindMaxWithExperts(
   out.result.issued.naive = filtered->filter.issued_comparisons;
   out.result.filter_rounds = filtered->filter.rounds;
   out.naive_steps = filtered->logical_steps;
+  if (filtered->partial) {
+    out.partial = true;
+    out.fault_status = filtered->fault_status;
+  }
+  if (const FaultReport* report = naive->fault_report()) {
+    out.has_naive_faults = true;
+    out.naive_faults = *report;
+  }
   if (out.result.candidates.empty()) {
     return Status::Internal("phase 1 returned an empty candidate set");
   }
 
+  // Phase 2 runs even on a partial phase 1: the conservative filter never
+  // evicts without a counted loss, so the maximum is still among the
+  // (possibly oversized) survivor set and the experts can finish the job.
   Result<BatchedMaxFindResult> phase2 =
       BatchedTwoMaxFind(out.result.candidates, expert);
   if (!phase2.ok()) return phase2.status();
@@ -392,6 +587,14 @@ Result<BatchedExpertMaxResult> BatchedFindMaxWithExperts(
   out.result.issued.expert = phase2->maxfind.issued_comparisons;
   out.result.phase2_rounds = phase2->maxfind.rounds;
   out.expert_steps = phase2->logical_steps;
+  if (phase2->partial) {
+    out.partial = true;
+    if (out.fault_status.ok()) out.fault_status = phase2->fault_status;
+  }
+  if (const FaultReport* report = expert->fault_report()) {
+    out.has_expert_faults = true;
+    out.expert_faults = *report;
+  }
   return out;
 }
 

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -39,17 +40,79 @@ namespace crowdmax {
 /// A pairwise comparison request; `a` and `b` must be distinct elements.
 using ComparisonPair = std::pair<ElementId, ElementId>;
 
+/// Per-task outcome of a fallible batch execution (TryExecuteBatch).
+struct BatchTaskResult {
+  /// The reported winner: authoritative when `answered`, a provisional
+  /// majority of whatever votes arrived when not (or -1 if none did).
+  ElementId winner = -1;
+  /// True when the executor fully answered the task (full quorum). False
+  /// marks a task lost to a fault (no quorum, dropped, abandoned).
+  bool answered = false;
+  /// Votes backing `winner`, when the executor knows (platform adapters);
+  /// -1 when the concept does not apply (simulation executors).
+  int64_t counted_votes = -1;
+};
+
+/// Fault/recovery accounting of a resilient execution (core/resilient.h):
+/// what was retried, what was lost, what was degraded and what the
+/// recovery cost in extra logical steps. Threaded through the Batched*
+/// results and printed by the benches so EXPERIMENTS can chart cost and
+/// latency inflation versus fault rate.
+struct FaultReport {
+  /// Caller-visible batches executed.
+  int64_t batches = 0;
+  /// Inner submissions, including retries (>= batches).
+  int64_t attempts = 0;
+  /// Task re-issues caused by unanswered or no-quorum outcomes.
+  int64_t retried_tasks = 0;
+  /// Task outcomes observed without a counted answer (before retry).
+  int64_t votes_lost = 0;
+  /// No-quorum outcomes accepted under the relaxed-quorum policy.
+  int64_t relaxed_accepts = 0;
+  /// Tasks resolved by the fallback tie-break after the retry budget ran
+  /// out.
+  int64_t degraded_tasks = 0;
+  /// Whole-batch transient errors (Unavailable) absorbed by retrying.
+  int64_t transient_errors = 0;
+  /// Extra logical steps the recovery cost: inner steps beyond the one
+  /// step per caller-visible batch, plus exponential-backoff waits.
+  int64_t steps_added = 0;
+  /// Backoff waits alone, in logical steps (included in steps_added).
+  int64_t backoff_steps = 0;
+  /// True when a batch exhausted its retry budget with unresolved tasks
+  /// and no fallback policy was available; `last_error` holds the typed
+  /// Status that was propagated.
+  bool exhausted = false;
+  Status last_error;
+
+  /// One-line human-readable summary for benches and logs.
+  std::string ToString() const;
+};
+
 /// Executes batches of independent comparisons, one logical step per
-/// non-empty batch. Implementations: ComparatorBatchExecutor (simulation)
-/// and PlatformBatchExecutor (the crowd-platform adapter in
-/// platform/platform.h).
+/// non-empty batch. Implementations: ComparatorBatchExecutor (simulation),
+/// ParallelBatchExecutor, PlatformBatchExecutor (the crowd-platform adapter
+/// in platform/platform.h) and the fault-handling decorators in
+/// core/resilient.h.
 class BatchExecutor {
  public:
   virtual ~BatchExecutor() = default;
 
   /// Executes `tasks` in one logical step and returns the winners, aligned
-  /// with the input. An empty batch costs nothing and no step.
+  /// with the input. An empty batch costs nothing and no step. This path
+  /// assumes an executor that cannot fail (the paper's model); executors
+  /// with fault modes abort (CHECK) here and must be driven through
+  /// TryExecuteBatch or wrapped in ResilientBatchExecutor.
   std::vector<ElementId> ExecuteBatch(const std::vector<ComparisonPair>& tasks);
+
+  /// Fallible variant: executes `tasks` in one logical step and reports a
+  /// per-task BatchTaskResult, aligned with the input. Returns a non-OK
+  /// Status (typically Unavailable) when the whole submission failed — in
+  /// that case no logical step is accounted. Individual tasks may come
+  /// back unanswered; the batched algorithms treat those conservatively
+  /// (no elimination without evidence) and re-issue them later.
+  Result<std::vector<BatchTaskResult>> TryExecuteBatch(
+      const std::vector<ComparisonPair>& tasks);
 
   /// Logical steps consumed so far.
   int64_t logical_steps() const { return logical_steps_; }
@@ -57,10 +120,19 @@ class BatchExecutor {
   /// Comparisons executed so far (cache-free; callers batch only misses).
   int64_t comparisons() const { return comparisons_; }
 
-  void ResetCounters() {
+  /// Zeroes the step/comparison counters. Virtual so that decorators and
+  /// adapters can reset (or snapshot) their own accounting alongside —
+  /// e.g. PlatformBatchExecutor snapshots the shared platform's vote and
+  /// step counters to keep mixed-phase accounting honest.
+  virtual void ResetCounters() {
     logical_steps_ = 0;
     comparisons_ = 0;
   }
+
+  /// The fault/recovery report of this executor, or nullptr for executors
+  /// without one. Overridden by ResilientBatchExecutor; lets the batched
+  /// algorithms thread the report into their results without RTTI.
+  virtual const FaultReport* fault_report() const { return nullptr; }
 
  protected:
   BatchExecutor() = default;
@@ -68,6 +140,11 @@ class BatchExecutor {
  private:
   virtual std::vector<ElementId> DoExecuteBatch(
       const std::vector<ComparisonPair>& tasks) = 0;
+
+  /// Fallible override point. The default adapts DoExecuteBatch: every
+  /// task comes back answered and the call never fails.
+  virtual Result<std::vector<BatchTaskResult>> DoTryExecuteBatch(
+      const std::vector<ComparisonPair>& tasks);
 
   int64_t logical_steps_ = 0;
   int64_t comparisons_ = 0;
@@ -126,6 +203,12 @@ TournamentResult BatchedAllPlayAll(const std::vector<ElementId>& elements,
 struct BatchedFilterResult {
   FilterResult filter;
   int64_t logical_steps = 0;
+  /// True when the executor's fault budget was exhausted mid-run: the
+  /// round loop stopped early and `filter.candidates` holds the survivors
+  /// so far (a superset of what a clean run would keep — the maximum still
+  /// survives). `fault_status` carries the typed error that stopped it.
+  bool partial = false;
+  Status fault_status;
 };
 
 /// Algorithm 2 with each round's group tournaments issued as one batch:
@@ -140,6 +223,13 @@ Result<BatchedFilterResult> BatchedFilterCandidates(
 struct BatchedMaxFindResult {
   MaxFindResult maxfind;
   int64_t logical_steps = 0;
+  /// True when the executor's fault budget was exhausted mid-run;
+  /// `survivors` then holds the candidates still alive (the best guess is
+  /// `maxfind.best` if the final tournament ran, else -1) and
+  /// `fault_status` the typed error.
+  bool partial = false;
+  Status fault_status;
+  std::vector<ElementId> survivors;
 };
 
 /// 2-MaxFind with two batches per round (sample tournament, then the
@@ -149,15 +239,32 @@ struct BatchedMaxFindResult {
 Result<BatchedMaxFindResult> BatchedTwoMaxFind(
     const std::vector<ElementId>& items, BatchExecutor* executor);
 
-/// Two-phase result plus per-class logical steps.
+/// Two-phase result plus per-class logical steps and fault accounting.
 struct BatchedExpertMaxResult {
   ExpertMaxResult result;
   int64_t naive_steps = 0;
   int64_t expert_steps = 0;
+  /// True when either phase stopped early on an exhausted fault budget;
+  /// `result.candidates` still holds the phase-1 survivors collected so
+  /// far, `result.best` is -1 if phase 2 could not finish, and
+  /// `fault_status` carries the typed error.
+  bool partial = false;
+  Status fault_status;
+  /// Per-phase fault/recovery reports, copied from the executors when they
+  /// are resilient (BatchExecutor::fault_report() != nullptr); the
+  /// has_* flags say whether a report was collected.
+  bool has_naive_faults = false;
+  bool has_expert_faults = false;
+  FaultReport naive_faults;
+  FaultReport expert_faults;
 };
 
 /// Algorithm 1 in batched form: BatchedFilterCandidates with the naive
-/// executor, then BatchedTwoMaxFind with the expert executor.
+/// executor, then BatchedTwoMaxFind with the expert executor. When the
+/// executors are resilient (core/resilient.h), their FaultReports are
+/// summarized into the result; when a fault budget is exhausted the run
+/// returns a partial result (survivors so far + fault status) instead of
+/// aborting.
 Result<BatchedExpertMaxResult> BatchedFindMaxWithExperts(
     const std::vector<ElementId>& items, BatchExecutor* naive,
     BatchExecutor* expert, const ExpertMaxOptions& options);

@@ -1,0 +1,232 @@
+#include "core/resilient.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace crowdmax {
+
+ElementId SmallerIdFallback(ElementId a, ElementId b) {
+  return a < b ? a : b;
+}
+
+ResilientBatchExecutor::ResilientBatchExecutor(BatchExecutor* inner,
+                                               const ResilientOptions& options)
+    : inner_(inner), options_(options) {}
+
+Result<std::unique_ptr<ResilientBatchExecutor>> ResilientBatchExecutor::Create(
+    BatchExecutor* inner, const ResilientOptions& options) {
+  if (inner == nullptr) {
+    return Status::InvalidArgument("inner executor must not be null");
+  }
+  if (options.max_retries < 0) {
+    return Status::InvalidArgument("max_retries must be >= 0");
+  }
+  if (options.min_votes < 1) {
+    return Status::InvalidArgument("min_votes must be >= 1");
+  }
+  if (options.backoff_base_steps < 0) {
+    return Status::InvalidArgument("backoff_base_steps must be >= 0");
+  }
+  return std::unique_ptr<ResilientBatchExecutor>(
+      new ResilientBatchExecutor(inner, options));
+}
+
+void ResilientBatchExecutor::ResetCounters() {
+  BatchExecutor::ResetCounters();
+  report_ = FaultReport();
+}
+
+std::vector<ElementId> ResilientBatchExecutor::DoExecuteBatch(
+    const std::vector<ComparisonPair>& tasks) {
+  Result<std::vector<BatchTaskResult>> results = DoTryExecuteBatch(tasks);
+  // The infallible contract cannot report failure; configure a fallback
+  // policy (ResilientOptions::fallback) or use TryExecuteBatch.
+  CROWDMAX_CHECK(results.ok());
+  std::vector<ElementId> winners;
+  winners.reserve(results->size());
+  for (const BatchTaskResult& result : *results) {
+    CROWDMAX_CHECK(result.answered);
+    winners.push_back(result.winner);
+  }
+  return winners;
+}
+
+Result<std::vector<BatchTaskResult>> ResilientBatchExecutor::DoTryExecuteBatch(
+    const std::vector<ComparisonPair>& tasks) {
+  ++report_.batches;
+  const int64_t inner_steps_before = inner_->logical_steps();
+  int64_t backoff_this_batch = 0;
+
+  std::vector<BatchTaskResult> resolved(tasks.size());
+  std::vector<size_t> pending(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) pending[i] = i;
+
+  for (int64_t attempt = 0;; ++attempt) {
+    std::vector<ComparisonPair> subset;
+    subset.reserve(pending.size());
+    for (size_t idx : pending) subset.push_back(tasks[idx]);
+
+    ++report_.attempts;
+    Result<std::vector<BatchTaskResult>> outcome =
+        inner_->TryExecuteBatch(subset);
+    if (!outcome.ok()) {
+      if (outcome.status().code() != StatusCode::kUnavailable) {
+        // Non-transient failure (contract violation, bad arguments):
+        // retrying cannot help, surface it unchanged.
+        return outcome.status();
+      }
+      ++report_.transient_errors;
+      report_.last_error = outcome.status();
+    } else {
+      CROWDMAX_CHECK(outcome->size() == pending.size());
+      std::vector<size_t> still_pending;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const size_t idx = pending[i];
+        BatchTaskResult result = (*outcome)[i];
+        if (result.answered) {
+          resolved[idx] = result;
+          continue;
+        }
+        if (result.winner != -1 && result.counted_votes >= options_.min_votes) {
+          // Relaxed quorum: a provisional majority backed by enough votes
+          // is accepted rather than re-bought.
+          result.answered = true;
+          resolved[idx] = result;
+          ++report_.relaxed_accepts;
+          continue;
+        }
+        ++report_.votes_lost;
+        still_pending.push_back(idx);
+      }
+      pending = std::move(still_pending);
+      if (pending.empty()) break;
+    }
+
+    if (attempt >= options_.max_retries) break;
+    report_.retried_tasks += static_cast<int64_t>(pending.size());
+    if (options_.backoff_base_steps > 0) {
+      backoff_this_batch +=
+          options_.backoff_base_steps << std::min<int64_t>(attempt, 30);
+    }
+  }
+
+  report_.backoff_steps += backoff_this_batch;
+  const int64_t inner_steps =
+      inner_->logical_steps() - inner_steps_before;
+  report_.steps_added +=
+      std::max<int64_t>(0, inner_steps - 1) + backoff_this_batch;
+
+  if (!pending.empty()) {
+    if (options_.fallback) {
+      for (size_t idx : pending) {
+        BatchTaskResult degraded;
+        degraded.winner =
+            options_.fallback(tasks[idx].first, tasks[idx].second);
+        CROWDMAX_CHECK(degraded.winner == tasks[idx].first ||
+                       degraded.winner == tasks[idx].second);
+        degraded.answered = true;
+        degraded.counted_votes = 0;
+        resolved[idx] = degraded;
+        ++report_.degraded_tasks;
+      }
+    } else {
+      report_.exhausted = true;
+      report_.last_error = Status::Unavailable(
+          "retry budget exhausted: " + std::to_string(pending.size()) +
+          " of " + std::to_string(tasks.size()) +
+          " tasks unresolved after " +
+          std::to_string(options_.max_retries + 1) + " attempts");
+      return report_.last_error;
+    }
+  }
+  return resolved;
+}
+
+FaultInjectingBatchExecutor::FaultInjectingBatchExecutor(
+    BatchExecutor* inner, const InjectedFaultOptions& options)
+    : inner_(inner), options_(options), rng_(options.seed) {}
+
+Result<std::unique_ptr<FaultInjectingBatchExecutor>>
+FaultInjectingBatchExecutor::Create(BatchExecutor* inner,
+                                    const InjectedFaultOptions& options) {
+  if (inner == nullptr) {
+    return Status::InvalidArgument("inner executor must not be null");
+  }
+  for (double p : {options.drop_probability, options.no_quorum_probability,
+                   options.unavailable_probability}) {
+    if (p < 0.0 || p >= 1.0) {
+      return Status::InvalidArgument(
+          "fault probabilities must be in [0, 1)");
+    }
+  }
+  if (options.votes_per_task < 1) {
+    return Status::InvalidArgument("votes_per_task must be >= 1");
+  }
+  if (options.partial_votes < 1) {
+    return Status::InvalidArgument("partial_votes must be >= 1");
+  }
+  return std::unique_ptr<FaultInjectingBatchExecutor>(
+      new FaultInjectingBatchExecutor(inner, options));
+}
+
+std::vector<ElementId> FaultInjectingBatchExecutor::DoExecuteBatch(
+    const std::vector<ComparisonPair>& tasks) {
+  return inner_->ExecuteBatch(tasks);
+}
+
+Result<std::vector<BatchTaskResult>>
+FaultInjectingBatchExecutor::DoTryExecuteBatch(
+    const std::vector<ComparisonPair>& tasks) {
+  if (options_.unavailable_probability > 0.0 &&
+      rng_.NextBernoulli(options_.unavailable_probability)) {
+    ++injected_unavailable_;
+    return Status::Unavailable("injected transient executor fault");
+  }
+
+  // Draw each task's fate serially, in submission order, before touching
+  // the inner executor: the pattern is schedule-independent.
+  enum class Fate { kHealthy, kDropped, kNoQuorum };
+  std::vector<Fate> fates(tasks.size(), Fate::kHealthy);
+  std::vector<ComparisonPair> forwarded;
+  forwarded.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (options_.drop_probability > 0.0 &&
+        rng_.NextBernoulli(options_.drop_probability)) {
+      fates[i] = Fate::kDropped;
+      ++injected_drops_;
+      continue;  // The work never happened; nothing to forward.
+    }
+    if (options_.no_quorum_probability > 0.0 &&
+        rng_.NextBernoulli(options_.no_quorum_probability)) {
+      fates[i] = Fate::kNoQuorum;
+      ++injected_no_quorums_;
+    }
+    forwarded.push_back(tasks[i]);
+  }
+
+  Result<std::vector<BatchTaskResult>> inner_results =
+      inner_->TryExecuteBatch(forwarded);
+  if (!inner_results.ok()) return inner_results.status();
+  CROWDMAX_CHECK(inner_results->size() == forwarded.size());
+
+  std::vector<BatchTaskResult> results(tasks.size());
+  size_t next_forwarded = 0;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (fates[i] == Fate::kDropped) {
+      results[i] = BatchTaskResult{-1, false, 0};
+      continue;
+    }
+    BatchTaskResult result = (*inner_results)[next_forwarded++];
+    if (fates[i] == Fate::kNoQuorum) {
+      // Demote the inner answer to a no-quorum partial.
+      result.answered = false;
+      result.counted_votes = options_.partial_votes;
+    } else if (result.answered && result.counted_votes < 0) {
+      result.counted_votes = options_.votes_per_task;
+    }
+    results[i] = result;
+  }
+  return results;
+}
+
+}  // namespace crowdmax

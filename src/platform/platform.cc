@@ -13,10 +13,12 @@ CrowdPlatform::CrowdPlatform(std::vector<Comparator*> worker_models,
     : options_(options),
       gold_tasks_(std::move(gold_tasks)),
       gold_control_(gold_truth, options.gold),
-      rng_(options.seed) {
+      worker_models_(std::move(worker_models)),
+      rng_(options.seed),
+      fault_rng_(options.fault.seed) {
   // Spammer placement: deterministic count, random worker identities.
   const int64_t n = options.num_workers;
-  CROWDMAX_CHECK(static_cast<int64_t>(worker_models.size()) == n);
+  CROWDMAX_CHECK(static_cast<int64_t>(worker_models_.size()) == n);
   num_spammers_ = static_cast<int64_t>(options.spammer_fraction *
                                        static_cast<double>(n));
   std::vector<bool> is_spammer(static_cast<size_t>(n), false);
@@ -29,10 +31,14 @@ CrowdPlatform::CrowdPlatform(std::vector<Comparator*> worker_models,
     SimulatedWorker::Options worker_options;
     worker_options.slip_probability = options.honest_slip_probability;
     worker_options.spammer = is_spammer[static_cast<size_t>(i)];
+    worker_options.abandon_probability = options.fault.abandon_probability;
+    worker_options.straggler_probability =
+        options.fault.straggler_probability;
     workers_.emplace_back(static_cast<int32_t>(i),
-                          worker_models[static_cast<size_t>(i)],
+                          worker_models_[static_cast<size_t>(i)],
                           worker_options, rng_.Fork());
   }
+  next_worker_id_ = static_cast<int32_t>(n);
 }
 
 Status CrowdPlatform::ValidateCommon(
@@ -54,6 +60,27 @@ Status CrowdPlatform::ValidateCommon(
   if (options.worker_capacity_per_physical_step < 1) {
     return Status::InvalidArgument(
         "worker_capacity_per_physical_step must be >= 1");
+  }
+  const FaultOptions& fault = options.fault;
+  if (fault.abandon_probability < 0.0 || fault.abandon_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "fault.abandon_probability must be in [0, 1)");
+  }
+  if (fault.straggler_probability < 0.0 ||
+      fault.straggler_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "fault.straggler_probability must be in [0, 1)");
+  }
+  if (fault.churn_probability < 0.0 || fault.churn_probability >= 1.0) {
+    return Status::InvalidArgument("fault.churn_probability must be in [0, 1)");
+  }
+  if (fault.unavailable_probability < 0.0 ||
+      fault.unavailable_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "fault.unavailable_probability must be in [0, 1)");
+  }
+  if (fault.min_quorum < 1) {
+    return Status::InvalidArgument("fault.min_quorum must be >= 1");
   }
   for (const ComparisonTask& task : gold_tasks) {
     if (!gold_truth->Contains(task.a) || !gold_truth->Contains(task.b)) {
@@ -99,6 +126,25 @@ Result<std::unique_ptr<CrowdPlatform>> CrowdPlatform::CreateHeterogeneous(
       std::move(worker_models), gold_truth, std::move(gold_tasks), options));
 }
 
+void CrowdPlatform::ApplyChurn() {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (!fault_rng_.NextBernoulli(options_.fault.churn_probability)) continue;
+    const bool was_spammer = workers_[i].is_spammer();
+    SimulatedWorker::Options worker_options;
+    worker_options.slip_probability = options_.honest_slip_probability;
+    worker_options.spammer =
+        fault_rng_.NextBernoulli(options_.spammer_fraction);
+    worker_options.abandon_probability = options_.fault.abandon_probability;
+    worker_options.straggler_probability =
+        options_.fault.straggler_probability;
+    workers_[i] = SimulatedWorker(next_worker_id_++, worker_models_[i],
+                                  worker_options, fault_rng_.Fork());
+    num_spammers_ +=
+        (worker_options.spammer ? 1 : 0) - (was_spammer ? 1 : 0);
+    ++fault_stats_.churned_workers;
+  }
+}
+
 Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
     const std::vector<ComparisonTask>& batch, int64_t votes_per_task) {
   if (batch.empty()) {
@@ -108,6 +154,17 @@ Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
     return Status::InvalidArgument(
         "votes_per_task must be in [1, num_workers]");
   }
+
+  const bool faults = options_.fault.enabled();
+  if (faults && options_.fault.unavailable_probability > 0.0 &&
+      fault_rng_.NextBernoulli(options_.fault.unavailable_probability)) {
+    // Transient outage: nothing was assigned, no step elapsed; retryable.
+    ++fault_stats_.unavailable_errors;
+    return Status::Unavailable(
+        "crowd platform temporarily unavailable (injected transient fault); "
+        "retry the submission");
+  }
+  if (faults && options_.fault.churn_probability > 0.0) ApplyChurn();
 
   ++logical_steps_;
   int64_t assignments = 0;
@@ -140,18 +197,42 @@ Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
 
       Vote vote;
       vote.worker_id = worker.id();
-      vote.winner = worker.Answer(task);
-      ++total_votes_;
+      if (faults) {
+        const WorkerResponse response = worker.Respond(task);
+        vote.winner = response.winner;
+        vote.disposition = response.disposition;
+        if (response.disposition == VoteDisposition::kAbandoned) {
+          // No vote ever arrived; billed nothing, but the assignment slot
+          // was held until the deadline.
+          ++fault_stats_.abandoned_votes;
+        } else {
+          if (response.disposition == VoteDisposition::kDropped) {
+            ++fault_stats_.straggler_votes;
+          }
+          ++total_votes_;
+        }
+      } else {
+        vote.winner = worker.Answer(task);
+        ++total_votes_;
+      }
       ++assignments;
       outcome.votes.push_back(vote);
     }
 
-    // Aggregate: majority over votes from currently trusted workers.
+    // Aggregate: majority over in-time votes from currently trusted
+    // workers. Fault losses (abandoned/dropped) are already final; gold
+    // control demotes the rest.
     int64_t wins_a = 0;
     int64_t counted = 0;
     for (Vote& vote : outcome.votes) {
+      if (vote.disposition == VoteDisposition::kAbandoned ||
+          vote.disposition == VoteDisposition::kDropped) {
+        vote.counted = false;
+        continue;
+      }
       vote.counted = gold_control_.IsTrusted(vote.worker_id);
       if (!vote.counted) {
+        vote.disposition = VoteDisposition::kDiscarded;
         ++discarded_votes_;
         continue;
       }
@@ -159,22 +240,36 @@ Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
       if (vote.winner == task.a) ++wins_a;
     }
     outcome.counted_votes = counted;
-    if (counted == 0) {
+    if (faults && counted == 0) {
+      // Every vote was lost or distrusted: under the fault model the task
+      // is reported unresolved for the recovery layer to re-issue, instead
+      // of being silently resolved by a platform coin.
+      outcome.disposition = TaskDisposition::kDropped;
+      outcome.majority_winner = -1;
+      outcome.unanimous = false;
+      ++fault_stats_.dropped_tasks;
+    } else if (counted == 0) {
       // Every assigned worker is distrusted; the paper's platform would
       // re-post the task — we resolve it with a platform coin flip and
       // flag it via counted_votes == 0.
       outcome.majority_winner = rng_.NextBernoulli(0.5) ? task.a : task.b;
       outcome.unanimous = false;
-    } else if (2 * wins_a > counted) {
-      outcome.majority_winner = task.a;
-      outcome.unanimous = wins_a == counted;
-    } else if (2 * wins_a < counted) {
-      outcome.majority_winner = task.b;
-      outcome.unanimous = wins_a == 0;
     } else {
-      // Tie: "an arbitrary element in case of a tie" (Section 2).
-      outcome.majority_winner = rng_.NextBernoulli(0.5) ? task.a : task.b;
-      outcome.unanimous = false;
+      if (2 * wins_a > counted) {
+        outcome.majority_winner = task.a;
+        outcome.unanimous = wins_a == counted;
+      } else if (2 * wins_a < counted) {
+        outcome.majority_winner = task.b;
+        outcome.unanimous = wins_a == 0;
+      } else {
+        // Tie: "an arbitrary element in case of a tie" (Section 2).
+        outcome.majority_winner = rng_.NextBernoulli(0.5) ? task.a : task.b;
+        outcome.unanimous = false;
+      }
+      if (faults && counted < options_.fault.min_quorum) {
+        outcome.disposition = TaskDisposition::kNoQuorum;
+        ++fault_stats_.no_quorum_tasks;
+      }
     }
     outcomes.push_back(std::move(outcome));
   }
@@ -198,33 +293,90 @@ Status CrowdPlatform::ExportTranscriptCsv(std::ostream& out) const {
         "record_transcript)");
   }
   out << "logical_step,a,b,worker_id,vote,counted,majority_winner,"
-         "unanimous\n";
+         "unanimous,vote_disposition,task_disposition\n";
   for (const TaskOutcome& outcome : transcript_) {
     for (const Vote& vote : outcome.votes) {
       out << outcome.logical_step << ',' << outcome.task.a << ','
           << outcome.task.b << ',' << vote.worker_id << ',' << vote.winner
           << ',' << (vote.counted ? 1 : 0) << ',' << outcome.majority_winner
-          << ',' << (outcome.unanimous ? 1 : 0) << '\n';
+          << ',' << (outcome.unanimous ? 1 : 0) << ','
+          << VoteDispositionName(vote.disposition) << ','
+          << TaskDispositionName(outcome.disposition) << '\n';
     }
   }
   return Status::OK();
 }
 
+namespace {
+
+Status ValidateAdapterArgs(const CrowdPlatform* platform,
+                           int64_t votes_per_task) {
+  if (platform == nullptr) {
+    return Status::InvalidArgument("platform must not be null");
+  }
+  if (votes_per_task < 1 || votes_per_task > platform->num_workers()) {
+    return Status::InvalidArgument(
+        "votes_per_task must be in [1, num_workers]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PlatformComparator>> PlatformComparator::Create(
+    CrowdPlatform* platform, int64_t votes_per_task) {
+  if (Status status = ValidateAdapterArgs(platform, votes_per_task);
+      !status.ok()) {
+    return status;
+  }
+  return std::unique_ptr<PlatformComparator>(
+      new PlatformComparator(platform, votes_per_task));
+}
+
 PlatformComparator::PlatformComparator(CrowdPlatform* platform,
                                        int64_t votes_per_task)
-    : platform_(platform), votes_per_task_(votes_per_task) {
+    : platform_(platform),
+      votes_per_task_(votes_per_task),
+      fallback_rng_(0x9e3779b97f4a7c15ULL ^
+                    static_cast<uint64_t>(votes_per_task)) {
   CROWDMAX_CHECK(platform != nullptr);
   CROWDMAX_CHECK(votes_per_task >= 1 &&
                  votes_per_task <= platform->num_workers());
 }
 
 ElementId PlatformComparator::DoCompare(ElementId a, ElementId b) {
-  Result<std::vector<TaskOutcome>> outcome =
-      platform_->SubmitBatch({{a, b}}, votes_per_task_);
-  // Arguments were validated at construction; a failure here means the
-  // platform contract is broken.
-  CROWDMAX_CHECK(outcome.ok());
-  return outcome->front().majority_winner;
+  // The Comparator contract is total, so the adapter absorbs faults with a
+  // small bounded retry loop. A no-quorum outcome still carries a
+  // provisional majority and is accepted; only transient errors and fully
+  // dropped tasks are retried. After the budget, a deterministic private
+  // coin resolves the comparison (prefer ResilientBatchExecutor for
+  // typed, reported degradation).
+  constexpr int kMaxAttempts = 8;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Result<std::vector<TaskOutcome>> outcome =
+        platform_->SubmitBatch({{a, b}}, votes_per_task_);
+    if (!outcome.ok()) {
+      // Arguments were validated at construction; a non-transient failure
+      // here means the platform contract is broken.
+      CROWDMAX_CHECK(outcome.status().code() == StatusCode::kUnavailable);
+      continue;
+    }
+    const TaskOutcome& task = outcome->front();
+    if (task.disposition != TaskDisposition::kDropped) {
+      return task.majority_winner;
+    }
+  }
+  return fallback_rng_.NextBernoulli(0.5) ? a : b;
+}
+
+Result<std::unique_ptr<PlatformBatchExecutor>> PlatformBatchExecutor::Create(
+    CrowdPlatform* platform, int64_t votes_per_task) {
+  if (Status status = ValidateAdapterArgs(platform, votes_per_task);
+      !status.ok()) {
+    return status;
+  }
+  return std::unique_ptr<PlatformBatchExecutor>(
+      new PlatformBatchExecutor(platform, votes_per_task));
 }
 
 PlatformBatchExecutor::PlatformBatchExecutor(CrowdPlatform* platform,
@@ -233,6 +385,31 @@ PlatformBatchExecutor::PlatformBatchExecutor(CrowdPlatform* platform,
   CROWDMAX_CHECK(platform != nullptr);
   CROWDMAX_CHECK(votes_per_task >= 1 &&
                  votes_per_task <= platform->num_workers());
+  ResetCounters();
+}
+
+void PlatformBatchExecutor::ResetCounters() {
+  BatchExecutor::ResetCounters();
+  votes_snapshot_ = platform_->total_votes();
+  logical_steps_snapshot_ = platform_->logical_steps();
+  physical_steps_snapshot_ = platform_->physical_steps();
+  discarded_votes_snapshot_ = platform_->discarded_votes();
+}
+
+int64_t PlatformBatchExecutor::platform_votes_since_reset() const {
+  return platform_->total_votes() - votes_snapshot_;
+}
+
+int64_t PlatformBatchExecutor::platform_logical_steps_since_reset() const {
+  return platform_->logical_steps() - logical_steps_snapshot_;
+}
+
+int64_t PlatformBatchExecutor::platform_physical_steps_since_reset() const {
+  return platform_->physical_steps() - physical_steps_snapshot_;
+}
+
+int64_t PlatformBatchExecutor::platform_discarded_votes_since_reset() const {
+  return platform_->discarded_votes() - discarded_votes_snapshot_;
 }
 
 std::vector<ElementId> PlatformBatchExecutor::DoExecuteBatch(
@@ -248,9 +425,35 @@ std::vector<ElementId> PlatformBatchExecutor::DoExecuteBatch(
   std::vector<ElementId> winners;
   winners.reserve(outcomes->size());
   for (const TaskOutcome& outcome : *outcomes) {
+    // The infallible path has no way to report an unresolved task; with
+    // faults enabled, drive this executor through TryExecuteBatch (e.g.
+    // wrapped in ResilientBatchExecutor).
+    CROWDMAX_CHECK(outcome.disposition != TaskDisposition::kDropped);
     winners.push_back(outcome.majority_winner);
   }
   return winners;
+}
+
+Result<std::vector<BatchTaskResult>> PlatformBatchExecutor::DoTryExecuteBatch(
+    const std::vector<ComparisonPair>& tasks) {
+  std::vector<ComparisonTask> batch;
+  batch.reserve(tasks.size());
+  for (const ComparisonPair& task : tasks) {
+    batch.push_back({task.first, task.second});
+  }
+  Result<std::vector<TaskOutcome>> outcomes =
+      platform_->SubmitBatch(batch, votes_per_task_);
+  if (!outcomes.ok()) return outcomes.status();
+  std::vector<BatchTaskResult> results;
+  results.reserve(outcomes->size());
+  for (const TaskOutcome& outcome : *outcomes) {
+    BatchTaskResult result;
+    result.winner = outcome.majority_winner;
+    result.answered = outcome.disposition == TaskDisposition::kAnswered;
+    result.counted_votes = outcome.counted_votes;
+    results.push_back(result);
+  }
+  return results;
 }
 
 }  // namespace crowdmax

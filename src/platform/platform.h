@@ -9,6 +9,14 @@
 // following the logical/physical step distinction of Section 3
 // (after Venetis et al.).
 //
+// The paper's guarantees assume every submitted comparison comes back
+// answered; real platforms lose votes to task abandonment, stragglers and
+// worker churn. FaultOptions injects exactly those failure modes,
+// deterministically from one fault seed, so recovery layers
+// (core/resilient.h) can be exercised and replayed bit-for-bit. With the
+// default (disabled) FaultOptions the platform behaves — and draws RNG —
+// exactly as the fault-free simulator always did.
+//
 // PlatformComparator adapts the platform to the core Comparator interface
 // so every algorithm in the library can run end-to-end against the
 // simulated crowd. A "simulated expert" in the paper's Section 5.3 sense is
@@ -34,6 +42,62 @@
 
 namespace crowdmax {
 
+/// Deterministic, seeded fault injection for the simulated platform. All
+/// fields default to "off"; with every probability zero and min_quorum 1
+/// the platform is bit-identical to the fault-free simulator (no extra RNG
+/// draws are consumed). Abandonment and straggler draws ride each worker's
+/// private RNG stream; churn, transient unavailability and churn-replacement
+/// workers draw from a dedicated stream seeded by `seed`, so a fault
+/// scenario is replayable from (PlatformOptions::seed, FaultOptions::seed).
+struct FaultOptions {
+  /// Per-assignment probability that the worker abandons the task: no vote
+  /// arrives (recorded in the transcript as kAbandoned).
+  double abandon_probability = 0.0;
+  /// Per-assignment probability that the worker's answer misses the
+  /// physical-step deadline: the late vote is recorded (kDropped) but never
+  /// counted.
+  double straggler_probability = 0.0;
+  /// Per-worker, per-logical-step probability that the worker leaves the
+  /// pool and is replaced by a fresh one (new id, fresh RNG, spammer status
+  /// re-drawn from PlatformOptions::spammer_fraction, empty gold ledger).
+  double churn_probability = 0.0;
+  /// Per-SubmitBatch probability of a transient platform error: the call
+  /// returns Unavailable without consuming a logical step or any votes.
+  double unavailable_probability = 0.0;
+  /// Tasks with at least one but fewer counted votes than this are flagged
+  /// kNoQuorum (their majority is provisional); tasks with zero counted
+  /// votes are kDropped instead of being resolved by a platform coin.
+  int64_t min_quorum = 1;
+  /// Seed of the dedicated fault stream (churn + transient errors).
+  uint64_t seed = 0;
+
+  /// True when any fault mode is active.
+  bool enabled() const {
+    return abandon_probability > 0.0 || straggler_probability > 0.0 ||
+           churn_probability > 0.0 || unavailable_probability > 0.0 ||
+           min_quorum > 1;
+  }
+};
+
+/// Running totals of injected faults and their aggregation-level effects.
+struct PlatformFaultStats {
+  /// Assignments that never produced a vote (worker abandonment).
+  int64_t abandoned_votes = 0;
+  /// Votes that arrived past the deadline and were dropped.
+  int64_t straggler_votes = 0;
+  /// Workers replaced by pool churn.
+  int64_t churned_workers = 0;
+  /// SubmitBatch calls rejected with a transient Unavailable error.
+  int64_t unavailable_errors = 0;
+  /// Tasks answered by fewer counted votes than FaultOptions::min_quorum.
+  int64_t no_quorum_tasks = 0;
+  /// Tasks for which no vote was counted at all.
+  int64_t dropped_tasks = 0;
+
+  /// Votes lost to faults (abandonment + stragglers).
+  int64_t votes_lost() const { return abandoned_votes + straggler_votes; }
+};
+
 /// Static configuration of the simulated platform.
 struct PlatformOptions {
   /// Size of the worker pool.
@@ -57,6 +121,8 @@ struct PlatformOptions {
   /// vote, for auditing/billing; read it back via transcript() or
   /// ExportTranscriptCsv(). Off by default (memory grows with usage).
   bool record_transcript = false;
+  /// Fault injection; disabled by default.
+  FaultOptions fault;
 };
 
 /// The simulated crowdsourcing service.
@@ -76,7 +142,8 @@ class CrowdPlatform {
   /// `worker_models[i]`. Requires worker_models.size() == num_workers and
   /// no null entries; models are not owned and must outlive the platform.
   /// Spammer placement still follows options.spammer_fraction (a spammer's
-  /// model is ignored).
+  /// model is ignored). A churned worker in slot i keeps answering through
+  /// `worker_models[i]`.
   static Result<std::unique_ptr<CrowdPlatform>> CreateHeterogeneous(
       std::vector<Comparator*> worker_models, const Instance* gold_truth,
       std::vector<ComparisonTask> gold_tasks, const PlatformOptions& options);
@@ -85,12 +152,20 @@ class CrowdPlatform {
   /// `votes_per_task` distinct workers, grades interleaved gold, discards
   /// votes from untrusted workers, and majority-aggregates the rest.
   /// Requires 1 <= votes_per_task <= num_workers and a non-empty batch.
+  ///
+  /// With faults enabled the call may instead return Unavailable (a
+  /// transient, retryable error that consumes no step and no votes), and
+  /// individual outcomes may be kNoQuorum or kDropped; callers wanting
+  /// automatic recovery should go through ResilientBatchExecutor
+  /// (core/resilient.h).
   Result<std::vector<TaskOutcome>> SubmitBatch(
       const std::vector<ComparisonTask>& batch, int64_t votes_per_task);
 
   int64_t logical_steps() const { return logical_steps_; }
   int64_t physical_steps() const { return physical_steps_; }
-  /// Votes collected on real (non-gold) tasks, including discarded ones.
+  /// Votes collected on real (non-gold) tasks, including discarded and
+  /// late (straggler) ones; abandoned assignments never produced a vote
+  /// and are not counted here.
   int64_t total_votes() const { return total_votes_; }
   /// Real-task votes discarded because the worker failed gold control.
   int64_t discarded_votes() const { return discarded_votes_; }
@@ -101,14 +176,17 @@ class CrowdPlatform {
   }
   int64_t num_spammers() const { return num_spammers_; }
   const GoldQualityControl& gold() const { return gold_control_; }
+  /// Fault-injection totals (all zero when faults are disabled).
+  const PlatformFaultStats& fault_stats() const { return fault_stats_; }
 
   /// The recorded task outcomes in submission order (empty unless
   /// options.record_transcript was set).
   const std::vector<TaskOutcome>& transcript() const { return transcript_; }
 
   /// Writes the transcript as CSV (one row per vote: logical step, pair,
-  /// worker, vote, counted flag, task majority). Returns FailedPrecondition
-  /// if recording was not enabled.
+  /// worker, vote, counted flag, task majority, vote and task
+  /// dispositions). Returns FailedPrecondition if recording was not
+  /// enabled.
   Status ExportTranscriptCsv(std::ostream& out) const;
 
  private:
@@ -121,12 +199,21 @@ class CrowdPlatform {
                                const std::vector<ComparisonTask>& gold_tasks,
                                const PlatformOptions& options);
 
+  /// Applies worker churn for one logical step: each worker independently
+  /// leaves with probability fault.churn_probability and is replaced by a
+  /// fresh worker with a new id drawn on the fault stream.
+  void ApplyChurn();
+
   PlatformOptions options_;
   std::vector<ComparisonTask> gold_tasks_;
   GoldQualityControl gold_control_;
+  std::vector<Comparator*> worker_models_;
   std::vector<SimulatedWorker> workers_;
   Rng rng_;
+  Rng fault_rng_;
   std::vector<TaskOutcome> transcript_;
+  PlatformFaultStats fault_stats_;
+  int32_t next_worker_id_ = 0;
   int64_t num_spammers_ = 0;
   int64_t logical_steps_ = 0;
   int64_t physical_steps_ = 0;
@@ -139,10 +226,21 @@ class CrowdPlatform {
 /// submits a one-task batch with a fixed number of votes and returns the
 /// majority winner. votes_per_task = 1 models a single naive query;
 /// votes_per_task = 7 is the paper's "simulated expert".
+///
+/// Under faults the adapter retries transient errors and unresolved tasks
+/// a bounded number of times per comparison; if the budget is exhausted it
+/// resolves the comparison with a deterministic private coin (the
+/// Comparator contract is total). Fault-aware callers should prefer
+/// ResilientBatchExecutor, which reports and types its degradation.
 class PlatformComparator : public Comparator {
  public:
-  /// `platform` is not owned. Aborts (CHECK) if votes_per_task is outside
-  /// [1, platform workers].
+  /// Validating factory. Returns InvalidArgument when `platform` is null
+  /// or votes_per_task is outside [1, platform workers].
+  static Result<std::unique_ptr<PlatformComparator>> Create(
+      CrowdPlatform* platform, int64_t votes_per_task);
+
+  /// Deprecated: aborts (CHECK) on the errors Create() reports. Kept as a
+  /// thin wrapper for existing call sites; prefer Create().
   PlatformComparator(CrowdPlatform* platform, int64_t votes_per_task);
 
  private:
@@ -150,6 +248,7 @@ class PlatformComparator : public Comparator {
 
   CrowdPlatform* platform_;
   int64_t votes_per_task_;
+  Rng fallback_rng_;
 };
 
 /// Adapts a CrowdPlatform to the BatchExecutor interface: each batch is
@@ -157,18 +256,52 @@ class PlatformComparator : public Comparator {
 /// configured number of votes per task. Use with the Batched* algorithms
 /// of core/batched.h to measure true logical-step latency on the simulated
 /// crowd.
+///
+/// The fallible TryExecuteBatch() path surfaces the platform's fault model
+/// (transient Unavailable errors, kNoQuorum / kDropped outcomes) per task;
+/// the legacy ExecuteBatch() path requires a fault-free run and aborts if
+/// the platform misbehaves — wrap the executor in ResilientBatchExecutor
+/// when faults are enabled.
 class PlatformBatchExecutor : public BatchExecutor {
  public:
-  /// `platform` is not owned. Aborts (CHECK) if votes_per_task is outside
-  /// [1, platform workers].
+  /// Validating factory. Returns InvalidArgument when `platform` is null
+  /// or votes_per_task is outside [1, platform workers].
+  static Result<std::unique_ptr<PlatformBatchExecutor>> Create(
+      CrowdPlatform* platform, int64_t votes_per_task);
+
+  /// Deprecated: aborts (CHECK) on the errors Create() reports. Kept as a
+  /// thin wrapper for existing call sites; prefer Create().
   PlatformBatchExecutor(CrowdPlatform* platform, int64_t votes_per_task);
+
+  /// Also snapshots the platform's vote and step counters, so the
+  /// *_since_reset() accessors below report per-phase platform usage.
+  /// Without the snapshot, algorithms that reuse one platform across
+  /// phases (naive executor + expert executor) would double-count votes
+  /// and steps when attributing them per phase.
+  void ResetCounters() override;
+
+  /// Platform usage attributable to work since the last ResetCounters()
+  /// (or construction). Note: when several executors share one platform,
+  /// each accessor reports the *platform-wide* delta since this
+  /// executor's reset, not only this executor's share.
+  int64_t platform_votes_since_reset() const;
+  int64_t platform_logical_steps_since_reset() const;
+  int64_t platform_physical_steps_since_reset() const;
+  int64_t platform_discarded_votes_since_reset() const;
 
  private:
   std::vector<ElementId> DoExecuteBatch(
       const std::vector<ComparisonPair>& tasks) override;
 
+  Result<std::vector<BatchTaskResult>> DoTryExecuteBatch(
+      const std::vector<ComparisonPair>& tasks) override;
+
   CrowdPlatform* platform_;
   int64_t votes_per_task_;
+  int64_t votes_snapshot_ = 0;
+  int64_t logical_steps_snapshot_ = 0;
+  int64_t physical_steps_snapshot_ = 0;
+  int64_t discarded_votes_snapshot_ = 0;
 };
 
 }  // namespace crowdmax

@@ -1,0 +1,31 @@
+#include "platform/task.h"
+
+namespace crowdmax {
+
+const char* VoteDispositionName(VoteDisposition disposition) {
+  switch (disposition) {
+    case VoteDisposition::kCounted:
+      return "counted";
+    case VoteDisposition::kDiscarded:
+      return "discarded";
+    case VoteDisposition::kAbandoned:
+      return "abandoned";
+    case VoteDisposition::kDropped:
+      return "dropped";
+  }
+  return "unknown";
+}
+
+const char* TaskDispositionName(TaskDisposition disposition) {
+  switch (disposition) {
+    case TaskDisposition::kAnswered:
+      return "answered";
+    case TaskDisposition::kNoQuorum:
+      return "no_quorum";
+    case TaskDisposition::kDropped:
+      return "dropped";
+  }
+  return "unknown";
+}
+
+}  // namespace crowdmax

@@ -16,12 +16,48 @@ struct ComparisonTask {
   ElementId b = -1;
 };
 
+/// Why a vote did or did not count toward a task's majority.
+enum class VoteDisposition {
+  /// The vote arrived in time from a trusted worker and was counted.
+  kCounted,
+  /// Discarded by quality control (the worker failed gold).
+  kDiscarded,
+  /// The worker accepted the assignment but never submitted an answer
+  /// (task abandonment); `winner` is -1.
+  kAbandoned,
+  /// The worker answered, but after the physical-step deadline (straggler);
+  /// the answer is recorded for the audit trail but not counted.
+  kDropped,
+};
+
+/// Short stable name ("counted", "discarded", "abandoned", "dropped") for
+/// the transcript CSV.
+const char* VoteDispositionName(VoteDisposition disposition);
+
+/// Aggregation-level outcome of a task under the fault model.
+enum class TaskDisposition {
+  /// Enough counted votes arrived; `majority_winner` is authoritative.
+  kAnswered,
+  /// Some votes arrived but fewer than the platform quorum
+  /// (FaultOptions::min_quorum); `majority_winner` is the provisional
+  /// majority of what was collected. Resilient callers may accept it under
+  /// a relaxed-quorum policy or re-issue the task.
+  kNoQuorum,
+  /// No vote was counted at all; `majority_winner` is -1.
+  kDropped,
+};
+
+/// Short stable name ("answered", "no_quorum", "dropped") for the CSV.
+const char* TaskDispositionName(TaskDisposition disposition);
+
 /// One worker's answer to a task.
 struct Vote {
   int32_t worker_id = -1;
   ElementId winner = -1;
-  /// False if the vote was discarded by quality control (failed gold).
+  /// False if the vote was discarded by quality control (failed gold) or
+  /// lost to a fault; `disposition` says which.
   bool counted = true;
+  VoteDisposition disposition = VoteDisposition::kCounted;
 };
 
 /// Aggregated outcome of one task after all assigned votes arrived.
@@ -29,6 +65,7 @@ struct TaskOutcome {
   ComparisonTask task;
   std::vector<Vote> votes;
   /// Majority winner over counted votes (ties broken by platform coin).
+  /// -1 when `disposition` is kDropped; provisional when kNoQuorum.
   ElementId majority_winner = -1;
   /// True if every counted vote agreed.
   bool unanimous = false;
@@ -36,6 +73,8 @@ struct TaskOutcome {
   int64_t counted_votes = 0;
   /// The platform logical step in which this task was answered.
   int64_t logical_step = 0;
+  /// Fault-model outcome; always kAnswered when faults are disabled.
+  TaskDisposition disposition = TaskDisposition::kAnswered;
 };
 
 }  // namespace crowdmax

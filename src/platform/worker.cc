@@ -8,6 +8,10 @@ SimulatedWorker::SimulatedWorker(int32_t id, Comparator* answer_model,
   CROWDMAX_CHECK(answer_model != nullptr);
   CROWDMAX_CHECK(options.slip_probability >= 0.0 &&
                  options.slip_probability <= 1.0);
+  CROWDMAX_CHECK(options.abandon_probability >= 0.0 &&
+                 options.abandon_probability < 1.0);
+  CROWDMAX_CHECK(options.straggler_probability >= 0.0 &&
+                 options.straggler_probability < 1.0);
 }
 
 ElementId SimulatedWorker::Answer(const ComparisonTask& task) {
@@ -21,6 +25,24 @@ ElementId SimulatedWorker::Answer(const ComparisonTask& task) {
     return model_answer == task.a ? task.b : task.a;
   }
   return model_answer;
+}
+
+WorkerResponse SimulatedWorker::Respond(const ComparisonTask& task) {
+  // Fault draws are gated on positive probabilities so a fault-free worker
+  // advances its RNG exactly as the legacy Answer() path does.
+  if (options_.abandon_probability > 0.0 &&
+      rng_.NextBernoulli(options_.abandon_probability)) {
+    ++tasks_abandoned_;
+    return {VoteDisposition::kAbandoned, -1};
+  }
+  WorkerResponse response;
+  response.winner = Answer(task);
+  if (options_.straggler_probability > 0.0 &&
+      rng_.NextBernoulli(options_.straggler_probability)) {
+    ++tasks_straggled_;
+    response.disposition = VoteDisposition::kDropped;
+  }
+  return response;
 }
 
 }  // namespace crowdmax

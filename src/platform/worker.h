@@ -6,6 +6,13 @@
 // slip noise and, for spammers, uniformly random answers. Spammers are what
 // the platform's gold-question quality control (Section 3.1: answers from
 // workers below 70% gold accuracy are ignored) exists to catch.
+//
+// Under the fault model (platform.h, FaultOptions) a worker may also
+// abandon an assignment (no answer ever arrives) or straggle (the answer
+// arrives after the physical-step deadline and is dropped); Respond()
+// reports which via VoteDisposition. The fault draws are gated on their
+// probabilities being positive, so a worker configured without faults
+// consumes exactly the same RNG stream as before the fault layer existed.
 
 #ifndef CROWDMAX_PLATFORM_WORKER_H_
 #define CROWDMAX_PLATFORM_WORKER_H_
@@ -18,6 +25,15 @@
 
 namespace crowdmax {
 
+/// One worker's reaction to an assignment under the fault model.
+struct WorkerResponse {
+  /// kCounted (answered in time), kAbandoned (no answer; `winner` is -1) or
+  /// kDropped (answered past the deadline; `winner` holds the late answer).
+  /// Quality-control demotion to kDiscarded happens later, in the platform.
+  VoteDisposition disposition = VoteDisposition::kCounted;
+  ElementId winner = -1;
+};
+
 /// One simulated crowd worker.
 class SimulatedWorker {
  public:
@@ -27,6 +43,11 @@ class SimulatedWorker {
     double slip_probability = 0.0;
     /// Spammers ignore the model and answer uniformly at random.
     bool spammer = false;
+    /// Probability the worker abandons an assignment: no vote arrives.
+    double abandon_probability = 0.0;
+    /// Probability the worker answers but misses the physical-step
+    /// deadline: the vote is recorded for auditing yet never counted.
+    double straggler_probability = 0.0;
   };
 
   /// `answer_model` is the shared crowd-level comparator; not owned, must
@@ -34,12 +55,20 @@ class SimulatedWorker {
   SimulatedWorker(int32_t id, Comparator* answer_model, const Options& options,
                   uint64_t seed);
 
-  /// Produces this worker's answer to `task`.
+  /// Produces this worker's answer to `task`, ignoring the fault model
+  /// (legacy path; equivalent to Respond() with zero fault probabilities).
   ElementId Answer(const ComparisonTask& task);
+
+  /// Produces this worker's response to `task` under the fault model:
+  /// abandonment and straggler delay are drawn from this worker's private
+  /// RNG, so the whole run is replayable from the platform seeds.
+  WorkerResponse Respond(const ComparisonTask& task);
 
   int32_t id() const { return id_; }
   bool is_spammer() const { return options_.spammer; }
   int64_t tasks_answered() const { return tasks_answered_; }
+  int64_t tasks_abandoned() const { return tasks_abandoned_; }
+  int64_t tasks_straggled() const { return tasks_straggled_; }
 
  private:
   int32_t id_;
@@ -47,6 +76,8 @@ class SimulatedWorker {
   Options options_;
   Rng rng_;
   int64_t tasks_answered_ = 0;
+  int64_t tasks_abandoned_ = 0;
+  int64_t tasks_straggled_ = 0;
 };
 
 }  // namespace crowdmax

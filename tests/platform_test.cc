@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -377,6 +378,119 @@ TEST(CrowdPlatformTest, HeterogeneousPoolMixesSkillLevels) {
   const double accuracy =
       static_cast<double>(correct_majorities) / static_cast<double>(kTrials);
   EXPECT_GT(accuracy, 0.9);  // Skilled half dominates the majority.
+}
+
+TEST(CrowdPlatformTest, TranscriptCsvRoundTripsVoteFlags) {
+  // Spam-heavy pool with gold control: the CSV must carry one row per
+  // recorded vote with the counted flag and dispositions matching the
+  // in-memory transcript.
+  Result<Instance> gold_instance = UniformInstance(20, /*seed=*/5, 0.0, 10.0);
+  ASSERT_TRUE(gold_instance.ok());
+  OracleComparator oracle(&*gold_instance);
+  PlatformOptions options;
+  options.num_workers = 20;
+  options.spammer_fraction = 0.4;
+  options.gold_task_probability = 0.5;
+  options.record_transcript = true;
+  options.seed = 7;
+  auto platform = CrowdPlatform::Create(
+      &oracle, &*gold_instance, MakeGoldTasks(*gold_instance), options);
+  ASSERT_TRUE(platform.ok());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE((*platform)->SubmitBatch({{0, 1}}, 10).ok());
+  }
+  ASSERT_GT((*platform)->discarded_votes(), 0);
+
+  std::ostringstream csv;
+  ASSERT_TRUE((*platform)->ExportTranscriptCsv(csv).ok());
+  std::istringstream in(csv.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // Header.
+  EXPECT_NE(line.find("counted"), std::string::npos);
+  EXPECT_NE(line.find("vote_disposition"), std::string::npos);
+
+  int64_t rows = 0;
+  int64_t counted_rows = 0;
+  int64_t discarded_rows = 0;
+  int64_t total_votes = 0;
+  int64_t counted_votes = 0;
+  for (const TaskOutcome& outcome : (*platform)->transcript()) {
+    total_votes += static_cast<int64_t>(outcome.votes.size());
+    counted_votes += outcome.counted_votes;
+  }
+  while (std::getline(in, line)) {
+    ++rows;
+    std::vector<std::string> fields;
+    std::istringstream fields_in(line);
+    std::string field;
+    while (std::getline(fields_in, field, ',')) fields.push_back(field);
+    ASSERT_EQ(fields.size(), 10u) << line;
+    if (fields[5] == "1") {
+      ++counted_rows;
+      EXPECT_EQ(fields[8], "counted") << line;
+    } else if (fields[8] == "discarded") {
+      ++discarded_rows;
+    }
+  }
+  // One row per recorded vote; flags reconcile with the counters.
+  EXPECT_EQ(rows, total_votes);
+  EXPECT_EQ(counted_rows, counted_votes);
+  EXPECT_EQ(discarded_rows, (*platform)->discarded_votes());
+}
+
+TEST(PlatformAdapterTest, FactoriesValidateArguments) {
+  Instance instance({1.0, 2.0});
+  OracleComparator oracle(&instance);
+  PlatformOptions options;
+  options.num_workers = 5;
+  auto platform = CrowdPlatform::Create(&oracle, &instance, {}, options);
+  ASSERT_TRUE(platform.ok());
+
+  EXPECT_FALSE(PlatformComparator::Create(nullptr, 1).ok());
+  EXPECT_FALSE(PlatformComparator::Create(platform->get(), 0).ok());
+  EXPECT_FALSE(PlatformComparator::Create(platform->get(), 6).ok());
+  auto comparator = PlatformComparator::Create(platform->get(), 3);
+  ASSERT_TRUE(comparator.ok());
+  EXPECT_EQ((*comparator)->Compare(0, 1), 1);
+
+  EXPECT_FALSE(PlatformBatchExecutor::Create(nullptr, 1).ok());
+  EXPECT_FALSE(PlatformBatchExecutor::Create(platform->get(), 0).ok());
+  EXPECT_FALSE(PlatformBatchExecutor::Create(platform->get(), 6).ok());
+  auto executor = PlatformBatchExecutor::Create(platform->get(), 3);
+  ASSERT_TRUE(executor.ok());
+  EXPECT_EQ((*executor)->ExecuteBatch({{0, 1}})[0], 1);
+}
+
+TEST(PlatformAdapterTest, ResetCountersSnapshotsPlatformUsage) {
+  Instance instance({1.0, 2.0, 3.0});
+  OracleComparator oracle(&instance);
+  PlatformOptions options;
+  options.num_workers = 10;
+  options.spammer_fraction = 0.0;
+  options.gold_task_probability = 0.0;
+  auto platform = CrowdPlatform::Create(&oracle, &instance, {}, options);
+  ASSERT_TRUE(platform.ok());
+
+  // Two executors over one platform, mimicking the naive/expert phases of
+  // Algorithm 1. Phase attribution must not double-count phase 1's votes.
+  auto naive = PlatformBatchExecutor::Create(platform->get(), /*votes=*/3);
+  auto expert = PlatformBatchExecutor::Create(platform->get(), /*votes=*/5);
+  ASSERT_TRUE(naive.ok() && expert.ok());
+
+  (*naive)->ExecuteBatch({{0, 1}, {1, 2}});  // 2 tasks x 3 votes.
+  (*expert)->ResetCounters();                // Expert phase starts here.
+  (*expert)->ExecuteBatch({{0, 2}});         // 1 task x 5 votes.
+
+  EXPECT_EQ((*naive)->platform_votes_since_reset(), 11);
+  EXPECT_EQ((*expert)->platform_votes_since_reset(), 5);
+  EXPECT_EQ((*expert)->platform_logical_steps_since_reset(), 1);
+  EXPECT_EQ((*expert)->logical_steps(), 1);
+
+  // ResetCounters through the base interface re-snapshots.
+  BatchExecutor* base = naive->get();
+  base->ResetCounters();
+  EXPECT_EQ((*naive)->platform_votes_since_reset(), 0);
+  EXPECT_EQ(base->logical_steps(), 0);
 }
 
 TEST(PlatformComparatorTest, SimulatedExpertUsesSevenVotes) {
