@@ -240,6 +240,7 @@ void RunVenetisTuningAblation(uint64_t seed, const FlagParser& flags) {
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const int64_t trials = flags.GetInt("trials", 15);
   const int64_t n = flags.GetInt("n", 3000);
   const int64_t u_target = flags.GetInt("u_n", 20);

@@ -49,6 +49,7 @@ ThresholdComparator MakeNaive(const Instance& instance, Regime regime,
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const int64_t n = flags.GetInt("n", 64);
   const int64_t trials = flags.GetInt("trials", 200);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));

@@ -53,6 +53,7 @@ void PrintReport(const std::string& label, const CalibrationReport& report,
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
   bench::PrintHeader("Calibration",

@@ -11,14 +11,18 @@
 #define CROWDMAX_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/table.h"
 #include "core/instance.h"
+#include "core/trace.h"
 #include "core/worker_model.h"
 #include "datasets/instances.h"
 
@@ -81,6 +85,69 @@ inline void EmitTable(const TablePrinter& table, const FlagParser& flags,
 inline int64_t ThreadsFlag(const FlagParser& flags) {
   return flags.GetBoundedInt("threads", 0, 0, 256);
 }
+
+/// The shared metrics/trace hook of every bench binary. Construct one
+/// right after flag parsing; when --metrics is passed it resets and
+/// enables the global metrics registry and installs an AlgoTrace for the
+/// whole run, and at scope exit it emits a machine-readable report —
+/// JSON (default) or CSV via --metrics_format=csv, to stdout or to the
+/// file named by --metrics_out. Without --metrics this is a strict no-op:
+/// the registry stays disabled and runs are bit-identical to the legacy
+/// path.
+class MetricsSession {
+ public:
+  explicit MetricsSession(const FlagParser& flags)
+      : enabled_(flags.GetBool("metrics", false)),
+        out_path_(flags.GetString("metrics_out", "")),
+        format_(flags.GetString("metrics_format", "json")) {
+    if (!enabled_) return;
+    MetricsRegistry::Default()->Reset();
+    SetMetricsEnabled(true);
+    scoped_trace_ = std::make_unique<ScopedTrace>(&trace_);
+  }
+
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+
+  ~MetricsSession() {
+    if (!enabled_) return;
+    scoped_trace_.reset();
+    SetMetricsEnabled(false);
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    if (!out_path_.empty()) {
+      file.open(out_path_);
+      if (!file) {
+        std::cerr << "metrics: cannot open " << out_path_ << "\n";
+        return;
+      }
+      out = &file;
+    } else {
+      *out << "\n[metrics]\n";
+    }
+    if (format_ == "csv") {
+      MetricsRegistry::Default()->WriteCsv(*out);
+    } else {
+      *out << "{\"metrics\": ";
+      MetricsRegistry::Default()->WriteJson(*out);
+      *out << ", \"trace\": ";
+      trace_.WriteJson(*out);
+      *out << "}\n";
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// The run-wide trace, or nullptr when --metrics was not passed.
+  AlgoTrace* trace() { return enabled_ ? &trace_ : nullptr; }
+
+ private:
+  bool enabled_;
+  std::string out_path_;
+  std::string format_;
+  AlgoTrace trace_;
+  std::unique_ptr<ScopedTrace> scoped_trace_;
+};
 
 /// Parses flags or dies with a usage message.
 inline FlagParser ParseFlagsOrDie(int argc, char** argv) {

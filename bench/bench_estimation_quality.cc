@@ -27,6 +27,7 @@ constexpr int64_t kTrueUs[] = {5, 10, 20, 40};
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const int64_t trials = flags.GetInt("trials", 40);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 

@@ -44,6 +44,12 @@ SweepRow RunOnce(const Instance& instance, double abandon_p, double churn_p,
                  int64_t u_n) {
   RelativeErrorComparator crowd(&instance, DotsWorkerModel(),
                                 fault_seed * 101 + 3);
+  // Per-run trace: every comparison this run dispatches lands in exactly
+  // one (phase, round, class, disposition) cell, reconciled against the
+  // executor and platform tallies by the auditor below. Shadows the
+  // session-wide trace (if any) for the duration of the run.
+  AlgoTrace trace;
+  ScopedTrace scoped_trace(&trace);
 
   FaultOptions fault;
   fault.abandon_probability = abandon_p;
@@ -82,6 +88,20 @@ SweepRow RunOnce(const Instance& instance, double abandon_p, double churn_p,
       instance.AllElements(), naive->get(), expert->get(), algo);
   CROWDMAX_CHECK(result.ok());
 
+  // End-of-run reconciliation: the four tallies (per-phase paid stats,
+  // resilient executor counters, platform fault stats, trace cells) must
+  // agree, and every cell must satisfy
+  // dispatched = answered + no_quorum + dropped.
+  MetricsAuditor auditor(&trace);
+  auditor.ExpectPaidStats(result->result.paid);
+  auditor.ExpectDispatchedTotal((*naive)->comparisons() +
+                                (*expert)->comparisons());
+  auditor.ExpectTaskFaults((*platform)->fault_stats().dropped_tasks,
+                           (*platform)->fault_stats().no_quorum_tasks);
+  const Status audit = auditor.Check();
+  if (!audit.ok()) std::cerr << audit.ToString() << "\n";
+  CROWDMAX_CHECK(audit.ok());
+
   SweepRow row;
   row.abandon_p = abandon_p;
   row.fault_seed = fault_seed;
@@ -95,8 +115,59 @@ SweepRow RunOnce(const Instance& instance, double abandon_p, double churn_p,
   return row;
 }
 
+// Thread-count audit: the injected-fault pipeline
+// Resilient(FaultInjecting(Parallel)) replayed at `threads`, with the
+// auditor reconciling trace, executor and injector tallies. Returns the
+// trace summary so callers can also assert bit-identical traces across
+// thread counts.
+std::string AuditInjectedPipeline(const Instance& instance, int64_t threads,
+                                  uint64_t seed, int64_t u_n) {
+  RelativeErrorComparator crowd(&instance, DotsWorkerModel(), seed * 59 + 11);
+  auto pool = ParallelBatchExecutor::Create(&crowd, threads, seed * 17 + 1);
+  CROWDMAX_CHECK(pool.ok());
+
+  InjectedFaultOptions inject;
+  inject.drop_probability = 0.1;
+  inject.no_quorum_probability = 0.1;
+  inject.partial_votes = 1;
+  inject.seed = seed;
+  auto injector = FaultInjectingBatchExecutor::Create(pool->get(), inject);
+  CROWDMAX_CHECK(injector.ok());
+
+  ResilientOptions recovery;
+  recovery.max_retries = 6;
+  recovery.min_votes = 2;
+  recovery.fallback = SmallerIdFallback;
+  auto resilient = ResilientBatchExecutor::Create(injector->get(), recovery);
+  CROWDMAX_CHECK(resilient.ok());
+
+  AlgoTrace trace;
+  ScopedTrace scoped_trace(&trace);
+  FilterOptions filter;
+  filter.u_n = u_n;
+  auto filtered =
+      BatchedFilterCandidates(instance.AllElements(), filter, resilient->get());
+  CROWDMAX_CHECK(filtered.ok());
+
+  MetricsAuditor auditor(&trace);
+  auditor.ExpectDispatched(TraceWorkerClass::kNaive,
+                           (*resilient)->comparisons());
+  auditor.ExpectDispatchedTotal((*injector)->comparisons());
+  // The inner pool never saw the injected drops; adding them back must
+  // reconcile with the same trace total.
+  auditor.ExpectDispatchedTotal((*pool)->comparisons() +
+                                (*injector)->injected_drops());
+  auditor.ExpectTaskFaults((*injector)->injected_drops(),
+                           (*injector)->injected_no_quorums());
+  const Status audit = auditor.Check();
+  if (!audit.ok()) std::cerr << audit.ToString() << "\n";
+  CROWDMAX_CHECK(audit.ok());
+  return trace.Summary();
+}
+
 int Main(int argc, char** argv) {
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const double churn_p = flags.GetDouble("fault_churn_p", 0.05);
   const int64_t max_retries = flags.GetBoundedInt("max_retries", 6, 0, 64);
   const int64_t min_votes = flags.GetBoundedInt("min_votes", 2, 1, 64);
@@ -173,6 +244,17 @@ int Main(int argc, char** argv) {
   bench::EmitTable(table, flags,
                    "Recovery cost and accuracy vs abandonment rate "
                    "(averaged over fault seeds)");
+
+  // Accounting audit at thread counts 1 and 8: the injected-fault pipeline
+  // must reconcile (auditor aborts on mismatch) and produce bit-identical
+  // traces at both thread counts.
+  const std::string serial_summary =
+      AuditInjectedPipeline(instance, /*threads=*/1, first_seed, u_n);
+  const std::string parallel_summary =
+      AuditInjectedPipeline(instance, /*threads=*/8, first_seed, u_n);
+  CROWDMAX_CHECK(serial_summary == parallel_summary);
+  std::cout << "\nmetrics audit: reconciled at threads 1 and 8 "
+               "(traces bit-identical)\n";
   return 0;
 }
 

@@ -35,6 +35,7 @@ struct Config {
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
 
   bench::PrintHeader("Figure 10",
                      "worst-case cost under mis-estimated u_n");

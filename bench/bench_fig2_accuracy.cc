@@ -121,6 +121,7 @@ void RunDataset(const std::string& name, const Instance& instance,
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const int64_t per_bucket = flags.GetInt("pairs_per_bucket", 200);
   const int64_t trials = flags.GetInt("trials_per_pair", 40);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));

@@ -101,6 +101,7 @@ void RunConfig(const Config& config, int64_t trials, uint64_t seed,
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const int64_t trials = flags.GetInt("trials", 15);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 

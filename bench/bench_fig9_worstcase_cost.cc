@@ -46,6 +46,7 @@ int64_t TwoMaxFindAdversarialComparisons(int64_t n, uint64_t seed) {
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
   bench::PrintHeader("Figure 9", "worst-case cost C(n) vs n");

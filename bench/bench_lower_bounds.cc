@@ -59,6 +59,7 @@ std::vector<ElementId> LocalProbeFilter(const Instance& instance,
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const int64_t trials = flags.GetInt("trials", 20);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/batched.h"
 #include "core/expert_max.h"
@@ -213,14 +214,21 @@ BENCHMARK(BM_ExpertMaxEndToEnd)->Arg(1000)->Arg(5000);
 }  // namespace
 }  // namespace crowdmax
 
-// Custom main: google-benchmark rejects unknown flags, so --threads=N is
-// stripped from argv first and applied to every BM_Parallel* benchmark.
+// Custom main: google-benchmark rejects unknown flags, so --threads=N and
+// --metrics are stripped from argv first; --threads=N is applied to every
+// BM_Parallel* benchmark and --metrics turns the global metrics registry
+// on, to measure the instrumented path against the (default) disabled one.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       crowdmax::g_threads_override = std::strtoll(argv[i] + 10, nullptr, 10);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0 ||
+        std::strcmp(argv[i], "--metrics=true") == 0) {
+      crowdmax::SetMetricsEnabled(true);
       continue;
     }
     args.push_back(argv[i]);

@@ -34,6 +34,7 @@ constexpr int64_t kUValues[] = {6, 8, 10};
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const int64_t runs_per_query =
       std::max<int64_t>(1, flags.GetInt("runs_2mf", 4) / 2);

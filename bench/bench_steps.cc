@@ -46,6 +46,7 @@ int64_t TwoMaxFindWorstCaseSteps(int64_t n, uint64_t seed) {
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const int64_t trials = flags.GetInt("trials", 10);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 

@@ -90,6 +90,7 @@ ExperimentOutcome RunExperiment(const Instance& instance, int64_t u_n,
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const int64_t u_n = flags.GetInt("u_n", 5);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const int64_t runs_2mf = flags.GetInt("runs_2mf", 14);

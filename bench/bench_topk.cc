@@ -28,6 +28,7 @@ constexpr int64_t kKs[] = {1, 3, 5, 10, 20};
 int main(int argc, char** argv) {
   using namespace crowdmax;
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::MetricsSession metrics_session(flags);
   const int64_t n = flags.GetInt("n", 2000);
   const int64_t trials = flags.GetInt("trials", 15);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));

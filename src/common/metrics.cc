@@ -1,0 +1,197 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace crowdmax {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+// Shard selection: a small per-thread id assigned on first use. Modulo
+// keeps every thread on a fixed shard, so re-reading a quiescent counter
+// always sums the same values in the same order.
+int ShardIndex() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % Counter::kShards;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Counter::Add(int64_t delta) {
+  if (!MetricsEnabled()) return;
+  CROWDMAX_DCHECK(delta >= 0);
+  shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t Counter::value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::Set(int64_t value) {
+  if (!MetricsEnabled()) return;
+  value_.store(value, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  CROWDMAX_CHECK(!bounds_.empty());
+  CROWDMAX_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    CROWDMAX_CHECK(bounds_[i] < bounds_[i + 1]);
+  }
+  Reset();
+}
+
+void Histogram::Observe(int64_t value) {
+  if (!MetricsEnabled()) return;
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> ExponentialBounds(int n) {
+  CROWDMAX_CHECK(n >= 1 && n < 63);
+  std::vector<int64_t> bounds(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) bounds[static_cast<size_t>(i)] = int64_t{1} << i;
+  return bounds;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new Histogram(std::move(bounds)));
+  return slot.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "" : ", ") << '"' << name << "\": " << counter->value();
+    first = false;
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "" : ", ") << '"' << name << "\": " << gauge->value();
+    first = false;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "" : ", ") << '"' << name << "\": {\"bounds\": [";
+    const std::vector<int64_t>& bounds = histogram->bounds();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      out << (i ? ", " : "") << bounds[i];
+    }
+    out << "], \"counts\": [";
+    const std::vector<int64_t> counts = histogram->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      out << (i ? ", " : "") << counts[i];
+    }
+    out << "], \"sum\": " << histogram->sum()
+        << ", \"count\": " << histogram->count() << '}';
+    first = false;
+  }
+  out << "}}";
+}
+
+void MetricsRegistry::WriteCsv(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "kind,name,value\n";
+  for (const auto& [name, counter] : counters_) {
+    out << "counter," << name << ',' << counter->value() << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << "gauge," << name << ',' << gauge->value() << '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::vector<int64_t>& bounds = histogram->bounds();
+    const std::vector<int64_t> counts = histogram->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      out << "histogram," << name << ".le.";
+      if (i < bounds.size()) {
+        out << bounds[i];
+      } else {
+        out << "inf";
+      }
+      out << ',' << counts[i] << '\n';
+    }
+    out << "histogram," << name << ".sum," << histogram->sum() << '\n';
+    out << "histogram," << name << ".count," << histogram->count() << '\n';
+  }
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,149 @@
+// Low-overhead, thread-shard-aware metrics registry.
+//
+// The comparison counts behind the paper's cost claim (Section 3.4) flow
+// through several independently-maintained tallies; this registry is the
+// shared observability substrate they reconcile against (core/trace.h).
+// Three instrument kinds:
+//
+//  * Counter   — monotonic, sharded across cache-line-padded atomics so
+//                concurrent increments from the thread pool never contend
+//                on one line; read by summing shards in shard order.
+//  * Gauge     — a single last-write-wins value.
+//  * Histogram — fixed integer bucket bounds chosen at registration
+//                (latencies in logical steps, batch sizes); per-bucket
+//                atomic counts plus sum/count.
+//
+// Everything is off by default: instruments check one relaxed atomic flag
+// and return, so legacy runs are bit-identical and the comparator hot path
+// pays nothing beyond a predictable branch. All mutation is lock-free and
+// race-checked under -DCROWDMAX_TSAN=ON (ctest -L metrics / -L tsan).
+// Reports (JSON/CSV) iterate name-sorted maps and merge shards in shard
+// order, so a report is a deterministic function of the recorded values.
+
+#ifndef CROWDMAX_COMMON_METRICS_H_
+#define CROWDMAX_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace crowdmax {
+
+/// Global recording switch, off by default. Instruments drop writes while
+/// disabled; registration and reads work regardless.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonic counter, sharded per thread. Pointers returned by a registry
+/// stay valid for the registry's lifetime (Reset() zeroes, never deletes).
+class Counter {
+ public:
+  /// Adds `delta` (>= 0) to this thread's shard; dropped while disabled.
+  void Add(int64_t delta);
+  void Increment() { Add(1); }
+
+  /// Sum over shards, read in shard order (deterministic once writers are
+  /// quiescent).
+  int64_t value() const;
+
+  static constexpr int kShards = 16;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void Reset();
+
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t value);
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over int64 observations (step counts, batch
+/// sizes). Bucket i counts observations <= bounds[i]; one overflow bucket
+/// catches the rest.
+class Histogram {
+ public:
+  /// Records `value`; dropped while disabled.
+  void Observe(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds order then overflow (size bounds()+1).
+  std::vector<int64_t> bucket_counts() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<int64_t> bounds);
+  void Reset();
+
+  std::vector<int64_t> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Doubling bounds 1, 2, 4, ... covering [1, 2^(n-1)] — the default shape
+/// for logical-step latencies and batch sizes.
+std::vector<int64_t> ExponentialBounds(int n);
+
+/// Owns instruments by name. Get* registers on first use and returns the
+/// same pointer afterwards; instruments are never deleted, so cached
+/// pointers (e.g. function-local statics at call sites) stay valid.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the library's instrumentation points use.
+  static MetricsRegistry* Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` must be non-empty and strictly ascending; ignored (the
+  /// original instrument wins) when `name` is already registered.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds);
+
+  /// Zeroes every instrument's values; registrations survive.
+  void Reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
+  /// in name order — byte-deterministic for fixed recorded values.
+  void WriteJson(std::ostream& out) const;
+
+  /// kind,name,value rows (histograms expand to one row per bucket plus
+  /// sum/count), name-sorted.
+  void WriteCsv(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_COMMON_METRICS_H_

@@ -13,6 +13,8 @@ bool NeedsCsvQuoting(const std::string& cell) {
   return cell.find_first_of(",\"\n") != std::string::npos;
 }
 
+}  // namespace
+
 std::string CsvEscape(const std::string& cell) {
   if (!NeedsCsvQuoting(cell)) return cell;
   std::string out = "\"";
@@ -23,8 +25,6 @@ std::string CsvEscape(const std::string& cell) {
   out += '"';
   return out;
 }
-
-}  // namespace
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}

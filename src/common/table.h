@@ -39,6 +39,12 @@ class TablePrinter {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// RFC-4180 field escaping: returns `cell` unchanged unless it contains a
+/// comma, double quote or newline, in which case the cell is wrapped in
+/// double quotes with embedded quotes doubled. Shared by TablePrinter and
+/// the platform transcript exporter.
+std::string CsvEscape(const std::string& cell);
+
 /// Formats `value` with `digits` digits after the decimal point.
 std::string FormatDouble(double value, int digits);
 

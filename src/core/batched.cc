@@ -5,9 +5,47 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.h"
+#include "core/trace.h"
+
 namespace crowdmax {
 
 namespace {
+
+// Batch-level metrics, recorded in the public wrappers (never per
+// comparison, so the comparator hot path stays untouched).
+void RecordBatchMetrics(int64_t batch_size) {
+  if (!MetricsEnabled()) return;
+  static Counter* batches =
+      MetricsRegistry::Default()->GetCounter("crowdmax.executor.batches");
+  static Counter* dispatched = MetricsRegistry::Default()->GetCounter(
+      "crowdmax.executor.comparisons_dispatched");
+  static Histogram* sizes = MetricsRegistry::Default()->GetHistogram(
+      "crowdmax.executor.batch_size", ExponentialBounds(16));
+  batches->Increment();
+  dispatched->Add(batch_size);
+  sizes->Observe(batch_size);
+}
+
+// Trace-cell recording for a sink executor's successful fallible batch:
+// every task was dispatched; classify each outcome.
+void RecordTraceOutcomes(AlgoTrace* trace,
+                         const std::vector<BatchTaskResult>& results) {
+  int64_t answered = 0;
+  int64_t no_quorum = 0;
+  int64_t dropped = 0;
+  for (const BatchTaskResult& result : results) {
+    if (result.answered) {
+      ++answered;
+    } else if (result.winner == -1) {
+      ++dropped;
+    } else {
+      ++no_quorum;
+    }
+  }
+  trace->RecordDispatched(static_cast<int64_t>(results.size()));
+  trace->RecordOutcomes(answered, no_quorum, dropped);
+}
 
 // Cache sentinel for a pair whose last execution attempt came back
 // unanswered (fault): treated as a miss (re-issued) by the next resolve
@@ -50,6 +88,10 @@ Result<int64_t> ResolveThroughCache(
       // once; overwritten with the real winner below.
       (*cache)[PairKey(q.first, q.second)] = -1;
     }
+  }
+  if (AlgoTrace* trace = CurrentTrace();
+      trace != nullptr && queries.size() != misses.size()) {
+    trace->RecordCacheHits(static_cast<int64_t>(queries.size() - misses.size()));
   }
   Result<std::vector<BatchTaskResult>> results =
       executor->TryExecuteBatch(misses);
@@ -104,7 +146,16 @@ std::vector<ElementId> BatchExecutor::ExecuteBatch(
   if (tasks.empty()) return {};
   ++logical_steps_;
   comparisons_ += static_cast<int64_t>(tasks.size());
-  return DoExecuteBatch(tasks);
+  RecordBatchMetrics(static_cast<int64_t>(tasks.size()));
+  std::vector<ElementId> winners = DoExecuteBatch(tasks);
+  if (AlgoTrace* trace = CurrentTrace();
+      trace != nullptr && RecordsTraceCells()) {
+    // The infallible path answers everything: one cell record per batch,
+    // on the submitting thread (the coordinating thread at a barrier).
+    trace->RecordDispatched(static_cast<int64_t>(tasks.size()));
+    trace->RecordOutcomes(static_cast<int64_t>(tasks.size()), 0, 0);
+  }
+  return winners;
 }
 
 Result<std::vector<BatchTaskResult>> BatchExecutor::TryExecuteBatch(
@@ -116,6 +167,11 @@ Result<std::vector<BatchTaskResult>> BatchExecutor::TryExecuteBatch(
     // comparisons only on success, so retry loops account what they buy.
     ++logical_steps_;
     comparisons_ += static_cast<int64_t>(tasks.size());
+    RecordBatchMetrics(static_cast<int64_t>(tasks.size()));
+    if (AlgoTrace* trace = CurrentTrace();
+        trace != nullptr && RecordsTraceCells()) {
+      RecordTraceOutcomes(trace, *results);
+    }
   }
   return results;
 }
@@ -209,6 +265,7 @@ std::vector<ElementId> ParallelBatchExecutor::DoExecuteBatch(
 TournamentResult BatchedAllPlayAll(const std::vector<ElementId>& elements,
                                    BatchExecutor* executor) {
   CROWDMAX_CHECK(executor != nullptr);
+  TraceSpanScope batch_span(TraceSpanKind::kBatch, "all_play_all");
   const size_t k = elements.size();
   std::vector<ComparisonPair> tasks;
   tasks.reserve(k * (k > 0 ? k - 1 : 0) / 2);
@@ -250,6 +307,7 @@ Result<BatchedFilterResult> BatchedFilterCandidates(
   const int64_t g = options.group_size_multiplier * u_n;
   const int64_t steps_before = executor->logical_steps();
   const int64_t comparisons_before = executor->comparisons();
+  TraceSpanScope phase_span("filter", TraceWorkerClass::kNaive);
 
   BatchedFilterResult out;
   std::vector<ElementId> current = items;
@@ -275,6 +333,7 @@ Result<BatchedFilterResult> BatchedFilterCandidates(
 
     out.filter.round_sizes.push_back(static_cast<int64_t>(current.size()));
     ++out.filter.rounds;
+    TraceSpanScope round_span(out.filter.rounds);
     if (!options.memoize) cache.clear();
 
     // Gather this round's group tournaments into one batch. Groups are
@@ -391,6 +450,7 @@ Result<BatchedMaxFindResult> BatchedTwoMaxFind(
 
   const int64_t steps_before = executor->logical_steps();
   const int64_t comparisons_before = executor->comparisons();
+  TraceSpanScope phase_span("expert", TraceWorkerClass::kExpert);
   const int64_t s = static_cast<int64_t>(items.size());
   int64_t k = static_cast<int64_t>(
       std::ceil(std::sqrt(static_cast<double>(s))));
@@ -462,9 +522,13 @@ Result<BatchedMaxFindResult> BatchedTwoMaxFind(
           "are inconsistent");
     }
     ++out.maxfind.rounds;
+    TraceSpanScope round_span(out.maxfind.rounds);
 
     std::vector<ElementId> sample(candidates.begin(), candidates.begin() + k);
-    Result<TournamentRound> sample_round = cached_tournament(sample);
+    Result<TournamentRound> sample_round = [&] {
+      TraceSpanScope batch_span(TraceSpanKind::kBatch, "sample");
+      return cached_tournament(sample);
+    }();
     if (!sample_round.ok()) return sample_round.status();
     const ElementId x = sample[IndexOfMostWins(sample_round->tournament)];
 
@@ -476,12 +540,16 @@ Result<BatchedMaxFindResult> BatchedTwoMaxFind(
     }
     out.maxfind.issued_comparisons += static_cast<int64_t>(scan.size());
     Status scan_fault = Status::OK();
-    if (Result<int64_t> resolved = ResolveThroughCache(scan, executor, &cache);
-        !resolved.ok()) {
-      if (resolved.status().code() != StatusCode::kUnavailable) {
-        return resolved.status();
+    {
+      TraceSpanScope batch_span(TraceSpanKind::kBatch, "scan");
+      if (Result<int64_t> resolved =
+              ResolveThroughCache(scan, executor, &cache);
+          !resolved.ok()) {
+        if (resolved.status().code() != StatusCode::kUnavailable) {
+          return resolved.status();
+        }
+        scan_fault = resolved.status();
       }
-      scan_fault = resolved.status();
     }
 
     // An unresolved scan comparison is missing evidence: the element
@@ -523,7 +591,10 @@ Result<BatchedMaxFindResult> BatchedTwoMaxFind(
     }
   }
 
-  Result<TournamentRound> final_round = cached_tournament(candidates);
+  Result<TournamentRound> final_round = [&] {
+    TraceSpanScope batch_span(TraceSpanKind::kBatch, "final");
+    return cached_tournament(candidates);
+  }();
   if (!final_round.ok()) return final_round.status();
   out.maxfind.best = candidates[IndexOfMostWins(final_round->tournament)];
   if (final_round->unresolved > 0 || !final_round->fault.ok()) {
@@ -552,6 +623,7 @@ Result<BatchedExpertMaxResult> BatchedFindMaxWithExperts(
   if (items.empty()) {
     return Status::InvalidArgument("input set must be non-empty");
   }
+  TraceSpanScope run_span(TraceSpanKind::kRun, "batched_expert_max");
 
   Result<BatchedFilterResult> filtered =
       BatchedFilterCandidates(items, options.filter, naive);

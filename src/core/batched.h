@@ -137,6 +137,15 @@ class BatchExecutor {
  protected:
   BatchExecutor() = default;
 
+  /// Adjusts the comparison counter beyond what the public wrappers charge
+  /// (tasks.size() per successful call). Decorators whose true crowd spend
+  /// differs from the caller-visible task count use this to keep
+  /// comparisons() equal to what was actually bought — e.g.
+  /// ResilientBatchExecutor charges every retry re-issue, and un-charges
+  /// the wrapper's nominal batch when all attempts failed and a fallback
+  /// resolved the tasks for free. `delta` may be negative.
+  void ChargeExtraComparisons(int64_t delta) { comparisons_ += delta; }
+
  private:
   virtual std::vector<ElementId> DoExecuteBatch(
       const std::vector<ComparisonPair>& tasks) = 0;
@@ -145,6 +154,13 @@ class BatchExecutor {
   /// task comes back answered and the call never fails.
   virtual Result<std::vector<BatchTaskResult>> DoTryExecuteBatch(
       const std::vector<ComparisonPair>& tasks);
+
+  /// Whether the public wrappers record this executor's dispatched tasks
+  /// and their outcomes as trace cells (core/trace.h). True for executors
+  /// that buy crowd work themselves (the default); decorators that
+  /// delegate to an inner executor return false so each dispatched
+  /// comparison lands in exactly one cell — the innermost executor's.
+  virtual bool RecordsTraceCells() const { return true; }
 
   int64_t logical_steps_ = 0;
   int64_t comparisons_ = 0;

@@ -5,7 +5,12 @@
 namespace crowdmax {
 
 double CostModel::Ratio() const {
-  if (naive_cost == 0.0) return std::numeric_limits<double>::infinity();
+  if (naive_cost == 0.0) {
+    // Both prices zero is 0/0; define it as "no premium" instead of NaN so
+    // downstream consumers (planner logs, crossover solvers) stay finite.
+    if (expert_cost == 0.0) return 1.0;
+    return std::numeric_limits<double>::infinity();
+  }
   return expert_cost / naive_cost;
 }
 

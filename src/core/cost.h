@@ -24,7 +24,10 @@ struct CostModel {
            static_cast<double>(expert_comparisons) * expert_cost;
   }
 
-  /// The expert/naive price ratio c_e / c_n; +inf when naive work is free.
+  /// The expert/naive price ratio c_e / c_n; +inf when naive work is free
+  /// but expert work is not. The degenerate all-free model (both prices 0,
+  /// which Valid() admits) is defined as 1 — no expert premium — rather
+  /// than the 0/0 NaN a literal division would produce.
   double Ratio() const;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "core/trace.h"
+
 namespace crowdmax {
 
 Result<ExpertMaxResult> FindMaxWithExperts(const std::vector<ElementId>& items,
@@ -15,8 +17,10 @@ Result<ExpertMaxResult> FindMaxWithExperts(const std::vector<ElementId>& items,
   if (items.empty()) {
     return Status::InvalidArgument("input set must be non-empty");
   }
+  TraceSpanScope run_span(TraceSpanKind::kRun, "expert_max");
 
-  // Phase 1: filter with naive workers.
+  // Phase 1: filter with naive workers (FilterCandidates opens the
+  // "filter" phase span and records its per-round cells).
   Result<FilterResult> filtered =
       FilterCandidates(items, options.filter, naive);
   if (!filtered.ok()) return filtered.status();
@@ -33,7 +37,13 @@ Result<ExpertMaxResult> FindMaxWithExperts(const std::vector<ElementId>& items,
     return Status::Internal("phase 1 returned an empty candidate set");
   }
 
-  // Phase 2: max-find over the candidates with expert workers.
+  // Phase 2: max-find over the candidates with expert workers. The serial
+  // max-find algorithms have no executor underneath to attribute their
+  // comparisons, so the whole phase is one trace cell (round -1), recorded
+  // from the result's counters: in the comparator model every paid
+  // comparison comes back answered, and the issued-minus-paid remainder
+  // was served by the memoization cache.
+  TraceSpanScope phase_span("expert", TraceWorkerClass::kExpert);
   Result<MaxFindResult> phase2 = Status::Internal("unreachable");
   switch (options.phase2) {
     case Phase2Algorithm::kTwoMaxFind:
@@ -47,6 +57,14 @@ Result<ExpertMaxResult> FindMaxWithExperts(const std::vector<ElementId>& items,
       break;
   }
   if (!phase2.ok()) return phase2.status();
+  if (AlgoTrace* trace = CurrentTrace(); trace != nullptr) {
+    trace->RecordDispatched(phase2->paid_comparisons);
+    trace->RecordOutcomes(phase2->paid_comparisons, 0, 0);
+    if (phase2->issued_comparisons > phase2->paid_comparisons) {
+      trace->RecordCacheHits(phase2->issued_comparisons -
+                             phase2->paid_comparisons);
+    }
+  }
 
   result.best = phase2->best;
   result.paid.expert = phase2->paid_comparisons;

@@ -6,10 +6,27 @@
 #include <utility>
 
 #include "core/parallel_group.h"
+#include "core/trace.h"
 
 namespace crowdmax {
 
 namespace {
+
+// Round-barrier trace recording, shared by the serial and parallel paths.
+// The comparator hot loop is never touched: cells are recorded once per
+// round, on the coordinating thread, from the round's counter deltas. Paid
+// comparisons all come back answered in the comparator model (faults live
+// in the executor stack); the issued-minus-paid remainder was served by
+// the memoization cache.
+void RecordFilterRound(int64_t paid_delta, int64_t issued_delta) {
+  AlgoTrace* trace = CurrentTrace();
+  if (trace == nullptr) return;
+  trace->RecordDispatched(paid_delta);
+  trace->RecordOutcomes(paid_delta, 0, 0);
+  if (issued_delta > paid_delta) {
+    trace->RecordCacheHits(issued_delta - paid_delta);
+  }
+}
 
 Status ValidateFilterInput(const std::vector<ElementId>& items,
                            const FilterOptions& options) {
@@ -79,6 +96,9 @@ Result<FilterResult> ParallelFilterCandidates(
 
     result.round_sizes.push_back(n_cur);
     ++result.rounds;
+    TraceSpanScope round_span(result.rounds);
+    const int64_t paid_before_round = naive->num_comparisons();
+    const int64_t issued_before_round = result.issued_comparisons;
 
     // Partition survivors into this round's groups. Only the final group
     // can be short; with at most u_n elements it advances untouched (a
@@ -123,6 +143,8 @@ Result<FilterResult> ParallelFilterCandidates(
       }
     }
     next.insert(next.end(), tail.begin(), tail.end());
+    RecordFilterRound(naive->num_comparisons() - paid_before_round,
+                      result.issued_comparisons - issued_before_round);
 
     if (options.global_loss_counter) {
       auto cannot_be_max = [&](ElementId e) {
@@ -158,6 +180,10 @@ Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
   CROWDMAX_CHECK(naive != nullptr);
   Status status = ValidateFilterInput(items, options);
   if (!status.ok()) return status;
+
+  // One phase span covers both execution paths, so serial and parallel
+  // runs produce identically-shaped traces.
+  TraceSpanScope phase_span("filter", TraceWorkerClass::kNaive);
 
   if (options.threads >= 1) {
     return ParallelFilterCandidates(items, options, naive);
@@ -197,6 +223,10 @@ Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
 
     result.round_sizes.push_back(static_cast<int64_t>(current.size()));
     ++result.rounds;
+    TraceSpanScope round_span(result.rounds);
+    const int64_t paid_before_round =
+        options.memoize ? memo.num_comparisons() : naive->num_comparisons();
+    const int64_t issued_before_round = result.issued_comparisons;
 
     std::vector<ElementId> next;
     next.reserve(current.size() / 2 + 1);
@@ -237,6 +267,11 @@ Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
         if (wins[i] >= keep_threshold) next.push_back(current[start + i]);
       }
     }
+
+    RecordFilterRound(
+        (options.memoize ? memo.num_comparisons() : naive->num_comparisons()) -
+            paid_before_round,
+        result.issued_comparisons - issued_before_round);
 
     if (options.global_loss_counter) {
       // Evict elements that have lost to more than u_n distinct opponents

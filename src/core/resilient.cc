@@ -1,9 +1,22 @@
 #include "core/resilient.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "common/metrics.h"
+#include "core/trace.h"
+
 namespace crowdmax {
+
+namespace {
+
+void CountRecovery(const char* name, int64_t n) {
+  if (!MetricsEnabled() || n == 0) return;
+  MetricsRegistry::Default()->GetCounter(name)->Add(n);
+}
+
+}  // namespace
 
 ElementId SmallerIdFallback(ElementId a, ElementId b) {
   return a < b ? a : b;
@@ -56,6 +69,27 @@ Result<std::vector<BatchTaskResult>> ResilientBatchExecutor::DoTryExecuteBatch(
   ++report_.batches;
   const int64_t inner_steps_before = inner_->logical_steps();
   int64_t backoff_this_batch = 0;
+  // True crowd spend of this batch: every task of every successful inner
+  // attempt (the inner wrapper charges nothing on a failed submission).
+  int64_t dispatched_this_batch = 0;
+
+  // Settles this batch's accounting on every exit path. The base wrapper
+  // charges tasks.size() comparisons and one step only when we return OK,
+  // so the correction differs between success and failure: on success the
+  // nominal charge is replaced by the true spend (the delta may be
+  // negative, e.g. when every attempt failed and a fallback resolved the
+  // batch for free); on failure the true spend is charged outright, and
+  // every inner step is extra latency since no caller step was accounted.
+  auto settle_accounting = [&](bool success) {
+    report_.backoff_steps += backoff_this_batch;
+    const int64_t inner_steps = inner_->logical_steps() - inner_steps_before;
+    report_.steps_added +=
+        std::max<int64_t>(0, inner_steps - (success ? 1 : 0)) +
+        backoff_this_batch;
+    ChargeExtraComparisons(
+        dispatched_this_batch -
+        (success ? static_cast<int64_t>(tasks.size()) : 0));
+  };
 
   std::vector<BatchTaskResult> resolved(tasks.size());
   std::vector<size_t> pending(tasks.size());
@@ -67,17 +101,22 @@ Result<std::vector<BatchTaskResult>> ResilientBatchExecutor::DoTryExecuteBatch(
     for (size_t idx : pending) subset.push_back(tasks[idx]);
 
     ++report_.attempts;
+    TraceSpanScope attempt_span(TraceSpanKind::kAttempt,
+                                std::to_string(attempt));
     Result<std::vector<BatchTaskResult>> outcome =
         inner_->TryExecuteBatch(subset);
     if (!outcome.ok()) {
       if (outcome.status().code() != StatusCode::kUnavailable) {
         // Non-transient failure (contract violation, bad arguments):
         // retrying cannot help, surface it unchanged.
+        settle_accounting(/*success=*/false);
         return outcome.status();
       }
       ++report_.transient_errors;
+      CountRecovery("crowdmax.resilient.transient_errors", 1);
       report_.last_error = outcome.status();
     } else {
+      dispatched_this_batch += static_cast<int64_t>(subset.size());
       CROWDMAX_CHECK(outcome->size() == pending.size());
       std::vector<size_t> still_pending;
       for (size_t i = 0; i < pending.size(); ++i) {
@@ -104,17 +143,16 @@ Result<std::vector<BatchTaskResult>> ResilientBatchExecutor::DoTryExecuteBatch(
 
     if (attempt >= options_.max_retries) break;
     report_.retried_tasks += static_cast<int64_t>(pending.size());
+    CountRecovery("crowdmax.resilient.retried_tasks",
+                  static_cast<int64_t>(pending.size()));
+    if (AlgoTrace* trace = CurrentTrace(); trace != nullptr) {
+      trace->RecordRetries(static_cast<int64_t>(pending.size()));
+    }
     if (options_.backoff_base_steps > 0) {
       backoff_this_batch +=
           options_.backoff_base_steps << std::min<int64_t>(attempt, 30);
     }
   }
-
-  report_.backoff_steps += backoff_this_batch;
-  const int64_t inner_steps =
-      inner_->logical_steps() - inner_steps_before;
-  report_.steps_added +=
-      std::max<int64_t>(0, inner_steps - 1) + backoff_this_batch;
 
   if (!pending.empty()) {
     if (options_.fallback) {
@@ -129,6 +167,11 @@ Result<std::vector<BatchTaskResult>> ResilientBatchExecutor::DoTryExecuteBatch(
         resolved[idx] = degraded;
         ++report_.degraded_tasks;
       }
+      CountRecovery("crowdmax.resilient.degraded_tasks",
+                    static_cast<int64_t>(pending.size()));
+      if (AlgoTrace* trace = CurrentTrace(); trace != nullptr) {
+        trace->RecordDegraded(static_cast<int64_t>(pending.size()));
+      }
     } else {
       report_.exhausted = true;
       report_.last_error = Status::Unavailable(
@@ -136,9 +179,11 @@ Result<std::vector<BatchTaskResult>> ResilientBatchExecutor::DoTryExecuteBatch(
           " of " + std::to_string(tasks.size()) +
           " tasks unresolved after " +
           std::to_string(options_.max_retries + 1) + " attempts");
+      settle_accounting(/*success=*/false);
       return report_.last_error;
     }
   }
+  settle_accounting(/*success=*/true);
   return resolved;
 }
 
@@ -180,6 +225,7 @@ FaultInjectingBatchExecutor::DoTryExecuteBatch(
   if (options_.unavailable_probability > 0.0 &&
       rng_.NextBernoulli(options_.unavailable_probability)) {
     ++injected_unavailable_;
+    CountRecovery("crowdmax.fault.injected_unavailable", 1);
     return Status::Unavailable("injected transient executor fault");
   }
 
@@ -209,22 +255,41 @@ FaultInjectingBatchExecutor::DoTryExecuteBatch(
   if (!inner_results.ok()) return inner_results.status();
   CROWDMAX_CHECK(inner_results->size() == forwarded.size());
 
+  int64_t dropped_here = 0;
+  int64_t demoted_here = 0;
   std::vector<BatchTaskResult> results(tasks.size());
   size_t next_forwarded = 0;
   for (size_t i = 0; i < tasks.size(); ++i) {
     if (fates[i] == Fate::kDropped) {
       results[i] = BatchTaskResult{-1, false, 0};
+      ++dropped_here;
       continue;
     }
     BatchTaskResult result = (*inner_results)[next_forwarded++];
     if (fates[i] == Fate::kNoQuorum) {
       // Demote the inner answer to a no-quorum partial.
+      if (result.answered) ++demoted_here;
       result.answered = false;
       result.counted_votes = options_.partial_votes;
     } else if (result.answered && result.counted_votes < 0) {
       result.counted_votes = options_.votes_per_task;
     }
     results[i] = result;
+  }
+  CountRecovery("crowdmax.fault.injected_drops", dropped_here);
+  CountRecovery("crowdmax.fault.injected_no_quorums", demoted_here);
+  if (AlgoTrace* trace = CurrentTrace(); trace != nullptr) {
+    // This decorator is the dispatch point for the faults it models: a
+    // dropped task never reached the inner executor (record it dispatched
+    // and dropped here), and a demoted task was recorded answered by the
+    // inner sink although the modeled crowd returned no quorum (reclassify
+    // it, keeping the cell's dispatched = answered + no_quorum + dropped
+    // identity intact).
+    if (dropped_here > 0) {
+      trace->RecordDispatched(dropped_here);
+      trace->RecordOutcomes(0, 0, dropped_here);
+    }
+    if (demoted_here > 0) trace->RecordOutcomes(-demoted_here, demoted_here, 0);
   }
   return results;
 }

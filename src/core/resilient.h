@@ -67,10 +67,11 @@ struct ResilientOptions {
 };
 
 /// Decorator that makes any BatchExecutor survive the fault modes of the
-/// fallible execution path. Its own counters describe the caller-visible
-/// execution (one logical step per batch); the inner executor's counters
-/// keep the true cost including retries, and the difference is accounted
-/// in FaultReport::steps_added.
+/// fallible execution path. logical_steps() describes the caller-visible
+/// execution (one step per batch); comparisons() charges the true crowd
+/// spend — every task of every attempt, retries included — so it matches
+/// the inner executor's dispatch count and the platform transcript row
+/// count. Extra latency is accounted in FaultReport::steps_added.
 class ResilientBatchExecutor : public BatchExecutor {
  public:
   /// `inner` is not owned and must outlive the decorator. Returns
@@ -98,6 +99,10 @@ class ResilientBatchExecutor : public BatchExecutor {
 
   Result<std::vector<BatchTaskResult>> DoTryExecuteBatch(
       const std::vector<ComparisonPair>& tasks) override;
+
+  /// The inner executor records the dispatched/outcome trace cells; this
+  /// decorator records only what it terminates (retries, degradations).
+  bool RecordsTraceCells() const override { return false; }
 
   BatchExecutor* inner_;
   ResilientOptions options_;
@@ -150,6 +155,12 @@ class FaultInjectingBatchExecutor : public BatchExecutor {
 
   Result<std::vector<BatchTaskResult>> DoTryExecuteBatch(
       const std::vector<ComparisonPair>& tasks) override;
+
+  /// Forwarded tasks are recorded by the inner (sink) executor; this
+  /// decorator records the faults it injects itself — dropped tasks (which
+  /// never reach the inner executor) and the demotion of inner answers to
+  /// no-quorum partials — so the trace reflects the modeled crowd.
+  bool RecordsTraceCells() const override { return false; }
 
   BatchExecutor* inner_;
   InjectedFaultOptions options_;

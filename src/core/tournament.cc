@@ -3,11 +3,24 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/metrics.h"
+#include "core/trace.h"
+
 namespace crowdmax {
 
 TournamentResult AllPlayAll(const std::vector<ElementId>& elements,
                             Comparator* comparator) {
   CROWDMAX_CHECK(comparator != nullptr);
+  // Span and size metrics only: the comparisons here are attributed to a
+  // cell by the caller (the phase/round that ran the tournament), never
+  // here, so an all-play-all inside a recorded round is not double
+  // counted.
+  TraceSpanScope batch_span(TraceSpanKind::kBatch, "all_play_all");
+  if (MetricsEnabled()) {
+    static Histogram* sizes = MetricsRegistry::Default()->GetHistogram(
+        "crowdmax.tournament.group_size", ExponentialBounds(12));
+    sizes->Observe(static_cast<int64_t>(elements.size()));
+  }
   const size_t k = elements.size();
   TournamentResult result;
   result.wins.assign(k, 0);

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <ostream>
+#include <string>
 #include <utility>
+
+#include "common/metrics.h"
+#include "common/table.h"
 
 namespace crowdmax {
 
@@ -160,6 +164,11 @@ Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
       fault_rng_.NextBernoulli(options_.fault.unavailable_probability)) {
     // Transient outage: nothing was assigned, no step elapsed; retryable.
     ++fault_stats_.unavailable_errors;
+    if (MetricsEnabled()) {
+      MetricsRegistry::Default()
+          ->GetCounter("crowdmax.platform.unavailable_errors")
+          ->Increment();
+    }
     return Status::Unavailable(
         "crowd platform temporarily unavailable (injected transient fault); "
         "retry the submission");
@@ -167,6 +176,10 @@ Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
   if (faults && options_.fault.churn_probability > 0.0) ApplyChurn();
 
   ++logical_steps_;
+  const PlatformFaultStats fault_stats_before = fault_stats_;
+  const int64_t votes_before = total_votes_;
+  const int64_t discarded_before = discarded_votes_;
+  const int64_t gold_before = gold_votes_;
   int64_t assignments = 0;
   std::vector<TaskOutcome> outcomes;
   outcomes.reserve(batch.size());
@@ -283,25 +296,75 @@ Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
   if (options_.record_transcript) {
     transcript_.insert(transcript_.end(), outcomes.begin(), outcomes.end());
   }
+
+  if (MetricsEnabled()) {
+    MetricsRegistry* registry = MetricsRegistry::Default();
+    static Counter* steps =
+        registry->GetCounter("crowdmax.platform.logical_steps");
+    static Counter* tasks = registry->GetCounter("crowdmax.platform.tasks");
+    static Counter* votes = registry->GetCounter("crowdmax.platform.votes");
+    static Counter* discarded =
+        registry->GetCounter("crowdmax.platform.discarded_votes");
+    static Counter* gold =
+        registry->GetCounter("crowdmax.platform.gold_votes");
+    static Counter* abandoned =
+        registry->GetCounter("crowdmax.platform.abandoned_votes");
+    static Counter* stragglers =
+        registry->GetCounter("crowdmax.platform.straggler_votes");
+    static Counter* dropped =
+        registry->GetCounter("crowdmax.platform.dropped_tasks");
+    static Counter* no_quorum =
+        registry->GetCounter("crowdmax.platform.no_quorum_tasks");
+    steps->Increment();
+    tasks->Add(static_cast<int64_t>(batch.size()));
+    votes->Add(total_votes_ - votes_before);
+    discarded->Add(discarded_votes_ - discarded_before);
+    gold->Add(gold_votes_ - gold_before);
+    abandoned->Add(fault_stats_.abandoned_votes -
+                   fault_stats_before.abandoned_votes);
+    stragglers->Add(fault_stats_.straggler_votes -
+                    fault_stats_before.straggler_votes);
+    dropped->Add(fault_stats_.dropped_tasks -
+                 fault_stats_before.dropped_tasks);
+    no_quorum->Add(fault_stats_.no_quorum_tasks -
+                   fault_stats_before.no_quorum_tasks);
+  }
   return outcomes;
 }
 
 Status CrowdPlatform::ExportTranscriptCsv(std::ostream& out) const {
+  return ExportTranscriptCsv(out, nullptr);
+}
+
+Status CrowdPlatform::ExportTranscriptCsv(
+    std::ostream& out,
+    const std::function<std::string(ElementId)>& labeler) const {
   if (!options_.record_transcript) {
     return Status::FailedPrecondition(
         "transcript recording was not enabled (PlatformOptions::"
         "record_transcript)");
   }
-  out << "logical_step,a,b,worker_id,vote,counted,majority_winner,"
+  const bool labeled = static_cast<bool>(labeler);
+  out << "logical_step,a,b,";
+  if (labeled) out << "label_a,label_b,";
+  out << "worker_id,vote,counted,majority_winner,"
          "unanimous,vote_disposition,task_disposition\n";
   for (const TaskOutcome& outcome : transcript_) {
+    // Labels (and, defensively, the disposition names) go through RFC-4180
+    // escaping: dataset-derived item names may contain commas, quotes or
+    // newlines, and a raw write would shear the row apart.
+    std::string labels;
+    if (labeled) {
+      labels = CsvEscape(labeler(outcome.task.a)) + ',' +
+               CsvEscape(labeler(outcome.task.b)) + ',';
+    }
     for (const Vote& vote : outcome.votes) {
       out << outcome.logical_step << ',' << outcome.task.a << ','
-          << outcome.task.b << ',' << vote.worker_id << ',' << vote.winner
-          << ',' << (vote.counted ? 1 : 0) << ',' << outcome.majority_winner
-          << ',' << (outcome.unanimous ? 1 : 0) << ','
-          << VoteDispositionName(vote.disposition) << ','
-          << TaskDispositionName(outcome.disposition) << '\n';
+          << outcome.task.b << ',' << labels << vote.worker_id << ','
+          << vote.winner << ',' << (vote.counted ? 1 : 0) << ','
+          << outcome.majority_winner << ',' << (outcome.unanimous ? 1 : 0)
+          << ',' << CsvEscape(VoteDispositionName(vote.disposition)) << ','
+          << CsvEscape(TaskDispositionName(outcome.disposition)) << '\n';
     }
   }
   return Status::OK();

@@ -27,8 +27,10 @@
 #define CROWDMAX_PLATFORM_PLATFORM_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -185,9 +187,18 @@ class CrowdPlatform {
 
   /// Writes the transcript as CSV (one row per vote: logical step, pair,
   /// worker, vote, counted flag, task majority, vote and task
-  /// dispositions). Returns FailedPrecondition if recording was not
-  /// enabled.
+  /// dispositions). All fields are RFC-4180 escaped, so dataset-derived
+  /// content cannot corrupt the row structure. Returns FailedPrecondition
+  /// if recording was not enabled.
   Status ExportTranscriptCsv(std::ostream& out) const;
+
+  /// As above, with two extra `label_a`/`label_b` columns produced by
+  /// `labeler` (e.g. dataset item names). Labels are escaped, so commas,
+  /// quotes and newlines in item names survive a round-trip through any
+  /// RFC-4180 CSV reader. `labeler` must not be null.
+  Status ExportTranscriptCsv(
+      std::ostream& out,
+      const std::function<std::string(ElementId)>& labeler) const;
 
  private:
   CrowdPlatform(std::vector<Comparator*> worker_models,

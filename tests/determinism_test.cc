@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,6 +19,8 @@
 #include "core/comparator.h"
 #include "core/expert_max.h"
 #include "core/filter_phase.h"
+#include "core/resilient.h"
+#include "core/trace.h"
 #include "core/worker_model.h"
 #include "datasets/instances.h"
 
@@ -213,6 +216,122 @@ TEST(DeterminismTest, VenetisLadderIdenticalAcrossThreadCounts) {
     EXPECT_EQ(runs[i].paid_comparisons, runs[0].paid_comparisons);
     EXPECT_EQ(runs[i].issued_comparisons, runs[0].issued_comparisons);
   }
+}
+
+// Satellite of the metrics/trace PR: the trace is part of the determinism
+// contract. The serial (threads=1) and parallel (threads=8) filter must
+// produce bit-identical trace summaries, not just identical results.
+TEST(DeterminismTest, FilterTraceBitIdenticalAcrossThreadCounts) {
+  Instance instance = MakeInstance(400, 43);
+  const double delta = instance.DeltaForU(8);
+  FilterOptions options;
+  options.u_n = instance.CountWithin(delta);
+
+  auto run = [&](int64_t threads) {
+    ThresholdComparator naive(&instance, ThresholdModel{delta, 0.1}, 707);
+    options.threads = threads;
+    AlgoTrace trace;
+    {
+      ScopedTrace scope(&trace);
+      Result<FilterResult> result =
+          FilterCandidates(instance.AllElements(), options, &naive);
+      CROWDMAX_CHECK(result.ok());
+      // Every paid comparison must land in a trace cell.
+      MetricsAuditor auditor(&trace);
+      auditor.ExpectDispatched(TraceWorkerClass::kNaive,
+                               result->paid_comparisons);
+      CROWDMAX_CHECK(auditor.Check().ok());
+    }
+    return trace.Summary();
+  };
+
+  const std::string serial = run(1);
+  const std::string parallel = run(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+// Mixed serial/parallel accounting under injected faults: stats, fault
+// tallies and the trace must all be identical at 1 and 8 threads, and the
+// auditor must reconcile the tallies against the trace at both counts.
+TEST(DeterminismTest, FaultyPipelineAccountingIdenticalAcrossThreadCounts) {
+  Instance instance = MakeInstance(90, 47);
+  const double delta = instance.DeltaForU(5);
+
+  struct Accounting {
+    std::vector<ElementId> candidates;
+    int64_t resilient_comparisons;
+    int64_t injector_comparisons;
+    int64_t injected_drops;
+    int64_t injected_no_quorums;
+    int64_t retried;
+    int64_t degraded;
+    std::string trace_summary;
+  };
+  auto run = [&](int64_t threads) {
+    ThresholdComparator comparator(&instance, ThresholdModel{delta, 0.0},
+                                   /*seed=*/48);
+    auto pool = ParallelBatchExecutor::Create(&comparator, threads,
+                                              /*seed=*/49, /*chunk_size=*/8);
+    CROWDMAX_CHECK(pool.ok());
+    InjectedFaultOptions inject;
+    inject.drop_probability = 0.15;
+    inject.no_quorum_probability = 0.1;
+    inject.partial_votes = 1;
+    inject.seed = 50;
+    auto injector = FaultInjectingBatchExecutor::Create(pool->get(), inject);
+    CROWDMAX_CHECK(injector.ok());
+    ResilientOptions recovery;
+    recovery.max_retries = 8;
+    recovery.min_votes = 2;
+    recovery.fallback = SmallerIdFallback;
+    auto resilient =
+        ResilientBatchExecutor::Create(injector->get(), recovery);
+    CROWDMAX_CHECK(resilient.ok());
+
+    AlgoTrace trace;
+    Accounting out;
+    {
+      ScopedTrace scope(&trace);
+      FilterOptions filter;
+      filter.u_n = 5;
+      Result<BatchedFilterResult> result = BatchedFilterCandidates(
+          instance.AllElements(), filter, resilient->get());
+      CROWDMAX_CHECK(result.ok());
+      out.candidates = result->filter.candidates;
+
+      MetricsAuditor auditor(&trace);
+      auditor.ExpectDispatched(TraceWorkerClass::kNaive,
+                               (*resilient)->comparisons());
+      auditor.ExpectDispatchedTotal((*injector)->comparisons());
+      auditor.ExpectTaskFaults((*injector)->injected_drops(),
+                               (*injector)->injected_no_quorums());
+      const Status audit = auditor.Check();
+      CROWDMAX_CHECK(audit.ok());
+    }
+    out.resilient_comparisons = (*resilient)->comparisons();
+    out.injector_comparisons = (*injector)->comparisons();
+    out.injected_drops = (*injector)->injected_drops();
+    out.injected_no_quorums = (*injector)->injected_no_quorums();
+    out.retried = (*resilient)->report().retried_tasks;
+    out.degraded = (*resilient)->report().degraded_tasks;
+    out.trace_summary = trace.Summary();
+    return out;
+  };
+
+  const Accounting serial = run(1);
+  const Accounting parallel = run(8);
+  EXPECT_EQ(serial.candidates, parallel.candidates);
+  EXPECT_EQ(serial.resilient_comparisons, parallel.resilient_comparisons);
+  EXPECT_EQ(serial.injector_comparisons, parallel.injector_comparisons);
+  EXPECT_EQ(serial.injected_drops, parallel.injected_drops);
+  EXPECT_EQ(serial.injected_no_quorums, parallel.injected_no_quorums);
+  EXPECT_EQ(serial.retried, parallel.retried);
+  EXPECT_EQ(serial.degraded, parallel.degraded);
+  EXPECT_EQ(serial.trace_summary, parallel.trace_summary);
+  // The faults were real: the run exercised drops and retries.
+  EXPECT_GT(serial.injected_drops, 0);
+  EXPECT_GT(serial.retried, 0);
 }
 
 TEST(DeterminismTest, ParallelPathRejectsUnforkableComparator) {

@@ -2,6 +2,7 @@
 // the two-class threshold model, comparison budgets, and cost accounting.
 
 #include <algorithm>
+#include <cmath>
 #include <tuple>
 #include <vector>
 
@@ -180,6 +181,17 @@ TEST(ExpertMaxTest, CostUnderModel) {
   model.naive_cost = 1.0;
   model.expert_cost = 20.0;
   EXPECT_DOUBLE_EQ(result.CostUnder(model), 1000.0 + 50.0 * 20.0);
+}
+
+TEST(CostModelTest, RatioIsWellDefinedOnDegenerateModels) {
+  // Normal premium.
+  EXPECT_DOUBLE_EQ((CostModel{1.0, 20.0}).Ratio(), 20.0);
+  // All-free model: Valid() admits it, and the 0/0 must not surface as
+  // NaN into budget arithmetic — no expert premium means ratio 1.
+  EXPECT_DOUBLE_EQ((CostModel{0.0, 0.0}).Ratio(), 1.0);
+  // Free naive work but priced experts: an unbounded premium.
+  EXPECT_TRUE(std::isinf((CostModel{0.0, 5.0}).Ratio()));
+  EXPECT_GT((CostModel{0.0, 5.0}).Ratio(), 0.0);
 }
 
 TEST(BudgetedMaxTest, AmpleBudgetBehavesLikeUnconstrainedRun) {

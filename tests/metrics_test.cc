@@ -1,0 +1,128 @@
+// Tests for the metrics registry (common/metrics.h): instrument
+// semantics, the global enable gate, report determinism, and concurrent
+// counter increments from the thread pool (run under -L tsan).
+
+#include "common/metrics.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace crowdmax {
+namespace {
+
+// The registry's instruments are process-global; each test uses its own
+// instrument names and resets values so tests stay order-independent.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Default()->Reset();
+    SetMetricsEnabled(true);
+  }
+  void TearDown() override {
+    SetMetricsEnabled(false);
+    MetricsRegistry::Default()->Reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulatesAndResets) {
+  Counter* counter = MetricsRegistry::Default()->GetCounter("test.counter");
+  EXPECT_EQ(counter->value(), 0);
+  counter->Increment();
+  counter->Add(41);
+  EXPECT_EQ(counter->value(), 42);
+
+  MetricsRegistry::Default()->Reset();
+  EXPECT_EQ(counter->value(), 0);
+  // The pointer survives Reset(): registrations are never deleted.
+  EXPECT_EQ(MetricsRegistry::Default()->GetCounter("test.counter"), counter);
+}
+
+TEST_F(MetricsTest, DisabledInstrumentsDropWrites) {
+  Counter* counter = MetricsRegistry::Default()->GetCounter("test.gated");
+  Histogram* histogram = MetricsRegistry::Default()->GetHistogram(
+      "test.gated_histogram", ExponentialBounds(4));
+  SetMetricsEnabled(false);
+  counter->Add(7);
+  histogram->Observe(3);
+  EXPECT_EQ(counter->value(), 0);
+  EXPECT_EQ(histogram->count(), 0);
+
+  SetMetricsEnabled(true);
+  counter->Add(7);
+  histogram->Observe(3);
+  EXPECT_EQ(counter->value(), 7);
+  EXPECT_EQ(histogram->count(), 1);
+}
+
+TEST_F(MetricsTest, GaugeIsLastWriteWins) {
+  Gauge* gauge = MetricsRegistry::Default()->GetGauge("test.gauge");
+  gauge->Set(10);
+  gauge->Set(3);
+  EXPECT_EQ(gauge->value(), 3);
+}
+
+TEST_F(MetricsTest, HistogramBucketsObservations) {
+  // Bounds 1, 2, 4, 8: observation v lands in the first bucket with
+  // bound >= v; larger values land in the overflow bucket.
+  Histogram* histogram = MetricsRegistry::Default()->GetHistogram(
+      "test.histogram", ExponentialBounds(4));
+  ASSERT_EQ(histogram->bounds(), (std::vector<int64_t>{1, 2, 4, 8}));
+  for (int64_t v : {1, 2, 2, 3, 8, 9, 100}) histogram->Observe(v);
+
+  EXPECT_EQ(histogram->count(), 7);
+  EXPECT_EQ(histogram->sum(), 1 + 2 + 2 + 3 + 8 + 9 + 100);
+  EXPECT_EQ(histogram->bucket_counts(),
+            (std::vector<int64_t>{1, 2, 1, 1, 2}));
+}
+
+TEST_F(MetricsTest, GetHistogramReturnsOriginalOnReRegistration) {
+  Histogram* first = MetricsRegistry::Default()->GetHistogram(
+      "test.reregistered", ExponentialBounds(4));
+  Histogram* second = MetricsRegistry::Default()->GetHistogram(
+      "test.reregistered", ExponentialBounds(10));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->bounds().size(), 4u);
+}
+
+TEST_F(MetricsTest, ConcurrentCounterIncrementsAreLossless) {
+  Counter* counter =
+      MetricsRegistry::Default()->GetCounter("test.concurrent");
+  constexpr int64_t kTasks = 64;
+  constexpr int64_t kAddsPerTask = 1000;
+  ThreadPool pool(8);
+  pool.ParallelFor(kTasks, [&](int64_t) {
+    for (int64_t i = 0; i < kAddsPerTask; ++i) counter->Increment();
+  });
+  EXPECT_EQ(counter->value(), kTasks * kAddsPerTask);
+}
+
+TEST_F(MetricsTest, ReportsAreDeterministic) {
+  MetricsRegistry::Default()->GetCounter("test.report.b")->Add(2);
+  MetricsRegistry::Default()->GetCounter("test.report.a")->Add(1);
+  MetricsRegistry::Default()->GetGauge("test.report.gauge")->Set(5);
+  MetricsRegistry::Default()
+      ->GetHistogram("test.report.histogram", ExponentialBounds(2))
+      ->Observe(2);
+
+  std::ostringstream json1, json2, csv;
+  MetricsRegistry::Default()->WriteJson(json1);
+  MetricsRegistry::Default()->WriteJson(json2);
+  MetricsRegistry::Default()->WriteCsv(csv);
+  EXPECT_EQ(json1.str(), json2.str());
+
+  // Name-sorted: counter a precedes counter b in both formats.
+  const std::string json = json1.str();
+  EXPECT_LT(json.find("test.report.a"), json.find("test.report.b"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_LT(csv.str().find("test.report.a"), csv.str().find("test.report.b"));
+}
+
+}  // namespace
+}  // namespace crowdmax

@@ -438,6 +438,94 @@ TEST(CrowdPlatformTest, TranscriptCsvRoundTripsVoteFlags) {
   EXPECT_EQ(discarded_rows, (*platform)->discarded_votes());
 }
 
+// Quote-aware RFC-4180 parser: fields may be quoted, embedded quotes are
+// doubled, and quoted fields may span physical lines.
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      record.push_back(field);
+      field.clear();
+    } else if (c == '\n') {
+      record.push_back(field);
+      field.clear();
+      records.push_back(record);
+      record.clear();
+    } else {
+      field += c;
+    }
+  }
+  return records;
+}
+
+TEST(CrowdPlatformTest, TranscriptCsvEscapesAdversarialLabels) {
+  // Dataset-derived item names may contain the full CSV arsenal: commas,
+  // quotes and newlines. The labeled export must escape them so a
+  // quote-aware parser recovers every field of every row intact.
+  Instance instance({1.0, 5.0, 9.0});
+  OracleComparator oracle(&instance);
+  PlatformOptions options;
+  options.num_workers = 10;
+  options.spammer_fraction = 0.0;
+  options.gold_task_probability = 0.0;
+  options.record_transcript = true;
+  auto platform = CrowdPlatform::Create(&oracle, &instance, {}, options);
+  ASSERT_TRUE(platform.ok());
+  ASSERT_TRUE((*platform)->SubmitBatch({{0, 1}, {1, 2}}, 3).ok());
+
+  const std::vector<std::string> labels = {
+      "plain", "comma, inside", "say \"cheese\"\nsecond line"};
+  auto labeler = [&](ElementId id) {
+    return labels[static_cast<size_t>(id)];
+  };
+
+  std::ostringstream csv;
+  ASSERT_TRUE((*platform)->ExportTranscriptCsv(csv, labeler).ok());
+  const std::vector<std::vector<std::string>> records = ParseCsv(csv.str());
+  // Header plus one record per vote (2 tasks x 3 votes) — the embedded
+  // newline must NOT add records.
+  ASSERT_EQ(records.size(), 7u);
+  ASSERT_EQ(records[0].size(), 12u);
+  EXPECT_EQ(records[0][3], "label_a");
+  EXPECT_EQ(records[0][4], "label_b");
+  for (size_t r = 1; r < records.size(); ++r) {
+    const std::vector<std::string>& row = records[r];
+    ASSERT_EQ(row.size(), 12u);
+    // Labels round-trip to the exact labeler output for the row's ids.
+    const auto a = static_cast<size_t>(std::stoll(row[1]));
+    const auto b = static_cast<size_t>(std::stoll(row[2]));
+    EXPECT_EQ(row[3], labels[a]);
+    EXPECT_EQ(row[4], labels[b]);
+    // Disposition columns stay machine-readable.
+    EXPECT_EQ(row[10], "counted");
+    EXPECT_EQ(row[11], "answered");
+  }
+
+  // The unlabeled export keeps its legacy 10-column shape.
+  std::ostringstream plain;
+  ASSERT_TRUE((*platform)->ExportTranscriptCsv(plain).ok());
+  const auto plain_records = ParseCsv(plain.str());
+  ASSERT_EQ(plain_records.size(), 7u);
+  EXPECT_EQ(plain_records[0].size(), 10u);
+}
+
 TEST(PlatformAdapterTest, FactoriesValidateArguments) {
   Instance instance({1.0, 2.0});
   OracleComparator oracle(&instance);

@@ -14,8 +14,10 @@
 #include "core/comparator.h"
 #include "core/instance.h"
 #include "core/resilient.h"
+#include "core/trace.h"
 #include "core/worker_model.h"
 #include "datasets/instances.h"
+#include "platform/platform.h"
 
 namespace crowdmax {
 namespace {
@@ -177,6 +179,120 @@ TEST(ResilientExecutorTest, RetriesReissueUnansweredTasks) {
   // The re-issue cost one extra inner step plus the first backoff wait.
   EXPECT_EQ(report.backoff_steps, 1);
   EXPECT_EQ(report.steps_added, 2);
+}
+
+// Regression for the retry double-/under-charging bug: comparisons() must
+// record the true crowd spend — every task of every attempt, once each —
+// matching the inner executor's dispatch count exactly.
+TEST(ResilientExecutorTest, EveryRetryAttemptChargedExactlyOnce) {
+  ScriptedExecutor inner({Call::kUnansweredAll, Call::kAnswerAll});
+  ResilientOptions options;
+  options.min_votes = 3;  // Above the scripted 1 vote: forces a re-issue.
+  auto resilient = ResilientBatchExecutor::Create(&inner, options);
+  ASSERT_TRUE(resilient.ok());
+
+  AlgoTrace trace;
+  {
+    ScopedTrace scope(&trace);
+    ASSERT_TRUE((*resilient)->TryExecuteBatch(kTwoTasks).ok());
+  }
+  // 2 tasks on the first attempt + 2 re-issued = 4 dispatched inner-side.
+  EXPECT_EQ(inner.comparisons(), 4);
+  EXPECT_EQ((*resilient)->comparisons(), 4);
+  EXPECT_EQ((*resilient)->logical_steps(), 1);
+
+  // The trace sees the same spend cell-by-cell: 2 no-quorum returns, 2
+  // answered re-buys, 2 retry re-issues — and the auditor identity holds.
+  const TraceCellCounts totals = trace.Totals();
+  EXPECT_EQ(totals.dispatched, 4);
+  EXPECT_EQ(totals.answered, 2);
+  EXPECT_EQ(totals.no_quorum, 2);
+  EXPECT_EQ(totals.retries, 2);
+  MetricsAuditor auditor(&trace);
+  auditor.ExpectDispatchedTotal((*resilient)->comparisons());
+  EXPECT_TRUE(auditor.Check().ok());
+}
+
+TEST(ResilientExecutorTest, ExhaustedBatchesStillChargeEveryAttempt) {
+  ScriptedExecutor inner({Call::kUnansweredAll});
+  ResilientOptions options;
+  options.max_retries = 2;
+  options.min_votes = 3;
+  auto resilient = ResilientBatchExecutor::Create(&inner, options);
+  ASSERT_TRUE(resilient.ok());
+
+  ASSERT_FALSE((*resilient)->TryExecuteBatch(kTwoTasks).ok());
+  // The batch failed — no logical step for the caller — but the crowd was
+  // still paid for 3 attempts x 2 tasks.
+  EXPECT_EQ(inner.comparisons(), 6);
+  EXPECT_EQ((*resilient)->comparisons(), 6);
+  EXPECT_EQ((*resilient)->logical_steps(), 0);
+}
+
+TEST(ResilientExecutorTest, FailedSubmissionsAreNotCharged) {
+  ScriptedExecutor inner({Call::kUnavailable, Call::kAnswerAll});
+  auto resilient = ResilientBatchExecutor::Create(&inner, {});
+  ASSERT_TRUE(resilient.ok());
+  ASSERT_TRUE((*resilient)->TryExecuteBatch(kTwoTasks).ok());
+  // The outage attempt dispatched nothing; only the successful re-submit
+  // is crowd spend.
+  EXPECT_EQ(inner.comparisons(), 2);
+  EXPECT_EQ((*resilient)->comparisons(), 2);
+}
+
+TEST(ResilientExecutorTest, NonTransientFailureChargesWhatWasDispatched) {
+  ScriptedExecutor inner({Call::kInvalidArgument});
+  auto resilient = ResilientBatchExecutor::Create(&inner, {});
+  ASSERT_TRUE(resilient.ok());
+  ASSERT_FALSE((*resilient)->TryExecuteBatch(kTwoTasks).ok());
+  EXPECT_EQ(inner.comparisons(), 0);
+  EXPECT_EQ((*resilient)->comparisons(), 0);
+}
+
+// The end-to-end version of the charging regression: over a real faulty
+// platform with a billing transcript, the resilient wrapper's comparison
+// count must equal the inner dispatch count and the number of tasks the
+// platform billed (one transcript entry per submitted task, retries
+// included).
+TEST(ResilientExecutorTest, ComparisonsMatchPlatformTranscriptUnderFaults) {
+  Result<Instance> instance = UniformInstance(30, /*seed=*/51);
+  ASSERT_TRUE(instance.ok());
+  OracleComparator crowd(&*instance);
+
+  FaultOptions fault;
+  fault.abandon_probability = 0.3;
+  fault.min_quorum = 2;
+  fault.seed = 9;
+  PlatformOptions options;
+  options.num_workers = 20;
+  options.spammer_fraction = 0.0;
+  options.honest_slip_probability = 0.0;
+  options.gold_task_probability = 0.0;
+  options.record_transcript = true;
+  options.seed = 10;
+  options.fault = fault;
+  auto platform = CrowdPlatform::Create(&crowd, &*instance, {}, options);
+  ASSERT_TRUE(platform.ok());
+  auto inner = PlatformBatchExecutor::Create(platform->get(), /*votes=*/3);
+  ASSERT_TRUE(inner.ok());
+
+  ResilientOptions recovery;
+  recovery.max_retries = 8;
+  recovery.min_votes = 2;
+  recovery.fallback = SmallerIdFallback;
+  auto resilient = ResilientBatchExecutor::Create(inner->get(), recovery);
+  ASSERT_TRUE(resilient.ok());
+
+  FilterOptions filter;
+  filter.u_n = 3;
+  Result<BatchedFilterResult> result = BatchedFilterCandidates(
+      instance->AllElements(), filter, resilient->get());
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT((*resilient)->report().retried_tasks, 0);
+
+  EXPECT_EQ((*resilient)->comparisons(), (*inner)->comparisons());
+  EXPECT_EQ((*resilient)->comparisons(),
+            static_cast<int64_t>((*platform)->transcript().size()));
 }
 
 TEST(ResilientExecutorTest, RelaxedQuorumAcceptsProvisionalMajorities) {

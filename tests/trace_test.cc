@@ -1,0 +1,240 @@
+// Tests for the structured trace (core/trace.h): span nesting and
+// deterministic sequence numbers, cell attribution to the innermost
+// phase/round, the ScopedTrace installation stack, and the
+// MetricsAuditor's reconciliation identity.
+
+#include "core/trace.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+
+namespace crowdmax {
+namespace {
+
+TEST(TraceTest, SpansNestWithDeterministicSequenceNumbers) {
+  AlgoTrace trace;
+  const int64_t run = trace.BeginSpan(TraceSpanKind::kRun, "run");
+  const int64_t phase = trace.BeginPhase("filter", TraceWorkerClass::kNaive);
+  const int64_t round = trace.BeginRound(1);
+  trace.EndSpan(round);
+  trace.EndSpan(phase);
+  trace.EndSpan(run);
+
+  ASSERT_EQ(trace.spans().size(), 3u);
+  const TraceSpan& run_span = trace.spans()[0];
+  const TraceSpan& phase_span = trace.spans()[1];
+  const TraceSpan& round_span = trace.spans()[2];
+
+  EXPECT_EQ(run_span.parent, -1);
+  EXPECT_EQ(phase_span.parent, run_span.id);
+  EXPECT_EQ(round_span.parent, phase_span.id);
+  EXPECT_EQ(phase_span.kind, TraceSpanKind::kPhase);
+  EXPECT_EQ(phase_span.label, "filter");
+  EXPECT_EQ(round_span.kind, TraceSpanKind::kRound);
+  EXPECT_EQ(round_span.round, 1);
+
+  // Sequence numbers are the positions in the single event stream:
+  // begin(run)=0, begin(phase)=1, begin(round)=2, end(round)=3, ...
+  EXPECT_EQ(run_span.begin_seq, 0);
+  EXPECT_EQ(phase_span.begin_seq, 1);
+  EXPECT_EQ(round_span.begin_seq, 2);
+  EXPECT_EQ(round_span.end_seq, 3);
+  EXPECT_EQ(phase_span.end_seq, 4);
+  EXPECT_EQ(run_span.end_seq, 5);
+}
+
+TEST(TraceTest, CellsBillToInnermostPhaseAndRound) {
+  AlgoTrace trace;
+  // Outside any phase: the ("", -1, naive) cell.
+  trace.RecordDispatched(2);
+  trace.RecordOutcomes(2, 0, 0);
+
+  const int64_t filter = trace.BeginPhase("filter", TraceWorkerClass::kNaive);
+  const int64_t round1 = trace.BeginRound(1);
+  trace.RecordDispatched(10);
+  trace.RecordOutcomes(7, 2, 1);
+  trace.EndSpan(round1);
+  const int64_t round2 = trace.BeginRound(2);
+  trace.RecordDispatched(4);
+  trace.RecordOutcomes(4, 0, 0);
+  trace.RecordCacheHits(3);
+  trace.EndSpan(round2);
+  trace.EndSpan(filter);
+
+  const int64_t expert = trace.BeginPhase("expert", TraceWorkerClass::kExpert);
+  trace.RecordDispatched(5);
+  trace.RecordOutcomes(5, 0, 0);
+  trace.EndSpan(expert);
+
+  ASSERT_EQ(trace.cells().size(), 4u);
+  const TraceCellCounts& outside =
+      trace.cells().at({"", -1, TraceWorkerClass::kNaive});
+  EXPECT_EQ(outside.dispatched, 2);
+  const TraceCellCounts& r1 =
+      trace.cells().at({"filter", 1, TraceWorkerClass::kNaive});
+  EXPECT_EQ(r1.dispatched, 10);
+  EXPECT_EQ(r1.answered, 7);
+  EXPECT_EQ(r1.no_quorum, 2);
+  EXPECT_EQ(r1.dropped, 1);
+  const TraceCellCounts& r2 =
+      trace.cells().at({"filter", 2, TraceWorkerClass::kNaive});
+  EXPECT_EQ(r2.dispatched, 4);
+  EXPECT_EQ(r2.cache_hits, 3);
+  const TraceCellCounts& e =
+      trace.cells().at({"expert", -1, TraceWorkerClass::kExpert});
+  EXPECT_EQ(e.dispatched, 5);
+
+  const TraceCellCounts naive_totals =
+      trace.TotalsFor(TraceWorkerClass::kNaive);
+  EXPECT_EQ(naive_totals.dispatched, 16);
+  EXPECT_EQ(naive_totals.cache_hits, 3);
+  EXPECT_EQ(trace.TotalsFor(TraceWorkerClass::kExpert).dispatched, 5);
+  EXPECT_EQ(trace.Totals().dispatched, 21);
+}
+
+TEST(TraceTest, ClearDropsSpansAndCells) {
+  AlgoTrace trace;
+  const int64_t run = trace.BeginSpan(TraceSpanKind::kRun, "run");
+  trace.RecordDispatched(1);
+  trace.RecordOutcomes(1, 0, 0);
+  trace.EndSpan(run);
+  trace.Clear();
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_TRUE(trace.cells().empty());
+  // The trace is reusable after Clear(): sequence numbers restart.
+  const int64_t again = trace.BeginSpan(TraceSpanKind::kRun, "again");
+  trace.EndSpan(again);
+  EXPECT_EQ(trace.spans()[0].begin_seq, 0);
+}
+
+TEST(TraceTest, SummaryIsDeterministicAndDistinguishesTraces) {
+  auto build = [](int64_t dispatched) {
+    AlgoTrace trace;
+    const int64_t phase =
+        trace.BeginPhase("filter", TraceWorkerClass::kNaive);
+    const int64_t round = trace.BeginRound(1);
+    trace.RecordDispatched(dispatched);
+    trace.RecordOutcomes(dispatched, 0, 0);
+    trace.EndSpan(round);
+    trace.EndSpan(phase);
+    return trace.Summary();
+  };
+  EXPECT_EQ(build(10), build(10));
+  EXPECT_NE(build(10), build(11));
+}
+
+TEST(TraceTest, CurrentTraceFollowsScopedTraceNesting) {
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  AlgoTrace outer;
+  {
+    ScopedTrace outer_scope(&outer);
+    EXPECT_EQ(CurrentTrace(), &outer);
+    AlgoTrace inner;
+    {
+      ScopedTrace inner_scope(&inner);
+      EXPECT_EQ(CurrentTrace(), &inner);
+    }
+    EXPECT_EQ(CurrentTrace(), &outer);
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+TEST(TraceTest, TraceSpanScopeIsNoOpWithoutInstalledTrace) {
+  ASSERT_EQ(CurrentTrace(), nullptr);
+  {
+    TraceSpanScope span(TraceSpanKind::kRun, "orphan");
+    TraceSpanScope phase(std::string("filter"), TraceWorkerClass::kNaive);
+    TraceSpanScope round(int64_t{1});
+  }
+  // Nothing to assert beyond "did not crash": no trace, no spans.
+  SUCCEED();
+}
+
+TEST(TraceTest, TraceSpanScopeRecordsIntoInstalledTrace) {
+  AlgoTrace trace;
+  {
+    ScopedTrace scope(&trace);
+    TraceSpanScope run(TraceSpanKind::kRun, "run");
+    TraceSpanScope phase(std::string("expert"), TraceWorkerClass::kExpert);
+    TraceSpanScope round(int64_t{3});
+    CurrentTrace()->RecordDispatched(6);
+    CurrentTrace()->RecordOutcomes(6, 0, 0);
+  }
+  ASSERT_EQ(trace.spans().size(), 3u);
+  EXPECT_EQ(trace.spans()[2].round, 3);
+  const TraceCellCounts& cell =
+      trace.cells().at({"expert", 3, TraceWorkerClass::kExpert});
+  EXPECT_EQ(cell.dispatched, 6);
+}
+
+TEST(TraceTest, WriteJsonEmitsSpansAndCells) {
+  AlgoTrace trace;
+  const int64_t phase = trace.BeginPhase("filter", TraceWorkerClass::kNaive);
+  trace.RecordDispatched(3);
+  trace.RecordOutcomes(3, 0, 0);
+  trace.EndSpan(phase);
+  std::ostringstream out;
+  trace.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+  EXPECT_NE(json.find("filter"), std::string::npos);
+}
+
+TEST(AuditorTest, PassesWhenTalliesMatchTrace) {
+  AlgoTrace trace;
+  const int64_t filter = trace.BeginPhase("filter", TraceWorkerClass::kNaive);
+  trace.RecordDispatched(12);
+  trace.RecordOutcomes(10, 1, 1);
+  trace.RecordCacheHits(4);
+  trace.EndSpan(filter);
+  const int64_t expert = trace.BeginPhase("expert", TraceWorkerClass::kExpert);
+  trace.RecordDispatched(5);
+  trace.RecordOutcomes(5, 0, 0);
+  trace.EndSpan(expert);
+
+  MetricsAuditor auditor(&trace);
+  auditor.ExpectDispatched(TraceWorkerClass::kNaive, 12);
+  auditor.ExpectDispatched(TraceWorkerClass::kExpert, 5);
+  auditor.ExpectDispatchedTotal(17);
+  ComparisonStats paid;
+  paid.naive = 12;
+  paid.expert = 5;
+  auditor.ExpectPaidStats(paid);
+  auditor.ExpectTaskFaults(/*dropped=*/1, /*no_quorum=*/1);
+  auditor.ExpectCacheHits(TraceWorkerClass::kNaive, 4);
+  EXPECT_TRUE(auditor.Check().ok());
+}
+
+TEST(AuditorTest, FailsWhenCellIdentityIsBroken) {
+  AlgoTrace trace;
+  // answered + no_quorum + dropped = 9 != dispatched = 10.
+  trace.RecordDispatched(10);
+  trace.RecordOutcomes(8, 1, 0);
+  MetricsAuditor auditor(&trace);
+  const Status status = auditor.Check();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(AuditorTest, ListsEveryMismatchedExpectation) {
+  AlgoTrace trace;
+  trace.RecordDispatched(10);
+  trace.RecordOutcomes(10, 0, 0);
+  MetricsAuditor auditor(&trace);
+  auditor.ExpectDispatchedTotal(12);                       // off by 2
+  auditor.ExpectTaskFaults(/*dropped=*/3, /*no_quorum=*/0);  // off by 3
+  const Status status = auditor.Check();
+  ASSERT_FALSE(status.ok());
+  const std::string message = status.ToString();
+  EXPECT_NE(message.find("12"), std::string::npos);
+  EXPECT_NE(message.find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowdmax
