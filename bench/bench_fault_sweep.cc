@@ -165,6 +165,119 @@ std::string AuditInjectedPipeline(const Instance& instance, int64_t threads,
   return trace.Summary();
 }
 
+// A fresh faulty-platform stack (crowd -> platform -> per-class platform
+// executors -> resilient decorators), so each audited run owns its
+// counters.
+struct FaultyStack {
+  std::unique_ptr<RelativeErrorComparator> crowd;
+  std::unique_ptr<CrowdPlatform> platform;
+  std::unique_ptr<PlatformBatchExecutor> naive_platform;
+  std::unique_ptr<PlatformBatchExecutor> expert_platform;
+  std::unique_ptr<ResilientBatchExecutor> naive;
+  std::unique_ptr<ResilientBatchExecutor> expert;
+};
+
+FaultyStack MakeFaultyStack(const Instance& instance, double abandon_p,
+                            double churn_p, uint64_t fault_seed,
+                            int64_t max_retries, int64_t min_votes) {
+  FaultyStack stack;
+  stack.crowd = std::make_unique<RelativeErrorComparator>(
+      &instance, DotsWorkerModel(), fault_seed * 101 + 3);
+
+  FaultOptions fault;
+  fault.abandon_probability = abandon_p;
+  fault.churn_probability = churn_p;
+  fault.min_quorum = min_votes;
+  fault.seed = fault_seed;
+
+  PlatformOptions options;
+  options.num_workers = 40;
+  options.spammer_fraction = 0.0;
+  options.honest_slip_probability = 0.0;
+  options.seed = fault_seed * 31 + 7;
+  options.fault = fault;
+
+  auto platform =
+      CrowdPlatform::Create(stack.crowd.get(), &instance, {}, options);
+  CROWDMAX_CHECK(platform.ok());
+  stack.platform = std::move(platform).value();
+
+  auto naive_platform =
+      PlatformBatchExecutor::Create(stack.platform.get(), /*votes=*/3);
+  auto expert_platform =
+      PlatformBatchExecutor::Create(stack.platform.get(), /*votes=*/7);
+  CROWDMAX_CHECK(naive_platform.ok() && expert_platform.ok());
+  stack.naive_platform = std::move(naive_platform).value();
+  stack.expert_platform = std::move(expert_platform).value();
+
+  ResilientOptions resilient_options;
+  resilient_options.max_retries = max_retries;
+  resilient_options.min_votes = min_votes;
+  auto naive = ResilientBatchExecutor::Create(stack.naive_platform.get(),
+                                              resilient_options);
+  auto expert = ResilientBatchExecutor::Create(stack.expert_platform.get(),
+                                               resilient_options);
+  CROWDMAX_CHECK(naive.ok() && expert.ok());
+  stack.naive = std::move(naive).value();
+  stack.expert = std::move(expert).value();
+  return stack;
+}
+
+// The engine-executed strategies that joined the batched surface with the
+// RoundEngine refactor — top-k and the multilevel cascade — must reconcile
+// under the auditor on the faulty platform exactly like Algorithm 1 above.
+void AuditEngineExecutedStrategies(const Instance& instance, double abandon_p,
+                                   double churn_p, uint64_t fault_seed,
+                                   int64_t max_retries, int64_t min_votes,
+                                   int64_t u_n) {
+  {
+    FaultyStack stack = MakeFaultyStack(instance, abandon_p, churn_p,
+                                        fault_seed, max_retries, min_votes);
+    AlgoTrace trace;
+    ScopedTrace scoped_trace(&trace);
+    TopKOptions topk;
+    topk.k = 3;
+    topk.filter.u_n = u_n;
+    Result<BatchedTopKResult> result = BatchedFindTopKWithExperts(
+        instance.AllElements(), stack.naive.get(), stack.expert.get(), topk);
+    CROWDMAX_CHECK(result.ok());
+
+    MetricsAuditor auditor(&trace);
+    auditor.ExpectPaidStats(result->result.paid);
+    auditor.ExpectDispatchedTotal(stack.naive->comparisons() +
+                                  stack.expert->comparisons());
+    auditor.ExpectTaskFaults(stack.platform->fault_stats().dropped_tasks,
+                             stack.platform->fault_stats().no_quorum_tasks);
+    const Status audit = auditor.Check();
+    if (!audit.ok()) std::cerr << "topk: " << audit.ToString() << "\n";
+    CROWDMAX_CHECK(audit.ok());
+  }
+  {
+    FaultyStack stack = MakeFaultyStack(instance, abandon_p, churn_p,
+                                        fault_seed, max_retries, min_votes);
+    AlgoTrace trace;
+    ScopedTrace scoped_trace(&trace);
+    std::vector<BatchedWorkerClassSpec> classes = {
+        {stack.naive.get(), u_n, 1.0}, {stack.expert.get(), 1, 40.0}};
+    Result<BatchedMultilevelResult> result = BatchedFindMaxMultilevel(
+        instance.AllElements(), classes, MultilevelOptions{});
+    CROWDMAX_CHECK(result.ok());
+
+    MetricsAuditor auditor(&trace);
+    auditor.ExpectDispatched(TraceWorkerClass::kNaive,
+                             result->result.paid_per_class[0]);
+    auditor.ExpectDispatched(TraceWorkerClass::kExpert,
+                             result->result.paid_per_class[1]);
+    auditor.ExpectDispatchedTotal(stack.naive->comparisons() +
+                                  stack.expert->comparisons());
+    auditor.ExpectTaskFaults(stack.platform->fault_stats().dropped_tasks,
+                             stack.platform->fault_stats().no_quorum_tasks);
+    const Status audit = auditor.Check();
+    if (!audit.ok()) std::cerr << "multilevel: " << audit.ToString() << "\n";
+    CROWDMAX_CHECK(audit.ok());
+  }
+}
+
 int Main(int argc, char** argv) {
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
   bench::MetricsSession metrics_session(flags);
@@ -255,6 +368,13 @@ int Main(int argc, char** argv) {
   CROWDMAX_CHECK(serial_summary == parallel_summary);
   std::cout << "\nmetrics audit: reconciled at threads 1 and 8 "
                "(traces bit-identical)\n";
+
+  // Same reconciliation for the engine-executed top-k and multilevel
+  // strategies, under a moderate fault level.
+  AuditEngineExecutedStrategies(instance, /*abandon_p=*/0.1, churn_p,
+                                first_seed, max_retries, min_votes, u_n);
+  std::cout << "metrics audit: engine-executed top-k and multilevel "
+               "reconciled on the faulty platform\n";
   return 0;
 }
 

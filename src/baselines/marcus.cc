@@ -5,66 +5,93 @@
 #include <unordered_set>
 #include <utility>
 
-#include "common/rng.h"
-#include "core/parallel_group.h"
+#include "core/round_engine.h"
 #include "core/tournament.h"
 
 namespace crowdmax {
 
 namespace {
 
-// Parallel variant: every level's group tournaments run concurrently on the
-// runner; the per-group winner selection happens at the level barrier, in
-// group order, so the result is identical for any thread count.
-Result<MaxFindResult> ParallelMarcusTournamentMax(
-    const std::vector<ElementId>& items, Comparator* comparator,
-    const MarcusOptions& options) {
-  Result<std::unique_ptr<ParallelGroupRunner>> runner =
-      ParallelGroupRunner::Create(comparator, options.threads);
-  if (!runner.ok()) return runner.status();
+// One ladder level per round: disjoint group tournaments, per-group winner
+// selection at the level barrier in group order, a singleton bye advancing
+// free. Identical for any thread count by the engine's seeding discipline.
+class MarcusRoundSource : public RoundSource {
+ public:
+  MarcusRoundSource(const std::vector<ElementId>& items,
+                    const MarcusOptions& options)
+      : group_size_(static_cast<size_t>(options.group_size)),
+        current_(items) {}
 
-  const int64_t before = comparator->num_comparisons();
-  Rng seeder(options.parallel_seed);
-  MaxFindResult result;
-  std::vector<ElementId> current = items;
-
-  while (current.size() > 1) {
-    ++result.rounds;
+  Result<bool> NextRound(EngineRound* round) override {
+    if (current_.size() <= 1) return false;
     // Only the final group can be short; a singleton advances as a bye.
-    std::vector<std::vector<ElementId>> groups;
-    bool has_bye = false;
-    ElementId bye = -1;
-    for (size_t start = 0; start < current.size();
-         start += static_cast<size_t>(options.group_size)) {
-      const size_t end = std::min(
-          current.size(), start + static_cast<size_t>(options.group_size));
+    groups_.clear();
+    has_bye_ = false;
+    for (size_t start = 0; start < current_.size(); start += group_size_) {
+      const size_t end = std::min(current_.size(), start + group_size_);
       if (end - start == 1) {
-        has_bye = true;
-        bye = current[start];
+        has_bye_ = true;
+        bye_ = current_[start];
       } else {
-        groups.emplace_back(current.begin() + start, current.begin() + end);
+        groups_.emplace_back(current_.begin() + start, current_.begin() + end);
       }
     }
-
-    const std::vector<GroupOutcome> outcomes =
-        (*runner)->RunRound(groups, &seeder, nullptr);
-
-    std::vector<ElementId> winners;
-    winners.reserve(groups.size() + 1);
-    for (size_t gi = 0; gi < groups.size(); ++gi) {
-      result.issued_comparisons += outcomes[gi].issued;
-      TournamentResult tournament;
-      tournament.wins = outcomes[gi].wins;
-      winners.push_back(groups[gi][IndexOfMostWins(tournament)]);
+    round->units.reserve(groups_.size());
+    for (const std::vector<ElementId>& group : groups_) {
+      RoundUnit unit;
+      unit.serial_span = "all_play_all";
+      unit.serial_span_size = static_cast<int64_t>(group.size());
+      unit.pairs.reserve(group.size() * (group.size() - 1) / 2);
+      for (size_t i = 0; i < group.size(); ++i) {
+        for (size_t j = i + 1; j < group.size(); ++j) {
+          unit.pairs.push_back({group[i], group[j]});
+        }
+      }
+      round->units.push_back(std::move(unit));
     }
-    if (has_bye) winners.push_back(bye);
-    current = std::move(winners);
+    return true;
   }
 
-  result.best = current[0];
-  result.paid_comparisons = comparator->num_comparisons() - before;
-  return result;
-}
+  Status ConsumeOutcome(const EngineRound& /*round*/,
+                        const RoundOutcome& outcome) override {
+    ++result_.rounds;
+    result_.issued_comparisons += outcome.issued;
+    std::vector<ElementId> winners;
+    winners.reserve(groups_.size() + 1);
+    for (size_t gi = 0; gi < groups_.size(); ++gi) {
+      const std::vector<ElementId>& group = groups_[gi];
+      const std::vector<ElementId>& pair_winners = outcome.winners[gi];
+      TournamentResult tournament;
+      tournament.wins.assign(group.size(), 0);
+      size_t t = 0;
+      for (size_t i = 0; i < group.size(); ++i) {
+        for (size_t j = i + 1; j < group.size(); ++j, ++t) {
+          const ElementId winner = pair_winners[t];
+          if (winner == kUnresolvedWinner) continue;  // No win to either.
+          ++tournament.wins[winner == group[i] ? i : j];
+        }
+      }
+      winners.push_back(group[IndexOfMostWins(tournament)]);
+    }
+    if (has_bye_) winners.push_back(bye_);
+    current_ = std::move(winners);
+    return Status::OK();
+  }
+
+  MaxFindResult Finish(int64_t paid_delta) {
+    result_.best = current_[0];
+    result_.paid_comparisons = paid_delta;
+    return std::move(result_);
+  }
+
+ private:
+  const size_t group_size_;
+  std::vector<ElementId> current_;
+  std::vector<std::vector<ElementId>> groups_;
+  bool has_bye_ = false;
+  ElementId bye_ = -1;
+  MaxFindResult result_;
+};
 
 }  // namespace
 
@@ -90,39 +117,21 @@ Result<MaxFindResult> MarcusTournamentMax(const std::vector<ElementId>& items,
     }
   }
 
+  std::unique_ptr<RoundEngine> engine;
   if (options.threads >= 1) {
-    return ParallelMarcusTournamentMax(items, comparator, options);
+    Result<std::unique_ptr<RoundEngine>> parallel = RoundEngine::CreateParallel(
+        comparator, options.threads, options.parallel_seed, /*memoize=*/false);
+    if (!parallel.ok()) return parallel.status();
+    engine = std::move(*parallel);
+  } else {
+    engine = RoundEngine::CreateSerial(comparator, /*memoize=*/false);
   }
 
-  const int64_t before = comparator->num_comparisons();
-  MaxFindResult result;
-  std::vector<ElementId> current = items;
-
-  while (current.size() > 1) {
-    ++result.rounds;
-    std::vector<ElementId> winners;
-    winners.reserve(current.size() / static_cast<size_t>(options.group_size) +
-                    1);
-    for (size_t start = 0; start < current.size();
-         start += static_cast<size_t>(options.group_size)) {
-      const size_t end = std::min(
-          current.size(), start + static_cast<size_t>(options.group_size));
-      std::vector<ElementId> group(current.begin() + start,
-                                   current.begin() + end);
-      if (group.size() == 1) {
-        winners.push_back(group[0]);  // Bye.
-        continue;
-      }
-      const TournamentResult tournament = AllPlayAll(group, comparator);
-      result.issued_comparisons += tournament.comparisons;
-      winners.push_back(group[IndexOfMostWins(tournament)]);
-    }
-    current = std::move(winners);
-  }
-
-  result.best = current[0];
-  result.paid_comparisons = comparator->num_comparisons() - before;
-  return result;
+  MarcusRoundSource source(items, options);
+  const int64_t paid_before = engine->paid();
+  Result<DriveResult> drive = engine->Drive(&source);
+  if (!drive.ok()) return drive.status();
+  return source.Finish(engine->paid() - paid_before);
 }
 
 }  // namespace crowdmax

@@ -25,7 +25,7 @@ struct MarcusOptions {
   /// >= 2.
   int64_t group_size = 5;
 
-  /// Parallel tournament engine (core/parallel_group.h). 0 = serial
+  /// Parallel round-engine backend (core/round_engine.h). 0 = serial
   /// (default, answers through the caller's comparator in program order);
   /// >= 1 plays each level's group tournaments concurrently through
   /// per-group Comparator::Fork children seeded in group order, with

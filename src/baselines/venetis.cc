@@ -6,8 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
-#include "common/rng.h"
-#include "common/thread_pool.h"
+#include "core/round_engine.h"
 
 namespace crowdmax {
 
@@ -28,6 +27,72 @@ int64_t MatchesInRound(int64_t n, int64_t round) {
   for (int64_t r = 0; r < round; ++r) n = (n + 1) / 2;
   return n / 2;
 }
+
+// One ladder round per engine round; one match per unit, whose pair is
+// repeated votes_for_round times (units are the forking granularity, so
+// every match votes through its own comparator stream). The engine must
+// not memoize: repeated votes are the point.
+class VenetisRoundSource : public RoundSource {
+ public:
+  VenetisRoundSource(const std::vector<ElementId>& items,
+                     const VenetisOptions& options)
+      : options_(options), current_(items) {}
+
+  Result<bool> NextRound(EngineRound* round) override {
+    if (current_.size() <= 1) return false;
+    votes_ = votes_for_round(result_.rounds);
+    num_matches_ = current_.size() / 2;
+    round->units.reserve(num_matches_);
+    for (size_t m = 0; m < num_matches_; ++m) {
+      RoundUnit unit;
+      unit.pairs.assign(static_cast<size_t>(votes_),
+                        {current_[2 * m], current_[2 * m + 1]});
+      round->units.push_back(std::move(unit));
+    }
+    return true;
+  }
+
+  Status ConsumeOutcome(const EngineRound& /*round*/,
+                        const RoundOutcome& outcome) override {
+    ++result_.rounds;
+    result_.issued_comparisons += outcome.issued;
+    std::vector<ElementId> winners;
+    winners.reserve(num_matches_ + 1);
+    for (size_t m = 0; m < num_matches_; ++m) {
+      const ElementId a = current_[2 * m];
+      int64_t wins_a = 0;
+      for (const ElementId winner : outcome.winners[m]) {
+        if (winner == a) ++wins_a;
+      }
+      // An unresolved vote counts toward neither side; the strict majority
+      // rule then favors b, exactly like a lost vote.
+      winners.push_back(2 * wins_a > votes_ ? a : current_[2 * m + 1]);
+    }
+    if (current_.size() % 2 == 1) winners.push_back(current_.back());  // Bye.
+    current_ = std::move(winners);
+    return Status::OK();
+  }
+
+  MaxFindResult Finish(int64_t paid_delta) {
+    result_.best = current_[0];
+    result_.paid_comparisons = paid_delta;
+    return std::move(result_);
+  }
+
+ private:
+  int64_t votes_for_round(int64_t round) const {
+    if (options_.votes_schedule.empty()) return options_.votes_per_match;
+    const size_t index = std::min(static_cast<size_t>(round),
+                                  options_.votes_schedule.size() - 1);
+    return options_.votes_schedule[index];
+  }
+
+  const VenetisOptions& options_;
+  std::vector<ElementId> current_;
+  int64_t votes_ = 0;
+  size_t num_matches_ = 0;
+  MaxFindResult result_;
+};
 
 }  // namespace
 
@@ -58,14 +123,6 @@ Result<MaxFindResult> VenetisLadderMax(const std::vector<ElementId>& items,
       }
     }
   }
-
-  auto votes_for_round = [&](int64_t round) {
-    if (options.votes_schedule.empty()) return options.votes_per_match;
-    const size_t index = std::min(static_cast<size_t>(round),
-                                  options.votes_schedule.size() - 1);
-    return options.votes_schedule[index];
-  };
-
   if (options.threads < 0) {
     return Status::InvalidArgument("threads must be >= 0");
   }
@@ -75,72 +132,21 @@ Result<MaxFindResult> VenetisLadderMax(const std::vector<ElementId>& items,
         "a forkable comparator");
   }
 
-  const int64_t before = comparator->num_comparisons();
-  MaxFindResult result;
-  std::vector<ElementId> current = items;
-
-  // Parallel mode: one pool for the whole ladder, one fork chain seeded in
-  // match order so results are independent of the thread schedule.
-  std::unique_ptr<ThreadPool> pool;
-  Rng seeder(options.parallel_seed);
-  if (options.threads >= 1) pool = std::make_unique<ThreadPool>(options.threads);
-
-  while (current.size() > 1) {
-    const int64_t votes = votes_for_round(result.rounds);
-    ++result.rounds;
-    std::vector<ElementId> winners;
-    winners.reserve(current.size() / 2 + 1);
-    const size_t num_matches = current.size() / 2;
-
-    if (pool != nullptr && num_matches > 0) {
-      // Seeds drawn before dispatch, in match order.
-      std::vector<uint64_t> seeds(num_matches);
-      for (size_t m = 0; m < num_matches; ++m) seeds[m] = seeder.Fork();
-      winners.resize(num_matches, -1);
-      std::vector<int64_t> paid(num_matches, 0);
-      pool->ParallelFor(static_cast<int64_t>(num_matches), [&](int64_t m) {
-        const ElementId a = current[2 * static_cast<size_t>(m)];
-        const ElementId b = current[2 * static_cast<size_t>(m) + 1];
-        const std::unique_ptr<Comparator> fork =
-            comparator->Fork(seeds[static_cast<size_t>(m)]);
-        CROWDMAX_CHECK(fork != nullptr);
-        int64_t wins_a = 0;
-        for (int64_t v = 0; v < votes; ++v) {
-          const ElementId winner = fork->Compare(a, b);
-          CROWDMAX_DCHECK(winner == a || winner == b);
-          if (winner == a) ++wins_a;
-        }
-        winners[static_cast<size_t>(m)] = 2 * wins_a > votes ? a : b;
-        paid[static_cast<size_t>(m)] = fork->num_comparisons();
-      });
-      int64_t total_paid = 0;
-      for (int64_t p : paid) total_paid += p;
-      comparator->AddComparisons(total_paid);
-      result.issued_comparisons +=
-          static_cast<int64_t>(num_matches) * votes;
-      if (current.size() % 2 == 1) winners.push_back(current.back());  // Bye.
-    } else {
-      size_t i = 0;
-      for (; i + 1 < current.size(); i += 2) {
-        const ElementId a = current[i];
-        const ElementId b = current[i + 1];
-        int64_t wins_a = 0;
-        for (int64_t v = 0; v < votes; ++v) {
-          const ElementId winner = comparator->Compare(a, b);
-          CROWDMAX_DCHECK(winner == a || winner == b);
-          ++result.issued_comparisons;
-          if (winner == a) ++wins_a;
-        }
-        winners.push_back(2 * wins_a > votes ? a : b);
-      }
-      if (i < current.size()) winners.push_back(current[i]);  // Bye.
-    }
-    current = std::move(winners);
+  std::unique_ptr<RoundEngine> engine;
+  if (options.threads >= 1) {
+    Result<std::unique_ptr<RoundEngine>> parallel = RoundEngine::CreateParallel(
+        comparator, options.threads, options.parallel_seed, /*memoize=*/false);
+    if (!parallel.ok()) return parallel.status();
+    engine = std::move(*parallel);
+  } else {
+    engine = RoundEngine::CreateSerial(comparator, /*memoize=*/false);
   }
 
-  result.best = current[0];
-  result.paid_comparisons = comparator->num_comparisons() - before;
-  return result;
+  VenetisRoundSource source(items, options);
+  const int64_t paid_before = engine->paid();
+  Result<DriveResult> drive = engine->Drive(&source);
+  if (!drive.ok()) return drive.status();
+  return source.Finish(engine->paid() - paid_before);
 }
 
 double MajorityErrorProbability(int64_t k, double p) {

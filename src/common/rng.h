@@ -30,7 +30,7 @@ uint64_t SplitMix64(uint64_t* state);
 /// calls Fork() once per unit of work, in a fixed order (e.g. group index),
 /// and each worker constructs its private Rng from the seed it was handed.
 /// Results are then a function of the fork order alone, identical for any
-/// thread count. The parallel tournament engine (core/parallel_group.h)
+/// thread count. The round engine's parallel backend (core/round_engine.h)
 /// follows exactly this discipline.
 class Rng {
  public:

@@ -1,9 +1,7 @@
 #include "core/batched.h"
 
 #include <algorithm>
-#include <cmath>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "common/metrics.h"
 #include "core/trace.h"
@@ -45,84 +43,6 @@ void RecordTraceOutcomes(AlgoTrace* trace,
   }
   trace->RecordDispatched(static_cast<int64_t>(results.size()));
   trace->RecordOutcomes(answered, no_quorum, dropped);
-}
-
-// Cache sentinel for a pair whose last execution attempt came back
-// unanswered (fault): treated as a miss (re-issued) by the next resolve
-// and as "no evidence" by the round tallies.
-constexpr ElementId kUnresolved = -2;
-
-uint64_t PairKey(ElementId a, ElementId b) {
-  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
-  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
-  return (static_cast<uint64_t>(hi) << 32) | lo;
-}
-
-Status ValidateDistinct(const std::vector<ElementId>& items) {
-  std::unordered_set<ElementId> seen;
-  for (ElementId e : items) {
-    if (!seen.insert(e).second) {
-      return Status::InvalidArgument("duplicate element id in input");
-    }
-  }
-  return Status::OK();
-}
-
-// Resolves a set of pair queries through the cache, batching only the
-// misses (including pairs left unresolved by an earlier faulty attempt);
-// fills `cache` with the new answers, kUnresolved for tasks the executor
-// could not answer. Returns the number of queries answered from cache, or
-// the executor's typed error when the whole submission failed — the cache
-// then marks this round's misses kUnresolved so callers tally them as
-// missing evidence.
-Result<int64_t> ResolveThroughCache(
-    const std::vector<ComparisonPair>& queries, BatchExecutor* executor,
-    std::unordered_map<uint64_t, ElementId>* cache) {
-  std::vector<ComparisonPair> misses;
-  misses.reserve(queries.size());
-  for (const ComparisonPair& q : queries) {
-    auto it = cache->find(PairKey(q.first, q.second));
-    if (it == cache->end() || it->second == kUnresolved) {
-      misses.push_back(q);
-      // Reserve the slot so duplicate queries within one batch are sent
-      // once; overwritten with the real winner below.
-      (*cache)[PairKey(q.first, q.second)] = -1;
-    }
-  }
-  if (AlgoTrace* trace = CurrentTrace();
-      trace != nullptr && queries.size() != misses.size()) {
-    trace->RecordCacheHits(static_cast<int64_t>(queries.size() - misses.size()));
-  }
-  Result<std::vector<BatchTaskResult>> results =
-      executor->TryExecuteBatch(misses);
-  if (!results.ok()) {
-    for (const ComparisonPair& m : misses) {
-      (*cache)[PairKey(m.first, m.second)] = kUnresolved;
-    }
-    return results.status();
-  }
-  CROWDMAX_CHECK(results->size() == misses.size());
-  for (size_t i = 0; i < misses.size(); ++i) {
-    const BatchTaskResult& result = (*results)[i];
-    const uint64_t key = PairKey(misses[i].first, misses[i].second);
-    if (!result.answered) {
-      (*cache)[key] = kUnresolved;
-      continue;
-    }
-    CROWDMAX_DCHECK(result.winner == misses[i].first ||
-                    result.winner == misses[i].second);
-    (*cache)[key] = result.winner;
-  }
-  return static_cast<int64_t>(queries.size() - misses.size());
-}
-
-// Cached outcome of a query passed to ResolveThroughCache this round: the
-// winner, or kUnresolved when the last attempt could not answer the pair.
-ElementId CachedOutcome(const std::unordered_map<uint64_t, ElementId>& cache,
-                        ElementId a, ElementId b) {
-  auto it = cache.find(PairKey(a, b));
-  CROWDMAX_CHECK(it != cache.end() && it->second != -1);
-  return it->second;
 }
 
 }  // namespace
@@ -290,328 +210,51 @@ TournamentResult BatchedAllPlayAll(const std::vector<ElementId>& elements,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Batched adapters. Every function below is a thin shell: create an
+// executor-backed RoundEngine, drive the shared RoundSource, translate the
+// engine run into the Batched* result shape. The round loops, caches,
+// budget gates and fault semantics all live in core/round_engine.cc and
+// the sources in filter_phase.cc / maxfind.cc / tournament.cc.
+// ---------------------------------------------------------------------------
+
 Result<BatchedFilterResult> BatchedFilterCandidates(
     const std::vector<ElementId>& items, const FilterOptions& options,
     BatchExecutor* executor) {
   CROWDMAX_CHECK(executor != nullptr);
-  if (options.u_n < 1) return Status::InvalidArgument("u_n must be >= 1");
-  if (options.group_size_multiplier < 2) {
-    return Status::InvalidArgument("group_size_multiplier must be >= 2");
-  }
-  if (options.max_comparisons < 0) {
-    return Status::InvalidArgument("max_comparisons must be >= 0");
-  }
-  if (Status status = ValidateDistinct(items); !status.ok()) return status;
+  Result<std::unique_ptr<RoundEngine>> engine =
+      RoundEngine::CreateBatched(executor);
+  if (!engine.ok()) return engine.status();
 
-  const int64_t u_n = options.u_n;
-  const int64_t g = options.group_size_multiplier * u_n;
-  const int64_t steps_before = executor->logical_steps();
-  const int64_t comparisons_before = executor->comparisons();
-  TraceSpanScope phase_span("filter", TraceWorkerClass::kNaive);
+  Result<FilterEngineRun> run =
+      RunFilterOnEngine(items, options, engine->get());
+  if (!run.ok()) return run.status();
 
   BatchedFilterResult out;
-  std::vector<ElementId> current = items;
-  std::unordered_map<uint64_t, ElementId> cache;
-  std::unordered_map<ElementId, std::unordered_set<ElementId>> losses;
-
-  while (static_cast<int64_t>(current.size()) >= 2 * u_n) {
-    // Budget check at the round boundary, mirroring FilterCandidates.
-    if (options.max_comparisons > 0) {
-      const int64_t n_cur = static_cast<int64_t>(current.size());
-      int64_t round_cost = 0;
-      for (int64_t start = 0; start < n_cur; start += g) {
-        const int64_t m = std::min(g, n_cur - start);
-        if (m > u_n) round_cost += m * (m - 1) / 2;
-      }
-      const int64_t paid_so_far =
-          executor->comparisons() - comparisons_before;
-      if (paid_so_far + round_cost > options.max_comparisons) {
-        out.filter.stopped_by_budget = true;
-        break;
-      }
-    }
-
-    out.filter.round_sizes.push_back(static_cast<int64_t>(current.size()));
-    ++out.filter.rounds;
-    TraceSpanScope round_span(out.filter.rounds);
-    if (!options.memoize) cache.clear();
-
-    // Gather this round's group tournaments into one batch. Groups are
-    // disjoint, so every pair appears at most once per round.
-    const int64_t n_cur = static_cast<int64_t>(current.size());
-    std::vector<ComparisonPair> queries;
-    for (int64_t start = 0; start < n_cur; start += g) {
-      const int64_t m = std::min(g, n_cur - start);
-      if (m <= u_n) continue;  // Short tail group advances untouched.
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = i + 1; j < m; ++j) {
-          queries.push_back({current[start + i], current[start + j]});
-        }
-      }
-    }
-    out.filter.issued_comparisons += static_cast<int64_t>(queries.size());
-    Status round_fault = Status::OK();
-    if (Result<int64_t> resolved = ResolveThroughCache(queries, executor, &cache);
-        !resolved.ok()) {
-      if (resolved.status().code() != StatusCode::kUnavailable) {
-        return resolved.status();
-      }
-      round_fault = resolved.status();
-    }
-
-    // Tally wins per group from the cache and select survivors. An
-    // unresolved pair is missing evidence: it eliminates neither element
-    // (both tally the win), and the cache re-issues it next round.
-    int64_t unresolved_pairs = 0;
-    std::vector<ElementId> next;
-    next.reserve(current.size() / 2 + 1);
-    for (int64_t start = 0; start < n_cur; start += g) {
-      const int64_t m = std::min(g, n_cur - start);
-      if (m <= u_n) {
-        for (int64_t i = 0; i < m; ++i) next.push_back(current[start + i]);
-        continue;
-      }
-      std::vector<int64_t> wins(m, 0);
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = i + 1; j < m; ++j) {
-          const ElementId a = current[start + i];
-          const ElementId b = current[start + j];
-          const ElementId winner = CachedOutcome(cache, a, b);
-          if (winner == kUnresolved) {
-            ++unresolved_pairs;
-            ++wins[i];
-            ++wins[j];
-            continue;
-          }
-          ++wins[winner == a ? i : j];
-          if (options.global_loss_counter) {
-            losses[winner == a ? b : a].insert(winner);
-          }
-        }
-      }
-      const int64_t keep_threshold = m - u_n;
-      for (int64_t i = 0; i < m; ++i) {
-        if (wins[i] >= keep_threshold) next.push_back(current[start + i]);
-      }
-    }
-
-    if (options.global_loss_counter) {
-      auto cannot_be_max = [&](ElementId e) {
-        auto it = losses.find(e);
-        return it != losses.end() &&
-               static_cast<int64_t>(it->second.size()) > u_n;
-      };
-      const size_t before = next.size();
-      next.erase(std::remove_if(next.begin(), next.end(), cannot_be_max),
-                 next.end());
-      out.filter.evicted_by_loss_counter +=
-          static_cast<int64_t>(before - next.size());
-    }
-
-    if (next.empty()) {
-      out.filter.hit_empty_round = true;
-      break;
-    }
-    if (next.size() >= current.size()) {
-      if (unresolved_pairs == 0 && round_fault.ok()) {
-        return Status::Internal(
-            "batched filter made no progress with full evidence; executor "
-            "answers are inconsistent");
-      }
-      // Faults withheld too much evidence to shrink the pool: stop and
-      // report the survivors so far. The conservative tally never evicts
-      // without a counted loss, so the maximum is still among them.
-      out.partial = true;
-      out.fault_status =
-          round_fault.ok()
-              ? Status::Unavailable(
-                    "filter round made no progress: " +
-                    std::to_string(unresolved_pairs) +
-                    " comparisons unresolved after executor recovery")
-              : round_fault;
-      break;
-    }
-    current = std::move(next);
-  }
-
-  out.filter.candidates = std::move(current);
-  out.filter.paid_comparisons = executor->comparisons() - comparisons_before;
-  out.logical_steps = executor->logical_steps() - steps_before;
+  out.filter = std::move(run->filter);
+  out.partial = run->partial;
+  out.fault_status = run->fault_status;
+  out.logical_steps = (*engine)->logical_steps();
   return out;
 }
 
 Result<BatchedMaxFindResult> BatchedTwoMaxFind(
     const std::vector<ElementId>& items, BatchExecutor* executor) {
   CROWDMAX_CHECK(executor != nullptr);
-  if (items.empty()) {
-    return Status::InvalidArgument("candidate set must be non-empty");
-  }
-  if (Status status = ValidateDistinct(items); !status.ok()) return status;
+  Result<std::unique_ptr<RoundEngine>> engine =
+      RoundEngine::CreateBatched(executor);
+  if (!engine.ok()) return engine.status();
 
-  const int64_t steps_before = executor->logical_steps();
-  const int64_t comparisons_before = executor->comparisons();
   TraceSpanScope phase_span("expert", TraceWorkerClass::kExpert);
-  const int64_t s = static_cast<int64_t>(items.size());
-  int64_t k = static_cast<int64_t>(
-      std::ceil(std::sqrt(static_cast<double>(s))));
-  while (k * k < s) ++k;
-  while (k > 1 && (k - 1) * (k - 1) >= s) --k;
+  Result<MaxFindEngineRun> run = RunTwoMaxFindOnEngine(items, engine->get());
+  if (!run.ok()) return run.status();
 
   BatchedMaxFindResult out;
-  std::vector<ElementId> candidates = items;
-  std::unordered_map<uint64_t, ElementId> cache;
-  const int64_t max_rounds = 4 * s + 16;
-
-  // All-play-all over `group` through the cache; unresolved pairs award no
-  // win to either side. Non-transient executor errors propagate; a
-  // transient (Unavailable) one is recorded in `fault` and the round
-  // tallies whatever evidence exists.
-  struct TournamentRound {
-    TournamentResult tournament;
-    int64_t unresolved = 0;
-    Status fault;
-  };
-  auto cached_tournament =
-      [&](const std::vector<ElementId>& group) -> Result<TournamentRound> {
-    std::vector<ComparisonPair> queries;
-    for (size_t i = 0; i < group.size(); ++i) {
-      for (size_t j = i + 1; j < group.size(); ++j) {
-        queries.push_back({group[i], group[j]});
-      }
-    }
-    out.maxfind.issued_comparisons += static_cast<int64_t>(queries.size());
-    TournamentRound round;
-    if (Result<int64_t> resolved =
-            ResolveThroughCache(queries, executor, &cache);
-        !resolved.ok()) {
-      if (resolved.status().code() != StatusCode::kUnavailable) {
-        return resolved.status();
-      }
-      round.fault = resolved.status();
-    }
-    round.tournament.wins.assign(group.size(), 0);
-    round.tournament.comparisons = static_cast<int64_t>(queries.size());
-    for (size_t i = 0; i < group.size(); ++i) {
-      for (size_t j = i + 1; j < group.size(); ++j) {
-        const ElementId winner = CachedOutcome(cache, group[i], group[j]);
-        if (winner == kUnresolved) {
-          ++round.unresolved;
-          continue;
-        }
-        ++round.tournament.wins[winner == group[i] ? i : j];
-      }
-    }
-    return round;
-  };
-
-  auto finish_partial = [&](Status fault_status) {
-    out.partial = true;
-    out.fault_status = std::move(fault_status);
-    out.survivors = candidates;
-    out.maxfind.best = -1;
-    out.maxfind.paid_comparisons =
-        executor->comparisons() - comparisons_before;
-    out.logical_steps = executor->logical_steps() - steps_before;
-    return out;
-  };
-
-  while (static_cast<int64_t>(candidates.size()) > k) {
-    if (out.maxfind.rounds >= max_rounds) {
-      return Status::Internal(
-          "batched 2-MaxFind exceeded its round budget; executor answers "
-          "are inconsistent");
-    }
-    ++out.maxfind.rounds;
-    TraceSpanScope round_span(out.maxfind.rounds);
-
-    std::vector<ElementId> sample(candidates.begin(), candidates.begin() + k);
-    Result<TournamentRound> sample_round = [&] {
-      TraceSpanScope batch_span(TraceSpanKind::kBatch, "sample");
-      return cached_tournament(sample);
-    }();
-    if (!sample_round.ok()) return sample_round.status();
-    const ElementId x = sample[IndexOfMostWins(sample_round->tournament)];
-
-    // Elimination scan, pivot first, as one batch of cache misses.
-    std::vector<ComparisonPair> scan;
-    scan.reserve(candidates.size());
-    for (ElementId y : candidates) {
-      if (y != x) scan.push_back({x, y});
-    }
-    out.maxfind.issued_comparisons += static_cast<int64_t>(scan.size());
-    Status scan_fault = Status::OK();
-    {
-      TraceSpanScope batch_span(TraceSpanKind::kBatch, "scan");
-      if (Result<int64_t> resolved =
-              ResolveThroughCache(scan, executor, &cache);
-          !resolved.ok()) {
-        if (resolved.status().code() != StatusCode::kUnavailable) {
-          return resolved.status();
-        }
-        scan_fault = resolved.status();
-      }
-    }
-
-    // An unresolved scan comparison is missing evidence: the element
-    // survives (no elimination without a counted loss) and the pair is
-    // re-issued by a later round through the cache.
-    int64_t unresolved_scan = 0;
-    std::vector<ElementId> survivors;
-    survivors.reserve(candidates.size());
-    for (ElementId y : candidates) {
-      if (y == x) {
-        survivors.push_back(y);
-        continue;
-      }
-      const ElementId winner = CachedOutcome(cache, x, y);
-      if (winner == kUnresolved) {
-        ++unresolved_scan;
-        survivors.push_back(y);
-        continue;
-      }
-      if (winner != x) survivors.push_back(y);
-    }
-    const bool progress = survivors.size() < candidates.size();
-    candidates = std::move(survivors);
-
-    const bool faulty = sample_round->unresolved > 0 || unresolved_scan > 0 ||
-                        !sample_round->fault.ok() || !scan_fault.ok();
-    if (!progress && faulty) {
-      // Faults withheld the evidence this round needed; the executor's own
-      // recovery already ran, so stop and report the field as it stands.
-      Status fault_status =
-          !scan_fault.ok() ? scan_fault
-          : !sample_round->fault.ok()
-              ? sample_round->fault
-              : Status::Unavailable(
-                    "2-MaxFind round made no progress: " +
-                    std::to_string(sample_round->unresolved + unresolved_scan) +
-                    " comparisons unresolved after executor recovery");
-      return finish_partial(std::move(fault_status));
-    }
-  }
-
-  Result<TournamentRound> final_round = [&] {
-    TraceSpanScope batch_span(TraceSpanKind::kBatch, "final");
-    return cached_tournament(candidates);
-  }();
-  if (!final_round.ok()) return final_round.status();
-  out.maxfind.best = candidates[IndexOfMostWins(final_round->tournament)];
-  if (final_round->unresolved > 0 || !final_round->fault.ok()) {
-    // The final tournament ran on incomplete evidence: `best` is the
-    // provisional leader, flagged partial so callers can tell.
-    out.partial = true;
-    out.fault_status =
-        !final_round->fault.ok()
-            ? final_round->fault
-            : Status::Unavailable(
-                  "final tournament left " +
-                  std::to_string(final_round->unresolved) +
-                  " comparisons unresolved; best is provisional");
-    out.survivors = candidates;
-  }
-  out.maxfind.paid_comparisons = executor->comparisons() - comparisons_before;
-  out.logical_steps = executor->logical_steps() - steps_before;
+  out.maxfind = run->maxfind;
+  out.partial = run->partial;
+  out.fault_status = run->fault_status;
+  out.survivors = std::move(run->survivors);
+  out.logical_steps = (*engine)->logical_steps();
   return out;
 }
 
@@ -666,6 +309,201 @@ Result<BatchedExpertMaxResult> BatchedFindMaxWithExperts(
   if (const FaultReport* report = expert->fault_report()) {
     out.has_expert_faults = true;
     out.expert_faults = *report;
+  }
+  return out;
+}
+
+Result<BatchedTopKResult> BatchedFindTopKWithExperts(
+    const std::vector<ElementId>& items, BatchExecutor* naive,
+    BatchExecutor* expert, const TopKOptions& options) {
+  CROWDMAX_CHECK(naive != nullptr);
+  CROWDMAX_CHECK(expert != nullptr);
+  if (items.empty()) {
+    return Status::InvalidArgument("input set must be non-empty");
+  }
+  if (options.k < 1 || options.k > static_cast<int64_t>(items.size())) {
+    return Status::InvalidArgument("k must be in [1, |items|]");
+  }
+  if (options.filter.u_n < 1) {
+    return Status::InvalidArgument("u_n must be >= 1");
+  }
+  TraceSpanScope run_span(TraceSpanKind::kRun, "batched_topk");
+
+  // Phase 1 with the inflated blind spot u' = u_n + k - 1 so every true
+  // top-k element survives (see core/topk.h).
+  FilterOptions filter = options.filter;
+  filter.u_n = options.filter.u_n + options.k - 1;
+  Result<BatchedFilterResult> filtered =
+      BatchedFilterCandidates(items, filter, naive);
+  if (!filtered.ok()) return filtered.status();
+
+  BatchedTopKResult out;
+  out.result.candidates = std::move(filtered->filter.candidates);
+  out.result.paid.naive = filtered->filter.paid_comparisons;
+  out.result.filter_rounds = filtered->filter.rounds;
+  out.naive_steps = filtered->logical_steps;
+  if (filtered->partial) {
+    out.partial = true;
+    out.fault_status = filtered->fault_status;
+  }
+  if (const FaultReport* report = naive->fault_report()) {
+    out.has_naive_faults = true;
+    out.naive_faults = *report;
+  }
+  if (static_cast<int64_t>(out.result.candidates.size()) < options.k) {
+    return Status::Internal(
+        "phase 1 returned fewer candidates than k; the comparator violated "
+        "the threshold-model contract");
+  }
+
+  // Phase 2: one expert all-play-all batch over the candidates; the k
+  // biggest winners in win order. A partial filter only enlarges the
+  // candidate set, so the tournament still ranks the true top-k.
+  Result<std::unique_ptr<RoundEngine>> engine =
+      RoundEngine::CreateBatched(expert);
+  if (!engine.ok()) return engine.status();
+  TraceSpanScope phase_span("expert", TraceWorkerClass::kExpert);
+  Result<TournamentEngineRun> tournament =
+      RunTournamentOnEngine(out.result.candidates, engine->get());
+  if (!tournament.ok()) return tournament.status();
+
+  out.result.paid.expert = (*engine)->paid();
+  out.expert_steps = (*engine)->logical_steps();
+  if (tournament->unresolved > 0 || !tournament->fault.ok()) {
+    out.partial = true;
+    if (out.fault_status.ok()) {
+      out.fault_status =
+          tournament->fault.ok()
+              ? Status::Unavailable(
+                    "expert tournament left " +
+                    std::to_string(tournament->unresolved) +
+                    " comparisons unresolved; the order is provisional")
+              : tournament->fault;
+    }
+  }
+  if (const FaultReport* report = expert->fault_report()) {
+    out.has_expert_faults = true;
+    out.expert_faults = *report;
+  }
+
+  std::vector<ElementId> ranked =
+      OrderByWins(out.result.candidates, tournament->tournament);
+  ranked.resize(static_cast<size_t>(options.k));
+  out.result.top = std::move(ranked);
+  return out;
+}
+
+Result<BatchedMultilevelResult> BatchedFindMaxMultilevel(
+    const std::vector<ElementId>& items,
+    const std::vector<BatchedWorkerClassSpec>& classes,
+    const MultilevelOptions& options) {
+  if (classes.empty()) {
+    return Status::InvalidArgument("at least one worker class is required");
+  }
+  for (const BatchedWorkerClassSpec& spec : classes) {
+    if (spec.executor == nullptr) {
+      return Status::InvalidArgument("worker class has null executor");
+    }
+    if (spec.cost_per_comparison < 0.0) {
+      return Status::InvalidArgument("cost_per_comparison must be >= 0");
+    }
+  }
+  if (items.empty()) {
+    return Status::InvalidArgument("input set must be non-empty");
+  }
+  TraceSpanScope run_span(TraceSpanKind::kRun, "batched_multilevel");
+
+  BatchedMultilevelResult out;
+  out.result.paid_per_class.assign(classes.size(), 0);
+  out.steps_per_class.assign(classes.size(), 0);
+
+  std::vector<ElementId> current = items;
+
+  // Filtering levels: every class except the last. A partial level hands
+  // its (oversized but max-preserving) survivor set to the next class.
+  for (size_t level = 0; level + 1 < classes.size(); ++level) {
+    const BatchedWorkerClassSpec& spec = classes[level];
+    if (spec.u < 1) {
+      return Status::InvalidArgument("worker class u must be >= 1");
+    }
+    FilterOptions filter = options.filter_template;
+    filter.u_n = spec.u;
+    Result<BatchedFilterResult> filtered =
+        BatchedFilterCandidates(current, filter, spec.executor);
+    if (!filtered.ok()) return filtered.status();
+    out.result.paid_per_class[level] = filtered->filter.paid_comparisons;
+    out.steps_per_class[level] = filtered->logical_steps;
+    out.result.candidates_per_level.push_back(
+        static_cast<int64_t>(filtered->filter.candidates.size()));
+    if (filtered->partial) {
+      out.partial = true;
+      if (out.fault_status.ok()) out.fault_status = filtered->fault_status;
+    }
+    current = std::move(filtered->filter.candidates);
+    if (current.empty()) {
+      return Status::Internal("filter level returned an empty candidate set");
+    }
+  }
+
+  // Final level: phase-2 max-finding with the most expert class's
+  // executor, through the same engine.
+  const size_t last = classes.size() - 1;
+  BatchExecutor* final_executor = classes[last].executor;
+  Result<std::unique_ptr<RoundEngine>> engine =
+      RoundEngine::CreateBatched(final_executor);
+  if (!engine.ok()) return engine.status();
+  TraceSpanScope phase_span("expert", TraceWorkerClass::kExpert);
+  switch (options.final_phase) {
+    case Phase2Algorithm::kTwoMaxFind: {
+      Result<MaxFindEngineRun> run =
+          RunTwoMaxFindOnEngine(current, engine->get());
+      if (!run.ok()) return run.status();
+      out.result.best = run->maxfind.best;
+      if (run->partial) {
+        out.partial = true;
+        if (out.fault_status.ok()) out.fault_status = run->fault_status;
+      }
+      break;
+    }
+    case Phase2Algorithm::kRandomized: {
+      Result<MaxFindEngineRun> run =
+          RunRandomizedMaxFindOnEngine(current, engine->get(),
+                                       options.randomized);
+      if (!run.ok()) return run.status();
+      out.result.best = run->maxfind.best;
+      if (run->partial) {
+        out.partial = true;
+        if (out.fault_status.ok()) out.fault_status = run->fault_status;
+      }
+      break;
+    }
+    case Phase2Algorithm::kAllPlayAll: {
+      Result<TournamentEngineRun> run =
+          RunTournamentOnEngine(current, engine->get());
+      if (!run.ok()) return run.status();
+      out.result.best = current[IndexOfMostWins(run->tournament)];
+      if (run->unresolved > 0 || !run->fault.ok()) {
+        out.partial = true;
+        if (out.fault_status.ok()) {
+          out.fault_status =
+              run->fault.ok()
+                  ? Status::Unavailable(
+                        "final tournament left " +
+                        std::to_string(run->unresolved) +
+                        " comparisons unresolved; best is provisional")
+                  : run->fault;
+        }
+      }
+      break;
+    }
+  }
+  out.result.paid_per_class[last] = (*engine)->paid();
+  out.steps_per_class[last] = (*engine)->logical_steps();
+
+  for (size_t i = 0; i < classes.size(); ++i) {
+    out.result.total_cost +=
+        static_cast<double>(out.result.paid_per_class[i]) *
+        classes[i].cost_per_comparison;
   }
   return out;
 }

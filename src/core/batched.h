@@ -10,11 +10,15 @@
 //
 // The sequential algorithms in filter_phase.h / maxfind.h issue one
 // comparison at a time through a Comparator; the Batched* variants here
-// issue every independent comparison of a round as one batch through a
-// BatchExecutor, so their logical-step counts reflect the true round
-// structure: Algorithm 2 runs in O(log n) steps, 2-MaxFind in O(sqrt(s))
-// steps. Results are identical to the sequential versions whenever worker
-// answers are consistent per pair (memoization/persistent ties).
+// drive the very same RoundSources (core/round_engine.h) on an
+// executor-backed engine, so every independent comparison of a round goes
+// to a BatchExecutor as one batch and the logical-step counts reflect the
+// true round structure: Algorithm 2 runs in O(log n) steps, 2-MaxFind in
+// O(sqrt(s)) steps. Results are identical to the sequential versions
+// whenever worker answers are consistent per pair (memoization/persistent
+// ties). This file owns the executor stack (the crowd-side abstraction)
+// and the thin Batched* adapters; the round loop itself lives in
+// RoundEngine and nowhere else.
 
 #ifndef CROWDMAX_CORE_BATCHED_H_
 #define CROWDMAX_CORE_BATCHED_H_
@@ -33,12 +37,16 @@
 #include "core/filter_phase.h"
 #include "core/instance.h"
 #include "core/maxfind.h"
+#include "core/multilevel.h"
+#include "core/round_engine.h"
+#include "core/topk.h"
 #include "core/tournament.h"
 
 namespace crowdmax {
 
-/// A pairwise comparison request; `a` and `b` must be distinct elements.
-using ComparisonPair = std::pair<ElementId, ElementId>;
+// ComparisonPair (a pairwise comparison request; `a` and `b` must be
+// distinct elements) now lives in core/round_engine.h, the layer both the
+// engine and the executor stack share.
 
 /// Per-task outcome of a fallible batch execution (TryExecuteBatch).
 struct BatchTaskResult {
@@ -212,6 +220,9 @@ class ParallelBatchExecutor : public BatchExecutor {
 };
 
 /// One all-play-all tournament as a single batch (one logical step).
+[[deprecated(
+    "drive RunTournamentOnEngine on RoundEngine::CreateBatched instead; "
+    "this wrapper bypasses the engine's cache and fault accounting")]]
 TournamentResult BatchedAllPlayAll(const std::vector<ElementId>& elements,
                                    BatchExecutor* executor);
 
@@ -284,6 +295,64 @@ struct BatchedExpertMaxResult {
 Result<BatchedExpertMaxResult> BatchedFindMaxWithExperts(
     const std::vector<ElementId>& items, BatchExecutor* naive,
     BatchExecutor* expert, const ExpertMaxOptions& options);
+
+/// Top-k result plus per-class logical steps and fault accounting.
+struct BatchedTopKResult {
+  TopKResult result;
+  int64_t naive_steps = 0;
+  int64_t expert_steps = 0;
+  /// True when a phase ran on incomplete evidence: the filter stopped
+  /// early on an exhausted fault budget (candidates hold the survivors so
+  /// far — a superset, the true top-k still inside) or the expert
+  /// tournament left pairs unresolved (the returned order is the
+  /// provisional win count). `fault_status` carries the typed error.
+  bool partial = false;
+  Status fault_status;
+  bool has_naive_faults = false;
+  bool has_expert_faults = false;
+  FaultReport naive_faults;
+  FaultReport expert_faults;
+};
+
+/// The top-k extension (core/topk.h) in batched form: the u' = u_n + k - 1
+/// filter on the naive executor (O(log n) steps), then one expert
+/// all-play-all batch over the candidates. Same options contract as
+/// FindTopKWithExperts.
+Result<BatchedTopKResult> BatchedFindTopKWithExperts(
+    const std::vector<ElementId>& items, BatchExecutor* naive,
+    BatchExecutor* expert, const TopKOptions& options);
+
+/// One worker class of the batched cascade: multilevel.h semantics with a
+/// BatchExecutor (and its fault stack) in place of the raw Comparator.
+struct BatchedWorkerClassSpec {
+  /// Executor backed by this class's workers (not owned).
+  BatchExecutor* executor = nullptr;
+  /// u_k for this class's filter level (ignored for the last class).
+  int64_t u = 1;
+  /// Price per comparison, for cost reporting.
+  double cost_per_comparison = 1.0;
+};
+
+/// Multilevel result plus per-class logical steps and fault accounting.
+struct BatchedMultilevelResult {
+  MultilevelResult result;
+  /// Logical steps per class, aligned with the input specs.
+  std::vector<int64_t> steps_per_class;
+  /// True when any level stopped early on an exhausted fault budget; the
+  /// cascade still hands the survivor superset down, so `result.best` is
+  /// filled whenever the final phase produced a provisional leader.
+  bool partial = false;
+  Status fault_status;
+};
+
+/// The worker-class cascade (core/multilevel.h) in batched form: every
+/// non-final class runs the filter on its executor, the final class runs
+/// the configured phase-2 solver. Step counts per class come from the
+/// executors' logical-step deltas.
+Result<BatchedMultilevelResult> BatchedFindMaxMultilevel(
+    const std::vector<ElementId>& items,
+    const std::vector<BatchedWorkerClassSpec>& classes,
+    const MultilevelOptions& options);
 
 }  // namespace crowdmax
 

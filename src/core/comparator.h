@@ -8,7 +8,7 @@
 // Thread-safety contract: a Comparator instance is NOT thread-safe — its
 // comparison counter, any internal Rng, and any per-pair caches are plain
 // (unsynchronized) state. The parallel tournament engine
-// (core/parallel_group.h) therefore never shares an instance across
+// (core/round_engine.h) therefore never shares an instance across
 // threads: it derives one independent child per concurrent unit of work via
 // Fork(seed) — with the seed fixed *before* dispatch, never by thread
 // schedule — and merges each child's paid-comparison count back into the
@@ -110,7 +110,7 @@ class OracleComparator : public Comparator {
 /// silently stop memoizing). Fork() CHECK-fails with that message; the
 /// parallel filter implements memoization itself, as a read-only cache
 /// snapshot per round with new entries merged at the round barrier (see
-/// core/parallel_group.h).
+/// core/round_engine.h).
 class MemoizingComparator : public Comparator {
  public:
   explicit MemoizingComparator(Comparator* inner);

@@ -5,28 +5,12 @@
 #include <unordered_set>
 #include <utility>
 
-#include "core/parallel_group.h"
+#include "core/round_engine.h"
 #include "core/trace.h"
 
 namespace crowdmax {
 
 namespace {
-
-// Round-barrier trace recording, shared by the serial and parallel paths.
-// The comparator hot loop is never touched: cells are recorded once per
-// round, on the coordinating thread, from the round's counter deltas. Paid
-// comparisons all come back answered in the comparator model (faults live
-// in the executor stack); the issued-minus-paid remainder was served by
-// the memoization cache.
-void RecordFilterRound(int64_t paid_delta, int64_t issued_delta) {
-  AlgoTrace* trace = CurrentTrace();
-  if (trace == nullptr) return;
-  trace->RecordDispatched(paid_delta);
-  trace->RecordOutcomes(paid_delta, 0, 0);
-  if (issued_delta > paid_delta) {
-    trace->RecordCacheHits(issued_delta - paid_delta);
-  }
-}
 
 Status ValidateFilterInput(const std::vector<ElementId>& items,
                            const FilterOptions& options) {
@@ -51,240 +35,117 @@ Status ValidateFilterInput(const std::vector<ElementId>& items,
   return Status::OK();
 }
 
-// The worst-case comparison cost of one round over `n_cur` survivors in
-// groups of `g` (short tail groups of at most u_n play nothing).
-int64_t RoundCost(int64_t n_cur, int64_t g, int64_t u_n) {
-  int64_t round_cost = 0;
-  for (int64_t start = 0; start < n_cur; start += g) {
-    const int64_t m = std::min(g, n_cur - start);
-    if (m > u_n) round_cost += m * (m - 1) / 2;
-  }
-  return round_cost;
-}
+// Algorithm 2 as a round generator. The source holds only algorithm state
+// (survivor set, loss counters); every per-round mechanism — group
+// dispatch, memoization, the max_comparisons budget gate, trace cells —
+// lives in the engine.
+class FilterRoundSource : public RoundSource {
+ public:
+  FilterRoundSource(const std::vector<ElementId>& items,
+                    const FilterOptions& options, bool partial_evidence)
+      : options_(options),
+        partial_evidence_(partial_evidence),
+        current_(items) {}
 
-// The parallel twin of FilterCandidates below: identical round structure
-// and selection rule, but each round's group tournaments run concurrently
-// through ParallelGroupRunner, with per-group forked RNG streams and
-// counter/cache merging at the round barrier. See FilterOptions::threads
-// for the determinism contract.
-Result<FilterResult> ParallelFilterCandidates(
-    const std::vector<ElementId>& items, const FilterOptions& options,
-    Comparator* naive) {
-  Result<std::unique_ptr<ParallelGroupRunner>> runner =
-      ParallelGroupRunner::Create(naive, options.threads);
-  if (!runner.ok()) return runner.status();
-
-  const int64_t paid_before = naive->num_comparisons();
-  const int64_t u_n = options.u_n;
-  const int64_t g = options.group_size_multiplier * u_n;
-  Rng seeder(options.parallel_seed);
-
-  FilterResult result;
-  std::vector<ElementId> current = items;
-  PairWinnerCache cache;
-  std::unordered_map<ElementId, std::unordered_set<ElementId>> losses;
-
-  while (static_cast<int64_t>(current.size()) >= 2 * u_n) {
-    const int64_t n_cur = static_cast<int64_t>(current.size());
-    if (options.max_comparisons > 0) {
-      const int64_t paid_so_far = naive->num_comparisons() - paid_before;
-      if (paid_so_far + RoundCost(n_cur, g, u_n) > options.max_comparisons) {
-        result.stopped_by_budget = true;
-        break;
-      }
-    }
-
-    result.round_sizes.push_back(n_cur);
-    ++result.rounds;
-    TraceSpanScope round_span(result.rounds);
-    const int64_t paid_before_round = naive->num_comparisons();
-    const int64_t issued_before_round = result.issued_comparisons;
+  Result<bool> NextRound(EngineRound* round) override {
+    if (done_) return false;
+    const int64_t u_n = options_.u_n;
+    const int64_t g = options_.group_size_multiplier * u_n;
+    const int64_t n_cur = static_cast<int64_t>(current_.size());
+    if (n_cur < 2 * u_n) return false;
 
     // Partition survivors into this round's groups. Only the final group
     // can be short; with at most u_n elements it advances untouched (a
-    // tournament could not eliminate anyone anyway).
-    std::vector<std::vector<ElementId>> groups;
-    std::vector<ElementId> tail;
+    // tournament could not eliminate anyone anyway, since everyone keeps
+    // at least |G| - u_n <= 0 wins).
+    groups_.clear();
+    tail_.clear();
     for (int64_t start = 0; start < n_cur; start += g) {
       const int64_t m = std::min(g, n_cur - start);
-      auto first = current.begin() + start;
+      auto first = current_.begin() + start;
       if (m <= u_n) {
-        tail.assign(first, first + m);
+        tail_.assign(first, first + m);
       } else {
-        groups.emplace_back(first, first + m);
+        groups_.emplace_back(first, first + m);
       }
     }
 
-    const std::vector<GroupOutcome> outcomes = (*runner)->RunRound(
-        groups, &seeder, options.memoize ? &cache : nullptr);
+    round->units.reserve(groups_.size());
+    for (const std::vector<ElementId>& group : groups_) {
+      RoundUnit unit;
+      unit.pairs.reserve(group.size() * (group.size() - 1) / 2);
+      for (size_t i = 0; i < group.size(); ++i) {
+        for (size_t j = i + 1; j < group.size(); ++j) {
+          unit.pairs.push_back({group[i], group[j]});
+        }
+      }
+      round->units.push_back(std::move(unit));
+    }
+    round->open_round_comparator = result_.rounds + 1;
+    round->open_round_executor = result_.rounds + 1;
+    round->close_round_comparator = true;
+    round->close_round_executor = true;
+    round->record_round_cell = true;
+    round->clear_round_cache = !options_.memoize;
+    return true;
+  }
+
+  Status ConsumeOutcome(const EngineRound& /*round*/,
+                        const RoundOutcome& outcome) override {
+    result_.round_sizes.push_back(static_cast<int64_t>(current_.size()));
+    ++result_.rounds;
+    result_.issued_comparisons += outcome.issued;
 
     // Barrier work, single-threaded and in group order: tallies, loss
-    // counters, survivor selection.
+    // counters, survivor selection. An unresolved pair is missing
+    // evidence: it eliminates neither element (both tally the win) and
+    // the engine re-issues it next round.
+    const int64_t u_n = options_.u_n;
+    int64_t unresolved_pairs = 0;
     std::vector<ElementId> next;
-    next.reserve(current.size() / 2 + 1);
-    for (size_t gi = 0; gi < groups.size(); ++gi) {
-      const std::vector<ElementId>& group = groups[gi];
-      const GroupOutcome& out = outcomes[gi];
-      result.issued_comparisons += out.issued;
-      if (options.global_loss_counter) {
-        size_t t = 0;
-        for (size_t i = 0; i < group.size(); ++i) {
-          for (size_t j = i + 1; j < group.size(); ++j, ++t) {
-            const ElementId winner = out.pair_winners[t];
-            const ElementId loser = winner == group[i] ? group[j] : group[i];
-            losses[loser].insert(winner);
+    next.reserve(current_.size() / 2 + 1);
+    for (size_t gi = 0; gi < groups_.size(); ++gi) {
+      const std::vector<ElementId>& group = groups_[gi];
+      const std::vector<ElementId>& winners = outcome.winners[gi];
+      std::vector<int64_t> wins(group.size(), 0);
+      size_t t = 0;
+      for (size_t i = 0; i < group.size(); ++i) {
+        for (size_t j = i + 1; j < group.size(); ++j, ++t) {
+          const ElementId winner = winners[t];
+          if (winner == kUnresolvedWinner) {
+            ++unresolved_pairs;
+            ++wins[i];
+            ++wins[j];
+            continue;
+          }
+          ++wins[winner == group[i] ? i : j];
+          if (options_.global_loss_counter) {
+            losses_[winner == group[i] ? group[j] : group[i]].insert(winner);
           }
         }
       }
+      // Keep elements with at least |G| - u_n wins (equivalently, fewer
+      // than u_n losses inside the group).
       const int64_t keep_threshold =
           static_cast<int64_t>(group.size()) - u_n;
       for (size_t i = 0; i < group.size(); ++i) {
-        if (out.wins[i] >= keep_threshold) next.push_back(group[i]);
+        if (wins[i] >= keep_threshold) next.push_back(group[i]);
       }
     }
-    next.insert(next.end(), tail.begin(), tail.end());
-    RecordFilterRound(naive->num_comparisons() - paid_before_round,
-                      result.issued_comparisons - issued_before_round);
+    next.insert(next.end(), tail_.begin(), tail_.end());
 
-    if (options.global_loss_counter) {
-      auto cannot_be_max = [&](ElementId e) {
-        auto it = losses.find(e);
-        return it != losses.end() &&
-               static_cast<int64_t>(it->second.size()) > u_n;
-      };
-      const size_t before = next.size();
-      next.erase(std::remove_if(next.begin(), next.end(), cannot_be_max),
-                 next.end());
-      result.evicted_by_loss_counter +=
-          static_cast<int64_t>(before - next.size());
-    }
-
-    if (next.empty()) {
-      result.hit_empty_round = true;
-      break;
-    }
-    CROWDMAX_CHECK(next.size() < current.size());
-    current = std::move(next);
-  }
-
-  result.candidates = std::move(current);
-  result.paid_comparisons = naive->num_comparisons() - paid_before;
-  return result;
-}
-
-}  // namespace
-
-Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
-                                      const FilterOptions& options,
-                                      Comparator* naive) {
-  CROWDMAX_CHECK(naive != nullptr);
-  Status status = ValidateFilterInput(items, options);
-  if (!status.ok()) return status;
-
-  // One phase span covers both execution paths, so serial and parallel
-  // runs produce identically-shaped traces.
-  TraceSpanScope phase_span("filter", TraceWorkerClass::kNaive);
-
-  if (options.threads >= 1) {
-    return ParallelFilterCandidates(items, options, naive);
-  }
-
-  // Optionally interpose the pair cache (Appendix A, optimization 1).
-  MemoizingComparator memo(naive);
-  Comparator* cmp = options.memoize ? static_cast<Comparator*>(&memo) : naive;
-  const int64_t paid_before =
-      options.memoize ? memo.num_comparisons() : naive->num_comparisons();
-
-  const int64_t u_n = options.u_n;
-  const int64_t g = options.group_size_multiplier * u_n;
-
-  FilterResult result;
-  std::vector<ElementId> current = items;
-
-  // losses[e] = distinct opponents e has lost to, across all rounds
-  // (Appendix A, optimization 2). Sets stay small: an element is evicted
-  // once its set exceeds u_n.
-  std::unordered_map<ElementId, std::unordered_set<ElementId>> losses;
-
-  while (static_cast<int64_t>(current.size()) >= 2 * u_n) {
-    // Budget check (worst case: memoization hits could make the round
-    // cheaper, but a guaranteed-affordable round is what the cap promises).
-    if (options.max_comparisons > 0) {
-      const int64_t n_cur = static_cast<int64_t>(current.size());
-      const int64_t paid_so_far =
-          (options.memoize ? memo.num_comparisons()
-                           : naive->num_comparisons()) -
-          paid_before;
-      if (paid_so_far + RoundCost(n_cur, g, u_n) > options.max_comparisons) {
-        result.stopped_by_budget = true;
-        break;
-      }
-    }
-
-    result.round_sizes.push_back(static_cast<int64_t>(current.size()));
-    ++result.rounds;
-    TraceSpanScope round_span(result.rounds);
-    const int64_t paid_before_round =
-        options.memoize ? memo.num_comparisons() : naive->num_comparisons();
-    const int64_t issued_before_round = result.issued_comparisons;
-
-    std::vector<ElementId> next;
-    next.reserve(current.size() / 2 + 1);
-
-    const int64_t n_cur = static_cast<int64_t>(current.size());
-    for (int64_t start = 0; start < n_cur; start += g) {
-      const int64_t m = std::min(g, n_cur - start);
-      // Last (short) group with at most u_n elements advances untouched:
-      // a tournament could not eliminate anyone anyway (everyone keeps at
-      // least |G| - u_n <= 0 wins).
-      if (m <= u_n) {
-        for (int64_t i = 0; i < m; ++i) next.push_back(current[start + i]);
-        continue;
-      }
-
-      // All-play-all inside the group, tracking per-pair outcomes so the
-      // cross-round loss counters can be fed.
-      std::vector<int64_t> wins(m, 0);
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = i + 1; j < m; ++j) {
-          const ElementId a = current[start + i];
-          const ElementId b = current[start + j];
-          const ElementId winner = cmp->Compare(a, b);
-          CROWDMAX_DCHECK(winner == a || winner == b);
-          ++result.issued_comparisons;
-          ++wins[winner == a ? i : j];
-          if (options.global_loss_counter) {
-            const ElementId loser = winner == a ? b : a;
-            losses[loser].insert(winner);
-          }
-        }
-      }
-
-      // Keep elements with at least |G| - u_n wins (equivalently, fewer
-      // than u_n losses inside the group).
-      const int64_t keep_threshold = m - u_n;
-      for (int64_t i = 0; i < m; ++i) {
-        if (wins[i] >= keep_threshold) next.push_back(current[start + i]);
-      }
-    }
-
-    RecordFilterRound(
-        (options.memoize ? memo.num_comparisons() : naive->num_comparisons()) -
-            paid_before_round,
-        result.issued_comparisons - issued_before_round);
-
-    if (options.global_loss_counter) {
+    if (options_.global_loss_counter) {
       // Evict elements that have lost to more than u_n distinct opponents
       // in total; by Lemma 1 they cannot be the maximum.
       auto cannot_be_max = [&](ElementId e) {
-        auto it = losses.find(e);
-        return it != losses.end() &&
+        auto it = losses_.find(e);
+        return it != losses_.end() &&
                static_cast<int64_t>(it->second.size()) > u_n;
       };
       const size_t before = next.size();
       next.erase(std::remove_if(next.begin(), next.end(), cannot_be_max),
                  next.end());
-      result.evicted_by_loss_counter +=
+      result_.evicted_by_loss_counter +=
           static_cast<int64_t>(before - next.size());
     }
 
@@ -292,21 +153,114 @@ Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
     // member reaches |G| - u_n wins). Degrade gracefully: keep the
     // pre-round survivors instead of returning an empty set.
     if (next.empty()) {
-      result.hit_empty_round = true;
-      break;
+      result_.hit_empty_round = true;
+      done_ = true;
+      return Status::OK();
     }
 
-    // Lemma 2 guarantees strict shrinkage while |L_i| >= 2*u_n; a violation
-    // would mean a broken comparator contract (winner not in {a, b}).
-    CROWDMAX_CHECK(next.size() < current.size());
-    current = std::move(next);
+    if (next.size() >= current_.size()) {
+      if (!partial_evidence_ || (unresolved_pairs == 0 && outcome.fault.ok())) {
+        // Lemma 2 guarantees strict shrinkage while |L_i| >= 2*u_n with
+        // full evidence; a violation means a broken answer contract.
+        if (!partial_evidence_) {
+          CROWDMAX_CHECK(next.size() < current_.size());
+        }
+        return Status::Internal(
+            "batched filter made no progress with full evidence; executor "
+            "answers are inconsistent");
+      }
+      // Faults withheld too much evidence to shrink the pool: stop and
+      // report the survivors so far. The conservative tally never evicts
+      // without a counted loss, so the maximum is still among them.
+      partial_ = true;
+      fault_status_ =
+          outcome.fault.ok()
+              ? Status::Unavailable(
+                    "filter round made no progress: " +
+                    std::to_string(unresolved_pairs) +
+                    " comparisons unresolved after executor recovery")
+              : outcome.fault;
+      done_ = true;
+      return Status::OK();
+    }
+    current_ = std::move(next);
+    return Status::OK();
   }
 
-  result.candidates = std::move(current);
-  result.paid_comparisons =
-      (options.memoize ? memo.num_comparisons() : naive->num_comparisons()) -
-      paid_before;
-  return result;
+  void OnBudgetStop() override { result_.stopped_by_budget = true; }
+
+  FilterEngineRun Finish(int64_t paid_delta) {
+    FilterEngineRun run;
+    result_.candidates = std::move(current_);
+    result_.paid_comparisons = paid_delta;
+    run.filter = std::move(result_);
+    run.partial = partial_;
+    run.fault_status = fault_status_;
+    return run;
+  }
+
+ private:
+  const FilterOptions options_;
+  const bool partial_evidence_;
+  std::vector<ElementId> current_;
+  std::vector<std::vector<ElementId>> groups_;
+  std::vector<ElementId> tail_;
+  // losses_[e] = distinct opponents e has lost to, across all rounds
+  // (Appendix A, optimization 2). Sets stay small: an element is evicted
+  // once its set exceeds u_n.
+  std::unordered_map<ElementId, std::unordered_set<ElementId>> losses_;
+  FilterResult result_;
+  bool partial_ = false;
+  Status fault_status_ = Status::OK();
+  bool done_ = false;
+};
+
+}  // namespace
+
+Result<FilterEngineRun> RunFilterOnEngine(const std::vector<ElementId>& items,
+                                          const FilterOptions& options,
+                                          RoundEngine* engine) {
+  CROWDMAX_CHECK(engine != nullptr);
+  if (Status status = ValidateFilterInput(items, options); !status.ok()) {
+    return status;
+  }
+
+  // One phase span covers every backend, so serial, parallel and batched
+  // runs produce identically-shaped traces.
+  TraceSpanScope phase_span("filter", TraceWorkerClass::kNaive);
+
+  FilterRoundSource source(items, options, engine->SupportsPartialEvidence());
+  DriveOptions drive_options;
+  drive_options.max_comparisons = options.max_comparisons;
+  const int64_t paid_before = engine->paid();
+  Result<DriveResult> drive = engine->Drive(&source, drive_options);
+  if (!drive.ok()) return drive.status();
+  return source.Finish(engine->paid() - paid_before);
+}
+
+Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
+                                      const FilterOptions& options,
+                                      Comparator* naive) {
+  CROWDMAX_CHECK(naive != nullptr);
+  if (Status status = ValidateFilterInput(items, options); !status.ok()) {
+    return status;
+  }
+
+  std::unique_ptr<RoundEngine> engine;
+  if (options.threads >= 1) {
+    Result<std::unique_ptr<RoundEngine>> parallel = RoundEngine::CreateParallel(
+        naive, options.threads, options.parallel_seed, options.memoize);
+    if (!parallel.ok()) return parallel.status();
+    engine = std::move(*parallel);
+  } else {
+    engine = RoundEngine::CreateSerial(naive, options.memoize);
+  }
+
+  Result<FilterEngineRun> run = RunFilterOnEngine(items, options, engine.get());
+  if (!run.ok()) return run.status();
+  // Comparator backends never leave a round without evidence.
+  CROWDMAX_CHECK(!run->partial);
+  return std::move(run->filter);
 }
 
 int64_t FilterComparisonUpperBound(int64_t n, int64_t u_n) {

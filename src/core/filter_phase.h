@@ -56,7 +56,7 @@ struct FilterOptions {
   /// the |S| <= 2*u_n - 1 size bound is not.
   int64_t max_comparisons = 0;
 
-  /// Parallel tournament engine (core/parallel_group.h). 0 (the default)
+  /// Parallel tournament execution (core/round_engine.h). 0 (the default)
   /// keeps the original serial path, answering every comparison through
   /// the caller's comparator in program order. Any value >= 1 routes each
   /// round's disjoint group tournaments through a work-stealing pool of
@@ -114,6 +114,29 @@ struct FilterResult {
 Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
                                       const FilterOptions& options,
                                       Comparator* naive);
+
+class RoundEngine;
+
+/// Outcome of driving Algorithm 2 on a caller-provided engine. On a
+/// comparator-backed engine `partial` is always false (missing evidence is
+/// impossible there); on an executor-backed engine a round that makes no
+/// progress because faults withheld evidence sets `partial` and carries the
+/// triggering fault in `fault_status`, with the conservative survivor set
+/// (no eviction without evidence) in `filter.candidates`.
+struct FilterEngineRun {
+  FilterResult filter;
+  bool partial = false;
+  Status fault_status = Status::OK();
+};
+
+/// Runs Algorithm 2 as a RoundSource on `engine` (any backend). The engine
+/// owns memoization, FilterOptions::max_comparisons enforcement at round
+/// boundaries, dispatch, and trace-cell recording; this function only emits
+/// rounds and consumes outcomes. `FilterCandidates` and
+/// `BatchedFilterCandidates` are thin wrappers over it.
+Result<FilterEngineRun> RunFilterOnEngine(const std::vector<ElementId>& items,
+                                          const FilterOptions& options,
+                                          RoundEngine* engine);
 
 /// The theoretical worst-case number of naive comparisons of Algorithm 2
 /// for input size n (Lemma 3): 4*n*u_n. Benches report this alongside

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/round_engine.h"
 #include "core/tournament.h"
 
 namespace crowdmax {
@@ -31,6 +32,426 @@ int64_t CeilSqrt(int64_t s) {
   return r;
 }
 
+// Tallies one all-play-all unit: wins per element, no win to either side of
+// an unresolved pair (missing evidence), returning the unresolved count.
+int64_t TallyAllPlayAll(const std::vector<ElementId>& group,
+                        const std::vector<ElementId>& winners,
+                        std::vector<int64_t>* wins) {
+  wins->assign(group.size(), 0);
+  int64_t unresolved = 0;
+  size_t t = 0;
+  for (size_t i = 0; i < group.size(); ++i) {
+    for (size_t j = i + 1; j < group.size(); ++j, ++t) {
+      const ElementId winner = winners[t];
+      if (winner == kUnresolvedWinner) {
+        ++unresolved;
+        continue;
+      }
+      ++(*wins)[winner == group[i] ? i : j];
+    }
+  }
+  return unresolved;
+}
+
+// Algorithm 3 as a round generator. One algorithm round spans two engine
+// rounds — the sample tournament, a barrier to pick the pivot, then the
+// elimination scan — so the trace round span opens on the sample round and
+// closes on the scan round.
+class TwoMaxFindSource : public RoundSource {
+ public:
+  TwoMaxFindSource(const std::vector<ElementId>& items, bool partial_evidence)
+      : partial_evidence_(partial_evidence), candidates_(items) {
+    const int64_t s = static_cast<int64_t>(items.size());
+    k_ = CeilSqrt(s);
+    // Without memoization an inconsistent answer stream can stall the
+    // elimination loop; bound the number of rounds (generous: with
+    // consistent answers each round removes >= (k-1)/2 elements).
+    max_rounds_ = 4 * s + 16;
+  }
+
+  Result<bool> NextRound(EngineRound* round) override {
+    if (phase_ == Phase::kSample &&
+        static_cast<int64_t>(candidates_.size()) <= k_) {
+      phase_ = Phase::kFinal;
+    }
+    switch (phase_) {
+      case Phase::kSample: {
+        if (result_.rounds >= max_rounds_) {
+          return partial_evidence_
+                     ? Status::Internal(
+                           "batched 2-MaxFind exceeded its round budget; "
+                           "executor answers are inconsistent")
+                     : Status::Internal(
+                           "2-MaxFind exceeded its round budget; comparator "
+                           "answers are inconsistent (enable memoization)");
+        }
+        // Step 3: arbitrary ceil(sqrt(s)) candidates — take the first k
+        // (the paper allows any choice; deterministic for reproducibility).
+        sample_.assign(candidates_.begin(), candidates_.begin() + k_);
+        RoundUnit unit;
+        unit.serial_span = "all_play_all";
+        unit.serial_span_size = k_;
+        unit.pairs.reserve(static_cast<size_t>(k_ * (k_ - 1) / 2));
+        for (size_t i = 0; i < sample_.size(); ++i) {
+          for (size_t j = i + 1; j < sample_.size(); ++j) {
+            unit.pairs.push_back({sample_[i], sample_[j]});
+          }
+        }
+        round->units.push_back(std::move(unit));
+        round->executor_span = "sample";
+        round->open_round_executor = result_.rounds + 1;
+        return true;
+      }
+      case Phase::kScan: {
+        // Step 4: compare the pivot against all candidates. The pivot goes
+        // first so AdversarialPolicy::kFirstLoses models the paper's worst
+        // case.
+        RoundUnit unit;
+        unit.pairs.reserve(candidates_.size());
+        for (ElementId y : candidates_) {
+          if (y != pivot_) unit.pairs.push_back({pivot_, y});
+        }
+        round->units.push_back(std::move(unit));
+        round->executor_span = "scan";
+        round->close_round_executor = true;
+        return true;
+      }
+      case Phase::kFinal: {
+        // Step 6: final tournament among the surviving candidates.
+        RoundUnit unit;
+        unit.serial_span = "all_play_all";
+        unit.serial_span_size = static_cast<int64_t>(candidates_.size());
+        for (size_t i = 0; i < candidates_.size(); ++i) {
+          for (size_t j = i + 1; j < candidates_.size(); ++j) {
+            unit.pairs.push_back({candidates_[i], candidates_[j]});
+          }
+        }
+        round->units.push_back(std::move(unit));
+        round->executor_span = "final";
+        return true;
+      }
+      case Phase::kDone:
+        return false;
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status ConsumeOutcome(const EngineRound& /*round*/,
+                        const RoundOutcome& outcome) override {
+    result_.issued_comparisons += outcome.issued;
+    switch (phase_) {
+      case Phase::kSample: {
+        ++result_.rounds;
+        std::vector<int64_t> wins;
+        sample_unresolved_ = TallyAllPlayAll(sample_, outcome.winners[0], &wins);
+        sample_fault_ = outcome.fault;
+        TournamentResult tournament;
+        tournament.wins = std::move(wins);
+        pivot_ = sample_[IndexOfMostWins(tournament)];
+        phase_ = Phase::kScan;
+        return Status::OK();
+      }
+      case Phase::kScan: {
+        // An unresolved scan comparison is missing evidence: the element
+        // survives (no elimination without a counted loss) and the pair is
+        // re-issued by a later round through the engine cache.
+        int64_t unresolved_scan = 0;
+        std::vector<ElementId> survivors;
+        survivors.reserve(candidates_.size());
+        const std::vector<ElementId>& winners = outcome.winners[0];
+        size_t t = 0;
+        for (ElementId y : candidates_) {
+          if (y == pivot_) {
+            survivors.push_back(y);
+            continue;
+          }
+          const ElementId winner = winners[t++];
+          if (winner == kUnresolvedWinner) {
+            ++unresolved_scan;
+            survivors.push_back(y);
+            continue;
+          }
+          if (winner != pivot_) survivors.push_back(y);
+        }
+        const bool progress = survivors.size() < candidates_.size();
+        candidates_ = std::move(survivors);
+
+        const bool faulty = sample_unresolved_ > 0 || unresolved_scan > 0 ||
+                            !sample_fault_.ok() || !outcome.fault.ok();
+        if (!progress && faulty) {
+          // Faults withheld the evidence this round needed; the executor's
+          // own recovery already ran, so stop and report the field as it
+          // stands.
+          partial_ = true;
+          fault_status_ =
+              !outcome.fault.ok() ? outcome.fault
+              : !sample_fault_.ok()
+                  ? sample_fault_
+                  : Status::Unavailable(
+                        "2-MaxFind round made no progress: " +
+                        std::to_string(sample_unresolved_ + unresolved_scan) +
+                        " comparisons unresolved after executor recovery");
+          survivors_ = candidates_;
+          phase_ = Phase::kDone;
+          return Status::OK();
+        }
+        phase_ = Phase::kSample;
+        return Status::OK();
+      }
+      case Phase::kFinal: {
+        std::vector<int64_t> wins;
+        const int64_t unresolved =
+            TallyAllPlayAll(candidates_, outcome.winners[0], &wins);
+        TournamentResult tournament;
+        tournament.wins = std::move(wins);
+        result_.best = candidates_[IndexOfMostWins(tournament)];
+        if (unresolved > 0 || !outcome.fault.ok()) {
+          // The final tournament ran on incomplete evidence: `best` is the
+          // provisional leader, flagged partial so callers can tell.
+          partial_ = true;
+          fault_status_ =
+              !outcome.fault.ok()
+                  ? outcome.fault
+                  : Status::Unavailable(
+                        "final tournament left " + std::to_string(unresolved) +
+                        " comparisons unresolved; best is provisional");
+          survivors_ = candidates_;
+        }
+        phase_ = Phase::kDone;
+        return Status::OK();
+      }
+      case Phase::kDone:
+        break;
+    }
+    return Status::Internal("unreachable");
+  }
+
+  MaxFindEngineRun Finish(int64_t paid_delta) {
+    MaxFindEngineRun run;
+    result_.paid_comparisons = paid_delta;
+    run.maxfind = std::move(result_);
+    run.partial = partial_;
+    run.fault_status = fault_status_;
+    run.survivors = std::move(survivors_);
+    return run;
+  }
+
+ private:
+  enum class Phase { kSample, kScan, kFinal, kDone };
+
+  const bool partial_evidence_;
+  std::vector<ElementId> candidates_;
+  int64_t k_ = 0;
+  int64_t max_rounds_ = 0;
+  Phase phase_ = Phase::kSample;
+  std::vector<ElementId> sample_;
+  ElementId pivot_ = -1;
+  int64_t sample_unresolved_ = 0;
+  Status sample_fault_ = Status::OK();
+  MaxFindResult result_;
+  bool partial_ = false;
+  Status fault_status_ = Status::OK();
+  std::vector<ElementId> survivors_;
+};
+
+// Algorithm 5 as a round generator. Each elimination round draws the
+// witness sample and shuffles the survivors (both from the source's own
+// RNG — the engine never consumes algorithm randomness), then plays one
+// all-play-all per group; a final round decides among the witness set plus
+// the remaining survivors.
+class RandomizedMaxFindSource : public RoundSource {
+ public:
+  RandomizedMaxFindSource(const std::vector<ElementId>& items,
+                          const RandomizedMaxFindOptions& options,
+                          bool partial_evidence)
+      : partial_evidence_(partial_evidence),
+        rng_(options.seed),
+        survivors_(items) {
+    const int64_t s = static_cast<int64_t>(items.size());
+    threshold_ = std::pow(static_cast<double>(s), options.sample_exponent);
+    sample_size_ = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(threshold_)));
+    group_size_ = options.group_size_override > 0 ? options.group_size_override
+                                                  : 80 * (options.c + 2);
+  }
+
+  Result<bool> NextRound(EngineRound* round) override {
+    if (done_) return false;
+    if (final_pending_ ||
+        static_cast<double>(survivors_.size()) < threshold_ ||
+        survivors_.size() <= 1) {
+      // Lines 9-10: final tournament over W plus the remaining survivors.
+      for (ElementId e : survivors_) witness_set_.insert(e);
+      finalists_.assign(witness_set_.begin(), witness_set_.end());
+      std::sort(finalists_.begin(), finalists_.end());  // Determinism.
+      RoundUnit unit;
+      unit.serial_span = "all_play_all";
+      unit.serial_span_size = static_cast<int64_t>(finalists_.size());
+      for (size_t i = 0; i < finalists_.size(); ++i) {
+        for (size_t j = i + 1; j < finalists_.size(); ++j) {
+          unit.pairs.push_back({finalists_[i], finalists_[j]});
+        }
+      }
+      round->units.push_back(std::move(unit));
+      round->executor_span = "final";
+      in_final_ = true;
+      return true;
+    }
+
+    // Line 3: sample |S|^0.3 random survivors into the witness set W.
+    const size_t n = survivors_.size();
+    const size_t draw = std::min<size_t>(static_cast<size_t>(sample_size_), n);
+    for (size_t idx : rng_.SampleWithoutReplacement(n, draw)) {
+      witness_set_.insert(survivors_[idx]);
+    }
+
+    // Line 4: random partition into groups of 80*(c+2). Only the last
+    // chunk can be a singleton; it has no minimal element to eliminate and
+    // advances untouched.
+    rng_.Shuffle(&survivors_);
+    groups_.clear();
+    passthrough_.clear();
+    for (size_t start = 0; start < survivors_.size();
+         start += static_cast<size_t>(group_size_)) {
+      const size_t end = std::min(survivors_.size(),
+                                  start + static_cast<size_t>(group_size_));
+      if (end - start < 2) {
+        passthrough_.assign(survivors_.begin() + start, survivors_.begin() + end);
+      } else {
+        groups_.emplace_back(survivors_.begin() + start,
+                             survivors_.begin() + end);
+      }
+    }
+    round->units.reserve(groups_.size());
+    for (const std::vector<ElementId>& group : groups_) {
+      RoundUnit unit;
+      unit.serial_span = "all_play_all";
+      unit.serial_span_size = static_cast<int64_t>(group.size());
+      unit.pairs.reserve(group.size() * (group.size() - 1) / 2);
+      for (size_t i = 0; i < group.size(); ++i) {
+        for (size_t j = i + 1; j < group.size(); ++j) {
+          unit.pairs.push_back({group[i], group[j]});
+        }
+      }
+      round->units.push_back(std::move(unit));
+    }
+    return true;
+  }
+
+  Status ConsumeOutcome(const EngineRound& /*round*/,
+                        const RoundOutcome& outcome) override {
+    result_.issued_comparisons += outcome.issued;
+    if (in_final_) {
+      std::vector<int64_t> wins;
+      const int64_t unresolved =
+          TallyAllPlayAll(finalists_, outcome.winners[0], &wins);
+      TournamentResult tournament;
+      tournament.wins = std::move(wins);
+      result_.best = finalists_[IndexOfMostWins(tournament)];
+      if (unresolved > 0 || !outcome.fault.ok()) {
+        partial_ = true;
+        if (fault_status_.ok()) {
+          fault_status_ =
+              !outcome.fault.ok()
+                  ? outcome.fault
+                  : Status::Unavailable(
+                        "final tournament left " + std::to_string(unresolved) +
+                        " comparisons unresolved; best is provisional");
+        }
+        run_survivors_ = finalists_;
+      }
+      done_ = true;
+      return Status::OK();
+    }
+
+    // Lines 5-6: in each group, eliminate the element with the fewest
+    // wins — unless evidence is missing for the group, in which case it
+    // eliminates nobody (no eviction without evidence).
+    ++result_.rounds;
+    int64_t unresolved_pairs = 0;
+    std::vector<ElementId> next;
+    next.reserve(survivors_.size());
+    for (size_t gi = 0; gi < groups_.size(); ++gi) {
+      const std::vector<ElementId>& group = groups_[gi];
+      std::vector<int64_t> wins;
+      const int64_t unresolved =
+          TallyAllPlayAll(group, outcome.winners[gi], &wins);
+      unresolved_pairs += unresolved;
+      if (unresolved > 0) {
+        next.insert(next.end(), group.begin(), group.end());
+        continue;
+      }
+      TournamentResult tournament;
+      tournament.wins = std::move(wins);
+      const size_t minimal = IndexOfFewestWins(tournament);
+      for (size_t i = 0; i < group.size(); ++i) {
+        if (i != minimal) next.push_back(group[i]);
+      }
+    }
+    next.insert(next.end(), passthrough_.begin(), passthrough_.end());
+
+    if (next.size() >= survivors_.size()) {
+      // With full evidence every group of >= 2 eliminates exactly one
+      // element, so a stalled round means faults withheld evidence: skip
+      // straight to the final tournament (the witness set is intact, so
+      // the guarantee degrades gracefully rather than looping forever).
+      CROWDMAX_CHECK(partial_evidence_);
+      CROWDMAX_CHECK(unresolved_pairs > 0 || !outcome.fault.ok());
+      partial_ = true;
+      fault_status_ =
+          !outcome.fault.ok()
+              ? outcome.fault
+              : Status::Unavailable(
+                    "randomized elimination round made no progress: " +
+                    std::to_string(unresolved_pairs) +
+                    " comparisons unresolved after executor recovery");
+      final_pending_ = true;
+    }
+    survivors_ = std::move(next);
+    return Status::OK();
+  }
+
+  MaxFindEngineRun Finish(int64_t paid_delta) {
+    MaxFindEngineRun run;
+    result_.paid_comparisons = paid_delta;
+    run.maxfind = std::move(result_);
+    run.partial = partial_;
+    run.fault_status = fault_status_;
+    run.survivors = std::move(run_survivors_);
+    return run;
+  }
+
+ private:
+  const bool partial_evidence_;
+  Rng rng_;
+  std::vector<ElementId> survivors_;
+  double threshold_ = 0.0;
+  int64_t sample_size_ = 0;
+  int64_t group_size_ = 0;
+  std::unordered_set<ElementId> witness_set_;
+  std::vector<std::vector<ElementId>> groups_;
+  std::vector<ElementId> passthrough_;
+  std::vector<ElementId> finalists_;
+  bool in_final_ = false;
+  bool final_pending_ = false;
+  bool done_ = false;
+  MaxFindResult result_;
+  bool partial_ = false;
+  Status fault_status_ = Status::OK();
+  std::vector<ElementId> run_survivors_;
+};
+
+Status ValidateRandomizedOptions(const RandomizedMaxFindOptions& options) {
+  if (options.c < 0) return Status::InvalidArgument("c must be >= 0");
+  if (options.sample_exponent <= 0.0 || options.sample_exponent >= 1.0) {
+    return Status::InvalidArgument("sample_exponent must be in (0, 1)");
+  }
+  if (options.group_size_override < 0) {
+    return Status::InvalidArgument("group_size_override must be >= 0");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<MaxFindResult> AllPlayAllMax(const std::vector<ElementId>& items,
@@ -50,68 +471,30 @@ Result<MaxFindResult> AllPlayAllMax(const std::vector<ElementId>& items,
   return result;
 }
 
+Result<MaxFindEngineRun> RunTwoMaxFindOnEngine(
+    const std::vector<ElementId>& items, RoundEngine* engine) {
+  CROWDMAX_CHECK(engine != nullptr);
+  Status status = ValidateItems(items);
+  if (!status.ok()) return status;
+
+  TwoMaxFindSource source(items, engine->SupportsPartialEvidence());
+  const int64_t paid_before = engine->paid();
+  Result<DriveResult> drive = engine->Drive(&source);
+  if (!drive.ok()) return drive.status();
+  return source.Finish(engine->paid() - paid_before);
+}
+
 Result<MaxFindResult> TwoMaxFind(const std::vector<ElementId>& items,
                                  Comparator* comparator,
                                  const TwoMaxFindOptions& options) {
   CROWDMAX_CHECK(comparator != nullptr);
-  Status status = ValidateItems(items);
-  if (!status.ok()) return status;
-
-  MemoizingComparator memo(comparator);
-  Comparator* cmp =
-      options.memoize ? static_cast<Comparator*>(&memo) : comparator;
-  const int64_t paid_before = cmp->num_comparisons();
-
-  const int64_t s = static_cast<int64_t>(items.size());
-  const int64_t k = CeilSqrt(s);
-
-  MaxFindResult result;
-  std::vector<ElementId> candidates = items;
-
-  // Without memoization an inconsistent comparator can stall the
-  // elimination loop; bound the number of rounds (generous: with
-  // consistent answers each round removes >= (k-1)/2 elements).
-  const int64_t max_rounds = 4 * s + 16;
-
-  while (static_cast<int64_t>(candidates.size()) > k) {
-    if (result.rounds >= max_rounds) {
-      return Status::Internal(
-          "2-MaxFind exceeded its round budget; comparator answers are "
-          "inconsistent (enable memoization)");
-    }
-    ++result.rounds;
-
-    // Step 3: arbitrary ceil(sqrt(s)) candidates — take the first k (the
-    // paper allows any choice; deterministic for reproducibility).
-    std::vector<ElementId> sample(candidates.begin(), candidates.begin() + k);
-    const TournamentResult tournament = AllPlayAll(sample, cmp);
-    result.issued_comparisons += tournament.comparisons;
-    const ElementId x = sample[IndexOfMostWins(tournament)];
-
-    // Step 4: compare x against all candidates; drop those that lose. The
-    // pivot goes first so AdversarialPolicy::kFirstLoses models the paper's
-    // worst case.
-    std::vector<ElementId> survivors;
-    survivors.reserve(candidates.size());
-    for (ElementId y : candidates) {
-      if (y == x) {
-        survivors.push_back(y);
-        continue;
-      }
-      const ElementId winner = cmp->Compare(x, y);
-      CROWDMAX_DCHECK(winner == x || winner == y);
-      ++result.issued_comparisons;
-      if (winner != x) survivors.push_back(y);
-    }
-    candidates = std::move(survivors);
-  }
-
-  // Step 6: final tournament among the at most ceil(sqrt(s)) survivors.
-  const TournamentResult final_round = AllPlayAll(candidates, cmp);
-  result.issued_comparisons += final_round.comparisons;
-  result.best = candidates[IndexOfMostWins(final_round)];
-  result.paid_comparisons = cmp->num_comparisons() - paid_before;
-  return result;
+  const std::unique_ptr<RoundEngine> engine =
+      RoundEngine::CreateSerial(comparator, options.memoize);
+  Result<MaxFindEngineRun> run = RunTwoMaxFindOnEngine(items, engine.get());
+  if (!run.ok()) return run.status();
+  // Comparator backends never leave a round without evidence.
+  CROWDMAX_CHECK(!run->partial);
+  return std::move(run->maxfind);
 }
 
 int64_t TwoMaxFindComparisonUpperBound(int64_t s) {
@@ -119,82 +502,36 @@ int64_t TwoMaxFindComparisonUpperBound(int64_t s) {
       std::ceil(2.0 * std::pow(static_cast<double>(s), 1.5)));
 }
 
+Result<MaxFindEngineRun> RunRandomizedMaxFindOnEngine(
+    const std::vector<ElementId>& items, RoundEngine* engine,
+    const RandomizedMaxFindOptions& options) {
+  CROWDMAX_CHECK(engine != nullptr);
+  Status status = ValidateItems(items);
+  if (!status.ok()) return status;
+  if (Status opt_status = ValidateRandomizedOptions(options);
+      !opt_status.ok()) {
+    return opt_status;
+  }
+
+  RandomizedMaxFindSource source(items, options,
+                                 engine->SupportsPartialEvidence());
+  const int64_t paid_before = engine->paid();
+  Result<DriveResult> drive = engine->Drive(&source);
+  if (!drive.ok()) return drive.status();
+  return source.Finish(engine->paid() - paid_before);
+}
+
 Result<MaxFindResult> RandomizedMaxFind(
     const std::vector<ElementId>& items, Comparator* comparator,
     const RandomizedMaxFindOptions& options) {
   CROWDMAX_CHECK(comparator != nullptr);
-  Status status = ValidateItems(items);
-  if (!status.ok()) return status;
-  if (options.c < 0) return Status::InvalidArgument("c must be >= 0");
-  if (options.sample_exponent <= 0.0 || options.sample_exponent >= 1.0) {
-    return Status::InvalidArgument("sample_exponent must be in (0, 1)");
-  }
-  if (options.group_size_override < 0) {
-    return Status::InvalidArgument("group_size_override must be >= 0");
-  }
-
-  Rng rng(options.seed);
-  const int64_t paid_before = comparator->num_comparisons();
-  const int64_t s = static_cast<int64_t>(items.size());
-  const double threshold =
-      std::pow(static_cast<double>(s), options.sample_exponent);
-  const int64_t sample_size =
-      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(threshold)));
-  const int64_t group_size = options.group_size_override > 0
-                                 ? options.group_size_override
-                                 : 80 * (options.c + 2);
-
-  MaxFindResult result;
-  std::vector<ElementId> survivors = items;
-  std::unordered_set<ElementId> witness_set;
-
-  while (static_cast<double>(survivors.size()) >= threshold &&
-         survivors.size() > 1) {
-    ++result.rounds;
-
-    // Line 3: sample |S|^0.3 random survivors into the witness set W.
-    const size_t n = survivors.size();
-    const size_t draw = std::min<size_t>(static_cast<size_t>(sample_size), n);
-    for (size_t idx : rng.SampleWithoutReplacement(n, draw)) {
-      witness_set.insert(survivors[idx]);
-    }
-
-    // Line 4: random partition into groups of 80*(c+2).
-    rng.Shuffle(&survivors);
-
-    // Lines 5-6: in each group, eliminate the element with the fewest wins.
-    std::vector<ElementId> next;
-    next.reserve(survivors.size());
-    for (size_t start = 0; start < survivors.size();
-         start += static_cast<size_t>(group_size)) {
-      const size_t end = std::min(survivors.size(),
-                                  start + static_cast<size_t>(group_size));
-      std::vector<ElementId> group(survivors.begin() + start,
-                                   survivors.begin() + end);
-      if (group.size() < 2) {
-        // A singleton group has no minimal element to eliminate.
-        next.insert(next.end(), group.begin(), group.end());
-        continue;
-      }
-      const TournamentResult tournament = AllPlayAll(group, comparator);
-      result.issued_comparisons += tournament.comparisons;
-      const size_t minimal = IndexOfFewestWins(tournament);
-      for (size_t i = 0; i < group.size(); ++i) {
-        if (i != minimal) next.push_back(group[i]);
-      }
-    }
-    survivors = std::move(next);
-  }
-
-  // Lines 9-10: final tournament over W plus the remaining survivors.
-  for (ElementId e : survivors) witness_set.insert(e);
-  std::vector<ElementId> finalists(witness_set.begin(), witness_set.end());
-  std::sort(finalists.begin(), finalists.end());  // Determinism.
-  const TournamentResult final_round = AllPlayAll(finalists, comparator);
-  result.issued_comparisons += final_round.comparisons;
-  result.best = finalists[IndexOfMostWins(final_round)];
-  result.paid_comparisons = comparator->num_comparisons() - paid_before;
-  return result;
+  const std::unique_ptr<RoundEngine> engine =
+      RoundEngine::CreateSerial(comparator, /*memoize=*/false);
+  Result<MaxFindEngineRun> run =
+      RunRandomizedMaxFindOnEngine(items, engine.get(), options);
+  if (!run.ok()) return run.status();
+  CROWDMAX_CHECK(!run->partial);
+  return std::move(run->maxfind);
 }
 
 }  // namespace crowdmax

@@ -91,6 +91,36 @@ Result<MaxFindResult> RandomizedMaxFind(
     const std::vector<ElementId>& items, Comparator* comparator,
     const RandomizedMaxFindOptions& options = {});
 
+class RoundEngine;
+
+/// Outcome of a phase-2 solver driven on a caller-provided engine. On
+/// comparator backends `partial` is always false. On an executor backend,
+/// missing evidence (faults the executor's own recovery could not repair)
+/// can leave the run partial: an elimination loop that stalls without
+/// evidence stops with `maxfind.best == -1` and the surviving candidate set
+/// in `survivors`; a final tournament on incomplete evidence reports the
+/// provisional leader in `maxfind.best` and also fills `survivors`.
+struct MaxFindEngineRun {
+  MaxFindResult maxfind;
+  bool partial = false;
+  Status fault_status = Status::OK();
+  std::vector<ElementId> survivors;
+};
+
+/// Algorithm 3 (2-MaxFind) as a RoundSource on `engine` (any backend). The
+/// engine owns memoization and dispatch; `TwoMaxFind` and
+/// `BatchedTwoMaxFind` are thin wrappers over this.
+Result<MaxFindEngineRun> RunTwoMaxFindOnEngine(
+    const std::vector<ElementId>& items, RoundEngine* engine);
+
+/// Algorithm 5 as a RoundSource on `engine` (any backend). A group with an
+/// unresolved pair eliminates nobody (no eviction without evidence); a
+/// stalled elimination loop proceeds straight to the final tournament over
+/// the witness set plus all remaining survivors.
+Result<MaxFindEngineRun> RunRandomizedMaxFindOnEngine(
+    const std::vector<ElementId>& items, RoundEngine* engine,
+    const RandomizedMaxFindOptions& options = {});
+
 }  // namespace crowdmax
 
 #endif  // CROWDMAX_CORE_MAXFIND_H_

@@ -1,0 +1,385 @@
+#include "core/round_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/metrics.h"
+#include "core/batched.h"
+#include "core/trace.h"
+
+namespace crowdmax {
+
+namespace {
+
+// The serial-path tournament instrumentation AllPlayAll used to own: a
+// size observation per spanned unit. Recorded only where the pre-engine
+// serial code ran a spanned all-play-all, never per comparison.
+void ObserveTournamentSize(int64_t size) {
+  if (!MetricsEnabled()) return;
+  static Histogram* sizes = MetricsRegistry::Default()->GetHistogram(
+      "crowdmax.tournament.group_size", ExponentialBounds(12));
+  sizes->Observe(size);
+}
+
+}  // namespace
+
+uint64_t RoundPairKey(ElementId a, ElementId b) {
+  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
+  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+int64_t EngineRound::TotalPairs() const {
+  int64_t total = 0;
+  for (const RoundUnit& unit : units) {
+    total += static_cast<int64_t>(unit.pairs.size());
+  }
+  return total;
+}
+
+RoundEngine::RoundEngine(Backend backend, Comparator* comparator,
+                         BatchExecutor* executor, bool memoize,
+                         int64_t threads, uint64_t seed)
+    : backend_(backend),
+      comparator_(comparator),
+      executor_(executor),
+      memoize_(memoize),
+      seeder_(seed),
+      threads_(threads) {
+  if (backend_ == Backend::kParallel) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+  }
+  if (comparator_ != nullptr) paid_base_ = comparator_->num_comparisons();
+  if (executor_ != nullptr) {
+    paid_base_ = executor_->comparisons();
+    steps_base_ = executor_->logical_steps();
+  }
+}
+
+std::unique_ptr<RoundEngine> RoundEngine::CreateSerial(Comparator* comparator,
+                                                       bool memoize) {
+  CROWDMAX_CHECK(comparator != nullptr);
+  return std::unique_ptr<RoundEngine>(new RoundEngine(
+      Backend::kSerial, comparator, nullptr, memoize, 0, 0));
+}
+
+Result<std::unique_ptr<RoundEngine>> RoundEngine::CreateParallel(
+    Comparator* comparator, int64_t threads, uint64_t seed, bool memoize) {
+  CROWDMAX_CHECK(comparator != nullptr);
+  if (threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  // Probe forkability once, up front, so every later failure mode is a
+  // clean Status instead of a surprise deep inside a round.
+  if (comparator->Fork(0) == nullptr) {
+    return Status::InvalidArgument(
+        "comparator does not support Fork(); the parallel engine requires "
+        "a forkable comparator (see comparator.h thread-safety contract)");
+  }
+  return std::unique_ptr<RoundEngine>(new RoundEngine(
+      Backend::kParallel, comparator, nullptr, memoize, threads, seed));
+}
+
+Result<std::unique_ptr<RoundEngine>> RoundEngine::CreateBatched(
+    BatchExecutor* executor) {
+  CROWDMAX_CHECK(executor != nullptr);
+  return std::unique_ptr<RoundEngine>(new RoundEngine(
+      Backend::kExecutor, nullptr, executor, /*memoize=*/true, 0, 0));
+}
+
+int64_t RoundEngine::paid() const {
+  if (executor_ != nullptr) return executor_->comparisons() - paid_base_;
+  return comparator_->num_comparisons() - paid_base_;
+}
+
+int64_t RoundEngine::logical_steps() const {
+  if (executor_ == nullptr) return 0;
+  return executor_->logical_steps() - steps_base_;
+}
+
+Result<RoundOutcome> RoundEngine::ExecuteRound(const EngineRound& round) {
+  switch (backend_) {
+    case Backend::kSerial:
+      return ExecuteSerial(round);
+    case Backend::kParallel:
+      return ExecuteParallel(round);
+    case Backend::kExecutor:
+      return ExecuteBatched(round);
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<RoundOutcome> RoundEngine::ExecuteSerial(const EngineRound& round) {
+  RoundOutcome out;
+  out.winners.resize(round.units.size());
+  const int64_t paid_before = comparator_->num_comparisons();
+  AlgoTrace* trace = CurrentTrace();
+
+  for (size_t u = 0; u < round.units.size(); ++u) {
+    const RoundUnit& unit = round.units[u];
+    int64_t span_id = -1;
+    if (unit.serial_span != nullptr) {
+      if (trace != nullptr) {
+        span_id = trace->BeginSpan(TraceSpanKind::kBatch, unit.serial_span);
+      }
+      if (unit.serial_span_size >= 0) {
+        ObserveTournamentSize(unit.serial_span_size);
+      }
+    }
+    std::vector<ElementId>& winners = out.winners[u];
+    winners.reserve(unit.pairs.size());
+    for (const ComparisonPair& pair : unit.pairs) {
+      ElementId winner;
+      if (memoize_) {
+        const uint64_t key = RoundPairKey(pair.first, pair.second);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+          winner = it->second;
+          ++cache_hits_;
+        } else {
+          winner = comparator_->Compare(pair.first, pair.second);
+          cache_.emplace(key, winner);
+        }
+      } else {
+        winner = comparator_->Compare(pair.first, pair.second);
+      }
+      CROWDMAX_DCHECK(winner == pair.first || winner == pair.second);
+      winners.push_back(winner);
+      ++out.issued;
+    }
+    if (span_id >= 0) trace->EndSpan(span_id);
+  }
+
+  out.paid_delta = comparator_->num_comparisons() - paid_before;
+  issued_ += out.issued;
+  return out;
+}
+
+Result<RoundOutcome> RoundEngine::ExecuteParallel(const EngineRound& round) {
+  const int64_t num_units = static_cast<int64_t>(round.units.size());
+  RoundOutcome out;
+  out.winners.resize(round.units.size());
+  if (num_units == 0) return out;
+
+  // Seeds are drawn before dispatch, in unit order — the whole point: the
+  // answers depend only on (unit contents, seed), never on the schedule.
+  std::vector<uint64_t> seeds(round.units.size());
+  for (int64_t u = 0; u < num_units; ++u) {
+    seeds[static_cast<size_t>(u)] = seeder_.Fork();
+  }
+
+  // During the round the cache is read-only shared state; each task
+  // writes only to its own pre-sized winners slot.
+  std::vector<int64_t> unit_paid(round.units.size(), 0);
+  pool_->ParallelFor(num_units, [&](int64_t u) {
+    const RoundUnit& unit = round.units[static_cast<size_t>(u)];
+    std::vector<ElementId>& winners = out.winners[static_cast<size_t>(u)];
+    winners.reserve(unit.pairs.size());
+
+    const std::unique_ptr<Comparator> fork =
+        comparator_->Fork(seeds[static_cast<size_t>(u)]);
+    CROWDMAX_CHECK(fork != nullptr);
+
+    for (const ComparisonPair& pair : unit.pairs) {
+      ElementId winner;
+      if (memoize_) {
+        auto it = cache_.find(RoundPairKey(pair.first, pair.second));
+        if (it != cache_.end()) {
+          winner = it->second;
+        } else {
+          winner = fork->Compare(pair.first, pair.second);
+        }
+      } else {
+        winner = fork->Compare(pair.first, pair.second);
+      }
+      CROWDMAX_DCHECK(winner == pair.first || winner == pair.second);
+      winners.push_back(winner);
+    }
+    unit_paid[static_cast<size_t>(u)] = fork->num_comparisons();
+  });
+
+  // Round barrier: merge the counter shards into the parent and the fresh
+  // pair outcomes into the cache, in unit order.
+  int64_t total_paid = 0;
+  for (int64_t paid : unit_paid) total_paid += paid;
+  comparator_->AddComparisons(total_paid);
+
+  for (size_t u = 0; u < round.units.size(); ++u) {
+    const RoundUnit& unit = round.units[u];
+    out.issued += static_cast<int64_t>(unit.pairs.size());
+    if (memoize_) {
+      for (size_t p = 0; p < unit.pairs.size(); ++p) {
+        cache_.emplace(RoundPairKey(unit.pairs[p].first, unit.pairs[p].second),
+                       out.winners[u][p]);
+      }
+    }
+  }
+
+  out.paid_delta = total_paid;
+  issued_ += out.issued;
+  cache_hits_ += out.issued - out.paid_delta;
+  return out;
+}
+
+Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
+  if (round.clear_round_cache) cache_.clear();
+
+  RoundOutcome out;
+  out.winners.resize(round.units.size());
+  std::vector<ComparisonPair> queries;
+  queries.reserve(static_cast<size_t>(round.TotalPairs()));
+  for (const RoundUnit& unit : round.units) {
+    queries.insert(queries.end(), unit.pairs.begin(), unit.pairs.end());
+  }
+  out.issued = static_cast<int64_t>(queries.size());
+  issued_ += out.issued;
+  const int64_t paid_before = executor_->comparisons();
+
+  AlgoTrace* trace = CurrentTrace();
+  int64_t span_id = -1;
+  if (round.executor_span != nullptr && trace != nullptr) {
+    span_id = trace->BeginSpan(TraceSpanKind::kBatch, round.executor_span);
+  }
+
+  // Resolve through the cache, batching only the misses (including pairs
+  // left unresolved by an earlier faulty attempt). A duplicate query
+  // within one round is sent once: the first occurrence reserves its slot
+  // with -1, overwritten with the real winner (or parked kUnresolvedWinner)
+  // below.
+  std::vector<ComparisonPair> misses;
+  misses.reserve(queries.size());
+  for (const ComparisonPair& q : queries) {
+    auto it = cache_.find(RoundPairKey(q.first, q.second));
+    if (it == cache_.end() || it->second == kUnresolvedWinner) {
+      misses.push_back(q);
+      cache_[RoundPairKey(q.first, q.second)] = -1;
+    }
+  }
+  if (const int64_t hits =
+          static_cast<int64_t>(queries.size() - misses.size());
+      hits > 0) {
+    cache_hits_ += hits;
+    if (trace != nullptr) trace->RecordCacheHits(hits);
+  }
+  Result<std::vector<BatchTaskResult>> results =
+      executor_->TryExecuteBatch(misses);
+  if (!results.ok()) {
+    for (const ComparisonPair& m : misses) {
+      cache_[RoundPairKey(m.first, m.second)] = kUnresolvedWinner;
+    }
+    if (span_id >= 0) trace->EndSpan(span_id);
+    if (results.status().code() != StatusCode::kUnavailable) {
+      // Non-transient executor failure: abort the drive.
+      return results.status();
+    }
+    out.fault = results.status();
+  } else {
+    CROWDMAX_CHECK(results->size() == misses.size());
+    for (size_t i = 0; i < misses.size(); ++i) {
+      const BatchTaskResult& result = (*results)[i];
+      const uint64_t key = RoundPairKey(misses[i].first, misses[i].second);
+      if (!result.answered) {
+        cache_[key] = kUnresolvedWinner;
+        continue;
+      }
+      CROWDMAX_DCHECK(result.winner == misses[i].first ||
+                      result.winner == misses[i].second);
+      cache_[key] = result.winner;
+    }
+    if (span_id >= 0) trace->EndSpan(span_id);
+  }
+
+  // Map the per-pair outcomes back onto the round's units. Every query
+  // was either cached, answered, or parked as unresolved above.
+  for (size_t u = 0; u < round.units.size(); ++u) {
+    const RoundUnit& unit = round.units[u];
+    std::vector<ElementId>& winners = out.winners[u];
+    winners.reserve(unit.pairs.size());
+    for (const ComparisonPair& pair : unit.pairs) {
+      auto it = cache_.find(RoundPairKey(pair.first, pair.second));
+      CROWDMAX_CHECK(it != cache_.end() && it->second != -1);
+      if (it->second == kUnresolvedWinner) ++out.unresolved;
+      winners.push_back(it->second);
+    }
+  }
+
+  out.paid_delta = executor_->comparisons() - paid_before;
+  return out;
+}
+
+Result<DriveResult> RoundEngine::Drive(RoundSource* source,
+                                       const DriveOptions& options) {
+  CROWDMAX_CHECK(source != nullptr);
+  DriveResult drive;
+  const int64_t paid_start = paid();
+  int64_t open_round_id = -1;
+  AlgoTrace* trace = CurrentTrace();
+  const auto close_round_span = [&] {
+    if (open_round_id >= 0) {
+      trace->EndSpan(open_round_id);
+      open_round_id = -1;
+    }
+  };
+
+  while (true) {
+    EngineRound round;
+    Result<bool> more = source->NextRound(&round);
+    if (!more.ok()) {
+      close_round_span();
+      return more.status();
+    }
+    if (!*more) break;
+
+    // Budget gate, at the round boundary: a round whose worst case would
+    // exceed the cap never starts (memoization hits could make it cheaper,
+    // but a guaranteed-affordable round is what the cap promises).
+    if (options.max_comparisons > 0 &&
+        (paid() - paid_start) + round.TotalPairs() > options.max_comparisons) {
+      drive.stopped_by_budget = true;
+      source->OnBudgetStop();
+      break;
+    }
+
+    const int64_t open_round = backend_ == Backend::kExecutor
+                                   ? round.open_round_executor
+                                   : round.open_round_comparator;
+    const bool close_round = backend_ == Backend::kExecutor
+                                 ? round.close_round_executor
+                                 : round.close_round_comparator;
+    if (open_round > 0 && trace != nullptr) {
+      CROWDMAX_CHECK(open_round_id < 0);
+      open_round_id = trace->BeginRound(open_round);
+    }
+
+    Result<RoundOutcome> outcome = ExecuteRound(round);
+    if (!outcome.ok()) {
+      close_round_span();
+      return outcome.status();
+    }
+
+    // Comparator-backend cell recording at the round barrier: every paid
+    // comparison came back answered (faults live in the executor stack)
+    // and the issued-minus-paid remainder was served by the memo cache.
+    if (backend_ != Backend::kExecutor && round.record_round_cell &&
+        trace != nullptr) {
+      trace->RecordDispatched(outcome->paid_delta);
+      trace->RecordOutcomes(outcome->paid_delta, 0, 0);
+      if (outcome->issued > outcome->paid_delta) {
+        trace->RecordCacheHits(outcome->issued - outcome->paid_delta);
+      }
+    }
+
+    Status consumed = source->ConsumeOutcome(round, *outcome);
+    if (close_round) close_round_span();
+    if (!consumed.ok()) {
+      close_round_span();
+      return consumed;
+    }
+    ++drive.rounds_executed;
+  }
+
+  close_round_span();
+  return drive;
+}
+
+}  // namespace crowdmax

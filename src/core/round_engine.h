@@ -1,0 +1,268 @@
+// The round-based execution core: one engine for every comparison loop.
+//
+// The paper defines every algorithm in terms of logical steps — "in the
+// s-th logical step, a batch B_s of pairwise comparisons is sent to the
+// platform" (Section 3, Venetis et al.'s step-count time measure). The
+// round structure is the algorithm-independent part: an algorithm only
+// decides *which* independent comparisons the next step needs (a
+// RoundSource), while the engine owns everything the serial, parallel and
+// batched paths used to duplicate — pair memoization, budget enforcement
+// at round boundaries, Comparator::Fork seeding discipline, BatchExecutor
+// decoration with kUnresolved/no-evidence semantics, and exactly-once
+// trace-cell attribution under the RecordsTraceCells gate.
+//
+// Backends (see RoundEngine::Backend):
+//  - kSerial: pairs run through the caller's Comparator in emission order;
+//    optional engine-owned pair cache reproduces MemoizingComparator
+//    byte-for-byte (same unordered PairKey, paid = misses only).
+//  - kParallel: one Comparator::Fork per RoundUnit, seeds drawn in unit
+//    order from one persistent Rng *before* dispatch, per-fork counts
+//    merged into the parent at the single-threaded round barrier, and the
+//    memo cache treated as a read-only snapshot during the round with
+//    fresh outcomes merged in unit order at the barrier. This is the PR 1
+//    discipline previously implemented by ParallelGroupRunner and the
+//    per-match forks in the Venetis ladder; seeded runs are bit-identical
+//    for any thread count.
+//  - kExecutor: the whole round's cache misses go to a BatchExecutor as
+//    one fallible batch. Faulted pairs are parked as kUnresolvedWinner in
+//    the cache (re-issued on the next resolve) and surface to the source
+//    as no-evidence outcomes, so partial-result semantics (no eviction
+//    without evidence) stay with the algorithm while retry/quorum live in
+//    the executor stack.
+//
+// Trace shape stays backend-specific on purpose (the pre-engine paths
+// differed, and seeded traces must stay bit-identical): RoundUnit carries
+// the serial-path batch-span label ("all_play_all" where the old code
+// called AllPlayAll), EngineRound carries the executor-path batch-span
+// label ("sample"/"scan"/"final"), and the round-span open/close points
+// are declared per backend family. Worker threads never touch the trace.
+
+#ifndef CROWDMAX_CORE_ROUND_ENGINE_H_
+#define CROWDMAX_CORE_ROUND_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/comparator.h"
+
+namespace crowdmax {
+
+class BatchExecutor;
+
+/// One comparison task: ask a worker which of the two elements is larger.
+/// The argument order is preserved all the way to the worker (adversarial
+/// policies like kFirstLoses depend on it).
+using ComparisonPair = std::pair<ElementId, ElementId>;
+
+/// Winner sentinel for a pair with no evidence this round: the executor
+/// stack (after its own recovery) could not answer it. Comparator-backed
+/// rounds never produce it. Matches the batched paths' historical
+/// kUnresolved cache sentinel.
+inline constexpr ElementId kUnresolvedWinner = -2;
+
+/// One independently-executable set of comparisons within a round. On the
+/// parallel backend a unit is the forking granularity (one comparator fork
+/// per unit — a filter group, a Marcus group, a Venetis match); pairs
+/// within a unit run sequentially on the fork, so a unit may repeat a pair
+/// (Venetis votes).
+struct RoundUnit {
+  std::vector<ComparisonPair> pairs;
+  /// Serial backend only: open a kBatch trace span with this label around
+  /// the unit (the shape AllPlayAll used to produce). nullptr = no span.
+  const char* serial_span = nullptr;
+  /// Serial backend only, with serial_span: observe this value in the
+  /// crowdmax.tournament.group_size histogram (-1 = no observation).
+  int64_t serial_span_size = -1;
+};
+
+/// One engine round: the next set of independent comparisons, plus the
+/// trace-shape declarations for each backend family. An algorithm round
+/// may span several engine rounds when it has internal barriers (2-MaxFind
+/// picks its pivot between the sample tournament and the scan).
+struct EngineRound {
+  std::vector<RoundUnit> units;
+
+  /// Executor backend only: open a kBatch span with this label around the
+  /// round's resolve (the "sample"/"scan"/"final" labels of the batched
+  /// 2-MaxFind). nullptr = no span.
+  const char* executor_span = nullptr;
+
+  /// Round-span control, per backend family. >0 opens a round span with
+  /// that number before execution; the matching close flag ends it after
+  /// the source consumed the outcome (so barrier tallies land inside the
+  /// span). A span may stay open across engine rounds (open on the sample
+  /// round, close on the scan round).
+  int64_t open_round_comparator = 0;
+  int64_t open_round_executor = 0;
+  bool close_round_comparator = false;
+  bool close_round_executor = false;
+
+  /// Comparator backends only: record this round's (paid, issued) deltas
+  /// as one trace cell at the barrier — dispatched = answered = paid,
+  /// cache_hits = issued - paid. On the executor backend cells are
+  /// recorded by the executor wrappers themselves (RecordsTraceCells gate)
+  /// and the engine records only cache hits, so attribution stays
+  /// exactly-once.
+  bool record_round_cell = false;
+
+  /// Executor backend only: drop the pair cache before resolving (the
+  /// non-memoized filter still dedupes within a round but forgets across
+  /// rounds). Unresolved sentinels are dropped with it; the source must
+  /// re-emit the pairs it still needs.
+  bool clear_round_cache = false;
+
+  int64_t TotalPairs() const;
+};
+
+/// What one round bought. winners[u][p] answers units[u].pairs[p]; a pair
+/// with no evidence (executor faults) carries kUnresolvedWinner.
+struct RoundOutcome {
+  std::vector<std::vector<ElementId>> winners;
+  /// Pairs processed this round (cache hits included).
+  int64_t issued = 0;
+  /// Comparisons actually paid for this round (cache misses; on the
+  /// executor backend includes retry re-buys charged by decorators).
+  int64_t paid_delta = 0;
+  /// Pairs left without evidence this round (executor backend only).
+  int64_t unresolved = 0;
+  /// Transient (kUnavailable) executor fault absorbed this round, if any.
+  /// Non-transient executor errors abort the drive instead.
+  Status fault = Status::OK();
+};
+
+/// A round generator: given the answers so far, emit the next set of
+/// independent comparisons, or finish. Sources hold the algorithm state
+/// (survivor sets, tallies, loss counters) and consume outcomes at the
+/// round barrier; they never dispatch, memoize, or budget — that is the
+/// engine's job.
+class RoundSource {
+ public:
+  virtual ~RoundSource() = default;
+
+  /// Fills `round` (passed in default-constructed) with the next round.
+  /// Returns false when the algorithm is finished, or an error status for
+  /// algorithm-level failure (e.g. a round-count safety budget exceeded).
+  virtual Result<bool> NextRound(EngineRound* round) = 0;
+
+  /// Consumes the outcome of the round just executed (tallies, survivor
+  /// selection, partial-result decisions). Runs single-threaded at the
+  /// round barrier, inside the round's trace span when one is open. An
+  /// error status aborts the drive.
+  virtual Status ConsumeOutcome(const EngineRound& round,
+                                const RoundOutcome& outcome) = 0;
+
+  /// The engine declined the next round because it would exceed the
+  /// comparison budget; the source records the stop and the drive ends.
+  virtual void OnBudgetStop() {}
+};
+
+struct DriveOptions {
+  /// >0: decline any round whose worst-case cost (its pair count) would
+  /// push paid comparisons past this cap — the FilterOptions::
+  /// max_comparisons contract, enforced in exactly one place.
+  int64_t max_comparisons = 0;
+};
+
+struct DriveResult {
+  bool stopped_by_budget = false;
+  int64_t rounds_executed = 0;
+};
+
+/// The execution core. One engine instance per algorithm run (its paid /
+/// issued / step counters and memo cache are scoped to the run, like the
+/// per-call MemoizingComparator and batched caches it replaces).
+class RoundEngine {
+ public:
+  enum class Backend { kSerial, kParallel, kExecutor };
+
+  /// Serial comparator execution, optionally memoized through an
+  /// engine-owned pair cache (Appendix A, optimization 1).
+  static std::unique_ptr<RoundEngine> CreateSerial(Comparator* comparator,
+                                                   bool memoize);
+
+  /// Parallel comparator execution: `threads` workers, one fork per
+  /// RoundUnit, fork seeds drawn from Rng(seed) in unit order. Fails when
+  /// the comparator cannot Fork (probed once, up front).
+  static Result<std::unique_ptr<RoundEngine>> CreateParallel(
+      Comparator* comparator, int64_t threads, uint64_t seed, bool memoize);
+
+  /// Batched execution through a BatchExecutor stack (fault injection,
+  /// retry/quorum recovery, platform adapters). Always caches within a
+  /// round; EngineRound::clear_round_cache controls cross-round memory.
+  static Result<std::unique_ptr<RoundEngine>> CreateBatched(
+      BatchExecutor* executor);
+
+  /// Runs the source to completion: budget gate, round execution, cell
+  /// recording, outcome delivery. Returns the first error from the source
+  /// or a non-transient executor error; transient faults flow to the
+  /// source through RoundOutcome instead.
+  Result<DriveResult> Drive(RoundSource* source,
+                            const DriveOptions& options = DriveOptions());
+
+  Backend backend() const { return backend_; }
+
+  /// True when rounds can come back with unresolved pairs / transient
+  /// faults (the executor backend). Sources use this to choose between
+  /// the strict comparator-path contract (a non-shrinking round is a
+  /// broken comparator) and partial-result semantics.
+  bool SupportsPartialEvidence() const {
+    return backend_ == Backend::kExecutor;
+  }
+
+  /// Comparisons paid since engine creation (comparator count delta or
+  /// executor comparisons delta — includes decorator retry charges).
+  int64_t paid() const;
+  /// Pairs processed since engine creation (cache hits included).
+  int64_t issued() const { return issued_; }
+  /// Pairs served from the engine's caches since creation.
+  int64_t cache_hits() const { return cache_hits_; }
+  /// Executor logical steps since engine creation (0 on comparator
+  /// backends: the serial/parallel paths predate step accounting).
+  int64_t logical_steps() const;
+
+ private:
+  RoundEngine(Backend backend, Comparator* comparator,
+              BatchExecutor* executor, bool memoize, int64_t threads,
+              uint64_t seed);
+
+  Result<RoundOutcome> ExecuteRound(const EngineRound& round);
+  Result<RoundOutcome> ExecuteSerial(const EngineRound& round);
+  Result<RoundOutcome> ExecuteParallel(const EngineRound& round);
+  Result<RoundOutcome> ExecuteBatched(const EngineRound& round);
+
+  const Backend backend_;
+  Comparator* const comparator_;  // Comparator backends; else nullptr.
+  BatchExecutor* const executor_;  // Executor backend; else nullptr.
+  const bool memoize_;
+
+  // Pair-winner cache. Serial: MemoizingComparator semantics. Parallel:
+  // read-only snapshot during a round, merged at the barrier. Executor:
+  // in-round dedup always, cross-round per clear_round_cache, with
+  // kUnresolvedWinner parking for faulted pairs.
+  std::unordered_map<uint64_t, ElementId> cache_;
+
+  // Parallel backend: the pool and the persistent fork seeder (one chain
+  // across all rounds, so seeded runs replay bit-identically).
+  std::unique_ptr<ThreadPool> pool_;
+  Rng seeder_;
+  const int64_t threads_;
+
+  int64_t paid_base_ = 0;
+  int64_t steps_base_ = 0;
+  int64_t issued_ = 0;
+  int64_t cache_hits_ = 0;
+};
+
+/// Unordered pair key used by every engine cache (lower id in the low
+/// word). Shared with MemoizingComparator's layout so serial memoized
+/// replays stay bit-identical.
+uint64_t RoundPairKey(ElementId a, ElementId b);
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_ROUND_ENGINE_H_

@@ -2,37 +2,91 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
-#include "common/metrics.h"
-#include "core/trace.h"
+#include "core/round_engine.h"
 
 namespace crowdmax {
+
+namespace {
+
+// A tournament is the degenerate round generator: one round, one unit, all
+// unordered pairs. Comparisons are attributed to a cell by the caller (the
+// phase/round that ran the tournament), never here, so an all-play-all
+// inside a recorded round is not double counted.
+class TournamentRoundSource : public RoundSource {
+ public:
+  TournamentRoundSource(const std::vector<ElementId>& elements,
+                        const char* span_label)
+      : elements_(elements), span_label_(span_label) {}
+
+  Result<bool> NextRound(EngineRound* round) override {
+    if (done_) return false;
+    done_ = true;
+    const size_t k = elements_.size();
+    RoundUnit unit;
+    unit.serial_span = span_label_;
+    unit.serial_span_size = static_cast<int64_t>(k);
+    unit.pairs.reserve(k * (k > 0 ? k - 1 : 0) / 2);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i + 1; j < k; ++j) {
+        unit.pairs.push_back({elements_[i], elements_[j]});
+      }
+    }
+    round->executor_span = span_label_;
+    round->units.push_back(std::move(unit));
+    return true;
+  }
+
+  Status ConsumeOutcome(const EngineRound& /*round*/,
+                        const RoundOutcome& outcome) override {
+    run_.tournament.wins.assign(elements_.size(), 0);
+    run_.tournament.comparisons = outcome.issued;
+    const std::vector<ElementId>& winners = outcome.winners[0];
+    size_t t = 0;
+    for (size_t i = 0; i < elements_.size(); ++i) {
+      for (size_t j = i + 1; j < elements_.size(); ++j, ++t) {
+        const ElementId winner = winners[t];
+        if (winner == kUnresolvedWinner) {
+          ++run_.unresolved;
+          continue;
+        }
+        ++run_.tournament.wins[winner == elements_[i] ? i : j];
+      }
+    }
+    run_.fault = outcome.fault;
+    return Status::OK();
+  }
+
+  TournamentEngineRun Finish() { return std::move(run_); }
+
+ private:
+  const std::vector<ElementId>& elements_;
+  const char* const span_label_;
+  TournamentEngineRun run_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+Result<TournamentEngineRun> RunTournamentOnEngine(
+    const std::vector<ElementId>& elements, RoundEngine* engine,
+    const char* span_label) {
+  CROWDMAX_CHECK(engine != nullptr);
+  TournamentRoundSource source(elements, span_label);
+  Result<DriveResult> drive = engine->Drive(&source);
+  if (!drive.ok()) return drive.status();
+  return source.Finish();
+}
 
 TournamentResult AllPlayAll(const std::vector<ElementId>& elements,
                             Comparator* comparator) {
   CROWDMAX_CHECK(comparator != nullptr);
-  // Span and size metrics only: the comparisons here are attributed to a
-  // cell by the caller (the phase/round that ran the tournament), never
-  // here, so an all-play-all inside a recorded round is not double
-  // counted.
-  TraceSpanScope batch_span(TraceSpanKind::kBatch, "all_play_all");
-  if (MetricsEnabled()) {
-    static Histogram* sizes = MetricsRegistry::Default()->GetHistogram(
-        "crowdmax.tournament.group_size", ExponentialBounds(12));
-    sizes->Observe(static_cast<int64_t>(elements.size()));
-  }
-  const size_t k = elements.size();
-  TournamentResult result;
-  result.wins.assign(k, 0);
-  for (size_t i = 0; i < k; ++i) {
-    for (size_t j = i + 1; j < k; ++j) {
-      const ElementId winner = comparator->Compare(elements[i], elements[j]);
-      CROWDMAX_DCHECK(winner == elements[i] || winner == elements[j]);
-      ++result.wins[winner == elements[i] ? i : j];
-      ++result.comparisons;
-    }
-  }
-  return result;
+  const std::unique_ptr<RoundEngine> engine =
+      RoundEngine::CreateSerial(comparator, /*memoize=*/false);
+  Result<TournamentEngineRun> run = RunTournamentOnEngine(elements, engine.get());
+  CROWDMAX_CHECK(run.ok());
+  return std::move(run->tournament);
 }
 
 size_t IndexOfMostWins(const TournamentResult& result) {

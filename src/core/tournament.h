@@ -26,9 +26,29 @@ struct TournamentResult {
 
 /// Plays every unordered pair of `elements` once through `comparator` and
 /// tallies wins. Elements must be distinct ids; k == 0 and k == 1 are valid
-/// (no comparisons).
+/// (no comparisons). A thin adapter over RunTournamentOnEngine with a
+/// serial, non-memoizing engine.
 TournamentResult AllPlayAll(const std::vector<ElementId>& elements,
                             Comparator* comparator);
+
+class RoundEngine;
+
+/// Outcome of an engine-backed all-play-all tournament. On comparator
+/// backends `unresolved` is 0 and `fault` is OK; on an executor backend a
+/// pair the executor could not answer (after its own recovery) awards no
+/// win to either side and is counted here instead.
+struct TournamentEngineRun {
+  TournamentResult tournament;
+  int64_t unresolved = 0;
+  Status fault = Status::OK();
+};
+
+/// Plays one all-play-all tournament over `elements` as a single engine
+/// round on any backend. `span_label` names the kBatch trace span (the
+/// serial paths' historical "all_play_all").
+Result<TournamentEngineRun> RunTournamentOnEngine(
+    const std::vector<ElementId>& elements, RoundEngine* engine,
+    const char* span_label = "all_play_all");
 
 /// Index (into the tournament's input vector) of an element with the most
 /// wins; the earliest such index on ties ("ties broken arbitrarily" in the

@@ -334,6 +334,150 @@ TEST(DeterminismTest, FaultyPipelineAccountingIdenticalAcrossThreadCounts) {
   EXPECT_GT(serial.retried, 0);
 }
 
+// Engine-executed batched top-k: results, logical step counts, per-class
+// paid accounting and the trace must be identical at 1 and 8 executor
+// threads, and the auditor must reconcile at both counts.
+TEST(DeterminismTest, BatchedTopKAccountingIdenticalAcrossThreadCounts) {
+  Instance instance = MakeInstance(300, 53);
+  const double delta_n = instance.DeltaForU(8);
+  const double delta_e = instance.DeltaForU(2);
+
+  struct Accounting {
+    std::vector<ElementId> top;
+    std::vector<ElementId> candidates;
+    int64_t paid_naive;
+    int64_t paid_expert;
+    int64_t naive_steps;
+    int64_t expert_steps;
+    std::string trace_summary;
+  };
+  auto run = [&](int64_t threads) {
+    ThresholdComparator naive(&instance, ThresholdModel{delta_n, 0.1}, 54);
+    ThresholdComparator expert(&instance, ThresholdModel{delta_e, 0.0}, 55);
+    auto naive_pool = ParallelBatchExecutor::Create(&naive, threads,
+                                                    /*seed=*/56,
+                                                    /*chunk_size=*/8);
+    auto expert_pool = ParallelBatchExecutor::Create(&expert, threads,
+                                                     /*seed=*/57,
+                                                     /*chunk_size=*/8);
+    CROWDMAX_CHECK(naive_pool.ok());
+    CROWDMAX_CHECK(expert_pool.ok());
+
+    TopKOptions options;
+    options.k = 4;
+    options.filter.u_n = instance.CountWithin(delta_n);
+
+    AlgoTrace trace;
+    Accounting out;
+    {
+      ScopedTrace scope(&trace);
+      Result<BatchedTopKResult> result = BatchedFindTopKWithExperts(
+          instance.AllElements(), naive_pool->get(), expert_pool->get(),
+          options);
+      CROWDMAX_CHECK(result.ok());
+      CROWDMAX_CHECK(!result->partial);
+      out.top = result->result.top;
+      out.candidates = result->result.candidates;
+      out.paid_naive = result->result.paid.naive;
+      out.paid_expert = result->result.paid.expert;
+      out.naive_steps = result->naive_steps;
+      out.expert_steps = result->expert_steps;
+
+      MetricsAuditor auditor(&trace);
+      auditor.ExpectPaidStats(result->result.paid);
+      auditor.ExpectDispatchedTotal((*naive_pool)->comparisons() +
+                                    (*expert_pool)->comparisons());
+      const Status audit = auditor.Check();
+      CROWDMAX_CHECK(audit.ok());
+    }
+    out.trace_summary = trace.Summary();
+    return out;
+  };
+
+  const Accounting serial = run(1);
+  const Accounting parallel = run(8);
+  EXPECT_EQ(serial.top, parallel.top);
+  EXPECT_EQ(serial.candidates, parallel.candidates);
+  EXPECT_EQ(serial.paid_naive, parallel.paid_naive);
+  EXPECT_EQ(serial.paid_expert, parallel.paid_expert);
+  EXPECT_EQ(serial.naive_steps, parallel.naive_steps);
+  EXPECT_EQ(serial.expert_steps, parallel.expert_steps);
+  EXPECT_EQ(serial.trace_summary, parallel.trace_summary);
+  EXPECT_EQ(static_cast<int64_t>(serial.top.size()), 4);
+  // One expert all-play-all batch.
+  EXPECT_EQ(serial.expert_steps, 1);
+}
+
+// Engine-executed batched multilevel cascade, same contract: thread count
+// of the executor pools is unobservable in results, steps, accounting and
+// the trace.
+TEST(DeterminismTest, BatchedMultilevelAccountingIdenticalAcrossThreadCounts) {
+  Instance instance = MakeInstance(260, 59);
+  const double delta_mid = instance.DeltaForU(6);
+  const double delta_expert = instance.DeltaForU(2);
+
+  struct Accounting {
+    ElementId best;
+    std::vector<int64_t> paid_per_class;
+    std::vector<int64_t> steps_per_class;
+    std::vector<int64_t> candidates_per_level;
+    double total_cost;
+    std::string trace_summary;
+  };
+  auto run = [&](int64_t threads) {
+    ThresholdComparator mid(&instance, ThresholdModel{delta_mid, 0.05}, 60);
+    ThresholdComparator expert(&instance,
+                               ThresholdModel{delta_expert, 0.0}, 61);
+    auto mid_pool = ParallelBatchExecutor::Create(&mid, threads, /*seed=*/62,
+                                                  /*chunk_size=*/8);
+    auto expert_pool = ParallelBatchExecutor::Create(&expert, threads,
+                                                     /*seed=*/63,
+                                                     /*chunk_size=*/8);
+    CROWDMAX_CHECK(mid_pool.ok());
+    CROWDMAX_CHECK(expert_pool.ok());
+
+    std::vector<BatchedWorkerClassSpec> classes;
+    classes.push_back(
+        {mid_pool->get(), instance.CountWithin(delta_mid), 1.0});
+    classes.push_back({expert_pool->get(), 1, 25.0});
+
+    AlgoTrace trace;
+    Accounting out;
+    {
+      ScopedTrace scope(&trace);
+      Result<BatchedMultilevelResult> result = BatchedFindMaxMultilevel(
+          instance.AllElements(), classes, MultilevelOptions{});
+      CROWDMAX_CHECK(result.ok());
+      CROWDMAX_CHECK(!result->partial);
+      out.best = result->result.best;
+      out.paid_per_class = result->result.paid_per_class;
+      out.steps_per_class = result->steps_per_class;
+      out.candidates_per_level = result->result.candidates_per_level;
+      out.total_cost = result->result.total_cost;
+
+      MetricsAuditor auditor(&trace);
+      auditor.ExpectDispatched(TraceWorkerClass::kNaive,
+                               result->result.paid_per_class[0]);
+      auditor.ExpectDispatched(TraceWorkerClass::kExpert,
+                               result->result.paid_per_class[1]);
+      const Status audit = auditor.Check();
+      CROWDMAX_CHECK(audit.ok());
+    }
+    out.trace_summary = trace.Summary();
+    return out;
+  };
+
+  const Accounting serial = run(1);
+  const Accounting parallel = run(8);
+  EXPECT_EQ(serial.best, parallel.best);
+  EXPECT_EQ(serial.paid_per_class, parallel.paid_per_class);
+  EXPECT_EQ(serial.steps_per_class, parallel.steps_per_class);
+  EXPECT_EQ(serial.candidates_per_level, parallel.candidates_per_level);
+  EXPECT_EQ(serial.total_cost, parallel.total_cost);
+  EXPECT_EQ(serial.trace_summary, parallel.trace_summary);
+  EXPECT_EQ(serial.best, instance.MaxElement());
+}
+
 TEST(DeterminismTest, ParallelPathRejectsUnforkableComparator) {
   Instance instance = MakeInstance(64, 31);
   UnforkableComparator cmp(&instance);

@@ -1,0 +1,315 @@
+// The RoundEngine contract (core/round_engine.h): one execution core
+// behind every algorithm. These suites pin
+//  * cross-backend equivalence — the serial engine, the parallel engine at
+//    threads {2, 8}, and the executor-backed engine produce identical
+//    results for every ported RoundSource when worker answers are
+//    deterministic (the backends may only differ through RNG draw order,
+//    which an oracle never consumes);
+//  * the single budget enforcement point — serial and batched runs charge
+//    identically around the FilterOptions::max_comparisons boundary, even
+//    when memoization makes a re-grouped pair free while the worst-case
+//    round gate still counts it;
+//  * the engine-owned counters (paid / issued / cache_hits /
+//    logical_steps) and the backend guard rails (Fork probing,
+//    SupportsPartialEvidence).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/batched.h"
+#include "core/comparator.h"
+#include "core/filter_phase.h"
+#include "core/maxfind.h"
+#include "core/round_engine.h"
+#include "core/tournament.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+
+namespace crowdmax {
+namespace {
+
+Instance MakeInstance(int64_t n, uint64_t seed) {
+  Result<Instance> instance = UniformInstance(n, seed);
+  CROWDMAX_CHECK(instance.ok());
+  return std::move(instance).value();
+}
+
+class UnforkableComparator : public Comparator {
+ public:
+  explicit UnforkableComparator(const Instance* instance)
+      : instance_(instance) {}
+
+ private:
+  ElementId DoCompare(ElementId a, ElementId b) override {
+    return instance_->value(a) >= instance_->value(b) ? a : b;
+  }
+  const Instance* instance_;
+};
+
+// Builds every backend over its own oracle comparator/executor so counters
+// are per-run. Index 0 = serial, 1..2 = parallel {2, 8}, 3 = executor.
+struct BackendRig {
+  std::vector<std::unique_ptr<OracleComparator>> comparators;
+  std::vector<std::unique_ptr<ComparatorBatchExecutor>> executors;
+  std::vector<std::unique_ptr<RoundEngine>> engines;
+  std::vector<std::string> names;
+};
+
+BackendRig MakeAllBackends(const Instance& instance, bool memoize) {
+  BackendRig rig;
+  rig.comparators.push_back(std::make_unique<OracleComparator>(&instance));
+  rig.engines.push_back(
+      RoundEngine::CreateSerial(rig.comparators.back().get(), memoize));
+  rig.names.push_back("serial");
+  for (int64_t threads : {2, 8}) {
+    rig.comparators.push_back(std::make_unique<OracleComparator>(&instance));
+    Result<std::unique_ptr<RoundEngine>> parallel =
+        RoundEngine::CreateParallel(rig.comparators.back().get(), threads,
+                                    /*seed=*/99, memoize);
+    CROWDMAX_CHECK(parallel.ok());
+    rig.engines.push_back(std::move(parallel).value());
+    rig.names.push_back("threads=" + std::to_string(threads));
+  }
+  rig.comparators.push_back(std::make_unique<OracleComparator>(&instance));
+  rig.executors.push_back(
+      std::make_unique<ComparatorBatchExecutor>(rig.comparators.back().get()));
+  Result<std::unique_ptr<RoundEngine>> batched =
+      RoundEngine::CreateBatched(rig.executors.back().get());
+  CROWDMAX_CHECK(batched.ok());
+  rig.engines.push_back(std::move(batched).value());
+  rig.names.push_back("executor");
+  return rig;
+}
+
+TEST(RoundEngineEquivalenceTest, FilterIdenticalAcrossAllBackends) {
+  Instance instance = MakeInstance(500, 3);
+  FilterOptions options;
+  options.u_n = 6;
+  options.memoize = true;
+  options.global_loss_counter = true;
+
+  BackendRig rig = MakeAllBackends(instance, options.memoize);
+  std::vector<FilterEngineRun> runs;
+  for (std::unique_ptr<RoundEngine>& engine : rig.engines) {
+    Result<FilterEngineRun> run =
+        RunFilterOnEngine(instance.AllElements(), options, engine.get());
+    ASSERT_TRUE(run.ok());
+    EXPECT_FALSE(run->partial);
+    runs.push_back(*std::move(run));
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].filter.candidates, runs[0].filter.candidates)
+        << rig.names[i];
+    EXPECT_EQ(runs[i].filter.rounds, runs[0].filter.rounds) << rig.names[i];
+    EXPECT_EQ(runs[i].filter.round_sizes, runs[0].filter.round_sizes)
+        << rig.names[i];
+    EXPECT_EQ(runs[i].filter.paid_comparisons,
+              runs[0].filter.paid_comparisons)
+        << rig.names[i];
+    EXPECT_EQ(runs[i].filter.issued_comparisons,
+              runs[0].filter.issued_comparisons)
+        << rig.names[i];
+    EXPECT_EQ(runs[i].filter.evicted_by_loss_counter,
+              runs[0].filter.evicted_by_loss_counter)
+        << rig.names[i];
+  }
+}
+
+TEST(RoundEngineEquivalenceTest, TwoMaxFindIdenticalAcrossAllBackends) {
+  Instance instance = MakeInstance(200, 5);
+  BackendRig rig = MakeAllBackends(instance, /*memoize=*/true);
+  std::vector<MaxFindEngineRun> runs;
+  for (std::unique_ptr<RoundEngine>& engine : rig.engines) {
+    Result<MaxFindEngineRun> run =
+        RunTwoMaxFindOnEngine(instance.AllElements(), engine.get());
+    ASSERT_TRUE(run.ok());
+    EXPECT_FALSE(run->partial);
+    runs.push_back(*std::move(run));
+  }
+  EXPECT_EQ(runs[0].maxfind.best, instance.MaxElement());
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].maxfind.best, runs[0].maxfind.best) << rig.names[i];
+    EXPECT_EQ(runs[i].maxfind.rounds, runs[0].maxfind.rounds)
+        << rig.names[i];
+    EXPECT_EQ(runs[i].maxfind.paid_comparisons,
+              runs[0].maxfind.paid_comparisons)
+        << rig.names[i];
+    EXPECT_EQ(runs[i].maxfind.issued_comparisons,
+              runs[0].maxfind.issued_comparisons)
+        << rig.names[i];
+  }
+}
+
+TEST(RoundEngineEquivalenceTest, RandomizedMaxFindIdenticalAcrossBackends) {
+  Instance instance = MakeInstance(700, 7);
+  RandomizedMaxFindOptions options;
+  options.seed = 17;
+  options.group_size_override = 20;
+
+  // The source's own sampling RNG is seeded by options, so every backend
+  // replays the same partitions. The executor backend may pay less (its
+  // in-round cache survives into the witness tournament) but must issue
+  // the same comparisons and elect the same element.
+  BackendRig rig = MakeAllBackends(instance, /*memoize=*/false);
+  std::vector<MaxFindEngineRun> runs;
+  for (std::unique_ptr<RoundEngine>& engine : rig.engines) {
+    Result<MaxFindEngineRun> run = RunRandomizedMaxFindOnEngine(
+        instance.AllElements(), engine.get(), options);
+    ASSERT_TRUE(run.ok());
+    EXPECT_FALSE(run->partial);
+    runs.push_back(*std::move(run));
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].maxfind.best, runs[0].maxfind.best) << rig.names[i];
+    EXPECT_EQ(runs[i].maxfind.rounds, runs[0].maxfind.rounds)
+        << rig.names[i];
+    EXPECT_EQ(runs[i].maxfind.issued_comparisons,
+              runs[0].maxfind.issued_comparisons)
+        << rig.names[i];
+  }
+  // The comparator backends replay each other bit-for-bit, paid included.
+  EXPECT_EQ(runs[1].maxfind.paid_comparisons,
+            runs[0].maxfind.paid_comparisons);
+  EXPECT_EQ(runs[2].maxfind.paid_comparisons,
+            runs[0].maxfind.paid_comparisons);
+}
+
+TEST(RoundEngineEquivalenceTest, TournamentIdenticalAcrossAllBackends) {
+  Instance instance = MakeInstance(40, 11);
+  BackendRig rig = MakeAllBackends(instance, /*memoize=*/false);
+  std::vector<TournamentEngineRun> runs;
+  for (std::unique_ptr<RoundEngine>& engine : rig.engines) {
+    Result<TournamentEngineRun> run =
+        RunTournamentOnEngine(instance.AllElements(), engine.get());
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->unresolved, 0);
+    runs.push_back(*std::move(run));
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].tournament.wins, runs[0].tournament.wins)
+        << rig.names[i];
+    EXPECT_EQ(runs[i].tournament.comparisons, runs[0].tournament.comparisons)
+        << rig.names[i];
+  }
+}
+
+// The budget regression the refactor exists for: one enforcement point.
+// With memoization on, a pair re-grouped into a later round is free (a
+// cache hit), while the budget gate still prices the round at its full
+// pair count. Serial and batched runs must agree exactly — candidates,
+// paid, stop flag — at every budget, including right at the boundary.
+TEST(RoundEngineBudgetTest, SerialAndBatchedChargeIdenticallyAtBoundary) {
+  Instance instance = MakeInstance(420, 13);
+  const double delta = instance.DeltaForU(9);
+
+  ThresholdComparator::Options worker;
+  worker.model = ThresholdModel{delta, 0.0};
+  worker.tie_policy = TiePolicy::kPersistentArbitrary;
+
+  FilterOptions options;
+  options.u_n = instance.CountWithin(delta);
+  options.memoize = true;
+
+  // Unbudgeted reference run, to find real boundaries and to prove the
+  // memoized cache actually served re-grouped pairs (issued > paid).
+  ThresholdComparator probe_worker(&instance, worker, /*seed=*/14);
+  Result<FilterResult> probe =
+      FilterCandidates(instance.AllElements(), options, &probe_worker);
+  ASSERT_TRUE(probe.ok());
+  ASSERT_GT(probe->issued_comparisons, probe->paid_comparisons)
+      << "instance does not exercise memoized re-grouping";
+  const int64_t total = probe->paid_comparisons;
+
+  for (int64_t budget :
+       {total / 4, total / 2, total - 1, total, total + 1}) {
+    if (budget < 1) continue;
+    options.max_comparisons = budget;
+
+    ThresholdComparator serial_worker(&instance, worker, /*seed=*/14);
+    Result<FilterResult> serial =
+        FilterCandidates(instance.AllElements(), options, &serial_worker);
+    ASSERT_TRUE(serial.ok());
+
+    ThresholdComparator batch_worker(&instance, worker, /*seed=*/14);
+    ComparatorBatchExecutor executor(&batch_worker);
+    Result<BatchedFilterResult> batched = BatchedFilterCandidates(
+        instance.AllElements(), options, &executor);
+    ASSERT_TRUE(batched.ok());
+
+    EXPECT_EQ(batched->filter.candidates, serial->candidates)
+        << "budget=" << budget;
+    EXPECT_EQ(batched->filter.paid_comparisons, serial->paid_comparisons)
+        << "budget=" << budget;
+    EXPECT_EQ(batched->filter.issued_comparisons,
+              serial->issued_comparisons)
+        << "budget=" << budget;
+    EXPECT_EQ(batched->filter.rounds, serial->rounds) << "budget=" << budget;
+    EXPECT_EQ(batched->filter.stopped_by_budget, serial->stopped_by_budget)
+        << "budget=" << budget;
+    EXPECT_LE(serial->paid_comparisons, budget) << "budget=" << budget;
+  }
+}
+
+TEST(RoundEngineCountersTest, MemoizedSerialCountersReconcile) {
+  Instance instance = MakeInstance(300, 19);
+  OracleComparator oracle(&instance);
+  const std::unique_ptr<RoundEngine> engine =
+      RoundEngine::CreateSerial(&oracle, /*memoize=*/true);
+  FilterOptions options;
+  options.u_n = 5;
+  Result<FilterEngineRun> run =
+      RunFilterOnEngine(instance.AllElements(), options, engine.get());
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(engine->backend(), RoundEngine::Backend::kSerial);
+  EXPECT_FALSE(engine->SupportsPartialEvidence());
+  // paid = comparator spend; issued = every pair the sources emitted;
+  // the difference is exactly the engine cache's work.
+  EXPECT_EQ(engine->paid(), oracle.num_comparisons());
+  EXPECT_EQ(engine->issued(), run->filter.issued_comparisons);
+  EXPECT_EQ(engine->cache_hits(), engine->issued() - engine->paid());
+  // Comparator backends predate step accounting.
+  EXPECT_EQ(engine->logical_steps(), 0);
+}
+
+TEST(RoundEngineCountersTest, ExecutorBackendStepsMatchRounds) {
+  Instance instance = MakeInstance(300, 23);
+  OracleComparator oracle(&instance);
+  ComparatorBatchExecutor executor(&oracle);
+  Result<std::unique_ptr<RoundEngine>> engine =
+      RoundEngine::CreateBatched(&executor);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->backend(), RoundEngine::Backend::kExecutor);
+  EXPECT_TRUE((*engine)->SupportsPartialEvidence());
+  FilterOptions options;
+  options.u_n = 5;
+  options.memoize = true;
+  Result<FilterEngineRun> run =
+      RunFilterOnEngine(instance.AllElements(), options, engine->get());
+  ASSERT_TRUE(run.ok());
+  // One batch — one logical step — per filter round.
+  EXPECT_EQ((*engine)->logical_steps(), run->filter.rounds);
+  EXPECT_EQ((*engine)->paid(), executor.comparisons());
+}
+
+TEST(RoundEngineGuardTest, ParallelCreationProbesFork) {
+  Instance instance = MakeInstance(32, 29);
+  UnforkableComparator unforkable(&instance);
+  Result<std::unique_ptr<RoundEngine>> parallel =
+      RoundEngine::CreateParallel(&unforkable, /*threads=*/2, /*seed=*/1,
+                                  /*memoize=*/false);
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parallel.status().ToString().find(
+                "the parallel engine requires a forkable comparator"),
+            std::string::npos);
+
+  // The serial backend takes any comparator.
+  OracleComparator oracle(&instance);
+  EXPECT_NE(RoundEngine::CreateSerial(&oracle, /*memoize=*/false), nullptr);
+}
+
+}  // namespace
+}  // namespace crowdmax
