@@ -18,6 +18,7 @@
 
 #include "bench/bench_common.h"
 #include "common/table.h"
+#include "core/async_executor.h"
 #include "core/batched.h"
 #include "core/resilient.h"
 #include "core/worker_model.h"
@@ -278,6 +279,48 @@ void AuditEngineExecutedStrategies(const Instance& instance, double abandon_p,
   }
 }
 
+// Pipelining on, faults on: the depth-8 pipelined filter over the faulty
+// (and latency-simulating) platform must reconcile under the auditor and
+// replay the synchronous drive's trace byte for byte — recovery actions,
+// fault tallies and all. Returns the trace summary of one run.
+std::string AuditPipelinedFaultyPlatform(const Instance& instance,
+                                         double abandon_p, double churn_p,
+                                         uint64_t fault_seed,
+                                         int64_t max_retries,
+                                         int64_t min_votes, int64_t u_n,
+                                         bool pipelined) {
+  FaultyStack stack = MakeFaultyStack(instance, abandon_p, churn_p, fault_seed,
+                                      max_retries, min_votes);
+  AlgoTrace trace;
+  ScopedTrace scoped_trace(&trace);
+  FilterOptions filter;
+  filter.u_n = u_n;
+  filter.memoize = true;
+  filter.pipeline_groups = true;
+  Result<BatchedFilterResult> result = [&] {
+    if (pipelined) {
+      AsyncBatchAdapter async(stack.naive.get());
+      BatchedPipelineOptions pipeline;
+      pipeline.max_in_flight = 8;
+      return PipelinedFilterCandidates(instance.AllElements(), filter, &async,
+                                       pipeline);
+    }
+    return BatchedFilterCandidates(instance.AllElements(), filter,
+                                   stack.naive.get());
+  }();
+  CROWDMAX_CHECK(result.ok());
+
+  MetricsAuditor auditor(&trace);
+  auditor.ExpectDispatched(TraceWorkerClass::kNaive,
+                           stack.naive->comparisons());
+  auditor.ExpectTaskFaults(stack.platform->fault_stats().dropped_tasks,
+                           stack.platform->fault_stats().no_quorum_tasks);
+  const Status audit = auditor.Check();
+  if (!audit.ok()) std::cerr << "pipelined: " << audit.ToString() << "\n";
+  CROWDMAX_CHECK(audit.ok());
+  return trace.Summary();
+}
+
 int Main(int argc, char** argv) {
   FlagParser flags = bench::ParseFlagsOrDie(argc, argv);
   bench::MetricsSession metrics_session(flags);
@@ -375,6 +418,18 @@ int Main(int argc, char** argv) {
                                 first_seed, max_retries, min_votes, u_n);
   std::cout << "metrics audit: engine-executed top-k and multilevel "
                "reconciled on the faulty platform\n";
+
+  // Pipelining on: the depth-8 pipelined filter reconciles on the faulty
+  // platform and replays the synchronous drive's trace bit for bit.
+  const std::string sync_summary = AuditPipelinedFaultyPlatform(
+      instance, /*abandon_p=*/0.1, churn_p, first_seed, max_retries,
+      min_votes, u_n, /*pipelined=*/false);
+  const std::string piped_summary = AuditPipelinedFaultyPlatform(
+      instance, /*abandon_p=*/0.1, churn_p, first_seed, max_retries,
+      min_votes, u_n, /*pipelined=*/true);
+  CROWDMAX_CHECK(sync_summary == piped_summary);
+  std::cout << "metrics audit: pipelined faulty-platform filter reconciled "
+               "(trace bit-identical to the synchronous drive)\n";
   return 0;
 }
 

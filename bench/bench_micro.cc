@@ -6,21 +6,29 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/table.h"
 #include "common/thread_pool.h"
+#include "core/async_executor.h"
 #include "core/batched.h"
 #include "core/expert_max.h"
 #include "core/filter_phase.h"
 #include "core/maxfind.h"
+#include "core/round_engine.h"
 #include "core/tournament.h"
 #include "core/worker_model.h"
 #include "datasets/instances.h"
+#include "platform/platform.h"
 
 namespace crowdmax {
 namespace {
@@ -211,6 +219,149 @@ void BM_ExpertMaxEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_ExpertMaxEndToEnd)->Arg(1000)->Arg(5000);
 
+// ---------------------------------------------------------------------------
+// Round-latency report (--pipeline / --pipeline_json=FILE): wall clock per
+// logical step of one filter run over a latency-simulating platform, the
+// synchronous executor drive against the pipelined drive at several depths.
+// Everything but the wall clock is bit-identical across rows (checked);
+// what the table shows is purely how much crowd round-trip the pipeline
+// hides. The machine-readable twin goes to BENCH_pipeline.json.
+
+struct PipelineLatencyRow {
+  std::string mode;
+  int64_t depth = 0;
+  double wall_ms = 0.0;
+  int64_t logical_steps = 0;
+  double ms_per_step = 0.0;
+  int64_t paid = 0;
+  int64_t overlapped_rounds = 0;
+  int64_t max_in_flight = 0;
+  double speedup = 1.0;
+};
+
+void RunPipelineLatencyReport(const std::string& json_path) {
+  const int64_t n = 600;
+  Instance instance = MakeInstance(n, 23);
+  FilterOptions options;
+  options.u_n = 8;
+  options.memoize = true;
+  // Group-granular rounds on BOTH sides: the synchronous baseline pays one
+  // round trip per group too, so the comparison isolates overlap (not
+  // batch-size effects) and the two drives stay bit-identical.
+  options.pipeline_groups = true;
+
+  PlatformOptions platform_options;
+  platform_options.num_workers = 32;
+  platform_options.spammer_fraction = 0.0;
+  platform_options.honest_slip_probability = 0.0;
+  platform_options.gold_task_probability = 0.0;
+  platform_options.seed = 27;
+  platform_options.latency.base_micros = 1500;
+  platform_options.latency.per_task_micros = 5;
+  platform_options.latency.jitter_micros = 300;
+  platform_options.latency.seed = 29;
+
+  // One run per row, each over its own fresh platform so the latency and
+  // answer streams replay identically; only the drive differs.
+  auto run_row = [&](int64_t depth) {
+    OracleComparator crowd(&instance);
+    auto platform =
+        CrowdPlatform::Create(&crowd, &instance, {}, platform_options);
+    CROWDMAX_CHECK(platform.ok());
+    auto executor =
+        PlatformBatchExecutor::Create(platform->get(), /*votes_per_task=*/1);
+    CROWDMAX_CHECK(executor.ok());
+
+    PipelineLatencyRow row;
+    row.mode = depth == 0 ? "serial" : "pipelined";
+    row.depth = depth;
+    std::unique_ptr<AsyncBatchAdapter> async;
+    if (depth > 0) {
+      async = std::make_unique<AsyncBatchAdapter>(executor->get());
+    }
+    Result<std::unique_ptr<RoundEngine>> engine =
+        depth == 0 ? RoundEngine::CreateBatched(executor->get())
+                   : RoundEngine::CreatePipelined(async.get(), depth);
+    CROWDMAX_CHECK(engine.ok());
+
+    const auto start = std::chrono::steady_clock::now();
+    Result<FilterEngineRun> run =
+        RunFilterOnEngine(instance.AllElements(), options, engine->get());
+    const auto stop = std::chrono::steady_clock::now();
+    CROWDMAX_CHECK(run.ok());
+    CROWDMAX_CHECK(!run->partial);
+
+    row.wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            stop - start)
+            .count();
+    row.logical_steps = (*engine)->logical_steps();
+    row.ms_per_step =
+        row.logical_steps > 0 ? row.wall_ms / row.logical_steps : 0.0;
+    row.paid = (*engine)->paid();
+    row.overlapped_rounds = (*engine)->overlapped_rounds();
+    row.max_in_flight = (*engine)->max_in_flight_observed();
+    return std::make_pair(row, run->filter.candidates);
+  };
+
+  std::cout << "\n[pipeline] round-latency: filter n=" << n
+            << " u_n=" << options.u_n << ", platform latency base="
+            << platform_options.latency.base_micros << "us jitter="
+            << platform_options.latency.jitter_micros << "us\n";
+
+  std::vector<PipelineLatencyRow> rows;
+  std::vector<ElementId> reference_candidates;
+  for (const int64_t depth : {0, 1, 2, 4, 8}) {
+    auto [row, candidates] = run_row(depth);
+    if (depth == 0) {
+      reference_candidates = candidates;
+    } else {
+      CROWDMAX_CHECK(candidates == reference_candidates);
+      CROWDMAX_CHECK(row.paid == rows[0].paid);
+      CROWDMAX_CHECK(row.logical_steps == rows[0].logical_steps);
+    }
+    row.speedup = rows.empty() ? 1.0 : rows[0].wall_ms / row.wall_ms;
+    rows.push_back(row);
+  }
+
+  TablePrinter table({"mode", "depth", "wall_ms", "logical_steps",
+                      "ms_per_step", "paid", "overlapped_rounds",
+                      "max_in_flight", "speedup"});
+  for (const PipelineLatencyRow& row : rows) {
+    table.AddRow({row.mode, FormatInt(row.depth),
+                  FormatDouble(row.wall_ms, 2), FormatInt(row.logical_steps),
+                  FormatDouble(row.ms_per_step, 3), FormatInt(row.paid),
+                  FormatInt(row.overlapped_rounds),
+                  FormatInt(row.max_in_flight),
+                  FormatDouble(row.speedup, 2)});
+  }
+  table.Print(std::cout);
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "pipeline: cannot open " << json_path << "\n";
+    return;
+  }
+  json << "{\"bench\": \"pipeline_round_latency\", \"n\": " << n
+       << ", \"u_n\": " << options.u_n
+       << ", \"latency_base_micros\": " << platform_options.latency.base_micros
+       << ", \"latency_jitter_micros\": "
+       << platform_options.latency.jitter_micros << ", \"rows\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PipelineLatencyRow& row = rows[i];
+    json << (i == 0 ? "" : ", ") << "{\"mode\": \"" << row.mode
+         << "\", \"depth\": " << row.depth << ", \"wall_ms\": " << row.wall_ms
+         << ", \"logical_steps\": " << row.logical_steps
+         << ", \"ms_per_step\": " << row.ms_per_step
+         << ", \"paid\": " << row.paid
+         << ", \"overlapped_rounds\": " << row.overlapped_rounds
+         << ", \"max_in_flight\": " << row.max_in_flight
+         << ", \"speedup\": " << row.speedup << "}";
+  }
+  json << "]}\n";
+  std::cout << "[pipeline] wrote " << json_path << "\n";
+}
+
 }  // namespace
 }  // namespace crowdmax
 
@@ -218,7 +369,10 @@ BENCHMARK(BM_ExpertMaxEndToEnd)->Arg(1000)->Arg(5000);
 // --metrics are stripped from argv first; --threads=N is applied to every
 // BM_Parallel* benchmark and --metrics turns the global metrics registry
 // on, to measure the instrumented path against the (default) disabled one.
+// --pipeline (or --pipeline_json=FILE) additionally runs the round-latency
+// report above and writes its machine-readable twin.
 int main(int argc, char** argv) {
+  std::string pipeline_json;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -231,6 +385,14 @@ int main(int argc, char** argv) {
       crowdmax::SetMetricsEnabled(true);
       continue;
     }
+    if (std::strcmp(argv[i], "--pipeline") == 0) {
+      pipeline_json = "BENCH_pipeline.json";
+      continue;
+    }
+    if (std::strncmp(argv[i], "--pipeline_json=", 16) == 0) {
+      pipeline_json = argv[i] + 16;
+      continue;
+    }
     args.push_back(argv[i]);
   }
   int filtered_argc = static_cast<int>(args.size());
@@ -240,5 +402,8 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!pipeline_json.empty()) {
+    crowdmax::RunPipelineLatencyReport(pipeline_json);
+  }
   return 0;
 }

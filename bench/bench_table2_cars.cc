@@ -21,7 +21,9 @@
 #include "baselines/single_class.h"
 #include "bench/bench_common.h"
 #include "common/table.h"
+#include "core/batched.h"
 #include "core/filter_phase.h"
+#include "core/round_engine.h"
 #include "core/tournament.h"
 #include "core/worker_model.h"
 #include "datasets/cars.h"
@@ -29,6 +31,87 @@
 
 namespace crowdmax {
 namespace {
+
+// Cross-phase dedup measurement (DESIGN.md §11). CARS's final round also
+// buys its "expert" answers from the same naive crowd (majority of 7), so
+// both phases share one worker class and one SharedPairCache class: every
+// survivor pair the filter already resolved is served from phase-1
+// evidence instead of being re-bought at the 7-vote rate.
+struct DedupOutcome {
+  std::vector<ElementId> candidates;
+  int64_t expert_issued = 0;
+  int64_t expert_paid = 0;
+  int64_t expert_hits = 0;
+  ElementId pick = -1;
+};
+
+DedupOutcome RunTwoPhase(const Instance& instance, int64_t u_n, uint64_t seed,
+                         bool share_evidence) {
+  PersistentBiasComparator crowd_model(&instance, CarsWorkerModel(), seed);
+  PlatformOptions platform_options;
+  platform_options.num_workers = 50;
+  platform_options.spammer_fraction = 0.08;
+  platform_options.seed = seed + 1;
+  auto platform =
+      CrowdPlatform::Create(&crowd_model, &instance, {}, platform_options);
+  CROWDMAX_CHECK(platform.ok());
+  auto naive = PlatformBatchExecutor::Create(platform->get(), /*votes=*/3);
+  auto expert = PlatformBatchExecutor::Create(platform->get(), /*votes=*/7);
+  CROWDMAX_CHECK(naive.ok() && expert.ok());
+
+  SharedPairCache cache;
+  FilterOptions filter;
+  filter.u_n = u_n;
+  filter.memoize = true;
+  if (share_evidence) {
+    filter.shared_cache = &cache;
+    filter.cache_class = 0;  // One class: both phases buy from this crowd.
+  }
+  Result<BatchedFilterResult> phase1 =
+      BatchedFilterCandidates(instance.AllElements(), filter, naive->get());
+  CROWDMAX_CHECK(phase1.ok());
+
+  Result<std::unique_ptr<RoundEngine>> finals_engine =
+      RoundEngine::CreateBatched(expert->get(),
+                                 share_evidence ? &cache : nullptr,
+                                 /*cache_class=*/0);
+  CROWDMAX_CHECK(finals_engine.ok());
+  Result<TournamentEngineRun> finals = RunTournamentOnEngine(
+      phase1->filter.candidates, finals_engine->get());
+  CROWDMAX_CHECK(finals.ok());
+
+  DedupOutcome outcome;
+  outcome.candidates = phase1->filter.candidates;
+  outcome.expert_issued = (*finals_engine)->issued();
+  outcome.expert_paid = (*finals_engine)->paid();
+  outcome.expert_hits = (*finals_engine)->cache_hits();
+  outcome.pick = outcome.candidates[IndexOfMostWins(finals->tournament)];
+  return outcome;
+}
+
+void ReportCrossPhaseDedup(const Instance& instance, int64_t u_n,
+                           uint64_t seed) {
+  const DedupOutcome baseline = RunTwoPhase(instance, u_n, seed, false);
+  const DedupOutcome dedup = RunTwoPhase(instance, u_n, seed, true);
+  CROWDMAX_CHECK(baseline.candidates == dedup.candidates);
+  const double saved =
+      baseline.expert_paid > 0
+          ? 100.0 * static_cast<double>(baseline.expert_paid -
+                                        dedup.expert_paid) /
+                static_cast<double>(baseline.expert_paid)
+          : 0.0;
+  std::cout << "\n[cross-phase dedup] simulated-expert regime (one worker "
+               "class), final round over "
+            << baseline.candidates.size() << " survivors:\n"
+            << "  baseline expert comparisons: " << baseline.expert_paid
+            << "\n  with shared pair cache:      " << dedup.expert_paid
+            << " paid, " << dedup.expert_hits << " of " << dedup.expert_issued
+            << " served from phase-1 evidence (" << FormatDouble(saved, 1)
+            << "% expert spend saved)\n"
+            << "  final pick: baseline=" << baseline.pick
+            << " dedup=" << dedup.pick
+            << " true max=" << instance.MaxElement() << "\n";
+}
 
 struct ExperimentOutcome {
   std::map<ElementId, int64_t> final_positions;
@@ -147,6 +230,8 @@ int main(int argc, char** argv) {
   std::cout << "Paper: the top car always reached the final round, but "
                "simulated experts (7 naive\nvotes) failed to identify it — "
                "real expertise is required in the CARS regime.\n";
+
+  ReportCrossPhaseDedup(instance, u_n, seed + 10);
 
   // Companion statistic: naive-only 2-MaxFind, 14 runs; paper reports the
   // true maximum was returned in none of them.

@@ -1,0 +1,50 @@
+#include "core/async_executor.h"
+
+#include <thread>
+#include <utility>
+
+namespace crowdmax {
+
+AsyncBatchAdapter::AsyncBatchAdapter(BatchExecutor* executor)
+    : executor_(executor) {
+  CROWDMAX_CHECK(executor_ != nullptr);
+}
+
+Result<int64_t> AsyncBatchAdapter::SubmitBatchAsync(
+    const std::vector<ComparisonPair>& tasks) {
+  // Compute-at-submit: the inner stack runs now, in submission order, so
+  // all of its deterministic effects land exactly where the synchronous
+  // path would put them. Only the round-trip time is deferred.
+  PendingBatch batch;
+  batch.result = executor_->TryExecuteBatch(tasks);
+  batch.deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(executor_->TakeSimulatedLatencyMicros());
+  const int64_t handle = next_handle_++;
+  pending_.emplace(handle, std::move(batch));
+  return handle;
+}
+
+bool AsyncBatchAdapter::Ready(int64_t handle) const {
+  auto it = pending_.find(handle);
+  if (it == pending_.end()) return false;
+  return std::chrono::steady_clock::now() >= it->second.deadline;
+}
+
+Result<std::vector<BatchTaskResult>> AsyncBatchAdapter::Wait(int64_t handle) {
+  auto it = pending_.find(handle);
+  if (it == pending_.end()) {
+    return Status::InvalidArgument(
+        "unknown or already-consumed async batch handle");
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (now < it->second.deadline) {
+    std::this_thread::sleep_until(it->second.deadline);
+  }
+  Result<std::vector<BatchTaskResult>> result = std::move(it->second.result);
+  pending_.erase(it);
+  ++collected_;
+  return result;
+}
+
+}  // namespace crowdmax

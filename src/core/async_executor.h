@@ -1,0 +1,106 @@
+// Asynchronous batch submission: the latency-hiding half of the pipelined
+// RoundEngine drive.
+//
+// The paper measures time in logical steps (Section 3); in a deployment
+// the dominant wall-clock term behind each step is the crowd round trip.
+// Rounds are the fundamental latency unit for noisy comparisons
+// (Braverman-Mao-Weinberg), so the way to buy wall-clock back without
+// changing the algorithms is to keep several rounds' latencies in flight
+// at once. AsyncBatchExecutor is the contract that makes that possible:
+// SubmitBatchAsync returns a handle immediately, Ready polls it, Wait
+// blocks until the round trip has elapsed and returns the answers.
+//
+// Determinism discipline (DESIGN.md §11): AsyncBatchAdapter is
+// compute-at-submit. The wrapped BatchExecutor runs synchronously inside
+// SubmitBatchAsync — every RNG draw, counter increment, transcript row and
+// trace cell happens at submission, in submission order, byte-identical to
+// the non-pipelined path — and only the *latency* (drained from the inner
+// stack via BatchExecutor::TakeSimulatedLatencyMicros) is deferred, as a
+// deadline the Wait call sleeps out. Results, traces and counters are
+// therefore bit-identical to the synchronous drive; overlapping the
+// deadlines is pure wall-clock win.
+
+#ifndef CROWDMAX_CORE_ASYNC_EXECUTOR_H_
+#define CROWDMAX_CORE_ASYNC_EXECUTOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/batched.h"
+
+namespace crowdmax {
+
+/// Asynchronous batch execution: submit now, collect the answers when the
+/// simulated (or real) round trip completes. Handles are only valid with
+/// the executor that issued them and are consumed by Wait.
+class AsyncBatchExecutor {
+ public:
+  virtual ~AsyncBatchExecutor() = default;
+
+  /// Starts one logical step's batch and returns a handle for it. All
+  /// deterministic effects of the batch (answers, counters, transcript,
+  /// trace cells) must be produced here, at submission time, so that
+  /// interleaved submissions replay byte-identically regardless of when
+  /// their results are collected. An empty batch is legal (it mirrors the
+  /// synchronous path's no-op step).
+  virtual Result<int64_t> SubmitBatchAsync(
+      const std::vector<ComparisonPair>& tasks) = 0;
+
+  /// True when Wait(handle) would return without blocking.
+  virtual bool Ready(int64_t handle) const = 0;
+
+  /// Blocks until the batch's round trip has elapsed, then returns its
+  /// result (the inner executor's TryExecuteBatch result, success or
+  /// failure). Consumes the handle; waiting twice is a kInvalidArgument.
+  virtual Result<std::vector<BatchTaskResult>> Wait(int64_t handle) = 0;
+
+  /// The synchronous executor whose accounting backs this one. The
+  /// pipelined engine reads paid/step counters from it — submission-time
+  /// accounting makes those counters exact at any pipeline depth.
+  virtual BatchExecutor* inner() = 0;
+};
+
+/// Wraps any BatchExecutor (platform adapters, the resilient retry/quorum
+/// stack, fault injectors) as an AsyncBatchExecutor, compute-at-submit:
+/// SubmitBatchAsync runs inner->TryExecuteBatch immediately and banks the
+/// latency the inner stack accumulated (TakeSimulatedLatencyMicros) as a
+/// wall-clock deadline; Wait sleeps out whatever remains of it. With no
+/// latency model on the inner stack every deadline is "now" and the
+/// adapter degenerates to the synchronous path.
+///
+/// Not thread-safe: submissions and waits come from the engine's
+/// coordinating thread (the §7 discipline). Does not own the executor.
+/// Handles never waited on are dropped at destruction.
+class AsyncBatchAdapter : public AsyncBatchExecutor {
+ public:
+  explicit AsyncBatchAdapter(BatchExecutor* executor);
+
+  Result<int64_t> SubmitBatchAsync(
+      const std::vector<ComparisonPair>& tasks) override;
+  bool Ready(int64_t handle) const override;
+  Result<std::vector<BatchTaskResult>> Wait(int64_t handle) override;
+  BatchExecutor* inner() override { return executor_; }
+
+  /// Batches submitted / collected so far (counts both success and
+  /// failure results; diagnostics only).
+  int64_t submitted() const { return next_handle_; }
+  int64_t collected() const { return collected_; }
+
+ private:
+  struct PendingBatch {
+    Result<std::vector<BatchTaskResult>> result{std::vector<BatchTaskResult>()};
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  BatchExecutor* const executor_;
+  std::map<int64_t, PendingBatch> pending_;
+  int64_t next_handle_ = 0;
+  int64_t collected_ = 0;
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_CORE_ASYNC_EXECUTOR_H_

@@ -182,34 +182,6 @@ std::vector<ElementId> ParallelBatchExecutor::DoExecuteBatch(
   return winners;
 }
 
-TournamentResult BatchedAllPlayAll(const std::vector<ElementId>& elements,
-                                   BatchExecutor* executor) {
-  CROWDMAX_CHECK(executor != nullptr);
-  TraceSpanScope batch_span(TraceSpanKind::kBatch, "all_play_all");
-  const size_t k = elements.size();
-  std::vector<ComparisonPair> tasks;
-  tasks.reserve(k * (k > 0 ? k - 1 : 0) / 2);
-  for (size_t i = 0; i < k; ++i) {
-    for (size_t j = i + 1; j < k; ++j) {
-      tasks.push_back({elements[i], elements[j]});
-    }
-  }
-  const std::vector<ElementId> winners = executor->ExecuteBatch(tasks);
-  CROWDMAX_CHECK(winners.size() == tasks.size());
-
-  TournamentResult result;
-  result.wins.assign(k, 0);
-  result.comparisons = static_cast<int64_t>(tasks.size());
-  size_t t = 0;
-  for (size_t i = 0; i < k; ++i) {
-    for (size_t j = i + 1; j < k; ++j, ++t) {
-      CROWDMAX_DCHECK(winners[t] == elements[i] || winners[t] == elements[j]);
-      ++result.wins[winners[t] == elements[i] ? i : j];
-    }
-  }
-  return result;
-}
-
 // ---------------------------------------------------------------------------
 // Batched adapters. Every function below is a thin shell: create an
 // executor-backed RoundEngine, drive the shared RoundSource, translate the
@@ -222,8 +194,34 @@ Result<BatchedFilterResult> BatchedFilterCandidates(
     const std::vector<ElementId>& items, const FilterOptions& options,
     BatchExecutor* executor) {
   CROWDMAX_CHECK(executor != nullptr);
-  Result<std::unique_ptr<RoundEngine>> engine =
-      RoundEngine::CreateBatched(executor);
+  Result<std::unique_ptr<RoundEngine>> engine = RoundEngine::CreateBatched(
+      executor, options.shared_cache, options.cache_class);
+  if (!engine.ok()) return engine.status();
+
+  Result<FilterEngineRun> run =
+      RunFilterOnEngine(items, options, engine->get());
+  if (!run.ok()) return run.status();
+
+  BatchedFilterResult out;
+  out.filter = std::move(run->filter);
+  out.partial = run->partial;
+  out.fault_status = run->fault_status;
+  out.logical_steps = (*engine)->logical_steps();
+  return out;
+}
+
+Result<BatchedFilterResult> PipelinedFilterCandidates(
+    const std::vector<ElementId>& items, const FilterOptions& options,
+    AsyncBatchExecutor* async, const BatchedPipelineOptions& pipeline) {
+  CROWDMAX_CHECK(async != nullptr);
+  SharedPairCache* cache = pipeline.shared_cache != nullptr
+                               ? pipeline.shared_cache
+                               : options.shared_cache;
+  const int64_t cache_class = pipeline.shared_cache != nullptr
+                                  ? pipeline.cache_class
+                                  : options.cache_class;
+  Result<std::unique_ptr<RoundEngine>> engine = RoundEngine::CreatePipelined(
+      async, pipeline.max_in_flight, cache, cache_class);
   if (!engine.ok()) return engine.status();
 
   Result<FilterEngineRun> run =
@@ -239,10 +237,11 @@ Result<BatchedFilterResult> BatchedFilterCandidates(
 }
 
 Result<BatchedMaxFindResult> BatchedTwoMaxFind(
-    const std::vector<ElementId>& items, BatchExecutor* executor) {
+    const std::vector<ElementId>& items, BatchExecutor* executor,
+    SharedPairCache* shared_cache, int64_t cache_class) {
   CROWDMAX_CHECK(executor != nullptr);
   Result<std::unique_ptr<RoundEngine>> engine =
-      RoundEngine::CreateBatched(executor);
+      RoundEngine::CreateBatched(executor, shared_cache, cache_class);
   if (!engine.ok()) return engine.status();
 
   TraceSpanScope phase_span("expert", TraceWorkerClass::kExpert);
@@ -268,8 +267,13 @@ Result<BatchedExpertMaxResult> BatchedFindMaxWithExperts(
   }
   TraceSpanScope run_span(TraceSpanKind::kRun, "batched_expert_max");
 
+  FilterOptions filter_options = options.filter;
+  if (options.shared_cache != nullptr) {
+    filter_options.shared_cache = options.shared_cache;
+    filter_options.cache_class = options.naive_cache_class;
+  }
   Result<BatchedFilterResult> filtered =
-      BatchedFilterCandidates(items, options.filter, naive);
+      BatchedFilterCandidates(items, filter_options, naive);
   if (!filtered.ok()) return filtered.status();
 
   BatchedExpertMaxResult out;
@@ -293,8 +297,9 @@ Result<BatchedExpertMaxResult> BatchedFindMaxWithExperts(
   // Phase 2 runs even on a partial phase 1: the conservative filter never
   // evicts without a counted loss, so the maximum is still among the
   // (possibly oversized) survivor set and the experts can finish the job.
-  Result<BatchedMaxFindResult> phase2 =
-      BatchedTwoMaxFind(out.result.candidates, expert);
+  Result<BatchedMaxFindResult> phase2 = BatchedTwoMaxFind(
+      out.result.candidates, expert, options.shared_cache,
+      options.expert_cache_class);
   if (!phase2.ok()) return phase2.status();
 
   out.result.best = phase2->maxfind.best;
@@ -333,6 +338,10 @@ Result<BatchedTopKResult> BatchedFindTopKWithExperts(
   // top-k element survives (see core/topk.h).
   FilterOptions filter = options.filter;
   filter.u_n = options.filter.u_n + options.k - 1;
+  if (options.shared_cache != nullptr) {
+    filter.shared_cache = options.shared_cache;
+    filter.cache_class = options.naive_cache_class;
+  }
   Result<BatchedFilterResult> filtered =
       BatchedFilterCandidates(items, filter, naive);
   if (!filtered.ok()) return filtered.status();
@@ -358,9 +367,11 @@ Result<BatchedTopKResult> BatchedFindTopKWithExperts(
 
   // Phase 2: one expert all-play-all batch over the candidates; the k
   // biggest winners in win order. A partial filter only enlarges the
-  // candidate set, so the tournament still ranks the true top-k.
-  Result<std::unique_ptr<RoundEngine>> engine =
-      RoundEngine::CreateBatched(expert);
+  // candidate set, so the tournament still ranks the true top-k. Against a
+  // shared cache, pairs an earlier expert-class run already resolved are
+  // answered for free.
+  Result<std::unique_ptr<RoundEngine>> engine = RoundEngine::CreateBatched(
+      expert, options.shared_cache, options.expert_cache_class);
   if (!engine.ok()) return engine.status();
   TraceSpanScope phase_span("expert", TraceWorkerClass::kExpert);
   Result<TournamentEngineRun> tournament =
@@ -428,6 +439,10 @@ Result<BatchedMultilevelResult> BatchedFindMaxMultilevel(
     }
     FilterOptions filter = options.filter_template;
     filter.u_n = spec.u;
+    if (options.shared_cache != nullptr) {
+      filter.shared_cache = options.shared_cache;
+      filter.cache_class = static_cast<int64_t>(level);
+    }
     Result<BatchedFilterResult> filtered =
         BatchedFilterCandidates(current, filter, spec.executor);
     if (!filtered.ok()) return filtered.status();
@@ -449,8 +464,8 @@ Result<BatchedMultilevelResult> BatchedFindMaxMultilevel(
   // executor, through the same engine.
   const size_t last = classes.size() - 1;
   BatchExecutor* final_executor = classes[last].executor;
-  Result<std::unique_ptr<RoundEngine>> engine =
-      RoundEngine::CreateBatched(final_executor);
+  Result<std::unique_ptr<RoundEngine>> engine = RoundEngine::CreateBatched(
+      final_executor, options.shared_cache, static_cast<int64_t>(last));
   if (!engine.ok()) return engine.status();
   TraceSpanScope phase_span("expert", TraceWorkerClass::kExpert);
   switch (options.final_phase) {

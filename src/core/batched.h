@@ -142,6 +142,15 @@ class BatchExecutor {
   /// algorithms thread the report into their results without RTTI.
   virtual const FaultReport* fault_report() const { return nullptr; }
 
+  /// Drains the simulated crowd round-trip latency (microseconds) this
+  /// executor has accumulated since the last drain. Executors without a
+  /// latency model return 0 (the default). PlatformBatchExecutor banks the
+  /// platform's per-batch latency draws here; decorators forward to their
+  /// inner executor. The caller decides what to do with the time: the
+  /// engine's non-pipelined drive sleeps it out inline, the pipelined
+  /// drive (core/async_executor.h) overlaps it with later submissions.
+  virtual int64_t TakeSimulatedLatencyMicros() { return 0; }
+
  protected:
   BatchExecutor() = default;
 
@@ -219,12 +228,10 @@ class ParallelBatchExecutor : public BatchExecutor {
   int64_t chunk_size_;
 };
 
-/// One all-play-all tournament as a single batch (one logical step).
-[[deprecated(
-    "drive RunTournamentOnEngine on RoundEngine::CreateBatched instead; "
-    "this wrapper bypasses the engine's cache and fault accounting")]]
-TournamentResult BatchedAllPlayAll(const std::vector<ElementId>& elements,
-                                   BatchExecutor* executor);
+// BatchedAllPlayAll was deprecated (it bypassed the engine's cache and
+// fault accounting) and has been removed; drive RunTournamentOnEngine on
+// RoundEngine::CreateBatched instead. See DESIGN.md §10's deprecation
+// table.
 
 /// FilterResult plus the logical steps the run consumed.
 struct BatchedFilterResult {
@@ -241,10 +248,34 @@ struct BatchedFilterResult {
 /// Algorithm 2 with each round's group tournaments issued as one batch:
 /// O(log n) logical steps. Supports the same options as FilterCandidates;
 /// `memoize` keeps a pair cache across rounds so repeated pairs are not
-/// re-sent to the crowd.
+/// re-sent to the crowd, and `shared_cache`/`cache_class` share that cache
+/// across calls of the same worker class.
 Result<BatchedFilterResult> BatchedFilterCandidates(
     const std::vector<ElementId>& items, const FilterOptions& options,
     BatchExecutor* executor);
+
+/// Options of the pipelined (latency-hiding) adapters.
+struct BatchedPipelineOptions {
+  /// Rounds allowed to ride the simulated crowd latency concurrently
+  /// (RoundEngine::CreatePipelined). 1 degenerates to the batched path's
+  /// schedule with async submission.
+  int64_t max_in_flight = 4;
+  /// Cross-call pair-evidence sharing for the pipelined engine; overrides
+  /// FilterOptions::shared_cache/cache_class when set. Not owned.
+  SharedPairCache* shared_cache = nullptr;
+  int64_t cache_class = 0;
+};
+
+/// Algorithm 2 driven on a pipelined engine: rounds are submitted through
+/// `async` and overlap their crowd round trips wherever the source's
+/// legality conditions hold. Set FilterOptions::pipeline_groups to emit one
+/// engine round per disjoint group — with it off every round is a
+/// dependency barrier and the pipeline never gets deeper than 1. Results,
+/// counters and traces are bit-identical to BatchedFilterCandidates over
+/// the same executor stack with the same options; only wall-clock differs.
+Result<BatchedFilterResult> PipelinedFilterCandidates(
+    const std::vector<ElementId>& items, const FilterOptions& options,
+    AsyncBatchExecutor* async, const BatchedPipelineOptions& pipeline = {});
 
 /// MaxFindResult plus the logical steps the run consumed.
 struct BatchedMaxFindResult {
@@ -262,9 +293,11 @@ struct BatchedMaxFindResult {
 /// 2-MaxFind with two batches per round (sample tournament, then the
 /// pivot's elimination scan) and one final batch: O(sqrt(s)) logical
 /// steps. Always memoizes (the paper's assumption), so repeated pairs are
-/// answered from cache without a step.
+/// answered from cache without a step; pass a `shared_cache` to extend the
+/// memo across calls of the same worker class (1 = expert by convention).
 Result<BatchedMaxFindResult> BatchedTwoMaxFind(
-    const std::vector<ElementId>& items, BatchExecutor* executor);
+    const std::vector<ElementId>& items, BatchExecutor* executor,
+    SharedPairCache* shared_cache = nullptr, int64_t cache_class = 1);
 
 /// Two-phase result plus per-class logical steps and fault accounting.
 struct BatchedExpertMaxResult {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
+#include "core/round_engine.h"
+#include "core/tournament.h"
 #include "core/trace.h"
 
 namespace crowdmax {
@@ -19,10 +22,19 @@ Result<ExpertMaxResult> FindMaxWithExperts(const std::vector<ElementId>& items,
   }
   TraceSpanScope run_span(TraceSpanKind::kRun, "expert_max");
 
+  FilterOptions filter_options = options.filter;
+  TwoMaxFindOptions two_maxfind_options = options.two_maxfind;
+  if (options.shared_cache != nullptr) {
+    filter_options.shared_cache = options.shared_cache;
+    filter_options.cache_class = options.naive_cache_class;
+    two_maxfind_options.shared_cache = options.shared_cache;
+    two_maxfind_options.cache_class = options.expert_cache_class;
+  }
+
   // Phase 1: filter with naive workers (FilterCandidates opens the
   // "filter" phase span and records its per-round cells).
   Result<FilterResult> filtered =
-      FilterCandidates(items, options.filter, naive);
+      FilterCandidates(items, filter_options, naive);
   if (!filtered.ok()) return filtered.status();
 
   ExpertMaxResult result;
@@ -47,13 +59,33 @@ Result<ExpertMaxResult> FindMaxWithExperts(const std::vector<ElementId>& items,
   Result<MaxFindResult> phase2 = Status::Internal("unreachable");
   switch (options.phase2) {
     case Phase2Algorithm::kTwoMaxFind:
-      phase2 = TwoMaxFind(result.candidates, expert, options.two_maxfind);
+      phase2 = TwoMaxFind(result.candidates, expert, two_maxfind_options);
       break;
     case Phase2Algorithm::kRandomized:
       phase2 = RandomizedMaxFind(result.candidates, expert, options.randomized);
       break;
     case Phase2Algorithm::kAllPlayAll:
-      phase2 = AllPlayAllMax(result.candidates, expert);
+      if (options.shared_cache != nullptr) {
+        // Memoized tournament on a shared-cache engine: candidate pairs an
+        // earlier expert-class engine already resolved are answered for
+        // free, and every pair bought here seeds later runs.
+        const std::unique_ptr<RoundEngine> engine = RoundEngine::CreateSerial(
+            expert, /*memoize=*/true, options.shared_cache,
+            options.expert_cache_class);
+        Result<TournamentEngineRun> run =
+            RunTournamentOnEngine(result.candidates, engine.get());
+        if (!run.ok()) {
+          phase2 = run.status();
+          break;
+        }
+        MaxFindResult tallied;
+        tallied.best = result.candidates[IndexOfMostWins(run->tournament)];
+        tallied.issued_comparisons = run->tournament.comparisons;
+        tallied.paid_comparisons = engine->paid();
+        phase2 = tallied;
+      } else {
+        phase2 = AllPlayAllMax(result.candidates, expert);
+      }
       break;
   }
   if (!phase2.ok()) return phase2.status();

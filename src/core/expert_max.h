@@ -44,6 +44,21 @@ struct ExpertMaxOptions {
   Phase2Algorithm phase2 = Phase2Algorithm::kTwoMaxFind;
   TwoMaxFindOptions two_maxfind;
   RandomizedMaxFindOptions randomized;
+
+  /// Cross-phase pair-evidence sharing (core/round_engine.h). When set, it
+  /// overrides the sub-options' cache fields: phase 1 memoizes its naive
+  /// evidence into `shared_cache[naive_cache_class]` and phase 2 (2-MaxFind
+  /// or all-play-all) into `shared_cache[expert_cache_class]`. Dedup is
+  /// within-class only — naive answers never substitute for expert answers
+  /// — so phase 2 reuses phase-1 evidence exactly when both classes share
+  /// an id, i.e. both phases buy from the very same crowd (the single-class
+  /// regime of the paper's u_n = u_e degenerate case). The main gain is
+  /// across calls: a later run on the same (cache, class) answers every
+  /// already-resolved pair for free. kRandomized runs unmemoized by design
+  /// and never reads or writes the cache. Not owned; must outlive the call.
+  SharedPairCache* shared_cache = nullptr;
+  int64_t naive_cache_class = 0;
+  int64_t expert_cache_class = 1;
 };
 
 /// Execution record of the two-phase algorithm.

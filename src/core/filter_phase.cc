@@ -45,145 +45,87 @@ class FilterRoundSource : public RoundSource {
                     const FilterOptions& options, bool partial_evidence)
       : options_(options),
         partial_evidence_(partial_evidence),
+        group_rounds_(options.pipeline_groups),
         current_(items) {}
 
   Result<bool> NextRound(EngineRound* round) override {
     if (done_) return false;
-    const int64_t u_n = options_.u_n;
-    const int64_t g = options_.group_size_multiplier * u_n;
-    const int64_t n_cur = static_cast<int64_t>(current_.size());
-    if (n_cur < 2 * u_n) return false;
-
-    // Partition survivors into this round's groups. Only the final group
-    // can be short; with at most u_n elements it advances untouched (a
-    // tournament could not eliminate anyone anyway, since everyone keeps
-    // at least |G| - u_n <= 0 wins).
-    groups_.clear();
-    tail_.clear();
-    for (int64_t start = 0; start < n_cur; start += g) {
-      const int64_t m = std::min(g, n_cur - start);
-      auto first = current_.begin() + start;
-      if (m <= u_n) {
-        tail_.assign(first, first + m);
-      } else {
-        groups_.emplace_back(first, first + m);
+    if (!group_rounds_) {
+      if (!Partition()) return false;
+      round->units.reserve(groups_.size());
+      for (const std::vector<ElementId>& group : groups_) {
+        round->units.push_back(MakeGroupUnit(group));
       }
+      round->open_round_comparator = result_.rounds + 1;
+      round->open_round_executor = result_.rounds + 1;
+      round->close_round_comparator = true;
+      round->close_round_executor = true;
+      round->record_round_cell = true;
+      round->clear_round_cache = !options_.memoize;
+      return true;
     }
 
-    round->units.reserve(groups_.size());
-    for (const std::vector<ElementId>& group : groups_) {
-      RoundUnit unit;
-      unit.pairs.reserve(group.size() * (group.size() - 1) / 2);
-      for (size_t i = 0; i < group.size(); ++i) {
-        for (size_t j = i + 1; j < group.size(); ++j) {
-          unit.pairs.push_back({group[i], group[j]});
-        }
-      }
-      round->units.push_back(std::move(unit));
+    // Group-granular emission: one engine round per group. The logical
+    // round's trace span opens with the first group and closes with the
+    // last group's consume, so the span shape matches the combined
+    // emission. A freshly-partitioned logical round never overlaps the
+    // previous one (CanPipelineNextRound went false at its last group, so
+    // the engine drained the pipeline before calling here again).
+    if (next_emit_ >= groups_.size()) {
+      if (!Partition()) return false;
     }
-    round->open_round_comparator = result_.rounds + 1;
-    round->open_round_executor = result_.rounds + 1;
-    round->close_round_comparator = true;
-    round->close_round_executor = true;
+    round->units.push_back(MakeGroupUnit(groups_[next_emit_]));
+    if (next_emit_ == 0) {
+      round->open_round_comparator = result_.rounds + 1;
+      round->open_round_executor = result_.rounds + 1;
+      round->clear_round_cache = !options_.memoize;
+    }
+    if (next_emit_ + 1 == groups_.size()) {
+      round->close_round_comparator = true;
+      round->close_round_executor = true;
+    }
     round->record_round_cell = true;
-    round->clear_round_cache = !options_.memoize;
+    ++next_emit_;
     return true;
+  }
+
+  bool CanPipelineNextRound() const override {
+    // The remaining groups of a partitioned logical round are
+    // latency-independent: their pair sets are disjoint (groups share no
+    // element) and their content was fixed at partition time. The first
+    // group of the *next* logical round depends on this round's survivor
+    // selection, so emission stops pipelining at the round boundary.
+    return group_rounds_ && !done_ && next_emit_ > 0 &&
+           next_emit_ < groups_.size();
   }
 
   Status ConsumeOutcome(const EngineRound& /*round*/,
                         const RoundOutcome& outcome) override {
-    result_.round_sizes.push_back(static_cast<int64_t>(current_.size()));
-    ++result_.rounds;
+    const bool first = group_rounds_ ? next_consume_ == 0 : true;
+    if (first) {
+      result_.round_sizes.push_back(static_cast<int64_t>(current_.size()));
+      ++result_.rounds;
+      round_next_.clear();
+      round_next_.reserve(current_.size() / 2 + 1);
+      round_unresolved_ = 0;
+      round_fault_ = Status::OK();
+    }
     result_.issued_comparisons += outcome.issued;
+    if (round_fault_.ok() && !outcome.fault.ok()) round_fault_ = outcome.fault;
 
     // Barrier work, single-threaded and in group order: tallies, loss
-    // counters, survivor selection. An unresolved pair is missing
-    // evidence: it eliminates neither element (both tally the win) and
-    // the engine re-issues it next round.
-    const int64_t u_n = options_.u_n;
-    int64_t unresolved_pairs = 0;
-    std::vector<ElementId> next;
-    next.reserve(current_.size() / 2 + 1);
-    for (size_t gi = 0; gi < groups_.size(); ++gi) {
-      const std::vector<ElementId>& group = groups_[gi];
-      const std::vector<ElementId>& winners = outcome.winners[gi];
-      std::vector<int64_t> wins(group.size(), 0);
-      size_t t = 0;
-      for (size_t i = 0; i < group.size(); ++i) {
-        for (size_t j = i + 1; j < group.size(); ++j, ++t) {
-          const ElementId winner = winners[t];
-          if (winner == kUnresolvedWinner) {
-            ++unresolved_pairs;
-            ++wins[i];
-            ++wins[j];
-            continue;
-          }
-          ++wins[winner == group[i] ? i : j];
-          if (options_.global_loss_counter) {
-            losses_[winner == group[i] ? group[j] : group[i]].insert(winner);
-          }
-        }
+    // counters, survivor selection (once every group of the logical round
+    // is in). No trace operations happen here — the pipelining legality
+    // rule (c) that keeps interleaved consumes trace-silent.
+    if (!group_rounds_) {
+      for (size_t gi = 0; gi < groups_.size(); ++gi) {
+        TallyGroup(groups_[gi], outcome.winners[gi]);
       }
-      // Keep elements with at least |G| - u_n wins (equivalently, fewer
-      // than u_n losses inside the group).
-      const int64_t keep_threshold =
-          static_cast<int64_t>(group.size()) - u_n;
-      for (size_t i = 0; i < group.size(); ++i) {
-        if (wins[i] >= keep_threshold) next.push_back(group[i]);
-      }
+      return FinishLogicalRound();
     }
-    next.insert(next.end(), tail_.begin(), tail_.end());
-
-    if (options_.global_loss_counter) {
-      // Evict elements that have lost to more than u_n distinct opponents
-      // in total; by Lemma 1 they cannot be the maximum.
-      auto cannot_be_max = [&](ElementId e) {
-        auto it = losses_.find(e);
-        return it != losses_.end() &&
-               static_cast<int64_t>(it->second.size()) > u_n;
-      };
-      const size_t before = next.size();
-      next.erase(std::remove_if(next.begin(), next.end(), cannot_be_max),
-                 next.end());
-      result_.evicted_by_loss_counter +=
-          static_cast<int64_t>(before - next.size());
-    }
-
-    // With an underestimated u_n a round can eliminate everyone (no group
-    // member reaches |G| - u_n wins). Degrade gracefully: keep the
-    // pre-round survivors instead of returning an empty set.
-    if (next.empty()) {
-      result_.hit_empty_round = true;
-      done_ = true;
-      return Status::OK();
-    }
-
-    if (next.size() >= current_.size()) {
-      if (!partial_evidence_ || (unresolved_pairs == 0 && outcome.fault.ok())) {
-        // Lemma 2 guarantees strict shrinkage while |L_i| >= 2*u_n with
-        // full evidence; a violation means a broken answer contract.
-        if (!partial_evidence_) {
-          CROWDMAX_CHECK(next.size() < current_.size());
-        }
-        return Status::Internal(
-            "batched filter made no progress with full evidence; executor "
-            "answers are inconsistent");
-      }
-      // Faults withheld too much evidence to shrink the pool: stop and
-      // report the survivors so far. The conservative tally never evicts
-      // without a counted loss, so the maximum is still among them.
-      partial_ = true;
-      fault_status_ =
-          outcome.fault.ok()
-              ? Status::Unavailable(
-                    "filter round made no progress: " +
-                    std::to_string(unresolved_pairs) +
-                    " comparisons unresolved after executor recovery")
-              : outcome.fault;
-      done_ = true;
-      return Status::OK();
-    }
-    current_ = std::move(next);
+    TallyGroup(groups_[next_consume_], outcome.winners[0]);
+    ++next_consume_;
+    if (next_consume_ == groups_.size()) return FinishLogicalRound();
     return Status::OK();
   }
 
@@ -200,11 +142,151 @@ class FilterRoundSource : public RoundSource {
   }
 
  private:
+  /// Partitions the survivors into this logical round's groups (only the
+  /// final group can be short; with at most u_n elements it advances
+  /// untouched, since a tournament could not eliminate anyone anyway —
+  /// everyone keeps at least |G| - u_n <= 0 wins). Returns false when
+  /// fewer than 2*u_n survivors remain (the loop exit).
+  bool Partition() {
+    const int64_t u_n = options_.u_n;
+    const int64_t g = options_.group_size_multiplier * u_n;
+    const int64_t n_cur = static_cast<int64_t>(current_.size());
+    if (n_cur < 2 * u_n) return false;
+    groups_.clear();
+    tail_.clear();
+    for (int64_t start = 0; start < n_cur; start += g) {
+      const int64_t m = std::min(g, n_cur - start);
+      auto first = current_.begin() + start;
+      if (m <= u_n) {
+        tail_.assign(first, first + m);
+      } else {
+        groups_.emplace_back(first, first + m);
+      }
+    }
+    next_emit_ = 0;
+    next_consume_ = 0;
+    return true;
+  }
+
+  static RoundUnit MakeGroupUnit(const std::vector<ElementId>& group) {
+    RoundUnit unit;
+    unit.pairs.reserve(group.size() * (group.size() - 1) / 2);
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        unit.pairs.push_back({group[i], group[j]});
+      }
+    }
+    return unit;
+  }
+
+  /// Tallies one group's winners and appends its survivors to the round's
+  /// pending set. An unresolved pair is missing evidence: it eliminates
+  /// neither element (both tally the win) and the engine re-issues it
+  /// next round.
+  void TallyGroup(const std::vector<ElementId>& group,
+                  const std::vector<ElementId>& winners) {
+    const int64_t u_n = options_.u_n;
+    std::vector<int64_t> wins(group.size(), 0);
+    size_t t = 0;
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j, ++t) {
+        const ElementId winner = winners[t];
+        if (winner == kUnresolvedWinner) {
+          ++round_unresolved_;
+          ++wins[i];
+          ++wins[j];
+          continue;
+        }
+        ++wins[winner == group[i] ? i : j];
+        if (options_.global_loss_counter) {
+          losses_[winner == group[i] ? group[j] : group[i]].insert(winner);
+        }
+      }
+    }
+    // Keep elements with at least |G| - u_n wins (equivalently, fewer
+    // than u_n losses inside the group).
+    const int64_t keep_threshold = static_cast<int64_t>(group.size()) - u_n;
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (wins[i] >= keep_threshold) round_next_.push_back(group[i]);
+    }
+  }
+
+  /// Survivor selection at the logical-round barrier, identical for both
+  /// emission granularities.
+  Status FinishLogicalRound() {
+    const int64_t u_n = options_.u_n;
+    round_next_.insert(round_next_.end(), tail_.begin(), tail_.end());
+
+    if (options_.global_loss_counter) {
+      // Evict elements that have lost to more than u_n distinct opponents
+      // in total; by Lemma 1 they cannot be the maximum.
+      auto cannot_be_max = [&](ElementId e) {
+        auto it = losses_.find(e);
+        return it != losses_.end() &&
+               static_cast<int64_t>(it->second.size()) > u_n;
+      };
+      const size_t before = round_next_.size();
+      round_next_.erase(std::remove_if(round_next_.begin(), round_next_.end(),
+                                       cannot_be_max),
+                        round_next_.end());
+      result_.evicted_by_loss_counter +=
+          static_cast<int64_t>(before - round_next_.size());
+    }
+
+    // With an underestimated u_n a round can eliminate everyone (no group
+    // member reaches |G| - u_n wins). Degrade gracefully: keep the
+    // pre-round survivors instead of returning an empty set.
+    if (round_next_.empty()) {
+      result_.hit_empty_round = true;
+      done_ = true;
+      return Status::OK();
+    }
+
+    if (round_next_.size() >= current_.size()) {
+      if (!partial_evidence_ ||
+          (round_unresolved_ == 0 && round_fault_.ok())) {
+        // Lemma 2 guarantees strict shrinkage while |L_i| >= 2*u_n with
+        // full evidence; a violation means a broken answer contract.
+        if (!partial_evidence_) {
+          CROWDMAX_CHECK(round_next_.size() < current_.size());
+        }
+        return Status::Internal(
+            "batched filter made no progress with full evidence; executor "
+            "answers are inconsistent");
+      }
+      // Faults withheld too much evidence to shrink the pool: stop and
+      // report the survivors so far. The conservative tally never evicts
+      // without a counted loss, so the maximum is still among them.
+      partial_ = true;
+      fault_status_ =
+          round_fault_.ok()
+              ? Status::Unavailable(
+                    "filter round made no progress: " +
+                    std::to_string(round_unresolved_) +
+                    " comparisons unresolved after executor recovery")
+              : round_fault_;
+      done_ = true;
+      return Status::OK();
+    }
+    current_ = std::move(round_next_);
+    round_next_.clear();
+    return Status::OK();
+  }
+
   const FilterOptions options_;
   const bool partial_evidence_;
+  const bool group_rounds_;
   std::vector<ElementId> current_;
   std::vector<std::vector<ElementId>> groups_;
   std::vector<ElementId> tail_;
+  // Group-granular emission cursors into groups_ (emission may run ahead
+  // of consumption while groups are in flight on a pipelined engine).
+  size_t next_emit_ = 0;
+  size_t next_consume_ = 0;
+  // Logical-round accumulators, reset at each round's first consume.
+  std::vector<ElementId> round_next_;
+  int64_t round_unresolved_ = 0;
+  Status round_fault_ = Status::OK();
   // losses_[e] = distinct opponents e has lost to, across all rounds
   // (Appendix A, optimization 2). Sets stay small: an element is evicted
   // once its set exceeds u_n.
@@ -249,11 +331,14 @@ Result<FilterResult> FilterCandidates(const std::vector<ElementId>& items,
   std::unique_ptr<RoundEngine> engine;
   if (options.threads >= 1) {
     Result<std::unique_ptr<RoundEngine>> parallel = RoundEngine::CreateParallel(
-        naive, options.threads, options.parallel_seed, options.memoize);
+        naive, options.threads, options.parallel_seed, options.memoize,
+        options.shared_cache, options.cache_class);
     if (!parallel.ok()) return parallel.status();
     engine = std::move(*parallel);
   } else {
-    engine = RoundEngine::CreateSerial(naive, options.memoize);
+    engine = RoundEngine::CreateSerial(naive, options.memoize,
+                                       options.shared_cache,
+                                       options.cache_class);
   }
 
   Result<FilterEngineRun> run = RunFilterOnEngine(items, options, engine.get());

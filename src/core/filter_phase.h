@@ -28,6 +28,8 @@
 
 namespace crowdmax {
 
+class SharedPairCache;
+
 /// Tuning knobs for Algorithm 2.
 struct FilterOptions {
   /// The paper's u_n(n): assumed number of elements naive-indistinguishable
@@ -70,6 +72,33 @@ struct FilterOptions {
 
   /// Seed of the per-group RNG fork chain used when threads >= 1.
   uint64_t parallel_seed = 0x9E3779B97F4A7C15ULL;
+
+  /// Emit each round's disjoint group tournaments as separate engine
+  /// rounds (one group per round) instead of one combined round. The
+  /// groups of a filter round share no element, so their pair sets are
+  /// disjoint and each group's content is known the moment the round is
+  /// partitioned — exactly the RoundSource::CanPipelineNextRound legality
+  /// conditions — which lets the pipelined engine (RoundEngine::
+  /// CreatePipelined) overlap the groups' crowd round trips. Survivor
+  /// selection still happens once per logical round, after every group's
+  /// outcome arrived, so winners, survivor sets and paid counts are
+  /// identical to the combined emission; only step accounting changes
+  /// granularity (one logical step per group rather than per round).
+  bool pipeline_groups = false;
+
+  /// Cross-phase pair-evidence sharing (core/round_engine.h): when set,
+  /// the filter's engine memoizes into this cache's `cache_class` map
+  /// instead of a private one, so every pair the filter resolves is free
+  /// for any later engine driven on the same (cache, class) — and pairs an
+  /// earlier run of the same class resolved are free here. Implies
+  /// `memoize`. Not owned; must outlive the call.
+  SharedPairCache* shared_cache = nullptr;
+  /// Worker-class id of this filter's evidence in `shared_cache`. Dedup is
+  /// within-class only: naive evidence must never substitute for expert
+  /// evidence, so use distinct ids per worker class (0 = naive by
+  /// convention) and share an id only between phases buying from the very
+  /// same crowd.
+  int64_t cache_class = 0;
 };
 
 /// Outcome of the filtering phase.

@@ -489,7 +489,8 @@ Result<MaxFindResult> TwoMaxFind(const std::vector<ElementId>& items,
                                  const TwoMaxFindOptions& options) {
   CROWDMAX_CHECK(comparator != nullptr);
   const std::unique_ptr<RoundEngine> engine =
-      RoundEngine::CreateSerial(comparator, options.memoize);
+      RoundEngine::CreateSerial(comparator, options.memoize,
+                                options.shared_cache, options.cache_class);
   Result<MaxFindEngineRun> run = RunTwoMaxFindOnEngine(items, engine.get());
   if (!run.ok()) return run.status();
   // Comparator backends never leave a round without evidence.

@@ -43,6 +43,8 @@ struct MaxFindResult {
 Result<MaxFindResult> AllPlayAllMax(const std::vector<ElementId>& items,
                                     Comparator* comparator);
 
+class SharedPairCache;
+
 /// Options for TwoMaxFind.
 struct TwoMaxFindOptions {
   /// Remember each pair's answer and never re-ask (the paper assumes this:
@@ -51,6 +53,14 @@ struct TwoMaxFindOptions {
   /// comparators; with it off the algorithm aborts with Internal status
   /// after a progress-failure budget is exhausted.
   bool memoize = true;
+
+  /// Cross-phase pair-evidence sharing (core/round_engine.h): when set,
+  /// memoize into this cache's `cache_class` map instead of a private one,
+  /// so pairs already resolved by an earlier engine of the same worker
+  /// class are answered for free. Dedup is within-class only (1 = expert
+  /// by convention). Not owned; must outlive the call.
+  SharedPairCache* shared_cache = nullptr;
+  int64_t cache_class = 1;
 };
 
 /// Algorithm 3 (2-MaxFind). Repeatedly: tournament among ceil(sqrt(s))

@@ -1,8 +1,11 @@
 #include "core/multilevel.h"
 
+#include <memory>
 #include <utility>
 
 #include "core/maxfind.h"
+#include "core/round_engine.h"
+#include "core/tournament.h"
 
 namespace crowdmax {
 
@@ -38,6 +41,10 @@ Result<MultilevelResult> FindMaxMultilevel(
     }
     FilterOptions filter = options.filter_template;
     filter.u_n = spec.u;
+    if (options.shared_cache != nullptr) {
+      filter.shared_cache = options.shared_cache;
+      filter.cache_class = static_cast<int64_t>(level);
+    }
     Result<FilterResult> filtered =
         FilterCandidates(current, filter, spec.comparator);
     if (!filtered.ok()) return filtered.status();
@@ -52,18 +59,37 @@ Result<MultilevelResult> FindMaxMultilevel(
 
   // Final level: phase-2 max-finding with the most expert class.
   const size_t last = classes.size() - 1;
+  TwoMaxFindOptions two_maxfind = options.two_maxfind;
+  if (options.shared_cache != nullptr) {
+    two_maxfind.shared_cache = options.shared_cache;
+    two_maxfind.cache_class = static_cast<int64_t>(last);
+  }
   Result<MaxFindResult> final_result = Status::Internal("unreachable");
   switch (options.final_phase) {
     case Phase2Algorithm::kTwoMaxFind:
       final_result =
-          TwoMaxFind(current, classes[last].comparator, options.two_maxfind);
+          TwoMaxFind(current, classes[last].comparator, two_maxfind);
       break;
     case Phase2Algorithm::kRandomized:
       final_result = RandomizedMaxFind(current, classes[last].comparator,
                                        options.randomized);
       break;
     case Phase2Algorithm::kAllPlayAll:
-      final_result = AllPlayAllMax(current, classes[last].comparator);
+      if (options.shared_cache != nullptr) {
+        const std::unique_ptr<RoundEngine> engine = RoundEngine::CreateSerial(
+            classes[last].comparator, /*memoize=*/true, options.shared_cache,
+            static_cast<int64_t>(last));
+        Result<TournamentEngineRun> run =
+            RunTournamentOnEngine(current, engine.get());
+        if (!run.ok()) return run.status();
+        MaxFindResult tallied;
+        tallied.best = current[IndexOfMostWins(run->tournament)];
+        tallied.issued_comparisons = run->tournament.comparisons;
+        tallied.paid_comparisons = engine->paid();
+        final_result = tallied;
+      } else {
+        final_result = AllPlayAllMax(current, classes[last].comparator);
+      }
       break;
   }
   if (!final_result.ok()) return final_result.status();

@@ -42,6 +42,15 @@ struct MultilevelOptions {
   Phase2Algorithm final_phase = Phase2Algorithm::kTwoMaxFind;
   TwoMaxFindOptions two_maxfind;
   RandomizedMaxFindOptions randomized;
+
+  /// Cross-call pair-evidence sharing (core/round_engine.h). When set, it
+  /// overrides the template/sub-option cache fields: level k's engine
+  /// memoizes into `shared_cache[k]` (the class index doubles as the cache
+  /// class id, so classes of different expertise never trade evidence), and
+  /// a repeated cascade over overlapping items answers every pair a
+  /// previous run's same level resolved for free. kRandomized finals run
+  /// unmemoized and never share. Not owned; must outlive the call.
+  SharedPairCache* shared_cache = nullptr;
 };
 
 /// Execution record of the cascade.

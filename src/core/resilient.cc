@@ -49,6 +49,10 @@ void ResilientBatchExecutor::ResetCounters() {
   report_ = FaultReport();
 }
 
+int64_t ResilientBatchExecutor::TakeSimulatedLatencyMicros() {
+  return inner_->TakeSimulatedLatencyMicros();
+}
+
 std::vector<ElementId> ResilientBatchExecutor::DoExecuteBatch(
     const std::vector<ComparisonPair>& tasks) {
   Result<std::vector<BatchTaskResult>> results = DoTryExecuteBatch(tasks);
@@ -190,6 +194,10 @@ Result<std::vector<BatchTaskResult>> ResilientBatchExecutor::DoTryExecuteBatch(
 FaultInjectingBatchExecutor::FaultInjectingBatchExecutor(
     BatchExecutor* inner, const InjectedFaultOptions& options)
     : inner_(inner), options_(options), rng_(options.seed) {}
+
+int64_t FaultInjectingBatchExecutor::TakeSimulatedLatencyMicros() {
+  return inner_->TakeSimulatedLatencyMicros();
+}
 
 Result<std::unique_ptr<FaultInjectingBatchExecutor>>
 FaultInjectingBatchExecutor::Create(BatchExecutor* inner,

@@ -88,6 +88,10 @@ class ResilientBatchExecutor : public BatchExecutor {
   /// platform adapter with its own snapshot discipline).
   void ResetCounters() override;
 
+  /// Simulated latency accrues in the inner stack (every attempt's round
+  /// trip, retries included); the decorator just drains it through.
+  int64_t TakeSimulatedLatencyMicros() override;
+
  private:
   ResilientBatchExecutor(BatchExecutor* inner, const ResilientOptions& options);
 
@@ -145,6 +149,11 @@ class FaultInjectingBatchExecutor : public BatchExecutor {
   int64_t injected_drops() const { return injected_drops_; }
   int64_t injected_no_quorums() const { return injected_no_quorums_; }
   int64_t injected_unavailable() const { return injected_unavailable_; }
+
+  /// Forwards the inner stack's simulated latency (injected failures cost
+  /// no extra round trip: an injected-unavailable submission never reached
+  /// the inner executor).
+  int64_t TakeSimulatedLatencyMicros() override;
 
  private:
   FaultInjectingBatchExecutor(BatchExecutor* inner,

@@ -1,9 +1,14 @@
 #include "core/round_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "common/metrics.h"
+#include "core/async_executor.h"
 #include "core/batched.h"
 #include "core/trace.h"
 
@@ -21,7 +26,37 @@ void ObserveTournamentSize(int64_t size) {
   sizes->Observe(size);
 }
 
+// Non-pipelined executor rounds still pay the crowd round-trip: the engine
+// sleeps out whatever simulated latency the executor stack accumulated for
+// this round. A no-op with the latency model off (the default).
+void SleepOutLatency(BatchExecutor* executor) {
+  const int64_t micros = executor->TakeSimulatedLatencyMicros();
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+void ObservePipelineDepth(int64_t in_flight) {
+  if (!MetricsEnabled()) return;
+  static Counter* overlapped = MetricsRegistry::Default()->GetCounter(
+      "crowdmax.pipeline.overlapped_rounds");
+  static Gauge* depth =
+      MetricsRegistry::Default()->GetGauge("crowdmax.pipeline.max_in_flight");
+  if (in_flight > 1) overlapped->Increment();
+  if (in_flight > depth->value()) depth->Set(in_flight);
+}
+
 }  // namespace
+
+int64_t SharedPairCache::ResolvedPairs(int64_t class_id) const {
+  auto it = maps_.find(class_id);
+  if (it == maps_.end()) return 0;
+  int64_t resolved = 0;
+  for (const auto& [key, winner] : it->second) {
+    if (winner != kUnresolvedWinner) ++resolved;
+  }
+  return resolved;
+}
 
 uint64_t RoundPairKey(ElementId a, ElementId b) {
   const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
@@ -39,11 +74,14 @@ int64_t EngineRound::TotalPairs() const {
 
 RoundEngine::RoundEngine(Backend backend, Comparator* comparator,
                          BatchExecutor* executor, bool memoize,
-                         int64_t threads, uint64_t seed)
+                         int64_t threads, uint64_t seed,
+                         SharedPairCache* shared_cache, int64_t cache_class)
     : backend_(backend),
       comparator_(comparator),
       executor_(executor),
       memoize_(memoize),
+      cache_(shared_cache != nullptr ? shared_cache->ForClass(cache_class)
+                                     : &owned_cache_),
       seeder_(seed),
       threads_(threads) {
   if (backend_ == Backend::kParallel) {
@@ -56,15 +94,21 @@ RoundEngine::RoundEngine(Backend backend, Comparator* comparator,
   }
 }
 
-std::unique_ptr<RoundEngine> RoundEngine::CreateSerial(Comparator* comparator,
-                                                       bool memoize) {
+std::unique_ptr<RoundEngine> RoundEngine::CreateSerial(
+    Comparator* comparator, bool memoize, SharedPairCache* shared_cache,
+    int64_t cache_class) {
   CROWDMAX_CHECK(comparator != nullptr);
-  return std::unique_ptr<RoundEngine>(new RoundEngine(
-      Backend::kSerial, comparator, nullptr, memoize, 0, 0));
+  return std::unique_ptr<RoundEngine>(
+      new RoundEngine(Backend::kSerial, comparator, nullptr,
+                      // A shared cache only works through memoization;
+                      // opting into sharing implies it.
+                      memoize || shared_cache != nullptr, 0, 0, shared_cache,
+                      cache_class));
 }
 
 Result<std::unique_ptr<RoundEngine>> RoundEngine::CreateParallel(
-    Comparator* comparator, int64_t threads, uint64_t seed, bool memoize) {
+    Comparator* comparator, int64_t threads, uint64_t seed, bool memoize,
+    SharedPairCache* shared_cache, int64_t cache_class) {
   CROWDMAX_CHECK(comparator != nullptr);
   if (threads < 1) {
     return Status::InvalidArgument("threads must be >= 1");
@@ -77,14 +121,33 @@ Result<std::unique_ptr<RoundEngine>> RoundEngine::CreateParallel(
         "a forkable comparator (see comparator.h thread-safety contract)");
   }
   return std::unique_ptr<RoundEngine>(new RoundEngine(
-      Backend::kParallel, comparator, nullptr, memoize, threads, seed));
+      Backend::kParallel, comparator, nullptr,
+      memoize || shared_cache != nullptr, threads, seed, shared_cache,
+      cache_class));
 }
 
 Result<std::unique_ptr<RoundEngine>> RoundEngine::CreateBatched(
-    BatchExecutor* executor) {
+    BatchExecutor* executor, SharedPairCache* shared_cache,
+    int64_t cache_class) {
   CROWDMAX_CHECK(executor != nullptr);
-  return std::unique_ptr<RoundEngine>(new RoundEngine(
-      Backend::kExecutor, nullptr, executor, /*memoize=*/true, 0, 0));
+  return std::unique_ptr<RoundEngine>(
+      new RoundEngine(Backend::kExecutor, nullptr, executor, /*memoize=*/true,
+                      0, 0, shared_cache, cache_class));
+}
+
+Result<std::unique_ptr<RoundEngine>> RoundEngine::CreatePipelined(
+    AsyncBatchExecutor* async, int64_t max_in_flight,
+    SharedPairCache* shared_cache, int64_t cache_class) {
+  CROWDMAX_CHECK(async != nullptr);
+  if (max_in_flight < 1) {
+    return Status::InvalidArgument("max_in_flight must be >= 1");
+  }
+  std::unique_ptr<RoundEngine> engine(
+      new RoundEngine(Backend::kExecutor, nullptr, async->inner(),
+                      /*memoize=*/true, 0, 0, shared_cache, cache_class));
+  engine->async_ = async;
+  engine->max_in_flight_ = max_in_flight;
+  return engine;
 }
 
 int64_t RoundEngine::paid() const {
@@ -131,14 +194,17 @@ Result<RoundOutcome> RoundEngine::ExecuteSerial(const EngineRound& round) {
     for (const ComparisonPair& pair : unit.pairs) {
       ElementId winner;
       if (memoize_) {
+        // An unresolved sentinel left by an earlier executor-backed phase
+        // sharing this cache is a miss: the pair is bought (and the
+        // sentinel overwritten) here.
         const uint64_t key = RoundPairKey(pair.first, pair.second);
-        auto it = cache_.find(key);
-        if (it != cache_.end()) {
+        auto it = cache_->find(key);
+        if (it != cache_->end() && it->second != kUnresolvedWinner) {
           winner = it->second;
           ++cache_hits_;
         } else {
           winner = comparator_->Compare(pair.first, pair.second);
-          cache_.emplace(key, winner);
+          (*cache_)[key] = winner;
         }
       } else {
         winner = comparator_->Compare(pair.first, pair.second);
@@ -183,8 +249,8 @@ Result<RoundOutcome> RoundEngine::ExecuteParallel(const EngineRound& round) {
     for (const ComparisonPair& pair : unit.pairs) {
       ElementId winner;
       if (memoize_) {
-        auto it = cache_.find(RoundPairKey(pair.first, pair.second));
-        if (it != cache_.end()) {
+        auto it = cache_->find(RoundPairKey(pair.first, pair.second));
+        if (it != cache_->end() && it->second != kUnresolvedWinner) {
           winner = it->second;
         } else {
           winner = fork->Compare(pair.first, pair.second);
@@ -209,8 +275,14 @@ Result<RoundOutcome> RoundEngine::ExecuteParallel(const EngineRound& round) {
     out.issued += static_cast<int64_t>(unit.pairs.size());
     if (memoize_) {
       for (size_t p = 0; p < unit.pairs.size(); ++p) {
-        cache_.emplace(RoundPairKey(unit.pairs[p].first, unit.pairs[p].second),
-                       out.winners[u][p]);
+        auto [it, inserted] = cache_->emplace(
+            RoundPairKey(unit.pairs[p].first, unit.pairs[p].second),
+            out.winners[u][p]);
+        // A pre-existing unresolved sentinel (shared cache, earlier faulty
+        // phase) was bought this round; overwrite it with the evidence.
+        if (!inserted && it->second == kUnresolvedWinner) {
+          it->second = out.winners[u][p];
+        }
       }
     }
   }
@@ -222,7 +294,7 @@ Result<RoundOutcome> RoundEngine::ExecuteParallel(const EngineRound& round) {
 }
 
 Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
-  if (round.clear_round_cache) cache_.clear();
+  if (round.clear_round_cache) cache_->clear();
 
   RoundOutcome out;
   out.winners.resize(round.units.size());
@@ -249,10 +321,10 @@ Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
   std::vector<ComparisonPair> misses;
   misses.reserve(queries.size());
   for (const ComparisonPair& q : queries) {
-    auto it = cache_.find(RoundPairKey(q.first, q.second));
-    if (it == cache_.end() || it->second == kUnresolvedWinner) {
+    auto it = cache_->find(RoundPairKey(q.first, q.second));
+    if (it == cache_->end() || it->second == kUnresolvedWinner) {
       misses.push_back(q);
-      cache_[RoundPairKey(q.first, q.second)] = -1;
+      (*cache_)[RoundPairKey(q.first, q.second)] = -1;
     }
   }
   if (const int64_t hits =
@@ -263,9 +335,12 @@ Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
   }
   Result<std::vector<BatchTaskResult>> results =
       executor_->TryExecuteBatch(misses);
+  // The non-pipelined drive pays the simulated crowd round trip here,
+  // answered or not — a rejected submission still cost the latency.
+  SleepOutLatency(executor_);
   if (!results.ok()) {
     for (const ComparisonPair& m : misses) {
-      cache_[RoundPairKey(m.first, m.second)] = kUnresolvedWinner;
+      (*cache_)[RoundPairKey(m.first, m.second)] = kUnresolvedWinner;
     }
     if (span_id >= 0) trace->EndSpan(span_id);
     if (results.status().code() != StatusCode::kUnavailable) {
@@ -279,12 +354,12 @@ Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
       const BatchTaskResult& result = (*results)[i];
       const uint64_t key = RoundPairKey(misses[i].first, misses[i].second);
       if (!result.answered) {
-        cache_[key] = kUnresolvedWinner;
+        (*cache_)[key] = kUnresolvedWinner;
         continue;
       }
       CROWDMAX_DCHECK(result.winner == misses[i].first ||
                       result.winner == misses[i].second);
-      cache_[key] = result.winner;
+      (*cache_)[key] = result.winner;
     }
     if (span_id >= 0) trace->EndSpan(span_id);
   }
@@ -296,8 +371,8 @@ Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
     std::vector<ElementId>& winners = out.winners[u];
     winners.reserve(unit.pairs.size());
     for (const ComparisonPair& pair : unit.pairs) {
-      auto it = cache_.find(RoundPairKey(pair.first, pair.second));
-      CROWDMAX_CHECK(it != cache_.end() && it->second != -1);
+      auto it = cache_->find(RoundPairKey(pair.first, pair.second));
+      CROWDMAX_CHECK(it != cache_->end() && it->second != -1);
       if (it->second == kUnresolvedWinner) ++out.unresolved;
       winners.push_back(it->second);
     }
@@ -310,6 +385,7 @@ Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
 Result<DriveResult> RoundEngine::Drive(RoundSource* source,
                                        const DriveOptions& options) {
   CROWDMAX_CHECK(source != nullptr);
+  if (async_ != nullptr) return DrivePipelined(source, options);
   DriveResult drive;
   const int64_t paid_start = paid();
   int64_t open_round_id = -1;
@@ -378,6 +454,269 @@ Result<DriveResult> RoundEngine::Drive(RoundSource* source,
     ++drive.rounds_executed;
   }
 
+  close_round_span();
+  return drive;
+}
+
+// One pipelined round between submission and completion. `out` already
+// carries the submission-time halves (issued, paid_delta, cache hits
+// recorded); completion fills winners/unresolved/fault.
+struct RoundEngine::PendingRound {
+  EngineRound round;
+  int64_t handle = -1;
+  std::vector<ComparisonPair> misses;
+  RoundOutcome out;
+  bool close_round = false;
+};
+
+Status RoundEngine::SubmitPipelined(EngineRound round, PendingRound* pending) {
+  pending->round = std::move(round);
+  const EngineRound& r = pending->round;
+  if (r.clear_round_cache) cache_->clear();  // Drive drained first.
+
+  RoundOutcome& out = pending->out;
+  out.winners.resize(r.units.size());
+  std::vector<ComparisonPair> queries;
+  queries.reserve(static_cast<size_t>(r.TotalPairs()));
+  for (const RoundUnit& unit : r.units) {
+    queries.insert(queries.end(), unit.pairs.begin(), unit.pairs.end());
+  }
+  out.issued = static_cast<int64_t>(queries.size());
+  issued_ += out.issued;
+  const int64_t paid_before = executor_->comparisons();
+
+  AlgoTrace* trace = CurrentTrace();
+  int64_t span_id = -1;
+  if (r.executor_span != nullptr && trace != nullptr) {
+    span_id = trace->BeginSpan(TraceSpanKind::kBatch, r.executor_span);
+  }
+
+  // Cache resolution, exactly as ExecuteBatched — except that a -1
+  // reservation now marks a pair owned by a round still in flight. Seeing
+  // one that this round did not reserve itself means the source emitted a
+  // round overlapping an in-flight round: a CanPipelineNextRound contract
+  // violation, reported instead of silently racing on the answer.
+  std::unordered_set<uint64_t> reserved_here;
+  std::vector<ComparisonPair>& misses = pending->misses;
+  misses.reserve(queries.size());
+  for (const ComparisonPair& q : queries) {
+    const uint64_t key = RoundPairKey(q.first, q.second);
+    auto it = cache_->find(key);
+    if (it != cache_->end() && it->second == -1 &&
+        reserved_here.count(key) == 0) {
+      if (span_id >= 0) trace->EndSpan(span_id);
+      return Status::Internal(
+          "pipelined round depends on a pair still in flight; the "
+          "RoundSource violated the CanPipelineNextRound disjointness rule");
+    }
+    if (it == cache_->end() || it->second == kUnresolvedWinner) {
+      misses.push_back(q);
+      (*cache_)[key] = -1;
+      reserved_here.insert(key);
+    }
+  }
+  if (const int64_t hits =
+          static_cast<int64_t>(queries.size() - misses.size());
+      hits > 0) {
+    cache_hits_ += hits;
+    if (trace != nullptr) trace->RecordCacheHits(hits);
+  }
+
+  // Compute-at-submit: the adapter runs the inner executor synchronously
+  // here (identical RNG draws, counters, transcript rows and trace cells
+  // to the non-pipelined path) and banks only the latency. paid_delta is
+  // therefore final at submission, which is what keeps the budget gate and
+  // every counter bit-identical to the serial drive.
+  Result<int64_t> handle = async_->SubmitBatchAsync(misses);
+  if (!handle.ok()) {
+    for (const ComparisonPair& m : misses) {
+      (*cache_)[RoundPairKey(m.first, m.second)] = kUnresolvedWinner;
+    }
+    if (span_id >= 0) trace->EndSpan(span_id);
+    return handle.status();
+  }
+  pending->handle = *handle;
+  out.paid_delta = executor_->comparisons() - paid_before;
+  // The batch span closes at submission: the sync path emits no trace
+  // operation between the executor call returning and its span end, so
+  // the operation sequences match exactly.
+  if (span_id >= 0) trace->EndSpan(span_id);
+  return Status::OK();
+}
+
+Status RoundEngine::CompletePipelined(PendingRound* pending) {
+  Result<std::vector<BatchTaskResult>> results =
+      async_->Wait(pending->handle);
+  RoundOutcome& out = pending->out;
+  if (!results.ok()) {
+    for (const ComparisonPair& m : pending->misses) {
+      (*cache_)[RoundPairKey(m.first, m.second)] = kUnresolvedWinner;
+    }
+    if (results.status().code() != StatusCode::kUnavailable) {
+      return results.status();
+    }
+    out.fault = results.status();
+  } else {
+    CROWDMAX_CHECK(results->size() == pending->misses.size());
+    for (size_t i = 0; i < pending->misses.size(); ++i) {
+      const BatchTaskResult& result = (*results)[i];
+      const uint64_t key = RoundPairKey(pending->misses[i].first,
+                                        pending->misses[i].second);
+      if (!result.answered) {
+        (*cache_)[key] = kUnresolvedWinner;
+        continue;
+      }
+      CROWDMAX_DCHECK(result.winner == pending->misses[i].first ||
+                      result.winner == pending->misses[i].second);
+      (*cache_)[key] = result.winner;
+    }
+  }
+
+  for (size_t u = 0; u < pending->round.units.size(); ++u) {
+    const RoundUnit& unit = pending->round.units[u];
+    std::vector<ElementId>& winners = out.winners[u];
+    winners.reserve(unit.pairs.size());
+    for (const ComparisonPair& pair : unit.pairs) {
+      auto it = cache_->find(RoundPairKey(pair.first, pair.second));
+      CROWDMAX_CHECK(it != cache_->end() && it->second != -1);
+      if (it->second == kUnresolvedWinner) ++out.unresolved;
+      winners.push_back(it->second);
+    }
+  }
+  return Status::OK();
+}
+
+Result<DriveResult> RoundEngine::DrivePipelined(RoundSource* source,
+                                                const DriveOptions& options) {
+  DriveResult drive;
+  const int64_t paid_start = paid();
+  int64_t open_round_id = -1;
+  AlgoTrace* trace = CurrentTrace();
+  std::deque<std::unique_ptr<PendingRound>> in_flight;
+
+  const auto close_round_span = [&] {
+    if (open_round_id >= 0) {
+      trace->EndSpan(open_round_id);
+      open_round_id = -1;
+    }
+  };
+  // Abort-path cleanup: park every in-flight round's misses so a shared
+  // cache is not left holding -1 reservations. The answers (already
+  // computed at submit) are abandoned unconsumed.
+  const auto abandon_in_flight = [&] {
+    for (const auto& pending : in_flight) {
+      for (const ComparisonPair& m : pending->misses) {
+        (*cache_)[RoundPairKey(m.first, m.second)] = kUnresolvedWinner;
+      }
+    }
+    in_flight.clear();
+  };
+  // Waits out the oldest in-flight round and delivers its outcome —
+  // strictly in submission order, so the source sees the same callback
+  // sequence as the serial drive.
+  const auto complete_oldest = [&]() -> Status {
+    PendingRound* pending = in_flight.front().get();
+    Status done = CompletePipelined(pending);
+    if (!done.ok()) {
+      in_flight.pop_front();
+      return done;
+    }
+    Status consumed = source->ConsumeOutcome(pending->round, pending->out);
+    const bool close_round = pending->close_round;
+    in_flight.pop_front();
+    if (close_round) close_round_span();
+    if (!consumed.ok()) return consumed;
+    ++drive.rounds_executed;
+    return Status::OK();
+  };
+
+  while (true) {
+    // Retire the oldest round whenever the pipeline is full or the source
+    // needs an outcome before it can emit again.
+    if (!in_flight.empty() &&
+        (static_cast<int64_t>(in_flight.size()) >= max_in_flight_ ||
+         !source->CanPipelineNextRound())) {
+      Status retired = complete_oldest();
+      if (!retired.ok()) {
+        abandon_in_flight();
+        close_round_span();
+        return retired;
+      }
+      continue;
+    }
+
+    EngineRound round;
+    Result<bool> more = source->NextRound(&round);
+    if (!more.ok()) {
+      abandon_in_flight();
+      close_round_span();
+      return more.status();
+    }
+    if (!*more) break;
+
+    // Budget gate: paid() is already final for every submitted round
+    // (compute-at-submit), so the gate evaluates exactly the serial
+    // drive's predicate. In-flight rounds are drained before the source
+    // hears about the stop, preserving its callback order.
+    if (options.max_comparisons > 0 &&
+        (paid() - paid_start) + round.TotalPairs() > options.max_comparisons) {
+      while (!in_flight.empty()) {
+        Status retired = complete_oldest();
+        if (!retired.ok()) {
+          abandon_in_flight();
+          close_round_span();
+          return retired;
+        }
+      }
+      drive.stopped_by_budget = true;
+      source->OnBudgetStop();
+      break;
+    }
+
+    // A cache clear under in-flight rounds would drop their reservations:
+    // drain first. (Pipelining sources only clear at logical-round
+    // boundaries, where CanPipelineNextRound already forced a drain, so
+    // this loop is a no-op for them.)
+    if (round.clear_round_cache) {
+      while (!in_flight.empty()) {
+        Status retired = complete_oldest();
+        if (!retired.ok()) {
+          abandon_in_flight();
+          close_round_span();
+          return retired;
+        }
+      }
+    }
+
+    if (round.open_round_executor > 0 && trace != nullptr) {
+      CROWDMAX_CHECK(open_round_id < 0);
+      open_round_id = trace->BeginRound(round.open_round_executor);
+    }
+    const bool overlapped = !in_flight.empty();
+
+    auto pending = std::make_unique<PendingRound>();
+    pending->close_round = round.close_round_executor;
+    Status submitted = SubmitPipelined(std::move(round), pending.get());
+    if (!submitted.ok()) {
+      abandon_in_flight();
+      close_round_span();
+      return submitted;
+    }
+    in_flight.push_back(std::move(pending));
+    if (overlapped) ++overlapped_rounds_;
+    const int64_t depth = static_cast<int64_t>(in_flight.size());
+    if (depth > max_in_flight_observed_) max_in_flight_observed_ = depth;
+    ObservePipelineDepth(depth);
+  }
+
+  while (!in_flight.empty()) {
+    Status retired = complete_oldest();
+    if (!retired.ok()) {
+      abandon_in_flight();
+      close_round_span();
+      return retired;
+    }
+  }
   close_round_span();
   return drive;
 }

@@ -53,6 +53,7 @@
 namespace crowdmax {
 
 class BatchExecutor;
+class AsyncBatchExecutor;
 
 /// One comparison task: ask a worker which of the two elements is larger.
 /// The argument order is preserved all the way to the worker (adversarial
@@ -135,6 +136,34 @@ struct RoundOutcome {
   Status fault = Status::OK();
 };
 
+/// Cross-phase pair-evidence store: one winner map per caller-assigned
+/// worker-class id. Several engines (typically one per phase) created over
+/// the same cache and class id share evidence — Phase-2 never re-buys a
+/// pair Phase-1 already resolved with the *same* worker class. Class ids
+/// are caller-assigned integers, not trace classes, so a multilevel
+/// cascade can keep every level's evidence separate: naive answers never
+/// substitute for expert answers unless the caller deliberately maps both
+/// phases to one class (the simulated-expert regime, where both phases buy
+/// from the same crowd).
+///
+/// kUnresolvedWinner entries persist across engines: a pair an earlier
+/// phase could not resolve is re-issued (and re-paid) by the next engine
+/// that asks for it. Not thread-safe; drive one engine at a time.
+class SharedPairCache {
+ public:
+  using PairMap = std::unordered_map<uint64_t, ElementId>;
+
+  /// The winner map for `class_id` (created empty on first use). The
+  /// pointer stays valid for the cache's lifetime.
+  PairMap* ForClass(int64_t class_id) { return &maps_[class_id]; }
+
+  /// Resolved pairs stored for `class_id` (unresolved sentinels excluded).
+  int64_t ResolvedPairs(int64_t class_id) const;
+
+ private:
+  std::unordered_map<int64_t, PairMap> maps_;
+};
+
 /// A round generator: given the answers so far, emit the next set of
 /// independent comparisons, or finish. Sources hold the algorithm state
 /// (survivor sets, tallies, loss counters) and consume outcomes at the
@@ -159,6 +188,19 @@ class RoundSource {
   /// The engine declined the next round because it would exceed the
   /// comparison budget; the source records the stop and the drive ends.
   virtual void OnBudgetStop() {}
+
+  /// Pipelining legality (see DESIGN.md §11): true when the source can
+  /// emit its next round *now*, before the outcomes of already-emitted
+  /// rounds have been consumed. A source may only say yes when (a) the
+  /// next round's pair content is fully determined by outcomes it has
+  /// already consumed, (b) the next round shares no pair with any
+  /// in-flight round (the engine rejects violations), and (c) its
+  /// ConsumeOutcome emits no trace operations — the three conditions that
+  /// make the pipelined drive bit-identical to the serial drive. The
+  /// filter phase's disjoint groups within one logical round are the
+  /// canonical case. Default: never (the pipelined drive then degenerates
+  /// to depth 1).
+  virtual bool CanPipelineNextRound() const { return false; }
 };
 
 struct DriveOptions {
@@ -181,21 +223,42 @@ class RoundEngine {
   enum class Backend { kSerial, kParallel, kExecutor };
 
   /// Serial comparator execution, optionally memoized through an
-  /// engine-owned pair cache (Appendix A, optimization 1).
-  static std::unique_ptr<RoundEngine> CreateSerial(Comparator* comparator,
-                                                   bool memoize);
+  /// engine-owned pair cache (Appendix A, optimization 1). When
+  /// `shared_cache` is non-null the engine memoizes into that cache's
+  /// `cache_class` map instead of a private one, so evidence outlives the
+  /// engine and is visible to later engines on the same (cache, class).
+  static std::unique_ptr<RoundEngine> CreateSerial(
+      Comparator* comparator, bool memoize,
+      SharedPairCache* shared_cache = nullptr, int64_t cache_class = 0);
 
   /// Parallel comparator execution: `threads` workers, one fork per
   /// RoundUnit, fork seeds drawn from Rng(seed) in unit order. Fails when
   /// the comparator cannot Fork (probed once, up front).
   static Result<std::unique_ptr<RoundEngine>> CreateParallel(
-      Comparator* comparator, int64_t threads, uint64_t seed, bool memoize);
+      Comparator* comparator, int64_t threads, uint64_t seed, bool memoize,
+      SharedPairCache* shared_cache = nullptr, int64_t cache_class = 0);
 
   /// Batched execution through a BatchExecutor stack (fault injection,
   /// retry/quorum recovery, platform adapters). Always caches within a
-  /// round; EngineRound::clear_round_cache controls cross-round memory.
+  /// round; EngineRound::clear_round_cache controls cross-round memory
+  /// (and, with a shared cache, drops the whole class map — a non-memoized
+  /// source opting into sharing would be contradictory).
   static Result<std::unique_ptr<RoundEngine>> CreateBatched(
-      BatchExecutor* executor);
+      BatchExecutor* executor, SharedPairCache* shared_cache = nullptr,
+      int64_t cache_class = 0);
+
+  /// Pipelined batched execution: rounds are submitted through `async`
+  /// (core/async_executor.h) and up to `max_in_flight` rounds ride the
+  /// simulated crowd latency concurrently whenever the source says the
+  /// next round is latency-independent (RoundSource::CanPipelineNextRound).
+  /// Outcomes are consumed strictly in submission order, all computation
+  /// and accounting happens at submission time, and cache resolution
+  /// rejects any pair already in flight — together this makes results,
+  /// traces and counters bit-identical to CreateBatched over the same
+  /// inner executor (only wall-clock changes). `async` is not owned.
+  static Result<std::unique_ptr<RoundEngine>> CreatePipelined(
+      AsyncBatchExecutor* async, int64_t max_in_flight,
+      SharedPairCache* shared_cache = nullptr, int64_t cache_class = 0);
 
   /// Runs the source to completion: budget gate, round execution, cell
   /// recording, outcome delivery. Returns the first error from the source
@@ -225,26 +288,49 @@ class RoundEngine {
   /// backends: the serial/parallel paths predate step accounting).
   int64_t logical_steps() const;
 
+  /// Pipelined drive only: rounds submitted while at least one earlier
+  /// round was still in flight (the overlap the pipeline buys), and the
+  /// deepest concurrent in-flight depth observed.
+  int64_t overlapped_rounds() const { return overlapped_rounds_; }
+  int64_t max_in_flight_observed() const { return max_in_flight_observed_; }
+
  private:
+  struct PendingRound;
+
   RoundEngine(Backend backend, Comparator* comparator,
               BatchExecutor* executor, bool memoize, int64_t threads,
-              uint64_t seed);
+              uint64_t seed, SharedPairCache* shared_cache,
+              int64_t cache_class);
 
   Result<RoundOutcome> ExecuteRound(const EngineRound& round);
   Result<RoundOutcome> ExecuteSerial(const EngineRound& round);
   Result<RoundOutcome> ExecuteParallel(const EngineRound& round);
   Result<RoundOutcome> ExecuteBatched(const EngineRound& round);
 
+  Result<DriveResult> DrivePipelined(RoundSource* source,
+                                     const DriveOptions& options);
+  /// Submission half of a pipelined round: cache resolution, batch span,
+  /// accounting, async dispatch. All counter/trace mutation for the round
+  /// happens here, in submission order.
+  Status SubmitPipelined(EngineRound round, PendingRound* pending);
+  /// Completion half: waits out the round's latency, stores the answers,
+  /// and maps them back onto the round's units.
+  Status CompletePipelined(PendingRound* pending);
+
   const Backend backend_;
   Comparator* const comparator_;  // Comparator backends; else nullptr.
   BatchExecutor* const executor_;  // Executor backend; else nullptr.
+  AsyncBatchExecutor* async_ = nullptr;  // Pipelined drive; else nullptr.
+  int64_t max_in_flight_ = 1;
   const bool memoize_;
 
   // Pair-winner cache. Serial: MemoizingComparator semantics. Parallel:
   // read-only snapshot during a round, merged at the barrier. Executor:
   // in-round dedup always, cross-round per clear_round_cache, with
-  // kUnresolvedWinner parking for faulted pairs.
-  std::unordered_map<uint64_t, ElementId> cache_;
+  // kUnresolvedWinner parking for faulted pairs. Points at owned_cache_
+  // unless a SharedPairCache class map was supplied at creation.
+  SharedPairCache::PairMap* cache_;
+  SharedPairCache::PairMap owned_cache_;
 
   // Parallel backend: the pool and the persistent fork seeder (one chain
   // across all rounds, so seeded runs replay bit-identically).
@@ -256,6 +342,8 @@ class RoundEngine {
   int64_t steps_base_ = 0;
   int64_t issued_ = 0;
   int64_t cache_hits_ = 0;
+  int64_t overlapped_rounds_ = 0;
+  int64_t max_in_flight_observed_ = 0;
 };
 
 /// Unordered pair key used by every engine cache (lower id in the low

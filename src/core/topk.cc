@@ -1,7 +1,9 @@
 #include "core/topk.h"
 
+#include <memory>
 #include <utility>
 
+#include "core/round_engine.h"
 #include "core/tournament.h"
 
 namespace crowdmax {
@@ -26,6 +28,10 @@ Result<TopKResult> FindTopKWithExperts(const std::vector<ElementId>& items,
   // in any all-play-all).
   FilterOptions filter = options.filter;
   filter.u_n = options.filter.u_n + options.k - 1;
+  if (options.shared_cache != nullptr) {
+    filter.shared_cache = options.shared_cache;
+    filter.cache_class = options.naive_cache_class;
+  }
   Result<FilterResult> filtered = FilterCandidates(items, filter, naive);
   if (!filtered.ok()) return filtered.status();
 
@@ -40,11 +46,26 @@ Result<TopKResult> FindTopKWithExperts(const std::vector<ElementId>& items,
   }
 
   // Phase 2: one expert all-play-all over the candidates; take the k
-  // biggest winners in win order. Memoization would be a no-op here (each
-  // pair is played exactly once).
-  const int64_t expert_before = expert->num_comparisons();
-  const TournamentResult tournament = AllPlayAll(result.candidates, expert);
-  result.paid.expert = expert->num_comparisons() - expert_before;
+  // biggest winners in win order. Within this call memoization is a no-op
+  // (each pair is played exactly once), but against a shared cache the
+  // tournament re-asks pairs an earlier expert-class engine — typically a
+  // FindMaxWithExperts run in the same query session — already resolved,
+  // and those come back free.
+  TournamentResult tournament;
+  if (options.shared_cache != nullptr) {
+    const std::unique_ptr<RoundEngine> engine = RoundEngine::CreateSerial(
+        expert, /*memoize=*/true, options.shared_cache,
+        options.expert_cache_class);
+    Result<TournamentEngineRun> run =
+        RunTournamentOnEngine(result.candidates, engine.get());
+    if (!run.ok()) return run.status();
+    tournament = std::move(run->tournament);
+    result.paid.expert = engine->paid();
+  } else {
+    const int64_t expert_before = expert->num_comparisons();
+    tournament = AllPlayAll(result.candidates, expert);
+    result.paid.expert = expert->num_comparisons() - expert_before;
+  }
 
   std::vector<ElementId> ranked = OrderByWins(result.candidates, tournament);
   ranked.resize(static_cast<size_t>(options.k));

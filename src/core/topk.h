@@ -42,6 +42,18 @@ struct TopKOptions {
   /// internally inflates it to U + k - 1. Overestimating costs, never
   /// breaks correctness.
   FilterOptions filter;
+
+  /// Cross-phase pair-evidence sharing (core/round_engine.h). When set, it
+  /// overrides `filter`'s cache fields: phase 1 memoizes naive evidence
+  /// into `shared_cache[naive_cache_class]`, and the expert tournament runs
+  /// memoized against `shared_cache[expert_cache_class]` — so a query
+  /// session that already ran FindMaxWithExperts on the same cache answers
+  /// every expert pair that run resolved for free (the top-k tournament
+  /// replays much of phase 2's evidence). Dedup is within-class only. Not
+  /// owned; must outlive the call.
+  SharedPairCache* shared_cache = nullptr;
+  int64_t naive_cache_class = 0;
+  int64_t expert_cache_class = 1;
 };
 
 /// Outcome of the top-k algorithm.

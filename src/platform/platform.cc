@@ -19,7 +19,8 @@ CrowdPlatform::CrowdPlatform(std::vector<Comparator*> worker_models,
       gold_control_(gold_truth, options.gold),
       worker_models_(std::move(worker_models)),
       rng_(options.seed),
-      fault_rng_(options.fault.seed) {
+      fault_rng_(options.fault.seed),
+      latency_rng_(options.latency.seed) {
   // Spammer placement: deterministic count, random worker identities.
   const int64_t n = options.num_workers;
   CROWDMAX_CHECK(static_cast<int64_t>(worker_models_.size()) == n);
@@ -85,6 +86,11 @@ Status CrowdPlatform::ValidateCommon(
   }
   if (fault.min_quorum < 1) {
     return Status::InvalidArgument("fault.min_quorum must be >= 1");
+  }
+  const LatencyOptions& latency = options.latency;
+  if (latency.base_micros < 0 || latency.per_task_micros < 0 ||
+      latency.jitter_micros < 0) {
+    return Status::InvalidArgument("latency terms must be >= 0");
   }
   for (const ComparisonTask& task : gold_tasks) {
     if (!gold_truth->Contains(task.a) || !gold_truth->Contains(task.b)) {
@@ -157,6 +163,28 @@ Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
   if (votes_per_task < 1 || votes_per_task > num_workers()) {
     return Status::InvalidArgument(
         "votes_per_task must be in [1, num_workers]");
+  }
+
+  // Latency is drawn per accepted-for-processing call, on its own stream,
+  // before the transient-outage draw: a rejected submission wasted its
+  // round trip too. The platform only *reports* the draw; sleeping (or
+  // overlapping) it is the execution layer's job.
+  last_batch_latency_micros_ = 0;
+  if (options_.latency.enabled()) {
+    int64_t latency =
+        options_.latency.base_micros +
+        options_.latency.per_task_micros * static_cast<int64_t>(batch.size());
+    if (options_.latency.jitter_micros > 0) {
+      latency += static_cast<int64_t>(latency_rng_.NextBounded(
+          static_cast<uint64_t>(options_.latency.jitter_micros) + 1));
+    }
+    last_batch_latency_micros_ = latency;
+    total_latency_micros_ += latency;
+    if (MetricsEnabled()) {
+      static Histogram* latencies = MetricsRegistry::Default()->GetHistogram(
+          "crowdmax.platform.batch_latency_micros", ExponentialBounds(24));
+      latencies->Observe(latency);
+    }
   }
 
   const bool faults = options_.fault.enabled();
@@ -457,6 +485,34 @@ void PlatformBatchExecutor::ResetCounters() {
   logical_steps_snapshot_ = platform_->logical_steps();
   physical_steps_snapshot_ = platform_->physical_steps();
   discarded_votes_snapshot_ = platform_->discarded_votes();
+  executor_votes_ = 0;
+  executor_discarded_votes_ = 0;
+  pending_latency_micros_ = 0;
+}
+
+int64_t PlatformBatchExecutor::TakeSimulatedLatencyMicros() {
+  const int64_t micros = pending_latency_micros_;
+  pending_latency_micros_ = 0;
+  return micros;
+}
+
+void PlatformBatchExecutor::AccountOwnSubmission(
+    const std::vector<TaskOutcome>& outcomes) {
+  // Read the latency of *this* submission immediately, before any other
+  // executor sharing the platform submits and overwrites the last-batch
+  // value. The same holds for the vote tallies: they come from this
+  // submission's own outcomes, never from platform-wide deltas, so
+  // interleaved executors attribute exactly.
+  pending_latency_micros_ += platform_->last_batch_latency_micros();
+  for (const TaskOutcome& outcome : outcomes) {
+    for (const Vote& vote : outcome.votes) {
+      if (vote.disposition == VoteDisposition::kAbandoned) continue;
+      ++executor_votes_;
+      if (vote.disposition == VoteDisposition::kDiscarded) {
+        ++executor_discarded_votes_;
+      }
+    }
+  }
 }
 
 int64_t PlatformBatchExecutor::platform_votes_since_reset() const {
@@ -485,6 +541,7 @@ std::vector<ElementId> PlatformBatchExecutor::DoExecuteBatch(
   Result<std::vector<TaskOutcome>> outcomes =
       platform_->SubmitBatch(batch, votes_per_task_);
   CROWDMAX_CHECK(outcomes.ok());
+  AccountOwnSubmission(*outcomes);
   std::vector<ElementId> winners;
   winners.reserve(outcomes->size());
   for (const TaskOutcome& outcome : *outcomes) {
@@ -506,7 +563,13 @@ Result<std::vector<BatchTaskResult>> PlatformBatchExecutor::DoTryExecuteBatch(
   }
   Result<std::vector<TaskOutcome>> outcomes =
       platform_->SubmitBatch(batch, votes_per_task_);
-  if (!outcomes.ok()) return outcomes.status();
+  if (!outcomes.ok()) {
+    // A rejected submission still wasted its round trip; bank the latency
+    // so the caller pays it (or overlaps it) like any other.
+    pending_latency_micros_ += platform_->last_batch_latency_micros();
+    return outcomes.status();
+  }
+  AccountOwnSubmission(*outcomes);
   std::vector<BatchTaskResult> results;
   results.reserve(outcomes->size());
   for (const TaskOutcome& outcome : *outcomes) {

@@ -81,6 +81,32 @@ struct FaultOptions {
   }
 };
 
+/// Deterministic, seeded per-batch round-trip latency simulation. The
+/// platform never sleeps: with the model enabled every SubmitBatch draws a
+/// latency for the round trip and *reports* it (last_batch_latency_micros,
+/// drained per executor via BatchExecutor::TakeSimulatedLatencyMicros);
+/// what to do with the time is the execution layer's choice — the
+/// synchronous engine drive sleeps it out inline, the pipelined drive
+/// (core/async_executor.h) overlaps it across rounds. Latency draws ride a
+/// dedicated RNG stream seeded by `seed`, so enabling the model changes no
+/// answer, vote or fault draw, and a scenario replays bit-identically.
+struct LatencyOptions {
+  /// Fixed round-trip floor per SubmitBatch call (posting, worker pickup).
+  int64_t base_micros = 0;
+  /// Additional latency per task in the batch (worker throughput).
+  int64_t per_task_micros = 0;
+  /// Uniform jitter in [0, jitter_micros] added per call, drawn from the
+  /// latency stream.
+  int64_t jitter_micros = 0;
+  /// Seed of the dedicated latency stream.
+  uint64_t seed = 0;
+
+  /// True when any latency term is non-zero.
+  bool enabled() const {
+    return base_micros > 0 || per_task_micros > 0 || jitter_micros > 0;
+  }
+};
+
 /// Running totals of injected faults and their aggregation-level effects.
 struct PlatformFaultStats {
   /// Assignments that never produced a vote (worker abandonment).
@@ -125,6 +151,8 @@ struct PlatformOptions {
   bool record_transcript = false;
   /// Fault injection; disabled by default.
   FaultOptions fault;
+  /// Round-trip latency simulation; disabled by default.
+  LatencyOptions latency;
 };
 
 /// The simulated crowdsourcing service.
@@ -181,6 +209,17 @@ class CrowdPlatform {
   /// Fault-injection totals (all zero when faults are disabled).
   const PlatformFaultStats& fault_stats() const { return fault_stats_; }
 
+  /// The simulated round-trip latency of the most recent SubmitBatch call
+  /// (zero with the model off). Drawn even for calls rejected with a
+  /// transient Unavailable — the round trip was wasted, not skipped.
+  int64_t last_batch_latency_micros() const {
+    return last_batch_latency_micros_;
+  }
+  /// Total simulated latency drawn across all SubmitBatch calls. This is
+  /// the *serial* (sum of round trips) wall-clock cost; a pipelined run
+  /// completes in less.
+  int64_t total_latency_micros() const { return total_latency_micros_; }
+
   /// The recorded task outcomes in submission order (empty unless
   /// options.record_transcript was set).
   const std::vector<TaskOutcome>& transcript() const { return transcript_; }
@@ -222,6 +261,9 @@ class CrowdPlatform {
   std::vector<SimulatedWorker> workers_;
   Rng rng_;
   Rng fault_rng_;
+  Rng latency_rng_;
+  int64_t last_batch_latency_micros_ = 0;
+  int64_t total_latency_micros_ = 0;
   std::vector<TaskOutcome> transcript_;
   PlatformFaultStats fault_stats_;
   int32_t next_worker_id_ = 0;
@@ -285,20 +327,37 @@ class PlatformBatchExecutor : public BatchExecutor {
   PlatformBatchExecutor(CrowdPlatform* platform, int64_t votes_per_task);
 
   /// Also snapshots the platform's vote and step counters, so the
-  /// *_since_reset() accessors below report per-phase platform usage.
-  /// Without the snapshot, algorithms that reuse one platform across
-  /// phases (naive executor + expert executor) would double-count votes
-  /// and steps when attributing them per phase.
+  /// *_since_reset() accessors below report per-phase platform usage, and
+  /// zeroes the executor-own tallies (executor_votes / discarded) and any
+  /// undrained simulated latency. Without the snapshot, algorithms that
+  /// reuse one platform across phases (naive executor + expert executor)
+  /// would double-count votes and steps when attributing them per phase.
   void ResetCounters() override;
 
   /// Platform usage attributable to work since the last ResetCounters()
   /// (or construction). Note: when several executors share one platform,
   /// each accessor reports the *platform-wide* delta since this
-  /// executor's reset, not only this executor's share.
+  /// executor's reset, not only this executor's share — use the
+  /// executor_*() tallies below for exact per-executor attribution.
   int64_t platform_votes_since_reset() const;
   int64_t platform_logical_steps_since_reset() const;
   int64_t platform_physical_steps_since_reset() const;
   int64_t platform_discarded_votes_since_reset() const;
+
+  /// Exact per-executor tallies, accumulated from the outcomes of this
+  /// executor's own submissions (votes that arrived / votes discarded by
+  /// gold control), regardless of how many other executors interleave on
+  /// the same platform or in which order their batches complete. Reset by
+  /// ResetCounters().
+  int64_t executor_votes() const { return executor_votes_; }
+  int64_t executor_discarded_votes() const { return executor_discarded_votes_; }
+
+  /// Drains the simulated latency accumulated by this executor's own
+  /// submissions. Each executor banks only its own draws (taken from
+  /// CrowdPlatform::last_batch_latency_micros immediately after each of
+  /// its SubmitBatch calls), so two executors sharing one platform never
+  /// steal each other's round trips.
+  int64_t TakeSimulatedLatencyMicros() override;
 
  private:
   std::vector<ElementId> DoExecuteBatch(
@@ -307,12 +366,19 @@ class PlatformBatchExecutor : public BatchExecutor {
   Result<std::vector<BatchTaskResult>> DoTryExecuteBatch(
       const std::vector<ComparisonPair>& tasks) override;
 
+  /// Folds one of this executor's submission outcomes into the executor-own
+  /// tallies and banks the submission's latency draw.
+  void AccountOwnSubmission(const std::vector<TaskOutcome>& outcomes);
+
   CrowdPlatform* platform_;
   int64_t votes_per_task_;
   int64_t votes_snapshot_ = 0;
   int64_t logical_steps_snapshot_ = 0;
   int64_t physical_steps_snapshot_ = 0;
   int64_t discarded_votes_snapshot_ = 0;
+  int64_t executor_votes_ = 0;
+  int64_t executor_discarded_votes_ = 0;
+  int64_t pending_latency_micros_ = 0;
 };
 
 }  // namespace crowdmax

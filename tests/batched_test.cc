@@ -44,27 +44,30 @@ TEST(BatchExecutorTest, CountsStepsAndComparisons) {
   EXPECT_EQ(executor.comparisons(), 0);
 }
 
-// BatchedAllPlayAll is deprecated (it bypasses the engine's cache and
-// fault accounting) but stays covered until it is removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// The engine-backed batched tournament (the replacement for the removed
+// BatchedAllPlayAll wrapper) matches the sequential tournament and costs
+// one logical step.
 TEST(BatchedAllPlayAllTest, MatchesSequentialTournament) {
   Result<Instance> instance = UniformInstance(20, /*seed=*/1);
   ASSERT_TRUE(instance.ok());
   OracleComparator oracle(&*instance);
   ComparatorBatchExecutor executor(&oracle);
 
-  const TournamentResult batched =
-      BatchedAllPlayAll(instance->AllElements(), &executor);
+  Result<std::unique_ptr<RoundEngine>> engine =
+      RoundEngine::CreateBatched(&executor);
+  ASSERT_TRUE(engine.ok());
+  Result<TournamentEngineRun> batched =
+      RunTournamentOnEngine(instance->AllElements(), engine->get());
+  ASSERT_TRUE(batched.ok());
   OracleComparator oracle2(&*instance);
   const TournamentResult sequential =
       AllPlayAll(instance->AllElements(), &oracle2);
 
-  EXPECT_EQ(batched.wins, sequential.wins);
-  EXPECT_EQ(batched.comparisons, sequential.comparisons);
+  EXPECT_EQ(batched->tournament.wins, sequential.wins);
+  EXPECT_EQ(batched->tournament.comparisons, sequential.comparisons);
+  EXPECT_EQ(batched->unresolved, 0);
   EXPECT_EQ(executor.logical_steps(), 1);  // One step for the whole round.
 }
-#pragma GCC diagnostic pop
 
 // Equivalence sweep: with per-pair persistent answers, batched and
 // sequential Algorithm 2 produce identical candidate sets.

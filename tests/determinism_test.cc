@@ -15,6 +15,7 @@
 
 #include "baselines/marcus.h"
 #include "baselines/venetis.h"
+#include "core/async_executor.h"
 #include "core/batched.h"
 #include "core/comparator.h"
 #include "core/expert_max.h"
@@ -23,6 +24,7 @@
 #include "core/trace.h"
 #include "core/worker_model.h"
 #include "datasets/instances.h"
+#include "platform/platform.h"
 
 namespace crowdmax {
 namespace {
@@ -332,6 +334,186 @@ TEST(DeterminismTest, FaultyPipelineAccountingIdenticalAcrossThreadCounts) {
   // The faults were real: the run exercised drops and retries.
   EXPECT_GT(serial.injected_drops, 0);
   EXPECT_GT(serial.retried, 0);
+}
+
+// The pipelined drive's headline determinism contract (DESIGN.md §11):
+// over the same executor configuration, PipelinedFilterCandidates is
+// bit-identical to BatchedFilterCandidates — candidates, paid/issued
+// accounting, logical steps and the full trace — at executor threads
+// {1, 8} and pipeline depths {1, 8}. The pipeline may only buy wall
+// clock, never change a byte.
+TEST(DeterminismTest, PipelinedFilterBitIdenticalToBatchedAcrossThreads) {
+  Instance instance = MakeInstance(350, 59);
+  const double delta = instance.DeltaForU(7);
+  FilterOptions options;
+  options.u_n = instance.CountWithin(delta);
+  options.memoize = true;
+  // Both sides run group-granular rounds, so the batch sequence (and with
+  // it every seeded executor draw) lines up one to one.
+  options.pipeline_groups = true;
+
+  struct Accounting {
+    std::vector<ElementId> candidates;
+    int64_t paid;
+    int64_t issued;
+    int64_t rounds;
+    int64_t executor_comparisons;
+    int64_t executor_steps;
+    std::string trace_summary;
+  };
+  auto fill = [](Accounting* out, const BatchedFilterResult& result,
+                 BatchExecutor* executor) {
+    out->candidates = result.filter.candidates;
+    out->paid = result.filter.paid_comparisons;
+    out->issued = result.filter.issued_comparisons;
+    out->rounds = result.filter.rounds;
+    out->executor_comparisons = executor->comparisons();
+    out->executor_steps = executor->logical_steps();
+  };
+
+  auto run_batched = [&](int64_t threads) {
+    ThresholdComparator worker(&instance, ThresholdModel{delta, 0.1},
+                               /*seed=*/808);
+    auto pool = ParallelBatchExecutor::Create(&worker, threads, /*seed=*/809,
+                                              /*chunk_size=*/8);
+    CROWDMAX_CHECK(pool.ok());
+    AlgoTrace trace;
+    Accounting out;
+    {
+      ScopedTrace scope(&trace);
+      Result<BatchedFilterResult> result = BatchedFilterCandidates(
+          instance.AllElements(), options, pool->get());
+      CROWDMAX_CHECK(result.ok());
+      fill(&out, *result, pool->get());
+    }
+    out.trace_summary = trace.Summary();
+    return out;
+  };
+  auto run_pipelined = [&](int64_t threads, int64_t depth) {
+    ThresholdComparator worker(&instance, ThresholdModel{delta, 0.1},
+                               /*seed=*/808);
+    auto pool = ParallelBatchExecutor::Create(&worker, threads, /*seed=*/809,
+                                              /*chunk_size=*/8);
+    CROWDMAX_CHECK(pool.ok());
+    AsyncBatchAdapter async(pool->get());
+    BatchedPipelineOptions pipeline;
+    pipeline.max_in_flight = depth;
+    AlgoTrace trace;
+    Accounting out;
+    {
+      ScopedTrace scope(&trace);
+      Result<BatchedFilterResult> result = PipelinedFilterCandidates(
+          instance.AllElements(), options, &async, pipeline);
+      CROWDMAX_CHECK(result.ok());
+      fill(&out, *result, pool->get());
+    }
+    out.trace_summary = trace.Summary();
+    return out;
+  };
+
+  for (int64_t threads : {int64_t{1}, int64_t{8}}) {
+    const Accounting reference = run_batched(threads);
+    EXPECT_FALSE(reference.trace_summary.empty());
+    for (int64_t depth : {int64_t{1}, int64_t{8}}) {
+      const Accounting piped = run_pipelined(threads, depth);
+      const std::string at = "threads=" + std::to_string(threads) +
+                             " depth=" + std::to_string(depth);
+      EXPECT_EQ(piped.candidates, reference.candidates) << at;
+      EXPECT_EQ(piped.paid, reference.paid) << at;
+      EXPECT_EQ(piped.issued, reference.issued) << at;
+      EXPECT_EQ(piped.rounds, reference.rounds) << at;
+      EXPECT_EQ(piped.executor_comparisons, reference.executor_comparisons)
+          << at;
+      EXPECT_EQ(piped.executor_steps, reference.executor_steps) << at;
+      EXPECT_EQ(piped.trace_summary, reference.trace_summary) << at;
+    }
+  }
+}
+
+// CI smoke for the pipelined faulty-platform path: a full run over a
+// faulty, latency-simulating platform through the resilient stack and a
+// depth-8 pipeline replays bit-identically from one seed tuple —
+// candidates, fault stats, vote totals and the trace.
+TEST(DeterminismTest, PipelinedFaultyPlatformReplaysFromOneSeed) {
+  Instance instance = MakeInstance(120, 61);
+
+  struct Replay {
+    std::vector<ElementId> candidates;
+    int64_t votes;
+    int64_t discarded;
+    int64_t votes_lost;
+    int64_t unavailable;
+    int64_t retried;
+    int64_t latency_micros;
+    std::string trace_summary;
+  };
+  auto run = [&] {
+    OracleComparator crowd_model(&instance);
+    PlatformOptions platform_options;
+    platform_options.num_workers = 12;
+    platform_options.spammer_fraction = 0.0;
+    platform_options.honest_slip_probability = 0.0;
+    platform_options.gold_task_probability = 0.0;
+    platform_options.seed = 63;
+    platform_options.fault.abandon_probability = 0.1;
+    platform_options.fault.unavailable_probability = 0.05;
+    platform_options.fault.min_quorum = 2;
+    platform_options.fault.seed = 64;
+    platform_options.latency.base_micros = 100;
+    platform_options.latency.jitter_micros = 40;
+    platform_options.latency.seed = 65;
+    auto platform = CrowdPlatform::Create(&crowd_model, &instance, {},
+                                          platform_options);
+    CROWDMAX_CHECK(platform.ok());
+    auto executor =
+        PlatformBatchExecutor::Create(platform->get(), /*votes_per_task=*/3);
+    CROWDMAX_CHECK(executor.ok());
+    ResilientOptions recovery;
+    recovery.max_retries = 6;
+    recovery.fallback = SmallerIdFallback;
+    auto resilient = ResilientBatchExecutor::Create(executor->get(), recovery);
+    CROWDMAX_CHECK(resilient.ok());
+    AsyncBatchAdapter async(resilient->get());
+
+    FilterOptions filter;
+    filter.u_n = 5;
+    filter.memoize = true;
+    filter.pipeline_groups = true;
+    BatchedPipelineOptions pipeline;
+    pipeline.max_in_flight = 8;
+    AlgoTrace trace;
+    Replay out;
+    {
+      ScopedTrace scope(&trace);
+      Result<BatchedFilterResult> result = PipelinedFilterCandidates(
+          instance.AllElements(), filter, &async, pipeline);
+      CROWDMAX_CHECK(result.ok());
+      out.candidates = result->filter.candidates;
+    }
+    out.votes = (*executor)->executor_votes();
+    out.discarded = (*executor)->executor_discarded_votes();
+    out.votes_lost = (*platform)->fault_stats().votes_lost();
+    out.unavailable = (*platform)->fault_stats().unavailable_errors;
+    out.retried = (*resilient)->report().retried_tasks;
+    out.latency_micros = (*platform)->total_latency_micros();
+    out.trace_summary = trace.Summary();
+    return out;
+  };
+
+  const Replay first = run();
+  const Replay second = run();
+  EXPECT_EQ(first.candidates, second.candidates);
+  EXPECT_EQ(first.votes, second.votes);
+  EXPECT_EQ(first.discarded, second.discarded);
+  EXPECT_EQ(first.votes_lost, second.votes_lost);
+  EXPECT_EQ(first.unavailable, second.unavailable);
+  EXPECT_EQ(first.retried, second.retried);
+  EXPECT_EQ(first.latency_micros, second.latency_micros);
+  EXPECT_EQ(first.trace_summary, second.trace_summary);
+  // The scenario was real: faults fired, recovery worked, latency accrued.
+  EXPECT_GT(first.votes_lost + first.unavailable, 0);
+  EXPECT_GT(first.latency_micros, 0);
+  EXPECT_FALSE(first.candidates.empty());
 }
 
 // Engine-executed batched top-k: results, logical step counts, per-class

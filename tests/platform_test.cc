@@ -581,6 +581,66 @@ TEST(PlatformAdapterTest, ResetCountersSnapshotsPlatformUsage) {
   EXPECT_EQ(base->logical_steps(), 0);
 }
 
+// Regression for the out-of-order accounting sweep: the executor-own
+// tallies (executor_votes / executor_discarded_votes) and the banked
+// latency are folded in per submission, from that submission's own
+// outcomes, so two executors interleaving on one platform attribute every
+// vote and every round-trip draw exactly once — no matter which executor
+// submitted last. The *_since_reset() accessors, being platform-wide
+// deltas, cannot make that distinction; the executor-own tallies must.
+TEST(PlatformAdapterTest, InterleavedExecutorsAttributeVotesAndLatencyOnce) {
+  Instance instance({1.0, 2.0, 3.0, 4.0});
+  OracleComparator oracle(&instance);
+  PlatformOptions options;
+  options.num_workers = 10;
+  options.spammer_fraction = 0.0;
+  options.honest_slip_probability = 0.0;
+  options.gold_task_probability = 0.0;
+  options.latency.base_micros = 500;
+  options.latency.per_task_micros = 100;
+  options.latency.seed = 11;
+  auto platform = CrowdPlatform::Create(&oracle, &instance, {}, options);
+  ASSERT_TRUE(platform.ok());
+
+  auto naive = PlatformBatchExecutor::Create(platform->get(), /*votes=*/3);
+  auto expert = PlatformBatchExecutor::Create(platform->get(), /*votes=*/5);
+  ASSERT_TRUE(naive.ok() && expert.ok());
+
+  // Interleave: naive, expert, naive. Each executor banks only its own
+  // submissions' votes and latency draws at submission time.
+  (*naive)->ExecuteBatch({{0, 1}, {2, 3}});        // 2 tasks x 3 votes.
+  const int64_t naive_first_latency =
+      (*platform)->last_batch_latency_micros();
+  (*expert)->ExecuteBatch({{0, 2}});               // 1 task x 5 votes.
+  const int64_t expert_latency = (*platform)->last_batch_latency_micros();
+  (*naive)->ExecuteBatch({{1, 3}});                // 1 task x 3 votes.
+  const int64_t naive_second_latency =
+      (*platform)->last_batch_latency_micros();
+
+  EXPECT_EQ((*naive)->executor_votes(), 9);
+  EXPECT_EQ((*expert)->executor_votes(), 5);
+  EXPECT_EQ((*naive)->executor_discarded_votes(), 0);
+  EXPECT_EQ((*expert)->executor_discarded_votes(), 0);
+  // Per-task latency terms differ by batch size, so a swapped or
+  // double-counted draw cannot cancel out.
+  EXPECT_EQ((*naive)->TakeSimulatedLatencyMicros(),
+            naive_first_latency + naive_second_latency);
+  EXPECT_EQ((*expert)->TakeSimulatedLatencyMicros(), expert_latency);
+  // Draining is destructive and exact: nothing is left behind, and the
+  // platform-wide total equals the sum of what the executors banked.
+  EXPECT_EQ((*naive)->TakeSimulatedLatencyMicros(), 0);
+  EXPECT_EQ((*expert)->TakeSimulatedLatencyMicros(), 0);
+  EXPECT_EQ((*platform)->total_latency_micros(),
+            naive_first_latency + expert_latency + naive_second_latency);
+
+  // ResetCounters zeroes the executor-own tallies and any undrained
+  // latency along with the platform snapshots.
+  (*expert)->ExecuteBatch({{1, 2}});
+  (*expert)->ResetCounters();
+  EXPECT_EQ((*expert)->executor_votes(), 0);
+  EXPECT_EQ((*expert)->TakeSimulatedLatencyMicros(), 0);
+}
+
 TEST(PlatformComparatorTest, SimulatedExpertUsesSevenVotes) {
   Instance instance({1.0, 2.0});
   OracleComparator oracle(&instance);

@@ -15,14 +15,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/async_executor.h"
 #include "core/batched.h"
 #include "core/comparator.h"
 #include "core/filter_phase.h"
 #include "core/maxfind.h"
+#include "core/resilient.h"
 #include "core/round_engine.h"
 #include "core/tournament.h"
 #include "core/worker_model.h"
@@ -292,6 +295,258 @@ TEST(RoundEngineCountersTest, ExecutorBackendStepsMatchRounds) {
   // One batch — one logical step — per filter round.
   EXPECT_EQ((*engine)->logical_steps(), run->filter.rounds);
   EXPECT_EQ((*engine)->paid(), executor.comparisons());
+}
+
+// Cross-phase evidence sharing (DESIGN.md §11): engines created over the
+// same SharedPairCache and worker-class id trade answers; different class
+// ids never do.
+TEST(SharedCacheTest, SecondEngineSameClassPaysOnlyMisses) {
+  Instance instance = MakeInstance(24, 61);
+  const std::vector<ElementId> items = instance.AllElements();
+  const int64_t total = static_cast<int64_t>(items.size() * (items.size() - 1) / 2);
+  SharedPairCache cache;
+
+  // Phase 1: a full tournament buys every pair into class 1.
+  OracleComparator oracle1(&instance);
+  ComparatorBatchExecutor executor1(&oracle1);
+  Result<std::unique_ptr<RoundEngine>> first =
+      RoundEngine::CreateBatched(&executor1, &cache, /*cache_class=*/1);
+  ASSERT_TRUE(first.ok());
+  Result<TournamentEngineRun> run1 =
+      RunTournamentOnEngine(items, first->get());
+  ASSERT_TRUE(run1.ok());
+  EXPECT_EQ((*first)->paid(), total);
+  EXPECT_EQ(cache.ResolvedPairs(1), total);
+
+  // Phase 2 on the same class: every pair is a hit, nothing reaches the
+  // executor, and the election is identical.
+  OracleComparator oracle2(&instance);
+  ComparatorBatchExecutor executor2(&oracle2);
+  Result<std::unique_ptr<RoundEngine>> second =
+      RoundEngine::CreateBatched(&executor2, &cache, /*cache_class=*/1);
+  ASSERT_TRUE(second.ok());
+  Result<TournamentEngineRun> run2 =
+      RunTournamentOnEngine(items, second->get());
+  ASSERT_TRUE(run2.ok());
+  EXPECT_EQ((*second)->issued(), total);
+  EXPECT_EQ((*second)->paid(), 0);
+  EXPECT_EQ((*second)->cache_hits(), total);
+  EXPECT_EQ(executor2.comparisons(), 0);
+  EXPECT_EQ(run2->tournament.wins, run1->tournament.wins);
+
+  // A different worker class must not see that evidence: naive answers
+  // never substitute for expert answers.
+  OracleComparator oracle3(&instance);
+  ComparatorBatchExecutor executor3(&oracle3);
+  Result<std::unique_ptr<RoundEngine>> other_class =
+      RoundEngine::CreateBatched(&executor3, &cache, /*cache_class=*/0);
+  ASSERT_TRUE(other_class.ok());
+  Result<TournamentEngineRun> run3 =
+      RunTournamentOnEngine(items, other_class->get());
+  ASSERT_TRUE(run3.ok());
+  EXPECT_EQ((*other_class)->paid(), total);
+  EXPECT_EQ((*other_class)->cache_hits(), 0);
+}
+
+// The serial (comparator) backend and the executor backend meet in one
+// cache: a Phase-1 filter run on the serial engine seeds evidence a
+// Phase-2 executor engine then reuses — the FindMaxWithExperts
+// single-class (simulated-expert) regime in miniature.
+TEST(SharedCacheTest, SerialFilterEvidenceVisibleToExecutorEngine) {
+  Instance instance = MakeInstance(80, 67);
+  SharedPairCache cache;
+
+  OracleComparator filter_oracle(&instance);
+  const std::unique_ptr<RoundEngine> filter_engine = RoundEngine::CreateSerial(
+      &filter_oracle, /*memoize=*/true, &cache, /*cache_class=*/0);
+  FilterOptions options;
+  options.u_n = 6;
+  options.memoize = true;
+  Result<FilterEngineRun> filtered = RunFilterOnEngine(
+      instance.AllElements(), options, filter_engine.get());
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_GT(filtered->filter.candidates.size(), 1u);
+
+  // Phase 2 over the survivors, same class: the survivors met in filter
+  // groups, so at least part of the tournament is already paid for.
+  OracleComparator expert_oracle(&instance);
+  ComparatorBatchExecutor executor(&expert_oracle);
+  Result<std::unique_ptr<RoundEngine>> phase2 =
+      RoundEngine::CreateBatched(&executor, &cache, /*cache_class=*/0);
+  ASSERT_TRUE(phase2.ok());
+  Result<TournamentEngineRun> run =
+      RunTournamentOnEngine(filtered->filter.candidates, phase2->get());
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->unresolved, 0);
+  EXPECT_GT((*phase2)->cache_hits(), 0);
+  EXPECT_EQ((*phase2)->paid(), (*phase2)->issued() - (*phase2)->cache_hits());
+  EXPECT_EQ((*phase2)->paid(), executor.comparisons());
+  // The cross-phase winner agrees with ground truth on an oracle crowd.
+  EXPECT_EQ(filtered->filter.candidates[IndexOfMostWins(run->tournament)],
+            instance.MaxElement());
+}
+
+// kUnresolvedWinner entries persist in a shared cache as "asked, no
+// evidence" — the next engine re-issues exactly those pairs (and pays for
+// them), never treating the sentinel as an answer.
+TEST(SharedCacheTest, UnresolvedPairsReissuedByLaterPipelinedEngine) {
+  Instance instance = MakeInstance(16, 71);
+  const std::vector<ElementId> items = instance.AllElements();
+  const int64_t total = static_cast<int64_t>(items.size() * (items.size() - 1) / 2);
+  SharedPairCache cache;
+
+  // Phase 1 over a dropping crowd: some pairs come back with no evidence
+  // and are parked as sentinels in class 0.
+  OracleComparator faulty_oracle(&instance);
+  ComparatorBatchExecutor faulty_inner(&faulty_oracle);
+  InjectedFaultOptions faults;
+  faults.drop_probability = 0.3;
+  faults.seed = 9;
+  Result<std::unique_ptr<FaultInjectingBatchExecutor>> dropping =
+      FaultInjectingBatchExecutor::Create(&faulty_inner, faults);
+  ASSERT_TRUE(dropping.ok());
+  Result<std::unique_ptr<RoundEngine>> first =
+      RoundEngine::CreateBatched(dropping->get(), &cache, /*cache_class=*/0);
+  ASSERT_TRUE(first.ok());
+  Result<TournamentEngineRun> run1 = RunTournamentOnEngine(items, first->get());
+  ASSERT_TRUE(run1.ok());
+  ASSERT_GT(run1->unresolved, 0) << "seed does not exercise drops";
+  EXPECT_EQ(cache.ResolvedPairs(0), total - run1->unresolved);
+
+  // Phase 2 on a healthy pipelined engine, same cache and class: only the
+  // parked pairs are re-bought; everything else is a hit.
+  OracleComparator healthy_oracle(&instance);
+  ComparatorBatchExecutor healthy_executor(&healthy_oracle);
+  AsyncBatchAdapter async(&healthy_executor);
+  Result<std::unique_ptr<RoundEngine>> second = RoundEngine::CreatePipelined(
+      &async, /*max_in_flight=*/4, &cache, /*cache_class=*/0);
+  ASSERT_TRUE(second.ok());
+  Result<TournamentEngineRun> run2 = RunTournamentOnEngine(items, second->get());
+  ASSERT_TRUE(run2.ok());
+  EXPECT_EQ(run2->unresolved, 0);
+  EXPECT_EQ((*second)->issued(), total);
+  EXPECT_EQ((*second)->paid(), run1->unresolved);
+  EXPECT_EQ((*second)->cache_hits(), total - run1->unresolved);
+  EXPECT_EQ(cache.ResolvedPairs(0), total);
+}
+
+// A source that emits the same pair in two rounds while claiming the
+// rounds may overlap — the CanPipelineNextRound contract violation the
+// pipelined drive must reject instead of racing on the cached answer.
+class OverlappingPairSource : public RoundSource {
+ public:
+  Result<bool> NextRound(EngineRound* round) override {
+    if (emitted_ >= 2) return false;
+    RoundUnit unit;
+    unit.pairs.push_back({0, 1});
+    round->units.push_back(std::move(unit));
+    ++emitted_;
+    return true;
+  }
+  Status ConsumeOutcome(const EngineRound&, const RoundOutcome&) override {
+    return Status::OK();
+  }
+  bool CanPipelineNextRound() const override { return true; }
+
+ private:
+  int64_t emitted_ = 0;
+};
+
+TEST(PipelinedEngineTest, OverlappingInFlightPairIsContractViolation) {
+  Instance instance = MakeInstance(2, 73);
+  OracleComparator oracle(&instance);
+  ComparatorBatchExecutor executor(&oracle);
+  AsyncBatchAdapter async(&executor);
+  Result<std::unique_ptr<RoundEngine>> engine =
+      RoundEngine::CreatePipelined(&async, /*max_in_flight=*/4);
+  ASSERT_TRUE(engine.ok());
+
+  OverlappingPairSource source;
+  Result<DriveResult> drive = (*engine)->Drive(&source);
+  ASSERT_FALSE(drive.ok());
+  EXPECT_EQ(drive.status().code(), StatusCode::kInternal);
+  EXPECT_NE(drive.status().ToString().find("still in flight"),
+            std::string::npos);
+}
+
+// Depth 1 must degenerate to the synchronous executor path exactly; at
+// depth > 1 the filter's disjoint groups overlap and the overlap counters
+// move, with every result byte identical.
+TEST(PipelinedEngineTest, PipelinedFilterMatchesBatchedAtEveryDepth) {
+  Instance instance = MakeInstance(400, 79);
+  FilterOptions options;
+  options.u_n = 6;
+  options.memoize = true;
+  options.pipeline_groups = true;
+
+  OracleComparator batched_oracle(&instance);
+  ComparatorBatchExecutor batched_executor(&batched_oracle);
+  Result<BatchedFilterResult> reference = BatchedFilterCandidates(
+      instance.AllElements(), options, &batched_executor);
+  ASSERT_TRUE(reference.ok());
+
+  for (int64_t depth : {int64_t{1}, int64_t{8}}) {
+    OracleComparator oracle(&instance);
+    ComparatorBatchExecutor executor(&oracle);
+    AsyncBatchAdapter async(&executor);
+    BatchedPipelineOptions pipeline;
+    pipeline.max_in_flight = depth;
+    Result<BatchedFilterResult> piped = PipelinedFilterCandidates(
+        instance.AllElements(), options, &async, pipeline);
+    ASSERT_TRUE(piped.ok()) << "depth=" << depth;
+    EXPECT_EQ(piped->filter.candidates, reference->filter.candidates)
+        << "depth=" << depth;
+    EXPECT_EQ(piped->filter.rounds, reference->filter.rounds)
+        << "depth=" << depth;
+    EXPECT_EQ(piped->filter.paid_comparisons,
+              reference->filter.paid_comparisons)
+        << "depth=" << depth;
+    EXPECT_EQ(piped->filter.issued_comparisons,
+              reference->filter.issued_comparisons)
+        << "depth=" << depth;
+    EXPECT_EQ(executor.comparisons(), batched_executor.comparisons())
+        << "depth=" << depth;
+    EXPECT_EQ(executor.logical_steps(), batched_executor.logical_steps())
+        << "depth=" << depth;
+  }
+}
+
+TEST(PipelinedEngineTest, OverlapCountersObserveDepth) {
+  Instance instance = MakeInstance(400, 83);
+  FilterOptions options;
+  options.u_n = 6;
+  options.memoize = true;
+  options.pipeline_groups = true;
+
+  // Depth 1: submissions never overlap.
+  {
+    OracleComparator oracle(&instance);
+    ComparatorBatchExecutor executor(&oracle);
+    AsyncBatchAdapter async(&executor);
+    Result<std::unique_ptr<RoundEngine>> engine =
+        RoundEngine::CreatePipelined(&async, /*max_in_flight=*/1);
+    ASSERT_TRUE(engine.ok());
+    Result<FilterEngineRun> run = RunFilterOnEngine(
+        instance.AllElements(), options, engine->get());
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ((*engine)->overlapped_rounds(), 0);
+    EXPECT_EQ((*engine)->max_in_flight_observed(), 1);
+  }
+  // Depth 8: the per-round disjoint groups keep several rounds in flight.
+  {
+    OracleComparator oracle(&instance);
+    ComparatorBatchExecutor executor(&oracle);
+    AsyncBatchAdapter async(&executor);
+    Result<std::unique_ptr<RoundEngine>> engine =
+        RoundEngine::CreatePipelined(&async, /*max_in_flight=*/8);
+    ASSERT_TRUE(engine.ok());
+    Result<FilterEngineRun> run = RunFilterOnEngine(
+        instance.AllElements(), options, engine->get());
+    ASSERT_TRUE(run.ok());
+    EXPECT_GT((*engine)->overlapped_rounds(), 0);
+    EXPECT_GT((*engine)->max_in_flight_observed(), 1);
+    EXPECT_LE((*engine)->max_in_flight_observed(), 8);
+  }
 }
 
 TEST(RoundEngineGuardTest, ParallelCreationProbesFork) {
