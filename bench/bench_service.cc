@@ -1,0 +1,177 @@
+// Service-scale bench: thousands of concurrent MAX / TOP-K / ABOVE
+// queries multiplexed over one QueryService, reporting per-query latency
+// percentiles (p50/p95/p99) and the total crowd spend of the run.
+//
+// The paper benches one query at a time; a deployment's figure of merit is
+// the latency distribution under multi-tenant contention — the fair-share
+// scheduler serializes crowd batch slots, so p99 reflects queueing, not
+// just algorithm depth. The machine-readable twin goes to
+// BENCH_service.json (override with --out).
+//
+// Flags:
+//   --queries=N    total queries (default 1200; the committed artifact)
+//   --threads=T    pool threads driving queries (default 8)
+//   --capacity=C   concurrent crowd batch slots (default 8)
+//   --smoke        64-query CI smoke run (skips the JSON artifact)
+//   --out=PATH     JSON artifact path (default BENCH_service.json)
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "query/service.h"
+
+namespace crowdmax {
+namespace {
+
+int64_t Percentile(std::vector<int64_t> sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.ToString() << "\n";
+    return 1;
+  }
+  const bool smoke = flags.GetBool("smoke", false);
+  const int64_t queries =
+      smoke ? 64 : flags.GetBoundedInt("queries", 1200, 1, 1000000);
+  const int64_t threads = flags.GetBoundedInt("threads", 8, 1, 64);
+  const int64_t capacity = flags.GetBoundedInt("capacity", 8, 1, 256);
+  const std::string out_path =
+      flags.GetString("out", "BENCH_service.json");
+
+  bench::PrintHeader(
+      "BENCH_service",
+      "multi-tenant query service: latency percentiles + crowd spend");
+
+  // Four shards of the paper's standard simulation input.
+  std::vector<bench::TwoClassSetup> setups;
+  for (int64_t s = 0; s < 4; ++s) {
+    setups.push_back(bench::MakeTwoClassSetup(
+        80 + 20 * s, 4, 1, 100 + static_cast<uint64_t>(s)));
+  }
+  QueryServiceOptions options;
+  for (const bench::TwoClassSetup& setup : setups) {
+    options.shards.push_back(
+        {&setup.instance, setup.delta_n, setup.delta_e});
+  }
+  options.threads = threads;
+  options.capacity = capacity;
+
+  // The workload: a deterministic mix of kinds, u_n values and budgets; a
+  // slice of the specs carries an unmeetable budget to exercise typed
+  // admission rejections at scale.
+  std::vector<QuerySpec> specs;
+  specs.reserve(static_cast<size_t>(queries));
+  for (int64_t i = 0; i < queries; ++i) {
+    QuerySpec spec;
+    spec.tenant = "tenant" + std::to_string(i);
+    spec.shard = i % static_cast<int64_t>(options.shards.size());
+    spec.seed = 10000 + static_cast<uint64_t>(i) * 61;
+    spec.prices = CostModel{1.0, 40.0};
+    switch (i % 5) {
+      case 0:
+      case 3:
+        spec.kind = QueryKind::kMax;
+        spec.u_n = 2 + i % 4;
+        break;
+      case 1:
+        spec.kind = QueryKind::kTopK;
+        spec.u_n = 2;
+        spec.k = 1 + i % 3;
+        break;
+      case 2:
+        spec.kind = QueryKind::kAbove;
+        spec.anchor = i % 11;
+        spec.above.votes_per_item = 3;
+        break;
+      default:
+        spec.kind = QueryKind::kMax;
+        spec.u_n = 3;
+        if (i % 25 == 4) spec.budget = 1.0;  // Typed rejection slice.
+        break;
+    }
+    specs.push_back(spec);
+  }
+
+  Result<QueryService> service = QueryService::Create(options);
+  CROWDMAX_CHECK(service.ok());
+  Result<ServiceRunResult> run = service->Run(specs);
+  CROWDMAX_CHECK(run.ok());
+
+  std::vector<int64_t> latencies;
+  latencies.reserve(run->outcomes.size());
+  for (const QueryOutcome& outcome : run->outcomes) {
+    if (outcome.admitted) latencies.push_back(outcome.latency_micros);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const int64_t p50 = Percentile(latencies, 0.50);
+  const int64_t p95 = Percentile(latencies, 0.95);
+  const int64_t p99 = Percentile(latencies, 0.99);
+  const ServiceReport& report = run->report;
+
+  TablePrinter table({"queries", "admitted", "rejected", "p50_us", "p95_us",
+                      "p99_us", "paid_naive", "paid_expert", "spend"});
+  table.AddRow({std::to_string(report.queries),
+                std::to_string(report.admitted),
+                std::to_string(report.rejected_budget +
+                               report.rejected_deadline +
+                               report.rejected_invalid),
+                std::to_string(p50), std::to_string(p95),
+                std::to_string(p99), std::to_string(report.paid.naive),
+                std::to_string(report.paid.expert),
+                std::to_string(report.spend)});
+  bench::EmitTable(table, flags, "Service run (threads=" +
+                                     std::to_string(threads) + ", capacity=" +
+                                     std::to_string(capacity) + ")");
+
+  if (smoke) {
+    // CI smoke contract: every admitted query completed or failed typed,
+    // and the rejection slice produced typed budget rejections.
+    CROWDMAX_CHECK(report.completed == report.admitted);
+    CROWDMAX_CHECK(report.rejected_budget > 0);
+    std::cout << "\nsmoke: OK (" << report.completed << " completed, "
+              << report.rejected_budget << " typed budget rejections)\n";
+    return 0;
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\"bench\": \"service_latency\", \"queries\": " << report.queries
+      << ", \"threads\": " << threads << ", \"capacity\": " << capacity
+      << ", \"admitted\": " << report.admitted
+      << ", \"rejected_budget\": " << report.rejected_budget
+      << ", \"rejected_deadline\": " << report.rejected_deadline
+      << ", \"rejected_invalid\": " << report.rejected_invalid
+      << ", \"completed\": " << report.completed
+      << ", \"p50_micros\": " << p50 << ", \"p95_micros\": " << p95
+      << ", \"p99_micros\": " << p99
+      << ", \"paid_naive\": " << report.paid.naive
+      << ", \"paid_expert\": " << report.paid.expert
+      << ", \"total_spend\": " << report.spend
+      << ", \"cache_hits\": " << report.cache_hits
+      << ", \"logical_steps\": " << report.logical_steps
+      << ", \"scheduler_grants\": " << report.scheduler_grants
+      << ", \"max_grants_behind\": " << report.max_grants_behind << "}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace crowdmax
+
+int main(int argc, char** argv) { return crowdmax::Main(argc, argv); }

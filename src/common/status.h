@@ -27,6 +27,15 @@ enum class StatusCode {
   /// rejecting a submit, or a retry budget exhausted on such failures).
   /// Callers may retry with backoff; see core/resilient.h.
   kUnavailable,
+  /// A quota or monetary budget cannot cover the request (admission control
+  /// rejecting a query whose predicted cost exceeds its budget, or a
+  /// per-query comparison budget exhausted mid-run). Not retryable without
+  /// a bigger budget; see query/service.h.
+  kResourceExhausted,
+  /// A deadline expired, or admission control predicts it must (a tenant's
+  /// logical-step deadline cannot be met at the admitted capacity). See
+  /// query/service.h.
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name ("InvalidArgument", ...) for `code`.
@@ -61,6 +70,12 @@ class Status {
   }
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

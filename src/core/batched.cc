@@ -281,6 +281,8 @@ Result<BatchedExpertMaxResult> BatchedFindMaxWithExperts(
   out.result.paid.naive = filtered->filter.paid_comparisons;
   out.result.issued.naive = filtered->filter.issued_comparisons;
   out.result.filter_rounds = filtered->filter.rounds;
+  out.result.filter_hit_empty_round = filtered->filter.hit_empty_round;
+  out.result.filter_stopped_by_budget = filtered->filter.stopped_by_budget;
   out.naive_steps = filtered->logical_steps;
   if (filtered->partial) {
     out.partial = true;

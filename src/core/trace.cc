@@ -11,10 +11,13 @@ namespace crowdmax {
 
 namespace {
 
-// The process-wide current trace. Written only by ScopedTrace from the
-// coordinating thread; worker threads never read it (all instrumentation
-// runs on the coordinating thread), so a plain pointer is race-free.
-AlgoTrace* g_current_trace = nullptr;
+// The current trace of *this thread*. Each run's coordinating thread
+// installs its own trace with ScopedTrace and performs every trace
+// mutation itself (worker threads never touch the trace), so the pointer
+// is thread-local: single-threaded programs behave exactly as with the
+// old process-wide pointer, while a multi-tenant service (query/service.h)
+// can drive one traced query per pool thread with no cross-talk.
+thread_local AlgoTrace* g_current_trace = nullptr;
 
 }  // namespace
 

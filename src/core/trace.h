@@ -165,12 +165,16 @@ class AlgoTrace {
   int64_t next_seq_ = 0;
 };
 
-/// The installed trace, or nullptr when tracing is off (the default).
+/// The installed trace of the calling thread, or nullptr when tracing is
+/// off (the default). The pointer is thread-local: a run's coordinating
+/// thread sees the trace it installed, and worker threads (which never
+/// mutate traces by contract) see their own — normally null — slot, so
+/// concurrent runs on different threads trace independently.
 AlgoTrace* CurrentTrace();
 
-/// RAII installation of a trace as the process-wide current trace.
-/// Install/uninstall from the coordinating thread only; nesting restores
-/// the previous trace on destruction.
+/// RAII installation of a trace as the calling thread's current trace.
+/// Install/uninstall from the run's coordinating thread only; nesting
+/// restores the previous trace on destruction.
 class ScopedTrace {
  public:
   explicit ScopedTrace(AlgoTrace* trace);

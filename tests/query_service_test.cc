@@ -1,0 +1,471 @@
+// QueryService: the multi-tenant determinism contract, typed admission
+// control, fair-share starvation bound, service-level fault reconciliation
+// and cross-query cache sharing (query/service.h).
+
+#include "query/service.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/batched.h"
+#include "core/instance.h"
+#include "core/worker_model.h"
+#include "datasets/instances.h"
+#include "gtest/gtest.h"
+
+namespace crowdmax {
+namespace {
+
+Instance MakeInstance(int64_t n, uint64_t seed) {
+  Result<Instance> instance = UniformInstance(n, seed);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+// A mixed workload: kMax (varying u_n and strategy), kTopK and kAbove
+// queries across the given shards, no budgets/deadlines unless asked.
+std::vector<QuerySpec> MixedWorkload(int64_t count, int64_t shards) {
+  std::vector<QuerySpec> specs;
+  specs.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    QuerySpec spec;
+    spec.tenant = "t" + std::to_string(i);
+    spec.shard = i % shards;
+    spec.seed = 1000 + static_cast<uint64_t>(i) * 37;
+    spec.prices = CostModel{1.0, 40.0};
+    switch (i % 4) {
+      case 0:
+        spec.kind = QueryKind::kMax;
+        spec.u_n = 2 + i % 3;
+        break;
+      case 1:
+        spec.kind = QueryKind::kTopK;
+        spec.u_n = 2;
+        spec.k = 1 + i % 3;
+        break;
+      case 2:
+        spec.kind = QueryKind::kAbove;
+        spec.anchor = i % 7;
+        spec.above.votes_per_item = 3;
+        break;
+      default:
+        spec.kind = QueryKind::kMax;
+        spec.u_n = 2;
+        spec.max_comparisons = 150 + 10 * (i % 5);
+        break;
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+// The deterministic fields two outcomes must agree on (everything except
+// the informational latency / scheduler stats).
+void ExpectOutcomesIdentical(const QueryOutcome& a, const QueryOutcome& b,
+                             const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(a.status.code(), b.status.code());
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.top, b.top);
+  EXPECT_EQ(a.above, b.above);
+  EXPECT_EQ(a.below, b.below);
+  EXPECT_EQ(a.escalated, b.escalated);
+  EXPECT_EQ(a.paid.naive, b.paid.naive);
+  EXPECT_EQ(a.paid.expert, b.paid.expert);
+  EXPECT_EQ(a.issued.naive, b.issued.naive);
+  EXPECT_EQ(a.issued.expert, b.issued.expert);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.naive_steps, b.naive_steps);
+  EXPECT_EQ(a.expert_steps, b.expert_steps);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.stopped_by_budget, b.stopped_by_budget);
+  EXPECT_EQ(a.partial, b.partial);
+  EXPECT_EQ(a.fault_status.code(), b.fault_status.code());
+  EXPECT_EQ(a.platform_dropped_tasks, b.platform_dropped_tasks);
+  EXPECT_EQ(a.platform_no_quorum_tasks, b.platform_no_quorum_tasks);
+  EXPECT_EQ(a.trace_summary, b.trace_summary);
+}
+
+// The contract's centerpiece: >= 64 concurrent queries, multiplexed over
+// the shared stack at threads 1 and 8, must produce per-query results,
+// counters and traces bit-identical to running each spec alone on the
+// serial drive.
+TEST(QueryServiceTest, ConcurrentRunMatchesSerialAloneAtBothThreadCounts) {
+  const Instance shard_a = MakeInstance(80, 7);
+  const Instance shard_b = MakeInstance(60, 11);
+
+  QueryServiceOptions options;
+  options.shards = {{&shard_a, shard_a.DeltaForU(4), shard_a.DeltaForU(1)},
+                    {&shard_b, shard_b.DeltaForU(3), shard_b.DeltaForU(1)}};
+  options.capacity = 3;
+  options.collect_traces = true;
+
+  const std::vector<QuerySpec> specs = MixedWorkload(64, 2);
+
+  std::vector<QueryOutcome> alone;
+  alone.reserve(specs.size());
+  for (const QuerySpec& spec : specs) {
+    Result<QueryOutcome> outcome = QueryService::ExecuteAlone(options, spec);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(outcome->status.ok()) << outcome->status.ToString();
+    alone.push_back(std::move(outcome).value());
+  }
+
+  for (int64_t threads : {int64_t{1}, int64_t{8}}) {
+    QueryServiceOptions concurrent = options;
+    concurrent.threads = threads;
+    Result<QueryService> service = QueryService::Create(concurrent);
+    ASSERT_TRUE(service.ok());
+    Result<ServiceRunResult> run = service->Run(specs);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ASSERT_EQ(run->outcomes.size(), specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      ExpectOutcomesIdentical(
+          alone[i], run->outcomes[i],
+          "threads=" + std::to_string(threads) + " spec=" +
+              std::to_string(i) + " kind=" +
+              QueryKindName(specs[i].kind));
+    }
+    EXPECT_EQ(run->report.queries, 64);
+    EXPECT_EQ(run->report.admitted, 64);
+    EXPECT_EQ(run->report.completed, 64);
+    EXPECT_TRUE(AuditServiceRun(*run).ok())
+        << AuditServiceRun(*run).ToString();
+  }
+}
+
+// The merged service trace replays per-query traces in spec order, so its
+// summary is one deterministic artifact across thread counts.
+TEST(QueryServiceTest, MergedTraceSummaryIsThreadCountInvariant) {
+  const Instance shard = MakeInstance(50, 3);
+  QueryServiceOptions options;
+  options.shards = {{&shard, shard.DeltaForU(3), shard.DeltaForU(1)}};
+  options.collect_traces = true;
+  const std::vector<QuerySpec> specs = MixedWorkload(12, 1);
+
+  std::string summary_at_one;
+  for (int64_t threads : {int64_t{1}, int64_t{8}}) {
+    QueryServiceOptions concurrent = options;
+    concurrent.threads = threads;
+    Result<QueryService> service = QueryService::Create(concurrent);
+    ASSERT_TRUE(service.ok());
+    Result<ServiceRunResult> run = service->Run(specs);
+    ASSERT_TRUE(run.ok());
+    ASSERT_NE(run->merged_trace, nullptr);
+    const std::string summary = run->merged_trace->Summary();
+    EXPECT_FALSE(summary.empty());
+    if (threads == 1) {
+      summary_at_one = summary;
+    } else {
+      EXPECT_EQ(summary, summary_at_one);
+    }
+  }
+}
+
+// Admission control: a query whose predicted cost exceeds its budget is
+// rejected kResourceExhausted; one whose structural minimum of batch steps
+// exceeds its deadline is rejected kDeadlineExceeded; malformed specs are
+// rejected kInvalidArgument. Nothing rejected spends a comparison.
+TEST(QueryServiceTest, AdmissionRejectionsAreTyped) {
+  const Instance shard = MakeInstance(100, 5);
+  QueryServiceOptions options;
+  options.shards = {{&shard, shard.DeltaForU(4), shard.DeltaForU(1)}};
+  Result<QueryService> service = QueryService::Create(options);
+  ASSERT_TRUE(service.ok());
+
+  QuerySpec over_budget;
+  over_budget.kind = QueryKind::kMax;
+  over_budget.u_n = 4;
+  over_budget.budget = 0.5;  // Predicted cost is hundreds of comparisons.
+
+  QuerySpec past_deadline;
+  past_deadline.kind = QueryKind::kMax;
+  past_deadline.u_n = 4;
+  past_deadline.deadline_steps = 1;  // Two-phase needs >= 2 batch steps.
+
+  QuerySpec bad_shard;
+  bad_shard.shard = 9;
+
+  QuerySpec bad_anchor;
+  bad_anchor.kind = QueryKind::kAbove;
+  bad_anchor.anchor = 100;
+
+  Result<ServiceRunResult> run =
+      service->Run({over_budget, past_deadline, bad_shard, bad_anchor});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->outcomes[0].status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(run->outcomes[1].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(run->outcomes[2].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(run->outcomes[3].status.code(), StatusCode::kInvalidArgument);
+  for (const QueryOutcome& outcome : run->outcomes) {
+    EXPECT_FALSE(outcome.admitted);
+    EXPECT_EQ(outcome.paid.naive, 0);
+    EXPECT_EQ(outcome.paid.expert, 0);
+  }
+  EXPECT_EQ(run->report.admitted, 0);
+  EXPECT_EQ(run->report.rejected_budget, 1);
+  EXPECT_EQ(run->report.rejected_deadline, 1);
+  EXPECT_EQ(run->report.rejected_invalid, 2);
+}
+
+// A deadline that passes admission but expires mid-run aborts the query
+// with the same typed status at its next batch submission — and the true
+// spend up to the abort is still reported. Enforcement depends only on the
+// tenant's own grant count, so the abort point is deterministic.
+TEST(QueryServiceTest, MidRunDeadlineAbortIsTypedAndDeterministic) {
+  const Instance shard = MakeInstance(120, 9);
+  QueryServiceOptions options;
+  options.shards = {{&shard, shard.DeltaForU(4), shard.DeltaForU(1)}};
+  options.collect_traces = true;
+
+  QuerySpec spec;
+  spec.kind = QueryKind::kMax;
+  spec.u_n = 4;
+  spec.seed = 77;
+  // Passes the structural minimum (2) but far below the filter's O(log n)
+  // rounds plus the expert phase.
+  spec.deadline_steps = 3;
+
+  Result<QueryOutcome> alone = QueryService::ExecuteAlone(options, spec);
+  ASSERT_TRUE(alone.ok());
+  EXPECT_TRUE(alone->admitted);
+  EXPECT_EQ(alone->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(alone->paid.naive, 0);  // The granted batches were real spend.
+
+  QueryServiceOptions concurrent = options;
+  concurrent.threads = 8;
+  Result<QueryService> service = QueryService::Create(concurrent);
+  ASSERT_TRUE(service.ok());
+  std::vector<QuerySpec> specs = MixedWorkload(8, 1);
+  specs.push_back(spec);
+  Result<ServiceRunResult> run = service->Run(specs);
+  ASSERT_TRUE(run.ok());
+  ExpectOutcomesIdentical(*alone, run->outcomes.back(),
+                          "deadline abort under concurrency");
+  EXPECT_EQ(run->report.aborted_deadline, 1);
+}
+
+// Fair share: with equal weights and a single batch slot, no ready tenant
+// waits more than ~2T grants to others before being served (the file
+// comment's sum_o ceil(w_o/w_t) + T bound, T = tenants).
+TEST(QueryServiceTest, FairShareStarvationBoundHolds) {
+  const Instance shard = MakeInstance(60, 13);
+  QueryServiceOptions options;
+  options.shards = {{&shard, shard.DeltaForU(3), shard.DeltaForU(1)}};
+  options.threads = 8;
+  options.capacity = 1;  // Maximum contention for the slot.
+
+  const int64_t tenants = 12;
+  std::vector<QuerySpec> specs;
+  for (int64_t i = 0; i < tenants; ++i) {
+    QuerySpec spec;
+    spec.kind = QueryKind::kMax;
+    spec.u_n = 3;
+    spec.seed = 500 + static_cast<uint64_t>(i);
+    specs.push_back(spec);
+  }
+
+  Result<QueryService> service = QueryService::Create(options);
+  ASSERT_TRUE(service.ok());
+  Result<ServiceRunResult> run = service->Run(specs);
+  ASSERT_TRUE(run.ok());
+  for (int64_t i = 0; i < tenants; ++i) {
+    const QueryOutcome& outcome = run->outcomes[static_cast<size_t>(i)];
+    EXPECT_TRUE(outcome.status.ok());
+    EXPECT_LE(outcome.scheduler.max_grants_behind, 2 * tenants)
+        << "tenant " << i << " starved";
+  }
+  EXPECT_EQ(run->report.max_grants_behind,
+            std::max_element(run->outcomes.begin(), run->outcomes.end(),
+                             [](const QueryOutcome& a, const QueryOutcome& b) {
+                               return a.scheduler.max_grants_behind <
+                                      b.scheduler.max_grants_behind;
+                             })
+                ->scheduler.max_grants_behind);
+}
+
+// Service-level fault/stress property: across many tenants on the faulty
+// platform, the one merged MetricsAuditor reconciles — per-cell
+// dispatched = answered + no_quorum + dropped, per-class dispatch equals
+// the summed paid counters, and the combined platform fault tallies match
+// the trace outcomes. Plus the replay smoke: the same specs replayed on a
+// fresh service reproduce every outcome and the merged summary.
+TEST(QueryServiceTest, FaultyPlatformRunReconcilesAndReplays) {
+  const Instance shard_a = MakeInstance(40, 21);
+  const Instance shard_b = MakeInstance(30, 22);
+  QueryServiceOptions options;
+  options.shards = {{&shard_a, 0.0, 0.0}, {&shard_b, 0.0, 0.0}};
+  options.threads = 4;
+  options.capacity = 2;
+  options.collect_traces = true;
+  options.use_platform = true;
+  options.platform_workers = 30;
+  options.naive_votes = 3;
+  options.expert_votes = 5;
+  options.fault.abandon_probability = 0.05;
+  options.fault.straggler_probability = 0.03;
+  options.fault.churn_probability = 0.01;
+  options.fault.min_quorum = 2;
+  options.resilient.max_retries = 3;
+  options.resilient.min_votes = 1;
+
+  std::vector<QuerySpec> specs;
+  for (int64_t i = 0; i < 8; ++i) {
+    QuerySpec spec;
+    spec.tenant = "faulty" + std::to_string(i);
+    spec.shard = i % 2;
+    spec.kind = i % 3 == 2 ? QueryKind::kTopK : QueryKind::kMax;
+    spec.u_n = 2;
+    spec.k = 2;
+    spec.seed = 9000 + static_cast<uint64_t>(i) * 101;
+    specs.push_back(spec);
+  }
+
+  Result<QueryService> service = QueryService::Create(options);
+  ASSERT_TRUE(service.ok());
+  Result<ServiceRunResult> first = service->Run(specs);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  const Status audit = AuditServiceRun(*first);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+
+  int64_t faults_seen = 0;
+  for (const QueryOutcome& outcome : first->outcomes) {
+    EXPECT_TRUE(outcome.admitted);
+    faults_seen +=
+        outcome.platform_dropped_tasks + outcome.platform_no_quorum_tasks;
+  }
+  EXPECT_GT(faults_seen, 0) << "fault injection produced no faults";
+  EXPECT_EQ(first->report.dropped_tasks + first->report.no_quorum_tasks,
+            faults_seen);
+
+  // Replay smoke: one seed set, two runs, identical everything.
+  Result<ServiceRunResult> second = service->Run(specs);
+  ASSERT_TRUE(second.ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ExpectOutcomesIdentical(first->outcomes[i], second->outcomes[i],
+                            "replay spec=" + std::to_string(i));
+  }
+  EXPECT_EQ(first->merged_trace->Summary(), second->merged_trace->Summary());
+}
+
+// Cross-query cache sharing: two tenants on the same shard that opt in
+// share within-class pair evidence — the second query answers pairs from
+// the cache (cache_hits > 0, less paid work) and the audit still
+// reconciles, i.e. cache hits were never double-billed as dispatch.
+TEST(QueryServiceTest, SameShardSharingTenantsReuseEvidence) {
+  const Instance shard = MakeInstance(70, 31);
+  QueryServiceOptions options;
+  options.shards = {{&shard, shard.DeltaForU(3), shard.DeltaForU(1)}};
+  options.collect_traces = true;
+
+  QuerySpec first;
+  first.kind = QueryKind::kMax;
+  first.u_n = 3;
+  first.seed = 42;
+  first.share_cache = true;
+  QuerySpec second = first;  // Same query again: maximal pair overlap.
+
+  Result<QueryService> service = QueryService::Create(options);
+  ASSERT_TRUE(service.ok());
+  Result<ServiceRunResult> run = service->Run({first, second});
+  ASSERT_TRUE(run.ok());
+  const QueryOutcome& a = run->outcomes[0];
+  const QueryOutcome& b = run->outcomes[1];
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+
+  EXPECT_GT(b.cache_hits, 0);
+  EXPECT_LT(b.paid.naive + b.paid.expert, a.paid.naive + a.paid.expert);
+  EXPECT_EQ(a.best, b.best);  // Shared evidence is consistent per pair.
+
+  const Status audit = AuditServiceRun(*run);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+
+  // The first sharer saw an empty cache, so it must equal the standalone
+  // run of the same spec exactly.
+  Result<QueryOutcome> alone = QueryService::ExecuteAlone(options, first);
+  ASSERT_TRUE(alone.ok());
+  ExpectOutcomesIdentical(*alone, a, "first sharer vs alone");
+}
+
+// Distinct shards never cross-contaminate: a sharing tenant that is alone
+// on its shard behaves exactly as if no cache existed, even when another
+// shard's sharing tenants run in the same service call.
+TEST(QueryServiceTest, DistinctShardsNeverShareEvidence) {
+  const Instance shard_a = MakeInstance(70, 41);
+  const Instance shard_b = MakeInstance(70, 43);
+  QueryServiceOptions options;
+  options.shards = {{&shard_a, shard_a.DeltaForU(3), shard_a.DeltaForU(1)},
+                    {&shard_b, shard_b.DeltaForU(3), shard_b.DeltaForU(1)}};
+  options.collect_traces = true;
+  options.threads = 2;
+
+  QuerySpec on_a;
+  on_a.kind = QueryKind::kMax;
+  on_a.u_n = 3;
+  on_a.seed = 42;
+  on_a.shard = 0;
+  on_a.share_cache = true;
+  QuerySpec on_b = on_a;
+  on_b.shard = 1;
+
+  Result<QueryService> service = QueryService::Create(options);
+  ASSERT_TRUE(service.ok());
+  Result<ServiceRunResult> run = service->Run({on_a, on_b});
+  ASSERT_TRUE(run.ok());
+
+  for (size_t i = 0; i < 2; ++i) {
+    const QueryOutcome& outcome = run->outcomes[i];
+    ASSERT_TRUE(outcome.status.ok());
+    // Alone on its shard's cache the query must be bit-identical to the
+    // standalone run (which uses no shared cache at all): identical paid
+    // counters and cache hits prove the other shard's evidence never
+    // reached it. (Hits are nonzero either way — 2-MaxFind memoizes
+    // within a query — which is why the comparison, not a zero check, is
+    // the isolation proof.)
+    Result<QueryOutcome> alone = QueryService::ExecuteAlone(
+        options, i == 0 ? on_a : on_b);
+    ASSERT_TRUE(alone.ok());
+    ExpectOutcomesIdentical(*alone, outcome,
+                            "shard " + std::to_string(i) + " isolation");
+  }
+}
+
+// The pipelined filter path (pipeline_depth > 1) stays inside the
+// determinism contract: concurrent results equal ExecuteAlone with the
+// same options.
+TEST(QueryServiceTest, PipelinedDepthKeepsEquivalence) {
+  const Instance shard = MakeInstance(64, 51);
+  QueryServiceOptions options;
+  options.shards = {{&shard, shard.DeltaForU(3), shard.DeltaForU(1)}};
+  options.collect_traces = true;
+  options.pipeline_depth = 4;
+  options.threads = 4;
+
+  std::vector<QuerySpec> specs;
+  for (int64_t i = 0; i < 6; ++i) {
+    QuerySpec spec;
+    spec.kind = QueryKind::kMax;
+    spec.u_n = 3;
+    spec.seed = 600 + static_cast<uint64_t>(i);
+    specs.push_back(spec);
+  }
+
+  Result<QueryService> service = QueryService::Create(options);
+  ASSERT_TRUE(service.ok());
+  Result<ServiceRunResult> run = service->Run(specs);
+  ASSERT_TRUE(run.ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Result<QueryOutcome> alone =
+        QueryService::ExecuteAlone(options, specs[i]);
+    ASSERT_TRUE(alone.ok());
+    ExpectOutcomesIdentical(*alone, run->outcomes[i],
+                            "pipelined spec=" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace crowdmax

@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include "core/batched.h"
 #include "core/instance.h"
 #include "core/worker_model.h"
 #include "datasets/instances.h"
 #include "query/engine.h"
 #include "query/planner.h"
+#include "query/service.h"
 
 namespace crowdmax {
 namespace {
@@ -319,6 +321,51 @@ TEST(EngineTest, AboveQueryWithoutRefinementUsesNaiveMajority) {
   // Element 2 is easy and must be classified above.
   EXPECT_NE(std::find(answer->above.begin(), answer->above.end(), 2),
             answer->above.end());
+}
+
+// Planner regression: a per-query max_comparisons budget threaded through
+// QueryService charges the same paid naive comparisons — and trips the
+// same budget stop — as the standalone RoundEngine budget gate driving the
+// identical filter (same seed, same executor stack shape). The gate
+// charges at round boundaries, so exact equality is the assertion.
+TEST(PlannerTest, ServiceBudgetMatchesStandaloneRoundEngineGate) {
+  Result<Instance> instance = UniformInstance(90, 17);
+  ASSERT_TRUE(instance.ok());
+  const double delta_naive = instance->DeltaForU(4);
+  const double delta_expert = instance->DeltaForU(1);
+
+  QueryServiceOptions options;
+  options.shards = {{&*instance, delta_naive, delta_expert}};
+
+  QuerySpec spec;
+  spec.kind = QueryKind::kMax;
+  spec.u_n = 4;
+  spec.seed = 321;
+  spec.prices = CostModel{1.0, 100.0};  // Forces the two-phase plan.
+  spec.max_comparisons = 120;           // Well below the filter's need.
+
+  Result<QueryOutcome> outcome = QueryService::ExecuteAlone(options, spec);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->status.ok()) << outcome->status.ToString();
+  ASSERT_EQ(outcome->plan.strategy, MaxStrategy::kTwoPhase);
+
+  // The standalone baseline: the same hermetic naive stream driving the
+  // same budget-gated filter directly on the batched engine.
+  ThresholdComparator naive(&*instance, ThresholdModel{delta_naive, 0.0},
+                            QueryService::StreamSeed(spec.seed, 1));
+  ComparatorBatchExecutor executor(&naive);
+  FilterOptions filter;
+  filter.u_n = spec.u_n;
+  filter.memoize = true;
+  filter.max_comparisons = spec.max_comparisons;
+  Result<BatchedFilterResult> baseline = BatchedFilterCandidates(
+      instance->AllElements(), filter, &executor);
+  ASSERT_TRUE(baseline.ok());
+
+  EXPECT_TRUE(baseline->filter.stopped_by_budget);
+  EXPECT_TRUE(outcome->stopped_by_budget);
+  EXPECT_EQ(outcome->paid.naive, baseline->filter.paid_comparisons);
+  EXPECT_LE(outcome->paid.naive, spec.max_comparisons);
 }
 
 TEST(EngineTest, EmptyItemSetRejected) {
