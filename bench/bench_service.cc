@@ -14,6 +14,10 @@
 //   --capacity=C   concurrent crowd batch slots (default 8)
 //   --smoke        64-query CI smoke run (skips the JSON artifact)
 //   --out=PATH     JSON artifact path (default BENCH_service.json)
+//   --repro=ID     replay query ID of the workload standalone through
+//                  QueryService::ExecuteAlone (same hermetic seed, no
+//                  contention) and print its outcome — the debugging path
+//                  for a query that failed or was shed in the full run
 
 #include <algorithm>
 #include <fstream>
@@ -103,6 +107,44 @@ int Main(int argc, char** argv) {
         break;
     }
     specs.push_back(spec);
+  }
+
+  // --repro=ID: the per-query determinism contract makes any query of the
+  // workload reproducible in isolation — ExecuteAlone rebuilds the tenant's
+  // hermetically seeded stack and replays it without the service around it.
+  const int64_t repro = flags.GetInt("repro", -1);
+  if (repro >= 0) {
+    if (repro >= queries) {
+      std::cerr << "--repro=" << repro << " out of range (workload has "
+                << queries << " queries)\n";
+      return 1;
+    }
+    const QuerySpec& spec = specs[static_cast<size_t>(repro)];
+    Result<QueryOutcome> outcome = QueryService::ExecuteAlone(options, spec);
+    if (!outcome.ok()) {
+      std::cerr << "repro failed to execute: " << outcome.status().ToString()
+                << "\n";
+      return 1;
+    }
+    std::cout << "repro query " << repro << " (tenant=" << spec.tenant
+              << ", kind=" << QueryKindName(spec.kind)
+              << ", shard=" << spec.shard << ", seed=" << spec.seed << ")\n"
+              << "  status:       " << outcome->status.ToString() << "\n"
+              << "  admitted:     " << (outcome->admitted ? "yes" : "no")
+              << "\n"
+              << "  best:         " << outcome->best << "\n"
+              << "  paid:         naive=" << outcome->paid.naive
+              << " expert=" << outcome->paid.expert << "\n"
+              << "  cost:         " << outcome->cost << "\n"
+              << "  steps:        naive=" << outcome->naive_steps
+              << " expert=" << outcome->expert_steps << "\n"
+              << "  cache_hits:   " << outcome->cache_hits << "\n"
+              << "  partial:      " << (outcome->partial ? "yes" : "no")
+              << (outcome->partial
+                      ? " (" + outcome->fault_status.ToString() + ")"
+                      : "")
+              << "\n";
+    return 0;
   }
 
   Result<QueryService> service = QueryService::Create(options);

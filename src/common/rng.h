@@ -9,6 +9,7 @@
 #ifndef CROWDMAX_COMMON_RNG_H_
 #define CROWDMAX_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -74,6 +75,21 @@ class Rng {
   /// Samples `k` distinct indices from [0, n) in random order.
   /// Requires k <= n.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Raw generator state for crash-safe checkpointing (core/checkpoint.h):
+  /// the four xoshiro256** words followed by the Fork() SplitMix64 word.
+  /// Restoring through set_state resumes the output stream exactly where
+  /// state() captured it.
+  std::array<uint64_t, 5> state() const {
+    return {state_[0], state_[1], state_[2], state_[3], fork_state_};
+  }
+  void set_state(const std::array<uint64_t, 5>& state) {
+    state_[0] = state[0];
+    state_[1] = state[1];
+    state_[2] = state[2];
+    state_[3] = state[3];
+    fork_state_ = state[4];
+  }
 
  private:
   uint64_t state_[4];

@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }
@@ -31,6 +33,9 @@ std::string Status::ToString() const {
   std::string out(StatusCodeName(code_));
   out += ": ";
   out += message_;
+  if (retry_after_steps_ > 0) {
+    out += " (retry_after_steps=" + std::to_string(retry_after_steps_) + ")";
+  }
   return out;
 }
 

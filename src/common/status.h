@@ -36,6 +36,12 @@ enum class StatusCode {
   /// logical-step deadline cannot be met at the admitted capacity). See
   /// query/service.h.
   kDeadlineExceeded,
+  /// The operation was deliberately killed by a supervisory layer (a
+  /// ChaosSchedule fault plan or an operator restart) at a clean round
+  /// boundary. Unlike kUnavailable this is not a crowd fault: the run is
+  /// resumable bit-identically from its last checkpoint (core/checkpoint.h)
+  /// or replayable from its hermetic seed. See query/supervisor.h.
+  kAborted,
 };
 
 /// Returns a short human-readable name ("InvalidArgument", ...) for `code`.
@@ -77,12 +83,33 @@ class Status {
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
+  static Status Aborted(std::string message) {
+    return Status(StatusCode::kAborted, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// Renders "OK" or "<CodeName>: <message>".
+  /// Attaches a retry-after hint: the number of logical steps after which
+  /// the caller's retry has a chance of succeeding (an outage's remaining
+  /// length, a shed query's predicted queue drain). Meaningful for
+  /// kUnavailable and kResourceExhausted; 0 means "no hint". Returns *this
+  /// so factories chain: `Status::Unavailable(...).WithRetryAfter(12)`.
+  Status&& WithRetryAfter(int64_t steps) && {
+    retry_after_steps_ = steps;
+    return std::move(*this);
+  }
+  Status& WithRetryAfter(int64_t steps) & {
+    retry_after_steps_ = steps;
+    return *this;
+  }
+
+  /// The retry-after hint in logical steps; 0 when none was attached.
+  int64_t retry_after_steps() const { return retry_after_steps_; }
+
+  /// Renders "OK" or "<CodeName>: <message>" (plus the retry-after hint
+  /// when one is attached).
   std::string ToString() const;
 
  private:
@@ -91,6 +118,7 @@ class Status {
 
   StatusCode code_;
   std::string message_;
+  int64_t retry_after_steps_ = 0;
 };
 
 /// A value of type T or the Status explaining why it could not be produced.

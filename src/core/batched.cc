@@ -4,11 +4,15 @@
 #include <utility>
 
 #include "common/metrics.h"
+#include "core/checkpoint.h"
 #include "core/trace.h"
 
 namespace crowdmax {
 
 namespace {
+
+constexpr uint32_t kExecutorTag = CheckpointTag("EXE ");
+constexpr uint32_t kSeederTag = CheckpointTag("SEED");
 
 // Batch-level metrics, recorded in the public wrappers (never per
 // comparison, so the comparator hot path stays untouched).
@@ -96,6 +100,32 @@ Result<std::vector<BatchTaskResult>> BatchExecutor::TryExecuteBatch(
   return results;
 }
 
+Status BatchExecutor::SaveState(CheckpointWriter* writer) const {
+  writer->WriteTag(kExecutorTag);
+  writer->WriteI64(logical_steps_);
+  writer->WriteI64(comparisons_);
+  return DoSaveState(writer);
+}
+
+Status BatchExecutor::LoadState(CheckpointReader* reader) {
+  reader->ExpectTag(kExecutorTag);
+  logical_steps_ = reader->ReadI64();
+  comparisons_ = reader->ReadI64();
+  if (!reader->status().ok()) return reader->status();
+  return DoLoadState(reader);
+}
+
+Status BatchExecutor::DoSaveState(CheckpointWriter* /*writer*/) const {
+  return Status::FailedPrecondition(
+      "this executor does not support checkpointing; recover by "
+      "deterministic re-execution instead");
+}
+
+Status BatchExecutor::DoLoadState(CheckpointReader* /*reader*/) {
+  return Status::FailedPrecondition(
+      "this executor does not support checkpointing");
+}
+
 Result<std::vector<BatchTaskResult>> BatchExecutor::DoTryExecuteBatch(
     const std::vector<ComparisonPair>& tasks) {
   // Default adapter: the infallible path answers everything.
@@ -122,6 +152,14 @@ std::vector<ElementId> ComparatorBatchExecutor::DoExecuteBatch(
     winners.push_back(comparator_->Compare(task.first, task.second));
   }
   return winners;
+}
+
+Status ComparatorBatchExecutor::DoSaveState(CheckpointWriter* writer) const {
+  return comparator_->SaveState(writer);
+}
+
+Status ComparatorBatchExecutor::DoLoadState(CheckpointReader* reader) {
+  return comparator_->LoadState(reader);
 }
 
 ParallelBatchExecutor::ParallelBatchExecutor(Comparator* comparator,
@@ -180,6 +218,19 @@ std::vector<ElementId> ParallelBatchExecutor::DoExecuteBatch(
   for (int64_t p : paid) total_paid += p;
   comparator_->AddComparisons(total_paid);
   return winners;
+}
+
+Status ParallelBatchExecutor::DoSaveState(CheckpointWriter* writer) const {
+  writer->WriteTag(kSeederTag);
+  writer->WriteRngState(seeder_.state());
+  return comparator_->SaveState(writer);
+}
+
+Status ParallelBatchExecutor::DoLoadState(CheckpointReader* reader) {
+  reader->ExpectTag(kSeederTag);
+  seeder_.set_state(reader->ReadRngState());
+  if (!reader->status().ok()) return reader->status();
+  return comparator_->LoadState(reader);
 }
 
 // ---------------------------------------------------------------------------

@@ -44,6 +44,9 @@
 
 namespace crowdmax {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 // ComparisonPair (a pairwise comparison request; `a` and `b` must be
 // distinct elements) now lives in core/round_engine.h, the layer both the
 // engine and the executor stack share.
@@ -142,6 +145,17 @@ class BatchExecutor {
   /// algorithms thread the report into their results without RTTI.
   virtual const FaultReport* fault_report() const { return nullptr; }
 
+  /// Checkpoints the executor's replay state: the step/comparison counters
+  /// plus everything the concrete class owns (comparator RNG streams,
+  /// chunk-seed chains, retry reports). Decorators chain into their inner
+  /// executor, so one call on the top of a stack walks the whole stack.
+  /// Executors that do not opt in via DoSaveState/DoLoadState return
+  /// kFailedPrecondition — notably PlatformBatchExecutor, whose replay
+  /// state lives in the shared CrowdPlatform; platform-mode queries recover
+  /// by deterministic re-execution instead (query/supervisor.h).
+  Status SaveState(CheckpointWriter* writer) const;
+  Status LoadState(CheckpointReader* reader);
+
   /// Drains the simulated crowd round-trip latency (microseconds) this
   /// executor has accumulated since the last drain. Executors without a
   /// latency model return 0 (the default). PlatformBatchExecutor banks the
@@ -179,6 +193,12 @@ class BatchExecutor {
   /// comparison lands in exactly one cell — the innermost executor's.
   virtual bool RecordsTraceCells() const { return true; }
 
+  /// Checkpoint override points for the class-specific state beyond the
+  /// counters (which SaveState/LoadState handle). The defaults refuse, so
+  /// an executor cannot silently resume with replay state it never saved.
+  virtual Status DoSaveState(CheckpointWriter* writer) const;
+  virtual Status DoLoadState(CheckpointReader* reader);
+
   int64_t logical_steps_ = 0;
   int64_t comparisons_ = 0;
 };
@@ -194,6 +214,10 @@ class ComparatorBatchExecutor : public BatchExecutor {
  private:
   std::vector<ElementId> DoExecuteBatch(
       const std::vector<ComparisonPair>& tasks) override;
+
+  // Checkpoint support: the comparator carries all the replay state.
+  Status DoSaveState(CheckpointWriter* writer) const override;
+  Status DoLoadState(CheckpointReader* reader) override;
 
   Comparator* comparator_;
 };
@@ -221,6 +245,12 @@ class ParallelBatchExecutor : public BatchExecutor {
 
   std::vector<ElementId> DoExecuteBatch(
       const std::vector<ComparisonPair>& tasks) override;
+
+  // Checkpoint support: the chunk-seed chain plus the base comparator's
+  // state. Fork children are per-batch and hold no cross-batch state, so
+  // the seeder position is all the parallel path needs to replay.
+  Status DoSaveState(CheckpointWriter* writer) const override;
+  Status DoLoadState(CheckpointReader* reader) override;
 
   Comparator* comparator_;
   ThreadPool pool_;

@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.h"
+
 namespace crowdmax {
+
+namespace {
+constexpr uint32_t kComparatorTag = CheckpointTag("CMP ");
+constexpr uint32_t kMemoTag = CheckpointTag("MEMO");
+}  // namespace
+
+Status Comparator::SaveState(CheckpointWriter* /*writer*/) const {
+  return Status::FailedPrecondition(
+      "this comparator does not support checkpointing; a resumed run would "
+      "replay with a reset RNG stream");
+}
+
+Status Comparator::LoadState(CheckpointReader* /*reader*/) {
+  return Status::FailedPrecondition(
+      "this comparator does not support checkpointing");
+}
+
+Status Comparator::SaveCounterState(CheckpointWriter* writer) const {
+  writer->WriteTag(kComparatorTag);
+  writer->WriteI64(num_comparisons_);
+  return Status::OK();
+}
+
+Status Comparator::LoadCounterState(CheckpointReader* reader) {
+  reader->ExpectTag(kComparatorTag);
+  num_comparisons_ = reader->ReadI64();
+  return reader->status();
+}
 
 OracleComparator::OracleComparator(const Instance* instance)
     : instance_(instance) {
@@ -18,6 +48,14 @@ ElementId OracleComparator::DoCompare(ElementId a, ElementId b) {
 
 std::unique_ptr<Comparator> OracleComparator::Fork(uint64_t /*seed*/) const {
   return std::make_unique<OracleComparator>(instance_);
+}
+
+Status OracleComparator::SaveState(CheckpointWriter* writer) const {
+  return SaveCounterState(writer);
+}
+
+Status OracleComparator::LoadState(CheckpointReader* reader) {
+  return LoadCounterState(reader);
 }
 
 MemoizingComparator::MemoizingComparator(Comparator* inner) : inner_(inner) {
@@ -57,6 +95,25 @@ std::unique_ptr<Comparator> MemoizingComparator::Fork(
   return nullptr;
 }
 
+Status MemoizingComparator::SaveState(CheckpointWriter* writer) const {
+  Status counter = SaveCounterState(writer);
+  if (!counter.ok()) return counter;
+  writer->WriteTag(kMemoTag);
+  writer->WriteSortedMap(cache_);
+  writer->WriteI64(cache_hits_);
+  return inner_->SaveState(writer);
+}
+
+Status MemoizingComparator::LoadState(CheckpointReader* reader) {
+  Status counter = LoadCounterState(reader);
+  if (!counter.ok()) return counter;
+  reader->ExpectTag(kMemoTag);
+  reader->ReadSortedMap(&cache_);
+  cache_hits_ = reader->ReadI64();
+  if (!reader->status().ok()) return reader->status();
+  return inner_->LoadState(reader);
+}
+
 AdversarialComparator::AdversarialComparator(const Instance* instance,
                                              double delta,
                                              AdversarialPolicy policy)
@@ -88,6 +145,14 @@ ElementId AdversarialComparator::DoCompare(ElementId a, ElementId b) {
 std::unique_ptr<Comparator> AdversarialComparator::Fork(
     uint64_t /*seed*/) const {
   return std::make_unique<AdversarialComparator>(instance_, delta_, policy_);
+}
+
+Status AdversarialComparator::SaveState(CheckpointWriter* writer) const {
+  return SaveCounterState(writer);
+}
+
+Status AdversarialComparator::LoadState(CheckpointReader* reader) {
+  return LoadCounterState(reader);
 }
 
 }  // namespace crowdmax

@@ -23,9 +23,13 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/status.h"
 #include "core/instance.h"
 
 namespace crowdmax {
+
+class CheckpointReader;
+class CheckpointWriter;
 
 /// Pairwise comparison oracle. Compare(a, b) returns a or b — the element
 /// the worker reports as having the larger value — and increments the
@@ -70,9 +74,23 @@ class Comparator {
   /// called from a single thread (the barrier).
   void AddComparisons(int64_t n) { num_comparisons_ += n; }
 
+  /// Serializes the comparator's full replay state — paid-comparison
+  /// counter, RNG stream position, per-pair sticky tables — so a run
+  /// restored from a checkpoint (core/checkpoint.h) answers bit-identically
+  /// from that point on. The default returns kFailedPrecondition: a
+  /// comparator that does not opt in cannot silently resume with a reset
+  /// RNG and wrong answers. Each class serializes only its own state; the
+  /// owner of a decorator stack walks it explicitly.
+  virtual Status SaveState(CheckpointWriter* writer) const;
+  virtual Status LoadState(CheckpointReader* reader);
+
  protected:
   Comparator() = default;
   void CountComparison() { ++num_comparisons_; }
+
+  /// Shared counter section used by every SaveState override.
+  Status SaveCounterState(CheckpointWriter* writer) const;
+  Status LoadCounterState(CheckpointReader* reader);
 
  private:
   virtual ElementId DoCompare(ElementId a, ElementId b) = 0;
@@ -90,6 +108,10 @@ class OracleComparator : public Comparator {
   /// Deterministic and stateless (beyond the counter): the fork is simply a
   /// fresh oracle over the same instance; `seed` is unused.
   std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
+
+  /// Stateless beyond the counter, so the counter section is the state.
+  Status SaveState(CheckpointWriter* writer) const override;
+  Status LoadState(CheckpointReader* reader) override;
 
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
@@ -123,6 +145,11 @@ class MemoizingComparator : public Comparator {
 
   int64_t cache_hits() const { return cache_hits_; }
   int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
+
+  /// Serializes the memo cache and hit counter, then the inner
+  /// comparator's state (the decorator owns walking into what it wraps).
+  Status SaveState(CheckpointWriter* writer) const override;
+  Status LoadState(CheckpointReader* reader) override;
 
  private:
   // Final override point; unused because Compare is overridden, but must
@@ -165,6 +192,10 @@ class AdversarialComparator : public Comparator {
   /// Deterministic and stateless (beyond the counter): the fork answers
   /// identically to the parent; `seed` is unused.
   std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
+
+  /// Stateless beyond the counter, so the counter section is the state.
+  Status SaveState(CheckpointWriter* writer) const override;
+  Status LoadState(CheckpointReader* reader) override;
 
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;

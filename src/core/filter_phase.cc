@@ -5,12 +5,15 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/checkpoint.h"
 #include "core/round_engine.h"
 #include "core/trace.h"
 
 namespace crowdmax {
 
 namespace {
+
+constexpr uint32_t kFilterTag = CheckpointTag("FLT ");
 
 Status ValidateFilterInput(const std::vector<ElementId>& items,
                            const FilterOptions& options) {
@@ -130,6 +133,82 @@ class FilterRoundSource : public RoundSource {
   }
 
   void OnBudgetStop() override { result_.stopped_by_budget = true; }
+
+  // Full algorithm state, including the mid-logical-round cursors of
+  // group-granular emission — a boundary between two groups of the same
+  // logical round is a legal snapshot point (emission == consumption there,
+  // since the engine only checkpoints with nothing in flight).
+  Status SaveState(CheckpointWriter* writer) const override {
+    writer->WriteTag(kFilterTag);
+    writer->WriteIdVector(current_);
+    writer->WriteU64(static_cast<uint64_t>(groups_.size()));
+    for (const std::vector<ElementId>& group : groups_) {
+      writer->WriteIdVector(group);
+    }
+    writer->WriteIdVector(tail_);
+    writer->WriteU64(static_cast<uint64_t>(next_emit_));
+    writer->WriteU64(static_cast<uint64_t>(next_consume_));
+    writer->WriteIdVector(round_next_);
+    writer->WriteI64(round_unresolved_);
+    writer->WriteStatus(round_fault_);
+    std::vector<ElementId> loss_keys;
+    loss_keys.reserve(losses_.size());
+    for (const auto& entry : losses_) loss_keys.push_back(entry.first);
+    std::sort(loss_keys.begin(), loss_keys.end());
+    writer->WriteU64(static_cast<uint64_t>(loss_keys.size()));
+    for (ElementId key : loss_keys) {
+      writer->WriteI64(key);
+      writer->WriteSortedSet(losses_.at(key));
+    }
+    writer->WriteIdVector(result_.candidates);
+    writer->WriteI64(result_.paid_comparisons);
+    writer->WriteI64(result_.issued_comparisons);
+    writer->WriteI64(result_.rounds);
+    writer->WriteIdVector(result_.round_sizes);
+    writer->WriteI64(result_.evicted_by_loss_counter);
+    writer->WriteBool(result_.hit_empty_round);
+    writer->WriteBool(result_.stopped_by_budget);
+    writer->WriteBool(partial_);
+    writer->WriteStatus(fault_status_);
+    writer->WriteBool(done_);
+    return Status::OK();
+  }
+
+  Status LoadState(CheckpointReader* reader) override {
+    reader->ExpectTag(kFilterTag);
+    reader->ReadIdVector(&current_);
+    const uint64_t n_groups = reader->ReadU64();
+    groups_.clear();
+    for (uint64_t i = 0; i < n_groups && reader->status().ok(); ++i) {
+      std::vector<ElementId> group;
+      reader->ReadIdVector(&group);
+      groups_.push_back(std::move(group));
+    }
+    reader->ReadIdVector(&tail_);
+    next_emit_ = static_cast<size_t>(reader->ReadU64());
+    next_consume_ = static_cast<size_t>(reader->ReadU64());
+    reader->ReadIdVector(&round_next_);
+    round_unresolved_ = reader->ReadI64();
+    round_fault_ = reader->ReadStatus();
+    const uint64_t n_losses = reader->ReadU64();
+    losses_.clear();
+    for (uint64_t i = 0; i < n_losses && reader->status().ok(); ++i) {
+      const ElementId key = reader->ReadI64();
+      reader->ReadSortedSet(&losses_[key]);
+    }
+    reader->ReadIdVector(&result_.candidates);
+    result_.paid_comparisons = reader->ReadI64();
+    result_.issued_comparisons = reader->ReadI64();
+    result_.rounds = reader->ReadI64();
+    reader->ReadIdVector(&result_.round_sizes);
+    result_.evicted_by_loss_counter = reader->ReadI64();
+    result_.hit_empty_round = reader->ReadBool();
+    result_.stopped_by_budget = reader->ReadBool();
+    partial_ = reader->ReadBool();
+    fault_status_ = reader->ReadStatus();
+    done_ = reader->ReadBool();
+    return reader->status();
+  }
 
   FilterEngineRun Finish(int64_t paid_delta) {
     FilterEngineRun run;

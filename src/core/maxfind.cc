@@ -5,12 +5,16 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/checkpoint.h"
 #include "core/round_engine.h"
 #include "core/tournament.h"
 
 namespace crowdmax {
 
 namespace {
+
+constexpr uint32_t kTwoMaxTag = CheckpointTag("2MAX");
+constexpr uint32_t kRandTag = CheckpointTag("RMAX");
 
 Status ValidateItems(const std::vector<ElementId>& items) {
   if (items.empty()) {
@@ -236,6 +240,46 @@ class TwoMaxFindSource : public RoundSource {
     return run;
   }
 
+  Status SaveState(CheckpointWriter* writer) const override {
+    writer->WriteTag(kTwoMaxTag);
+    writer->WriteIdVector(candidates_);
+    writer->WriteI64(k_);
+    writer->WriteI64(max_rounds_);
+    writer->WriteI64(static_cast<int64_t>(phase_));
+    writer->WriteIdVector(sample_);
+    writer->WriteI64(pivot_);
+    writer->WriteI64(sample_unresolved_);
+    writer->WriteStatus(sample_fault_);
+    writer->WriteI64(result_.best);
+    writer->WriteI64(result_.paid_comparisons);
+    writer->WriteI64(result_.issued_comparisons);
+    writer->WriteI64(result_.rounds);
+    writer->WriteBool(partial_);
+    writer->WriteStatus(fault_status_);
+    writer->WriteIdVector(survivors_);
+    return Status::OK();
+  }
+
+  Status LoadState(CheckpointReader* reader) override {
+    reader->ExpectTag(kTwoMaxTag);
+    reader->ReadIdVector(&candidates_);
+    k_ = reader->ReadI64();
+    max_rounds_ = reader->ReadI64();
+    phase_ = static_cast<Phase>(reader->ReadI64());
+    reader->ReadIdVector(&sample_);
+    pivot_ = static_cast<ElementId>(reader->ReadI64());
+    sample_unresolved_ = reader->ReadI64();
+    sample_fault_ = reader->ReadStatus();
+    result_.best = static_cast<ElementId>(reader->ReadI64());
+    result_.paid_comparisons = reader->ReadI64();
+    result_.issued_comparisons = reader->ReadI64();
+    result_.rounds = reader->ReadI64();
+    partial_ = reader->ReadBool();
+    fault_status_ = reader->ReadStatus();
+    reader->ReadIdVector(&survivors_);
+    return reader->status();
+  }
+
  private:
   enum class Phase { kSample, kScan, kFinal, kDone };
 
@@ -419,6 +463,59 @@ class RandomizedMaxFindSource : public RoundSource {
     run.fault_status = fault_status_;
     run.survivors = std::move(run_survivors_);
     return run;
+  }
+
+  // The RNG stream position is part of the state: a resumed run must draw
+  // the same witness samples and shuffles the uninterrupted run would have.
+  Status SaveState(CheckpointWriter* writer) const override {
+    writer->WriteTag(kRandTag);
+    writer->WriteRngState(rng_.state());
+    writer->WriteIdVector(survivors_);
+    writer->WriteSortedSet(witness_set_);
+    writer->WriteU64(static_cast<uint64_t>(groups_.size()));
+    for (const std::vector<ElementId>& group : groups_) {
+      writer->WriteIdVector(group);
+    }
+    writer->WriteIdVector(passthrough_);
+    writer->WriteIdVector(finalists_);
+    writer->WriteBool(in_final_);
+    writer->WriteBool(final_pending_);
+    writer->WriteBool(done_);
+    writer->WriteI64(result_.best);
+    writer->WriteI64(result_.paid_comparisons);
+    writer->WriteI64(result_.issued_comparisons);
+    writer->WriteI64(result_.rounds);
+    writer->WriteBool(partial_);
+    writer->WriteStatus(fault_status_);
+    writer->WriteIdVector(run_survivors_);
+    return Status::OK();
+  }
+
+  Status LoadState(CheckpointReader* reader) override {
+    reader->ExpectTag(kRandTag);
+    rng_.set_state(reader->ReadRngState());
+    reader->ReadIdVector(&survivors_);
+    reader->ReadSortedSet(&witness_set_);
+    const uint64_t n_groups = reader->ReadU64();
+    groups_.clear();
+    for (uint64_t i = 0; i < n_groups && reader->status().ok(); ++i) {
+      std::vector<ElementId> group;
+      reader->ReadIdVector(&group);
+      groups_.push_back(std::move(group));
+    }
+    reader->ReadIdVector(&passthrough_);
+    reader->ReadIdVector(&finalists_);
+    in_final_ = reader->ReadBool();
+    final_pending_ = reader->ReadBool();
+    done_ = reader->ReadBool();
+    result_.best = static_cast<ElementId>(reader->ReadI64());
+    result_.paid_comparisons = reader->ReadI64();
+    result_.issued_comparisons = reader->ReadI64();
+    result_.rounds = reader->ReadI64();
+    partial_ = reader->ReadBool();
+    fault_status_ = reader->ReadStatus();
+    reader->ReadIdVector(&run_survivors_);
+    return reader->status();
   }
 
  private:

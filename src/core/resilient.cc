@@ -5,11 +5,15 @@
 #include <utility>
 
 #include "common/metrics.h"
+#include "core/checkpoint.h"
 #include "core/trace.h"
 
 namespace crowdmax {
 
 namespace {
+
+constexpr uint32_t kReportTag = CheckpointTag("RPRT");
+constexpr uint32_t kInjectTag = CheckpointTag("INJC");
 
 void CountRecovery(const char* name, int64_t n) {
   if (!MetricsEnabled() || n == 0) return;
@@ -51,6 +55,39 @@ void ResilientBatchExecutor::ResetCounters() {
 
 int64_t ResilientBatchExecutor::TakeSimulatedLatencyMicros() {
   return inner_->TakeSimulatedLatencyMicros();
+}
+
+Status ResilientBatchExecutor::DoSaveState(CheckpointWriter* writer) const {
+  writer->WriteTag(kReportTag);
+  writer->WriteI64(report_.batches);
+  writer->WriteI64(report_.attempts);
+  writer->WriteI64(report_.retried_tasks);
+  writer->WriteI64(report_.votes_lost);
+  writer->WriteI64(report_.relaxed_accepts);
+  writer->WriteI64(report_.degraded_tasks);
+  writer->WriteI64(report_.transient_errors);
+  writer->WriteI64(report_.steps_added);
+  writer->WriteI64(report_.backoff_steps);
+  writer->WriteBool(report_.exhausted);
+  writer->WriteStatus(report_.last_error);
+  return inner_->SaveState(writer);
+}
+
+Status ResilientBatchExecutor::DoLoadState(CheckpointReader* reader) {
+  reader->ExpectTag(kReportTag);
+  report_.batches = reader->ReadI64();
+  report_.attempts = reader->ReadI64();
+  report_.retried_tasks = reader->ReadI64();
+  report_.votes_lost = reader->ReadI64();
+  report_.relaxed_accepts = reader->ReadI64();
+  report_.degraded_tasks = reader->ReadI64();
+  report_.transient_errors = reader->ReadI64();
+  report_.steps_added = reader->ReadI64();
+  report_.backoff_steps = reader->ReadI64();
+  report_.exhausted = reader->ReadBool();
+  report_.last_error = reader->ReadStatus();
+  if (!reader->status().ok()) return reader->status();
+  return inner_->LoadState(reader);
 }
 
 std::vector<ElementId> ResilientBatchExecutor::DoExecuteBatch(
@@ -197,6 +234,26 @@ FaultInjectingBatchExecutor::FaultInjectingBatchExecutor(
 
 int64_t FaultInjectingBatchExecutor::TakeSimulatedLatencyMicros() {
   return inner_->TakeSimulatedLatencyMicros();
+}
+
+Status FaultInjectingBatchExecutor::DoSaveState(
+    CheckpointWriter* writer) const {
+  writer->WriteTag(kInjectTag);
+  writer->WriteRngState(rng_.state());
+  writer->WriteI64(injected_drops_);
+  writer->WriteI64(injected_no_quorums_);
+  writer->WriteI64(injected_unavailable_);
+  return inner_->SaveState(writer);
+}
+
+Status FaultInjectingBatchExecutor::DoLoadState(CheckpointReader* reader) {
+  reader->ExpectTag(kInjectTag);
+  rng_.set_state(reader->ReadRngState());
+  injected_drops_ = reader->ReadI64();
+  injected_no_quorums_ = reader->ReadI64();
+  injected_unavailable_ = reader->ReadI64();
+  if (!reader->status().ok()) return reader->status();
+  return inner_->LoadState(reader);
 }
 
 Result<std::unique_ptr<FaultInjectingBatchExecutor>>

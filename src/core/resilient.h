@@ -92,6 +92,13 @@ class ResilientBatchExecutor : public BatchExecutor {
   /// trip, retries included); the decorator just drains it through.
   int64_t TakeSimulatedLatencyMicros() override;
 
+  /// Overrides the quorum/retry policy in place — the graceful-degradation
+  /// lever of the ServiceSupervisor (query/supervisor.h). Takes effect on
+  /// the next batch; the FaultReport keeps accumulating across the switch,
+  /// so degraded and healthy work land in one ledger.
+  void set_options(const ResilientOptions& options) { options_ = options; }
+  const ResilientOptions& options() const { return options_; }
+
  private:
   ResilientBatchExecutor(BatchExecutor* inner, const ResilientOptions& options);
 
@@ -107,6 +114,10 @@ class ResilientBatchExecutor : public BatchExecutor {
   /// The inner executor records the dispatched/outcome trace cells; this
   /// decorator records only what it terminates (retries, degradations).
   bool RecordsTraceCells() const override { return false; }
+
+  // Checkpoint support: the FaultReport ledger plus the inner stack.
+  Status DoSaveState(CheckpointWriter* writer) const override;
+  Status DoLoadState(CheckpointReader* reader) override;
 
   BatchExecutor* inner_;
   ResilientOptions options_;
@@ -170,6 +181,12 @@ class FaultInjectingBatchExecutor : public BatchExecutor {
   /// never reach the inner executor) and the demotion of inner answers to
   /// no-quorum partials — so the trace reflects the modeled crowd.
   bool RecordsTraceCells() const override { return false; }
+
+  // Checkpoint support: the injection RNG stream, the injected-fault
+  // counters, and the inner stack — a resumed run injects the exact same
+  // fault pattern the uninterrupted run would have.
+  Status DoSaveState(CheckpointWriter* writer) const override;
+  Status DoLoadState(CheckpointReader* reader) override;
 
   BatchExecutor* inner_;
   InjectedFaultOptions options_;

@@ -10,11 +10,17 @@
 #include "common/metrics.h"
 #include "core/async_executor.h"
 #include "core/batched.h"
+#include "core/checkpoint.h"
 #include "core/trace.h"
 
 namespace crowdmax {
 
 namespace {
+
+constexpr uint32_t kDriveTag = CheckpointTag("DRV ");
+constexpr uint32_t kEngineTag = CheckpointTag("ENG ");
+constexpr uint32_t kCacheTag = CheckpointTag("CACH");
+constexpr uint32_t kSourceTag = CheckpointTag("SRC ");
 
 // The serial-path tournament instrumentation AllPlayAll used to own: a
 // size observation per spanned unit. Recorded only where the pre-engine
@@ -148,6 +154,75 @@ Result<std::unique_ptr<RoundEngine>> RoundEngine::CreatePipelined(
   engine->async_ = async;
   engine->max_in_flight_ = max_in_flight;
   return engine;
+}
+
+Status RoundSource::SaveState(CheckpointWriter* /*writer*/) const {
+  return Status::FailedPrecondition(
+      "this RoundSource does not support checkpointing");
+}
+
+Status RoundSource::LoadState(CheckpointReader* /*reader*/) {
+  return Status::FailedPrecondition(
+      "this RoundSource does not support checkpointing");
+}
+
+Result<std::string> RoundEngine::SerializeCheckpoint(
+    const RoundSource* source, int64_t paid_start,
+    const DriveResult& drive) const {
+  CheckpointWriter writer;
+  writer.WriteTag(kDriveTag);
+  writer.WriteI64(paid_start);
+  writer.WriteI64(drive.rounds_executed);
+  writer.WriteTag(kEngineTag);
+  writer.WriteI64(paid_base_);
+  writer.WriteI64(steps_base_);
+  writer.WriteI64(issued_);
+  writer.WriteI64(cache_hits_);
+  writer.WriteI64(overlapped_rounds_);
+  writer.WriteI64(max_in_flight_observed_);
+  writer.WriteRngState(seeder_.state());
+  // At a clean boundary the cache holds winners and kUnresolvedWinner
+  // parkings only — never a -1 in-flight reservation.
+  writer.WriteTag(kCacheTag);
+  writer.WriteSortedMap(*cache_);
+  Status stack = comparator_ != nullptr ? comparator_->SaveState(&writer)
+                                        : executor_->SaveState(&writer);
+  if (!stack.ok()) return stack;
+  writer.WriteTag(kSourceTag);
+  Status src = source->SaveState(&writer);
+  if (!src.ok()) return src;
+  return writer.Take();
+}
+
+Status RoundEngine::RestoreCheckpoint(RoundSource* source,
+                                      const std::string& bytes,
+                                      int64_t* paid_start,
+                                      DriveResult* drive) {
+  Result<CheckpointReader> opened = CheckpointReader::Open(bytes);
+  if (!opened.ok()) return opened.status();
+  CheckpointReader reader = std::move(opened).value();
+  reader.ExpectTag(kDriveTag);
+  *paid_start = reader.ReadI64();
+  drive->rounds_executed = reader.ReadI64();
+  reader.ExpectTag(kEngineTag);
+  paid_base_ = reader.ReadI64();
+  steps_base_ = reader.ReadI64();
+  issued_ = reader.ReadI64();
+  cache_hits_ = reader.ReadI64();
+  overlapped_rounds_ = reader.ReadI64();
+  max_in_flight_observed_ = reader.ReadI64();
+  seeder_.set_state(reader.ReadRngState());
+  reader.ExpectTag(kCacheTag);
+  reader.ReadSortedMap(cache_);
+  if (!reader.status().ok()) return reader.status();
+  Status stack = comparator_ != nullptr ? comparator_->LoadState(&reader)
+                                        : executor_->LoadState(&reader);
+  if (!stack.ok()) return stack;
+  reader.ExpectTag(kSourceTag);
+  if (!reader.status().ok()) return reader.status();
+  Status src = source->LoadState(&reader);
+  if (!src.ok()) return src;
+  return reader.Finish();
 }
 
 int64_t RoundEngine::paid() const {
@@ -387,7 +462,7 @@ Result<DriveResult> RoundEngine::Drive(RoundSource* source,
   CROWDMAX_CHECK(source != nullptr);
   if (async_ != nullptr) return DrivePipelined(source, options);
   DriveResult drive;
-  const int64_t paid_start = paid();
+  int64_t paid_start = paid();
   int64_t open_round_id = -1;
   AlgoTrace* trace = CurrentTrace();
   const auto close_round_span = [&] {
@@ -396,6 +471,16 @@ Result<DriveResult> RoundEngine::Drive(RoundSource* source,
       open_round_id = -1;
     }
   };
+
+  // A staged restore rebuilds the whole run — engine counters, cache,
+  // comparator/executor stack, source — before the first round, so the
+  // drive below continues exactly where the checkpointed one stopped.
+  if (checkpoint_ != nullptr && checkpoint_->PendingRestore() != nullptr) {
+    Status restored = RestoreCheckpoint(
+        source, *checkpoint_->PendingRestore(), &paid_start, &drive);
+    if (!restored.ok()) return restored;
+    checkpoint_->MarkRestored();
+  }
 
   while (true) {
     EngineRound round;
@@ -452,6 +537,14 @@ Result<DriveResult> RoundEngine::Drive(RoundSource* source,
       return consumed;
     }
     ++drive.rounds_executed;
+    // Clean round boundary: no open trace span, no outstanding work. The
+    // controller may snapshot here (cadence) or kill the run (chaos plan);
+    // a kAborted from the plan propagates out like any drive error.
+    if (checkpoint_ != nullptr && open_round_id < 0) {
+      Status boundary = checkpoint_->OnRoundBoundary(
+          [&] { return SerializeCheckpoint(source, paid_start, drive); });
+      if (!boundary.ok()) return boundary;
+    }
   }
 
   close_round_span();
@@ -589,7 +682,7 @@ Status RoundEngine::CompletePipelined(PendingRound* pending) {
 Result<DriveResult> RoundEngine::DrivePipelined(RoundSource* source,
                                                 const DriveOptions& options) {
   DriveResult drive;
-  const int64_t paid_start = paid();
+  int64_t paid_start = paid();
   int64_t open_round_id = -1;
   AlgoTrace* trace = CurrentTrace();
   std::deque<std::unique_ptr<PendingRound>> in_flight;
@@ -627,8 +720,23 @@ Result<DriveResult> RoundEngine::DrivePipelined(RoundSource* source,
     if (close_round) close_round_span();
     if (!consumed.ok()) return consumed;
     ++drive.rounds_executed;
+    // Checkpoints only at fully-drained boundaries: nothing in flight and
+    // no open trace span, so the serialized state has no half-submitted
+    // rounds or -1 cache reservations in it.
+    if (checkpoint_ != nullptr && in_flight.empty() && open_round_id < 0) {
+      Status boundary = checkpoint_->OnRoundBoundary(
+          [&] { return SerializeCheckpoint(source, paid_start, drive); });
+      if (!boundary.ok()) return boundary;
+    }
     return Status::OK();
   };
+
+  if (checkpoint_ != nullptr && checkpoint_->PendingRestore() != nullptr) {
+    Status restored = RestoreCheckpoint(
+        source, *checkpoint_->PendingRestore(), &paid_start, &drive);
+    if (!restored.ok()) return restored;
+    checkpoint_->MarkRestored();
+  }
 
   while (true) {
     // Retire the oldest round whenever the pipeline is full or the source

@@ -54,6 +54,9 @@ namespace crowdmax {
 
 class BatchExecutor;
 class AsyncBatchExecutor;
+class CheckpointController;
+class CheckpointReader;
+class CheckpointWriter;
 
 /// One comparison task: ask a worker which of the two elements is larger.
 /// The argument order is preserved all the way to the worker (adversarial
@@ -201,6 +204,17 @@ class RoundSource {
   /// canonical case. Default: never (the pipelined drive then degenerates
   /// to depth 1).
   virtual bool CanPipelineNextRound() const { return false; }
+
+  /// Checkpoint support (core/checkpoint.h): serializes the source's full
+  /// algorithm state — survivor sets, tallies, loss counters, phase
+  /// machines, any internal RNG stream — so a fresh source constructed
+  /// with the same inputs and restored from these bytes continues the run
+  /// bit-identically. Called by the engine only at clean round boundaries
+  /// (no round in flight, no open round span). The defaults refuse with
+  /// kFailedPrecondition, so a source that never opted in cannot silently
+  /// resume from scratch.
+  virtual Status SaveState(CheckpointWriter* writer) const;
+  virtual Status LoadState(CheckpointReader* reader);
 };
 
 struct DriveOptions {
@@ -294,6 +308,18 @@ class RoundEngine {
   int64_t overlapped_rounds() const { return overlapped_rounds_; }
   int64_t max_in_flight_observed() const { return max_in_flight_observed_; }
 
+  /// Attaches a CheckpointController (core/checkpoint.h) to this engine's
+  /// drives. At every clean round boundary — outcome consumed, no round in
+  /// flight, no open round trace span — the controller may snapshot the
+  /// whole run (engine counters, pair cache, comparator/executor stack,
+  /// source state) and may inject a planned kAborted crash. Before the
+  /// next drive's first round, a staged restore (ResumeFrom) is loaded
+  /// into the engine, the stack, and the source. Not owned; may be null.
+  void set_checkpoint(CheckpointController* controller) {
+    checkpoint_ = controller;
+  }
+  CheckpointController* checkpoint() const { return checkpoint_; }
+
  private:
   struct PendingRound;
 
@@ -316,6 +342,16 @@ class RoundEngine {
   /// Completion half: waits out the round's latency, stores the answers,
   /// and maps them back onto the round's units.
   Status CompletePipelined(PendingRound* pending);
+
+  /// Serializes one checkpoint: drive progress (`paid_start`, rounds), the
+  /// engine's counters/cache/seeder, the comparator or executor stack, and
+  /// the source. RestoreCheckpoint is the exact inverse, applied to a
+  /// freshly constructed engine+stack+source of the same shape.
+  Result<std::string> SerializeCheckpoint(const RoundSource* source,
+                                          int64_t paid_start,
+                                          const DriveResult& drive) const;
+  Status RestoreCheckpoint(RoundSource* source, const std::string& bytes,
+                           int64_t* paid_start, DriveResult* drive);
 
   const Backend backend_;
   Comparator* const comparator_;  // Comparator backends; else nullptr.
@@ -344,6 +380,9 @@ class RoundEngine {
   int64_t cache_hits_ = 0;
   int64_t overlapped_rounds_ = 0;
   int64_t max_in_flight_observed_ = 0;
+
+  // Round-boundary snapshot/crash/restore coordinator; null = disabled.
+  CheckpointController* checkpoint_ = nullptr;
 };
 
 /// Unordered pair key used by every engine cache (lower id in the low

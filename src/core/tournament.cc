@@ -4,11 +4,14 @@
 #include <numeric>
 #include <utility>
 
+#include "core/checkpoint.h"
 #include "core/round_engine.h"
 
 namespace crowdmax {
 
 namespace {
+
+constexpr uint32_t kTournamentTag = CheckpointTag("TRNY");
 
 // A tournament is the degenerate round generator: one round, one unit, all
 // unordered pairs. Comparisons are attributed to a cell by the caller (the
@@ -59,6 +62,28 @@ class TournamentRoundSource : public RoundSource {
   }
 
   TournamentEngineRun Finish() { return std::move(run_); }
+
+  // Single-round source: the only interior boundary is "tournament already
+  // consumed", so the state is the tally plus the done flag.
+  Status SaveState(CheckpointWriter* writer) const override {
+    writer->WriteTag(kTournamentTag);
+    writer->WriteIdVector(run_.tournament.wins);
+    writer->WriteI64(run_.tournament.comparisons);
+    writer->WriteI64(run_.unresolved);
+    writer->WriteStatus(run_.fault);
+    writer->WriteBool(done_);
+    return Status::OK();
+  }
+
+  Status LoadState(CheckpointReader* reader) override {
+    reader->ExpectTag(kTournamentTag);
+    reader->ReadIdVector(&run_.tournament.wins);
+    run_.tournament.comparisons = reader->ReadI64();
+    run_.unresolved = reader->ReadI64();
+    run_.fault = reader->ReadStatus();
+    done_ = reader->ReadBool();
+    return reader->status();
+  }
 
  private:
   const std::vector<ElementId>& elements_;

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checkpoint.h"
+
 namespace crowdmax {
 
 namespace {
+
+constexpr uint32_t kRngTag = CheckpointTag("RNG ");
+constexpr uint32_t kStickyTag = CheckpointTag("STKY");
 
 // Returns the element with the larger value; lower id on exact ties.
 ElementId TrueWinner(const Instance& instance, ElementId a, ElementId b) {
@@ -73,6 +78,26 @@ std::unique_ptr<Comparator> ThresholdComparator::Fork(uint64_t seed) const {
   return std::make_unique<ThresholdComparator>(instance_, options_, seed);
 }
 
+Status ThresholdComparator::SaveState(CheckpointWriter* writer) const {
+  Status counter = SaveCounterState(writer);
+  if (!counter.ok()) return counter;
+  writer->WriteTag(kRngTag);
+  writer->WriteRngState(rng_.state());
+  writer->WriteTag(kStickyTag);
+  writer->WriteSortedMap(sticky_answers_);
+  return Status::OK();
+}
+
+Status ThresholdComparator::LoadState(CheckpointReader* reader) {
+  Status counter = LoadCounterState(reader);
+  if (!counter.ok()) return counter;
+  reader->ExpectTag(kRngTag);
+  rng_.set_state(reader->ReadRngState());
+  reader->ExpectTag(kStickyTag);
+  reader->ReadSortedMap(&sticky_answers_);
+  return reader->status();
+}
+
 RelativeErrorComparator::RelativeErrorComparator(const Instance* instance,
                                                  const Options& options,
                                                  uint64_t seed)
@@ -96,6 +121,22 @@ ElementId RelativeErrorComparator::DoCompare(ElementId a, ElementId b) {
 std::unique_ptr<Comparator> RelativeErrorComparator::Fork(
     uint64_t seed) const {
   return std::make_unique<RelativeErrorComparator>(instance_, options_, seed);
+}
+
+Status RelativeErrorComparator::SaveState(CheckpointWriter* writer) const {
+  Status counter = SaveCounterState(writer);
+  if (!counter.ok()) return counter;
+  writer->WriteTag(kRngTag);
+  writer->WriteRngState(rng_.state());
+  return Status::OK();
+}
+
+Status RelativeErrorComparator::LoadState(CheckpointReader* reader) {
+  Status counter = LoadCounterState(reader);
+  if (!counter.ok()) return counter;
+  reader->ExpectTag(kRngTag);
+  rng_.set_state(reader->ReadRngState());
+  return reader->status();
 }
 
 DistanceDecayComparator::DistanceDecayComparator(const Instance* instance,
@@ -129,6 +170,22 @@ ElementId DistanceDecayComparator::DoCompare(ElementId a, ElementId b) {
 std::unique_ptr<Comparator> DistanceDecayComparator::Fork(
     uint64_t seed) const {
   return std::make_unique<DistanceDecayComparator>(instance_, options_, seed);
+}
+
+Status DistanceDecayComparator::SaveState(CheckpointWriter* writer) const {
+  Status counter = SaveCounterState(writer);
+  if (!counter.ok()) return counter;
+  writer->WriteTag(kRngTag);
+  writer->WriteRngState(rng_.state());
+  return Status::OK();
+}
+
+Status DistanceDecayComparator::LoadState(CheckpointReader* reader) {
+  Status counter = LoadCounterState(reader);
+  if (!counter.ok()) return counter;
+  reader->ExpectTag(kRngTag);
+  rng_.set_state(reader->ReadRngState());
+  return reader->status();
 }
 
 PersistentBiasComparator::PersistentBiasComparator(const Instance* instance,
@@ -197,6 +254,26 @@ ElementId PersistentBiasComparator::DoCompare(ElementId a, ElementId b) {
 std::unique_ptr<Comparator> PersistentBiasComparator::Fork(
     uint64_t seed) const {
   return std::make_unique<PersistentBiasComparator>(instance_, options_, seed);
+}
+
+Status PersistentBiasComparator::SaveState(CheckpointWriter* writer) const {
+  Status counter = SaveCounterState(writer);
+  if (!counter.ok()) return counter;
+  writer->WriteTag(kRngTag);
+  writer->WriteRngState(rng_.state());
+  writer->WriteTag(kStickyTag);
+  writer->WriteSortedMap(preferred_);
+  return Status::OK();
+}
+
+Status PersistentBiasComparator::LoadState(CheckpointReader* reader) {
+  Status counter = LoadCounterState(reader);
+  if (!counter.ok()) return counter;
+  reader->ExpectTag(kRngTag);
+  rng_.set_state(reader->ReadRngState());
+  reader->ExpectTag(kStickyTag);
+  reader->ReadSortedMap(&preferred_);
+  return reader->status();
 }
 
 }  // namespace crowdmax

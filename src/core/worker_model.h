@@ -86,6 +86,12 @@ class ThresholdComparator : public Comparator {
   /// views.
   std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
 
+  /// Checkpoints the counter, the RNG stream position, and the sticky
+  /// below-threshold answer table, so a restored run replays the exact
+  /// same coin flips and per-pair opinions (core/checkpoint.h).
+  Status SaveState(CheckpointWriter* writer) const override;
+  Status LoadState(CheckpointReader* reader) override;
+
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
 
@@ -122,6 +128,10 @@ class RelativeErrorComparator : public Comparator {
   /// Independent worker of the same class with a fresh Rng from `seed`.
   std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
 
+  /// Checkpoints the counter and the RNG stream position.
+  Status SaveState(CheckpointWriter* writer) const override;
+  Status LoadState(CheckpointReader* reader) override;
+
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
 
@@ -157,6 +167,10 @@ class DistanceDecayComparator : public Comparator {
 
   /// Independent worker of the same class with a fresh Rng from `seed`.
   std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
+
+  /// Checkpoints the counter and the RNG stream position.
+  Status SaveState(CheckpointWriter* writer) const override;
+  Status LoadState(CheckpointReader* reader) override;
 
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
@@ -211,6 +225,12 @@ class PersistentBiasComparator : public Comparator {
   /// across forks — use the serial path when cross-round persistence of
   /// the crowd bias is the behaviour under study.
   std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
+
+  /// Checkpoints the counter, the RNG stream position, and the persistent
+  /// per-pair preferred-winner table — the crowd keeps its opinions across
+  /// a crash.
+  Status SaveState(CheckpointWriter* writer) const override;
+  Status LoadState(CheckpointReader* reader) override;
 
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;

@@ -197,9 +197,13 @@ Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
           ->GetCounter("crowdmax.platform.unavailable_errors")
           ->Increment();
     }
+    // The outage is per-submission (no step elapsed), so a retry is
+    // expected to succeed one logical step later — the hint the resilient
+    // layer and the service supervisor surface to callers.
     return Status::Unavailable(
-        "crowd platform temporarily unavailable (injected transient fault); "
-        "retry the submission");
+               "crowd platform temporarily unavailable (injected transient "
+               "fault); retry the submission")
+        .WithRetryAfter(1);
   }
   if (faults && options_.fault.churn_probability > 0.0) ApplyChurn();
 
@@ -376,7 +380,7 @@ Status CrowdPlatform::ExportTranscriptCsv(
   out << "logical_step,a,b,";
   if (labeled) out << "label_a,label_b,";
   out << "worker_id,vote,counted,majority_winner,"
-         "unanimous,vote_disposition,task_disposition\n";
+         "unanimous,vote_disposition,task_disposition,retry_after_steps\n";
   for (const TaskOutcome& outcome : transcript_) {
     // Labels (and, defensively, the disposition names) go through RFC-4180
     // escaping: dataset-derived item names may contain commas, quotes or
@@ -392,7 +396,12 @@ Status CrowdPlatform::ExportTranscriptCsv(
           << vote.winner << ',' << (vote.counted ? 1 : 0) << ','
           << outcome.majority_winner << ',' << (outcome.unanimous ? 1 : 0)
           << ',' << CsvEscape(VoteDispositionName(vote.disposition)) << ','
-          << CsvEscape(TaskDispositionName(outcome.disposition)) << '\n';
+          << CsvEscape(TaskDispositionName(outcome.disposition)) << ','
+          // Disposition-level retry hint: an answered task needs no retry;
+          // a dropped or no-quorum task is expected to resolve when
+          // re-issued one logical step later.
+          << (outcome.disposition == TaskDisposition::kAnswered ? 0 : 1)
+          << '\n';
     }
   }
   return Status::OK();

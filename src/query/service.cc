@@ -47,11 +47,13 @@ FairShareScheduler::FairShareScheduler(int64_t capacity,
     : capacity_(std::max<int64_t>(1, capacity)),
       boost_margin_(std::max<int64_t>(0, deadline_boost_margin)) {}
 
-int64_t FairShareScheduler::Register(int64_t weight, int64_t deadline_steps) {
+int64_t FairShareScheduler::Register(int64_t weight, int64_t deadline_steps,
+                                     int64_t kill_after_steps) {
   CROWDMAX_CHECK(weight >= 1);
   Tenant tenant;
   tenant.weight = weight;
   tenant.deadline_steps = std::max<int64_t>(0, deadline_steps);
+  tenant.kill_after_steps = std::max<int64_t>(0, kill_after_steps);
   tenant.stride = kStrideScale / static_cast<uint64_t>(weight);
   if (tenant.stride == 0) tenant.stride = 1;
   tenants_.push_back(tenant);
@@ -99,6 +101,17 @@ Status FairShareScheduler::Acquire(int64_t tenant) {
     return Status::DeadlineExceeded(
         "tenant " + std::to_string(tenant) + " spent its deadline of " +
         std::to_string(t.deadline_steps) + " batch steps");
+  }
+  // Chaos kill switch: same per-tenant determinism as the deadline, but a
+  // distinct code — the query was deliberately crashed at a clean
+  // submission boundary and can be recovered by re-execution (its stack is
+  // hermetically seeded) or by checkpoint resume.
+  if (t.kill_after_steps > 0 && t.stats.grants >= t.kill_after_steps) {
+    return Status::Aborted("chaos kill switch fired for tenant " +
+                           std::to_string(tenant) + " after " +
+                           std::to_string(t.kill_after_steps) +
+                           " batch steps")
+        .WithRetryAfter(1);
   }
 
   // Joining the queue: advance the pass to the floor so a long-idle tenant
@@ -824,8 +837,8 @@ Result<ServiceRunResult> QueryService::Run(
   for (int64_t i = 0; i < count; ++i) {
     const QuerySpec& spec = specs[static_cast<size_t>(i)];
     if (!admissions[static_cast<size_t>(i)].status.ok()) continue;
-    tenant_of[static_cast<size_t>(i)] =
-        scheduler.Register(spec.weight, spec.deadline_steps);
+    tenant_of[static_cast<size_t>(i)] = scheduler.Register(
+        spec.weight, spec.deadline_steps, spec.kill_after_steps);
     if (spec.share_cache) {
       auto [it, inserted] =
           sharing_unit_of_shard.try_emplace(spec.shard, units.size());
@@ -882,6 +895,8 @@ Result<ServiceRunResult> QueryService::Run(
       ++report.completed;
     } else if (out.status.code() == StatusCode::kDeadlineExceeded) {
       ++report.aborted_deadline;
+    } else if (out.status.code() == StatusCode::kAborted) {
+      ++report.aborted_chaos;
     }
     if (out.partial) ++report.partial;
     report.paid += out.paid;

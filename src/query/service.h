@@ -121,6 +121,12 @@ struct QuerySpec {
   /// Opt into the shard's cross-query SharedPairCache. Sharing queries of
   /// one shard are chained sequentially in spec order (see file comment).
   bool share_cache = false;
+  /// Chaos hook (query/supervisor.h): abort this query with a typed
+  /// kAborted after this many scheduler grants (batch submissions),
+  /// simulating a crash at a clean submission boundary. Enforced like the
+  /// deadline — against the tenant's own grant count only, so the kill
+  /// point is deterministic under any interleaving. 0 = never.
+  int64_t kill_after_steps = 0;
 };
 
 /// Service configuration: the shards and the shared stack.
@@ -180,15 +186,17 @@ class FairShareScheduler {
  public:
   FairShareScheduler(int64_t capacity, int64_t deadline_boost_margin);
 
-  /// Adds a tenant with the given weight (>= 1) and deadline (0 = none);
-  /// returns its id. Not thread-safe against Acquire/Release — register
-  /// every tenant before scheduling starts.
-  int64_t Register(int64_t weight, int64_t deadline_steps);
+  /// Adds a tenant with the given weight (>= 1), deadline (0 = none) and
+  /// chaos kill point (0 = none); returns its id. Not thread-safe against
+  /// Acquire/Release — register every tenant before scheduling starts.
+  int64_t Register(int64_t weight, int64_t deadline_steps,
+                   int64_t kill_after_steps = 0);
 
   /// Blocks until a batch slot is granted to `tenant`, or returns
   /// kDeadlineExceeded when the tenant's grant count has reached its
-  /// deadline (the slot is then not taken). Deterministic per tenant: the
-  /// decision depends only on the tenant's own grant count.
+  /// deadline, or kAborted when its armed chaos kill point is reached (the
+  /// slot is then not taken). Deterministic per tenant: both decisions
+  /// depend only on the tenant's own grant count.
   Status Acquire(int64_t tenant);
 
   /// Returns the slot taken by the last successful Acquire of `tenant`.
@@ -200,6 +208,7 @@ class FairShareScheduler {
   struct Tenant {
     int64_t weight = 1;
     int64_t deadline_steps = 0;
+    int64_t kill_after_steps = 0;
     uint64_t pass = 0;    // Stride position; lower = next in line.
     uint64_t stride = 1;  // kStrideScale / weight.
     bool waiting = false;
@@ -318,6 +327,9 @@ struct ServiceReport {
   int64_t rejected_invalid = 0;
   /// Admitted queries aborted mid-run by an expired deadline.
   int64_t aborted_deadline = 0;
+  /// Admitted queries killed mid-run by an armed chaos kill switch
+  /// (QuerySpec::kill_after_steps); recoverable by re-execution.
+  int64_t aborted_chaos = 0;
   /// Admitted queries that finished with an OK status.
   int64_t completed = 0;
   /// Completed-or-aborted queries flagged partial by the fault stack.

@@ -1,0 +1,290 @@
+#include "query/supervisor.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace crowdmax {
+
+namespace {
+
+// The breaker's failure signal: the shard's crowd was unavailable, either
+// terminally (the fault stack exhausted its budget) or softly (a partial
+// result whose triggering fault was an unavailability / no-quorum streak).
+// Typed admission rejections and deadline aborts are tenant problems, not
+// shard-health problems, and never count.
+bool IsAvailabilityFailure(const QueryOutcome& outcome) {
+  if (outcome.status.code() == StatusCode::kUnavailable) return true;
+  return outcome.partial &&
+         outcome.fault_status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+ServiceSupervisor::ServiceSupervisor(const SupervisorOptions& options)
+    : options_(options), breakers_(options.service.shards.size()) {}
+
+Result<ServiceSupervisor> ServiceSupervisor::Create(
+    const SupervisorOptions& options) {
+  // The wrapped service must itself be creatable; reuse its validation.
+  Result<QueryService> service = QueryService::Create(options.service);
+  if (!service.ok()) return service.status();
+
+  const ChaosSchedule& chaos = options.chaos;
+  if (chaos.kill_query_probability < 0.0 ||
+      chaos.kill_query_probability > 1.0) {
+    return Status::InvalidArgument(
+        "kill_query_probability must be in [0, 1]");
+  }
+  if (chaos.min_kill_step < 1 || chaos.max_kill_step < chaos.min_kill_step) {
+    return Status::InvalidArgument(
+        "kill step range needs 1 <= min_kill_step <= max_kill_step");
+  }
+  if (chaos.max_restarts < 0) {
+    return Status::InvalidArgument("max_restarts must be >= 0");
+  }
+  if (chaos.outage_start < 0 || chaos.outage_queries < 0) {
+    return Status::InvalidArgument("outage window fields must be >= 0");
+  }
+  const CircuitBreakerOptions& breaker = options.breaker;
+  if (breaker.failure_threshold < 1 || breaker.cooldown_queries < 1 ||
+      breaker.probe_successes_to_close < 1) {
+    return Status::InvalidArgument(
+        "breaker thresholds/cooldown must be >= 1");
+  }
+  if (breaker.retry_after_steps < 0 || options.shed.retry_after_steps < 0) {
+    return Status::InvalidArgument("retry_after_steps must be >= 0");
+  }
+  if (options.shed.max_admitted < 0) {
+    return Status::InvalidArgument("max_admitted must be >= 0");
+  }
+  return ServiceSupervisor(options);
+}
+
+BreakerState ServiceSupervisor::breaker_state(int64_t shard) const {
+  CROWDMAX_CHECK(shard >= 0 &&
+                 shard < static_cast<int64_t>(breakers_.size()));
+  return breakers_[static_cast<size_t>(shard)].state;
+}
+
+void ServiceSupervisor::ObserveOutcome(int64_t shard,
+                                       const QueryOutcome& outcome,
+                                       bool was_probe,
+                                       SupervisorReport* report) {
+  Breaker& breaker = breakers_[static_cast<size_t>(shard)];
+  if (IsAvailabilityFailure(outcome)) {
+    ++breaker.consecutive_failures;
+    if (was_probe) {
+      // A failed probe re-opens the breaker and restarts the cooldown.
+      breaker.state = BreakerState::kOpen;
+      breaker.shed_while_open = 0;
+      breaker.probe_successes = 0;
+      ++report->breaker_trips;
+    } else if (breaker.state == BreakerState::kClosed &&
+               breaker.consecutive_failures >=
+                   options_.breaker.failure_threshold) {
+      breaker.state = BreakerState::kOpen;
+      breaker.shed_while_open = 0;
+      ++report->breaker_trips;
+    }
+    return;
+  }
+  breaker.consecutive_failures = 0;
+  if (was_probe) {
+    ++breaker.probe_successes;
+    if (breaker.probe_successes >=
+        options_.breaker.probe_successes_to_close) {
+      breaker.state = BreakerState::kClosed;
+      breaker.probe_successes = 0;
+      ++report->breaker_closes;
+    }
+  }
+}
+
+Result<SupervisedRunResult> ServiceSupervisor::Run(
+    const std::vector<QuerySpec>& specs) {
+  const int64_t count = static_cast<int64_t>(specs.size());
+  SupervisedRunResult run;
+  run.outcomes.resize(specs.size());
+  run.report.submitted = count;
+
+  // The chaos plan: every draw happens here, in spec order, before
+  // anything executes — the plan is a pure function of (specs, seed), so
+  // shedding decisions further down can never shift the kill pattern.
+  Rng chaos_rng(options_.chaos.seed);
+  std::vector<int64_t> kill_step(specs.size(), 0);
+  if (options_.chaos.kill_query_probability > 0.0) {
+    const uint64_t span = static_cast<uint64_t>(
+        options_.chaos.max_kill_step - options_.chaos.min_kill_step + 1);
+    for (int64_t i = 0; i < count; ++i) {
+      if (!chaos_rng.NextBernoulli(options_.chaos.kill_query_probability)) {
+        continue;
+      }
+      kill_step[static_cast<size_t>(i)] =
+          options_.chaos.min_kill_step +
+          static_cast<int64_t>(chaos_rng.NextBounded(span));
+    }
+  }
+
+  // Shedding pass 1 — the service-wide outage window.
+  std::vector<bool> runnable(specs.size(), true);
+  const int64_t outage_end =
+      options_.chaos.outage_start + options_.chaos.outage_queries;
+  for (int64_t i = 0; i < count; ++i) {
+    if (options_.chaos.outage_queries <= 0 ||
+        i < options_.chaos.outage_start || i >= outage_end) {
+      continue;
+    }
+    SupervisedOutcome& sup = run.outcomes[static_cast<size_t>(i)];
+    runnable[static_cast<size_t>(i)] = false;
+    sup.shed_load = true;
+    ++run.report.shed_outage;
+    // The hint counts down to the end of the window, in the submission
+    // currency the caller controls.
+    sup.outcome.status =
+        Status::Unavailable(
+            "service outage in progress (chaos plan); resubmit after the "
+            "window")
+            .WithRetryAfter(outage_end - i);
+  }
+
+  // Shedding pass 2 — the admission high watermark. The excess is shed
+  // lowest fair-share weight first; among equal weights the later
+  // submission goes first (it displaced the queue).
+  if (options_.shed.max_admitted > 0) {
+    std::vector<int64_t> candidates;
+    for (int64_t i = 0; i < count; ++i) {
+      if (runnable[static_cast<size_t>(i)]) candidates.push_back(i);
+    }
+    const int64_t excess =
+        static_cast<int64_t>(candidates.size()) - options_.shed.max_admitted;
+    if (excess > 0) {
+      std::sort(candidates.begin(), candidates.end(),
+                [&](int64_t a, int64_t b) {
+                  const int64_t wa = specs[static_cast<size_t>(a)].weight;
+                  const int64_t wb = specs[static_cast<size_t>(b)].weight;
+                  if (wa != wb) return wa < wb;
+                  return a > b;
+                });
+      for (int64_t s = 0; s < excess; ++s) {
+        const int64_t i = candidates[static_cast<size_t>(s)];
+        SupervisedOutcome& sup = run.outcomes[static_cast<size_t>(i)];
+        runnable[static_cast<size_t>(i)] = false;
+        sup.shed_load = true;
+        ++run.report.shed_load;
+        sup.outcome.status =
+            Status::Unavailable(
+                "admission queue above its high watermark; load shed")
+                .WithRetryAfter(options_.shed.retry_after_steps);
+      }
+    }
+  }
+
+  // Supervised execution, strictly in spec order (the breaker state
+  // machine is deterministic only under a deterministic outcome order).
+  for (int64_t i = 0; i < count; ++i) {
+    if (!runnable[static_cast<size_t>(i)]) continue;
+    const QuerySpec& spec = specs[static_cast<size_t>(i)];
+    SupervisedOutcome& sup = run.outcomes[static_cast<size_t>(i)];
+
+    // Out-of-range shards skip the breaker and fall through to admission
+    // control, which rejects them with a typed kInvalidArgument.
+    const bool shard_ok =
+        spec.shard >= 0 &&
+        spec.shard < static_cast<int64_t>(breakers_.size());
+    Breaker* breaker =
+        shard_ok ? &breakers_[static_cast<size_t>(spec.shard)] : nullptr;
+
+    bool probe = false;
+    if (breaker != nullptr && breaker->state == BreakerState::kOpen) {
+      if (breaker->shed_while_open < options_.breaker.cooldown_queries) {
+        ++breaker->shed_while_open;
+        sup.shed_breaker = true;
+        ++run.report.shed_breaker;
+        sup.outcome.status =
+            Status::Unavailable("circuit breaker open for shard " +
+                                std::to_string(spec.shard))
+                .WithRetryAfter(options_.breaker.retry_after_steps);
+        continue;
+      }
+      breaker->state = BreakerState::kHalfOpen;
+      breaker->probe_successes = 0;
+    }
+    if (breaker != nullptr && breaker->state == BreakerState::kHalfOpen) {
+      probe = true;
+      sup.probe = true;
+      ++run.report.breaker_probes;
+    }
+
+    // Graceful degradation: a not-closed breaker relaxes the recovery
+    // policy instead of (or after) shedding. Only the quorum/fallback
+    // policy changes — elimination still requires counted losses, so the
+    // Lemma 1 guarantee survives degradation.
+    QueryServiceOptions service_options = options_.service;
+    if (options_.degrade.enabled && breaker != nullptr &&
+        breaker->state != BreakerState::kClosed) {
+      service_options.resilient = options_.degrade.degraded;
+      sup.degraded = true;
+      ++run.report.degraded_runs;
+    }
+
+    QuerySpec attempt = spec;
+    attempt.kill_after_steps = kill_step[static_cast<size_t>(i)];
+    Result<QueryOutcome> outcome =
+        QueryService::ExecuteAlone(service_options, attempt);
+    if (!outcome.ok()) return outcome.status();
+    sup.outcome = std::move(*outcome);
+    ++run.report.executed;
+
+    if (attempt.kill_after_steps > 0 &&
+        sup.outcome.status.code() == StatusCode::kAborted) {
+      sup.kills = 1;
+      ++run.report.killed;
+      // Recovery by deterministic re-execution: the tenant stack is
+      // hermetically seeded, so the re-run reproduces the uninterrupted
+      // run bit-for-bit (the contract tests/chaos_test.cc asserts).
+      QuerySpec retry = spec;
+      retry.kill_after_steps = 0;
+      bool recovered = false;
+      for (int64_t r = 0; r < options_.chaos.max_restarts && !recovered;
+           ++r) {
+        Result<QueryOutcome> again =
+            QueryService::ExecuteAlone(service_options, retry);
+        if (!again.ok()) return again.status();
+        ++sup.restarts;
+        sup.outcome = std::move(*again);
+        recovered = sup.outcome.status.code() != StatusCode::kAborted;
+      }
+      if (recovered) {
+        ++run.report.recovered;
+      } else {
+        ++run.report.unrecovered;
+      }
+    }
+
+    if (sup.outcome.status.ok()) ++run.report.completed;
+    // Only executed, admitted queries describe shard health; typed
+    // admission rejections never move the breaker.
+    if (breaker != nullptr && sup.outcome.admitted) {
+      ObserveOutcome(spec.shard, sup.outcome, probe, &run.report);
+    }
+  }
+  return run;
+}
+
+}  // namespace crowdmax

@@ -1,0 +1,204 @@
+// Service-level chaos harness and self-protection for QueryService.
+//
+// The ServiceSupervisor is the control loop a deployment would wrap around
+// the query service: it decides which submitted queries run at all (load
+// shedding, circuit breakers), under which recovery policy they run
+// (graceful degradation), injects deliberate failures from a seeded chaos
+// plan, and recovers killed queries by deterministic re-execution — every
+// tenant stack is hermetically seeded (QueryService::StreamSeed), so
+// re-running a killed spec reproduces the uninterrupted run bit-for-bit.
+// Comparator-mode engine drives additionally support true checkpoint
+// resume (core/checkpoint.h); the supervisor's re-execution path is the
+// recovery story for platform-mode stacks, whose external-world state
+// (CrowdPlatform) is deliberately not serialized.
+//
+// Everything here is deterministic given the specs and the chaos seed:
+// queries are supervised strictly in spec order, breaker transitions
+// depend only on the outcome sequence, and shedding depends only on the
+// submitted batch. A chaos run is therefore replayable — the property
+// tests/chaos_test.cc leans on.
+//
+// Protection mechanisms, in the order a query meets them:
+//
+//  1. Service outage window (ChaosSchedule): queries whose submission
+//     index falls inside the window are shed with kUnavailable and a
+//     retry-after hint counting down to the window's end — the "whole
+//     service killed" experiment of the chaos plan.
+//  2. Load shedding (LoadShedOptions): when a submitted batch exceeds the
+//     admission high watermark, the excess queries are shed before
+//     execution, lowest fair-share weight first (ties: later submission
+//     first), with kUnavailable + retry-after. Shed queries never reach
+//     admission control, so they cost nothing.
+//  3. Circuit breaker (CircuitBreakerOptions, one per shard): consecutive
+//     unavailable/no-quorum failures trip the breaker open; while open,
+//     the shard's queries are shed with kUnavailable + retry-after; after
+//     a cooldown the breaker half-opens and the next query runs as a
+//     probe — success closes the breaker, failure re-opens it.
+//  4. Graceful degradation (GracefulDegradeOptions): while a shard's
+//     breaker is not closed, its queries (the probes, and every query when
+//     shedding is disabled in favour of degradation) run under a relaxed
+//     recovery policy (ResilientOptions with a lower quorum). Relaxed
+//     quorum only changes how much evidence a majority needs, never
+//     whether an element can be evicted without a counted loss, so the
+//     Lemma 1 filter guarantee (the maximum survives) is preserved.
+//  5. Chaos kill/restart (ChaosSchedule): an armed query is killed by the
+//     scheduler's kill switch (QuerySpec::kill_after_steps) with a typed
+//     kAborted at a clean submission boundary, then recovered by
+//     re-execution; the report separates killed, recovered and
+//     unrecovered counts.
+
+#ifndef CROWDMAX_QUERY_SUPERVISOR_H_
+#define CROWDMAX_QUERY_SUPERVISOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/resilient.h"
+#include "query/service.h"
+
+namespace crowdmax {
+
+/// Seeded fault plan of one supervised run. All draws come from one
+/// xoshiro stream seeded with `seed`, taken in spec order before anything
+/// executes, so the plan is a pure function of (specs, seed).
+struct ChaosSchedule {
+  uint64_t seed = 0;
+  /// Per-query probability of being killed mid-run.
+  double kill_query_probability = 0.0;
+  /// A killed query's kill step is drawn uniformly from
+  /// [min_kill_step, max_kill_step] scheduler grants.
+  int64_t min_kill_step = 1;
+  int64_t max_kill_step = 4;
+  /// Re-execution attempts per killed query (1 is always enough on a
+  /// healthy stack; 0 leaves kills unrecovered, for measuring raw loss).
+  int64_t max_restarts = 1;
+  /// Whole-service outage: queries with submission index in
+  /// [outage_start, outage_start + outage_queries) are shed with
+  /// kUnavailable and a retry-after hint. outage_queries = 0 disables.
+  int64_t outage_start = 0;
+  int64_t outage_queries = 0;
+};
+
+/// Per-shard breaker policy (closed -> open -> half-open -> closed).
+struct CircuitBreakerOptions {
+  /// Consecutive failures (kUnavailable outcome, or a partial result whose
+  /// fault status is kUnavailable) that trip the breaker.
+  int64_t failure_threshold = 3;
+  /// Queries shed while open before the breaker half-opens and probes.
+  int64_t cooldown_queries = 2;
+  /// Consecutive probe successes required to close again.
+  int64_t probe_successes_to_close = 1;
+  /// Retry-after hint attached to breaker-shed queries.
+  int64_t retry_after_steps = 8;
+};
+
+/// Admission-queue high-watermark shedding.
+struct LoadShedOptions {
+  /// Max queries of one submitted batch that are allowed to execute;
+  /// 0 = unlimited. The excess is shed lowest-weight-first.
+  int64_t max_admitted = 0;
+  /// Retry-after hint attached to load-shed queries.
+  int64_t retry_after_steps = 4;
+};
+
+/// Relaxed-quorum execution for shards whose breaker is not closed.
+struct GracefulDegradeOptions {
+  bool enabled = false;
+  /// The relaxed recovery policy (typically: min_votes lowered, a
+  /// deterministic fallback installed). Applied to the whole per-tenant
+  /// resilient layer of degraded queries.
+  ResilientOptions degraded;
+};
+
+struct SupervisorOptions {
+  QueryServiceOptions service;
+  ChaosSchedule chaos;
+  CircuitBreakerOptions breaker;
+  LoadShedOptions shed;
+  GracefulDegradeOptions degrade;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+const char* BreakerStateName(BreakerState state);
+
+/// One supervised query: the final (post-recovery) outcome plus what the
+/// supervisor did to it. A shed query has outcome.status kUnavailable with
+/// a retry_after_steps hint and was never executed.
+struct SupervisedOutcome {
+  QueryOutcome outcome;
+  /// Shed by the outage window or the admission watermark.
+  bool shed_load = false;
+  /// Shed by an open circuit breaker.
+  bool shed_breaker = false;
+  /// Ran as the half-open probe of its shard's breaker.
+  bool probe = false;
+  /// Ran under the relaxed-quorum degraded policy.
+  bool degraded = false;
+  /// Chaos kills injected into this query (0 or 1).
+  int64_t kills = 0;
+  /// Recovery re-executions that ran (<= ChaosSchedule::max_restarts).
+  int64_t restarts = 0;
+};
+
+struct SupervisorReport {
+  int64_t submitted = 0;
+  int64_t executed = 0;
+  int64_t completed = 0;
+  int64_t shed_outage = 0;
+  int64_t shed_load = 0;
+  int64_t shed_breaker = 0;
+  int64_t killed = 0;
+  int64_t recovered = 0;
+  int64_t unrecovered = 0;
+  int64_t degraded_runs = 0;
+  int64_t breaker_trips = 0;
+  int64_t breaker_probes = 0;
+  int64_t breaker_closes = 0;
+};
+
+struct SupervisedRunResult {
+  std::vector<SupervisedOutcome> outcomes;  // Aligned with the input specs.
+  SupervisorReport report;
+};
+
+/// The supervisor. Create once; each Run supervises one submitted batch.
+/// Breaker state persists across Runs (a tripped shard stays tripped), so
+/// a long-lived supervisor models a long-lived deployment.
+class ServiceSupervisor {
+ public:
+  /// Validates the wrapped service options plus the supervisor knobs.
+  static Result<ServiceSupervisor> Create(const SupervisorOptions& options);
+
+  /// Supervises `specs` in spec order: outage/load shedding first, then
+  /// per-query breaker checks, chaos kills and recovery. Never hangs and
+  /// never returns silent partial results — every non-executed query
+  /// carries a typed status with a retry-after hint.
+  Result<SupervisedRunResult> Run(const std::vector<QuerySpec>& specs);
+
+  BreakerState breaker_state(int64_t shard) const;
+
+  const SupervisorOptions& options() const { return options_; }
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    int64_t consecutive_failures = 0;
+    int64_t shed_while_open = 0;
+    int64_t probe_successes = 0;
+  };
+
+  explicit ServiceSupervisor(const SupervisorOptions& options);
+
+  /// Feeds one executed outcome into the shard's breaker; updates the
+  /// report's trip/probe/close tallies.
+  void ObserveOutcome(int64_t shard, const QueryOutcome& outcome,
+                      bool was_probe, SupervisorReport* report);
+
+  SupervisorOptions options_;
+  std::vector<Breaker> breakers_;  // One per shard.
+};
+
+}  // namespace crowdmax
+
+#endif  // CROWDMAX_QUERY_SUPERVISOR_H_

@@ -424,13 +424,16 @@ TEST(CrowdPlatformTest, TranscriptCsvRoundTripsVoteFlags) {
     std::istringstream fields_in(line);
     std::string field;
     while (std::getline(fields_in, field, ',')) fields.push_back(field);
-    ASSERT_EQ(fields.size(), 10u) << line;
+    ASSERT_EQ(fields.size(), 11u) << line;
     if (fields[5] == "1") {
       ++counted_rows;
       EXPECT_EQ(fields[8], "counted") << line;
     } else if (fields[8] == "discarded") {
       ++discarded_rows;
     }
+    // The retry hint is disposition-level: answered tasks need no retry,
+    // dropped/no-quorum tasks suggest re-issue one step later.
+    EXPECT_EQ(fields[10], fields[9] == "answered" ? "0" : "1") << line;
   }
   // One row per recorded vote; flags reconcile with the counters.
   EXPECT_EQ(rows, total_votes);
@@ -502,28 +505,30 @@ TEST(CrowdPlatformTest, TranscriptCsvEscapesAdversarialLabels) {
   // Header plus one record per vote (2 tasks x 3 votes) — the embedded
   // newline must NOT add records.
   ASSERT_EQ(records.size(), 7u);
-  ASSERT_EQ(records[0].size(), 12u);
+  ASSERT_EQ(records[0].size(), 13u);
   EXPECT_EQ(records[0][3], "label_a");
   EXPECT_EQ(records[0][4], "label_b");
   for (size_t r = 1; r < records.size(); ++r) {
     const std::vector<std::string>& row = records[r];
-    ASSERT_EQ(row.size(), 12u);
+    ASSERT_EQ(row.size(), 13u);
     // Labels round-trip to the exact labeler output for the row's ids.
     const auto a = static_cast<size_t>(std::stoll(row[1]));
     const auto b = static_cast<size_t>(std::stoll(row[2]));
     EXPECT_EQ(row[3], labels[a]);
     EXPECT_EQ(row[4], labels[b]);
-    // Disposition columns stay machine-readable.
+    // Disposition columns stay machine-readable; an answered task carries
+    // no retry hint.
     EXPECT_EQ(row[10], "counted");
     EXPECT_EQ(row[11], "answered");
+    EXPECT_EQ(row[12], "0");
   }
 
-  // The unlabeled export keeps its legacy 10-column shape.
+  // The unlabeled export keeps the same shape minus the label columns.
   std::ostringstream plain;
   ASSERT_TRUE((*platform)->ExportTranscriptCsv(plain).ok());
   const auto plain_records = ParseCsv(plain.str());
   ASSERT_EQ(plain_records.size(), 7u);
-  EXPECT_EQ(plain_records[0].size(), 10u);
+  EXPECT_EQ(plain_records[0].size(), 11u);
 }
 
 TEST(PlatformAdapterTest, FactoriesValidateArguments) {

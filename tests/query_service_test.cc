@@ -467,5 +467,76 @@ TEST(QueryServiceTest, PipelinedDepthKeepsEquivalence) {
   }
 }
 
+// The hard combination of the robustness milestone: a mid-run deadline
+// abort inside the pipelined drive (depth > 1, rounds still in flight at
+// the abort) on a faulty platform. The aborted query must come back with a
+// typed kDeadlineExceeded — never a hang, never a silent partial — and
+// the merged service accounting must still reconcile against the platform
+// transcripts, i.e. the in-flight rounds the abort discarded were still
+// billed exactly once.
+TEST(QueryServiceTest, PipelinedDeadlineAbortOnFaultyPlatformReconciles) {
+  const Instance shard = MakeInstance(48, 61);
+  QueryServiceOptions options;
+  options.shards = {{&shard, 0.0, 0.0}};
+  options.threads = 4;
+  options.capacity = 2;
+  options.collect_traces = true;
+  options.pipeline_depth = 3;
+  options.use_platform = true;
+  options.platform_workers = 30;
+  options.naive_votes = 3;
+  options.expert_votes = 5;
+  options.fault.abandon_probability = 0.05;
+  options.fault.min_quorum = 2;
+  options.resilient.max_retries = 2;
+
+  std::vector<QuerySpec> specs;
+  for (int64_t i = 0; i < 4; ++i) {
+    QuerySpec spec;
+    spec.tenant = "dl" + std::to_string(i);
+    spec.kind = QueryKind::kMax;
+    spec.u_n = 2;
+    spec.seed = 7000 + static_cast<uint64_t>(i) * 13;
+    // Tenants 1 and 3 get a deadline the two-phase plan cannot meet; the
+    // others run to completion around the aborts.
+    if (i % 2 == 1) spec.deadline_steps = 2;
+    specs.push_back(spec);
+  }
+
+  Result<QueryService> service = QueryService::Create(options);
+  ASSERT_TRUE(service.ok());
+  Result<ServiceRunResult> run = service->Run(specs);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  int64_t aborted = 0;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const QueryOutcome& outcome = run->outcomes[i];
+    EXPECT_TRUE(outcome.admitted);
+    if (specs[i].deadline_steps > 0) {
+      EXPECT_EQ(outcome.status.code(), StatusCode::kDeadlineExceeded)
+          << "spec " << i << ": " << outcome.status.ToString();
+      ++aborted;
+    } else {
+      EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    }
+  }
+  ASSERT_EQ(aborted, 2);
+  // Mid-run aborts of admitted queries, not admission-time rejections.
+  EXPECT_EQ(run->report.aborted_deadline, 2);
+  EXPECT_EQ(run->report.rejected_deadline, 0);
+
+  const Status audit = AuditServiceRun(*run);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+
+  // Determinism survives the abort: aborted queries replay bit-identically
+  // alone, in-flight discards included.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Result<QueryOutcome> alone = QueryService::ExecuteAlone(options, specs[i]);
+    ASSERT_TRUE(alone.ok());
+    ExpectOutcomesIdentical(*alone, run->outcomes[i],
+                            "deadline spec=" + std::to_string(i));
+  }
+}
+
 }  // namespace
 }  // namespace crowdmax
