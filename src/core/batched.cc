@@ -1,6 +1,7 @@
 #include "core/batched.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "common/metrics.h"
@@ -146,10 +147,17 @@ ComparatorBatchExecutor::ComparatorBatchExecutor(Comparator* comparator)
 
 std::vector<ElementId> ComparatorBatchExecutor::DoExecuteBatch(
     const std::vector<ComparisonPair>& tasks) {
-  std::vector<ElementId> winners;
-  winners.reserve(tasks.size());
-  for (const ComparisonPair& task : tasks) {
-    winners.push_back(comparator_->Compare(task.first, task.second));
+  std::vector<ElementId> winners(tasks.size(), -1);
+  if (VoteBatchComparator* batch = comparator_->AsVoteBatch();
+      batch != nullptr) {
+    // Batch-at-once (DESIGN.md §14): same draws, counters and answers as
+    // the per-call loop, one virtual call per batch instead of per task.
+    const int64_t produced = batch->GenerateVotes(tasks, winners);
+    CROWDMAX_CHECK(produced == static_cast<int64_t>(tasks.size()));
+    return winners;
+  }
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    winners[t] = comparator_->Compare(tasks[t].first, tasks[t].second);
   }
   return winners;
 }
@@ -207,9 +215,22 @@ std::vector<ElementId> ParallelBatchExecutor::DoExecuteBatch(
     CROWDMAX_CHECK(fork != nullptr);
     const int64_t begin = c * chunk_size_;
     const int64_t end = std::min(n, begin + chunk_size_);
-    for (int64_t t = begin; t < end; ++t) {
-      const ComparisonPair& task = tasks[static_cast<size_t>(t)];
-      winners[static_cast<size_t>(t)] = fork->Compare(task.first, task.second);
+    const size_t count = static_cast<size_t>(end - begin);
+    if (VoteBatchComparator* batch = fork->AsVoteBatch(); batch != nullptr) {
+      // Whole chunk in one call, on span slices of the shared arrays —
+      // same seeds, same draws, same disjoint output slots.
+      const int64_t produced = batch->GenerateVotes(
+          std::span<const ComparisonPair>(tasks).subspan(
+              static_cast<size_t>(begin), count),
+          std::span<ElementId>(winners).subspan(static_cast<size_t>(begin),
+                                                count));
+      CROWDMAX_CHECK(produced == static_cast<int64_t>(count));
+    } else {
+      for (int64_t t = begin; t < end; ++t) {
+        const ComparisonPair& task = tasks[static_cast<size_t>(t)];
+        winners[static_cast<size_t>(t)] =
+            fork->Compare(task.first, task.second);
+      }
     }
     paid[static_cast<size_t>(c)] = fork->num_comparisons();
   });

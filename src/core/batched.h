@@ -48,8 +48,8 @@ class CheckpointReader;
 class CheckpointWriter;
 
 // ComparisonPair (a pairwise comparison request; `a` and `b` must be
-// distinct elements) now lives in core/round_engine.h, the layer both the
-// engine and the executor stack share.
+// distinct elements) now lives in core/comparator.h, the layer the engine,
+// the executor stack and the batch vote interface all share.
 
 /// Per-task outcome of a fallible batch execution (TryExecuteBatch).
 struct BatchTaskResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/checkpoint.h"
+#include "core/pair_key.h"
 
 namespace crowdmax {
 
@@ -62,14 +63,8 @@ MemoizingComparator::MemoizingComparator(Comparator* inner) : inner_(inner) {
   CROWDMAX_CHECK(inner != nullptr);
 }
 
-uint64_t MemoizingComparator::PairKey(ElementId a, ElementId b) {
-  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
-  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
-  return (static_cast<uint64_t>(hi) << 32) | lo;
-}
-
 ElementId MemoizingComparator::Compare(ElementId a, ElementId b) {
-  const uint64_t key = PairKey(a, b);
+  const uint64_t key = PackPairKey(a, b);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++cache_hits_;

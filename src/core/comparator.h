@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <utility>
 
@@ -30,6 +31,13 @@ namespace crowdmax {
 
 class CheckpointReader;
 class CheckpointWriter;
+class VoteBatchComparator;
+
+/// One comparison task: ask a worker which of the two elements is larger.
+/// The argument order is preserved all the way to the worker (adversarial
+/// policies like kFirstLoses depend on it). Shared by the Comparator batch
+/// interface, the round engine and the executor stack.
+using ComparisonPair = std::pair<ElementId, ElementId>;
 
 /// Pairwise comparison oracle. Compare(a, b) returns a or b — the element
 /// the worker reports as having the larger value — and increments the
@@ -74,6 +82,13 @@ class Comparator {
   /// called from a single thread (the barrier).
   void AddComparisons(int64_t n) { num_comparisons_ += n; }
 
+  /// The batch-at-once vote interface of this comparator, or nullptr when
+  /// it only answers per call (the default). Dispatch layers (the round
+  /// engine, the executor adapters, the crowd platform) probe this once
+  /// and fall back to the per-call virtual path when absent; results are
+  /// bit-identical either way (DESIGN.md §14).
+  virtual VoteBatchComparator* AsVoteBatch() { return nullptr; }
+
   /// Serializes the comparator's full replay state — paid-comparison
   /// counter, RNG stream position, per-pair sticky tables — so a run
   /// restored from a checkpoint (core/checkpoint.h) answers bit-identically
@@ -96,6 +111,36 @@ class Comparator {
   virtual ElementId DoCompare(ElementId a, ElementId b) = 0;
 
   int64_t num_comparisons_ = 0;
+};
+
+/// Batch-at-once vote generation (DESIGN.md §14). A comparator exposes
+/// this interface through Comparator::AsVoteBatch() when it can answer a
+/// whole span of independent comparisons in one call, with struct-of-
+/// arrays precompute instead of per-pair virtual dispatch.
+///
+/// Contract (the bit-identity rules every implementation must keep):
+///  * GenerateVotes answers the longest valid prefix of `pairs`, writes
+///    out[i] for each answered pair, charges exactly that many comparisons
+///    to the owning Comparator's counter, and returns the count. A pair
+///    with an id outside the instance (negative sentinels included) is
+///    refused: it is not answered, not charged, and generation stops
+///    there — the partial-batch accounting rule.
+///  * The RNG draw sequence is exactly the per-call sequence: answering k
+///    pairs via one GenerateVotes call leaves every RNG stream and sticky
+///    table in the same state as k sequential Compare calls, so the two
+///    paths are interchangeable mid-run (checkpoints round-trip across
+///    them).
+///  * out.size() >= pairs.size(); out beyond the returned count is
+///    unspecified.
+class VoteBatchComparator {
+ public:
+  virtual ~VoteBatchComparator() = default;
+
+  virtual int64_t GenerateVotes(std::span<const ComparisonPair> pairs,
+                                std::span<ElementId> out) = 0;
+
+ protected:
+  VoteBatchComparator() = default;
 };
 
 /// Exact comparator: always returns the element with the larger true value
@@ -155,8 +200,6 @@ class MemoizingComparator : public Comparator {
   // Final override point; unused because Compare is overridden, but must
   // exist to make the class concrete.
   ElementId DoCompare(ElementId a, ElementId b) override;
-
-  static uint64_t PairKey(ElementId a, ElementId b);
 
   Comparator* inner_;
   std::unordered_map<uint64_t, ElementId> cache_;

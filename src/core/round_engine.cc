@@ -11,6 +11,7 @@
 #include "core/async_executor.h"
 #include "core/batched.h"
 #include "core/checkpoint.h"
+#include "core/pair_key.h"
 #include "core/trace.h"
 
 namespace crowdmax {
@@ -58,16 +59,10 @@ int64_t SharedPairCache::ResolvedPairs(int64_t class_id) const {
   auto it = maps_.find(class_id);
   if (it == maps_.end()) return 0;
   int64_t resolved = 0;
-  for (const auto& [key, winner] : it->second) {
+  it->second.ForEach([&resolved](uint64_t /*key*/, ElementId winner) {
     if (winner != kUnresolvedWinner) ++resolved;
-  }
+  });
   return resolved;
-}
-
-uint64_t RoundPairKey(ElementId a, ElementId b) {
-  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
-  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
-  return (static_cast<uint64_t>(hi) << 32) | lo;
 }
 
 int64_t EngineRound::TotalPairs() const {
@@ -184,7 +179,7 @@ Result<std::string> RoundEngine::SerializeCheckpoint(
   // At a clean boundary the cache holds winners and kUnresolvedWinner
   // parkings only — never a -1 in-flight reservation.
   writer.WriteTag(kCacheTag);
-  writer.WriteSortedMap(*cache_);
+  SavePairTable(&writer, *cache_);
   Status stack = comparator_ != nullptr ? comparator_->SaveState(&writer)
                                         : executor_->SaveState(&writer);
   if (!stack.ok()) return stack;
@@ -213,7 +208,7 @@ Status RoundEngine::RestoreCheckpoint(RoundSource* source,
   max_in_flight_observed_ = reader.ReadI64();
   seeder_.set_state(reader.ReadRngState());
   reader.ExpectTag(kCacheTag);
-  reader.ReadSortedMap(cache_);
+  LoadPairTable(&reader, cache_);
   if (!reader.status().ok()) return reader.status();
   Status stack = comparator_ != nullptr ? comparator_->LoadState(&reader)
                                         : executor_->LoadState(&reader);
@@ -252,6 +247,14 @@ Result<RoundOutcome> RoundEngine::ExecuteSerial(const EngineRound& round) {
   out.winners.resize(round.units.size());
   const int64_t paid_before = comparator_->num_comparisons();
   AlgoTrace* trace = CurrentTrace();
+  VoteBatchComparator* batch =
+      batch_generation_ ? comparator_->AsVoteBatch() : nullptr;
+
+  // Batch-path scratch, reused across units (empty when batch == nullptr).
+  std::vector<ComparisonPair> misses;
+  std::vector<size_t> miss_at;      // pair index each miss answers
+  std::vector<ElementId> answers;   // GenerateVotes output
+  std::vector<size_t> deferred;     // in-unit duplicates of a reserved pair
 
   for (size_t u = 0; u < round.units.size(); ++u) {
     const RoundUnit& unit = round.units[u];
@@ -265,28 +268,85 @@ Result<RoundOutcome> RoundEngine::ExecuteSerial(const EngineRound& round) {
       }
     }
     std::vector<ElementId>& winners = out.winners[u];
-    winners.reserve(unit.pairs.size());
-    for (const ComparisonPair& pair : unit.pairs) {
-      ElementId winner;
+    if (batch != nullptr) {
+      // Batch-at-once unit execution, bit-identical to the per-call loop
+      // below: misses are collected in first-occurrence order (the order
+      // the per-call path would draw them), answered with one
+      // GenerateVotes call, then written back. A duplicate of a pair whose
+      // first occurrence is still unanswered counts as a cache hit — the
+      // per-call path would find the first occurrence's fresh entry — and
+      // is filled from the cache afterwards.
+      winners.resize(unit.pairs.size());
       if (memoize_) {
-        // An unresolved sentinel left by an earlier executor-backed phase
-        // sharing this cache is a miss: the pair is bought (and the
-        // sentinel overwritten) here.
-        const uint64_t key = RoundPairKey(pair.first, pair.second);
-        auto it = cache_->find(key);
-        if (it != cache_->end() && it->second != kUnresolvedWinner) {
-          winner = it->second;
-          ++cache_hits_;
-        } else {
-          winner = comparator_->Compare(pair.first, pair.second);
-          (*cache_)[key] = winner;
+        misses.clear();
+        miss_at.clear();
+        deferred.clear();
+        for (size_t p = 0; p < unit.pairs.size(); ++p) {
+          const ComparisonPair& pair = unit.pairs[p];
+          const uint64_t key = PackPairKey(pair.first, pair.second);
+          bool reserved = false;
+          ElementId* slot = cache_->Insert(key, -1, &reserved);
+          if (!reserved && *slot == -1) {
+            // Same pair again within this unit, first occurrence still in
+            // the miss list.
+            ++cache_hits_;
+            deferred.push_back(p);
+          } else if (!reserved && *slot != kUnresolvedWinner) {
+            winners[p] = *slot;
+            ++cache_hits_;
+          } else {
+            // Fresh reservation, or an unresolved parking from an earlier
+            // executor-backed phase: buy the pair this round.
+            *slot = -1;
+            misses.push_back(pair);
+            miss_at.push_back(p);
+          }
+        }
+        answers.resize(misses.size());
+        const int64_t produced = batch->GenerateVotes(misses, answers);
+        CROWDMAX_CHECK(produced == static_cast<int64_t>(misses.size()));
+        for (size_t m = 0; m < misses.size(); ++m) {
+          const ElementId winner = answers[m];
+          CROWDMAX_DCHECK(winner == misses[m].first ||
+                          winner == misses[m].second);
+          cache_->Set(PackPairKey(misses[m].first, misses[m].second), winner);
+          winners[miss_at[m]] = winner;
+        }
+        for (size_t p : deferred) {
+          const ComparisonPair& pair = unit.pairs[p];
+          winners[p] = *cache_->Find(PackPairKey(pair.first, pair.second));
         }
       } else {
-        winner = comparator_->Compare(pair.first, pair.second);
+        answers.resize(unit.pairs.size());
+        const int64_t produced = batch->GenerateVotes(unit.pairs, answers);
+        CROWDMAX_CHECK(produced == static_cast<int64_t>(unit.pairs.size()));
+        std::copy(answers.begin(), answers.end(), winners.begin());
       }
-      CROWDMAX_DCHECK(winner == pair.first || winner == pair.second);
-      winners.push_back(winner);
-      ++out.issued;
+      out.issued += static_cast<int64_t>(unit.pairs.size());
+    } else {
+      winners.reserve(unit.pairs.size());
+      for (const ComparisonPair& pair : unit.pairs) {
+        ElementId winner;
+        if (memoize_) {
+          // An unresolved sentinel left by an earlier executor-backed phase
+          // sharing this cache is a miss: the pair is bought (and the
+          // sentinel overwritten) here.
+          const uint64_t key = PackPairKey(pair.first, pair.second);
+          ElementId* slot = cache_->Find(key);
+          if (slot != nullptr && *slot != kUnresolvedWinner) {
+            winner = *slot;
+            ++cache_hits_;
+          } else {
+            winner = comparator_->Compare(pair.first, pair.second);
+            cache_->Set(key, winner);
+          }
+        } else {
+          winner = comparator_->Compare(pair.first, pair.second);
+        }
+        CROWDMAX_DCHECK(winner == pair.first || winner == pair.second);
+        winners.push_back(winner);
+        ++out.issued;
+      }
     }
     if (span_id >= 0) trace->EndSpan(span_id);
   }
@@ -315,26 +375,69 @@ Result<RoundOutcome> RoundEngine::ExecuteParallel(const EngineRound& round) {
   pool_->ParallelFor(num_units, [&](int64_t u) {
     const RoundUnit& unit = round.units[static_cast<size_t>(u)];
     std::vector<ElementId>& winners = out.winners[static_cast<size_t>(u)];
-    winners.reserve(unit.pairs.size());
 
     const std::unique_ptr<Comparator> fork =
         comparator_->Fork(seeds[static_cast<size_t>(u)]);
     CROWDMAX_CHECK(fork != nullptr);
+    VoteBatchComparator* batch =
+        batch_generation_ ? fork->AsVoteBatch() : nullptr;
 
-    for (const ComparisonPair& pair : unit.pairs) {
-      ElementId winner;
-      if (memoize_) {
-        auto it = cache_->find(RoundPairKey(pair.first, pair.second));
-        if (it != cache_->end() && it->second != kUnresolvedWinner) {
-          winner = it->second;
+    if (batch != nullptr) {
+      // Batch-at-once unit execution on the fork. The per-call parallel
+      // path treats the cache as a read-only snapshot and does NOT dedupe
+      // within a unit (each repeat is a fresh paid draw — Venetis votes),
+      // so the miss list is simply every pair absent from the snapshot,
+      // duplicates included, in pair order.
+      winners.resize(unit.pairs.size());
+      std::vector<ComparisonPair> misses;
+      misses.reserve(unit.pairs.size());
+      for (const ComparisonPair& pair : unit.pairs) {
+        const ElementId* slot =
+            memoize_
+                ? std::as_const(*cache_).Find(
+                      PackPairKey(pair.first, pair.second))
+                : nullptr;
+        if (slot == nullptr || *slot == kUnresolvedWinner) {
+          misses.push_back(pair);
+        }
+      }
+      std::vector<ElementId> answers(misses.size());
+      const int64_t produced = batch->GenerateVotes(misses, answers);
+      CROWDMAX_CHECK(produced == static_cast<int64_t>(misses.size()));
+      size_t cursor = 0;
+      for (size_t p = 0; p < unit.pairs.size(); ++p) {
+        const ComparisonPair& pair = unit.pairs[p];
+        const ElementId* slot =
+            memoize_
+                ? std::as_const(*cache_).Find(
+                      PackPairKey(pair.first, pair.second))
+                : nullptr;
+        if (slot != nullptr && *slot != kUnresolvedWinner) {
+          winners[p] = *slot;
+        } else {
+          winners[p] = answers[cursor++];
+        }
+        CROWDMAX_DCHECK(winners[p] == pair.first || winners[p] == pair.second);
+      }
+      CROWDMAX_CHECK(cursor == misses.size());
+    } else {
+      winners.reserve(unit.pairs.size());
+      for (const ComparisonPair& pair : unit.pairs) {
+        ElementId winner;
+        if (memoize_) {
+          const ElementId* slot = std::as_const(*cache_).Find(
+              PackPairKey(pair.first, pair.second));
+          if (slot != nullptr && *slot != kUnresolvedWinner) {
+            winner = *slot;
+          } else {
+            winner = fork->Compare(pair.first, pair.second);
+          }
         } else {
           winner = fork->Compare(pair.first, pair.second);
         }
-      } else {
-        winner = fork->Compare(pair.first, pair.second);
+        CROWDMAX_DCHECK(winner == pair.first || winner == pair.second);
+        winners.push_back(winner);
       }
-      CROWDMAX_DCHECK(winner == pair.first || winner == pair.second);
-      winners.push_back(winner);
     }
     unit_paid[static_cast<size_t>(u)] = fork->num_comparisons();
   });
@@ -350,13 +453,14 @@ Result<RoundOutcome> RoundEngine::ExecuteParallel(const EngineRound& round) {
     out.issued += static_cast<int64_t>(unit.pairs.size());
     if (memoize_) {
       for (size_t p = 0; p < unit.pairs.size(); ++p) {
-        auto [it, inserted] = cache_->emplace(
-            RoundPairKey(unit.pairs[p].first, unit.pairs[p].second),
-            out.winners[u][p]);
+        bool inserted = false;
+        ElementId* slot = cache_->Insert(
+            PackPairKey(unit.pairs[p].first, unit.pairs[p].second),
+            out.winners[u][p], &inserted);
         // A pre-existing unresolved sentinel (shared cache, earlier faulty
         // phase) was bought this round; overwrite it with the evidence.
-        if (!inserted && it->second == kUnresolvedWinner) {
-          it->second = out.winners[u][p];
+        if (!inserted && *slot == kUnresolvedWinner) {
+          *slot = out.winners[u][p];
         }
       }
     }
@@ -369,7 +473,7 @@ Result<RoundOutcome> RoundEngine::ExecuteParallel(const EngineRound& round) {
 }
 
 Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
-  if (round.clear_round_cache) cache_->clear();
+  if (round.clear_round_cache) cache_->Clear();
 
   RoundOutcome out;
   out.winners.resize(round.units.size());
@@ -396,10 +500,11 @@ Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
   std::vector<ComparisonPair> misses;
   misses.reserve(queries.size());
   for (const ComparisonPair& q : queries) {
-    auto it = cache_->find(RoundPairKey(q.first, q.second));
-    if (it == cache_->end() || it->second == kUnresolvedWinner) {
+    const uint64_t key = PackPairKey(q.first, q.second);
+    ElementId* slot = cache_->Find(key);
+    if (slot == nullptr || *slot == kUnresolvedWinner) {
       misses.push_back(q);
-      (*cache_)[RoundPairKey(q.first, q.second)] = -1;
+      cache_->Set(key, -1);
     }
   }
   if (const int64_t hits =
@@ -415,7 +520,7 @@ Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
   SleepOutLatency(executor_);
   if (!results.ok()) {
     for (const ComparisonPair& m : misses) {
-      (*cache_)[RoundPairKey(m.first, m.second)] = kUnresolvedWinner;
+      cache_->Set(PackPairKey(m.first, m.second), kUnresolvedWinner);
     }
     if (span_id >= 0) trace->EndSpan(span_id);
     if (results.status().code() != StatusCode::kUnavailable) {
@@ -427,14 +532,14 @@ Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
     CROWDMAX_CHECK(results->size() == misses.size());
     for (size_t i = 0; i < misses.size(); ++i) {
       const BatchTaskResult& result = (*results)[i];
-      const uint64_t key = RoundPairKey(misses[i].first, misses[i].second);
+      const uint64_t key = PackPairKey(misses[i].first, misses[i].second);
       if (!result.answered) {
-        (*cache_)[key] = kUnresolvedWinner;
+        cache_->Set(key, kUnresolvedWinner);
         continue;
       }
       CROWDMAX_DCHECK(result.winner == misses[i].first ||
                       result.winner == misses[i].second);
-      (*cache_)[key] = result.winner;
+      cache_->Set(key, result.winner);
     }
     if (span_id >= 0) trace->EndSpan(span_id);
   }
@@ -446,10 +551,11 @@ Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
     std::vector<ElementId>& winners = out.winners[u];
     winners.reserve(unit.pairs.size());
     for (const ComparisonPair& pair : unit.pairs) {
-      auto it = cache_->find(RoundPairKey(pair.first, pair.second));
-      CROWDMAX_CHECK(it != cache_->end() && it->second != -1);
-      if (it->second == kUnresolvedWinner) ++out.unresolved;
-      winners.push_back(it->second);
+      const ElementId* slot =
+          cache_->Find(PackPairKey(pair.first, pair.second));
+      CROWDMAX_CHECK(slot != nullptr && *slot != -1);
+      if (*slot == kUnresolvedWinner) ++out.unresolved;
+      winners.push_back(*slot);
     }
   }
 
@@ -565,7 +671,7 @@ struct RoundEngine::PendingRound {
 Status RoundEngine::SubmitPipelined(EngineRound round, PendingRound* pending) {
   pending->round = std::move(round);
   const EngineRound& r = pending->round;
-  if (r.clear_round_cache) cache_->clear();  // Drive drained first.
+  if (r.clear_round_cache) cache_->Clear();  // Drive drained first.
 
   RoundOutcome& out = pending->out;
   out.winners.resize(r.units.size());
@@ -593,18 +699,17 @@ Status RoundEngine::SubmitPipelined(EngineRound round, PendingRound* pending) {
   std::vector<ComparisonPair>& misses = pending->misses;
   misses.reserve(queries.size());
   for (const ComparisonPair& q : queries) {
-    const uint64_t key = RoundPairKey(q.first, q.second);
-    auto it = cache_->find(key);
-    if (it != cache_->end() && it->second == -1 &&
-        reserved_here.count(key) == 0) {
+    const uint64_t key = PackPairKey(q.first, q.second);
+    ElementId* slot = cache_->Find(key);
+    if (slot != nullptr && *slot == -1 && reserved_here.count(key) == 0) {
       if (span_id >= 0) trace->EndSpan(span_id);
       return Status::Internal(
           "pipelined round depends on a pair still in flight; the "
           "RoundSource violated the CanPipelineNextRound disjointness rule");
     }
-    if (it == cache_->end() || it->second == kUnresolvedWinner) {
+    if (slot == nullptr || *slot == kUnresolvedWinner) {
       misses.push_back(q);
-      (*cache_)[key] = -1;
+      cache_->Set(key, -1);
       reserved_here.insert(key);
     }
   }
@@ -623,7 +728,7 @@ Status RoundEngine::SubmitPipelined(EngineRound round, PendingRound* pending) {
   Result<int64_t> handle = async_->SubmitBatchAsync(misses);
   if (!handle.ok()) {
     for (const ComparisonPair& m : misses) {
-      (*cache_)[RoundPairKey(m.first, m.second)] = kUnresolvedWinner;
+      cache_->Set(PackPairKey(m.first, m.second), kUnresolvedWinner);
     }
     if (span_id >= 0) trace->EndSpan(span_id);
     return handle.status();
@@ -643,7 +748,7 @@ Status RoundEngine::CompletePipelined(PendingRound* pending) {
   RoundOutcome& out = pending->out;
   if (!results.ok()) {
     for (const ComparisonPair& m : pending->misses) {
-      (*cache_)[RoundPairKey(m.first, m.second)] = kUnresolvedWinner;
+      cache_->Set(PackPairKey(m.first, m.second), kUnresolvedWinner);
     }
     if (results.status().code() != StatusCode::kUnavailable) {
       return results.status();
@@ -653,15 +758,15 @@ Status RoundEngine::CompletePipelined(PendingRound* pending) {
     CROWDMAX_CHECK(results->size() == pending->misses.size());
     for (size_t i = 0; i < pending->misses.size(); ++i) {
       const BatchTaskResult& result = (*results)[i];
-      const uint64_t key = RoundPairKey(pending->misses[i].first,
-                                        pending->misses[i].second);
+      const uint64_t key = PackPairKey(pending->misses[i].first,
+                                       pending->misses[i].second);
       if (!result.answered) {
-        (*cache_)[key] = kUnresolvedWinner;
+        cache_->Set(key, kUnresolvedWinner);
         continue;
       }
       CROWDMAX_DCHECK(result.winner == pending->misses[i].first ||
                       result.winner == pending->misses[i].second);
-      (*cache_)[key] = result.winner;
+      cache_->Set(key, result.winner);
     }
   }
 
@@ -670,10 +775,11 @@ Status RoundEngine::CompletePipelined(PendingRound* pending) {
     std::vector<ElementId>& winners = out.winners[u];
     winners.reserve(unit.pairs.size());
     for (const ComparisonPair& pair : unit.pairs) {
-      auto it = cache_->find(RoundPairKey(pair.first, pair.second));
-      CROWDMAX_CHECK(it != cache_->end() && it->second != -1);
-      if (it->second == kUnresolvedWinner) ++out.unresolved;
-      winners.push_back(it->second);
+      const ElementId* slot =
+          cache_->Find(PackPairKey(pair.first, pair.second));
+      CROWDMAX_CHECK(slot != nullptr && *slot != -1);
+      if (*slot == kUnresolvedWinner) ++out.unresolved;
+      winners.push_back(*slot);
     }
   }
   return Status::OK();
@@ -699,7 +805,7 @@ Result<DriveResult> RoundEngine::DrivePipelined(RoundSource* source,
   const auto abandon_in_flight = [&] {
     for (const auto& pending : in_flight) {
       for (const ComparisonPair& m : pending->misses) {
-        (*cache_)[RoundPairKey(m.first, m.second)] = kUnresolvedWinner;
+        cache_->Set(PackPairKey(m.first, m.second), kUnresolvedWinner);
       }
     }
     in_flight.clear();

@@ -49,6 +49,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/comparator.h"
+#include "core/pair_table.h"
 
 namespace crowdmax {
 
@@ -58,10 +59,8 @@ class CheckpointController;
 class CheckpointReader;
 class CheckpointWriter;
 
-/// One comparison task: ask a worker which of the two elements is larger.
-/// The argument order is preserved all the way to the worker (adversarial
-/// policies like kFirstLoses depend on it).
-using ComparisonPair = std::pair<ElementId, ElementId>;
+// ComparisonPair (one comparison task, argument order preserved) lives in
+// core/comparator.h, shared with the batch vote interface.
 
 /// Winner sentinel for a pair with no evidence this round: the executor
 /// stack (after its own recovery) could not answer it. Comparator-backed
@@ -154,17 +153,15 @@ struct RoundOutcome {
 /// that asks for it. Not thread-safe; drive one engine at a time.
 class SharedPairCache {
  public:
-  using PairMap = std::unordered_map<uint64_t, ElementId>;
-
-  /// The winner map for `class_id` (created empty on first use). The
+  /// The winner table for `class_id` (created empty on first use). The
   /// pointer stays valid for the cache's lifetime.
-  PairMap* ForClass(int64_t class_id) { return &maps_[class_id]; }
+  PairTable* ForClass(int64_t class_id) { return &maps_[class_id]; }
 
   /// Resolved pairs stored for `class_id` (unresolved sentinels excluded).
   int64_t ResolvedPairs(int64_t class_id) const;
 
  private:
-  std::unordered_map<int64_t, PairMap> maps_;
+  std::unordered_map<int64_t, PairTable> maps_;
 };
 
 /// A round generator: given the answers so far, emit the next set of
@@ -320,6 +317,15 @@ class RoundEngine {
   }
   CheckpointController* checkpoint() const { return checkpoint_; }
 
+  /// Batch-at-once vote generation (DESIGN.md §14): when enabled (the
+  /// default) and the comparator (or its forks) exposes AsVoteBatch(), the
+  /// comparator backends collect each unit's cache misses and answer them
+  /// with one GenerateVotes call instead of per-pair virtual dispatch.
+  /// Results, counters, caches and traces are bit-identical either way;
+  /// disable to force the per-call path (equivalence tests, baselines).
+  void set_batch_generation(bool enabled) { batch_generation_ = enabled; }
+  bool batch_generation() const { return batch_generation_; }
+
  private:
   struct PendingRound;
 
@@ -360,13 +366,16 @@ class RoundEngine {
   int64_t max_in_flight_ = 1;
   const bool memoize_;
 
-  // Pair-winner cache. Serial: MemoizingComparator semantics. Parallel:
-  // read-only snapshot during a round, merged at the barrier. Executor:
-  // in-round dedup always, cross-round per clear_round_cache, with
-  // kUnresolvedWinner parking for faulted pairs. Points at owned_cache_
-  // unless a SharedPairCache class map was supplied at creation.
-  SharedPairCache::PairMap* cache_;
-  SharedPairCache::PairMap owned_cache_;
+  // Pair-winner cache (open-addressed PairTable, core/pair_table.h).
+  // Serial: MemoizingComparator semantics. Parallel: read-only snapshot
+  // during a round, merged at the barrier. Executor: in-round dedup
+  // always, cross-round per clear_round_cache, with kUnresolvedWinner
+  // parking for faulted pairs. Points at owned_cache_ unless a
+  // SharedPairCache class table was supplied at creation.
+  PairTable* cache_;
+  PairTable owned_cache_;
+
+  bool batch_generation_ = true;
 
   // Parallel backend: the pool and the persistent fork seeder (one chain
   // across all rounds, so seeded runs replay bit-identically).
@@ -384,11 +393,6 @@ class RoundEngine {
   // Round-boundary snapshot/crash/restore coordinator; null = disabled.
   CheckpointController* checkpoint_ = nullptr;
 };
-
-/// Unordered pair key used by every engine cache (lower id in the low
-/// word). Shared with MemoizingComparator's layout so serial memoized
-/// replays stay bit-identical.
-uint64_t RoundPairKey(ElementId a, ElementId b);
 
 }  // namespace crowdmax
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/checkpoint.h"
+#include "core/pair_key.h"
 
 namespace crowdmax {
 
@@ -23,6 +24,46 @@ ElementId Other(ElementId winner, ElementId a, ElementId b) {
   return winner == a ? b : a;
 }
 
+// Length of the longest prefix of `pairs` whose ids are all inside the
+// instance. GenerateVotes answers exactly this prefix: the first invalid
+// pair (negative sentinel or out of range) is refused, not answered, not
+// charged.
+size_t ValidPrefix(const Instance& instance,
+                   std::span<const ComparisonPair> pairs) {
+  size_t n = 0;
+  for (; n < pairs.size(); ++n) {
+    if (!instance.Contains(pairs[n].first) ||
+        !instance.Contains(pairs[n].second)) {
+      break;
+    }
+  }
+  return n;
+}
+
+// Resolves n precomputed draws with one unconditional uniform draw each.
+// Valid only when every prob is strictly inside (0, 1): in that regime
+// NextBernoulli(p) == (NextDouble() < p) bit-for-bit, with exactly one
+// Next() consumed either way, so this loop leaves the RNG stream in the
+// same position as n per-call draws.
+void DrawBranchFree(Rng& rng, const VoteBatchScratch& s, size_t n,
+                    std::span<ElementId> out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = rng.NextDouble() < s.prob[i] ? s.on_true[i] : s.on_false[i];
+  }
+}
+
+// Fallback when some prob touches 0 or 1 (e.g. exp() underflow): defer to
+// NextBernoulli per row so degenerate draws skip the RNG exactly like the
+// per-call path.
+void DrawGated(Rng& rng, const VoteBatchScratch& s, size_t n,
+               std::span<ElementId> out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = rng.NextBernoulli(s.prob[i]) ? s.on_true[i] : s.on_false[i];
+  }
+}
+
+bool Open(double p) { return p > 0.0 && p < 1.0; }
+
 }  // namespace
 
 ThresholdComparator::ThresholdComparator(const Instance* instance,
@@ -40,12 +81,6 @@ ThresholdComparator::ThresholdComparator(const Instance* instance,
     : ThresholdComparator(instance, Options{model, TiePolicy::kFreshCoin, 0.5},
                           seed) {}
 
-uint64_t ThresholdComparator::PairKey(ElementId a, ElementId b) {
-  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
-  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
-  return (static_cast<uint64_t>(hi) << 32) | lo;
-}
-
 ElementId ThresholdComparator::DoCompare(ElementId a, ElementId b) {
   CROWDMAX_DCHECK(instance_->Contains(a) && instance_->Contains(b));
   const ElementId correct = TrueWinner(*instance_, a, b);
@@ -62,16 +97,75 @@ ElementId ThresholdComparator::DoCompare(ElementId a, ElementId b) {
                  ? correct
                  : Other(correct, a, b);
     case TiePolicy::kPersistentArbitrary: {
-      const uint64_t key = PairKey(a, b);
-      auto it = sticky_answers_.find(key);
-      if (it == sticky_answers_.end()) {
+      const uint64_t key = PackPairKey(a, b);
+      ElementId* sticky = sticky_answers_.Find(key);
+      if (sticky == nullptr) {
         const ElementId pick = rng_.NextBernoulli(0.5) ? a : b;
-        it = sticky_answers_.emplace(key, pick).first;
+        sticky = sticky_answers_.Insert(key, pick);
       }
-      return it->second;
+      return *sticky;
     }
   }
   return correct;
+}
+
+int64_t ThresholdComparator::GenerateVotes(
+    std::span<const ComparisonPair> pairs, std::span<ElementId> out) {
+  CROWDMAX_CHECK(out.size() >= pairs.size());
+  const size_t n = ValidPrefix(*instance_, pairs);
+  scratch_.Resize(n);
+  bool all_open = true;
+  bool any_sticky = false;
+  for (size_t i = 0; i < n; ++i) {
+    const auto [a, b] = pairs[i];
+    const ElementId correct = TrueWinner(*instance_, a, b);
+    if (instance_->Distance(a, b) > options_.model.delta) {
+      scratch_.prob[i] = options_.model.epsilon;
+      scratch_.on_true[i] = Other(correct, a, b);
+      scratch_.on_false[i] = correct;
+      scratch_.sticky[i] = 0;
+    } else if (options_.tie_policy == TiePolicy::kFreshCoin) {
+      scratch_.prob[i] = options_.below_threshold_correct_prob;
+      scratch_.on_true[i] = correct;
+      scratch_.on_false[i] = Other(correct, a, b);
+      scratch_.sticky[i] = 0;
+    } else {
+      // kPersistentArbitrary: the sticky pick uses *argument* order
+      // (pick = coin ? a : b), so stash a/b, not correct/other.
+      scratch_.on_true[i] = a;
+      scratch_.on_false[i] = b;
+      scratch_.prob[i] = 0.5;
+      scratch_.sticky[i] = 1;
+      any_sticky = true;
+    }
+    all_open = all_open && Open(scratch_.prob[i]);
+  }
+  if (!any_sticky) {
+    if (all_open) {
+      DrawBranchFree(rng_, scratch_, n, out);
+    } else {
+      DrawGated(rng_, scratch_, n, out);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (scratch_.sticky[i] == 0) {
+        out[i] = rng_.NextBernoulli(scratch_.prob[i]) ? scratch_.on_true[i]
+                                                      : scratch_.on_false[i];
+        continue;
+      }
+      const ElementId a = scratch_.on_true[i];
+      const ElementId b = scratch_.on_false[i];
+      const uint64_t key = PackPairKey(a, b);
+      ElementId* sticky = sticky_answers_.Find(key);
+      if (sticky == nullptr) {
+        const ElementId pick = rng_.NextBernoulli(0.5) ? a : b;
+        sticky = sticky_answers_.Insert(key, pick);
+      }
+      out[i] = *sticky;
+    }
+  }
+  AddComparisons(static_cast<int64_t>(n));
+  return static_cast<int64_t>(n);
 }
 
 std::unique_ptr<Comparator> ThresholdComparator::Fork(uint64_t seed) const {
@@ -84,7 +178,7 @@ Status ThresholdComparator::SaveState(CheckpointWriter* writer) const {
   writer->WriteTag(kRngTag);
   writer->WriteRngState(rng_.state());
   writer->WriteTag(kStickyTag);
-  writer->WriteSortedMap(sticky_answers_);
+  SavePairTable(writer, sticky_answers_);
   return Status::OK();
 }
 
@@ -94,7 +188,7 @@ Status ThresholdComparator::LoadState(CheckpointReader* reader) {
   reader->ExpectTag(kRngTag);
   rng_.set_state(reader->ReadRngState());
   reader->ExpectTag(kStickyTag);
-  reader->ReadSortedMap(&sticky_answers_);
+  LoadPairTable(reader, &sticky_answers_);
   return reader->status();
 }
 
@@ -116,6 +210,33 @@ ElementId RelativeErrorComparator::DoCompare(ElementId a, ElementId b) {
       options_.max_error, options_.base_error * std::exp(-options_.decay * rel));
   if (rng_.NextBernoulli(p_error)) return Other(correct, a, b);
   return correct;
+}
+
+int64_t RelativeErrorComparator::GenerateVotes(
+    std::span<const ComparisonPair> pairs, std::span<ElementId> out) {
+  CROWDMAX_CHECK(out.size() >= pairs.size());
+  const size_t n = ValidPrefix(*instance_, pairs);
+  scratch_.Resize(n);
+  bool all_open = true;
+  for (size_t i = 0; i < n; ++i) {
+    const auto [a, b] = pairs[i];
+    const ElementId correct = TrueWinner(*instance_, a, b);
+    const double rel = instance_->RelativeDifference(a, b);
+    const double p_error =
+        std::min(options_.max_error,
+                 options_.base_error * std::exp(-options_.decay * rel));
+    scratch_.prob[i] = p_error;
+    scratch_.on_true[i] = Other(correct, a, b);
+    scratch_.on_false[i] = correct;
+    all_open = all_open && Open(p_error);
+  }
+  if (all_open) {
+    DrawBranchFree(rng_, scratch_, n, out);
+  } else {
+    DrawGated(rng_, scratch_, n, out);
+  }
+  AddComparisons(static_cast<int64_t>(n));
+  return static_cast<int64_t>(n);
 }
 
 std::unique_ptr<Comparator> RelativeErrorComparator::Fork(
@@ -167,6 +288,37 @@ ElementId DistanceDecayComparator::DoCompare(ElementId a, ElementId b) {
   return correct;
 }
 
+int64_t DistanceDecayComparator::GenerateVotes(
+    std::span<const ComparisonPair> pairs, std::span<ElementId> out) {
+  CROWDMAX_CHECK(out.size() >= pairs.size());
+  const size_t n = ValidPrefix(*instance_, pairs);
+  scratch_.Resize(n);
+  bool all_open = true;
+  for (size_t i = 0; i < n; ++i) {
+    const auto [a, b] = pairs[i];
+    const ElementId correct = TrueWinner(*instance_, a, b);
+    const double d = instance_->Distance(a, b);
+    if (d <= options_.delta) {
+      scratch_.prob[i] = options_.below_threshold_correct_prob;
+      scratch_.on_true[i] = correct;
+      scratch_.on_false[i] = Other(correct, a, b);
+    } else {
+      scratch_.prob[i] = options_.epsilon_at_threshold *
+                         std::exp(-options_.decay * (d - options_.delta));
+      scratch_.on_true[i] = Other(correct, a, b);
+      scratch_.on_false[i] = correct;
+    }
+    all_open = all_open && Open(scratch_.prob[i]);
+  }
+  if (all_open) {
+    DrawBranchFree(rng_, scratch_, n, out);
+  } else {
+    DrawGated(rng_, scratch_, n, out);
+  }
+  AddComparisons(static_cast<int64_t>(n));
+  return static_cast<int64_t>(n);
+}
+
 std::unique_ptr<Comparator> DistanceDecayComparator::Fork(
     uint64_t seed) const {
   return std::make_unique<DistanceDecayComparator>(instance_, options_, seed);
@@ -206,12 +358,6 @@ PersistentBiasComparator::PersistentBiasComparator(const Instance* instance,
                  options.above_threshold_error < 0.5);
 }
 
-uint64_t PersistentBiasComparator::PairKey(ElementId a, ElementId b) {
-  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
-  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
-  return (static_cast<uint64_t>(hi) << 32) | lo;
-}
-
 ElementId PersistentBiasComparator::DoCompare(ElementId a, ElementId b) {
   CROWDMAX_DCHECK(instance_->Contains(a) && instance_->Contains(b));
   const ElementId correct = TrueWinner(*instance_, a, b);
@@ -235,20 +381,87 @@ ElementId PersistentBiasComparator::DoCompare(ElementId a, ElementId b) {
 
   // Hard pair: resolve (or recall) the crowd's persistent preference, then
   // apply individual per-query noise around it.
-  const uint64_t key = PairKey(a, b);
-  auto it = preferred_.find(key);
-  if (it == preferred_.end()) {
+  const uint64_t key = PackPairKey(a, b);
+  ElementId* slot = preferred_.Find(key);
+  if (slot == nullptr) {
     const bool preference_correct =
         rng_.NextBernoulli(bucket->preferred_correct_prob);
     const ElementId preferred =
         preference_correct ? correct : Other(correct, a, b);
-    it = preferred_.emplace(key, preferred).first;
+    slot = preferred_.Insert(key, preferred);
   }
-  const ElementId preferred = it->second;
+  const ElementId preferred = *slot;
   if (rng_.NextBernoulli(options_.individual_noise)) {
     return Other(preferred, a, b);
   }
   return preferred;
+}
+
+int64_t PersistentBiasComparator::GenerateVotes(
+    std::span<const ComparisonPair> pairs, std::span<ElementId> out) {
+  CROWDMAX_CHECK(out.size() >= pairs.size());
+  const size_t n = ValidPrefix(*instance_, pairs);
+  scratch_.Resize(n);
+  bool all_open = true;
+  bool any_hard = false;
+  for (size_t i = 0; i < n; ++i) {
+    const auto [a, b] = pairs[i];
+    const ElementId correct = TrueWinner(*instance_, a, b);
+    const double rel = instance_->RelativeDifference(a, b);
+    const Bucket* bucket = nullptr;
+    for (const Bucket& candidate : options_.buckets) {
+      if (rel <= candidate.max_relative_difference) {
+        bucket = &candidate;
+        break;
+      }
+    }
+    scratch_.on_true[i] = correct;
+    scratch_.on_false[i] = Other(correct, a, b);
+    if (bucket == nullptr) {
+      // Easy pair: one error draw, errs toward the non-correct element.
+      scratch_.prob[i] = options_.above_threshold_error;
+      std::swap(scratch_.on_true[i], scratch_.on_false[i]);
+      scratch_.sticky[i] = 0;
+    } else {
+      // Hard pair: prob holds the first-touch preference draw; the noise
+      // draw is applied in the sequential pass.
+      scratch_.prob[i] = bucket->preferred_correct_prob;
+      scratch_.sticky[i] = 1;
+      any_hard = true;
+    }
+    all_open = all_open && Open(scratch_.prob[i]);
+  }
+  if (!any_hard) {
+    if (all_open) {
+      DrawBranchFree(rng_, scratch_, n, out);
+    } else {
+      DrawGated(rng_, scratch_, n, out);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (scratch_.sticky[i] == 0) {
+        out[i] = rng_.NextBernoulli(scratch_.prob[i]) ? scratch_.on_true[i]
+                                                      : scratch_.on_false[i];
+        continue;
+      }
+      const ElementId correct = scratch_.on_true[i];
+      const ElementId other = scratch_.on_false[i];
+      const uint64_t key = PackPairKey(correct, other);
+      ElementId* slot = preferred_.Find(key);
+      ElementId preferred;
+      if (slot == nullptr) {
+        preferred = rng_.NextBernoulli(scratch_.prob[i]) ? correct : other;
+        preferred_.Insert(key, preferred);
+      } else {
+        preferred = *slot;
+      }
+      out[i] = rng_.NextBernoulli(options_.individual_noise)
+                   ? (preferred == correct ? other : correct)
+                   : preferred;
+    }
+  }
+  AddComparisons(static_cast<int64_t>(n));
+  return static_cast<int64_t>(n);
 }
 
 std::unique_ptr<Comparator> PersistentBiasComparator::Fork(
@@ -262,7 +475,7 @@ Status PersistentBiasComparator::SaveState(CheckpointWriter* writer) const {
   writer->WriteTag(kRngTag);
   writer->WriteRngState(rng_.state());
   writer->WriteTag(kStickyTag);
-  writer->WriteSortedMap(preferred_);
+  SavePairTable(writer, preferred_);
   return Status::OK();
 }
 
@@ -272,7 +485,7 @@ Status PersistentBiasComparator::LoadState(CheckpointReader* reader) {
   reader->ExpectTag(kRngTag);
   rng_.set_state(reader->ReadRngState());
   reader->ExpectTag(kStickyTag);
-  reader->ReadSortedMap(&preferred_);
+  LoadPairTable(reader, &preferred_);
   return reader->status();
 }
 

@@ -14,18 +14,27 @@
 //    the crowd holds a persistent per-pair preferred answer that is correct
 //    only with probability q, so majority voting plateaus at q instead of
 //    converging to 1. This is the phenomenon that motivates experts.
+//
+// Every model also implements VoteBatchComparator (comparator.h): the
+// batch path precomputes per-pair error probabilities and outcome
+// candidates into flat struct-of-arrays scratch, then resolves all draws
+// in one pass — branch-free when every probability is strictly inside
+// (0, 1) — with results, counters and RNG stream positions bit-identical
+// to the per-call path (DESIGN.md §14). Sticky per-pair state lives in
+// open-addressed PairTables (core/pair_table.h) instead of unordered_maps.
 
 #ifndef CROWDMAX_CORE_WORKER_MODEL_H_
 #define CROWDMAX_CORE_WORKER_MODEL_H_
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/comparator.h"
 #include "core/instance.h"
+#include "core/pair_table.h"
 
 namespace crowdmax {
 
@@ -55,6 +64,26 @@ enum class TiePolicy {
   kPersistentArbitrary,
 };
 
+/// Shared struct-of-arrays scratch of the batch vote path: one flat array
+/// per precomputed quantity, reused across GenerateVotes calls so the hot
+/// loop never allocates after warm-up. `prob[i]` is the Bernoulli
+/// probability of the i-th draw, `on_true[i]`/`on_false[i]` the two
+/// outcome candidates; models with sticky tables additionally flag the
+/// rows that walk the table instead of drawing directly.
+struct VoteBatchScratch {
+  std::vector<double> prob;
+  std::vector<ElementId> on_true;
+  std::vector<ElementId> on_false;
+  std::vector<uint8_t> sticky;
+
+  void Resize(size_t n) {
+    prob.resize(n);
+    on_true.resize(n);
+    on_false.resize(n);
+    sticky.resize(n);
+  }
+};
+
 /// The paper's threshold-model worker over an Instance.
 ///
 /// Above the threshold the higher-valued element wins with probability
@@ -62,7 +91,7 @@ enum class TiePolicy {
 /// with kFreshCoin the correct element is returned with probability
 /// `below_threshold_correct_prob` (0.5 = the unbiased coin of the paper's
 /// simulations). Not thread-safe. Does not own the instance.
-class ThresholdComparator : public Comparator {
+class ThresholdComparator : public Comparator, public VoteBatchComparator {
  public:
   struct Options {
     ThresholdModel model;
@@ -86,6 +115,10 @@ class ThresholdComparator : public Comparator {
   /// views.
   std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
 
+  VoteBatchComparator* AsVoteBatch() override { return this; }
+  int64_t GenerateVotes(std::span<const ComparisonPair> pairs,
+                        std::span<ElementId> out) override;
+
   /// Checkpoints the counter, the RNG stream position, and the sticky
   /// below-threshold answer table, so a restored run replays the exact
   /// same coin flips and per-pair opinions (core/checkpoint.h).
@@ -95,13 +128,12 @@ class ThresholdComparator : public Comparator {
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
 
-  static uint64_t PairKey(ElementId a, ElementId b);
-
   const Instance* instance_;
   Options options_;
   Rng rng_;
   // Persistent below-threshold answers for kPersistentArbitrary.
-  std::unordered_map<uint64_t, ElementId> sticky_answers_;
+  PairTable sticky_answers_;
+  VoteBatchScratch scratch_;
 };
 
 /// Probabilistic-model worker whose error probability decays exponentially
@@ -110,7 +142,7 @@ class ThresholdComparator : public Comparator {
 /// Answers are independent across queries, so majority voting converges to
 /// the correct answer for any pair with rel_diff > 0 — the DOTS regime.
 /// Does not own the instance.
-class RelativeErrorComparator : public Comparator {
+class RelativeErrorComparator : public Comparator, public VoteBatchComparator {
  public:
   struct Options {
     /// Error probability at relative difference 0 (capped by max_error).
@@ -128,6 +160,10 @@ class RelativeErrorComparator : public Comparator {
   /// Independent worker of the same class with a fresh Rng from `seed`.
   std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
 
+  VoteBatchComparator* AsVoteBatch() override { return this; }
+  int64_t GenerateVotes(std::span<const ComparisonPair> pairs,
+                        std::span<ElementId> out) override;
+
   /// Checkpoints the counter and the RNG stream position.
   Status SaveState(CheckpointWriter* writer) const override;
   Status LoadState(CheckpointReader* reader) override;
@@ -138,6 +174,7 @@ class RelativeErrorComparator : public Comparator {
   const Instance* instance_;
   Options options_;
   Rng rng_;
+  VoteBatchScratch scratch_;
 };
 
 /// Generalized threshold worker (Appendix A: "even if the difference ...
@@ -149,7 +186,7 @@ class RelativeErrorComparator : public Comparator {
 ///   P(error | d > delta) = epsilon_at_threshold * exp(-decay * (d - delta)).
 /// With decay == 0 this reduces to the plain threshold model
 /// T(delta, epsilon_at_threshold). Does not own the instance.
-class DistanceDecayComparator : public Comparator {
+class DistanceDecayComparator : public Comparator, public VoteBatchComparator {
  public:
   struct Options {
     /// Indistinguishability threshold on the absolute value distance.
@@ -168,6 +205,10 @@ class DistanceDecayComparator : public Comparator {
   /// Independent worker of the same class with a fresh Rng from `seed`.
   std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
 
+  VoteBatchComparator* AsVoteBatch() override { return this; }
+  int64_t GenerateVotes(std::span<const ComparisonPair> pairs,
+                        std::span<ElementId> out) override;
+
   /// Checkpoints the counter and the RNG stream position.
   Status SaveState(CheckpointWriter* writer) const override;
   Status LoadState(CheckpointReader* reader) override;
@@ -178,6 +219,7 @@ class DistanceDecayComparator : public Comparator {
   const Instance* instance_;
   Options options_;
   Rng rng_;
+  VoteBatchScratch scratch_;
 };
 
 /// Crowd model with persistent per-pair bias below a relative-difference
@@ -193,7 +235,7 @@ class DistanceDecayComparator : public Comparator {
 /// exceed it. Above the threshold behaviour is probabilistic with error
 /// `above_threshold_error`, so majority voting converges to correct.
 /// Does not own the instance.
-class PersistentBiasComparator : public Comparator {
+class PersistentBiasComparator : public Comparator, public VoteBatchComparator {
  public:
   struct Bucket {
     /// Pairs with rel_diff <= max_relative_difference fall in this bucket
@@ -226,6 +268,10 @@ class PersistentBiasComparator : public Comparator {
   /// the crowd bias is the behaviour under study.
   std::unique_ptr<Comparator> Fork(uint64_t seed) const override;
 
+  VoteBatchComparator* AsVoteBatch() override { return this; }
+  int64_t GenerateVotes(std::span<const ComparisonPair> pairs,
+                        std::span<ElementId> out) override;
+
   /// Checkpoints the counter, the RNG stream position, and the persistent
   /// per-pair preferred-winner table — the crowd keeps its opinions across
   /// a crash.
@@ -235,13 +281,12 @@ class PersistentBiasComparator : public Comparator {
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
 
-  static uint64_t PairKey(ElementId a, ElementId b);
-
   const Instance* instance_;
   Options options_;
   Rng rng_;
   // Per-pair persistent preferred winner for pairs inside a bucket.
-  std::unordered_map<uint64_t, ElementId> preferred_;
+  PairTable preferred_;
+  VoteBatchScratch scratch_;
 };
 
 }  // namespace crowdmax

@@ -216,6 +216,32 @@ Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
   std::vector<TaskOutcome> outcomes;
   outcomes.reserve(batch.size());
 
+  // Per-assignment record of the submission's first pass: every platform-
+  // and worker-stream draw is made up front (in visit order, so each RNG
+  // stream advances exactly as the per-call path did), and the shared
+  // answer-model queries are deferred so consecutive same-model queries
+  // can be answered in one batch (DESIGN.md §14). Batching never crosses a
+  // task: the platform stream interleaves per-task draws (worker sampling,
+  // gold coins, tie coins), so only queries *within* one task are runs.
+  struct Assignment {
+    size_t widx = 0;
+    bool has_gold = false;
+    ComparisonTask gold_task{};
+    PendingAnswer gold_pending{};
+    PendingAnswer real_pending{};
+  };
+  struct ModelQuery {
+    Comparator* model = nullptr;
+    ComparisonTask task{};
+    size_t assignment = 0;
+    bool is_gold = false;
+    ElementId model_answer = -1;
+  };
+  std::vector<Assignment> task_assignments;
+  std::vector<ModelQuery> model_queue;
+  std::vector<ComparisonPair> model_pairs;
+  std::vector<ElementId> model_answers;
+
   for (const ComparisonTask& task : batch) {
     TaskOutcome outcome;
     outcome.task = task;
@@ -225,39 +251,117 @@ Result<std::vector<TaskOutcome>> CrowdPlatform::SubmitBatch(
     const std::vector<size_t> assigned = rng_.SampleWithoutReplacement(
         workers_.size(), static_cast<size_t>(votes_per_task));
 
+    // Pass A, visit order: platform draws (gold coin, gold pick) and
+    // worker-private draws (abandon, spam coin or slip, straggler) for
+    // every assignment; shared-model queries are queued, not answered.
+    task_assignments.clear();
+    model_queue.clear();
     for (size_t widx : assigned) {
       SimulatedWorker& worker = workers_[widx];
+      Assignment assignment;
+      assignment.widx = widx;
 
       // Interleave a gold question with the configured probability; its
       // grade feeds this worker's trust score for all later aggregation.
       if (!gold_tasks_.empty() &&
           rng_.NextBernoulli(options_.gold_task_probability)) {
-        const ComparisonTask& gold_task =
-            gold_tasks_[rng_.NextBounded(gold_tasks_.size())];
-        const ElementId gold_answer = worker.Answer(gold_task);
-        gold_control_.RecordGoldAnswer(worker.id(), gold_task, gold_answer);
+        assignment.has_gold = true;
+        assignment.gold_task = gold_tasks_[rng_.NextBounded(gold_tasks_.size())];
+        assignment.gold_pending = worker.BeginAnswer(assignment.gold_task);
+        if (assignment.gold_pending.needs_model) {
+          model_queue.push_back({worker.answer_model(), assignment.gold_task,
+                                 task_assignments.size(), /*is_gold=*/true,
+                                 -1});
+        }
+      }
+
+      assignment.real_pending =
+          faults ? worker.BeginRespond(task) : worker.BeginAnswer(task);
+      if (assignment.real_pending.needs_model &&
+          assignment.real_pending.disposition != VoteDisposition::kAbandoned) {
+        model_queue.push_back({worker.answer_model(), task,
+                               task_assignments.size(), /*is_gold=*/false,
+                               -1});
+      }
+      task_assignments.push_back(assignment);
+    }
+
+    // Pass B: answer the queued model queries, batching each run of
+    // consecutive same-model queries through GenerateVotes when the model
+    // supports it. The queue is in visit order, so every model's stream
+    // sees its draws in exactly the per-call order; heterogeneous pools
+    // degrade to per-call runs at each model switch.
+    size_t qi = 0;
+    while (qi < model_queue.size()) {
+      Comparator* model = model_queue[qi].model;
+      size_t qe = qi + 1;
+      while (qe < model_queue.size() && model_queue[qe].model == model) ++qe;
+      if (VoteBatchComparator* model_batch = model->AsVoteBatch();
+          model_batch != nullptr) {
+        model_pairs.clear();
+        for (size_t q = qi; q < qe; ++q) {
+          model_pairs.emplace_back(model_queue[q].task.a,
+                                   model_queue[q].task.b);
+        }
+        model_answers.resize(model_pairs.size());
+        const int64_t produced =
+            model_batch->GenerateVotes(model_pairs, model_answers);
+        CROWDMAX_CHECK(produced == static_cast<int64_t>(model_pairs.size()));
+        for (size_t q = qi; q < qe; ++q) {
+          model_queue[q].model_answer = model_answers[q - qi];
+        }
+      } else {
+        for (size_t q = qi; q < qe; ++q) {
+          model_queue[q].model_answer =
+              model->Compare(model_queue[q].task.a, model_queue[q].task.b);
+        }
+      }
+      qi = qe;
+    }
+    auto resolve = [&](const Assignment& assignment, bool is_gold,
+                       const PendingAnswer& pending,
+                       const ComparisonTask& answered_task,
+                       size_t* cursor) -> ElementId {
+      if (!pending.needs_model) return pending.answer;
+      // Model answers map back in queue (= visit) order.
+      while (model_queue[*cursor].assignment !=
+                 static_cast<size_t>(&assignment - task_assignments.data()) ||
+             model_queue[*cursor].is_gold != is_gold) {
+        ++*cursor;
+      }
+      return workers_[assignment.widx].FinishAnswer(
+          pending, answered_task, model_queue[*cursor].model_answer);
+    };
+
+    // Pass C, visit order: grade gold answers, build the votes, account
+    // dispositions — exactly the work the per-call loop did after each
+    // worker answered.
+    size_t cursor = 0;
+    for (const Assignment& assignment : task_assignments) {
+      SimulatedWorker& worker = workers_[assignment.widx];
+      if (assignment.has_gold) {
+        const ElementId gold_answer =
+            resolve(assignment, /*is_gold=*/true, assignment.gold_pending,
+                    assignment.gold_task, &cursor);
+        gold_control_.RecordGoldAnswer(worker.id(), assignment.gold_task,
+                                       gold_answer);
         ++gold_votes_;
         ++assignments;
       }
 
       Vote vote;
       vote.worker_id = worker.id();
-      if (faults) {
-        const WorkerResponse response = worker.Respond(task);
-        vote.winner = response.winner;
-        vote.disposition = response.disposition;
-        if (response.disposition == VoteDisposition::kAbandoned) {
-          // No vote ever arrived; billed nothing, but the assignment slot
-          // was held until the deadline.
-          ++fault_stats_.abandoned_votes;
-        } else {
-          if (response.disposition == VoteDisposition::kDropped) {
-            ++fault_stats_.straggler_votes;
-          }
-          ++total_votes_;
-        }
+      vote.disposition = assignment.real_pending.disposition;
+      if (vote.disposition == VoteDisposition::kAbandoned) {
+        // No vote ever arrived; billed nothing, but the assignment slot
+        // was held until the deadline.
+        ++fault_stats_.abandoned_votes;
       } else {
-        vote.winner = worker.Answer(task);
+        vote.winner = resolve(assignment, /*is_gold=*/false,
+                              assignment.real_pending, task, &cursor);
+        if (vote.disposition == VoteDisposition::kDropped) {
+          ++fault_stats_.straggler_votes;
+        }
         ++total_votes_;
       }
       ++assignments;

@@ -14,34 +14,66 @@ SimulatedWorker::SimulatedWorker(int32_t id, Comparator* answer_model,
                  options.straggler_probability < 1.0);
 }
 
-ElementId SimulatedWorker::Answer(const ComparisonTask& task) {
+PendingAnswer SimulatedWorker::BeginAnswer(const ComparisonTask& task) {
   ++tasks_answered_;
+  PendingAnswer pending;
   if (options_.spammer) {
-    return rng_.NextBernoulli(0.5) ? task.a : task.b;
+    pending.answer = rng_.NextBernoulli(0.5) ? task.a : task.b;
+    return pending;
   }
-  const ElementId model_answer = answer_model_->Compare(task.a, task.b);
-  CROWDMAX_DCHECK(model_answer == task.a || model_answer == task.b);
-  if (rng_.NextBernoulli(options_.slip_probability)) {
-    return model_answer == task.a ? task.b : task.a;
-  }
-  return model_answer;
+  // The slip flip is drawn now, before the model's answer exists; the
+  // worker's private stream sees the same single draw as the monolithic
+  // path (the model draws live on the shared model's stream, not here).
+  pending.needs_model = true;
+  pending.flip = rng_.NextBernoulli(options_.slip_probability);
+  return pending;
 }
 
-WorkerResponse SimulatedWorker::Respond(const ComparisonTask& task) {
+PendingAnswer SimulatedWorker::BeginRespond(const ComparisonTask& task) {
   // Fault draws are gated on positive probabilities so a fault-free worker
   // advances its RNG exactly as the legacy Answer() path does.
   if (options_.abandon_probability > 0.0 &&
       rng_.NextBernoulli(options_.abandon_probability)) {
     ++tasks_abandoned_;
-    return {VoteDisposition::kAbandoned, -1};
+    PendingAnswer pending;
+    pending.disposition = VoteDisposition::kAbandoned;
+    return pending;
   }
-  WorkerResponse response;
-  response.winner = Answer(task);
+  PendingAnswer pending = BeginAnswer(task);
   if (options_.straggler_probability > 0.0 &&
       rng_.NextBernoulli(options_.straggler_probability)) {
     ++tasks_straggled_;
-    response.disposition = VoteDisposition::kDropped;
+    pending.disposition = VoteDisposition::kDropped;
   }
+  return pending;
+}
+
+ElementId SimulatedWorker::FinishAnswer(const PendingAnswer& pending,
+                                        const ComparisonTask& task,
+                                        ElementId model_answer) const {
+  CROWDMAX_DCHECK(model_answer == task.a || model_answer == task.b);
+  if (pending.flip) {
+    return model_answer == task.a ? task.b : task.a;
+  }
+  return model_answer;
+}
+
+ElementId SimulatedWorker::Answer(const ComparisonTask& task) {
+  const PendingAnswer pending = BeginAnswer(task);
+  if (!pending.needs_model) return pending.answer;
+  return FinishAnswer(pending, task, answer_model_->Compare(task.a, task.b));
+}
+
+WorkerResponse SimulatedWorker::Respond(const ComparisonTask& task) {
+  const PendingAnswer pending = BeginRespond(task);
+  WorkerResponse response;
+  response.disposition = pending.disposition;
+  if (pending.disposition == VoteDisposition::kAbandoned) return response;
+  response.winner =
+      pending.needs_model
+          ? FinishAnswer(pending, task,
+                         answer_model_->Compare(task.a, task.b))
+          : pending.answer;
   return response;
 }
 

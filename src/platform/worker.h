@@ -34,6 +34,28 @@ struct WorkerResponse {
   ElementId winner = -1;
 };
 
+/// The worker-private half of an assignment, split out so the platform's
+/// batch submission path can draw every worker-stream decision up front
+/// and defer only the shared answer model (platform/platform.cc batches
+/// model queries per run of same-model workers). All of this worker's
+/// private draws — abandon, spam coin or slip, straggler — happen at
+/// Begin time, in the per-call order of the worker's own RNG stream, so
+/// the stream position is identical to Answer()/Respond(). The slip flip
+/// is drawn before the model's answer is known; it commutes (the flip is
+/// applied to whatever the model returns), so the final answer matches.
+struct PendingAnswer {
+  /// True when the shared answer model still owes this assignment an
+  /// answer; resolve with FinishAnswer. False = `answer` is final
+  /// (spammer) or the assignment was abandoned.
+  bool needs_model = false;
+  /// Slip flip to apply to the model's answer (honest workers only).
+  bool flip = false;
+  /// Final answer when needs_model is false and not abandoned.
+  ElementId answer = -1;
+  /// kAbandoned / kDropped / kCounted, exactly as Respond() would report.
+  VoteDisposition disposition = VoteDisposition::kCounted;
+};
+
 /// One simulated crowd worker.
 class SimulatedWorker {
  public:
@@ -63,6 +85,24 @@ class SimulatedWorker {
   /// abandonment and straggler delay are drawn from this worker's private
   /// RNG, so the whole run is replayable from the platform seeds.
   WorkerResponse Respond(const ComparisonTask& task);
+
+  /// Split halves of Answer()/Respond() for the platform's batched
+  /// submission path: Begin* draws every worker-private decision now (same
+  /// private-stream draw order as the monolithic calls) and reports
+  /// whether the shared answer model is still needed; FinishAnswer applies
+  /// the pre-drawn slip flip to the model's answer. Answer(task) is
+  /// exactly BeginAnswer + (needs_model ? FinishAnswer(model answer) :
+  /// pending.answer), and Respond(task) likewise over BeginRespond.
+  PendingAnswer BeginAnswer(const ComparisonTask& task);
+  PendingAnswer BeginRespond(const ComparisonTask& task);
+  ElementId FinishAnswer(const PendingAnswer& pending,
+                         const ComparisonTask& task,
+                         ElementId model_answer) const;
+
+  /// The shared crowd answer model this worker consults (not owned). The
+  /// platform groups consecutive same-model assignments into one batched
+  /// model call.
+  Comparator* answer_model() const { return answer_model_; }
 
   int32_t id() const { return id_; }
   bool is_spammer() const { return options_.spammer; }

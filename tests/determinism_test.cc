@@ -17,9 +17,11 @@
 #include "baselines/venetis.h"
 #include "core/async_executor.h"
 #include "core/batched.h"
+#include "core/checkpoint.h"
 #include "core/comparator.h"
 #include "core/expert_max.h"
 #include "core/filter_phase.h"
+#include "core/round_engine.h"
 #include "core/resilient.h"
 #include "core/trace.h"
 #include "core/worker_model.h"
@@ -699,6 +701,66 @@ TEST(DeterminismDeathTest, MemoizingComparatorForkCheckFails) {
   OracleComparator oracle(&instance);
   MemoizingComparator memo(&oracle);
   EXPECT_DEATH_IF_SUPPORTED((void)memo.Fork(1), "not thread-safe");
+}
+
+// The engine's batch vote generation (DESIGN.md §14) is an internal
+// optimization: with it on or off, a full filter run over a stochastic
+// worker must be bit-identical — candidates, rounds, paid/issued counts,
+// cache hits, and the comparator's serialized state (counter + RNG stream
+// position + sticky tables) — at every backend and thread count.
+TEST(DeterminismTest, BatchGenerationBitIdenticalToPerCall) {
+  Instance instance = MakeInstance(300, 47);
+  FilterOptions options;
+  options.u_n = 5;
+  options.memoize = true;
+
+  ThresholdComparator::Options model;
+  model.model = ThresholdModel{instance.DeltaForU(5), 0.15};
+  model.tie_policy = TiePolicy::kPersistentArbitrary;
+
+  struct BatchRun {
+    FilterEngineRun run;
+    int64_t cache_hits = 0;
+    std::string comparator_state;
+  };
+  auto run_once = [&](int64_t threads, bool batch_generation) {
+    ThresholdComparator cmp(&instance, model, /*seed=*/4711);
+    std::unique_ptr<RoundEngine> engine;
+    if (threads == 0) {
+      engine = RoundEngine::CreateSerial(&cmp, options.memoize);
+    } else {
+      Result<std::unique_ptr<RoundEngine>> parallel =
+          RoundEngine::CreateParallel(&cmp, threads, /*seed=*/4712,
+                                      options.memoize);
+      CROWDMAX_CHECK(parallel.ok());
+      engine = std::move(parallel).value();
+    }
+    engine->set_batch_generation(batch_generation);
+    Result<FilterEngineRun> run =
+        RunFilterOnEngine(instance.AllElements(), options, engine.get());
+    CROWDMAX_CHECK(run.ok());
+    CheckpointWriter writer;
+    CROWDMAX_CHECK(cmp.SaveState(&writer).ok());
+    return BatchRun{*std::move(run), engine->cache_hits(), writer.Take()};
+  };
+
+  for (int64_t threads : {int64_t{0}, int64_t{1}, int64_t{8}}) {
+    const BatchRun percall = run_once(threads, /*batch_generation=*/false);
+    const BatchRun batch = run_once(threads, /*batch_generation=*/true);
+    EXPECT_EQ(batch.run.filter.candidates, percall.run.filter.candidates)
+        << "threads=" << threads;
+    EXPECT_EQ(batch.run.filter.rounds, percall.run.filter.rounds)
+        << "threads=" << threads;
+    EXPECT_EQ(batch.run.filter.paid_comparisons,
+              percall.run.filter.paid_comparisons)
+        << "threads=" << threads;
+    EXPECT_EQ(batch.run.filter.issued_comparisons,
+              percall.run.filter.issued_comparisons)
+        << "threads=" << threads;
+    EXPECT_EQ(batch.cache_hits, percall.cache_hits) << "threads=" << threads;
+    EXPECT_EQ(batch.comparator_state, percall.comparator_state)
+        << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -80,6 +80,32 @@ TEST_F(MetricsTest, HistogramBucketsObservations) {
             (std::vector<int64_t>{1, 2, 1, 1, 2}));
 }
 
+TEST_F(MetricsTest, HistogramBoundIsInclusive) {
+  // Regression for the boundary semantics: bucket i counts observations
+  // <= bounds[i], so a value exactly on a bound lands in that bucket, not
+  // the next one. An off-by-one here silently shifts every latency report.
+  Histogram* histogram = MetricsRegistry::Default()->GetHistogram(
+      "test.exact_bounds", ExponentialBounds(4));
+  ASSERT_EQ(histogram->bounds(), (std::vector<int64_t>{1, 2, 4, 8}));
+  for (int64_t v : {1, 2, 4, 8}) histogram->Observe(v);
+  EXPECT_EQ(histogram->bucket_counts(),
+            (std::vector<int64_t>{1, 1, 1, 1, 0}));
+}
+
+TEST_F(MetricsTest, HistogramOverflowBucketStartsPastTheLastBound) {
+  // bounds.back() itself is still in the last finite bucket; only strictly
+  // larger observations overflow. Sum/count must include overflow values.
+  Histogram* histogram = MetricsRegistry::Default()->GetHistogram(
+      "test.overflow_bounds", ExponentialBounds(3));
+  ASSERT_EQ(histogram->bounds(), (std::vector<int64_t>{1, 2, 4}));
+  histogram->Observe(4);
+  histogram->Observe(5);
+  histogram->Observe(1 << 30);
+  EXPECT_EQ(histogram->bucket_counts(), (std::vector<int64_t>{0, 0, 1, 2}));
+  EXPECT_EQ(histogram->count(), 3);
+  EXPECT_EQ(histogram->sum(), 4 + 5 + (1 << 30));
+}
+
 TEST_F(MetricsTest, GetHistogramReturnsOriginalOnReRegistration) {
   Histogram* first = MetricsRegistry::Default()->GetHistogram(
       "test.reregistered", ExponentialBounds(4));

@@ -123,6 +123,47 @@ TEST(BatchExecutorTest, ResetCountersIsVirtualThroughBasePointer) {
   EXPECT_EQ(base->comparisons(), 0);
 }
 
+TEST(BatchExecutorTest, PartialBatchChargesExactlyTheVotesProduced) {
+  // Regression for the batch-path accounting audit (DESIGN.md §14): a
+  // GenerateVotes call stopped short by an invalid pair must charge only
+  // the votes actually produced — never the requested batch size — and a
+  // ResetCount in between must not resurrect the unanswered remainder.
+  Instance instance({1.0, 2.0, 3.0, 4.0});
+  ThresholdComparator cmp(&instance, ThresholdModel{0.5, 0.1}, /*seed=*/77);
+  VoteBatchComparator* batch = cmp.AsVoteBatch();
+  ASSERT_NE(batch, nullptr);
+
+  const std::vector<ComparisonPair> pairs = {{0, 3}, {1, 2}, {-1, 2}, {0, 1}};
+  std::vector<ElementId> out(pairs.size(), -7);
+  EXPECT_EQ(batch->GenerateVotes(pairs, out), 2);
+  EXPECT_EQ(cmp.num_comparisons(), 2);
+
+  cmp.ResetCount();
+  std::vector<ComparisonPair> valid = {{0, 3}, {1, 2}, {0, 1}};
+  std::vector<ElementId> winners(valid.size());
+  EXPECT_EQ(batch->GenerateVotes(valid, winners), 3);
+  EXPECT_EQ(cmp.num_comparisons(), 3);
+}
+
+TEST(BatchExecutorTest, BatchedExecutorAndComparatorCountersAgree) {
+  // ComparatorBatchExecutor charges itself tasks.size() while the batch
+  // comparator charges itself inside GenerateVotes; the two counters must
+  // stay equal — a divergence means a batch was double- or under-billed.
+  Instance instance({1.0, 2.0, 3.0, 4.0, 5.0});
+  ThresholdComparator cmp(&instance, ThresholdModel{0.5, 0.1}, /*seed=*/78);
+  ComparatorBatchExecutor executor(&cmp);
+  executor.ExecuteBatch({{0, 1}, {2, 3}, {1, 4}});
+  executor.ExecuteBatch({{0, 4}});
+  EXPECT_EQ(executor.comparisons(), 4);
+  EXPECT_EQ(cmp.num_comparisons(), 4);
+
+  executor.ResetCounters();
+  cmp.ResetCount();
+  executor.ExecuteBatch({{2, 4}});
+  EXPECT_EQ(executor.comparisons(), 1);
+  EXPECT_EQ(cmp.num_comparisons(), 1);
+}
+
 TEST(ResilientExecutorTest, CreateValidation) {
   ScriptedExecutor inner({Call::kAnswerAll});
   EXPECT_FALSE(ResilientBatchExecutor::Create(nullptr, {}).ok());

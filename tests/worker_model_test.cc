@@ -4,13 +4,18 @@
 // the former regime and plateaus in the latter.
 
 #include <cmath>
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/checkpoint.h"
 #include "core/filter_phase.h"
 #include "core/instance.h"
+#include "core/pair_key.h"
 #include "core/worker_model.h"
 #include "datasets/instances.h"
 
@@ -327,6 +332,209 @@ TEST(DistanceDecayComparatorTest, FilterGuaranteeSurvivesMildDecayNoise) {
   }
   EXPECT_GE(survived, kTrials - 2);
 }
+
+// ----------------------------------------------- Batch vote equivalence.
+//
+// The batch path (VoteBatchComparator::GenerateVotes, DESIGN.md §14) must
+// be bit-identical to the per-call path: same outcomes, same comparison
+// counter, and the same serialized state — which covers the RNG stream
+// position and the sticky per-pair tables byte for byte.
+
+std::string StateBytes(const Comparator& cmp) {
+  CheckpointWriter writer;
+  const Status status = cmp.SaveState(&writer);
+  EXPECT_TRUE(status.ok()) << status.message();
+  return writer.Take();
+}
+
+// A deterministic mix of easy, hard and repeated pairs in both argument
+// orders, so the batch exercises every regime and the sticky tables.
+std::vector<ComparisonPair> MixedPairs(const Instance& instance,
+                                       uint64_t seed, size_t count) {
+  Rng rng(seed);
+  const uint64_t n = static_cast<uint64_t>(instance.size());
+  std::vector<ComparisonPair> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ElementId a = static_cast<ElementId>(rng.NextBounded(n));
+    ElementId b = static_cast<ElementId>(rng.NextBounded(n));
+    if (a == b) b = static_cast<ElementId>((a + 1) % instance.size());
+    if (i % 5 == 0 && !pairs.empty()) {
+      // Revisit an earlier pair, swapped: sticky answers must be stable
+      // under argument order inside one batch.
+      const ComparisonPair& back = pairs[rng.NextBounded(pairs.size())];
+      pairs.emplace_back(back.second, back.first);
+    } else {
+      pairs.emplace_back(a, b);
+    }
+  }
+  return pairs;
+}
+
+// Two identically seeded copies of every model, one driven per-call and
+// one through GenerateVotes.
+struct ModelDuo {
+  std::unique_ptr<Comparator> percall;
+  std::unique_ptr<Comparator> batch;
+  const char* name;
+};
+
+std::vector<ModelDuo> MakeModelDuos(const Instance& instance, uint64_t seed) {
+  std::vector<ModelDuo> duos;
+  auto add = [&duos](auto make, const char* name) {
+    duos.push_back({make(), make(), name});
+  };
+  ThresholdComparator::Options sticky;
+  sticky.model = ThresholdModel{0.3, 0.2};
+  sticky.tie_policy = TiePolicy::kPersistentArbitrary;
+  add([&] { return std::make_unique<ThresholdComparator>(&instance, sticky,
+                                                         seed); },
+      "threshold/persistent");
+  ThresholdComparator::Options coin;
+  coin.model = ThresholdModel{0.3, 0.0};  // epsilon == 0: gated draws.
+  coin.below_threshold_correct_prob = 0.8;
+  add([&] { return std::make_unique<ThresholdComparator>(&instance, coin,
+                                                         seed + 1); },
+      "threshold/coin");
+  add([&] { return std::make_unique<RelativeErrorComparator>(
+          &instance, RelativeErrorComparator::Options{}, seed + 2); },
+      "relative_error");
+  DistanceDecayComparator::Options decay;
+  decay.delta = 0.3;
+  decay.epsilon_at_threshold = 0.25;
+  decay.decay = 3.0;
+  add([&] { return std::make_unique<DistanceDecayComparator>(&instance, decay,
+                                                             seed + 3); },
+      "distance_decay");
+  add([&] { return std::make_unique<PersistentBiasComparator>(
+          &instance, CarsLikeOptions(), seed + 4); },
+      "persistent_bias");
+  return duos;
+}
+
+void ExpectBatchMatchesPerCall(const ModelDuo& duo,
+                               std::span<const ComparisonPair> pairs) {
+  std::vector<ElementId> expected;
+  expected.reserve(pairs.size());
+  for (const ComparisonPair& p : pairs) {
+    expected.push_back(duo.percall->Compare(p.first, p.second));
+  }
+  VoteBatchComparator* vb = duo.batch->AsVoteBatch();
+  ASSERT_NE(vb, nullptr) << duo.name;
+  std::vector<ElementId> got(pairs.size());
+  ASSERT_EQ(vb->GenerateVotes(pairs, got),
+            static_cast<int64_t>(pairs.size()))
+      << duo.name;
+  EXPECT_EQ(got, expected) << duo.name;
+  EXPECT_EQ(duo.batch->num_comparisons(), duo.percall->num_comparisons())
+      << duo.name;
+  EXPECT_EQ(StateBytes(*duo.batch), StateBytes(*duo.percall)) << duo.name;
+}
+
+TEST(VoteBatchEquivalenceTest, BatchMatchesPerCallBitIdentically) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    Rng value_rng(seed);
+    std::vector<double> values;
+    for (int i = 0; i < 24; ++i) values.push_back(value_rng.NextDouble());
+    Instance instance(values);
+    for (ModelDuo& duo : MakeModelDuos(instance, 100 + seed)) {
+      const std::vector<ComparisonPair> pairs =
+          MixedPairs(instance, seed, 400);
+      ExpectBatchMatchesPerCall(duo, pairs);
+      // Continuity: per-call comparisons after the batch stay in lockstep,
+      // so the batch left the RNG exactly where per-call execution did.
+      for (size_t i = 0; i < 32; ++i) {
+        const ComparisonPair& p = pairs[i * 7 % pairs.size()];
+        EXPECT_EQ(duo.batch->Compare(p.first, p.second),
+                  duo.percall->Compare(p.first, p.second))
+            << duo.name;
+      }
+      EXPECT_EQ(StateBytes(*duo.batch), StateBytes(*duo.percall)) << duo.name;
+    }
+  }
+}
+
+TEST(VoteBatchEquivalenceTest, CheckpointRoundTripBetweenBatches) {
+  Rng value_rng(31);
+  std::vector<double> values;
+  for (int i = 0; i < 16; ++i) values.push_back(value_rng.NextDouble());
+  Instance instance(values);
+  for (ModelDuo& duo : MakeModelDuos(instance, 300)) {
+    const std::vector<ComparisonPair> warmup = MixedPairs(instance, 32, 150);
+    const std::vector<ComparisonPair> after = MixedPairs(instance, 33, 150);
+    VoteBatchComparator* vb = duo.batch->AsVoteBatch();
+    std::vector<ElementId> out(warmup.size());
+    ASSERT_EQ(vb->GenerateVotes(warmup, out),
+              static_cast<int64_t>(warmup.size()));
+
+    // Restore the checkpoint into the identically-constructed twin and run
+    // the next batch on both: same votes, same final state.
+    Result<CheckpointReader> reader = CheckpointReader::Open(
+        StateBytes(*duo.batch));
+    ASSERT_TRUE(reader.ok()) << duo.name;
+    ASSERT_TRUE(duo.percall->LoadState(&*reader).ok()) << duo.name;
+
+    std::vector<ElementId> got(after.size());
+    ASSERT_EQ(vb->GenerateVotes(after, got),
+              static_cast<int64_t>(after.size()));
+    std::vector<ElementId> twin(after.size());
+    ASSERT_EQ(duo.percall->AsVoteBatch()->GenerateVotes(after, twin),
+              static_cast<int64_t>(after.size()));
+    EXPECT_EQ(got, twin) << duo.name;
+    EXPECT_EQ(StateBytes(*duo.batch), StateBytes(*duo.percall)) << duo.name;
+  }
+}
+
+// Regression for the pair-key aliasing bug: a negative or out-of-range id
+// must stop the batch at the longest valid prefix — unanswered and
+// uncharged — never silently alias another element's pair key.
+TEST(VoteBatchEquivalenceTest, InvalidIdStopsTheBatchUncharged) {
+  Rng value_rng(41);
+  std::vector<double> values;
+  for (int i = 0; i < 8; ++i) values.push_back(value_rng.NextDouble());
+  Instance instance(values);
+  for (ElementId bad : {static_cast<ElementId>(-1),
+                        static_cast<ElementId>(instance.size())}) {
+    for (ModelDuo& duo : MakeModelDuos(instance, 500)) {
+      const std::vector<ComparisonPair> prefix = {{0, 1}, {2, 3}};
+      std::vector<ComparisonPair> pairs = prefix;
+      pairs.push_back({bad, 2});
+      pairs.push_back({4, 5});  // Valid but after the stop: not answered.
+      ExpectBatchMatchesPerCall(duo, std::span<const ComparisonPair>(pairs)
+                                         .first(prefix.size()));
+
+      std::vector<ElementId> out(pairs.size(), -7);
+      VoteBatchComparator* vb = duo.batch->AsVoteBatch();
+      const int64_t before = duo.batch->num_comparisons();
+      EXPECT_EQ(vb->GenerateVotes(pairs, out),
+                static_cast<int64_t>(prefix.size()))
+          << duo.name << " bad=" << bad;
+      EXPECT_EQ(duo.batch->num_comparisons(),
+                before + static_cast<int64_t>(prefix.size()))
+          << duo.name;
+      EXPECT_EQ(out[2], -7) << duo.name;  // Untouched past the prefix.
+      EXPECT_EQ(out[3], -7) << duo.name;
+    }
+  }
+}
+
+// Unified pair keys (core/pair_key.h): order-insensitive, collision-free
+// over valid ids; negative ids are refused by the debug CHECK instead of
+// silently aliasing via unsigned wrap-around (the old static_cast bug).
+TEST(PairKeyTest, KeysAreOrderInsensitiveAndDistinct) {
+  EXPECT_EQ(PackPairKey(2, 3), PackPairKey(3, 2));
+  EXPECT_NE(PackPairKey(2, 3), PackPairKey(2, 4));
+  EXPECT_NE(PackPairKey(0, 1), PackPairKey(1, 2));
+  EXPECT_TRUE(PairKeyable(0, 1));
+  EXPECT_FALSE(PairKeyable(-1, 1));
+  EXPECT_FALSE(PairKeyable(1, -2147483648));
+}
+
+#ifndef NDEBUG
+TEST(PairKeyDeathTest, NegativeIdIsRefusedNotAliased) {
+  EXPECT_DEATH(PackPairKey(-1, 2), "PairKeyable");
+}
+#endif
 
 // Property sweep: no comparator may ever return an element outside {a, b}.
 class WorkerModelContractTest : public ::testing::TestWithParam<uint64_t> {};
