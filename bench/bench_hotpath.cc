@@ -34,14 +34,18 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "core/async_executor.h"
 #include "core/batched.h"
 #include "core/comparator.h"
+#include "core/pair_key.h"
+#include "core/round_engine.h"
 #include "core/worker_model.h"
 
 namespace crowdmax {
@@ -85,6 +89,47 @@ std::vector<ComparisonPair> RandomPairs(int64_t n_elements, int64_t count,
   }
   return pairs;
 }
+
+// Streams a pre-deduplicated pair list through a RoundEngine in
+// fixed-size rounds, collecting votes in stream order. The chunks are
+// pair-disjoint by construction, so overlapping them in a pipelined
+// engine is legal (CanPipelineNextRound).
+class PairStreamSource : public RoundSource {
+ public:
+  PairStreamSource(const std::vector<ComparisonPair>* pairs, int64_t chunk,
+                   std::vector<ElementId>* votes)
+      : pairs_(pairs), chunk_(static_cast<size_t>(chunk)), votes_(votes) {}
+
+  Result<bool> NextRound(EngineRound* round) override {
+    if (next_emit_ >= pairs_->size()) return false;
+    const size_t count = std::min(chunk_, pairs_->size() - next_emit_);
+    RoundUnit unit;
+    unit.pairs.assign(pairs_->begin() + static_cast<ptrdiff_t>(next_emit_),
+                      pairs_->begin() +
+                          static_cast<ptrdiff_t>(next_emit_ + count));
+    round->units.push_back(std::move(unit));
+    next_emit_ += count;
+    return true;
+  }
+
+  Status ConsumeOutcome(const EngineRound& round,
+                        const RoundOutcome& outcome) override {
+    for (ElementId winner : outcome.winners[0]) {
+      (*votes_)[next_consume_++] = winner;
+    }
+    (void)round;
+    return Status::OK();
+  }
+
+  bool CanPipelineNextRound() const override { return true; }
+
+ private:
+  const std::vector<ComparisonPair>* pairs_;
+  const size_t chunk_;
+  std::vector<ElementId>* votes_;
+  size_t next_emit_ = 0;
+  size_t next_consume_ = 0;
+};
 
 Row Measure(const std::string& name,
             const std::vector<ComparisonPair>& pairs,
@@ -143,6 +188,43 @@ ModelReport BenchModel(const std::string& model_name,
     }
     CROWDMAX_CHECK(*out == percall_votes);
   }));
+
+  // engine=d8: the batch path driven through the pipelined RoundEngine at
+  // depth 8 (round submission, in-flight cache reservation, engine-owned
+  // scratch reuse all on the measured path). The engine's pipelining
+  // contract requires in-flight rounds to be pair-disjoint, so the stream
+  // is deduplicated first and throughput is per executed pair. Self-check:
+  // every vote names one of its pair's endpoints and the engine paid for
+  // exactly the deduplicated stream.
+  {
+    std::vector<ComparisonPair> unique_pairs;
+    unique_pairs.reserve(pairs.size());
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(pairs.size() * 2);
+    for (const ComparisonPair& pair : pairs) {
+      if (seen.insert(PackPairKey(pair.first, pair.second)).second) {
+        unique_pairs.push_back(pair);
+      }
+    }
+    report.rows.push_back(Measure(
+        "engine=d8", unique_pairs, [&](std::vector<ElementId>* out) {
+          std::unique_ptr<Comparator> model = make(seed);
+          ComparatorBatchExecutor executor(model.get());
+          AsyncBatchAdapter async(&executor);
+          Result<std::unique_ptr<RoundEngine>> engine =
+              RoundEngine::CreatePipelined(&async, /*max_in_flight=*/8);
+          CROWDMAX_CHECK(engine.ok());
+          PairStreamSource source(&unique_pairs, kChunk, out);
+          Result<DriveResult> drive = (*engine)->Drive(&source);
+          CROWDMAX_CHECK(drive.ok());
+          CROWDMAX_CHECK((*engine)->paid() ==
+                         static_cast<int64_t>(unique_pairs.size()));
+          for (size_t i = 0; i < unique_pairs.size(); ++i) {
+            CROWDMAX_CHECK((*out)[i] == unique_pairs[i].first ||
+                           (*out)[i] == unique_pairs[i].second);
+          }
+        }));
+  }
 
   // par=T: the parallel executor's forked batch path. Forks draw from
   // their own streams, so no vote equality with the serial rows — the

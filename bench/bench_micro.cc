@@ -6,12 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -220,35 +223,56 @@ void BM_ExpertMaxEndToEnd(benchmark::State& state) {
 BENCHMARK(BM_ExpertMaxEndToEnd)->Arg(1000)->Arg(5000);
 
 // ---------------------------------------------------------------------------
-// Round-latency report (--pipeline / --pipeline_json=FILE): wall clock per
-// logical step of one filter run over a latency-simulating platform, the
-// synchronous executor drive against the pipelined drive at several depths.
-// Everything but the wall clock is bit-identical across rows (checked);
+// Round-latency report v2 (--pipeline / --pipeline_json=FILE /
+// --pipeline_smoke): wall clock per logical step over a latency-simulating
+// platform, the synchronous executor drive against the pipelined drive,
+// for every Phase-2 source the engine can overlap — the filter's disjoint
+// groups, the speculating 2-MaxFind, the chunked expert tournament and the
+// grouped randomized max-finder. Everything but the wall clock and the
+// speculation counters is bit-identical across a source's rows (checked);
 // what the table shows is purely how much crowd round-trip the pipeline
-// hides. The machine-readable twin goes to BENCH_pipeline.json.
+// hides and what speculation paid for it. The machine-readable twin goes
+// to BENCH_pipeline.json.
 
 struct PipelineLatencyRow {
+  std::string source;
   std::string mode;
   int64_t depth = 0;
   double wall_ms = 0.0;
   int64_t logical_steps = 0;
   double ms_per_step = 0.0;
   int64_t paid = 0;
+  int64_t wasted = 0;
+  int64_t spec_hits = 0;
+  int64_t spec_mispredicts = 0;
+  double hit_rate = 0.0;
+  double wasted_fraction = 0.0;
   int64_t overlapped_rounds = 0;
   int64_t max_in_flight = 0;
   double speedup = 1.0;
 };
 
-void RunPipelineLatencyReport(const std::string& json_path) {
-  const int64_t n = 600;
-  Instance instance = MakeInstance(n, 23);
-  FilterOptions options;
-  options.u_n = 8;
-  options.memoize = true;
-  // Group-granular rounds on BOTH sides: the synchronous baseline pays one
-  // round trip per group too, so the comparison isolates overlap (not
-  // batch-size effects) and the two drives stay bit-identical.
-  options.pipeline_groups = true;
+// What a source run must reproduce identically at every depth: the
+// algorithm's output, its non-speculative spend, and its logical steps.
+struct PipelineRunSignature {
+  std::vector<int64_t> output;
+  int64_t paid_sync = 0;  // engine paid minus speculation_wasted
+  int64_t logical_steps = 0;
+};
+
+struct PipelineSourceSpec {
+  std::string name;
+  // Drives the source on `engine` and returns its identity signature.
+  std::function<PipelineRunSignature(RoundEngine*)> run;
+};
+
+void RunPipelineLatencyReport(const std::string& json_path, bool smoke) {
+  const int64_t filter_n = smoke ? 120 : 600;
+  const int64_t filter_u = smoke ? 4 : 8;
+  const int64_t twomax_n = smoke ? 60 : 400;
+  const int64_t tourney_n = smoke ? 40 : 120;
+  const int64_t tourney_chunk = smoke ? 60 : 300;
+  const int64_t random_n = smoke ? 60 : 120;
 
   PlatformOptions platform_options;
   platform_options.num_workers = 32;
@@ -256,23 +280,98 @@ void RunPipelineLatencyReport(const std::string& json_path) {
   platform_options.honest_slip_probability = 0.0;
   platform_options.gold_task_probability = 0.0;
   platform_options.seed = 27;
-  platform_options.latency.base_micros = 1500;
-  platform_options.latency.per_task_micros = 5;
-  platform_options.latency.jitter_micros = 300;
+  platform_options.latency.base_micros = smoke ? 200 : 1500;
+  platform_options.latency.per_task_micros = smoke ? 1 : 5;
+  platform_options.latency.jitter_micros = smoke ? 40 : 300;
   platform_options.latency.seed = 29;
+
+  // Group-granular rounds on BOTH sides of every source: the synchronous
+  // baseline pays one round trip per group/chunk too, so the comparison
+  // isolates overlap (not batch-size effects) and the drives stay
+  // bit-identical.
+  Instance filter_instance = MakeInstance(filter_n, 23);
+  FilterOptions filter_options;
+  filter_options.u_n = filter_u;
+  filter_options.memoize = true;
+  filter_options.pipeline_groups = true;
+
+  Instance twomax_instance = MakeInstance(twomax_n, 31);
+  // Prior-strength ordering (decreasing true value): the speculated pivot
+  // — the lowest-indexed sample member — is the sample's true maximum, so
+  // the predictions hit and the bench shows the hit path's latency win.
+  std::vector<ElementId> twomax_items = twomax_instance.AllElements();
+  std::sort(twomax_items.begin(), twomax_items.end(),
+            [&](ElementId a, ElementId b) {
+              return twomax_instance.value(a) > twomax_instance.value(b);
+            });
+
+  Instance tourney_instance = MakeInstance(tourney_n, 37);
+  Instance random_instance = MakeInstance(random_n, 41);
+  RandomizedMaxFindOptions random_options;
+  random_options.seed = 5;
+  random_options.group_size_override = 12;
+  random_options.pipeline_groups = true;
+
+  const std::vector<PipelineSourceSpec> sources = {
+      {"filter",
+       [&](RoundEngine* engine) {
+         Result<FilterEngineRun> run = RunFilterOnEngine(
+             filter_instance.AllElements(), filter_options, engine);
+         CROWDMAX_CHECK(run.ok() && !run->partial);
+         PipelineRunSignature sig;
+         sig.output.assign(run->filter.candidates.begin(),
+                           run->filter.candidates.end());
+         return sig;
+       }},
+      {"twomax_speculate",
+       [&](RoundEngine* engine) {
+         TwoMaxFindEngineOptions options;
+         options.speculate = true;  // sync drives ignore speculation
+         Result<MaxFindEngineRun> run =
+             RunTwoMaxFindOnEngine(twomax_items, engine, options);
+         CROWDMAX_CHECK(run.ok() && !run->partial);
+         PipelineRunSignature sig;
+         sig.output = {run->maxfind.best, run->maxfind.rounds,
+                       run->maxfind.paid_comparisons};
+         return sig;
+       }},
+      {"tournament_chunked",
+       [&](RoundEngine* engine) {
+         TournamentEngineOptions options;
+         options.chunk_pairs = tourney_chunk;
+         Result<TournamentEngineRun> run = RunTournamentOnEngine(
+             tourney_instance.AllElements(), engine, "all_play_all", options);
+         CROWDMAX_CHECK(run.ok() && run->unresolved == 0);
+         PipelineRunSignature sig;
+         sig.output = run->tournament.wins;
+         return sig;
+       }},
+      {"randomized_grouped",
+       [&](RoundEngine* engine) {
+         Result<MaxFindEngineRun> run = RunRandomizedMaxFindOnEngine(
+             random_instance.AllElements(), engine, random_options);
+         CROWDMAX_CHECK(run.ok() && !run->partial);
+         PipelineRunSignature sig;
+         sig.output = {run->maxfind.best, run->maxfind.rounds,
+                       run->maxfind.paid_comparisons};
+         return sig;
+       }},
+  };
 
   // One run per row, each over its own fresh platform so the latency and
   // answer streams replay identically; only the drive differs.
-  auto run_row = [&](int64_t depth) {
-    OracleComparator crowd(&instance);
+  auto run_row = [&](const PipelineSourceSpec& spec,
+                     const Instance* instance, int64_t depth) {
+    OracleComparator crowd(instance);
     auto platform =
-        CrowdPlatform::Create(&crowd, &instance, {}, platform_options);
+        CrowdPlatform::Create(&crowd, instance, {}, platform_options);
     CROWDMAX_CHECK(platform.ok());
     auto executor =
         PlatformBatchExecutor::Create(platform->get(), /*votes_per_task=*/1);
     CROWDMAX_CHECK(executor.ok());
 
     PipelineLatencyRow row;
+    row.source = spec.name;
     row.mode = depth == 0 ? "serial" : "pipelined";
     row.depth = depth;
     std::unique_ptr<AsyncBatchAdapter> async;
@@ -285,11 +384,8 @@ void RunPipelineLatencyReport(const std::string& json_path) {
     CROWDMAX_CHECK(engine.ok());
 
     const auto start = std::chrono::steady_clock::now();
-    Result<FilterEngineRun> run =
-        RunFilterOnEngine(instance.AllElements(), options, engine->get());
+    PipelineRunSignature sig = spec.run(engine->get());
     const auto stop = std::chrono::steady_clock::now();
-    CROWDMAX_CHECK(run.ok());
-    CROWDMAX_CHECK(!run->partial);
 
     row.wall_ms =
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
@@ -299,40 +395,69 @@ void RunPipelineLatencyReport(const std::string& json_path) {
     row.ms_per_step =
         row.logical_steps > 0 ? row.wall_ms / row.logical_steps : 0.0;
     row.paid = (*engine)->paid();
+    row.wasted = (*engine)->speculation_wasted();
+    row.spec_hits = (*engine)->speculation_hits();
+    row.spec_mispredicts = (*engine)->speculation_mispredicts();
+    const int64_t resolved = row.spec_hits + row.spec_mispredicts;
+    row.hit_rate = resolved > 0
+                       ? static_cast<double>(row.spec_hits) / resolved
+                       : 0.0;
+    row.wasted_fraction =
+        row.paid > 0 ? static_cast<double>(row.wasted) / row.paid : 0.0;
     row.overlapped_rounds = (*engine)->overlapped_rounds();
     row.max_in_flight = (*engine)->max_in_flight_observed();
-    return std::make_pair(row, run->filter.candidates);
+    sig.paid_sync = row.paid - row.wasted;
+    sig.logical_steps = row.logical_steps;
+    return std::make_pair(row, sig);
   };
 
-  std::cout << "\n[pipeline] round-latency: filter n=" << n
-            << " u_n=" << options.u_n << ", platform latency base="
-            << platform_options.latency.base_micros << "us jitter="
-            << platform_options.latency.jitter_micros << "us\n";
+  const Instance* instances_per_source[] = {&filter_instance,
+                                            &twomax_instance,
+                                            &tourney_instance,
+                                            &random_instance};
+
+  std::cout << "\n[pipeline] round-latency v2: adaptive sources over "
+            << "platform latency base="
+            << platform_options.latency.base_micros
+            << "us jitter=" << platform_options.latency.jitter_micros
+            << "us\n";
 
   std::vector<PipelineLatencyRow> rows;
-  std::vector<ElementId> reference_candidates;
-  for (const int64_t depth : {0, 1, 2, 4, 8}) {
-    auto [row, candidates] = run_row(depth);
-    if (depth == 0) {
-      reference_candidates = candidates;
-    } else {
-      CROWDMAX_CHECK(candidates == reference_candidates);
-      CROWDMAX_CHECK(row.paid == rows[0].paid);
-      CROWDMAX_CHECK(row.logical_steps == rows[0].logical_steps);
+  const std::vector<int64_t> depths =
+      smoke ? std::vector<int64_t>{0, 8} : std::vector<int64_t>{0, 1, 8};
+  for (size_t s = 0; s < sources.size(); ++s) {
+    PipelineRunSignature reference;
+    double serial_wall = 0.0;
+    for (const int64_t depth : depths) {
+      auto [row, sig] = run_row(sources[s], instances_per_source[s], depth);
+      if (depth == 0) {
+        reference = sig;
+        serial_wall = row.wall_ms;
+      } else {
+        // Bit-identity across depths: same output, same non-speculative
+        // spend, same logical steps. Only wall clock and the speculation
+        // counters may differ.
+        CROWDMAX_CHECK(sig.output == reference.output);
+        CROWDMAX_CHECK(sig.paid_sync == reference.paid_sync);
+        CROWDMAX_CHECK(sig.logical_steps == reference.logical_steps);
+      }
+      row.speedup = depth == 0 ? 1.0 : serial_wall / row.wall_ms;
+      rows.push_back(row);
     }
-    row.speedup = rows.empty() ? 1.0 : rows[0].wall_ms / row.wall_ms;
-    rows.push_back(row);
   }
 
-  TablePrinter table({"mode", "depth", "wall_ms", "logical_steps",
-                      "ms_per_step", "paid", "overlapped_rounds",
-                      "max_in_flight", "speedup"});
+  TablePrinter table({"source", "mode", "depth", "wall_ms", "steps",
+                      "ms_per_step", "paid", "wasted", "hits", "mispredicts",
+                      "hit_rate", "wasted_frac", "overlapped", "speedup"});
   for (const PipelineLatencyRow& row : rows) {
-    table.AddRow({row.mode, FormatInt(row.depth),
+    table.AddRow({row.source, row.mode, FormatInt(row.depth),
                   FormatDouble(row.wall_ms, 2), FormatInt(row.logical_steps),
                   FormatDouble(row.ms_per_step, 3), FormatInt(row.paid),
+                  FormatInt(row.wasted), FormatInt(row.spec_hits),
+                  FormatInt(row.spec_mispredicts),
+                  FormatDouble(row.hit_rate, 2),
+                  FormatDouble(row.wasted_fraction, 3),
                   FormatInt(row.overlapped_rounds),
-                  FormatInt(row.max_in_flight),
                   FormatDouble(row.speedup, 2)});
   }
   table.Print(std::cout);
@@ -342,18 +467,22 @@ void RunPipelineLatencyReport(const std::string& json_path) {
     std::cerr << "pipeline: cannot open " << json_path << "\n";
     return;
   }
-  json << "{\"bench\": \"pipeline_round_latency\", \"n\": " << n
-       << ", \"u_n\": " << options.u_n
+  json << "{\"bench\": \"pipeline_round_latency\", \"version\": 2"
        << ", \"latency_base_micros\": " << platform_options.latency.base_micros
        << ", \"latency_jitter_micros\": "
        << platform_options.latency.jitter_micros << ", \"rows\": [";
   for (size_t i = 0; i < rows.size(); ++i) {
     const PipelineLatencyRow& row = rows[i];
-    json << (i == 0 ? "" : ", ") << "{\"mode\": \"" << row.mode
+    json << (i == 0 ? "" : ", ") << "{\"source\": \"" << row.source
+         << "\", \"mode\": \"" << row.mode
          << "\", \"depth\": " << row.depth << ", \"wall_ms\": " << row.wall_ms
          << ", \"logical_steps\": " << row.logical_steps
          << ", \"ms_per_step\": " << row.ms_per_step
-         << ", \"paid\": " << row.paid
+         << ", \"paid\": " << row.paid << ", \"wasted\": " << row.wasted
+         << ", \"spec_hits\": " << row.spec_hits
+         << ", \"spec_mispredicts\": " << row.spec_mispredicts
+         << ", \"hit_rate\": " << row.hit_rate
+         << ", \"wasted_fraction\": " << row.wasted_fraction
          << ", \"overlapped_rounds\": " << row.overlapped_rounds
          << ", \"max_in_flight\": " << row.max_in_flight
          << ", \"speedup\": " << row.speedup << "}";
@@ -370,9 +499,12 @@ void RunPipelineLatencyReport(const std::string& json_path) {
 // BM_Parallel* benchmark and --metrics turns the global metrics registry
 // on, to measure the instrumented path against the (default) disabled one.
 // --pipeline (or --pipeline_json=FILE) additionally runs the round-latency
-// report above and writes its machine-readable twin.
+// report above and writes its machine-readable twin; --pipeline_smoke runs
+// the same report at smoke sizes/latencies (for the ctest registration,
+// which exists to keep the report's bit-identity CHECKs exercised).
 int main(int argc, char** argv) {
   std::string pipeline_json;
+  bool pipeline_smoke = false;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -393,6 +525,11 @@ int main(int argc, char** argv) {
       pipeline_json = argv[i] + 16;
       continue;
     }
+    if (std::strcmp(argv[i], "--pipeline_smoke") == 0) {
+      pipeline_json = "BENCH_pipeline_smoke.json";
+      pipeline_smoke = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
   int filtered_argc = static_cast<int>(args.size());
@@ -403,7 +540,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!pipeline_json.empty()) {
-    crowdmax::RunPipelineLatencyReport(pipeline_json);
+    crowdmax::RunPipelineLatencyReport(pipeline_json, pipeline_smoke);
   }
   return 0;
 }

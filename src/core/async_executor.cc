@@ -28,7 +28,62 @@ Result<int64_t> AsyncBatchAdapter::SubmitBatchAsync(
 bool AsyncBatchAdapter::Ready(int64_t handle) const {
   auto it = pending_.find(handle);
   if (it == pending_.end()) return false;
+  if (!it->second.confirmed) return false;
   return std::chrono::steady_clock::now() >= it->second.deadline;
+}
+
+Result<int64_t> AsyncBatchAdapter::SubmitSpeculativeBatch() {
+  // Compute-at-confirm: nothing runs yet. Only the wall-clock start of
+  // the round trip is recorded; ConfirmBatch supplies the tasks (and all
+  // their deterministic effects) once the engine has validated the
+  // prediction this round was predicated on.
+  PendingBatch batch;
+  batch.confirmed = false;
+  batch.start = std::chrono::steady_clock::now();
+  const int64_t handle = next_handle_++;
+  pending_.emplace(handle, std::move(batch));
+  return handle;
+}
+
+Status AsyncBatchAdapter::ConfirmBatch(
+    int64_t handle, const std::vector<ComparisonPair>& tasks) {
+  auto it = pending_.find(handle);
+  if (it == pending_.end()) {
+    return Status::InvalidArgument(
+        "unknown or already-consumed async batch handle");
+  }
+  if (it->second.confirmed) {
+    return Status::FailedPrecondition(
+        "ConfirmBatch on a batch that is already confirmed");
+  }
+  // The deterministic half runs now — at the exact program point where
+  // the synchronous drive would have submitted this round — while the
+  // deadline is measured from the speculative start, overlapping the
+  // round trip with everything that ran in between.
+  it->second.result = executor_->TryExecuteBatch(tasks);
+  it->second.deadline =
+      it->second.start +
+      std::chrono::microseconds(executor_->TakeSimulatedLatencyMicros());
+  it->second.confirmed = true;
+  return Status::OK();
+}
+
+Result<int64_t> AsyncBatchAdapter::CancelBatch(int64_t handle) {
+  auto it = pending_.find(handle);
+  if (it == pending_.end()) {
+    return Status::InvalidArgument(
+        "unknown or already-consumed async batch handle");
+  }
+  int64_t refunded = 0;
+  if (it->second.confirmed && it->second.result.ok()) {
+    for (const BatchTaskResult& task : *it->second.result) {
+      if (task.answered) ++refunded;
+    }
+  }
+  pending_.erase(it);
+  ++cancelled_;
+  refunded_answers_ += refunded;
+  return refunded;
 }
 
 Result<std::vector<BatchTaskResult>> AsyncBatchAdapter::Wait(int64_t handle) {
@@ -36,6 +91,10 @@ Result<std::vector<BatchTaskResult>> AsyncBatchAdapter::Wait(int64_t handle) {
   if (it == pending_.end()) {
     return Status::InvalidArgument(
         "unknown or already-consumed async batch handle");
+  }
+  if (!it->second.confirmed) {
+    return Status::FailedPrecondition(
+        "Wait on a speculative batch that was never confirmed");
   }
   const auto now = std::chrono::steady_clock::now();
   if (now < it->second.deadline) {

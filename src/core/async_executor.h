@@ -19,6 +19,18 @@
 // deadline the Wait call sleeps out. Results, traces and counters are
 // therefore bit-identical to the synchronous drive; overlapping the
 // deadlines is pure wall-clock win.
+//
+// Speculative batches (DESIGN.md §15) invert the split: a speculative
+// submission records only the wall-clock *start* of the round trip and
+// defers every deterministic effect to ConfirmBatch, which the engine
+// calls once the prediction the round was predicated on has been
+// validated — i.e. at the exact program point where the synchronous
+// drive would have submitted the round. Confirmed batches are
+// indistinguishable from firm ones except that their deadline is
+// measured from the speculative start, which is where the wall-clock
+// win comes from. Mispredicted batches are cancelled before any compute
+// happens; CancelBatch also refunds already-computed (banked) answers
+// when the engine abandons firm rounds mid-drive.
 
 #ifndef CROWDMAX_CORE_ASYNC_EXECUTOR_H_
 #define CROWDMAX_CORE_ASYNC_EXECUTOR_H_
@@ -61,6 +73,40 @@ class AsyncBatchExecutor {
   /// pipelined engine reads paid/step counters from it — submission-time
   /// accounting makes those counters exact at any pipeline depth.
   virtual BatchExecutor* inner() = 0;
+
+  /// Opens a speculative batch: records the wall-clock start of a round
+  /// trip but runs nothing. The batch has no tasks and no deterministic
+  /// effects until ConfirmBatch supplies them; Wait on an unconfirmed
+  /// handle is a kFailedPrecondition and Ready reports false. Implementing
+  /// the speculative lifecycle is optional; the default refuses.
+  virtual Result<int64_t> SubmitSpeculativeBatch() {
+    return Status::FailedPrecondition(
+        "this AsyncBatchExecutor does not support speculative batches");
+  }
+
+  /// Fills in a speculative batch: runs the tasks now (all deterministic
+  /// effects land here, exactly where a firm submission would have put
+  /// them) and sets the deadline relative to the *speculative* start, so
+  /// the round trip overlaps whatever ran in between. Confirming twice,
+  /// or confirming a firm handle, is a kFailedPrecondition.
+  virtual Status ConfirmBatch(int64_t handle,
+                              const std::vector<ComparisonPair>& tasks) {
+    (void)handle;
+    (void)tasks;
+    return Status::FailedPrecondition(
+        "this AsyncBatchExecutor does not support speculative batches");
+  }
+
+  /// Discards a pending batch without waiting for it. For unconfirmed
+  /// speculative handles nothing was computed, so nothing is lost; for
+  /// firm or confirmed handles the already-computed answers are banked
+  /// work being thrown away — the count of answered tasks discarded is
+  /// returned so callers can account the refund. The handle is consumed.
+  virtual Result<int64_t> CancelBatch(int64_t handle) {
+    (void)handle;
+    return Status::FailedPrecondition(
+        "this AsyncBatchExecutor does not support batch cancellation");
+  }
 };
 
 /// Wraps any BatchExecutor (platform adapters, the resilient retry/quorum
@@ -83,22 +129,37 @@ class AsyncBatchAdapter : public AsyncBatchExecutor {
   bool Ready(int64_t handle) const override;
   Result<std::vector<BatchTaskResult>> Wait(int64_t handle) override;
   BatchExecutor* inner() override { return executor_; }
+  Result<int64_t> SubmitSpeculativeBatch() override;
+  Status ConfirmBatch(int64_t handle,
+                      const std::vector<ComparisonPair>& tasks) override;
+  Result<int64_t> CancelBatch(int64_t handle) override;
 
   /// Batches submitted / collected so far (counts both success and
   /// failure results; diagnostics only).
   int64_t submitted() const { return next_handle_; }
   int64_t collected() const { return collected_; }
+  /// Batches cancelled and answered tasks refunded by CancelBatch
+  /// (diagnostics only).
+  int64_t cancelled() const { return cancelled_; }
+  int64_t refunded_answers() const { return refunded_answers_; }
 
  private:
   struct PendingBatch {
     Result<std::vector<BatchTaskResult>> result{std::vector<BatchTaskResult>()};
     std::chrono::steady_clock::time_point deadline;
+    // Speculative lifecycle: `start` is stamped at SubmitSpeculativeBatch
+    // and turned into a deadline by ConfirmBatch; firm submissions are
+    // born confirmed.
+    std::chrono::steady_clock::time_point start;
+    bool confirmed = true;
   };
 
   BatchExecutor* const executor_;
   std::map<int64_t, PendingBatch> pending_;
   int64_t next_handle_ = 0;
   int64_t collected_ = 0;
+  int64_t cancelled_ = 0;
+  int64_t refunded_answers_ = 0;
 };
 
 }  // namespace crowdmax

@@ -131,6 +131,25 @@ class BatchExecutor {
   /// Comparisons executed so far (cache-free; callers batch only misses).
   int64_t comparisons() const { return comparisons_; }
 
+  /// Comparisons bought for speculative rounds that were cancelled before
+  /// executing (DESIGN.md §15). The pipelined engine charges the tasks a
+  /// mispredicted round would have sent — crowd workers were reserved for
+  /// them — so comparisons() reflects the true bill; this counter keeps the
+  /// wasted share first-class instead of folding it silently into the paid
+  /// tally: comparisons() - cancelled_comparisons() equals the synchronous
+  /// drive's spend.
+  int64_t cancelled_comparisons() const { return cancelled_comparisons_; }
+
+  /// Charges `count` comparisons of cancelled speculative work (engine
+  /// use). The spend lands in both comparisons() and
+  /// cancelled_comparisons(); trace cells are untouched — cancelled tasks
+  /// were never dispatched, and MetricsAuditor::ExpectDispatchedWithCancelled
+  /// reconciles the difference.
+  void ChargeCancelledSpeculation(int64_t count) {
+    comparisons_ += count;
+    cancelled_comparisons_ += count;
+  }
+
   /// Zeroes the step/comparison counters. Virtual so that decorators and
   /// adapters can reset (or snapshot) their own accounting alongside —
   /// e.g. PlatformBatchExecutor snapshots the shared platform's vote and
@@ -138,6 +157,7 @@ class BatchExecutor {
   virtual void ResetCounters() {
     logical_steps_ = 0;
     comparisons_ = 0;
+    cancelled_comparisons_ = 0;
   }
 
   /// The fault/recovery report of this executor, or nullptr for executors
@@ -201,6 +221,7 @@ class BatchExecutor {
 
   int64_t logical_steps_ = 0;
   int64_t comparisons_ = 0;
+  int64_t cancelled_comparisons_ = 0;
 };
 
 /// Adapts any Comparator to the batch interface: answers are produced
@@ -329,6 +350,20 @@ Result<BatchedMaxFindResult> BatchedTwoMaxFind(
     const std::vector<ElementId>& items, BatchExecutor* executor,
     SharedPairCache* shared_cache = nullptr, int64_t cache_class = 1);
 
+/// 2-MaxFind on a pipelined engine. With `engine_options.speculate` set the
+/// source issues each round's elimination scan while its sample tournament
+/// is still in flight, predicated on the predicted pivot (DESIGN.md §15);
+/// results, traces and paid counters are bit-identical to BatchedTwoMaxFind
+/// over the same executor stack — only wall clock and the engine's
+/// speculation counters differ. Speculation is ignored on budget-gated
+/// drives (none here) and costs nothing when the prediction always misses
+/// beyond the tracked `speculation_wasted` charge.
+Result<BatchedMaxFindResult> PipelinedTwoMaxFind(
+    const std::vector<ElementId>& items, AsyncBatchExecutor* async,
+    const BatchedPipelineOptions& pipeline = {},
+    const TwoMaxFindEngineOptions& engine_options = {},
+    SharedPairCache* shared_cache = nullptr, int64_t cache_class = 1);
+
 /// Two-phase result plus per-class logical steps and fault accounting.
 struct BatchedExpertMaxResult {
   ExpertMaxResult result;
@@ -385,6 +420,17 @@ Result<BatchedTopKResult> BatchedFindTopKWithExperts(
     const std::vector<ElementId>& items, BatchExecutor* naive,
     BatchExecutor* expert, const TopKOptions& options);
 
+/// Top-k on pipelined engines: the filter phase overlaps its disjoint
+/// groups (set FilterOptions::pipeline_groups in options.filter) and the
+/// expert all-play-all overlaps its chunks when
+/// TopKOptions::expert_chunk_pairs > 0. Results are bit-identical to
+/// BatchedFindTopKWithExperts over the same executor stacks with the same
+/// options; only wall clock differs.
+Result<BatchedTopKResult> PipelinedFindTopKWithExperts(
+    const std::vector<ElementId>& items, AsyncBatchExecutor* naive,
+    AsyncBatchExecutor* expert, const TopKOptions& options,
+    const BatchedPipelineOptions& pipeline = {});
+
 /// One worker class of the batched cascade: multilevel.h semantics with a
 /// BatchExecutor (and its fault stack) in place of the raw Comparator.
 struct BatchedWorkerClassSpec {
@@ -416,6 +462,30 @@ Result<BatchedMultilevelResult> BatchedFindMaxMultilevel(
     const std::vector<ElementId>& items,
     const std::vector<BatchedWorkerClassSpec>& classes,
     const MultilevelOptions& options);
+
+/// One worker class of the pipelined cascade: BatchedWorkerClassSpec with
+/// an async executor in place of the synchronous one.
+struct PipelinedWorkerClassSpec {
+  /// Async executor backed by this class's workers (not owned).
+  AsyncBatchExecutor* async = nullptr;
+  /// u_k for this class's filter level (ignored for the last class).
+  int64_t u = 1;
+  /// Price per comparison, for cost reporting.
+  double cost_per_comparison = 1.0;
+};
+
+/// The worker-class cascade on pipelined engines: filter levels overlap
+/// their disjoint groups (set FilterOptions::pipeline_groups in
+/// options.filter_template), and the final phase overlaps per
+/// MultilevelOptions::final_chunk_pairs / final_speculate (DESIGN.md §15).
+/// Results are bit-identical to BatchedFindMaxMultilevel over the same
+/// executor stacks with the same options; only wall clock and the engines'
+/// speculation counters differ.
+Result<BatchedMultilevelResult> PipelinedFindMaxMultilevel(
+    const std::vector<ElementId>& items,
+    const std::vector<PipelinedWorkerClassSpec>& classes,
+    const MultilevelOptions& options,
+    const BatchedPipelineOptions& pipeline = {});
 
 }  // namespace crowdmax
 

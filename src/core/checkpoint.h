@@ -37,7 +37,7 @@ namespace crowdmax {
 
 /// First 8 bytes of every checkpoint: magic then format version.
 inline constexpr uint32_t kCheckpointMagic = 0x504B4D43;  // "CMKP" in LE
-inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// Four-character section tag, e.g. CheckpointTag("ENG "). Tags delimit the
 /// sections of a checkpoint so a reader that drifts out of sync fails with

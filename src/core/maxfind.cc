@@ -63,8 +63,11 @@ int64_t TallyAllPlayAll(const std::vector<ElementId>& group,
 // closes on the scan round.
 class TwoMaxFindSource : public RoundSource {
  public:
-  TwoMaxFindSource(const std::vector<ElementId>& items, bool partial_evidence)
-      : partial_evidence_(partial_evidence), candidates_(items) {
+  TwoMaxFindSource(const std::vector<ElementId>& items, bool partial_evidence,
+                   bool speculate)
+      : partial_evidence_(partial_evidence),
+        speculate_(speculate),
+        candidates_(items) {
     const int64_t s = static_cast<int64_t>(items.size());
     k_ = CeilSqrt(s);
     // Without memoization an inconsistent answer stream can stall the
@@ -104,6 +107,7 @@ class TwoMaxFindSource : public RoundSource {
         round->units.push_back(std::move(unit));
         round->executor_span = "sample";
         round->open_round_executor = result_.rounds + 1;
+        awaiting_sample_ = true;
         return true;
       }
       case Phase::kScan: {
@@ -146,6 +150,7 @@ class TwoMaxFindSource : public RoundSource {
     switch (phase_) {
       case Phase::kSample: {
         ++result_.rounds;
+        awaiting_sample_ = false;
         std::vector<int64_t> wins;
         sample_unresolved_ = TallyAllPlayAll(sample_, outcome.winners[0], &wins);
         sample_fault_ = outcome.fault;
@@ -230,6 +235,51 @@ class TwoMaxFindSource : public RoundSource {
     return Status::Internal("unreachable");
   }
 
+  // Speculation (DESIGN.md §15): while a sample tournament is in flight,
+  // predict its winner and emit the elimination scan against that pivot.
+  // The prediction is the lowest-indexed sample member — the sample is the
+  // candidate prefix, so callers ordering candidates by prior strength
+  // (phase-1 win counts) make it a strong guess, while
+  // AdversarialPolicy::kFirstLoses (sample_[0] is always the first
+  // argument, so it always loses) drives the hit rate to zero — the
+  // misprediction-accounting worst case.
+  bool CanSpeculateNextRound() const override {
+    return speculate_ && awaiting_sample_ && !spec_outstanding_;
+  }
+
+  Result<bool> SpeculateNextRound(EngineRound* round) override {
+    CROWDMAX_CHECK(CanSpeculateNextRound());
+    predicted_pivot_ = sample_.front();
+    RoundUnit unit;
+    unit.pairs.reserve(candidates_.size());
+    for (ElementId y : candidates_) {
+      if (y != predicted_pivot_) unit.pairs.push_back({predicted_pivot_, y});
+    }
+    round->units.push_back(std::move(unit));
+    round->executor_span = "scan";
+    round->close_round_executor = true;
+    spec_outstanding_ = true;
+    return true;
+  }
+
+  SpeculationVerdict ReconcileSpeculation() override {
+    CROWDMAX_CHECK(spec_outstanding_);
+    if (predicted_pivot_ == pivot_) {
+      spec_outstanding_ = false;
+      predicted_pivot_ = -1;
+      return SpeculationVerdict::kConfirmed;
+    }
+    return SpeculationVerdict::kMispredicted;
+  }
+
+  void OnSpeculationAborted() override {
+    // The phase machine never advanced on speculation, so dropping the
+    // prediction is the whole rollback; NextRound re-emits the scan with
+    // the true pivot.
+    spec_outstanding_ = false;
+    predicted_pivot_ = -1;
+  }
+
   MaxFindEngineRun Finish(int64_t paid_delta) {
     MaxFindEngineRun run;
     result_.paid_comparisons = paid_delta;
@@ -257,6 +307,13 @@ class TwoMaxFindSource : public RoundSource {
     writer->WriteBool(partial_);
     writer->WriteStatus(fault_status_);
     writer->WriteIdVector(survivors_);
+    // Speculation bookkeeping. Checkpoints are cut at quiescent
+    // boundaries (no round in flight), so these are always the rest
+    // values; they are serialized anyway so the state invariant is "the
+    // whole source", not "the fields that happen to matter".
+    writer->WriteBool(awaiting_sample_);
+    writer->WriteBool(spec_outstanding_);
+    writer->WriteI64(predicted_pivot_);
     return Status::OK();
   }
 
@@ -277,6 +334,9 @@ class TwoMaxFindSource : public RoundSource {
     partial_ = reader->ReadBool();
     fault_status_ = reader->ReadStatus();
     reader->ReadIdVector(&survivors_);
+    awaiting_sample_ = reader->ReadBool();
+    spec_outstanding_ = reader->ReadBool();
+    predicted_pivot_ = static_cast<ElementId>(reader->ReadI64());
     return reader->status();
   }
 
@@ -284,6 +344,7 @@ class TwoMaxFindSource : public RoundSource {
   enum class Phase { kSample, kScan, kFinal, kDone };
 
   const bool partial_evidence_;
+  const bool speculate_;
   std::vector<ElementId> candidates_;
   int64_t k_ = 0;
   int64_t max_rounds_ = 0;
@@ -296,6 +357,11 @@ class TwoMaxFindSource : public RoundSource {
   bool partial_ = false;
   Status fault_status_ = Status::OK();
   std::vector<ElementId> survivors_;
+  // True between a sample round's emission and its consumption — the only
+  // window in which the follow-up scan is predictable.
+  bool awaiting_sample_ = false;
+  bool spec_outstanding_ = false;
+  ElementId predicted_pivot_ = -1;
 };
 
 // Algorithm 5 as a round generator. Each elimination round draws the
@@ -309,6 +375,7 @@ class RandomizedMaxFindSource : public RoundSource {
                           const RandomizedMaxFindOptions& options,
                           bool partial_evidence)
       : partial_evidence_(partial_evidence),
+        pipeline_groups_(options.pipeline_groups),
         rng_(options.seed),
         survivors_(items) {
     const int64_t s = static_cast<int64_t>(items.size());
@@ -321,6 +388,18 @@ class RandomizedMaxFindSource : public RoundSource {
 
   Result<bool> NextRound(EngineRound* round) override {
     if (done_) return false;
+    if (pipeline_groups_ && next_emit_group_ < groups_.size()) {
+      // Mid logical round: the witness sample, shuffle and partition were
+      // all drawn at the first group's emission, so the remaining groups
+      // are fully determined — each one becomes its own engine round.
+      EmitGroup(groups_[next_emit_group_], round);
+      ++next_emit_group_;
+      return true;
+    }
+    // Logical-round boundary: grouped emission must have been fully
+    // consumed (the barrier resets the cursors and clears the partition).
+    CROWDMAX_CHECK(!pipeline_groups_ ||
+                   (groups_.empty() && next_emit_group_ == 0));
     if (final_pending_ ||
         static_cast<double>(survivors_.size()) < threshold_ ||
         survivors_.size() <= 1) {
@@ -366,20 +445,33 @@ class RandomizedMaxFindSource : public RoundSource {
                              survivors_.begin() + end);
       }
     }
+    if (pipeline_groups_) {
+      // Survivors >= 2 here, so the partition always yields at least one
+      // group of >= 2 elements.
+      CROWDMAX_CHECK(!groups_.empty());
+      round_next_.clear();
+      round_next_.reserve(survivors_.size());
+      round_unresolved_ = 0;
+      round_fault_ = Status::OK();
+      next_consume_group_ = 0;
+      EmitGroup(groups_[0], round);
+      next_emit_group_ = 1;
+      return true;
+    }
     round->units.reserve(groups_.size());
     for (const std::vector<ElementId>& group : groups_) {
-      RoundUnit unit;
-      unit.serial_span = "all_play_all";
-      unit.serial_span_size = static_cast<int64_t>(group.size());
-      unit.pairs.reserve(group.size() * (group.size() - 1) / 2);
-      for (size_t i = 0; i < group.size(); ++i) {
-        for (size_t j = i + 1; j < group.size(); ++j) {
-          unit.pairs.push_back({group[i], group[j]});
-        }
-      }
-      round->units.push_back(std::move(unit));
+      EmitGroup(group, round);
     }
     return true;
+  }
+
+  // A logical round's groups are pairwise disjoint, so once the first is
+  // in flight the rest may follow without waiting (firm pipelining).
+  // Starting the *next* logical round needs this one's survivor set, so
+  // the cursor stops at the partition edge.
+  bool CanPipelineNextRound() const override {
+    return pipeline_groups_ && !done_ && !in_final_ &&
+           next_emit_group_ > 0 && next_emit_group_ < groups_.size();
   }
 
   Status ConsumeOutcome(const EngineRound& /*round*/,
@@ -405,6 +497,58 @@ class RandomizedMaxFindSource : public RoundSource {
         run_survivors_ = finalists_;
       }
       done_ = true;
+      return Status::OK();
+    }
+
+    if (pipeline_groups_) {
+      // One group per engine round: accumulate this group's verdict and
+      // apply the logical-round barrier when the last group lands.
+      const std::vector<ElementId>& group = groups_[next_consume_group_];
+      std::vector<int64_t> wins;
+      const int64_t unresolved =
+          TallyAllPlayAll(group, outcome.winners[0], &wins);
+      round_unresolved_ += unresolved;
+      if (round_fault_.ok() && !outcome.fault.ok()) {
+        round_fault_ = outcome.fault;
+      }
+      if (unresolved > 0) {
+        round_next_.insert(round_next_.end(), group.begin(), group.end());
+      } else {
+        TournamentResult tournament;
+        tournament.wins = std::move(wins);
+        const size_t minimal = IndexOfFewestWins(tournament);
+        for (size_t i = 0; i < group.size(); ++i) {
+          if (i != minimal) round_next_.push_back(group[i]);
+        }
+      }
+      ++next_consume_group_;
+      if (next_consume_group_ < groups_.size()) return Status::OK();
+
+      // Logical-round barrier (lines 5-6 take effect together).
+      ++result_.rounds;
+      round_next_.insert(round_next_.end(), passthrough_.begin(),
+                         passthrough_.end());
+      if (round_next_.size() >= survivors_.size()) {
+        CROWDMAX_CHECK(partial_evidence_);
+        CROWDMAX_CHECK(round_unresolved_ > 0 || !round_fault_.ok());
+        partial_ = true;
+        fault_status_ =
+            !round_fault_.ok()
+                ? round_fault_
+                : Status::Unavailable(
+                      "randomized elimination round made no progress: " +
+                      std::to_string(round_unresolved_) +
+                      " comparisons unresolved after executor recovery");
+        final_pending_ = true;
+      }
+      survivors_ = std::move(round_next_);
+      round_next_.clear();
+      groups_.clear();
+      passthrough_.clear();
+      next_emit_group_ = 0;
+      next_consume_group_ = 0;
+      round_unresolved_ = 0;
+      round_fault_ = Status::OK();
       return Status::OK();
     }
 
@@ -488,6 +632,14 @@ class RandomizedMaxFindSource : public RoundSource {
     writer->WriteBool(partial_);
     writer->WriteStatus(fault_status_);
     writer->WriteIdVector(run_survivors_);
+    // Grouped-emission cursors and the partially-built survivor set:
+    // with pipeline_groups the engine checkpoints between *group* rounds,
+    // i.e. mid logical round, so these carry real state.
+    writer->WriteI64(static_cast<int64_t>(next_emit_group_));
+    writer->WriteI64(static_cast<int64_t>(next_consume_group_));
+    writer->WriteIdVector(round_next_);
+    writer->WriteI64(round_unresolved_);
+    writer->WriteStatus(round_fault_);
     return Status::OK();
   }
 
@@ -515,11 +667,31 @@ class RandomizedMaxFindSource : public RoundSource {
     partial_ = reader->ReadBool();
     fault_status_ = reader->ReadStatus();
     reader->ReadIdVector(&run_survivors_);
+    next_emit_group_ = static_cast<size_t>(reader->ReadI64());
+    next_consume_group_ = static_cast<size_t>(reader->ReadI64());
+    reader->ReadIdVector(&round_next_);
+    round_unresolved_ = reader->ReadI64();
+    round_fault_ = reader->ReadStatus();
     return reader->status();
   }
 
  private:
+  static void EmitGroup(const std::vector<ElementId>& group,
+                        EngineRound* round) {
+    RoundUnit unit;
+    unit.serial_span = "all_play_all";
+    unit.serial_span_size = static_cast<int64_t>(group.size());
+    unit.pairs.reserve(group.size() * (group.size() - 1) / 2);
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        unit.pairs.push_back({group[i], group[j]});
+      }
+    }
+    round->units.push_back(std::move(unit));
+  }
+
   const bool partial_evidence_;
+  const bool pipeline_groups_;
   Rng rng_;
   std::vector<ElementId> survivors_;
   double threshold_ = 0.0;
@@ -536,6 +708,14 @@ class RandomizedMaxFindSource : public RoundSource {
   bool partial_ = false;
   Status fault_status_ = Status::OK();
   std::vector<ElementId> run_survivors_;
+  // Grouped emission (pipeline_groups): emit/consume cursors over the
+  // current partition, plus the survivor set under construction and the
+  // evidence tallies the barrier needs.
+  size_t next_emit_group_ = 0;
+  size_t next_consume_group_ = 0;
+  std::vector<ElementId> round_next_;
+  int64_t round_unresolved_ = 0;
+  Status round_fault_ = Status::OK();
 };
 
 Status ValidateRandomizedOptions(const RandomizedMaxFindOptions& options) {
@@ -569,16 +749,23 @@ Result<MaxFindResult> AllPlayAllMax(const std::vector<ElementId>& items,
 }
 
 Result<MaxFindEngineRun> RunTwoMaxFindOnEngine(
-    const std::vector<ElementId>& items, RoundEngine* engine) {
+    const std::vector<ElementId>& items, RoundEngine* engine,
+    const TwoMaxFindEngineOptions& options) {
   CROWDMAX_CHECK(engine != nullptr);
   Status status = ValidateItems(items);
   if (!status.ok()) return status;
 
-  TwoMaxFindSource source(items, engine->SupportsPartialEvidence());
+  TwoMaxFindSource source(items, engine->SupportsPartialEvidence(),
+                          options.speculate);
   const int64_t paid_before = engine->paid();
+  const int64_t wasted_before = engine->speculation_wasted();
   Result<DriveResult> drive = engine->Drive(&source);
   if (!drive.ok()) return drive.status();
-  return source.Finish(engine->paid() - paid_before);
+  // Mispredicted speculative spend is reported on the engine's
+  // speculation_wasted counter, never in paid_comparisons — the result is
+  // numerically identical to the sync drive's.
+  return source.Finish((engine->paid() - paid_before) -
+                       (engine->speculation_wasted() - wasted_before));
 }
 
 Result<MaxFindResult> TwoMaxFind(const std::vector<ElementId>& items,
@@ -614,9 +801,11 @@ Result<MaxFindEngineRun> RunRandomizedMaxFindOnEngine(
   RandomizedMaxFindSource source(items, options,
                                  engine->SupportsPartialEvidence());
   const int64_t paid_before = engine->paid();
+  const int64_t wasted_before = engine->speculation_wasted();
   Result<DriveResult> drive = engine->Drive(&source);
   if (!drive.ok()) return drive.status();
-  return source.Finish(engine->paid() - paid_before);
+  return source.Finish((engine->paid() - paid_before) -
+                       (engine->speculation_wasted() - wasted_before));
 }
 
 Result<MaxFindResult> RandomizedMaxFind(

@@ -90,6 +90,15 @@ struct RandomizedMaxFindOptions {
   /// If positive, overrides the 80*(c+2) group size — used by ablation
   /// benches to show the cost/accuracy effect of the constant.
   int64_t group_size_override = 0;
+
+  /// Emit each elimination group as its own engine round instead of one
+  /// round carrying every group as a unit. The groups of one logical round
+  /// are pairwise disjoint, so a pipelined engine can keep several group
+  /// round trips in flight (CanPipelineNextRound); elimination decisions
+  /// still wait for the whole logical round (the witness sample and
+  /// shuffle are drawn once, at the first group's emission). Results are
+  /// identical either way; only the round-trip overlap differs.
+  bool pipeline_groups = false;
 };
 
 /// Algorithm 5: the randomized linear-comparison max-finder. Maintains a
@@ -117,11 +126,25 @@ struct MaxFindEngineRun {
   std::vector<ElementId> survivors;
 };
 
+/// Options for RunTwoMaxFindOnEngine beyond the plain sync drive.
+struct TwoMaxFindEngineOptions {
+  /// Predict each sample tournament's pivot and speculatively issue the
+  /// elimination scan before the sample's answers arrive (DESIGN.md §15).
+  /// The predicted pivot is the lowest-indexed sample member, so callers
+  /// that order candidates by prior strength (e.g. phase-1 win counts)
+  /// get a high hit rate. Only a pipelined engine consults the hooks;
+  /// results, traces and paid counters are bit-identical to the sync
+  /// drive either way — mispredictions surface only as
+  /// `speculation_wasted` spend on the engine.
+  bool speculate = false;
+};
+
 /// Algorithm 3 (2-MaxFind) as a RoundSource on `engine` (any backend). The
 /// engine owns memoization and dispatch; `TwoMaxFind` and
 /// `BatchedTwoMaxFind` are thin wrappers over this.
 Result<MaxFindEngineRun> RunTwoMaxFindOnEngine(
-    const std::vector<ElementId>& items, RoundEngine* engine);
+    const std::vector<ElementId>& items, RoundEngine* engine,
+    const TwoMaxFindEngineOptions& options = {});
 
 /// Algorithm 5 as a RoundSource on `engine` (any backend). A group with an
 /// unresolved pair eliminates nobody (no eviction without evidence); a

@@ -51,6 +51,15 @@ struct MultilevelOptions {
   /// previous run's same level resolved for free. kRandomized finals run
   /// unmemoized and never share. Not owned; must outlive the call.
   SharedPairCache* shared_cache = nullptr;
+
+  /// Pipelining shape for the final class (consulted only when the final
+  /// engine is pipelined; sync drives are unaffected). For a kTwoMaxFind
+  /// final, enables speculative elimination scans
+  /// (TwoMaxFindEngineOptions::speculate); for a kAllPlayAll final, splits
+  /// the tournament into chunks of at most `final_chunk_pairs` pairs
+  /// (TournamentEngineOptions::chunk_pairs, 0 = single round).
+  bool final_speculate = false;
+  int64_t final_chunk_pairs = 0;
 };
 
 /// Execution record of the cascade.

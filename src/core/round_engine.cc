@@ -53,6 +53,19 @@ void ObservePipelineDepth(int64_t in_flight) {
   if (in_flight > depth->value()) depth->Set(in_flight);
 }
 
+void ObserveSpeculation(int64_t hits, int64_t mispredicts, int64_t wasted) {
+  if (!MetricsEnabled()) return;
+  static Counter* hit_counter = MetricsRegistry::Default()->GetCounter(
+      "crowdmax.speculation.hits");
+  static Counter* miss_counter = MetricsRegistry::Default()->GetCounter(
+      "crowdmax.speculation.mispredicts");
+  static Counter* wasted_counter = MetricsRegistry::Default()->GetCounter(
+      "crowdmax.speculation.wasted_comparisons");
+  if (hits > 0) hit_counter->Add(hits);
+  if (mispredicts > 0) miss_counter->Add(mispredicts);
+  if (wasted > 0) wasted_counter->Add(wasted);
+}
+
 }  // namespace
 
 int64_t SharedPairCache::ResolvedPairs(int64_t class_id) const {
@@ -161,6 +174,12 @@ Status RoundSource::LoadState(CheckpointReader* /*reader*/) {
       "this RoundSource does not support checkpointing");
 }
 
+Result<bool> RoundSource::SpeculateNextRound(EngineRound* /*round*/) {
+  return Status::FailedPrecondition(
+      "this RoundSource advertised CanSpeculateNextRound but does not "
+      "implement SpeculateNextRound");
+}
+
 Result<std::string> RoundEngine::SerializeCheckpoint(
     const RoundSource* source, int64_t paid_start,
     const DriveResult& drive) const {
@@ -175,6 +194,14 @@ Result<std::string> RoundEngine::SerializeCheckpoint(
   writer.WriteI64(cache_hits_);
   writer.WriteI64(overlapped_rounds_);
   writer.WriteI64(max_in_flight_observed_);
+  // Speculation counters (DESIGN.md §15). Checkpoints happen only at
+  // fully-drained boundaries, where no speculative round can be in flight
+  // (confirmation turns them firm, cancellation empties the window), so
+  // the counters are the only speculation state the engine owns here.
+  writer.WriteI64(speculative_rounds_);
+  writer.WriteI64(speculation_hits_);
+  writer.WriteI64(speculation_mispredicts_);
+  writer.WriteI64(speculation_wasted_);
   writer.WriteRngState(seeder_.state());
   // At a clean boundary the cache holds winners and kUnresolvedWinner
   // parkings only — never a -1 in-flight reservation.
@@ -206,6 +233,10 @@ Status RoundEngine::RestoreCheckpoint(RoundSource* source,
   cache_hits_ = reader.ReadI64();
   overlapped_rounds_ = reader.ReadI64();
   max_in_flight_observed_ = reader.ReadI64();
+  speculative_rounds_ = reader.ReadI64();
+  speculation_hits_ = reader.ReadI64();
+  speculation_mispredicts_ = reader.ReadI64();
+  speculation_wasted_ = reader.ReadI64();
   seeder_.set_state(reader.ReadRngState());
   reader.ExpectTag(kCacheTag);
   LoadPairTable(&reader, cache_);
@@ -250,11 +281,12 @@ Result<RoundOutcome> RoundEngine::ExecuteSerial(const EngineRound& round) {
   VoteBatchComparator* batch =
       batch_generation_ ? comparator_->AsVoteBatch() : nullptr;
 
-  // Batch-path scratch, reused across units (empty when batch == nullptr).
-  std::vector<ComparisonPair> misses;
-  std::vector<size_t> miss_at;      // pair index each miss answers
-  std::vector<ElementId> answers;   // GenerateVotes output
-  std::vector<size_t> deferred;     // in-unit duplicates of a reserved pair
+  // Batch-path scratch, engine-owned and reused across units *and* rounds
+  // (empty when batch == nullptr): steady-state rounds allocate nothing.
+  std::vector<ComparisonPair>& misses = serial_misses_;
+  std::vector<size_t>& miss_at = serial_miss_at_;  // pair index per miss
+  std::vector<ElementId>& answers = serial_answers_;  // GenerateVotes output
+  std::vector<size_t>& deferred = serial_deferred_;  // in-unit duplicates
 
   for (size_t u = 0; u < round.units.size(); ++u) {
     const RoundUnit& unit = round.units[u];
@@ -369,6 +401,14 @@ Result<RoundOutcome> RoundEngine::ExecuteParallel(const EngineRound& round) {
     seeds[static_cast<size_t>(u)] = seeder_.Fork();
   }
 
+  // Engine-owned per-unit scratch, reused across rounds: each pool task
+  // touches only its own slot (indexed by unit), so the buffers stay
+  // fork-local and race-free. Grown, never shrunk, so steady-state rounds
+  // allocate nothing.
+  if (unit_scratch_.size() < round.units.size()) {
+    unit_scratch_.resize(round.units.size());
+  }
+
   // During the round the cache is read-only shared state; each task
   // writes only to its own pre-sized winners slot.
   std::vector<int64_t> unit_paid(round.units.size(), 0);
@@ -389,7 +429,9 @@ Result<RoundOutcome> RoundEngine::ExecuteParallel(const EngineRound& round) {
       // so the miss list is simply every pair absent from the snapshot,
       // duplicates included, in pair order.
       winners.resize(unit.pairs.size());
-      std::vector<ComparisonPair> misses;
+      UnitScratch& scratch = unit_scratch_[static_cast<size_t>(u)];
+      std::vector<ComparisonPair>& misses = scratch.misses;
+      misses.clear();
       misses.reserve(unit.pairs.size());
       for (const ComparisonPair& pair : unit.pairs) {
         const ElementId* slot =
@@ -401,7 +443,8 @@ Result<RoundOutcome> RoundEngine::ExecuteParallel(const EngineRound& round) {
           misses.push_back(pair);
         }
       }
-      std::vector<ElementId> answers(misses.size());
+      std::vector<ElementId>& answers = scratch.answers;
+      answers.assign(misses.size(), -1);
       const int64_t produced = batch->GenerateVotes(misses, answers);
       CROWDMAX_CHECK(produced == static_cast<int64_t>(misses.size()));
       size_t cursor = 0;
@@ -477,7 +520,8 @@ Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
 
   RoundOutcome out;
   out.winners.resize(round.units.size());
-  std::vector<ComparisonPair> queries;
+  std::vector<ComparisonPair>& queries = round_queries_;
+  queries.clear();
   queries.reserve(static_cast<size_t>(round.TotalPairs()));
   for (const RoundUnit& unit : round.units) {
     queries.insert(queries.end(), unit.pairs.begin(), unit.pairs.end());
@@ -497,7 +541,8 @@ Result<RoundOutcome> RoundEngine::ExecuteBatched(const EngineRound& round) {
   // within one round is sent once: the first occurrence reserves its slot
   // with -1, overwritten with the real winner (or parked kUnresolvedWinner)
   // below.
-  std::vector<ComparisonPair> misses;
+  std::vector<ComparisonPair>& misses = round_misses_;
+  misses.clear();
   misses.reserve(queries.size());
   for (const ComparisonPair& q : queries) {
     const uint64_t key = PackPairKey(q.first, q.second);
@@ -659,23 +704,31 @@ Result<DriveResult> RoundEngine::Drive(RoundSource* source,
 
 // One pipelined round between submission and completion. `out` already
 // carries the submission-time halves (issued, paid_delta, cache hits
-// recorded); completion fills winners/unresolved/fault.
+// recorded); completion fills winners/unresolved/fault. A speculative
+// round sits in the window with only `round`, `handle` (an unconfirmed
+// speculative handle) and `source_round_index` filled in — its
+// deterministic halves run at confirmation, when SubmitPipelined is
+// invoked on it a second time.
 struct RoundEngine::PendingRound {
   EngineRound round;
   int64_t handle = -1;
   std::vector<ComparisonPair> misses;
   RoundOutcome out;
   bool close_round = false;
+  bool speculative = false;
+  /// Emission ordinal of this round within the drive (rounds consumed +
+  /// position in the in-flight window at emission), for diagnostics.
+  int64_t source_round_index = 0;
 };
 
-Status RoundEngine::SubmitPipelined(EngineRound round, PendingRound* pending) {
-  pending->round = std::move(round);
+Status RoundEngine::SubmitPipelined(PendingRound* pending) {
   const EngineRound& r = pending->round;
   if (r.clear_round_cache) cache_->Clear();  // Drive drained first.
 
   RoundOutcome& out = pending->out;
   out.winners.resize(r.units.size());
-  std::vector<ComparisonPair> queries;
+  std::vector<ComparisonPair>& queries = round_queries_;
+  queries.clear();
   queries.reserve(static_cast<size_t>(r.TotalPairs()));
   for (const RoundUnit& unit : r.units) {
     queries.insert(queries.end(), unit.pairs.begin(), unit.pairs.end());
@@ -704,8 +757,12 @@ Status RoundEngine::SubmitPipelined(EngineRound round, PendingRound* pending) {
     if (slot != nullptr && *slot == -1 && reserved_here.count(key) == 0) {
       if (span_id >= 0) trace->EndSpan(span_id);
       return Status::Internal(
-          "pipelined round depends on a pair still in flight; the "
-          "RoundSource violated the CanPipelineNextRound disjointness rule");
+          "pipelined round depends on a pair still in flight (RoundPairKey " +
+          std::to_string(key) + " = {" + std::to_string(q.first) + ", " +
+          std::to_string(q.second) + "}, source round index " +
+          std::to_string(pending->source_round_index) +
+          "); the RoundSource violated the CanPipelineNextRound "
+          "disjointness rule");
     }
     if (slot == nullptr || *slot == kUnresolvedWinner) {
       misses.push_back(q);
@@ -724,16 +781,31 @@ Status RoundEngine::SubmitPipelined(EngineRound round, PendingRound* pending) {
   // here (identical RNG draws, counters, transcript rows and trace cells
   // to the non-pipelined path) and banks only the latency. paid_delta is
   // therefore final at submission, which is what keeps the budget gate and
-  // every counter bit-identical to the serial drive.
-  Result<int64_t> handle = async_->SubmitBatchAsync(misses);
-  if (!handle.ok()) {
-    for (const ComparisonPair& m : misses) {
-      cache_->Set(PackPairKey(m.first, m.second), kUnresolvedWinner);
+  // every counter bit-identical to the serial drive. A speculative round
+  // being confirmed already holds its handle: the same deterministic half
+  // runs now — at the exact point the synchronous drive would have
+  // submitted it — and the adapter back-dates the deadline to the
+  // speculative start, which is the whole wall-clock win.
+  if (pending->handle >= 0) {
+    Status confirmed = async_->ConfirmBatch(pending->handle, misses);
+    if (!confirmed.ok()) {
+      for (const ComparisonPair& m : misses) {
+        cache_->Set(PackPairKey(m.first, m.second), kUnresolvedWinner);
+      }
+      if (span_id >= 0) trace->EndSpan(span_id);
+      return confirmed;
     }
-    if (span_id >= 0) trace->EndSpan(span_id);
-    return handle.status();
+  } else {
+    Result<int64_t> handle = async_->SubmitBatchAsync(misses);
+    if (!handle.ok()) {
+      for (const ComparisonPair& m : misses) {
+        cache_->Set(PackPairKey(m.first, m.second), kUnresolvedWinner);
+      }
+      if (span_id >= 0) trace->EndSpan(span_id);
+      return handle.status();
+    }
+    pending->handle = *handle;
   }
-  pending->handle = *handle;
   out.paid_delta = executor_->comparisons() - paid_before;
   // The batch span closes at submission: the sync path emits no trace
   // operation between the executor call returning and its span end, so
@@ -800,21 +872,38 @@ Result<DriveResult> RoundEngine::DrivePipelined(RoundSource* source,
     }
   };
   // Abort-path cleanup: park every in-flight round's misses so a shared
-  // cache is not left holding -1 reservations. The answers (already
-  // computed at submit) are abandoned unconsumed.
+  // cache is not left holding -1 reservations, and cancel the async
+  // handles — computed answers abandoned unconsumed are banked-answer
+  // refunds the adapter accounts. Speculative rounds reserved nothing in
+  // the cache and computed nothing, so cancellation alone unwinds them;
+  // the source is told its speculation died with the drive.
   const auto abandon_in_flight = [&] {
+    bool aborted_speculation = false;
     for (const auto& pending : in_flight) {
+      if (pending->handle >= 0) {
+        // Failure here is unreachable on the adapter (the handle is live);
+        // on this abort path the refund count is dropped regardless.
+        async_->CancelBatch(pending->handle);
+      }
+      if (pending->speculative) {
+        aborted_speculation = true;
+        continue;
+      }
       for (const ComparisonPair& m : pending->misses) {
         cache_->Set(PackPairKey(m.first, m.second), kUnresolvedWinner);
       }
     }
     in_flight.clear();
+    if (aborted_speculation) source->OnSpeculationAborted();
   };
   // Waits out the oldest in-flight round and delivers its outcome —
   // strictly in submission order, so the source sees the same callback
-  // sequence as the serial drive.
+  // sequence as the serial drive. Never called on a speculative round:
+  // the reconcile branch below turns the window firm (or cancels it)
+  // before anything in it can retire.
   const auto complete_oldest = [&]() -> Status {
     PendingRound* pending = in_flight.front().get();
+    CROWDMAX_CHECK(!pending->speculative);
     Status done = CompletePipelined(pending);
     if (!done.ok()) {
       in_flight.pop_front();
@@ -844,12 +933,134 @@ Result<DriveResult> RoundEngine::DrivePipelined(RoundSource* source,
     checkpoint_->MarkRestored();
   }
 
+  // Speculation is legal only on budget-free drives: the budget gate is
+  // an emission-time predicate of the synchronous schedule, and a
+  // speculative round has no emission point yet — rather than approximate
+  // the gate, budget-gated drives degrade to firm pipelining
+  // (DESIGN.md §15).
+  const bool allow_speculation = options.max_comparisons == 0;
+
   while (true) {
+    // The in-flight window is always a firm prefix followed by a
+    // speculative suffix. The front turning speculative means every firm
+    // outcome has been consumed: the prediction can be judged now.
+    if (!in_flight.empty() && in_flight.front()->speculative) {
+      const SpeculationVerdict verdict = source->ReconcileSpeculation();
+      if (verdict == SpeculationVerdict::kConfirmed) {
+        // Turn the whole window firm, in emission order. Each round's
+        // deterministic half (cache resolution, batch span, executor
+        // compute, paid accounting) runs here — the exact program point
+        // where the synchronous drive would have submitted it — while its
+        // latency deadline stays anchored at the speculative start.
+        int64_t confirmed_rounds = 0;
+        Status confirm_error = Status::OK();
+        for (auto& pending : in_flight) {
+          CROWDMAX_CHECK(pending->speculative);
+          confirm_error = SubmitPipelined(pending.get());
+          if (!confirm_error.ok()) break;
+          pending->speculative = false;
+          ++speculation_hits_;
+          ++confirmed_rounds;
+        }
+        if (!confirm_error.ok()) {
+          abandon_in_flight();
+          close_round_span();
+          return confirm_error;
+        }
+        ObserveSpeculation(confirmed_rounds, 0, 0);
+        continue;
+      }
+      // Misprediction: cancel the whole window before anything in it runs,
+      // charge the comparisons the rounds *would* have bought (deduped
+      // against the cache and each other, the way submission would have
+      // deduped them) as first-class wasted spend, and let the source roll
+      // its emission bookkeeping back to consumed truth.
+      int64_t wasted = 0;
+      int64_t cancelled_rounds = 0;
+      std::unordered_set<uint64_t> would_buy;
+      for (const auto& pending : in_flight) {
+        CROWDMAX_CHECK(pending->speculative);
+        for (const RoundUnit& unit : pending->round.units) {
+          for (const ComparisonPair& pair : unit.pairs) {
+            const uint64_t key = PackPairKey(pair.first, pair.second);
+            const ElementId* slot = cache_->Find(key);
+            if ((slot == nullptr || *slot == kUnresolvedWinner) &&
+                would_buy.insert(key).second) {
+              ++wasted;
+            }
+          }
+        }
+        async_->CancelBatch(pending->handle);  // unconfirmed: nothing banked
+        ++speculation_mispredicts_;
+        ++cancelled_rounds;
+      }
+      in_flight.clear();
+      source->OnSpeculationAborted();
+      if (wasted > 0) {
+        executor_->ChargeCancelledSpeculation(wasted);
+        speculation_wasted_ += wasted;
+      }
+      ObserveSpeculation(0, cancelled_rounds, wasted);
+      continue;
+    }
+
+    // Emission decision. Firm emission needs the window tail firm (a firm
+    // round behind a speculative one would reorder the consume sequence);
+    // speculative emission needs a source prediction and a budget-free
+    // drive. When neither is legal, retire the oldest round — the source
+    // needs an outcome (or the window is full) before anything new can go
+    // out.
+    const bool window_full =
+        static_cast<int64_t>(in_flight.size()) >= max_in_flight_;
+    const bool tail_speculative =
+        !in_flight.empty() && in_flight.back()->speculative;
+    const bool emit_firm =
+        in_flight.empty() ||
+        (!window_full && !tail_speculative && source->CanPipelineNextRound());
+    bool emit_speculative = !emit_firm && !window_full && allow_speculation &&
+                            source->CanSpeculateNextRound();
+
+    if (emit_speculative) {
+      EngineRound round;
+      Result<bool> offered = source->SpeculateNextRound(&round);
+      if (!offered.ok()) {
+        abandon_in_flight();
+        close_round_span();
+        return offered.status();
+      }
+      if (*offered) {
+        // Speculative rounds may not open round spans or clear the cache:
+        // both are effects of the synchronous schedule, which this round
+        // has not joined yet.
+        CROWDMAX_CHECK(round.open_round_executor == 0);
+        CROWDMAX_CHECK(!round.clear_round_cache);
+        auto pending = std::make_unique<PendingRound>();
+        pending->speculative = true;
+        pending->close_round = round.close_round_executor;
+        pending->source_round_index =
+            drive.rounds_executed + static_cast<int64_t>(in_flight.size());
+        pending->round = std::move(round);
+        Result<int64_t> handle = async_->SubmitSpeculativeBatch();
+        if (!handle.ok()) {
+          abandon_in_flight();
+          close_round_span();
+          return handle.status();
+        }
+        pending->handle = *handle;
+        in_flight.push_back(std::move(pending));
+        ++speculative_rounds_;
+        ++overlapped_rounds_;  // a speculative round overlaps by definition
+        const int64_t depth = static_cast<int64_t>(in_flight.size());
+        if (depth > max_in_flight_observed_) max_in_flight_observed_ = depth;
+        ObservePipelineDepth(depth);
+        continue;
+      }
+      emit_speculative = false;  // declined after all: fall through to retire
+    }
+
     // Retire the oldest round whenever the pipeline is full or the source
     // needs an outcome before it can emit again.
-    if (!in_flight.empty() &&
-        (static_cast<int64_t>(in_flight.size()) >= max_in_flight_ ||
-         !source->CanPipelineNextRound())) {
+    if (!emit_firm) {
       Status retired = complete_oldest();
       if (!retired.ok()) {
         abandon_in_flight();
@@ -910,7 +1121,10 @@ Result<DriveResult> RoundEngine::DrivePipelined(RoundSource* source,
 
     auto pending = std::make_unique<PendingRound>();
     pending->close_round = round.close_round_executor;
-    Status submitted = SubmitPipelined(std::move(round), pending.get());
+    pending->source_round_index =
+        drive.rounds_executed + static_cast<int64_t>(in_flight.size());
+    pending->round = std::move(round);
+    Status submitted = SubmitPipelined(pending.get());
     if (!submitted.ok()) {
       abandon_in_flight();
       close_round_span();

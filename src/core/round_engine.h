@@ -164,6 +164,13 @@ class SharedPairCache {
   std::unordered_map<int64_t, PairTable> maps_;
 };
 
+/// Verdict of RoundSource::ReconcileSpeculation: did the in-flight
+/// speculative rounds predict the now-known truth?
+enum class SpeculationVerdict {
+  kConfirmed,
+  kMispredicted,
+};
+
 /// A round generator: given the answers so far, emit the next set of
 /// independent comparisons, or finish. Sources hold the algorithm state
 /// (survivor sets, tallies, loss counters) and consume outcomes at the
@@ -201,6 +208,40 @@ class RoundSource {
   /// canonical case. Default: never (the pipelined drive then degenerates
   /// to depth 1).
   virtual bool CanPipelineNextRound() const { return false; }
+
+  /// Speculative round declaration (DESIGN.md §15). When the next round's
+  /// content depends on an outcome still in flight, a source may offer a
+  /// *predicted* variant: CanSpeculateNextRound says one is available, and
+  /// SpeculateNextRound fills it in (returning false to decline after
+  /// all). The emission must be side-effect-free on the source's own
+  /// consumed-truth state — only the speculation bookkeeping (prediction,
+  /// outstanding flag) may change, because a misprediction rolls the
+  /// emission back via OnSpeculationAborted and the true round is
+  /// re-emitted through NextRound. Speculative rounds must not open round
+  /// trace spans or clear the round cache (the engine CHECKs), and are
+  /// refused on budget-gated drives — the budget gate is an emission-time
+  /// predicate with no sync-equivalent program point for a round that has
+  /// not, in the synchronous schedule, been emitted yet.
+  virtual bool CanSpeculateNextRound() const { return false; }
+  virtual Result<bool> SpeculateNextRound(EngineRound* round);
+
+  /// Called when every firm outcome the speculation was predicated on has
+  /// been consumed: judge the prediction against the now-known truth. Pure
+  /// judgment — no state rollback here. On kConfirmed the engine turns the
+  /// speculative rounds firm in emission order (their deterministic
+  /// effects run now, at the exact point the synchronous drive would have
+  /// submitted them); on kMispredicted it cancels them, charges the
+  /// would-have-been-bought pairs as speculation_wasted, and calls
+  /// OnSpeculationAborted.
+  virtual SpeculationVerdict ReconcileSpeculation() {
+    return SpeculationVerdict::kMispredicted;
+  }
+
+  /// Rolls the source's emission bookkeeping back to consumed truth after
+  /// the engine cancelled its outstanding speculative rounds — on a
+  /// misprediction or on any drive abort with speculation in flight. The
+  /// next NextRound call must emit what the synchronous drive would emit.
+  virtual void OnSpeculationAborted() {}
 
   /// Checkpoint support (core/checkpoint.h): serializes the source's full
   /// algorithm state — survivor sets, tallies, loss counters, phase
@@ -267,6 +308,15 @@ class RoundEngine {
   /// rejects any pair already in flight — together this makes results,
   /// traces and counters bit-identical to CreateBatched over the same
   /// inner executor (only wall-clock changes). `async` is not owned.
+  ///
+  /// When the source additionally implements the speculative hooks
+  /// (CanSpeculateNextRound et al., DESIGN.md §15) the drive keeps a
+  /// prediction window: predicted rounds ride the latency unconfirmed and
+  /// are either turned firm (all deterministic effects run at the
+  /// sync-equivalent program point, via AsyncBatchExecutor::ConfirmBatch)
+  /// or cancelled with the wasted spend charged to speculation_wasted().
+  /// Results, traces and non-speculation counters stay bit-identical to
+  /// the synchronous drive on both the hit and the miss path.
   static Result<std::unique_ptr<RoundEngine>> CreatePipelined(
       AsyncBatchExecutor* async, int64_t max_in_flight,
       SharedPairCache* shared_cache = nullptr, int64_t cache_class = 0);
@@ -305,6 +355,18 @@ class RoundEngine {
   int64_t overlapped_rounds() const { return overlapped_rounds_; }
   int64_t max_in_flight_observed() const { return max_in_flight_observed_; }
 
+  /// Speculation accounting (DESIGN.md §15), all since engine creation.
+  /// speculative_rounds = hits + mispredicts once the drive has drained.
+  /// `speculation_wasted` is the first-class wasted-spend counter: the
+  /// comparisons a mispredicted round would have bought (deduped against
+  /// the cache at cancellation time), charged to the executor via
+  /// ChargeCancelledSpeculation so paid() = sync_paid + speculation_wasted
+  /// — never silently folded into the paid tally.
+  int64_t speculative_rounds() const { return speculative_rounds_; }
+  int64_t speculation_hits() const { return speculation_hits_; }
+  int64_t speculation_mispredicts() const { return speculation_mispredicts_; }
+  int64_t speculation_wasted() const { return speculation_wasted_; }
+
   /// Attaches a CheckpointController (core/checkpoint.h) to this engine's
   /// drives. At every clean round boundary — outcome consumed, no round in
   /// flight, no open round trace span — the controller may snapshot the
@@ -341,10 +403,14 @@ class RoundEngine {
 
   Result<DriveResult> DrivePipelined(RoundSource* source,
                                      const DriveOptions& options);
-  /// Submission half of a pipelined round: cache resolution, batch span,
-  /// accounting, async dispatch. All counter/trace mutation for the round
-  /// happens here, in submission order.
-  Status SubmitPipelined(EngineRound round, PendingRound* pending);
+  /// Submission half of a pipelined round (pending->round already set):
+  /// cache resolution, batch span, accounting, async dispatch. All
+  /// counter/trace mutation for the round happens here, in submission
+  /// order. For a speculative round being confirmed (pending->handle
+  /// already issued) the same body runs at confirmation time — the exact
+  /// program point where the synchronous drive would have submitted it —
+  /// and dispatches through ConfirmBatch instead.
+  Status SubmitPipelined(PendingRound* pending);
   /// Completion half: waits out the round's latency, stores the answers,
   /// and maps them back onto the round's units.
   Status CompletePipelined(PendingRound* pending);
@@ -389,6 +455,27 @@ class RoundEngine {
   int64_t cache_hits_ = 0;
   int64_t overlapped_rounds_ = 0;
   int64_t max_in_flight_observed_ = 0;
+  int64_t speculative_rounds_ = 0;
+  int64_t speculation_hits_ = 0;
+  int64_t speculation_mispredicts_ = 0;
+  int64_t speculation_wasted_ = 0;
+
+  // Cross-round reusable scratch (DESIGN.md §15 satellite): the per-round
+  // miss/answer buffers of the dispatch paths, hoisted out of the round
+  // loop so steady-state rounds allocate nothing. The parallel backend
+  // gets one slot per unit index — each pool task touches only its own
+  // slot, so the buffers stay fork-local and race-free.
+  struct UnitScratch {
+    std::vector<ComparisonPair> misses;
+    std::vector<ElementId> answers;
+  };
+  std::vector<ComparisonPair> serial_misses_;
+  std::vector<size_t> serial_miss_at_;
+  std::vector<ElementId> serial_answers_;
+  std::vector<size_t> serial_deferred_;
+  std::vector<UnitScratch> unit_scratch_;
+  std::vector<ComparisonPair> round_queries_;
+  std::vector<ComparisonPair> round_misses_;
 
   // Round-boundary snapshot/crash/restore coordinator; null = disabled.
   CheckpointController* checkpoint_ = nullptr;

@@ -54,6 +54,12 @@ struct TopKOptions {
   SharedPairCache* shared_cache = nullptr;
   int64_t naive_cache_class = 0;
   int64_t expert_cache_class = 1;
+
+  /// When positive, the expert tournament is split into engine rounds of
+  /// at most this many pairs (TournamentEngineOptions::chunk_pairs) so a
+  /// pipelined engine overlaps the chunk round trips. 0 keeps the
+  /// single-round tournament; tallies are identical either way.
+  int64_t expert_chunk_pairs = 0;
 };
 
 /// Outcome of the top-k algorithm.

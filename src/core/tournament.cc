@@ -20,13 +20,43 @@ constexpr uint32_t kTournamentTag = CheckpointTag("TRNY");
 class TournamentRoundSource : public RoundSource {
  public:
   TournamentRoundSource(const std::vector<ElementId>& elements,
-                        const char* span_label)
-      : elements_(elements), span_label_(span_label) {}
+                        const char* span_label, int64_t chunk_pairs)
+      : elements_(elements),
+        span_label_(span_label),
+        chunk_pairs_(chunk_pairs) {
+    const int64_t k = static_cast<int64_t>(elements_.size());
+    total_pairs_ = k * (k > 0 ? k - 1 : 0) / 2;
+    if (chunked()) run_.tournament.wins.assign(elements_.size(), 0);
+  }
 
   Result<bool> NextRound(EngineRound* round) override {
     if (done_) return false;
-    done_ = true;
     const size_t k = elements_.size();
+    if (chunked()) {
+      // Chunked shape: the next <= chunk_pairs_ pairs, in the same
+      // lexicographic order the single round would carry them.
+      RoundUnit unit;
+      unit.serial_span = span_label_;
+      unit.serial_span_size = static_cast<int64_t>(k);
+      unit.pairs.reserve(static_cast<size_t>(
+          std::min(chunk_pairs_, total_pairs_ - next_emit_pair_)));
+      int64_t emitted = 0;
+      while (emitted < chunk_pairs_ &&
+             next_emit_pair_ + emitted < total_pairs_) {
+        unit.pairs.push_back({elements_[ei_], elements_[ej_]});
+        ++emitted;
+        if (++ej_ >= k) {
+          ++ei_;
+          ej_ = ei_ + 1;
+        }
+      }
+      next_emit_pair_ += emitted;
+      if (next_emit_pair_ >= total_pairs_) done_ = true;
+      round->executor_span = span_label_;
+      round->units.push_back(std::move(unit));
+      return true;
+    }
+    done_ = true;
     RoundUnit unit;
     unit.serial_span = span_label_;
     unit.serial_span_size = static_cast<int64_t>(k);
@@ -41,8 +71,33 @@ class TournamentRoundSource : public RoundSource {
     return true;
   }
 
+  // Chunks never share a pair (each unordered pair is emitted exactly
+  // once), so the whole remainder of the tournament may trail the chunk
+  // in flight.
+  bool CanPipelineNextRound() const override {
+    return chunked() && next_emit_pair_ > 0 && next_emit_pair_ < total_pairs_;
+  }
+
   Status ConsumeOutcome(const EngineRound& /*round*/,
                         const RoundOutcome& outcome) override {
+    if (chunked()) {
+      run_.tournament.comparisons += outcome.issued;
+      const size_t k = elements_.size();
+      for (const ElementId winner : outcome.winners[0]) {
+        if (winner == kUnresolvedWinner) {
+          ++run_.unresolved;
+        } else {
+          ++run_.tournament.wins[winner == elements_[ci_] ? ci_ : cj_];
+        }
+        ++next_consume_pair_;
+        if (++cj_ >= k) {
+          ++ci_;
+          cj_ = ci_ + 1;
+        }
+      }
+      if (run_.fault.ok() && !outcome.fault.ok()) run_.fault = outcome.fault;
+      return Status::OK();
+    }
     run_.tournament.wins.assign(elements_.size(), 0);
     run_.tournament.comparisons = outcome.issued;
     const std::vector<ElementId>& winners = outcome.winners[0];
@@ -64,7 +119,9 @@ class TournamentRoundSource : public RoundSource {
   TournamentEngineRun Finish() { return std::move(run_); }
 
   // Single-round source: the only interior boundary is "tournament already
-  // consumed", so the state is the tally plus the done flag.
+  // consumed", so the state is the tally plus the done flag. The chunked
+  // shape adds interior boundaries between chunks; the pair cursors make
+  // those resumable.
   Status SaveState(CheckpointWriter* writer) const override {
     writer->WriteTag(kTournamentTag);
     writer->WriteIdVector(run_.tournament.wins);
@@ -72,6 +129,12 @@ class TournamentRoundSource : public RoundSource {
     writer->WriteI64(run_.unresolved);
     writer->WriteStatus(run_.fault);
     writer->WriteBool(done_);
+    writer->WriteI64(static_cast<int64_t>(ei_));
+    writer->WriteI64(static_cast<int64_t>(ej_));
+    writer->WriteI64(static_cast<int64_t>(ci_));
+    writer->WriteI64(static_cast<int64_t>(cj_));
+    writer->WriteI64(next_emit_pair_);
+    writer->WriteI64(next_consume_pair_);
     return Status::OK();
   }
 
@@ -82,23 +145,45 @@ class TournamentRoundSource : public RoundSource {
     run_.unresolved = reader->ReadI64();
     run_.fault = reader->ReadStatus();
     done_ = reader->ReadBool();
+    ei_ = static_cast<size_t>(reader->ReadI64());
+    ej_ = static_cast<size_t>(reader->ReadI64());
+    ci_ = static_cast<size_t>(reader->ReadI64());
+    cj_ = static_cast<size_t>(reader->ReadI64());
+    next_emit_pair_ = reader->ReadI64();
+    next_consume_pair_ = reader->ReadI64();
     return reader->status();
   }
 
  private:
+  bool chunked() const { return chunk_pairs_ > 0 && total_pairs_ > 0; }
+
   const std::vector<ElementId>& elements_;
   const char* const span_label_;
+  const int64_t chunk_pairs_;
+  int64_t total_pairs_ = 0;
   TournamentEngineRun run_;
   bool done_ = false;
+  // Pair cursors for the chunked shape: (ei_, ej_) is the next pair to
+  // emit, (ci_, cj_) the next to tally; the flat counters gate
+  // CanPipelineNextRound and termination.
+  size_t ei_ = 0;
+  size_t ej_ = 1;
+  size_t ci_ = 0;
+  size_t cj_ = 1;
+  int64_t next_emit_pair_ = 0;
+  int64_t next_consume_pair_ = 0;
 };
 
 }  // namespace
 
 Result<TournamentEngineRun> RunTournamentOnEngine(
     const std::vector<ElementId>& elements, RoundEngine* engine,
-    const char* span_label) {
+    const char* span_label, const TournamentEngineOptions& options) {
   CROWDMAX_CHECK(engine != nullptr);
-  TournamentRoundSource source(elements, span_label);
+  if (options.chunk_pairs < 0) {
+    return Status::InvalidArgument("chunk_pairs must be >= 0");
+  }
+  TournamentRoundSource source(elements, span_label, options.chunk_pairs);
   Result<DriveResult> drive = engine->Drive(&source);
   if (!drive.ok()) return drive.status();
   return source.Finish();

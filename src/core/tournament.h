@@ -43,12 +43,25 @@ struct TournamentEngineRun {
   Status fault = Status::OK();
 };
 
+/// Options for RunTournamentOnEngine beyond the single-round drive.
+struct TournamentEngineOptions {
+  /// When positive, split the all-play-all into engine rounds of at most
+  /// this many pairs instead of one round carrying every pair. The chunks
+  /// are pair-disjoint and order-independent, so a pipelined engine can
+  /// keep several chunk round trips in flight (CanPipelineNextRound) and
+  /// overlap their latencies; the tally is identical to the single-round
+  /// drive. 0 keeps the historical single-round shape.
+  int64_t chunk_pairs = 0;
+};
+
 /// Plays one all-play-all tournament over `elements` as a single engine
-/// round on any backend. `span_label` names the kBatch trace span (the
-/// serial paths' historical "all_play_all").
+/// round on any backend (or chunked rounds, see TournamentEngineOptions).
+/// `span_label` names the kBatch trace span (the serial paths' historical
+/// "all_play_all").
 Result<TournamentEngineRun> RunTournamentOnEngine(
     const std::vector<ElementId>& elements, RoundEngine* engine,
-    const char* span_label = "all_play_all");
+    const char* span_label = "all_play_all",
+    const TournamentEngineOptions& options = {});
 
 /// Index (into the tournament's input vector) of an element with the most
 /// wins; the earliest such index on ties ("ties broken arbitrarily" in the

@@ -260,6 +260,13 @@ void MetricsAuditor::ExpectDispatchedTotal(int64_t comparisons) {
          trace_->Totals().dispatched);
 }
 
+void MetricsAuditor::ExpectDispatchedWithCancelled(
+    TraceWorkerClass worker_class, int64_t comparisons, int64_t cancelled) {
+  Expect(std::string("dispatched[") + TraceWorkerClassName(worker_class) +
+             "]+cancelled vs tally",
+         comparisons, trace_->TotalsFor(worker_class).dispatched + cancelled);
+}
+
 void MetricsAuditor::ExpectPaidStats(const ComparisonStats& paid) {
   Expect("paid.naive vs dispatched[naive]", paid.naive,
          trace_->TotalsFor(TraceWorkerClass::kNaive).dispatched);

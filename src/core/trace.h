@@ -226,6 +226,12 @@ class MetricsAuditor {
   /// As above, summed over classes (e.g. the platform transcript's task
   /// count, or a shared platform's vote-batch total).
   void ExpectDispatchedTotal(int64_t comparisons);
+  /// Executor comparisons billed to `worker_class` where `cancelled` of
+  /// them were speculative rounds cancelled before dispatch (DESIGN.md
+  /// §15): cancelled work never lands in a trace cell, so the executor's
+  /// counter must equal trace-dispatched plus the cancelled tally.
+  void ExpectDispatchedWithCancelled(TraceWorkerClass worker_class,
+                                     int64_t comparisons, int64_t cancelled);
   /// A result's paid ComparisonStats must match per-class dispatch.
   void ExpectPaidStats(const ComparisonStats& paid);
   /// Fault tallies (e.g. PlatformFaultStats::dropped_tasks /

@@ -214,5 +214,97 @@ TEST(AsyncBatchAdapterTest, LatencyDrainsThroughResilientStack) {
   }
 }
 
+TEST(AsyncBatchAdapterTest, SpeculativeLifecycle) {
+  Instance instance = MakeInstance(6, 47);
+  OracleComparator oracle(&instance);
+  ComparatorBatchExecutor executor(&oracle);
+  AsyncBatchAdapter async(&executor);
+
+  Result<int64_t> handle = async.SubmitSpeculativeBatch();
+  ASSERT_TRUE(handle.ok());
+
+  // Nothing ran: a speculative submission records only the wall-clock
+  // start of a round trip.
+  EXPECT_EQ(executor.comparisons(), 0);
+  EXPECT_EQ(executor.logical_steps(), 0);
+
+  // Waiting on an unconfirmed handle is a caller error, not a block; Ready
+  // reports false because there is nothing to collect.
+  EXPECT_FALSE(async.Ready(*handle));
+  Result<std::vector<BatchTaskResult>> premature = async.Wait(*handle);
+  ASSERT_FALSE(premature.ok());
+  EXPECT_EQ(premature.status().code(), StatusCode::kFailedPrecondition);
+
+  // Confirm supplies the tasks: all deterministic effects land here,
+  // exactly where a firm submission would have put them.
+  ASSERT_TRUE(async.ConfirmBatch(*handle, {{0, 1}, {2, 3}}).ok());
+  EXPECT_EQ(executor.comparisons(), 2);
+  EXPECT_EQ(executor.logical_steps(), 1);
+
+  // Confirming twice is a caller error.
+  Status again = async.ConfirmBatch(*handle, {{4, 5}});
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+
+  EXPECT_TRUE(async.Ready(*handle));
+  Result<std::vector<BatchTaskResult>> results = async.Wait(*handle);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].winner,
+            instance.value(0) >= instance.value(1) ? 0 : 1);
+}
+
+TEST(AsyncBatchAdapterTest, ConfirmOnFirmHandleIsError) {
+  Instance instance = MakeInstance(4, 53);
+  OracleComparator oracle(&instance);
+  ComparatorBatchExecutor executor(&oracle);
+  AsyncBatchAdapter async(&executor);
+
+  Result<int64_t> handle = async.SubmitBatchAsync({{0, 1}});
+  ASSERT_TRUE(handle.ok());
+  Status confirm = async.ConfirmBatch(*handle, {{2, 3}});
+  ASSERT_FALSE(confirm.ok());
+  EXPECT_EQ(confirm.code(), StatusCode::kFailedPrecondition);
+  // The firm batch is untouched by the failed confirm.
+  Result<std::vector<BatchTaskResult>> results = async.Wait(*handle);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+}
+
+TEST(AsyncBatchAdapterTest, CancelRefundsBankedAnswers) {
+  Instance instance = MakeInstance(8, 59);
+  OracleComparator oracle(&instance);
+  ComparatorBatchExecutor executor(&oracle);
+  AsyncBatchAdapter async(&executor);
+
+  // Cancelling an unconfirmed speculative handle: nothing was computed,
+  // so nothing is refunded.
+  Result<int64_t> spec = async.SubmitSpeculativeBatch();
+  ASSERT_TRUE(spec.ok());
+  Result<int64_t> refunded = async.CancelBatch(*spec);
+  ASSERT_TRUE(refunded.ok());
+  EXPECT_EQ(*refunded, 0);
+  EXPECT_EQ(async.cancelled(), 1);
+  EXPECT_EQ(async.refunded_answers(), 0);
+  // The handle is consumed.
+  EXPECT_FALSE(async.Wait(*spec).ok());
+
+  // Cancelling a firm handle throws away already-computed answers; the
+  // refund reports how many.
+  Result<int64_t> firm = async.SubmitBatchAsync({{0, 1}, {2, 3}, {4, 5}});
+  ASSERT_TRUE(firm.ok());
+  refunded = async.CancelBatch(*firm);
+  ASSERT_TRUE(refunded.ok());
+  EXPECT_EQ(*refunded, 3);
+  EXPECT_EQ(async.cancelled(), 2);
+  EXPECT_EQ(async.refunded_answers(), 3);
+  EXPECT_FALSE(async.Wait(*firm).ok());
+
+  // Unknown handles are invalid-argument, matching Wait.
+  Result<int64_t> unknown = async.CancelBatch(987654);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace crowdmax

@@ -2,10 +2,11 @@
 // canonical serialization of unordered containers, the sticky-error
 // reader, the magic/version forward-compat gate, the hex transport codec,
 // and the CheckpointController snapshot/crash/resume lifecycle. The golden
-// suite pins the version-1 byte format itself: a checkpoint captured by an
+// suite pins the version-2 byte format itself: a checkpoint captured by an
 // older build of this code must keep restoring bit-identically (the file
-// tests/golden/checkpoint_v1.hex is regenerated only on deliberate format
-// bumps, together with kCheckpointVersion).
+// tests/golden/checkpoint_v2.hex is regenerated only on deliberate format
+// bumps, together with kCheckpointVersion — v2 added the engine's
+// speculation counters and the executor's cancelled-comparison tally).
 
 #include <array>
 #include <cstdint>
@@ -118,10 +119,10 @@ TEST(CheckpointFormatTest, OpenRejectsBadMagic) {
 }
 
 TEST(CheckpointFormatTest, OpenRejectsNewerVersionTyped) {
-  // A version-2 header written by a future build: today's reader must
+  // A version-3 header written by a future build: today's reader must
   // refuse with a typed status, never misparse.
   std::string bytes = CheckpointWriter().bytes();
-  bytes[4] = '\x02';  // Version field, little-endian low byte.
+  bytes[4] = '\x03';  // Version field, little-endian low byte.
   Result<CheckpointReader> opened = CheckpointReader::Open(bytes);
   ASSERT_FALSE(opened.ok());
   EXPECT_EQ(opened.status().code(), StatusCode::kFailedPrecondition);
@@ -280,7 +281,7 @@ std::string CaptureGoldenCheckpoint(const GoldenRun& run) {
 }
 
 std::string GoldenPath() {
-  return std::string(CROWDMAX_GOLDEN_DIR) + "/checkpoint_v1.hex";
+  return std::string(CROWDMAX_GOLDEN_DIR) + "/checkpoint_v2.hex";
 }
 
 TEST(CheckpointGoldenTest, CapturedBytesMatchCommittedGolden) {
