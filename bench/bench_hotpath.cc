@@ -6,33 +6,57 @@
 // not cache hits.
 //
 // Rows per model:
-//   legacy    per-virtual-call Compare through MemoizingComparator — one
-//             virtual dispatch plus one unordered_map probe per
-//             comparison (the pre-batch hot path).
-//   percall   per-virtual-call Compare on the bare model.
-//   batch     GenerateVotes in chunks (struct-of-arrays, branch-free
-//             draws, PairTable sticky state).
-//   par=T     ParallelBatchExecutor at T threads (forked models, batch
-//             path inside each chunk).
+//   legacy       per-virtual-call Compare through MemoizingComparator —
+//                one virtual dispatch plus one unordered_map probe per
+//                comparison (the pre-batch hot path).
+//   percall      per-virtual-call Compare on the bare model.
+//   batch        GenerateVotes in chunks with bulk draws off — the scalar
+//                per-row float-compare loop (struct-of-arrays precompute,
+//                one NextDouble per open row).
+//   bulk-scalar  GenerateVotes with the bulk draw layer (DESIGN.md §16)
+//                pinned to the scalar kernels: block-generated raw draws,
+//                integer-threshold compares, no SIMD.
+//   bulk         GenerateVotes on the default path: bulk draw layer on
+//                the best available backend (AVX2 when built with
+//                CROWDMAX_SIMD on a capable CPU).
+//   engine=d8    the batch path driven through the pipelined RoundEngine
+//                at depth 8, with a per-stage split: time inside
+//                GenerateVotes (votegen) vs everything else the engine
+//                and executor stack add (dispatch).
+//   par=T        ParallelBatchExecutor at T threads (forked models, batch
+//                path inside each chunk).
 //
-// Self-checking in every mode: the batch row must produce bit-identical
-// votes to an identically seeded per-call run — the determinism contract
-// the unit suites pin, re-verified on the bench workload. The full run
-// writes BENCH_hotpath.json; the headline is batch vs legacy on the
-// threshold model (target: >= 5x).
+// Self-checking in every mode: the batch, bulk-scalar and bulk rows must
+// each produce bit-identical votes to an identically seeded per-call run —
+// the determinism contract the unit suites pin, re-verified on the bench
+// workload for both draw kernels. The full run writes BENCH_hotpath.json;
+// the headline is batch vs legacy on the threshold model plus the bulk vs
+// batch ratio (target: >= 2x).
 //
 // Flags:
-//   --smoke      small self-checking CI run (skips the JSON artifact)
-//   --pairs=N    pairs per row (default 2000000)
-//   --out=PATH   JSON artifact path (default BENCH_hotpath.json)
+//   --smoke            small self-checking CI run (skips the JSON artifact)
+//   --pairs=N          pairs per row (default 2000000)
+//   --out=PATH         JSON artifact path (default BENCH_hotpath.json)
+//   --check            regression mode: measure, compare against the
+//                      committed baseline JSON, exit nonzero when a serial
+//                      row drops below tolerance * committed. Gated on the
+//                      CROWDMAX_BENCH_CHECK environment variable so the CI
+//                      entry is opt-in: without it the check is skipped
+//                      before measuring.
+//   --baseline=PATH    committed JSON to compare against (default
+//                      BENCH_hotpath.json)
+//   --check_tolerance=F fraction of the committed throughput a row must
+//                      keep (default 0.6)
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <span>
+#include <sstream>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -65,6 +89,10 @@ struct Row {
   double seconds = 0.0;
   double comparisons_per_sec = 0.0;
   double speedup_vs_legacy = 0.0;
+  // engine rows only: wall time inside GenerateVotes vs everything the
+  // engine/executor stack adds around it. Negative means "not split".
+  double votegen_seconds = -1.0;
+  double dispatch_seconds = -1.0;
 };
 
 struct ModelReport {
@@ -131,6 +159,49 @@ class PairStreamSource : public RoundSource {
   size_t next_consume_ = 0;
 };
 
+// Forwarding decorator that accumulates the wall time spent inside the
+// wrapped model's vote generation. Splits the engine=d8 row into model
+// time (votegen) and everything the dispatch stack adds around it — round
+// assembly, in-flight cache reservation, pipeline bookkeeping — the
+// baseline for the engine-overhead item on the roadmap. Counter and
+// checkpoint state stay on the inner comparator; the executor keeps its
+// own task counts, so the engine's paid() accounting is unaffected.
+class TimingComparator : public Comparator, public VoteBatchComparator {
+ public:
+  explicit TimingComparator(Comparator* inner)
+      : inner_(inner), inner_batch_(inner->AsVoteBatch()) {}
+
+  ElementId Compare(ElementId a, ElementId b) override {
+    const auto begin = std::chrono::steady_clock::now();
+    const ElementId winner = inner_->Compare(a, b);
+    votegen_seconds_ += Seconds(begin, std::chrono::steady_clock::now());
+    return winner;
+  }
+
+  VoteBatchComparator* AsVoteBatch() override {
+    return inner_batch_ != nullptr ? this : nullptr;
+  }
+
+  int64_t GenerateVotes(std::span<const ComparisonPair> pairs,
+                        std::span<ElementId> out) override {
+    const auto begin = std::chrono::steady_clock::now();
+    const int64_t produced = inner_batch_->GenerateVotes(pairs, out);
+    votegen_seconds_ += Seconds(begin, std::chrono::steady_clock::now());
+    return produced;
+  }
+
+  double votegen_seconds() const { return votegen_seconds_; }
+
+ private:
+  ElementId DoCompare(ElementId a, ElementId b) override {
+    return inner_->Compare(a, b);
+  }
+
+  Comparator* inner_;
+  VoteBatchComparator* inner_batch_;
+  double votegen_seconds_ = 0.0;
+};
+
 Row Measure(const std::string& name,
             const std::vector<ComparisonPair>& pairs,
             const std::function<void(std::vector<ElementId>*)>& run) {
@@ -144,6 +215,30 @@ Row Measure(const std::string& name,
   row.comparisons_per_sec =
       row.seconds > 0.0 ? static_cast<double>(pairs.size()) / row.seconds : 0.0;
   return row;
+}
+
+// Runs GenerateVotes over `pairs` in engine-round-sized chunks and checks
+// the votes against the per-call reference — the shared body of the
+// batch / bulk-scalar / bulk rows, which differ only in which draw kernel
+// answers the open rows.
+void RunChunkedBatch(Comparator* model, bool bulk_draws,
+                     const std::vector<ComparisonPair>& pairs,
+                     const std::vector<ElementId>& reference,
+                     std::vector<ElementId>* out) {
+  VoteBatchComparator* batch = model->AsVoteBatch();
+  CROWDMAX_CHECK(batch != nullptr);
+  batch->set_bulk_draws(bulk_draws);
+  const std::span<const ComparisonPair> all(pairs);
+  const std::span<ElementId> votes(*out);
+  for (size_t begin = 0; begin < pairs.size(); begin += kChunk) {
+    const size_t count = std::min<size_t>(kChunk, pairs.size() - begin);
+    const int64_t produced = batch->GenerateVotes(
+        all.subspan(begin, count), votes.subspan(begin, count));
+    CROWDMAX_CHECK(produced == static_cast<int64_t>(count));
+  }
+  // Bit-identity with the identically seeded per-call run: the contract
+  // that makes the throughput comparable — same draws, same votes.
+  CROWDMAX_CHECK(*out == reference);
 }
 
 ModelReport BenchModel(const std::string& model_name,
@@ -172,21 +267,34 @@ ModelReport BenchModel(const std::string& model_name,
     percall_votes = *out;
   }));
 
-  // batch: GenerateVotes in engine-round-sized chunks. Self-check: the
-  // votes must be bit-identical to the per-call run above (same seed).
+  // batch: the scalar per-row draw loop (bulk kernels off) — the pre-§16
+  // hot path, kept measurable so the bulk rows have a like-for-like
+  // baseline.
   report.rows.push_back(Measure("batch", pairs, [&](std::vector<ElementId>* out) {
     std::unique_ptr<Comparator> model = make(seed);
-    VoteBatchComparator* batch = model->AsVoteBatch();
-    CROWDMAX_CHECK(batch != nullptr);
-    const std::span<const ComparisonPair> all(pairs);
-    const std::span<ElementId> votes(*out);
-    for (size_t begin = 0; begin < pairs.size(); begin += kChunk) {
-      const size_t count = std::min<size_t>(kChunk, pairs.size() - begin);
-      const int64_t produced = batch->GenerateVotes(
-          all.subspan(begin, count), votes.subspan(begin, count));
-      CROWDMAX_CHECK(produced == static_cast<int64_t>(count));
-    }
-    CROWDMAX_CHECK(*out == percall_votes);
+    RunChunkedBatch(model.get(), /*bulk_draws=*/false, pairs, percall_votes,
+                    out);
+  }));
+
+  // bulk-scalar: bulk draw layer pinned to the scalar kernels. The
+  // in-row CHECK doubles as the scalar-backend bit-identity proof on the
+  // bench workload.
+  report.rows.push_back(Measure(
+      "bulk-scalar", pairs, [&](std::vector<ElementId>* out) {
+        SetRngBulkSimd(false);
+        std::unique_ptr<Comparator> model = make(seed);
+        RunChunkedBatch(model.get(), /*bulk_draws=*/true, pairs,
+                        percall_votes, out);
+        SetRngBulkSimd(true);
+      }));
+
+  // bulk: the default path — bulk draw layer on the best available
+  // backend. Same in-row CHECK, now proving the SIMD backend (when
+  // active) bit-identical on the bench workload.
+  report.rows.push_back(Measure("bulk", pairs, [&](std::vector<ElementId>* out) {
+    std::unique_ptr<Comparator> model = make(seed);
+    RunChunkedBatch(model.get(), /*bulk_draws=*/true, pairs, percall_votes,
+                    out);
   }));
 
   // engine=d8: the batch path driven through the pipelined RoundEngine at
@@ -195,7 +303,8 @@ ModelReport BenchModel(const std::string& model_name,
   // contract requires in-flight rounds to be pair-disjoint, so the stream
   // is deduplicated first and throughput is per executed pair. Self-check:
   // every vote names one of its pair's endpoints and the engine paid for
-  // exactly the deduplicated stream.
+  // exactly the deduplicated stream. The TimingComparator splits the row
+  // into votegen (model) and dispatch (engine + executor) time.
   {
     std::vector<ComparisonPair> unique_pairs;
     unique_pairs.reserve(pairs.size());
@@ -206,10 +315,12 @@ ModelReport BenchModel(const std::string& model_name,
         unique_pairs.push_back(pair);
       }
     }
-    report.rows.push_back(Measure(
+    double votegen_seconds = 0.0;
+    Row row = Measure(
         "engine=d8", unique_pairs, [&](std::vector<ElementId>* out) {
           std::unique_ptr<Comparator> model = make(seed);
-          ComparatorBatchExecutor executor(model.get());
+          TimingComparator timed(model.get());
+          ComparatorBatchExecutor executor(&timed);
           AsyncBatchAdapter async(&executor);
           Result<std::unique_ptr<RoundEngine>> engine =
               RoundEngine::CreatePipelined(&async, /*max_in_flight=*/8);
@@ -223,7 +334,11 @@ ModelReport BenchModel(const std::string& model_name,
             CROWDMAX_CHECK((*out)[i] == unique_pairs[i].first ||
                            (*out)[i] == unique_pairs[i].second);
           }
-        }));
+          votegen_seconds = timed.votegen_seconds();
+        });
+    row.votegen_seconds = votegen_seconds;
+    row.dispatch_seconds = row.seconds - votegen_seconds;
+    report.rows.push_back(row);
   }
 
   // par=T: the parallel executor's forked batch path. Forks draw from
@@ -252,6 +367,100 @@ ModelReport BenchModel(const std::string& model_name,
   return report;
 }
 
+const Row* FindRow(const ModelReport& report, const std::string& name) {
+  for (const Row& row : report.rows) {
+    if (row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+// ---- --check: regression gate against the committed JSON ---------------
+//
+// The committed BENCH_hotpath.json is written by this binary, so a
+// minimal line scan recovers (model, path) -> comparisons_per_sec without
+// a JSON library: model lines carry "model": "<name>", row lines carry
+// "path": "<name>" and "comparisons_per_sec": <value>.
+
+bool ParseBaseline(
+    const std::string& path,
+    std::vector<std::pair<std::string, double>>* rows_out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::string line;
+  std::string model;
+  auto quoted_value = [](const std::string& text, const std::string& key,
+                         std::string* value) {
+    const std::string needle = "\"" + key + "\": \"";
+    const size_t at = text.find(needle);
+    if (at == std::string::npos) return false;
+    const size_t begin = at + needle.size();
+    const size_t end = text.find('"', begin);
+    if (end == std::string::npos) return false;
+    *value = text.substr(begin, end - begin);
+    return true;
+  };
+  while (std::getline(in, line)) {
+    std::string value;
+    if (quoted_value(line, "model", &value)) model = value;
+    if (!quoted_value(line, "path", &value)) continue;
+    const std::string key = "\"comparisons_per_sec\": ";
+    const size_t at = line.find(key);
+    if (at == std::string::npos) continue;
+    rows_out->emplace_back(model + "/" + value,
+                           std::strtod(line.c_str() + at + key.size(),
+                                       nullptr));
+  }
+  return !rows_out->empty();
+}
+
+// Serial deterministic rows only: engine and par= rows depend on thread
+// scheduling and pipeline timing, too noisy for a hard gate.
+bool IsCheckedRow(const std::string& name) {
+  return name == "legacy" || name == "percall" || name == "batch" ||
+         name == "bulk-scalar" || name == "bulk";
+}
+
+int RunCheck(const std::vector<ModelReport>& reports,
+             const std::string& baseline_path, double tolerance) {
+  std::vector<std::pair<std::string, double>> baseline;
+  if (!ParseBaseline(baseline_path, &baseline)) {
+    std::cerr << "check: cannot read baseline " << baseline_path << "\n";
+    return 1;
+  }
+  auto committed = [&baseline](const std::string& key) -> double {
+    for (const auto& [name, cps] : baseline) {
+      if (name == key) return cps;
+    }
+    return -1.0;
+  };
+  TablePrinter table({"row", "committed Mcmp/s", "measured Mcmp/s", "ratio",
+                      "verdict"});
+  int regressions = 0;
+  for (const ModelReport& report : reports) {
+    for (const Row& row : report.rows) {
+      if (!IsCheckedRow(row.name)) continue;
+      const std::string key = report.model + "/" + row.name;
+      const double want = committed(key);
+      if (want <= 0.0) continue;  // Row absent from the committed file.
+      const double ratio = row.comparisons_per_sec / want;
+      const bool ok = ratio >= tolerance;
+      if (!ok) ++regressions;
+      table.AddRow({key, FormatDouble(want / 1e6, 2),
+                    FormatDouble(row.comparisons_per_sec / 1e6, 2),
+                    FormatDouble(ratio, 2), ok ? "ok" : "REGRESSED"});
+    }
+  }
+  table.Print(std::cout);
+  if (regressions > 0) {
+    std::cerr << "check: " << regressions << " row(s) below " << tolerance
+              << "x the committed throughput in " << baseline_path << "\n";
+    return 1;
+  }
+  std::cout << "check: OK (all rows within tolerance " << tolerance
+            << " of " << baseline_path << ")\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   FlagParser flags;
   Status parsed = flags.Parse(argc, argv);
@@ -260,12 +469,22 @@ int Main(int argc, char** argv) {
     return 1;
   }
   const bool smoke = flags.GetBool("smoke", false);
+  const bool check = flags.GetBool("check", false);
   const int64_t n_pairs =
       smoke ? 100000 : flags.GetBoundedInt("pairs", 2000000, 1, 100000000);
   const std::string out_path = flags.GetString("out", "BENCH_hotpath.json");
 
+  if (check && std::getenv("CROWDMAX_BENCH_CHECK") == nullptr) {
+    // Opt-in gate: the CI entry always exists, but only costs (and only
+    // enforces) when the environment asks for it.
+    std::cout << "check: skipped (set CROWDMAX_BENCH_CHECK=1 to run the "
+                 "throughput regression gate)\n";
+    return 0;
+  }
+
   bench::PrintHeader("BENCH_hotpath",
                      "batch vote generation throughput (comparisons/sec)");
+  std::cout << "rng bulk backend: " << RngBulkBackend() << "\n";
 
   // Miss-dominated workload: n large enough that the pair stream is
   // mostly distinct, with a threshold placed so both regimes (decided and
@@ -319,28 +538,62 @@ int Main(int argc, char** argv) {
   bench::EmitTable(table, flags, "Vote-generation throughput (" +
                                      std::to_string(n_pairs) + " pairs/row)");
 
-  // Headline: the threshold model's serial batch path must beat the
-  // per-virtual-call legacy path by the committed factor.
+  // engine=d8 per-stage split: where the 20x gap between the bare batch
+  // path and the engine-driven path actually goes.
+  for (const ModelReport& report : reports) {
+    if (const Row* engine = FindRow(report, "engine=d8");
+        engine != nullptr && engine->seconds > 0.0) {
+      std::cout << "engine=d8 " << report.model << ": votegen "
+                << FormatDouble(engine->votegen_seconds, 3) << "s, dispatch "
+                << FormatDouble(engine->dispatch_seconds, 3) << "s ("
+                << FormatDouble(
+                       100.0 * engine->dispatch_seconds / engine->seconds, 1)
+                << "% overhead)\n";
+    }
+  }
+
+  // Headlines: the threshold model's serial batch path vs the legacy
+  // memoized path (continuity with earlier snapshots), and what the bulk
+  // draw layer adds on top of the scalar batch loop.
   const ModelReport& threshold = reports[0];
-  const double headline = threshold.rows[2].speedup_vs_legacy;
+  const Row* batch_row = FindRow(threshold, "batch");
+  const Row* bulk_row = FindRow(threshold, "bulk");
+  CROWDMAX_CHECK(batch_row != nullptr && bulk_row != nullptr);
+  const double headline = batch_row->speedup_vs_legacy;
+  const double bulk_vs_batch =
+      batch_row->comparisons_per_sec > 0.0
+          ? bulk_row->comparisons_per_sec / batch_row->comparisons_per_sec
+          : 0.0;
   std::cout << "\nheadline: threshold batch vs legacy = " << headline
+            << "x\nheadline: threshold bulk vs batch = " << bulk_vs_batch
             << "x\n";
 
+  if (check) {
+    const std::string baseline =
+        flags.GetString("baseline", "BENCH_hotpath.json");
+    const double tolerance = flags.GetDouble("check_tolerance", 0.6);
+    return RunCheck(reports, baseline, tolerance);
+  }
+
   if (smoke) {
-    // CI smoke contract: every batch row re-verified bit-identical to its
-    // per-call twin (checked inside BenchModel), and the batch path is
-    // not slower than legacy even at smoke scale.
+    // CI smoke contract: every serial chunked row re-verified
+    // bit-identical to its per-call twin on both draw kernels (checked
+    // inside RunChunkedBatch), the batch path not slower than legacy, and
+    // the bulk layer genuinely ahead of the scalar loop it replaces.
     CROWDMAX_CHECK(headline > 1.0);
-    std::cout << "smoke: OK (batch bit-identical to per-call for "
+    CROWDMAX_CHECK(bulk_vs_batch > 1.0);
+    std::cout << "smoke: OK (batch/bulk-scalar/bulk bit-identical to "
+                 "per-call for "
               << reports.size() << " models, headline " << headline
-              << "x)\n";
+              << "x, bulk vs batch " << bulk_vs_batch << "x)\n";
     return 0;
   }
 
   std::ofstream out(out_path);
   CROWDMAX_CHECK(out.good());
   out << "{\n  \"bench\": \"hotpath\",\n  \"pairs_per_row\": " << n_pairs
-      << ",\n  \"n_elements\": " << n_elements << ",\n  \"models\": [\n";
+      << ",\n  \"n_elements\": " << n_elements << ",\n  \"rng_backend\": \""
+      << RngBulkBackend() << "\",\n  \"models\": [\n";
   for (size_t m = 0; m < reports.size(); ++m) {
     out << "    {\"model\": \"" << reports[m].model << "\", \"rows\": [\n";
     for (size_t r = 0; r < reports[m].rows.size(); ++r) {
@@ -348,12 +601,17 @@ int Main(int argc, char** argv) {
       out << "      {\"path\": \"" << row.name << "\", \"seconds\": "
           << row.seconds << ", \"comparisons_per_sec\": "
           << row.comparisons_per_sec << ", \"speedup_vs_legacy\": "
-          << row.speedup_vs_legacy << "}"
-          << (r + 1 < reports[m].rows.size() ? "," : "") << "\n";
+          << row.speedup_vs_legacy;
+      if (row.votegen_seconds >= 0.0) {
+        out << ", \"votegen_seconds\": " << row.votegen_seconds
+            << ", \"dispatch_seconds\": " << row.dispatch_seconds;
+      }
+      out << "}" << (r + 1 < reports[m].rows.size() ? "," : "") << "\n";
     }
     out << "    ]}" << (m + 1 < reports.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"headline_threshold_batch_vs_legacy\": " << headline
+      << ",\n  \"headline_threshold_bulk_vs_batch\": " << bulk_vs_batch
       << "\n}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;

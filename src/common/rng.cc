@@ -1,12 +1,164 @@
 #include "common/rng.h"
 
+#include <algorithm>
+#include <cstdlib>
+
+// The AVX2 bulk kernels are compiled whenever the build enables
+// CROWDMAX_SIMD on an x86-64 GNU-compatible toolchain; whether they run is
+// a runtime question (CPU support + the CROWDMAX_NO_SIMD escape hatch),
+// resolved once in ActiveKernels below. Scalar and AVX2 backends are
+// bit-identical: every operation involved (mul-by-constant, rotate, shift,
+// unsigned compare) is exact integer arithmetic.
+#if defined(CROWDMAX_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CROWDMAX_BULK_AVX2 1
+#include <immintrin.h>
+#endif
+
 namespace crowdmax {
 
 namespace {
 
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
+// xoshiro256** output whitening: the generator's result is a pure function
+// of the pre-update s[1] word, so bulk kernels store raw s[1] values while
+// walking the (serial) recurrence and whiten them afterwards in a pass the
+// compiler or the AVX2 kernel can vectorize.
+uint64_t Whiten(uint64_t s1) { return Rotl(s1 * 5, 7) * 9; }
+
+// Elements per internal bulk block: big enough to amortize dispatch, small
+// enough that the raw-word scratch stays in L1 (8 KiB).
+constexpr size_t kBulkBlock = 1024;
+
+// Advances the recurrence `n` steps, storing the pre-whitening s[1] word of
+// each step. This is the only serial part of the bulk path — the xoshiro
+// state update is a loop-carried dependency — and it is just xor/shift/
+// rotate with plenty of ILP inside one step.
+void AdvanceBlock(uint64_t* state, uint64_t* out, size_t n) {
+  uint64_t s0 = state[0], s1 = state[1], s2 = state[2], s3 = state[3];
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = s1;
+    const uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = Rotl(s3, 45);
+  }
+  state[0] = s0;
+  state[1] = s1;
+  state[2] = s2;
+  state[3] = s3;
+}
+
+void WhitenBlockScalar(uint64_t* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] = Whiten(x[i]);
+}
+
+void BernoulliBlockScalar(const uint64_t* s1, const uint64_t* thresholds,
+                          uint8_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>((Whiten(s1[i]) >> 11) < thresholds[i]);
+  }
+}
+
+#if CROWDMAX_BULK_AVX2
+
+// x*5 and x*9 as shift-adds: AVX2 has no 64-bit lane multiply
+// (_mm256_mullo_epi64 is AVX-512DQ), and 5x = x + 4x, 9x = x + 8x are
+// exact in two instructions each.
+__attribute__((target("avx2"))) inline __m256i WhitenLanes(__m256i v) {
+  const __m256i v5 = _mm256_add_epi64(v, _mm256_slli_epi64(v, 2));
+  const __m256i rot = _mm256_or_si256(_mm256_slli_epi64(v5, 7),
+                                      _mm256_srli_epi64(v5, 57));
+  return _mm256_add_epi64(rot, _mm256_slli_epi64(rot, 3));
+}
+
+__attribute__((target("avx2"))) void WhitenBlockAvx2(uint64_t* x, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(x + i), WhitenLanes(v));
+  }
+  for (; i < n; ++i) x[i] = Whiten(x[i]);
+}
+
+// 4-bit compare mask -> four 0/1 bytes, written as one u32 store instead
+// of four byte stores. kMaskBytes[m] has byte j equal to bit j of m.
+constexpr uint32_t kMaskBytes[16] = {
+    0x00000000u, 0x00000001u, 0x00000100u, 0x00000101u,
+    0x00010000u, 0x00010001u, 0x00010100u, 0x00010101u,
+    0x01000000u, 0x01000001u, 0x01000100u, 0x01000101u,
+    0x01010000u, 0x01010001u, 0x01010100u, 0x01010101u,
+};
+
+__attribute__((target("avx2"))) void BernoulliBlockAvx2(
+    const uint64_t* s1, const uint64_t* thresholds, uint8_t* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i raw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s1 + i));
+    const __m256i u = _mm256_srli_epi64(WhitenLanes(raw), 11);
+    const __m256i thr =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(thresholds + i));
+    // u < 2^53 and thr <= 2^53 are both positive as signed 64-bit, so the
+    // signed compare realizes the unsigned one exactly.
+    const __m256i lt = _mm256_cmpgt_epi64(thr, u);
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(lt));
+    uint32_t bytes = kMaskBytes[mask];
+    __builtin_memcpy(out + i, &bytes, sizeof(bytes));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<uint8_t>((Whiten(s1[i]) >> 11) < thresholds[i]);
+  }
+}
+
+#endif  // CROWDMAX_BULK_AVX2
+
+// The vectorizable halves of the bulk path, runtime-dispatched once. The
+// recurrence walk (AdvanceBlock) is shared; only whitening and the
+// threshold compare have SIMD variants.
+struct BulkKernels {
+  void (*whiten)(uint64_t*, size_t);
+  void (*bernoulli)(const uint64_t*, const uint64_t*, uint8_t*, size_t);
+  const char* name;
+};
+
+constexpr BulkKernels kScalarKernels = {WhitenBlockScalar,
+                                        BernoulliBlockScalar, "scalar"};
+
+const BulkKernels* DetectKernels(bool want_simd) {
+#if CROWDMAX_BULK_AVX2
+  static constexpr BulkKernels kAvx2Kernels = {WhitenBlockAvx2,
+                                               BernoulliBlockAvx2, "avx2"};
+  if (want_simd && __builtin_cpu_supports("avx2") &&
+      std::getenv("CROWDMAX_NO_SIMD") == nullptr) {
+    return &kAvx2Kernels;
+  }
+#else
+  (void)want_simd;
+#endif
+  return &kScalarKernels;
+}
+
+const BulkKernels*& ActiveKernels() {
+  static const BulkKernels* active = DetectKernels(/*want_simd=*/true);
+  return active;
+}
+
 }  // namespace
+
+const char* RngBulkBackend() { return ActiveKernels()->name; }
+
+bool RngBulkSimdActive() { return ActiveKernels() != &kScalarKernels; }
+
+bool SetRngBulkSimd(bool enabled) {
+  ActiveKernels() = DetectKernels(enabled);
+  return ActiveKernels() != &kScalarKernels;
+}
 
 uint64_t SplitMix64(uint64_t* state) {
   CROWDMAX_DCHECK(state != nullptr);
@@ -66,6 +218,83 @@ bool Rng::NextBernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return NextDouble() < p;
+}
+
+void Rng::FillRaw(std::span<uint64_t> out) {
+  const BulkKernels* kernels = ActiveKernels();
+  size_t done = 0;
+  while (done < out.size()) {
+    // Blocked so the whitening pass reads cache-hot raw words.
+    const size_t n = std::min(kBulkBlock, out.size() - done);
+    AdvanceBlock(state_, out.data() + done, n);
+    kernels->whiten(out.data() + done, n);
+    done += n;
+  }
+}
+
+void Rng::FillDoubles(std::span<double> out) {
+  const BulkKernels* kernels = ActiveKernels();
+  uint64_t raw[kBulkBlock];
+  size_t done = 0;
+  while (done < out.size()) {
+    const size_t n = std::min(kBulkBlock, out.size() - done);
+    AdvanceBlock(state_, raw, n);
+    kernels->whiten(raw, n);
+    for (size_t i = 0; i < n; ++i) {
+      out[done + i] = static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+    }
+    done += n;
+  }
+}
+
+void Rng::FillBernoulliThresholds(std::span<const uint64_t> thresholds,
+                                  std::span<uint8_t> out) {
+  CROWDMAX_CHECK(out.size() >= thresholds.size());
+#ifndef NDEBUG
+  for (const uint64_t threshold : thresholds) {
+    CROWDMAX_DCHECK(threshold <= (uint64_t{1} << 53));
+  }
+#endif
+  const BulkKernels* kernels = ActiveKernels();
+  uint64_t raw[kBulkBlock];
+  size_t done = 0;
+  while (done < thresholds.size()) {
+    const size_t n = std::min(kBulkBlock, thresholds.size() - done);
+    AdvanceBlock(state_, raw, n);
+    kernels->bernoulli(raw, thresholds.data() + done, out.data() + done, n);
+    done += n;
+  }
+}
+
+void Rng::FillBernoulli(std::span<const double> probs,
+                        std::span<uint8_t> out) {
+  CROWDMAX_CHECK(out.size() >= probs.size());
+  uint64_t thresholds[kBulkBlock];
+  size_t i = 0;
+  while (i < probs.size()) {
+    const double p = probs[i];
+    // Draw-skipping edges, exactly like per-call NextBernoulli.
+    if (p <= 0.0) {
+      out[i++] = 0;
+      continue;
+    }
+    if (p >= 1.0) {
+      out[i++] = 1;
+      continue;
+    }
+    // Open run: every row consumes exactly one draw. A NaN probability
+    // falls through both edge tests per call and fails NextDouble() < p,
+    // so it draws and answers false — threshold 0 reproduces that.
+    size_t run = 0;
+    while (i + run < probs.size() && run < kBulkBlock) {
+      const double q = probs[i + run];
+      if (q <= 0.0 || q >= 1.0) break;
+      thresholds[run] = (q == q) ? BernoulliThreshold(q) : 0;
+      ++run;
+    }
+    FillBernoulliThresholds({thresholds, run}, out.subspan(i));
+    i += run;
+  }
 }
 
 uint64_t Rng::Fork() { return SplitMix64(&fork_state_); }

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -57,6 +58,55 @@ class Rng {
   /// Returns true with probability `p` (clamped to [0, 1]).
   bool NextBernoulli(double p);
 
+  // ---- Bulk draw layer (DESIGN.md §16) -----------------------------------
+  //
+  // Each Fill* call produces the *exact same draw stream* as the
+  // corresponding per-call API applied element by element: after
+  // FillRaw(out) the generator state equals out.size() Next() calls and
+  // out[i] equals the i-th of those calls, bit for bit — so bulk and
+  // per-call paths are interchangeable mid-run and checkpoints
+  // (state()/set_state) round-trip across them. The kernels advance the
+  // xoshiro256** recurrence in unrolled blocks and vectorize the output
+  // whitening and probability compares (scalar or AVX2, runtime-dispatched;
+  // both backends bit-identical — see RngBulkBackend below).
+
+  /// Fills `out` with the next out.size() raw Next() outputs.
+  void FillRaw(std::span<uint64_t> out);
+
+  /// Fills `out` with the next out.size() NextDouble() outputs.
+  void FillDoubles(std::span<double> out);
+
+  /// Fills out[i] (0 or 1) with the next NextBernoulli(probs[i]) outcomes,
+  /// including the draw-skipping edges: rows with p <= 0 or p >= 1 are
+  /// answered without consuming a draw, exactly like the per-call API.
+  /// Requires out.size() >= probs.size().
+  void FillBernoulli(std::span<const double> probs, std::span<uint8_t> out);
+
+  /// Integer-threshold fast path: out[i] = (Next() >> 11) < thresholds[i],
+  /// consuming exactly one draw per row. With thresholds[i] ==
+  /// BernoulliThreshold(p_i) and every p_i strictly inside (0, 1) this is
+  /// bit-identical to per-call NextBernoulli(p_i) — the comparison happens
+  /// on the 53-bit integer mantissa source, with no float conversion in
+  /// the loop. Requires out.size() >= thresholds.size(); thresholds must
+  /// not exceed 2^53 (DCHECK'd), so every row draws (p in (0,1) never
+  /// skips).
+  void FillBernoulliThresholds(std::span<const uint64_t> thresholds,
+                               std::span<uint8_t> out);
+
+  /// The 53-bit integer threshold T(p) = ceil(p * 2^53) realizing
+  /// NextDouble() < p as an integer compare: NextDouble() is
+  /// (Next() >> 11) * 2^-53 with u = Next() >> 11 < 2^53, and both u*2^-53
+  /// and p*2^53 are exact (power-of-two scaling, including subnormal p),
+  /// so u * 2^-53 < p  <=>  u < p * 2^53  <=>  u < ceil(p * 2^53).
+  /// Defined for p in (0, 1); callers handle the draw-skipping edges
+  /// p <= 0 / p >= 1 themselves (see FillBernoulli).
+  static uint64_t BernoulliThreshold(double p) {
+    CROWDMAX_DCHECK(p > 0.0 && p < 1.0);
+    const double scaled = p * 0x1.0p53;  // Exact: p in (0,1).
+    const uint64_t floor_part = static_cast<uint64_t>(scaled);
+    return floor_part + (static_cast<double>(floor_part) != scaled ? 1 : 0);
+  }
+
   /// Derives a new seed suitable for an independent child Rng. Successive
   /// calls yield distinct seeds.
   uint64_t Fork();
@@ -95,6 +145,26 @@ class Rng {
   uint64_t state_[4];
   uint64_t fork_state_;
 };
+
+/// Name of the active bulk-kernel backend: "avx2" when the binary was
+/// built with CROWDMAX_SIMD on an AVX2-capable CPU (and the
+/// CROWDMAX_NO_SIMD environment variable is not set), "scalar" otherwise.
+/// Both backends produce bit-identical output; the choice is purely a
+/// throughput matter.
+const char* RngBulkBackend();
+
+/// Forces the bulk kernels onto the scalar backend (enabled == false) or
+/// back to the best available one (enabled == true). Returns whether the
+/// SIMD backend is active after the call — false when the build or the CPU
+/// does not support it. Test/bench hook for exercising both code paths in
+/// one process; not thread-safe against concurrent Fill* calls.
+bool SetRngBulkSimd(bool enabled);
+
+/// Whether the SIMD backend is currently active (equivalent to
+/// RngBulkBackend() != "scalar"). Other subsystems with their own
+/// runtime-dispatched kernels (e.g. the vote-precompute loops in
+/// worker_model.cc) key off this so one switch governs every SIMD path.
+bool RngBulkSimdActive();
 
 }  // namespace crowdmax
 

@@ -139,8 +139,22 @@ class VoteBatchComparator {
   virtual int64_t GenerateVotes(std::span<const ComparisonPair> pairs,
                                 std::span<ElementId> out) = 0;
 
+  /// Switches GenerateVotes' draw resolution between the bulk RNG kernels
+  /// (integer-threshold compares over block-generated raw draws,
+  /// DESIGN.md §16 — the default) and the scalar per-row float-compare
+  /// loop they replaced. The two are bit-identical in votes, counters,
+  /// RNG position and sticky state (pinned by rng_test and
+  /// VoteBatchEquivalenceTest); the knob exists so tests and
+  /// bench_hotpath can pin and measure the equivalence, not to change
+  /// behaviour.
+  void set_bulk_draws(bool on) { bulk_draws_ = on; }
+  bool bulk_draws() const { return bulk_draws_; }
+
  protected:
   VoteBatchComparator() = default;
+
+ private:
+  bool bulk_draws_ = true;
 };
 
 /// Exact comparator: always returns the element with the larger true value

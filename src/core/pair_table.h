@@ -75,6 +75,19 @@ class PairTable {
     if (!inserted) *slot = value;
   }
 
+  /// Grows the arena now so the next `additional` Insert calls cannot
+  /// rehash — which pins slot pointers for that window. The worker
+  /// models' two-pass batch walks rely on this: pass 1 reserves, inserts
+  /// and caches slot pointers; pass 2 writes through them draw by draw.
+  void Reserve(int64_t additional) {
+    CROWDMAX_DCHECK(additional >= 0);
+    const size_t needed = static_cast<size_t>(size_ + additional);
+    size_t capacity = slots_.size();
+    // Same 7/8 load ceiling as MaybeGrow.
+    while (needed > capacity - (capacity >> 3)) capacity *= 2;
+    if (capacity != slots_.size()) Rehash(capacity);
+  }
+
   /// Drops every entry in O(1) by bumping the epoch; capacity (the arena)
   /// is retained, so per-round resets never rehash.
   void Clear() {

@@ -6,6 +6,16 @@
 #include "core/checkpoint.h"
 #include "core/pair_key.h"
 
+// Same compile-time guard as common/rng.cc: AVX2 clones of the vote
+// precompute loops are compiled whenever the build enables CROWDMAX_SIMD on
+// an x86-64 GNU-compatible toolchain; whether they run is decided per call
+// from RngBulkSimdActive(), so one switch (build option, CPU support,
+// CROWDMAX_NO_SIMD, SetRngBulkSimd) governs every SIMD path in the binary.
+#if defined(CROWDMAX_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CROWDMAX_VOTE_AVX2 1
+#endif
+
 namespace crowdmax {
 
 namespace {
@@ -64,6 +74,182 @@ void DrawGated(Rng& rng, const VoteBatchScratch& s, size_t n,
 
 bool Open(double p) { return p > 0.0 && p < 1.0; }
 
+// ---- Bulk draw resolution (DESIGN.md §16) --------------------------------
+
+// Clamped 53-bit threshold: the Rng::BernoulliThreshold mapping extended
+// to the draw-free edges. 0 encodes "never true, no draw" (p <= 0, and
+// NaN — but models validate their probabilities), 2^53 encodes "always
+// true, no draw" (p >= 1); everything in between is an open draw.
+constexpr uint64_t kAlwaysThreshold = uint64_t{1} << 53;
+constexpr uint64_t kHalfThreshold = uint64_t{1} << 52;  // BernoulliThreshold(.5)
+
+uint64_t ClampedThreshold(double p) {
+  if (!(p > 0.0)) return 0;
+  if (p >= 1.0) return kAlwaysThreshold;
+  return Rng::BernoulliThreshold(p);
+}
+
+// Whether a clamped threshold consumes a draw (p strictly inside (0, 1)).
+bool ThresholdDraws(uint64_t threshold) {
+  return threshold != 0 && threshold != kAlwaysThreshold;
+}
+
+// Resolves one row against a pre-generated raw draw stream: open
+// thresholds consume the next raw word, edge thresholds answer without
+// consuming — the per-call NextBernoulli contract over a FillRaw buffer.
+bool ConsumeDraw(const uint64_t* raw, uint64_t threshold, size_t* cursor) {
+  if (!ThresholdDraws(threshold)) return threshold != 0;
+  return (raw[(*cursor)++] >> 11) < threshold;
+}
+
+// Hot loops below hoist the scratch arrays into __restrict locals: left
+// as std::vector subscripts, GCC must assume every store may alias the
+// vectors' internal pointers and reloads them per row, which blocks cmov
+// conversion and costs ~7x on the random-data selects (measured; see
+// DESIGN.md §16).
+void SelectVotes(const VoteBatchScratch& s, size_t n,
+                 std::span<ElementId> out) {
+  const uint8_t* __restrict bits = s.bits.data();
+  const ElementId* __restrict on_true = s.on_true.data();
+  const ElementId* __restrict on_false = s.on_false.data();
+  ElementId* o = out.data();
+  for (size_t i = 0; i < n; ++i) {
+    o[i] = bits[i] ? on_true[i] : on_false[i];
+  }
+}
+
+// ---- Threshold fresh-coin precompute kernel ------------------------------
+//
+// The per-row classify/select loop of ThresholdComparator's fresh-coin bulk
+// path, factored out so an AVX2 clone can be compiled next to the baseline
+// build. The library targets generic x86-64, where GCC cannot vectorize
+// this loop (value gathers need vgatherqpd); inside a target("avx2")
+// function the very same body auto-vectorizes and runs ~4x faster
+// (measured 10.4 ns -> 2.4 ns per row). Every operation involved —
+// double compare, subtract, fabs, integer select — is IEEE-exact and
+// lane-independent, so the clones are bit-identical by construction; the
+// in-bench CHECKs and VoteBatchEquivalenceTest pin this at runtime.
+struct PrecomputeSummary {
+  unsigned saw_above;
+  unsigned saw_below;
+};
+
+__attribute__((always_inline)) inline PrecomputeSummary
+ThresholdFreshPrecomputeBody(const ComparisonPair* p, size_t n,
+                             const Instance& inst, double delta,
+                             uint64_t eps_thr, uint64_t coin_thr,
+                             uint64_t* __restrict threshold,
+                             ElementId* __restrict on_true,
+                             ElementId* __restrict on_false) {
+  unsigned saw_above = 0;
+  unsigned saw_below = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const ElementId a = p[i].first;
+    const ElementId b = p[i].second;
+    const double va = inst.value(a);
+    const double vb = inst.value(b);
+    // Exact FP operations of TrueWinner + Instance::Distance, so
+    // classification cannot diverge from the per-call path.
+    const bool a_wins = (va > vb) | ((va == vb) & (a < b));
+    const bool above = std::fabs(va - vb) > delta;
+    // sel folds correct/other into one pair of selects: above rows put
+    // the loser on the draw's true side, below rows the winner.
+    const bool sel = a_wins != above;
+    threshold[i] = above ? eps_thr : coin_thr;
+    on_true[i] = sel ? a : b;
+    on_false[i] = sel ? b : a;
+    saw_above |= static_cast<unsigned>(above);
+    saw_below |= static_cast<unsigned>(!above);
+  }
+  return {saw_above, saw_below};
+}
+
+PrecomputeSummary ThresholdFreshPrecomputeScalar(
+    const ComparisonPair* p, size_t n, const Instance& inst, double delta,
+    uint64_t eps_thr, uint64_t coin_thr, uint64_t* threshold,
+    ElementId* on_true, ElementId* on_false) {
+  return ThresholdFreshPrecomputeBody(p, n, inst, delta, eps_thr, coin_thr,
+                                      threshold, on_true, on_false);
+}
+
+#if CROWDMAX_VOTE_AVX2
+// optimize("O3") matters: at -O2 the vectorizer's very-cheap cost model
+// refuses loops with a runtime trip count (an epilogue would be needed),
+// so the clone would silently compile scalar. O3's full cost model
+// vectorizes it (verified by the vgather in the disassembly and the
+// bench delta).
+__attribute__((target("avx2"), optimize("O3"))) PrecomputeSummary
+ThresholdFreshPrecomputeAvx2(
+    const ComparisonPair* p, size_t n, const Instance& inst, double delta,
+    uint64_t eps_thr, uint64_t coin_thr, uint64_t* threshold,
+    ElementId* on_true, ElementId* on_false) {
+  return ThresholdFreshPrecomputeBody(p, n, inst, delta, eps_thr, coin_thr,
+                                      threshold, on_true, on_false);
+}
+#endif
+
+PrecomputeSummary ThresholdFreshPrecompute(const ComparisonPair* p, size_t n,
+                                           const Instance& inst, double delta,
+                                           uint64_t eps_thr, uint64_t coin_thr,
+                                           uint64_t* threshold,
+                                           ElementId* on_true,
+                                           ElementId* on_false) {
+#if CROWDMAX_VOTE_AVX2
+  if (RngBulkSimdActive()) {
+    return ThresholdFreshPrecomputeAvx2(p, n, inst, delta, eps_thr, coin_thr,
+                                        threshold, on_true, on_false);
+  }
+#endif
+  return ThresholdFreshPrecomputeScalar(p, n, inst, delta, eps_thr, coin_thr,
+                                        threshold, on_true, on_false);
+}
+
+// Resolves n independent (sticky-free) rows on the scalar (pre-bulk) draw
+// path: the per-row float-compare loop over scratch.prob, branch-free when
+// every probability is open.
+void ResolveIndependentScalar(Rng& rng, VoteBatchScratch& s, size_t n,
+                              bool all_open, std::span<ElementId> out) {
+  if (all_open) {
+    DrawBranchFree(rng, s, n, out);
+  } else {
+    DrawGated(rng, s, n, out);
+  }
+}
+
+// Resolves n independent (sticky-free) rows with the bulk kernels, driven
+// entirely by scratch.threshold — prob[] is never read. When every row
+// draws, one FillBernoulliThresholds call resolves the batch; otherwise
+// raw words are generated for exactly the open rows and walked in order,
+// so closed rows skip the stream like per-call NextBernoulli. (The one
+// divergence from NextBernoulli: ClampedThreshold folds NaN to "never
+// true, no draw" where NextBernoulli draws and fails — unreachable here
+// because every model CHECK-validates its probabilities.) Bit-identity
+// with the scalar path is pinned by rng_test and VoteBatchEquivalenceTest.
+void ResolveIndependentBulk(Rng& rng, VoteBatchScratch& s, size_t n,
+                            bool all_open, std::span<ElementId> out) {
+  if (all_open) {
+    rng.FillBernoulliThresholds({s.threshold.data(), n}, {s.bits.data(), n});
+    SelectVotes(s, n, out);
+    return;
+  }
+  const uint64_t* __restrict threshold = s.threshold.data();
+  size_t draws = 0;
+  for (size_t i = 0; i < n; ++i) {
+    draws += ThresholdDraws(threshold[i]) ? 1 : 0;
+  }
+  s.raw.resize(draws);
+  rng.FillRaw({s.raw.data(), draws});
+  const uint64_t* __restrict raw = s.raw.data();
+  const ElementId* __restrict on_true = s.on_true.data();
+  const ElementId* __restrict on_false = s.on_false.data();
+  ElementId* o = out.data();
+  size_t cursor = 0;
+  for (size_t i = 0; i < n; ++i) {
+    o[i] = ConsumeDraw(raw, threshold[i], &cursor) ? on_true[i] : on_false[i];
+  }
+  CROWDMAX_DCHECK(cursor == draws);
+}
+
 }  // namespace
 
 ThresholdComparator::ThresholdComparator(const Instance* instance,
@@ -74,6 +260,8 @@ ThresholdComparator::ThresholdComparator(const Instance* instance,
   CROWDMAX_CHECK(options.model.Valid());
   CROWDMAX_CHECK(options.below_threshold_correct_prob >= 0.0 &&
                  options.below_threshold_correct_prob <= 1.0);
+  epsilon_threshold_ = ClampedThreshold(options.model.epsilon);
+  coin_threshold_ = ClampedThreshold(options.below_threshold_correct_prob);
 }
 
 ThresholdComparator::ThresholdComparator(const Instance* instance,
@@ -114,6 +302,111 @@ int64_t ThresholdComparator::GenerateVotes(
   CROWDMAX_CHECK(out.size() >= pairs.size());
   const size_t n = ValidPrefix(*instance_, pairs);
   scratch_.Resize(n);
+  if (!bulk_draws()) {
+    GenerateVotesScalar(pairs, n, out);
+    AddComparisons(static_cast<int64_t>(n));
+    return static_cast<int64_t>(n);
+  }
+  const double delta = options_.model.delta;
+  const uint64_t eps_thr = epsilon_threshold_;
+  const bool eps_draws = ThresholdDraws(eps_thr);
+  if (options_.tie_policy == TiePolicy::kFreshCoin) {
+    // Fresh-coin precompute: two regimes, each with a constant per-class
+    // threshold, so the kernel is inline value loads plus branchless
+    // selects — no prob[]/sticky[] traffic and no out-of-line calls. The
+    // kernel is runtime-dispatched scalar/AVX2 (bit-identical; see the
+    // definitions above).
+    const uint64_t coin_thr = coin_threshold_;
+    const PrecomputeSummary summary = ThresholdFreshPrecompute(
+        pairs.data(), n, *instance_, delta, eps_thr, coin_thr,
+        scratch_.threshold.data(), scratch_.on_true.data(),
+        scratch_.on_false.data());
+    const bool all_open = (!summary.saw_above || eps_draws) &&
+                          (!summary.saw_below || ThresholdDraws(coin_thr));
+    ResolveIndependentBulk(rng_, scratch_, n, all_open, out);
+    AddComparisons(static_cast<int64_t>(n));
+    return static_cast<int64_t>(n);
+  }
+  // kPersistentArbitrary. Pass 1 (no RNG): classify each row, touch the
+  // sticky table exactly once (Reserve pins the arena, so the Insert's
+  // slot pointer stays valid for the whole batch), and count the exact
+  // draws the per-call path would make. The sticky pick uses *argument*
+  // order (pick = coin ? a : b), so stash a/b, not correct/other.
+  scratch_.slots.resize(n);
+  sticky_answers_.Reserve(static_cast<int64_t>(n));
+  const ComparisonPair* p = pairs.data();
+  uint64_t* __restrict threshold = scratch_.threshold.data();
+  ElementId* __restrict on_true = scratch_.on_true.data();
+  ElementId* __restrict on_false = scratch_.on_false.data();
+  uint8_t* __restrict sticky = scratch_.sticky.data();
+  ElementId** __restrict slots = scratch_.slots.data();
+  bool any_sticky = false;
+  size_t draws = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const ElementId a = p[i].first;
+    const ElementId b = p[i].second;
+    const double va = instance_->value(a);
+    const double vb = instance_->value(b);
+    if (std::fabs(va - vb) > delta) {
+      const bool a_wins = (va > vb) | ((va == vb) & (a < b));
+      threshold[i] = eps_thr;
+      on_true[i] = a_wins ? b : a;
+      on_false[i] = a_wins ? a : b;
+      sticky[i] = 0;
+      draws += eps_draws ? 1 : 0;
+    } else {
+      on_true[i] = a;
+      on_false[i] = b;
+      bool fresh = false;
+      // Placeholder value; pass 2 draws the real pick through the slot.
+      slots[i] = sticky_answers_.Insert(PackPairKey(a, b), a, &fresh);
+      sticky[i] = fresh ? 1 : 2;
+      draws += fresh ? 1 : 0;  // The 0.5 coin is always an open draw.
+      any_sticky = true;
+    }
+  }
+  if (!any_sticky) {
+    // Every row was above-threshold, so openness is the one class flag.
+    ResolveIndependentBulk(rng_, scratch_, n, eps_draws, out);
+  } else {
+    // Pass 2: bulk-generate the exact draw count, then walk the rows in
+    // order consuming draws — the same draw-per-row schedule as per-call.
+    // Sticky rows resolve through the pass-1 slot pointers: no re-probe.
+    scratch_.raw.resize(draws);
+    rng_.FillRaw({scratch_.raw.data(), draws});
+    const uint64_t* __restrict raw = scratch_.raw.data();
+    size_t cursor = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (sticky[i] == 0) {
+        out[i] = ConsumeDraw(raw, threshold[i], &cursor) ? on_true[i]
+                                                         : on_false[i];
+      } else if (sticky[i] == 1) {
+        const ElementId pick =
+            ConsumeDraw(raw, kHalfThreshold, &cursor) ? on_true[i]
+                                                      : on_false[i];
+        *slots[i] = pick;
+        out[i] = pick;
+      } else {
+        out[i] = *slots[i];
+      }
+    }
+    CROWDMAX_DCHECK(cursor == draws);
+  }
+  AddComparisons(static_cast<int64_t>(n));
+  return static_cast<int64_t>(n);
+}
+
+// The pre-bulk scalar batch path, kept bit-identical as the
+// bench_hotpath "batch" baseline and the bulk-toggle test twin.
+void ThresholdComparator::GenerateVotesScalar(
+    std::span<const ComparisonPair> pairs, size_t n,
+    std::span<ElementId> out) {
+  const bool persistent =
+      options_.tie_policy == TiePolicy::kPersistentArbitrary;
+  if (persistent) {
+    scratch_.slots.resize(n);
+    sticky_answers_.Reserve(static_cast<int64_t>(n));
+  }
   bool all_open = true;
   bool any_sticky = false;
   for (size_t i = 0; i < n; ++i) {
@@ -124,48 +417,43 @@ int64_t ThresholdComparator::GenerateVotes(
       scratch_.on_true[i] = Other(correct, a, b);
       scratch_.on_false[i] = correct;
       scratch_.sticky[i] = 0;
-    } else if (options_.tie_policy == TiePolicy::kFreshCoin) {
+    } else if (!persistent) {
       scratch_.prob[i] = options_.below_threshold_correct_prob;
       scratch_.on_true[i] = correct;
       scratch_.on_false[i] = Other(correct, a, b);
       scratch_.sticky[i] = 0;
     } else {
       // kPersistentArbitrary: the sticky pick uses *argument* order
-      // (pick = coin ? a : b), so stash a/b, not correct/other.
+      // (pick = coin ? a : b), so stash a/b, not correct/other. Touch
+      // the table once here (no RNG) and cache the Reserve-pinned slot;
+      // the sequential walk below draws through it without re-probing.
       scratch_.on_true[i] = a;
       scratch_.on_false[i] = b;
       scratch_.prob[i] = 0.5;
-      scratch_.sticky[i] = 1;
+      bool fresh = false;
+      scratch_.slots[i] = sticky_answers_.Insert(PackPairKey(a, b), a, &fresh);
+      scratch_.sticky[i] = fresh ? 1 : 2;
       any_sticky = true;
     }
     all_open = all_open && Open(scratch_.prob[i]);
   }
   if (!any_sticky) {
-    if (all_open) {
-      DrawBranchFree(rng_, scratch_, n, out);
+    ResolveIndependentScalar(rng_, scratch_, n, all_open, out);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (scratch_.sticky[i] == 0) {
+      out[i] = rng_.NextBernoulli(scratch_.prob[i]) ? scratch_.on_true[i]
+                                                    : scratch_.on_false[i];
+    } else if (scratch_.sticky[i] == 1) {
+      const ElementId pick =
+          rng_.NextBernoulli(0.5) ? scratch_.on_true[i] : scratch_.on_false[i];
+      *scratch_.slots[i] = pick;
+      out[i] = pick;
     } else {
-      DrawGated(rng_, scratch_, n, out);
-    }
-  } else {
-    for (size_t i = 0; i < n; ++i) {
-      if (scratch_.sticky[i] == 0) {
-        out[i] = rng_.NextBernoulli(scratch_.prob[i]) ? scratch_.on_true[i]
-                                                      : scratch_.on_false[i];
-        continue;
-      }
-      const ElementId a = scratch_.on_true[i];
-      const ElementId b = scratch_.on_false[i];
-      const uint64_t key = PackPairKey(a, b);
-      ElementId* sticky = sticky_answers_.Find(key);
-      if (sticky == nullptr) {
-        const ElementId pick = rng_.NextBernoulli(0.5) ? a : b;
-        sticky = sticky_answers_.Insert(key, pick);
-      }
-      out[i] = *sticky;
+      out[i] = *scratch_.slots[i];
     }
   }
-  AddComparisons(static_cast<int64_t>(n));
-  return static_cast<int64_t>(n);
 }
 
 std::unique_ptr<Comparator> ThresholdComparator::Fork(uint64_t seed) const {
@@ -217,6 +505,49 @@ int64_t RelativeErrorComparator::GenerateVotes(
   CROWDMAX_CHECK(out.size() >= pairs.size());
   const size_t n = ValidPrefix(*instance_, pairs);
   scratch_.Resize(n);
+  if (!bulk_draws()) {
+    GenerateVotesScalar(pairs, n, out);
+    AddComparisons(static_cast<int64_t>(n));
+    return static_cast<int64_t>(n);
+  }
+  const double base_error = options_.base_error;
+  const double decay = options_.decay;
+  const double max_error = options_.max_error;
+  const ComparisonPair* p = pairs.data();
+  uint64_t* __restrict threshold = scratch_.threshold.data();
+  ElementId* __restrict on_true = scratch_.on_true.data();
+  ElementId* __restrict on_false = scratch_.on_false.data();
+  unsigned open_all = 1;
+  for (size_t i = 0; i < n; ++i) {
+    const ElementId a = p[i].first;
+    const ElementId b = p[i].second;
+    const double va = instance_->value(a);
+    const double vb = instance_->value(b);
+    const bool a_wins = (va > vb) | ((va == vb) & (a < b));
+    // Inline Instance::RelativeDifference — the identical FP operations,
+    // so p_error (and with it the draw threshold) cannot diverge from
+    // the per-call path.
+    const double denom = std::max(std::fabs(va), std::fabs(vb));
+    const double rel = denom == 0.0 ? 0.0 : std::fabs(va - vb) / denom;
+    const double p_error =
+        std::min(max_error, base_error * std::exp(-decay * rel));
+    const uint64_t thr = ClampedThreshold(p_error);
+    threshold[i] = thr;
+    on_true[i] = a_wins ? b : a;
+    on_false[i] = a_wins ? a : b;
+    open_all &= static_cast<unsigned>(ThresholdDraws(thr));
+  }
+  const bool all_open = open_all != 0;
+  ResolveIndependentBulk(rng_, scratch_, n, all_open, out);
+  AddComparisons(static_cast<int64_t>(n));
+  return static_cast<int64_t>(n);
+}
+
+// The pre-bulk scalar batch path, kept bit-identical as the
+// bench_hotpath "batch" baseline and the bulk-toggle test twin.
+void RelativeErrorComparator::GenerateVotesScalar(
+    std::span<const ComparisonPair> pairs, size_t n,
+    std::span<ElementId> out) {
   bool all_open = true;
   for (size_t i = 0; i < n; ++i) {
     const auto [a, b] = pairs[i];
@@ -230,13 +561,7 @@ int64_t RelativeErrorComparator::GenerateVotes(
     scratch_.on_false[i] = correct;
     all_open = all_open && Open(p_error);
   }
-  if (all_open) {
-    DrawBranchFree(rng_, scratch_, n, out);
-  } else {
-    DrawGated(rng_, scratch_, n, out);
-  }
-  AddComparisons(static_cast<int64_t>(n));
-  return static_cast<int64_t>(n);
+  ResolveIndependentScalar(rng_, scratch_, n, all_open, out);
 }
 
 std::unique_ptr<Comparator> RelativeErrorComparator::Fork(
@@ -293,6 +618,54 @@ int64_t DistanceDecayComparator::GenerateVotes(
   CROWDMAX_CHECK(out.size() >= pairs.size());
   const size_t n = ValidPrefix(*instance_, pairs);
   scratch_.Resize(n);
+  if (!bulk_draws()) {
+    GenerateVotesScalar(pairs, n, out);
+    AddComparisons(static_cast<int64_t>(n));
+    return static_cast<int64_t>(n);
+  }
+  const double delta = options_.delta;
+  const double decay = options_.decay;
+  const double epsilon_at = options_.epsilon_at_threshold;
+  const uint64_t coin_thr =
+      ClampedThreshold(options_.below_threshold_correct_prob);
+  const ComparisonPair* p = pairs.data();
+  uint64_t* __restrict threshold = scratch_.threshold.data();
+  ElementId* __restrict on_true = scratch_.on_true.data();
+  ElementId* __restrict on_false = scratch_.on_false.data();
+  unsigned open_all = 1;
+  for (size_t i = 0; i < n; ++i) {
+    const ElementId a = p[i].first;
+    const ElementId b = p[i].second;
+    const double va = instance_->value(a);
+    const double vb = instance_->value(b);
+    const bool a_wins = (va > vb) | ((va == vb) & (a < b));
+    // Inline Instance::Distance — the identical FP operation, so the
+    // regime split cannot diverge from the per-call path.
+    const double d = std::fabs(va - vb);
+    const bool above = d > delta;
+    // sel folds correct/other into one pair of selects: above rows put
+    // the loser on the draw's true side, below rows the winner.
+    const bool sel = a_wins != above;
+    uint64_t thr = coin_thr;
+    if (above) {
+      thr = ClampedThreshold(epsilon_at * std::exp(-decay * (d - delta)));
+    }
+    threshold[i] = thr;
+    on_true[i] = sel ? a : b;
+    on_false[i] = sel ? b : a;
+    open_all &= static_cast<unsigned>(ThresholdDraws(thr));
+  }
+  const bool all_open = open_all != 0;
+  ResolveIndependentBulk(rng_, scratch_, n, all_open, out);
+  AddComparisons(static_cast<int64_t>(n));
+  return static_cast<int64_t>(n);
+}
+
+// The pre-bulk scalar batch path, kept bit-identical as the
+// bench_hotpath "batch" baseline and the bulk-toggle test twin.
+void DistanceDecayComparator::GenerateVotesScalar(
+    std::span<const ComparisonPair> pairs, size_t n,
+    std::span<ElementId> out) {
   bool all_open = true;
   for (size_t i = 0; i < n; ++i) {
     const auto [a, b] = pairs[i];
@@ -310,13 +683,7 @@ int64_t DistanceDecayComparator::GenerateVotes(
     }
     all_open = all_open && Open(scratch_.prob[i]);
   }
-  if (all_open) {
-    DrawBranchFree(rng_, scratch_, n, out);
-  } else {
-    DrawGated(rng_, scratch_, n, out);
-  }
-  AddComparisons(static_cast<int64_t>(n));
-  return static_cast<int64_t>(n);
+  ResolveIndependentScalar(rng_, scratch_, n, all_open, out);
 }
 
 std::unique_ptr<Comparator> DistanceDecayComparator::Fork(
@@ -356,6 +723,13 @@ PersistentBiasComparator::PersistentBiasComparator(const Instance* instance,
                  options.individual_noise <= 1.0);
   CROWDMAX_CHECK(options.above_threshold_error >= 0.0 &&
                  options.above_threshold_error < 0.5);
+  bucket_thresholds_.reserve(options.buckets.size());
+  for (const Bucket& bucket : options.buckets) {
+    bucket_thresholds_.push_back(
+        ClampedThreshold(bucket.preferred_correct_prob));
+  }
+  noise_threshold_ = ClampedThreshold(options.individual_noise);
+  error_threshold_ = ClampedThreshold(options.above_threshold_error);
 }
 
 ElementId PersistentBiasComparator::DoCompare(ElementId a, ElementId b) {
@@ -402,7 +776,118 @@ int64_t PersistentBiasComparator::GenerateVotes(
   CROWDMAX_CHECK(out.size() >= pairs.size());
   const size_t n = ValidPrefix(*instance_, pairs);
   scratch_.Resize(n);
-  bool all_open = true;
+  if (!bulk_draws()) {
+    GenerateVotesScalar(pairs, n, out);
+    AddComparisons(static_cast<int64_t>(n));
+    return static_cast<int64_t>(n);
+  }
+  // Pass 1 (no RNG): bucket each row on inline value loads, touch the
+  // preferred-winner table exactly once (Reserve pins the arena, so the
+  // Insert's slot pointer stays valid for the whole batch), and count
+  // the exact draws the per-call path would make (preference draw on
+  // first touch, then a noise draw, each skipped at a closed
+  // probability). The fabs/max/divide below are the identical FP
+  // operations of TrueWinner + Instance::RelativeDifference, so bucket
+  // classification cannot diverge from the per-call path.
+  const Bucket* buckets = options_.buckets.data();
+  const size_t num_buckets = options_.buckets.size();
+  const bool noise_draws = ThresholdDraws(noise_threshold_);
+  const bool error_draws = ThresholdDraws(error_threshold_);
+  scratch_.slots.resize(n);
+  preferred_.Reserve(static_cast<int64_t>(n));
+  const ComparisonPair* p = pairs.data();
+  uint64_t* __restrict threshold = scratch_.threshold.data();
+  ElementId* __restrict on_true = scratch_.on_true.data();
+  ElementId* __restrict on_false = scratch_.on_false.data();
+  uint8_t* __restrict sticky = scratch_.sticky.data();
+  ElementId** __restrict slots = scratch_.slots.data();
+  bool any_hard = false;
+  size_t draws = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const ElementId a = p[i].first;
+    const ElementId b = p[i].second;
+    const double va = instance_->value(a);
+    const double vb = instance_->value(b);
+    const bool a_wins = (va > vb) | ((va == vb) & (a < b));
+    const ElementId correct = a_wins ? a : b;
+    const ElementId other = a_wins ? b : a;
+    const double denom = std::max(std::fabs(va), std::fabs(vb));
+    const double rel = denom == 0.0 ? 0.0 : std::fabs(va - vb) / denom;
+    size_t bucket = num_buckets;
+    for (size_t k = 0; k < num_buckets; ++k) {
+      if (rel <= buckets[k].max_relative_difference) {
+        bucket = k;
+        break;
+      }
+    }
+    if (bucket == num_buckets) {
+      // Easy pair: one error draw, errs toward the non-correct element.
+      threshold[i] = error_threshold_;
+      on_true[i] = other;
+      on_false[i] = correct;
+      sticky[i] = 0;
+      draws += error_draws ? 1 : 0;
+    } else {
+      const uint64_t thr = bucket_thresholds_[bucket];
+      threshold[i] = thr;
+      on_true[i] = correct;
+      on_false[i] = other;
+      bool fresh = false;
+      // Placeholder value; pass 2 draws the real preference via the slot.
+      slots[i] = preferred_.Insert(PackPairKey(a, b), correct, &fresh);
+      sticky[i] = fresh ? 1 : 2;
+      draws += (fresh && ThresholdDraws(thr) ? 1 : 0) + (noise_draws ? 1 : 0);
+      any_hard = true;
+    }
+  }
+  if (!any_hard) {
+    // Every row was easy, so openness is the one class flag.
+    ResolveIndependentBulk(rng_, scratch_, n, error_draws, out);
+  } else {
+    // Pass 2: bulk-generate the exact draw count, then resolve rows in
+    // order — preference draw (first touch only), then noise draw. Hard
+    // rows resolve through the pass-1 slot pointers: no re-probe.
+    scratch_.raw.resize(draws);
+    rng_.FillRaw({scratch_.raw.data(), draws});
+    const uint64_t* __restrict raw = scratch_.raw.data();
+    size_t cursor = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (sticky[i] == 0) {
+        out[i] = ConsumeDraw(raw, threshold[i], &cursor) ? on_true[i]
+                                                         : on_false[i];
+        continue;
+      }
+      const ElementId correct = on_true[i];
+      const ElementId other = on_false[i];
+      ElementId preferred;
+      if (sticky[i] == 1) {
+        preferred = ConsumeDraw(raw, threshold[i], &cursor) ? correct : other;
+        *slots[i] = preferred;
+      } else {
+        preferred = *slots[i];
+      }
+      out[i] = ConsumeDraw(raw, noise_threshold_, &cursor)
+                   ? (preferred == correct ? other : correct)
+                   : preferred;
+    }
+    CROWDMAX_DCHECK(cursor == draws);
+  }
+  AddComparisons(static_cast<int64_t>(n));
+  return static_cast<int64_t>(n);
+}
+
+// The pre-bulk scalar batch path, kept bit-identical as the
+// bench_hotpath "batch" baseline and the bulk-toggle test twin.
+void PersistentBiasComparator::GenerateVotesScalar(
+    std::span<const ComparisonPair> pairs, size_t n,
+    std::span<ElementId> out) {
+  // Pass 1 mirrors the bulk path's sticky-row restructure (the fix for
+  // the batch-slower-than-per-call regression): touch the table once per
+  // hard row with a Reserve-pinned single-probe Insert, so the
+  // sequential walk below draws through cached slots instead of
+  // re-probing per row. Draw order and table contents are unchanged.
+  scratch_.slots.resize(n);
+  preferred_.Reserve(static_cast<int64_t>(n));
   bool any_hard = false;
   for (size_t i = 0; i < n; ++i) {
     const auto [a, b] = pairs[i];
@@ -426,42 +911,38 @@ int64_t PersistentBiasComparator::GenerateVotes(
       // Hard pair: prob holds the first-touch preference draw; the noise
       // draw is applied in the sequential pass.
       scratch_.prob[i] = bucket->preferred_correct_prob;
-      scratch_.sticky[i] = 1;
+      bool fresh = false;
+      // Placeholder value; the walk draws the real preference via the slot.
+      scratch_.slots[i] = preferred_.Insert(PackPairKey(a, b), correct, &fresh);
+      scratch_.sticky[i] = fresh ? 1 : 2;
       any_hard = true;
     }
-    all_open = all_open && Open(scratch_.prob[i]);
   }
   if (!any_hard) {
-    if (all_open) {
-      DrawBranchFree(rng_, scratch_, n, out);
-    } else {
-      DrawGated(rng_, scratch_, n, out);
-    }
-  } else {
-    for (size_t i = 0; i < n; ++i) {
-      if (scratch_.sticky[i] == 0) {
-        out[i] = rng_.NextBernoulli(scratch_.prob[i]) ? scratch_.on_true[i]
-                                                      : scratch_.on_false[i];
-        continue;
-      }
-      const ElementId correct = scratch_.on_true[i];
-      const ElementId other = scratch_.on_false[i];
-      const uint64_t key = PackPairKey(correct, other);
-      ElementId* slot = preferred_.Find(key);
-      ElementId preferred;
-      if (slot == nullptr) {
-        preferred = rng_.NextBernoulli(scratch_.prob[i]) ? correct : other;
-        preferred_.Insert(key, preferred);
-      } else {
-        preferred = *slot;
-      }
-      out[i] = rng_.NextBernoulli(options_.individual_noise)
-                   ? (preferred == correct ? other : correct)
-                   : preferred;
-    }
+    // Every row was easy, so openness is the one class flag.
+    ResolveIndependentScalar(rng_, scratch_, n,
+                             Open(options_.above_threshold_error), out);
+    return;
   }
-  AddComparisons(static_cast<int64_t>(n));
-  return static_cast<int64_t>(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (scratch_.sticky[i] == 0) {
+      out[i] = rng_.NextBernoulli(scratch_.prob[i]) ? scratch_.on_true[i]
+                                                    : scratch_.on_false[i];
+      continue;
+    }
+    const ElementId correct = scratch_.on_true[i];
+    const ElementId other = scratch_.on_false[i];
+    ElementId preferred;
+    if (scratch_.sticky[i] == 1) {
+      preferred = rng_.NextBernoulli(scratch_.prob[i]) ? correct : other;
+      *scratch_.slots[i] = preferred;
+    } else {
+      preferred = *scratch_.slots[i];
+    }
+    out[i] = rng_.NextBernoulli(options_.individual_noise)
+                 ? (preferred == correct ? other : correct)
+                 : preferred;
+  }
 }
 
 std::unique_ptr<Comparator> PersistentBiasComparator::Fork(

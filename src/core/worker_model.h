@@ -75,12 +75,32 @@ struct VoteBatchScratch {
   std::vector<ElementId> on_true;
   std::vector<ElementId> on_false;
   std::vector<uint8_t> sticky;
+  /// Per-row 53-bit integer draw thresholds — the Rng::BernoulliThreshold
+  /// mapping of prob[], clamped to the draw-free edges (0 = never true,
+  /// 2^53 = always true; see DESIGN.md §16). The bulk draw path compares
+  /// raw 64-bit outputs against these with no float conversion in the
+  /// loop; models with constant per-class probabilities precompute the
+  /// thresholds once at construction and only copy them here per row.
+  std::vector<uint64_t> threshold;
+  /// Draw outcomes of the bulk Bernoulli kernels (0/1 per row).
+  std::vector<uint8_t> bits;
+  /// Pre-generated raw draws (Rng::FillRaw) consumed in row order by the
+  /// sticky-table walks; sized per call to the exact draw count so the
+  /// RNG stream position matches the per-call path.
+  std::vector<uint64_t> raw;
+  /// Sticky-table slot pointers cached by pass 1 of the two-pass walks.
+  /// Valid only within one GenerateVotes call: the table is Reserve()d
+  /// up front so pass-1 inserts cannot rehash, which pins the pointers
+  /// until pass 2 has written the drawn answers through them.
+  std::vector<ElementId*> slots;
 
   void Resize(size_t n) {
     prob.resize(n);
     on_true.resize(n);
     on_false.resize(n);
     sticky.resize(n);
+    threshold.resize(n);
+    bits.resize(n);
   }
 };
 
@@ -127,10 +147,18 @@ class ThresholdComparator : public Comparator, public VoteBatchComparator {
 
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
+  // The pre-bulk scalar batch path (bulk_draws() == false), kept as the
+  // measurable baseline and bit-identity twin of the bulk kernels.
+  void GenerateVotesScalar(std::span<const ComparisonPair> pairs, size_t n,
+                           std::span<ElementId> out);
 
   const Instance* instance_;
   Options options_;
   Rng rng_;
+  // Clamped integer thresholds of the two per-class probabilities,
+  // computed once at construction for the bulk draw path.
+  uint64_t epsilon_threshold_ = 0;
+  uint64_t coin_threshold_ = 0;
   // Persistent below-threshold answers for kPersistentArbitrary.
   PairTable sticky_answers_;
   VoteBatchScratch scratch_;
@@ -170,6 +198,10 @@ class RelativeErrorComparator : public Comparator, public VoteBatchComparator {
 
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
+  // The pre-bulk scalar batch path (bulk_draws() == false), kept as the
+  // measurable baseline and bit-identity twin of the bulk kernels.
+  void GenerateVotesScalar(std::span<const ComparisonPair> pairs, size_t n,
+                           std::span<ElementId> out);
 
   const Instance* instance_;
   Options options_;
@@ -215,6 +247,10 @@ class DistanceDecayComparator : public Comparator, public VoteBatchComparator {
 
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
+  // The pre-bulk scalar batch path (bulk_draws() == false), kept as the
+  // measurable baseline and bit-identity twin of the bulk kernels.
+  void GenerateVotesScalar(std::span<const ComparisonPair> pairs, size_t n,
+                           std::span<ElementId> out);
 
   const Instance* instance_;
   Options options_;
@@ -280,10 +316,20 @@ class PersistentBiasComparator : public Comparator, public VoteBatchComparator {
 
  private:
   ElementId DoCompare(ElementId a, ElementId b) override;
+  // The pre-bulk scalar batch path (bulk_draws() == false), kept as the
+  // measurable baseline and bit-identity twin of the bulk kernels.
+  void GenerateVotesScalar(std::span<const ComparisonPair> pairs, size_t n,
+                           std::span<ElementId> out);
 
   const Instance* instance_;
   Options options_;
   Rng rng_;
+  // Clamped integer thresholds of the per-class probabilities (one per
+  // bucket, plus noise and easy-pair error), computed once at
+  // construction for the bulk draw path.
+  std::vector<uint64_t> bucket_thresholds_;
+  uint64_t noise_threshold_ = 0;
+  uint64_t error_threshold_ = 0;
   // Per-pair persistent preferred winner for pairs inside a bucket.
   PairTable preferred_;
   VoteBatchScratch scratch_;

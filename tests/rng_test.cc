@@ -1,0 +1,289 @@
+// Tests for the bulk draw layer of common/rng.h (DESIGN.md §16).
+//
+// The contract under test: every Fill* call produces the exact same draw
+// stream as the corresponding per-call API — values bit-identical, RNG
+// state position identical at every boundary — on both the scalar and the
+// SIMD backend; and the 53-bit integer threshold mapping is equivalent to
+// the float compare it replaces for every representable probability.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace crowdmax {
+namespace {
+
+// Lengths that cross the internal block boundary (1024) and every unroll
+// remainder.
+const std::vector<size_t> kLengths = {0,    1,    3,    4,    5,   31,
+                                      1000, 1023, 1024, 1025, 4096, 5000};
+
+// The probability edge set of the issue contract: closed edges that skip
+// the draw, the subnormal floor, and the nextafter neighbours of both
+// edges.
+std::vector<double> EdgeProbs() {
+  return {0.0,
+          1.0,
+          -0.25,
+          2.0,
+          std::numeric_limits<double>::denorm_min(),
+          std::nextafter(0.0, 1.0),
+          std::nextafter(1.0, 0.0),
+          std::nextafter(0.5, 0.0),
+          0.5,
+          std::nextafter(0.5, 1.0),
+          0x1.0p-53,
+          1.0 - 0x1.0p-53,
+          0.15,
+          0.37};
+}
+
+TEST(RngBulkTest, FillRawMatchesNextAtEveryLength) {
+  for (size_t n : kLengths) {
+    Rng bulk(/*seed=*/42);
+    Rng percall(/*seed=*/42);
+    std::vector<uint64_t> got(n);
+    bulk.FillRaw(got);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i], percall.Next()) << "n=" << n << " i=" << i;
+    }
+    // Mid-stream state byte-identity: bulk and per-call agree not just on
+    // outputs but on the exact generator position (SaveState contract).
+    ASSERT_EQ(bulk.state(), percall.state()) << "n=" << n;
+  }
+}
+
+TEST(RngBulkTest, FillRawResumesMidBlock) {
+  // Two bulk calls that split a block must equal one bulk call and the
+  // per-call stream: the kernel may not pre-draw past what it returns.
+  Rng split(/*seed=*/7);
+  Rng whole(/*seed=*/7);
+  std::vector<uint64_t> a(700), b(700), all(1400);
+  split.FillRaw(a);
+  split.FillRaw(b);
+  whole.FillRaw(all);
+  for (size_t i = 0; i < 700; ++i) {
+    ASSERT_EQ(a[i], all[i]);
+    ASSERT_EQ(b[i], all[700 + i]);
+  }
+  ASSERT_EQ(split.state(), whole.state());
+}
+
+TEST(RngBulkTest, FillDoublesMatchesNextDouble) {
+  for (size_t n : kLengths) {
+    Rng bulk(/*seed=*/99);
+    Rng percall(/*seed=*/99);
+    std::vector<double> got(n);
+    bulk.FillDoubles(got);
+    for (size_t i = 0; i < n; ++i) {
+      const double want = percall.NextDouble();
+      ASSERT_EQ(got[i], want) << "n=" << n << " i=" << i;
+    }
+    ASSERT_EQ(bulk.state(), percall.state());
+  }
+}
+
+TEST(RngBulkTest, FillBernoulliMatchesNextBernoulliIncludingEdges) {
+  // A long prob vector cycling through the edge set and open values:
+  // closed rows must skip draws exactly like per-call NextBernoulli, so
+  // the state comparison catches any draw-count drift.
+  const std::vector<double> edges = EdgeProbs();
+  std::vector<double> probs;
+  probs.reserve(3000);
+  for (size_t i = 0; i < 3000; ++i) {
+    probs.push_back(edges[i % edges.size()]);
+  }
+  Rng bulk(/*seed=*/1234);
+  Rng percall(/*seed=*/1234);
+  std::vector<uint8_t> got(probs.size());
+  bulk.FillBernoulli(probs, got);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const bool want = percall.NextBernoulli(probs[i]);
+    ASSERT_EQ(got[i] != 0, want) << "i=" << i << " p=" << probs[i];
+  }
+  ASSERT_EQ(bulk.state(), percall.state());
+}
+
+TEST(RngBulkTest, FillBernoulliNaNDrawsAndFails) {
+  // NextBernoulli(NaN) falls through both edge tests and fails the float
+  // compare — it consumes a draw and returns false. The bulk path must
+  // reproduce both the outcome and the consumed draw.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> probs = {0.5, nan, 0.5, nan, nan, 0.9};
+  Rng bulk(/*seed=*/5);
+  Rng percall(/*seed=*/5);
+  std::vector<uint8_t> got(probs.size());
+  bulk.FillBernoulli(probs, got);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    ASSERT_EQ(got[i] != 0, percall.NextBernoulli(probs[i])) << "i=" << i;
+  }
+  ASSERT_EQ(bulk.state(), percall.state());
+}
+
+TEST(RngBulkTest, FillBernoulliThresholdsConsumesOneDrawPerRow) {
+  const std::vector<double> edges = EdgeProbs();
+  std::vector<uint64_t> thresholds;
+  for (double p : edges) {
+    if (p > 0.0 && p < 1.0) thresholds.push_back(Rng::BernoulliThreshold(p));
+  }
+  // Repeat to cross a block boundary.
+  const size_t base = thresholds.size();
+  for (size_t i = 0; thresholds.size() < 2500; ++i) {
+    thresholds.push_back(thresholds[i % base]);
+  }
+  Rng bulk(/*seed=*/31);
+  Rng percall(/*seed=*/31);
+  std::vector<uint8_t> got(thresholds.size());
+  bulk.FillBernoulliThresholds(thresholds, got);
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    const bool want = (percall.Next() >> 11) < thresholds[i];
+    ASSERT_EQ(got[i] != 0, want) << "i=" << i;
+  }
+  ASSERT_EQ(bulk.state(), percall.state());
+}
+
+// ---- Integer threshold <=> float compare equivalence ---------------------
+
+// For every probability p in (0, 1): u * 2^-53 < p  <=>  u < T(p), with
+// T = Rng::BernoulliThreshold(p). Both sides are monotone in u, so it is
+// enough to check u around the crossover point and at the domain ends.
+void CheckThresholdEquivalence(double p) {
+  ASSERT_TRUE(p > 0.0 && p < 1.0);
+  const uint64_t threshold = Rng::BernoulliThreshold(p);
+  ASSERT_GE(threshold, uint64_t{1});
+  ASSERT_LE(threshold, (uint64_t{1} << 53) - 1);
+  std::vector<uint64_t> probes = {0, (uint64_t{1} << 53) - 1, threshold};
+  if (threshold > 0) probes.push_back(threshold - 1);
+  if (threshold + 1 < (uint64_t{1} << 53)) probes.push_back(threshold + 1);
+  for (uint64_t u : probes) {
+    const bool via_float = static_cast<double>(u) * 0x1.0p-53 < p;
+    const bool via_int = u < threshold;
+    ASSERT_EQ(via_float, via_int)
+        << "p=" << p << " u=" << u << " T=" << threshold;
+  }
+}
+
+TEST(BernoulliThresholdTest, ExhaustiveGridEquivalence) {
+  // Dense dyadic grid (every p = k * 2^-16), the representable
+  // neighbourhood of both edges and of the grid points, and a seeded
+  // random sample of arbitrary doubles in (0, 1).
+  for (uint64_t k = 1; k < (uint64_t{1} << 16); ++k) {
+    CheckThresholdEquivalence(static_cast<double>(k) * 0x1.0p-16);
+  }
+  CheckThresholdEquivalence(std::numeric_limits<double>::denorm_min());
+  CheckThresholdEquivalence(std::nextafter(0.0, 1.0));
+  CheckThresholdEquivalence(std::nextafter(1.0, 0.0));
+  CheckThresholdEquivalence(0x1.0p-53);
+  CheckThresholdEquivalence(std::nextafter(0x1.0p-53, 0.0));
+  CheckThresholdEquivalence(std::nextafter(0x1.0p-53, 1.0));
+  Rng rng(/*seed=*/77);
+  for (int i = 0; i < 20000; ++i) {
+    const double p = rng.NextDouble();
+    if (p > 0.0) CheckThresholdEquivalence(p);
+  }
+}
+
+TEST(BernoulliThresholdTest, KnownFixedPoints) {
+  EXPECT_EQ(Rng::BernoulliThreshold(0.5), uint64_t{1} << 52);
+  EXPECT_EQ(Rng::BernoulliThreshold(std::nextafter(1.0, 0.0)),
+            (uint64_t{1} << 53) - 1);
+  EXPECT_EQ(Rng::BernoulliThreshold(std::numeric_limits<double>::denorm_min()),
+            uint64_t{1});
+  EXPECT_EQ(Rng::BernoulliThreshold(0x1.0p-53), uint64_t{1});
+}
+
+// ---- Backend equivalence -------------------------------------------------
+
+TEST(RngBulkBackendTest, ScalarAndSimdAreBitIdentical) {
+  // When the SIMD backend is unavailable (scalar build, old CPU, or the
+  // CROWDMAX_NO_SIMD override) this degenerates to scalar == scalar,
+  // which is exactly what the scalar-forced CI invocation pins.
+  const bool simd_available = SetRngBulkSimd(true);
+  const std::string active = RngBulkBackend();
+  EXPECT_EQ(active, simd_available ? "avx2" : "scalar");
+
+  std::vector<double> probs;
+  Rng seed_rng(/*seed=*/2026);
+  for (int i = 0; i < 5000; ++i) probs.push_back(seed_rng.NextDouble());
+  probs[100] = 0.0;
+  probs[200] = 1.0;
+
+  Rng a(/*seed=*/11);
+  std::vector<uint64_t> raw_a(3000);
+  std::vector<double> dbl_a(3000);
+  std::vector<uint8_t> bits_a(probs.size());
+  a.FillRaw(raw_a);
+  a.FillDoubles(dbl_a);
+  a.FillBernoulli(probs, bits_a);
+
+  SetRngBulkSimd(false);
+  EXPECT_STREQ(RngBulkBackend(), "scalar");
+  Rng b(/*seed=*/11);
+  std::vector<uint64_t> raw_b(3000);
+  std::vector<double> dbl_b(3000);
+  std::vector<uint8_t> bits_b(probs.size());
+  b.FillRaw(raw_b);
+  b.FillDoubles(dbl_b);
+  b.FillBernoulli(probs, bits_b);
+
+  SetRngBulkSimd(true);  // Restore for the rest of the process.
+
+  EXPECT_EQ(raw_a, raw_b);
+  EXPECT_EQ(dbl_a, dbl_b);
+  EXPECT_EQ(bits_a, bits_b);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+// ---- Statistical sanity --------------------------------------------------
+
+TEST(RngBulkStatTest, BernoulliChiSquareAtP37) {
+  // 1e5 bulk draws at p = 0.37: one-dof chi-square against the expected
+  // split must stay below 10.83 (the 0.999 quantile).
+  const size_t n = 100000;
+  const double p = 0.37;
+  std::vector<double> probs(n, p);
+  std::vector<uint8_t> bits(n);
+  Rng rng(/*seed=*/424242);
+  rng.FillBernoulli(probs, bits);
+  double successes = 0;
+  for (uint8_t bit : bits) successes += bit;
+  const double expected = p * static_cast<double>(n);
+  const double expected_fail = static_cast<double>(n) - expected;
+  const double failures = static_cast<double>(n) - successes;
+  const double chi2 =
+      (successes - expected) * (successes - expected) / expected +
+      (failures - expected_fail) * (failures - expected_fail) / expected_fail;
+  EXPECT_LT(chi2, 10.83) << "successes=" << successes;
+}
+
+TEST(RngBulkStatTest, DoublesUniformChiSquareSixteenBins) {
+  // 1e5 bulk doubles over 16 equal bins: 15-dof chi-square must stay
+  // below 37.70 (the 0.999 quantile).
+  const size_t n = 100000;
+  std::vector<double> draws(n);
+  Rng rng(/*seed=*/31337);
+  rng.FillDoubles(draws);
+  std::vector<int64_t> bins(16, 0);
+  for (double d : draws) {
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    ++bins[static_cast<size_t>(d * 16.0)];
+  }
+  const double expected = static_cast<double>(n) / 16.0;
+  double chi2 = 0.0;
+  for (int64_t count : bins) {
+    const double diff = static_cast<double>(count) - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 37.70);
+}
+
+}  // namespace
+}  // namespace crowdmax

@@ -485,6 +485,47 @@ TEST(VoteBatchEquivalenceTest, CheckpointRoundTripBetweenBatches) {
   }
 }
 
+// The bulk-draw knob (DESIGN.md §16) must be behaviour-free: the bulk
+// integer-threshold kernels and the legacy scalar float-compare loop give
+// the same votes, the same counters, and byte-identical serialized state
+// (RNG position and sticky tables) — for every model, including the
+// sticky two-pass walks.
+TEST(VoteBatchEquivalenceTest, BulkAndScalarDrawPathsAreBitIdentical) {
+  for (uint64_t seed : {51u, 52u}) {
+    Rng value_rng(seed);
+    std::vector<double> values;
+    for (int i = 0; i < 24; ++i) values.push_back(value_rng.NextDouble());
+    Instance instance(values);
+    // Reuse the duo scaffolding: `percall` runs the scalar path, `batch`
+    // the bulk path, over identical pair streams.
+    for (ModelDuo& duo : MakeModelDuos(instance, 700 + seed)) {
+      VoteBatchComparator* bulk = duo.batch->AsVoteBatch();
+      VoteBatchComparator* scalar = duo.percall->AsVoteBatch();
+      ASSERT_NE(bulk, nullptr) << duo.name;
+      ASSERT_NE(scalar, nullptr) << duo.name;
+      ASSERT_TRUE(bulk->bulk_draws()) << duo.name;  // Bulk is the default.
+      scalar->set_bulk_draws(false);
+      for (uint64_t batch_seed : {seed, seed + 10}) {
+        const std::vector<ComparisonPair> pairs =
+            MixedPairs(instance, batch_seed, 600);
+        std::vector<ElementId> bulk_votes(pairs.size());
+        std::vector<ElementId> scalar_votes(pairs.size());
+        ASSERT_EQ(bulk->GenerateVotes(pairs, bulk_votes),
+                  static_cast<int64_t>(pairs.size()))
+            << duo.name;
+        ASSERT_EQ(scalar->GenerateVotes(pairs, scalar_votes),
+                  static_cast<int64_t>(pairs.size()))
+            << duo.name;
+        EXPECT_EQ(bulk_votes, scalar_votes) << duo.name;
+        EXPECT_EQ(duo.batch->num_comparisons(), duo.percall->num_comparisons())
+            << duo.name;
+        EXPECT_EQ(StateBytes(*duo.batch), StateBytes(*duo.percall))
+            << duo.name;
+      }
+    }
+  }
+}
+
 // Regression for the pair-key aliasing bug: a negative or out-of-range id
 // must stop the batch at the longest valid prefix — unanswered and
 // uncharged — never silently alias another element's pair key.
